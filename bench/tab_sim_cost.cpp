@@ -1,0 +1,181 @@
+// Paper Secs. III & VI simulation-cost claims — quantifying aging-induced
+// *errors* needs gate-level timed simulation (paper: ~4 days for one
+// 1920x1080 image on the 2e6-gate DCT-IDCT chain), while quantifying
+// aging-induced *approximations* only needs RTL simulation (paper: < 3
+// minutes per 1080p image, a few seconds for CIF).
+//
+// This binary measures both engines with google-benchmark and extrapolates
+// to the paper's image sizes, printing the cost table after the
+// microbenchmarks.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/characterizer.hpp"
+#include "gatesim/timedsim.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+namespace {
+
+Config& config() {
+  static Config cfg;
+  return cfg;
+}
+
+const Netlist& mult_netlist() {
+  static const Netlist nl = make_component(config().lib, config().mult32());
+  return nl;
+}
+
+const Netlist& adder_netlist() {
+  static const Netlist nl = make_component(config().lib, config().adder32());
+  return nl;
+}
+
+void BM_GateLevelTimedMultiply(benchmark::State& state) {
+  const Config& cfg = config();
+  const Netlist& nl = mult_netlist();
+  TimedSim sim(nl, scenario_delays(cfg, nl, {StressMode::worst, 10.0}),
+               DelayModel::transport);
+  const StimulusSet stim = make_normal_stimulus(32, 256, 3, cfg.mult_sigma);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& row = stim.vectors[i++ % stim.vectors.size()];
+    sim.stage_bus("a", row[0]);
+    sim.stage_bus("b", row[1]);
+    benchmark::DoNotOptimize(sim.step_staged(4000.0));
+  }
+}
+BENCHMARK(BM_GateLevelTimedMultiply)->Unit(benchmark::kMicrosecond);
+
+void BM_GateLevelTimedAdd(benchmark::State& state) {
+  const Config& cfg = config();
+  const Netlist& nl = adder_netlist();
+  TimedSim sim(nl, scenario_delays(cfg, nl, {StressMode::worst, 10.0}),
+               DelayModel::transport);
+  const StimulusSet stim = make_normal_stimulus(32, 256, 4, cfg.adder_sigma);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& row = stim.vectors[i++ % stim.vectors.size()];
+    sim.stage_bus("a", row[0]);
+    sim.stage_bus("b", row[1]);
+    benchmark::DoNotOptimize(sim.step_staged(900.0));
+  }
+}
+BENCHMARK(BM_GateLevelTimedAdd)->Unit(benchmark::kMicrosecond);
+
+void BM_RtlMultiply(benchmark::State& state) {
+  ExactBackend be(32, 3, 0);
+  std::int64_t a = 12345;
+  std::int64_t b = -678;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(be.multiply(a, b));
+    a += 7;
+    b -= 3;
+  }
+}
+BENCHMARK(BM_RtlMultiply);
+
+void BM_AgedSta(benchmark::State& state) {
+  const Config& cfg = config();
+  const Netlist& nl = mult_netlist();
+  const Sta sta(nl);
+  const DegradationAwareLibrary aged(cfg.lib, cfg.model, 10.0);
+  const StressProfile stress =
+      StressProfile::uniform(StressMode::worst, nl.num_gates());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sta.run_aged(aged, stress).max_delay);
+  }
+}
+BENCHMARK(BM_AgedSta)->Unit(benchmark::kMillisecond);
+
+void BM_CharacterizeOnePrecision(benchmark::State& state) {
+  const Config& cfg = config();
+  CharacterizerOptions copt;
+  copt.min_precision = 31;
+  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  ComponentSpec spec = cfg.adder32();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        characterizer.characterize(spec, {{StressMode::worst, 10.0}}));
+  }
+}
+BENCHMARK(BM_CharacterizeOnePrecision)->Unit(benchmark::kMillisecond);
+
+/// Measured per-op costs -> extrapolated per-image costs.
+void print_cost_table() {
+  const Config& cfg = config();
+  // One multiply through the timed gate-level simulator.
+  const Netlist& nl = mult_netlist();
+  TimedSim sim(nl, scenario_delays(cfg, nl, {StressMode::worst, 10.0}),
+               DelayModel::transport);
+  const StimulusSet stim = make_normal_stimulus(32, 200, 3, cfg.mult_sigma);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& row : stim.vectors) {
+    sim.stage_bus("a", row[0]);
+    sim.stage_bus("b", row[1]);
+    sim.step_staged(4000.0);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  const double gate_us_per_op =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() /
+      static_cast<double>(stim.vectors.size());
+
+  ExactBackend be(32, 3, 0);
+  const auto t2 = std::chrono::steady_clock::now();
+  std::int64_t acc = 0;
+  for (int i = 0; i < 2000000; ++i) acc += be.multiply(i, i + 1);
+  const auto t3 = std::chrono::steady_clock::now();
+  benchmark::DoNotOptimize(acc);
+  const double rtl_us_per_op =
+      std::chrono::duration<double, std::micro>(t3 - t2).count() / 2e6;
+
+  // DCT->IDCT chain: 2 transforms x 2 passes x 8 MACs per output pixel.
+  const auto ops_per_image = [](double w, double h) { return w * h * 32.0; };
+  TextTable table({"image", "mult ops", "gate-level sim", "RTL sim",
+                   "speedup"});
+  const struct {
+    const char* name;
+    double w, h;
+  } sizes[] = {{"CIF 352x288", 352, 288}, {"HD 1920x1080", 1920, 1080}};
+  for (const auto& s : sizes) {
+    const double ops = ops_per_image(s.w, s.h);
+    const double gate_s = ops * gate_us_per_op / 1e6;
+    const double rtl_s = ops * rtl_us_per_op / 1e6;
+    auto fmt_time = [](double seconds) {
+      char buf[64];
+      if (seconds > 7200) {
+        std::snprintf(buf, sizeof buf, "%.1f hours", seconds / 3600);
+      } else if (seconds > 120) {
+        std::snprintf(buf, sizeof buf, "%.1f minutes", seconds / 60);
+      } else {
+        std::snprintf(buf, sizeof buf, "%.2f seconds", seconds);
+      }
+      return std::string(buf);
+    };
+    table.add_row({s.name, TextTable::num(ops / 1e6, 1) + "M", fmt_time(gate_s),
+                   fmt_time(rtl_s),
+                   TextTable::num(gate_us_per_op / rtl_us_per_op, 0) + "x"});
+  }
+  std::printf("\n");
+  print_banner("Secs. III/VI — simulation cost: gate-level vs RTL",
+               "Why pre-characterization + RTL simulation is the only viable "
+               "way to quantify aging at the microarchitecture level "
+               "(paper: ~4 days vs < 3 minutes for one 1080p image).");
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_cost_table();
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "aging/bti_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aapx {
+
+BtiModel::BtiModel(BtiParams params) : params_(params) {
+  if (params_.vdd <= params_.vth0) {
+    throw std::invalid_argument("BtiModel: vdd must exceed vth0");
+  }
+  if (params_.a_pmos < 0.0 || params_.a_nmos < 0.0) {
+    throw std::invalid_argument("BtiModel: negative dVth prefactor");
+  }
+  if (params_.t_ref_years <= 0.0) {
+    throw std::invalid_argument("BtiModel: t_ref_years must be positive");
+  }
+  if (params_.temp_kelvin <= 0.0 || params_.t_ref_kelvin <= 0.0) {
+    throw std::invalid_argument("BtiModel: temperatures must be positive");
+  }
+}
+
+double BtiModel::delta_vth(TransistorType type, double stress,
+                           double years) const {
+  if (stress < 0.0 || stress > 1.0) {
+    throw std::invalid_argument("BtiModel: stress must be in [0, 1]");
+  }
+  if (years < 0.0) throw std::invalid_argument("BtiModel: negative lifetime");
+  if (stress == 0.0 || years == 0.0) return 0.0;
+  const double a = type == TransistorType::pMos ? params_.a_pmos : params_.a_nmos;
+  // Arrhenius temperature acceleration relative to the characterization
+  // corner (identity at T == T_ref).
+  constexpr double kBoltzmannEv = 8.617333262e-5;  // eV / K
+  const double thermal =
+      std::exp(params_.activation_ev / kBoltzmannEv *
+               (1.0 / params_.t_ref_kelvin - 1.0 / params_.temp_kelvin));
+  return a * thermal * std::pow(stress, params_.stress_exponent) *
+         std::pow(years / params_.t_ref_years, params_.time_exponent);
+}
+
+double BtiModel::delay_factor_from_dvth(double dvth) const {
+  const double overdrive0 = params_.vdd - params_.vth0;
+  const double overdrive = overdrive0 - dvth;
+  if (overdrive <= 0.0) {
+    throw std::domain_error("BtiModel: dVth consumed the full gate overdrive");
+  }
+  return std::pow(overdrive0 / overdrive, params_.alpha);
+}
+
+double BtiModel::delay_factor(TransistorType type, double stress,
+                              double years) const {
+  return delay_factor_from_dvth(delta_vth(type, stress, years));
+}
+
+}  // namespace aapx

@@ -1,0 +1,73 @@
+// Bias Temperature Instability (BTI) aging model.
+//
+// Implements the paper's first-order aging chain (paper Eq. 1):
+//
+//   stress S, time t  ->  dVth(S, t)  ->  gate delay factor
+//
+// dVth follows the standard long-term reaction-diffusion / capture-emission
+// power law  dVth = A * S^gamma * (t/t_ref)^n,  where the stress factor
+// S in [0, 1] is the fraction of lifetime the transistor spends under stress
+// (paper Sec. IV: ratio of stress to recovery time).  pMOS devices suffer
+// NBTI; nMOS devices suffer the weaker PBTI (smaller prefactor).
+//
+// The delay impact uses the alpha-power law the paper cites from BSIM [3]:
+//
+//   t_gate  ~  1 / (Vdd - Vth - dVth)^alpha
+//
+// so the *delay degradation factor* relative to the fresh gate is
+//
+//   k(S, t) = ((Vdd - Vth0) / (Vdd - Vth0 - dVth(S, t)))^alpha  >= 1.
+//
+// Calibration (see DESIGN.md Sec. 5): with the defaults below a pMOS under
+// 100% stress for 10 years yields k ~= 1.15 (about +15% gate delay), and
+// ~+10% after 1 year, matching the guardband magnitudes in paper Figs. 4/7/8a.
+#pragma once
+
+namespace aapx {
+
+enum class TransistorType { nMos, pMos };
+
+struct BtiParams {
+  double vdd = 1.1;    ///< Supply voltage [V] (NanGate 45nm operating point).
+  double vth0 = 0.45;  ///< Fresh threshold voltage [V].
+
+  double a_pmos = 0.0458;  ///< NBTI dVth prefactor [V] at S=1, t=t_ref.
+  double a_nmos = 0.0275;  ///< PBTI dVth prefactor [V] (weaker than NBTI).
+
+  double time_exponent = 0.16;   ///< n: long-term BTI time power law.
+  double stress_exponent = 0.5;  ///< gamma: dVth ~ S^gamma.
+  double alpha = 1.3;            ///< alpha-power delay-law exponent.
+  double t_ref_years = 1.0;      ///< Reference time for the prefactors.
+
+  /// Operating temperature [K]. BTI is thermally activated (Arrhenius):
+  /// dVth scales by exp(Ea/k * (1/T_ref - 1/T)). The prefactors are
+  /// characterized at t_ref_kelvin (85 C, the usual reliability corner), so
+  /// the default changes nothing.
+  double temp_kelvin = 358.15;
+  double t_ref_kelvin = 358.15;
+  double activation_ev = 0.08;   ///< effective BTI activation energy [eV]
+};
+
+class BtiModel {
+ public:
+  explicit BtiModel(BtiParams params = {});
+
+  const BtiParams& params() const noexcept { return params_; }
+
+  /// Threshold-voltage shift [V] after `years` of operation at stress factor
+  /// `stress` in [0, 1]. stress == 0 means permanent recovery (no shift).
+  double delta_vth(TransistorType type, double stress, double years) const;
+
+  /// Delay degradation factor k >= 1 for a transition driven by a transistor
+  /// of the given type (rising output -> pMOS pull-up, falling -> nMOS).
+  double delay_factor(TransistorType type, double stress, double years) const;
+
+  /// Delay factor from an explicit dVth, exposed for the cell-library
+  /// generator and for unit tests.
+  double delay_factor_from_dvth(double dvth) const;
+
+ private:
+  BtiParams params_;
+};
+
+}  // namespace aapx

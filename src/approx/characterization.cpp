@@ -1,0 +1,78 @@
+#include "approx/characterization.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aapx {
+
+const PrecisionPoint& ComponentCharacterization::at_precision(int precision) const {
+  for (const PrecisionPoint& p : points) {
+    if (p.precision == precision) return p;
+  }
+  throw std::out_of_range("ComponentCharacterization: precision not characterized");
+}
+
+double ComponentCharacterization::full_fresh_delay() const {
+  if (points.empty()) {
+    throw std::logic_error("ComponentCharacterization: empty");
+  }
+  return points.front().fresh_delay;
+}
+
+double ComponentCharacterization::guardband(int precision,
+                                            std::size_t scenario_index) const {
+  const PrecisionPoint& p = at_precision(precision);
+  if (scenario_index >= p.aged_delay.size()) {
+    throw std::out_of_range("ComponentCharacterization::guardband: scenario");
+  }
+  return std::max(0.0, p.aged_delay[scenario_index] - full_fresh_delay());
+}
+
+double ComponentCharacterization::guardband_narrowing(
+    int precision, std::size_t scenario_index) const {
+  const double full = guardband(base.width, scenario_index);
+  if (full <= 0.0) return 1.0;  // no guardband needed even at full precision
+  return 1.0 - guardband(precision, scenario_index) / full;
+}
+
+int ComponentCharacterization::required_precision(
+    std::size_t scenario_index) const {
+  // Eq. 2: largest K whose aged delay meets the fresh full-precision
+  // constraint. Points are ordered descending in precision.
+  const double budget = full_fresh_delay();
+  for (const PrecisionPoint& p : points) {
+    if (scenario_index >= p.aged_delay.size()) {
+      throw std::out_of_range("required_precision: scenario");
+    }
+    if (p.aged_delay[scenario_index] <= budget) return p.precision;
+  }
+  return -1;
+}
+
+int ComponentCharacterization::precision_for_rel_slack(
+    std::size_t scenario_index, double rel_slack) const {
+  if (scenario_index >= scenarios.size()) {
+    throw std::out_of_range("precision_for_rel_slack: scenario");
+  }
+  // Paper Sec. V: pick the precision that achieves the same *relative delay
+  // reduction* as the block's slack deficit — a lookup on the component's
+  // fresh delay curve. The flow's validation step then confirms with
+  // aging-aware STA and truncates further if needed.
+  const double budget = (1.0 + rel_slack) * full_fresh_delay();
+  for (const PrecisionPoint& p : points) {
+    if (p.fresh_delay <= budget) return p.precision;
+  }
+  return -1;
+}
+
+std::size_t ComponentCharacterization::scenario_index(
+    const AgingScenario& s) const {
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    if (scenarios[i].mode == s.mode && scenarios[i].years == s.years) return i;
+  }
+  throw std::out_of_range("ComponentCharacterization: unknown scenario " +
+                          s.label());
+}
+
+}  // namespace aapx

@@ -1,0 +1,57 @@
+// Aging-induced approximation characterization data (paper Fig. 3/4/7).
+//
+// For one RTL component, a characterization holds the delay surface over
+// (precision K, aging scenario): the fresh delay at each precision and the
+// aged delay under every scenario of interest, plus area/gate counts so the
+// efficiency gains of truncation are queryable. The central paper relation
+//
+//     t_Cj(Aging, K_j) <= t_Cj(noAging, N_j)                      (Eq. 2)
+//
+// is answered by `required_precision`, and the microarchitecture flow's
+// relative-slack variant (Sec. V) by `precision_for_rel_slack`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aging/stress.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+
+struct PrecisionPoint {
+  int precision = 0;        ///< K (operand bits kept)
+  double fresh_delay = 0.0; ///< ps, t(noAging, K)
+  double area = 0.0;        ///< um^2
+  std::size_t gates = 0;
+  std::vector<double> aged_delay;  ///< ps, per scenario index
+};
+
+struct ComponentCharacterization {
+  ComponentSpec base;                    ///< full-precision spec (K = N)
+  std::vector<AgingScenario> scenarios;  ///< column order of aged_delay
+  std::vector<PrecisionPoint> points;    ///< descending precision, [0] == N
+
+  const PrecisionPoint& at_precision(int precision) const;
+  double full_fresh_delay() const;  ///< t(noAging, N) — the timing constraint
+
+  /// Required guardband [ps] when operating at precision K under a scenario:
+  /// max(0, t_aged(K) - t_fresh(N)).
+  double guardband(int precision, std::size_t scenario_index) const;
+
+  /// Fraction of the full-precision guardband removed by dropping to K.
+  double guardband_narrowing(int precision, std::size_t scenario_index) const;
+
+  /// Largest K satisfying Eq. 2 (aged delay at K meets the fresh constraint),
+  /// or -1 if even the minimum characterized precision fails.
+  int required_precision(std::size_t scenario_index) const;
+
+  /// Largest K whose aged delay meets (1 + rel_slack) * t_fresh(N) — the
+  /// microarchitecture selection rule (rel_slack is negative for violating
+  /// blocks). Returns -1 if unachievable within the characterized range.
+  int precision_for_rel_slack(std::size_t scenario_index, double rel_slack) const;
+
+  std::size_t scenario_index(const AgingScenario& s) const;  ///< throws if absent
+};
+
+}  // namespace aapx

@@ -1,0 +1,33 @@
+#include "approx/error_bounds.hpp"
+
+#include <stdexcept>
+
+namespace aapx {
+
+std::int64_t truncate_lsbs(std::int64_t v, int k) {
+  if (k < 0 || k >= 63) throw std::invalid_argument("truncate_lsbs: bad k");
+  if (k == 0) return v;
+  // Arithmetic shift preserves sign; equivalent to clearing the low k bits
+  // of the two's complement encoding.
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) &
+                                   ~((std::uint64_t{1} << k) - 1));
+}
+
+std::int64_t adder_error_bound(int k) {
+  if (k < 0 || k >= 62) throw std::invalid_argument("adder_error_bound: bad k");
+  return 2 * ((std::int64_t{1} << k) - 1);
+}
+
+std::int64_t multiplier_error_bound(int width, int k) {
+  if (k < 0 || k >= width || width <= 0 || width + k >= 62) {
+    throw std::invalid_argument("multiplier_error_bound: bad arguments");
+  }
+  const std::int64_t eps = (std::int64_t{1} << k) - 1;
+  return eps * ((std::int64_t{1} << width) + eps);
+}
+
+std::int64_t mac_error_bound(int width, int k) {
+  return multiplier_error_bound(width, k);
+}
+
+}  // namespace aapx

@@ -1,0 +1,31 @@
+// Deterministic error bounds of LSB-operand truncation.
+//
+// The whole point of converting aging-induced timing errors into
+// approximations is that the resulting error is *bounded and known up front*
+// (paper Sec. I: "allows providing upper bounds on error magnitude"). These
+// helpers state those bounds; the property tests in tests/approx verify the
+// netlists and RTL models never exceed them.
+#pragma once
+
+#include <cstdint>
+
+namespace aapx {
+
+/// Clears the k least significant bits (truncation toward -infinity for
+/// two's complement values — identical to what tying bus LSBs to 0 does).
+std::int64_t truncate_lsbs(std::int64_t v, int k);
+
+/// Worst-case absolute error of an adder with both operands truncated by k
+/// bits: each operand loses at most 2^k - 1.
+std::int64_t adder_error_bound(int k);
+
+/// Worst-case absolute error of an N x N two's complement multiplier with
+/// both operands truncated by k bits:
+///   |a*b - a'*b'| = |a'*eb + ea*b' + ea*eb| <= (2^k - 1) * (2^N + 2^k - 1).
+std::int64_t multiplier_error_bound(int width, int k);
+
+/// Worst-case absolute error of a MAC (product error only; the accumulator
+/// input is not truncated in our components).
+std::int64_t mac_error_bound(int width, int k);
+
+}  // namespace aapx

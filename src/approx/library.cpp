@@ -1,0 +1,169 @@
+#include "approx/library.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+std::string arch_token(AdderArch a) {
+  switch (a) {
+    case AdderArch::ripple: return "ripple";
+    case AdderArch::cla4: return "cla4";
+    case AdderArch::kogge_stone: return "kogge_stone";
+  }
+  return "?";
+}
+
+AdderArch parse_adder_arch(const std::string& s) {
+  if (s == "ripple") return AdderArch::ripple;
+  if (s == "cla4") return AdderArch::cla4;
+  if (s == "kogge_stone") return AdderArch::kogge_stone;
+  throw std::runtime_error("ApproximationLibrary: bad adder arch " + s);
+}
+
+MultArch parse_mult_arch(const std::string& s) {
+  if (s == "array") return MultArch::array;
+  if (s == "wallace") return MultArch::wallace;
+  throw std::runtime_error("ApproximationLibrary: bad mult arch " + s);
+}
+
+ComponentKind parse_kind(const std::string& s) {
+  if (s == "adder") return ComponentKind::adder;
+  if (s == "multiplier") return ComponentKind::multiplier;
+  if (s == "mac") return ComponentKind::mac;
+  if (s == "clamp") return ComponentKind::clamp;
+  throw std::runtime_error("ApproximationLibrary: bad kind " + s);
+}
+
+ApproxTechnique parse_technique(const std::string& s) {
+  if (s == "lsb") return ApproxTechnique::lsb_truncation;
+  if (s == "window") return ApproxTechnique::carry_window;
+  if (s == "pp") return ApproxTechnique::pp_truncation;
+  throw std::runtime_error("ApproximationLibrary: bad technique " + s);
+}
+
+StressMode parse_mode(const std::string& s) {
+  if (s == "worst") return StressMode::worst;
+  if (s == "balanced") return StressMode::balanced;
+  if (s == "measured") return StressMode::measured;
+  throw std::runtime_error("ApproximationLibrary: bad stress mode " + s);
+}
+
+}  // namespace
+
+void ApproximationLibrary::add(ComponentCharacterization c) {
+  ComponentSpec key = c.base;
+  key.truncated_bits = 0;
+  entries_[key.name()] = std::move(c);
+}
+
+bool ApproximationLibrary::contains(const std::string& component_name) const {
+  return entries_.count(component_name) != 0;
+}
+
+const ComponentCharacterization& ApproximationLibrary::get(
+    const std::string& component_name) const {
+  const auto it = entries_.find(component_name);
+  if (it == entries_.end()) {
+    throw std::out_of_range("ApproximationLibrary: no entry " + component_name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ApproximationLibrary::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+void ApproximationLibrary::save(std::ostream& os) const {
+  os << "aapx_approximation_library v1\n";
+  for (const auto& [name, c] : entries_) {
+    os << "component " << to_string(c.base.kind) << ' ' << c.base.width << ' '
+       << arch_token(c.base.adder_arch) << ' '
+       << (c.base.mult_arch == MultArch::array ? "array" : "wallace") << ' '
+       << to_string(c.base.technique) << '\n';
+    os << "scenarios " << c.scenarios.size();
+    for (const AgingScenario& s : c.scenarios) {
+      os << ' ' << to_string(s.mode) << ':' << s.years;
+    }
+    os << '\n';
+    for (const PrecisionPoint& p : c.points) {
+      os << "point " << p.precision << ' ' << p.fresh_delay << ' ' << p.area
+         << ' ' << p.gates;
+      for (const double d : p.aged_delay) os << ' ' << d;
+      os << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+ApproximationLibrary ApproximationLibrary::load(std::istream& is) {
+  ApproximationLibrary lib;
+  std::string header;
+  std::getline(is, header);
+  if (header != "aapx_approximation_library v1") {
+    throw std::runtime_error("ApproximationLibrary::load: bad header");
+  }
+  std::string line;
+  ComponentCharacterization current;
+  bool in_component = false;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "component") {
+      if (in_component) throw std::runtime_error("load: nested component");
+      std::string kind;
+      std::string aarch;
+      std::string march;
+      std::string technique;
+      current = ComponentCharacterization{};
+      ls >> kind >> current.base.width >> aarch >> march >> technique;
+      current.base.kind = parse_kind(kind);
+      current.base.adder_arch = parse_adder_arch(aarch);
+      current.base.mult_arch = parse_mult_arch(march);
+      // Older files omit the technique token; default to LSB truncation.
+      current.base.technique = technique.empty()
+                                   ? ApproxTechnique::lsb_truncation
+                                   : parse_technique(technique);
+      in_component = true;
+    } else if (tag == "scenarios") {
+      std::size_t n = 0;
+      ls >> n;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::string token;
+        ls >> token;
+        const auto colon = token.find(':');
+        if (colon == std::string::npos) {
+          throw std::runtime_error("load: bad scenario token " + token);
+        }
+        AgingScenario s;
+        s.mode = parse_mode(token.substr(0, colon));
+        s.years = std::stod(token.substr(colon + 1));
+        current.scenarios.push_back(s);
+      }
+    } else if (tag == "point") {
+      PrecisionPoint p;
+      ls >> p.precision >> p.fresh_delay >> p.area >> p.gates;
+      double d = 0;
+      while (ls >> d) p.aged_delay.push_back(d);
+      current.points.push_back(std::move(p));
+    } else if (tag == "end") {
+      if (!in_component) throw std::runtime_error("load: stray end");
+      lib.add(std::move(current));
+      in_component = false;
+    } else {
+      throw std::runtime_error("load: unknown tag " + tag);
+    }
+  }
+  if (in_component) throw std::runtime_error("load: missing end");
+  return lib;
+}
+
+}  // namespace aapx

@@ -1,0 +1,34 @@
+// The aging-induced approximation library (paper Fig. 3a).
+//
+// A persistent collection of component characterizations, built offline once
+// and consulted by the microarchitecture flow to pick per-block precisions
+// "without the need for further gate-level simulations". Text serialization
+// lets benches and examples reuse a characterization across runs.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "approx/characterization.hpp"
+
+namespace aapx {
+
+class ApproximationLibrary {
+ public:
+  void add(ComponentCharacterization c);
+
+  bool contains(const std::string& component_name) const;
+  const ComponentCharacterization& get(const std::string& component_name) const;
+  std::vector<std::string> names() const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  void save(std::ostream& os) const;
+  static ApproximationLibrary load(std::istream& is);
+
+ private:
+  std::map<std::string, ComponentCharacterization> entries_;
+};
+
+}  // namespace aapx

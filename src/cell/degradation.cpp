@@ -1,0 +1,69 @@
+#include "cell/degradation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+// Weight of the driving network in the transition's degradation; the
+// remainder models the opposing network's slew interaction.
+constexpr double kDrivingWeight = 0.92;
+
+}  // namespace
+
+DegradationAwareLibrary::DegradationAwareLibrary(const CellLibrary& lib,
+                                                 const BtiModel& model,
+                                                 double years)
+    : lib_(&lib), model_(model), years_(years) {
+  if (years < 0.0) {
+    throw std::invalid_argument("DegradationAwareLibrary: negative lifetime");
+  }
+  std::vector<double> axis(kGridPoints);
+  for (int i = 0; i < kGridPoints; ++i) {
+    axis[i] = static_cast<double>(i) / (kGridPoints - 1);
+  }
+
+  rise_grid_.reserve(lib.size());
+  fall_grid_.reserve(lib.size());
+  for (const Cell& cell : lib.cells()) {
+    std::vector<double> rise_vals;
+    std::vector<double> fall_vals;
+    rise_vals.reserve(kGridPoints * kGridPoints);
+    fall_vals.reserve(kGridPoints * kGridPoints);
+    for (int i = 0; i < kGridPoints; ++i) {
+      const double dvth_p =
+          model_.delta_vth(TransistorType::pMos, axis[i], years) *
+          cell.aging_sensitivity;
+      const double kp = model_.delay_factor_from_dvth(dvth_p);
+      for (int j = 0; j < kGridPoints; ++j) {
+        const double dvth_n =
+            model_.delta_vth(TransistorType::nMos, axis[j], years) *
+            cell.aging_sensitivity;
+        const double kn = model_.delay_factor_from_dvth(dvth_n);
+        rise_vals.push_back(std::pow(kp, kDrivingWeight) *
+                            std::pow(kn, 1.0 - kDrivingWeight));
+        fall_vals.push_back(std::pow(kn, kDrivingWeight) *
+                            std::pow(kp, 1.0 - kDrivingWeight));
+      }
+    }
+    rise_grid_.emplace_back(axis, axis, std::move(rise_vals));
+    fall_grid_.emplace_back(axis, axis, std::move(fall_vals));
+  }
+}
+
+double DegradationAwareLibrary::rise_factor(CellId cell, StressPair stress) const {
+  if (cell >= rise_grid_.size()) {
+    throw std::out_of_range("DegradationAwareLibrary::rise_factor");
+  }
+  return rise_grid_[cell].lookup(stress.pmos, stress.nmos);
+}
+
+double DegradationAwareLibrary::fall_factor(CellId cell, StressPair stress) const {
+  if (cell >= fall_grid_.size()) {
+    throw std::out_of_range("DegradationAwareLibrary::fall_factor");
+  }
+  return fall_grid_[cell].lookup(stress.pmos, stress.nmos);
+}
+
+}  // namespace aapx

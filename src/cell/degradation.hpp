@@ -1,0 +1,53 @@
+// Degradation-aware cell library (reproduction of [4]/[9] from the paper).
+//
+// The paper's aging-aware STA consumes a released cell library that stores,
+// for every cell, delay information under an 11x11 grid of pMOS/nMOS stress
+// factors (0%, 10%, ..., 100%). We regenerate that artifact: for a chosen
+// lifetime, each cell gets an 11x11 table of *delay scale factors* per
+// transition direction, derived from the BTI model. STA multiplies the fresh
+// NLDM delay by the bilinear-interpolated factor for the gate's stress pair.
+//
+// A rising output is driven by the pull-up pMOS network, so its factor is
+// dominated by NBTI at stress S_p; symmetrically the falling output by PBTI
+// at S_n. A small cross term models the slew interaction of the opposing
+// network, which is what makes the grid genuinely two-dimensional.
+#pragma once
+
+#include <vector>
+
+#include "aging/bti_model.hpp"
+#include "aging/stress.hpp"
+#include "cell/library.hpp"
+#include "util/interp.hpp"
+
+namespace aapx {
+
+class DegradationAwareLibrary {
+ public:
+  /// Precomputes 11x11 factor grids for every cell at the given lifetime.
+  /// years == 0 produces the identity library (all factors 1).
+  DegradationAwareLibrary(const CellLibrary& lib, const BtiModel& model,
+                          double years);
+
+  /// Delay scale factor (>= 1) for an output-rise transition of `cell`
+  /// under the given stress pair, bilinear over the 11x11 grid.
+  double rise_factor(CellId cell, StressPair stress) const;
+  /// Same for an output-fall transition.
+  double fall_factor(CellId cell, StressPair stress) const;
+
+  double years() const noexcept { return years_; }
+  const CellLibrary& base() const noexcept { return *lib_; }
+  const BtiModel& model() const noexcept { return model_; }
+
+  /// Number of grid points per stress axis (the "11" in 11x11).
+  static constexpr int kGridPoints = 11;
+
+ private:
+  const CellLibrary* lib_;
+  BtiModel model_;
+  double years_;
+  std::vector<Table2D> rise_grid_;  ///< per cell; axis1 = S_p, axis2 = S_n
+  std::vector<Table2D> fall_grid_;
+};
+
+}  // namespace aapx

@@ -1,0 +1,452 @@
+#include "cell/liberty.hpp"
+
+#include <cctype>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace aapx {
+namespace {
+
+// --- writing ---------------------------------------------------------------
+
+std::string fn_expression(LogicFn fn) {
+  // Liberty boolean expression over pins A0, A1, A2 (pin i = Ai).
+  switch (fn) {
+    case LogicFn::kBuf: return "A0";
+    case LogicFn::kInv: return "!A0";
+    case LogicFn::kAnd2: return "(A0 A1)";
+    case LogicFn::kNand2: return "!(A0 A1)";
+    case LogicFn::kOr2: return "(A0+A1)";
+    case LogicFn::kNor2: return "!(A0+A1)";
+    case LogicFn::kXor2: return "(A0^A1)";
+    case LogicFn::kXnor2: return "!(A0^A1)";
+    case LogicFn::kAnd3: return "(A0 A1 A2)";
+    case LogicFn::kNand3: return "!(A0 A1 A2)";
+    case LogicFn::kOr3: return "(A0+A1+A2)";
+    case LogicFn::kNor3: return "!(A0+A1+A2)";
+    case LogicFn::kAoi21: return "!((A0 A1)+A2)";
+    case LogicFn::kOai21: return "!((A0+A1) A2)";
+    case LogicFn::kMux2: return "((A0 !A2)+(A1 A2))";
+    case LogicFn::kMaj3: return "((A0 A1)+(A0 A2)+(A1 A2))";
+  }
+  return "A0";
+}
+
+std::string join(const std::vector<double>& values) {
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << values[i];
+  }
+  return os.str();
+}
+
+void write_table(std::ostream& os, const std::string& group,
+                 const Table2D& table, double scale, const char* indent) {
+  os << indent << group << " (delay_template) {\n";
+  os << indent << "  values ( \\\n";
+  const std::size_t rows = table.axis1().size();
+  const std::size_t cols = table.axis2().size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    os << indent << "    \"";
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c > 0) os << ", ";
+      os << table.at(r, c) * scale;
+    }
+    os << '"' << (r + 1 == rows ? " \\" : ", \\") << '\n';
+  }
+  os << indent << "  );\n" << indent << "}\n";
+}
+
+void write_library(const CellLibrary& lib, std::ostream& os,
+                   const LibertyWriteOptions& options,
+                   const DegradationAwareLibrary* aged, StressPair stress) {
+  if (lib.size() == 0) throw std::invalid_argument("write_liberty: empty library");
+  os.precision(17);  // lossless double round trip
+  os << "library (" << options.library_name << ") {\n";
+  os << "  time_unit : \"" << options.time_unit << "\";\n";
+  os << "  capacitive_load_unit (1, ff);\n";
+  os << "  leakage_power_unit : \"1nW\";\n";
+  os << "  default_max_transition : 300;\n";
+
+  // All arcs share the generator's characterization grid; emit it once.
+  const Cell& first = lib.cell(0);
+  const Table2D& proto = first.arc(0).rise_delay;
+  os << "  lu_table_template (delay_template) {\n";
+  os << "    variable_1 : input_net_transition;\n";
+  os << "    variable_2 : total_output_net_capacitance;\n";
+  os << "    index_1 (\"" << join(proto.axis1()) << "\");\n";
+  os << "    index_2 (\"" << join(proto.axis2()) << "\");\n";
+  os << "  }\n";
+
+  for (CellId id = 0; id < lib.size(); ++id) {
+    const Cell& cell = lib.cell(id);
+    double rise_scale = 1.0;
+    double fall_scale = 1.0;
+    if (aged != nullptr) {
+      rise_scale = aged->rise_factor(id, stress);
+      fall_scale = aged->fall_factor(id, stress);
+    }
+    os << "  cell (" << cell.name << ") {\n";
+    os << "    area : " << cell.area << ";\n";
+    os << "    cell_leakage_power : " << cell.avg_leakage() << ";\n";
+    os << "    aapx_function : " << to_string(cell.fn) << ";\n";
+    os << "    aapx_drive : " << cell.drive << ";\n";
+    os << "    aapx_aging_sensitivity : " << cell.aging_sensitivity << ";\n";
+    {
+      std::ostringstream states;
+      states.precision(17);
+      for (std::size_t s = 0; s < cell.leakage_per_state.size(); ++s) {
+        if (s > 0) states << ", ";
+        states << cell.leakage_per_state[s];
+      }
+      os << "    aapx_leakage_states : \"" << states.str() << "\";\n";
+    }
+    const int pins = cell.num_inputs();
+    for (int p = 0; p < pins; ++p) {
+      os << "    pin (A" << p << ") {\n";
+      os << "      direction : input;\n";
+      os << "      capacitance : " << cell.pin_cap << ";\n";
+      os << "    }\n";
+    }
+    os << "    pin (Y) {\n";
+    os << "      direction : output;\n";
+    os << "      max_capacitance : " << cell.max_load << ";\n";
+    os << "      function : \"" << fn_expression(cell.fn) << "\";\n";
+    for (int p = 0; p < pins; ++p) {
+      const TimingArc& arc = cell.arc(p);
+      os << "      timing () {\n";
+      os << "        related_pin : \"A" << p << "\";\n";
+      write_table(os, "cell_rise", arc.rise_delay, rise_scale, "        ");
+      write_table(os, "rise_transition", arc.rise_slew, rise_scale, "        ");
+      write_table(os, "cell_fall", arc.fall_delay, fall_scale, "        ");
+      write_table(os, "fall_transition", arc.fall_slew, fall_scale, "        ");
+      os << "      }\n";
+    }
+    os << "    }\n";
+    os << "  }\n";
+  }
+  os << "}\n";
+}
+
+// --- parsing ---------------------------------------------------------------
+
+enum class TokKind { ident, string, symbol, eof };
+
+struct Token {
+  TokKind kind = TokKind::eof;
+  std::string text;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::istream& is) { src_.assign(std::istreambuf_iterator<char>(is), {}); }
+
+  Token next() {
+    skip_ws_and_comments();
+    Token tok;
+    if (pos_ >= src_.size()) return tok;
+    const char c = src_[pos_];
+    if (c == '"') {
+      ++pos_;
+      tok.kind = TokKind::string;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        if (src_[pos_] == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
+          pos_ += 2;  // line continuation inside a string
+          continue;
+        }
+        tok.text += src_[pos_++];
+      }
+      if (pos_ >= src_.size()) throw std::runtime_error("liberty: unterminated string");
+      ++pos_;
+      return tok;
+    }
+    if (std::strchr("(){}:;,", c) != nullptr) {
+      tok.kind = TokKind::symbol;
+      tok.text = std::string(1, c);
+      ++pos_;
+      return tok;
+    }
+    tok.kind = TokKind::ident;
+    while (pos_ < src_.size() &&
+           (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+            std::strchr("._+-", src_[pos_]) != nullptr)) {
+      tok.text += src_[pos_++];
+    }
+    if (tok.text.empty()) {
+      throw std::runtime_error(std::string("liberty: unexpected character '") +
+                               c + "'");
+    }
+    return tok;
+  }
+
+ private:
+  void skip_ws_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
+        const std::size_t end = src_.find("*/", pos_ + 2);
+        if (end == std::string::npos) throw std::runtime_error("liberty: open comment");
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string src_;
+  std::size_t pos_ = 0;
+};
+
+/// Generic in-memory Liberty group tree.
+struct Group {
+  std::string type;                 // e.g. "cell"
+  std::vector<std::string> args;    // e.g. {"NAND2_X1"}
+  std::map<std::string, std::string> attrs;          // simple attributes
+  std::vector<std::pair<std::string, std::vector<std::string>>> complex;
+  std::vector<Group> children;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::istream& is) : lexer_(is) { advance(); }
+
+  Group parse_group() {
+    Group group;
+    expect(TokKind::ident);
+    group.type = tok_.text;
+    advance();
+    expect_symbol("(");
+    advance();
+    while (!is_symbol(")")) {
+      if (tok_.kind == TokKind::ident || tok_.kind == TokKind::string) {
+        group.args.push_back(tok_.text);
+        advance();
+      } else if (is_symbol(",")) {
+        advance();
+      } else {
+        throw std::runtime_error("liberty: bad group argument list near " +
+                                 tok_.text);
+      }
+    }
+    advance();  // ')'
+    expect_symbol("{");
+    advance();
+    while (!is_symbol("}")) {
+      parse_statement(group);
+    }
+    advance();  // '}'
+    return group;
+  }
+
+ private:
+  void parse_statement(Group& group) {
+    expect(TokKind::ident);
+    const std::string name = tok_.text;
+    advance();
+    if (is_symbol(":")) {
+      advance();
+      std::string value;
+      if (tok_.kind == TokKind::ident || tok_.kind == TokKind::string) {
+        value = tok_.text;
+        advance();
+      }
+      expect_symbol(";");
+      advance();
+      group.attrs[name] = value;
+      return;
+    }
+    if (is_symbol("(")) {
+      // Either a child group or a complex attribute; decide by what follows
+      // the closing parenthesis.
+      advance();
+      std::vector<std::string> args;
+      while (!is_symbol(")")) {
+        if (tok_.kind == TokKind::ident || tok_.kind == TokKind::string) {
+          args.push_back(tok_.text);
+          advance();
+        } else if (is_symbol(",")) {
+          advance();
+        } else {
+          throw std::runtime_error("liberty: bad argument list for " + name);
+        }
+      }
+      advance();  // ')'
+      if (is_symbol("{")) {
+        Group child;
+        child.type = name;
+        child.args = std::move(args);
+        advance();
+        while (!is_symbol("}")) parse_statement(child);
+        advance();
+        group.children.push_back(std::move(child));
+        return;
+      }
+      if (is_symbol(";")) advance();  // complex attribute terminator
+      group.complex.emplace_back(name, std::move(args));
+      return;
+    }
+    throw std::runtime_error("liberty: unexpected token after " + name);
+  }
+
+  void advance() { tok_ = lexer_.next(); }
+  void expect(TokKind kind) {
+    if (tok_.kind != kind) {
+      throw std::runtime_error("liberty: unexpected token '" + tok_.text + "'");
+    }
+  }
+  bool is_symbol(const char* s) const {
+    return tok_.kind == TokKind::symbol && tok_.text == s;
+  }
+  void expect_symbol(const char* s) {
+    if (!is_symbol(s)) {
+      throw std::runtime_error(std::string("liberty: expected '") + s +
+                               "' near '" + tok_.text + "'");
+    }
+  }
+
+  Lexer lexer_;
+  Token tok_;
+};
+
+std::vector<double> parse_number_list(const std::string& csv) {
+  std::vector<double> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (item.find_first_not_of(" \t\n") == std::string::npos) continue;
+    out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+LogicFn parse_fn(const std::string& name) {
+  static const std::map<std::string, LogicFn> kMap = {
+      {"BUF", LogicFn::kBuf},     {"INV", LogicFn::kInv},
+      {"AND2", LogicFn::kAnd2},   {"NAND2", LogicFn::kNand2},
+      {"OR2", LogicFn::kOr2},     {"NOR2", LogicFn::kNor2},
+      {"XOR2", LogicFn::kXor2},   {"XNOR2", LogicFn::kXnor2},
+      {"AND3", LogicFn::kAnd3},   {"NAND3", LogicFn::kNand3},
+      {"OR3", LogicFn::kOr3},     {"NOR3", LogicFn::kNor3},
+      {"AOI21", LogicFn::kAoi21}, {"OAI21", LogicFn::kOai21},
+      {"MUX2", LogicFn::kMux2},   {"MAJ3", LogicFn::kMaj3},
+  };
+  const auto it = kMap.find(name);
+  if (it == kMap.end()) throw std::runtime_error("liberty: unknown function " + name);
+  return it->second;
+}
+
+Table2D parse_values(const Group& table_group, const std::vector<double>& axis1,
+                     const std::vector<double>& axis2) {
+  for (const auto& [name, args] : table_group.complex) {
+    if (name != "values") continue;
+    std::vector<double> flat;
+    for (const std::string& row : args) {
+      for (const double v : parse_number_list(row)) flat.push_back(v);
+    }
+    return Table2D(axis1, axis2, std::move(flat));
+  }
+  throw std::runtime_error("liberty: table group without values()");
+}
+
+}  // namespace
+
+void write_liberty(const CellLibrary& lib, std::ostream& os,
+                   const LibertyWriteOptions& options) {
+  write_library(lib, os, options, nullptr, kWorstCaseStress);
+}
+
+void write_aged_liberty(const DegradationAwareLibrary& aged, StressPair stress,
+                        std::ostream& os, const LibertyWriteOptions& options) {
+  write_library(aged.base(), os, options, &aged, stress);
+}
+
+CellLibrary parse_liberty(std::istream& is) {
+  Parser parser(is);
+  const Group root = parser.parse_group();
+  if (root.type != "library") {
+    throw std::runtime_error("liberty: top-level group must be library");
+  }
+
+  // Template axes.
+  std::vector<double> axis1;
+  std::vector<double> axis2;
+  for (const Group& child : root.children) {
+    if (child.type != "lu_table_template") continue;
+    for (const auto& [name, args] : child.complex) {
+      if (name == "index_1" && !args.empty()) axis1 = parse_number_list(args[0]);
+      if (name == "index_2" && !args.empty()) axis2 = parse_number_list(args[0]);
+    }
+  }
+  if (axis1.empty() || axis2.empty()) {
+    throw std::runtime_error("liberty: missing lu_table_template axes");
+  }
+
+  CellLibrary lib;
+  for (const Group& cg : root.children) {
+    if (cg.type != "cell") continue;
+    if (cg.args.empty()) throw std::runtime_error("liberty: unnamed cell");
+    Cell cell;
+    cell.name = cg.args[0];
+    cell.fn = parse_fn(cg.attrs.at("aapx_function"));
+    cell.drive = std::stoi(cg.attrs.at("aapx_drive"));
+    cell.area = std::stod(cg.attrs.at("area"));
+    cell.aging_sensitivity = std::stod(cg.attrs.at("aapx_aging_sensitivity"));
+    for (const double v :
+         parse_number_list(cg.attrs.at("aapx_leakage_states"))) {
+      cell.leakage_per_state.push_back(v);
+    }
+    const int pins = cell.num_inputs();
+    if (cell.leakage_per_state.size() != std::size_t{1} << pins) {
+      throw std::runtime_error("liberty: leakage state count mismatch in " +
+                               cell.name);
+    }
+    for (const Group& pin : cg.children) {
+      if (pin.type != "pin" || pin.args.empty()) continue;
+      if (pin.attrs.count("capacitance") != 0) {
+        cell.pin_cap = std::stod(pin.attrs.at("capacitance"));
+      }
+      if (pin.args[0] == "Y") {
+        if (pin.attrs.count("max_capacitance") != 0) {
+          cell.max_load = std::stod(pin.attrs.at("max_capacitance"));
+        }
+        for (const Group& timing : pin.children) {
+          if (timing.type != "timing") continue;
+          TimingArc arc;
+          const std::string related = timing.attrs.at("related_pin");
+          if (related.size() < 2 || related[0] != 'A') {
+            throw std::runtime_error("liberty: bad related_pin " + related);
+          }
+          arc.input_pin = std::stoi(related.substr(1));
+          for (const Group& tbl : timing.children) {
+            if (tbl.type == "cell_rise") arc.rise_delay = parse_values(tbl, axis1, axis2);
+            if (tbl.type == "cell_fall") arc.fall_delay = parse_values(tbl, axis1, axis2);
+            if (tbl.type == "rise_transition") arc.rise_slew = parse_values(tbl, axis1, axis2);
+            if (tbl.type == "fall_transition") arc.fall_slew = parse_values(tbl, axis1, axis2);
+          }
+          if (arc.rise_delay.empty() || arc.fall_delay.empty()) {
+            throw std::runtime_error("liberty: incomplete timing arc in " +
+                                     cell.name);
+          }
+          cell.arcs.push_back(std::move(arc));
+        }
+      }
+    }
+    if (cell.arcs.size() != static_cast<std::size_t>(pins)) {
+      throw std::runtime_error("liberty: arc count mismatch in " + cell.name);
+    }
+    lib.add(std::move(cell));
+  }
+  if (lib.size() == 0) throw std::runtime_error("liberty: no cells parsed");
+  return lib;
+}
+
+}  // namespace aapx

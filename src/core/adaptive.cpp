@@ -1,0 +1,84 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aapx {
+
+int AdaptiveSchedule::precision_at(double years) const {
+  if (steps.empty()) throw std::logic_error("AdaptiveSchedule: empty");
+  int precision = steps.front().precision;
+  for (const ScheduleStep& step : steps) {
+    if (step.from_years <= years) {
+      precision = step.precision;
+    } else {
+      break;
+    }
+  }
+  return precision;
+}
+
+AdaptiveScheduler::AdaptiveScheduler(const ComponentCharacterizer& characterizer)
+    : characterizer_(&characterizer) {}
+
+AdaptiveSchedule AdaptiveScheduler::plan(const ComponentSpec& base,
+                                         StressMode mode,
+                                         std::span<const double> year_grid) const {
+  if (year_grid.empty()) {
+    throw std::invalid_argument("AdaptiveScheduler::plan: empty year grid");
+  }
+  if (mode == StressMode::measured) {
+    throw std::invalid_argument(
+        "AdaptiveScheduler::plan: measured stress needs per-point stimuli; "
+        "use worst or balanced");
+  }
+  for (std::size_t i = 0; i < year_grid.size(); ++i) {
+    if (year_grid[i] <= 0.0 ||
+        (i > 0 && year_grid[i] <= year_grid[i - 1])) {
+      throw std::invalid_argument(
+          "AdaptiveScheduler::plan: grid must be ascending and positive");
+    }
+  }
+
+  std::vector<AgingScenario> scenarios;
+  scenarios.reserve(year_grid.size());
+  for (const double y : year_grid) scenarios.push_back({mode, y});
+  const ComponentCharacterization c =
+      characterizer_->characterize(base, scenarios);
+
+  AdaptiveSchedule schedule;
+  schedule.timing_constraint = c.full_fresh_delay();
+
+  // The device is fresh at t=0: full precision until the first grid point
+  // that demands less.
+  int current = base.width;
+  schedule.steps.push_back({0.0, base.width, c.full_fresh_delay(), 0.0});
+  for (std::size_t i = 0; i < year_grid.size(); ++i) {
+    const int k = c.required_precision(i);
+    if (k < 0) {
+      schedule.feasible = false;
+      break;
+    }
+    if (k < current) {
+      // Reconfigure at the *previous* grid point (conservative: before the
+      // aging that demands the lower precision has accumulated).
+      const double when = i == 0 ? 0.0 : year_grid[i - 1];
+      schedule.steps.push_back(
+          {when, k, c.at_precision(k).aged_delay[i], c.guardband(base.width, i)});
+      current = k;
+    } else {
+      // Precision unchanged; update the step's end-of-life bookkeeping.
+      schedule.steps.back().aged_delay = c.at_precision(current).aged_delay[i];
+      schedule.steps.back().guardband_if_unapproximated =
+          c.guardband(base.width, i);
+    }
+  }
+  // Drop the synthetic t=0 full-precision step if the very first grid point
+  // already demanded a reconfiguration at 0.0.
+  if (schedule.steps.size() >= 2 && schedule.steps[1].from_years == 0.0) {
+    schedule.steps.erase(schedule.steps.begin());
+  }
+  return schedule;
+}
+
+}  // namespace aapx

@@ -1,0 +1,54 @@
+// Adaptive precision scheduling over lifetime — the paper's closing vision
+// implemented: "By applying approximations adaptively we can envision future
+// systems that gradually degrade in quality as they age over time."
+//
+// A conventional aging-induced-approximation design fixes the precision for
+// the full projected lifetime on day one. An adaptive system instead walks a
+// *schedule*: it starts at (or near) full precision and sheds LSBs only when
+// the accumulated ΔVth actually demands it, keeping quality maximal at every
+// point of life while never violating timing. The scheduler derives that
+// schedule from one component characterization over a lifetime grid.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/characterizer.hpp"
+
+namespace aapx {
+
+/// One segment of the lifetime schedule: operate at `precision` from
+/// `from_years` until the next step begins.
+struct ScheduleStep {
+  double from_years = 0.0;
+  int precision = 0;
+  double aged_delay = 0.0;  ///< ps at the segment's end-of-life point
+  double guardband_if_unapproximated = 0.0;  ///< ps the fixed design pays here
+};
+
+struct AdaptiveSchedule {
+  double timing_constraint = 0.0;  ///< fresh full-precision delay
+  std::vector<ScheduleStep> steps; ///< ascending from_years; first is 0.0
+  bool feasible = true;            ///< false if some grid point is unreachable
+
+  /// Precision in effect at `years` (the last step whose from_years <= years).
+  int precision_at(double years) const;
+};
+
+class AdaptiveScheduler {
+ public:
+  explicit AdaptiveScheduler(const ComponentCharacterizer& characterizer);
+
+  /// Builds the schedule for `base` under uniform stress of the given mode
+  /// across the (ascending, positive) lifetime grid. Each grid point's
+  /// precision is the largest K whose aged delay at that lifetime still
+  /// meets the fresh full-precision constraint (paper Eq. 2); consecutive
+  /// equal precisions merge into one step.
+  AdaptiveSchedule plan(const ComponentSpec& base, StressMode mode,
+                        std::span<const double> year_grid) const;
+
+ private:
+  const ComponentCharacterizer* characterizer_;
+};
+
+}  // namespace aapx

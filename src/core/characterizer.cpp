@@ -1,0 +1,85 @@
+#include "core/characterizer.hpp"
+
+#include <stdexcept>
+
+#include "netlist/stats.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+
+ComponentCharacterizer::ComponentCharacterizer(const CellLibrary& lib,
+                                               BtiModel model,
+                                               CharacterizerOptions options)
+    : lib_(&lib), model_(model), options_(options) {
+  if (options_.precision_step <= 0) {
+    throw std::invalid_argument("ComponentCharacterizer: bad precision_step");
+  }
+}
+
+const DegradationAwareLibrary& ComponentCharacterizer::degradation_for(
+    double years) const {
+  for (const auto& [y, lib] : degradation_cache_) {
+    if (y == years) return *lib;
+  }
+  degradation_cache_.emplace_back(
+      years, std::make_unique<DegradationAwareLibrary>(*lib_, model_, years));
+  return *degradation_cache_.back().second;
+}
+
+double ComponentCharacterizer::aged_delay(const Netlist& nl,
+                                          const AgingScenario& scenario,
+                                          const StimulusSet* stimulus) const {
+  const Sta sta(nl, options_.sta);
+  if (scenario.is_fresh()) return sta.run_fresh().max_delay;
+  const DegradationAwareLibrary& aged = degradation_for(scenario.years);
+  if (scenario.mode == StressMode::measured) {
+    if (stimulus == nullptr) {
+      throw std::invalid_argument(
+          "aged_delay: measured scenario requires a stimulus set");
+    }
+    const StressProfile profile =
+        StressProfile::measured(measure_gate_duty(nl, *stimulus));
+    return sta.run_aged(aged, profile).max_delay;
+  }
+  const StressProfile profile =
+      StressProfile::uniform(scenario.mode, nl.num_gates());
+  return sta.run_aged(aged, profile).max_delay;
+}
+
+ComponentCharacterization ComponentCharacterizer::characterize(
+    const ComponentSpec& base, const std::vector<AgingScenario>& scenarios,
+    const StimulusSet* stimulus) const {
+  if (base.truncated_bits != 0) {
+    throw std::invalid_argument(
+        "characterize: base spec must be full precision");
+  }
+  if (options_.min_precision < 1 || options_.min_precision > base.width) {
+    throw std::invalid_argument("characterize: bad min_precision");
+  }
+  ComponentCharacterization result;
+  result.base = base;
+  result.scenarios = scenarios;
+
+  for (int k = base.width; k >= options_.min_precision;
+       k -= options_.precision_step) {
+    ComponentSpec spec = base;
+    spec.truncated_bits = base.width - k;
+    const Netlist nl = make_component(*lib_, spec);
+    const Sta sta(nl, options_.sta);
+
+    PrecisionPoint point;
+    point.precision = k;
+    point.fresh_delay = sta.run_fresh().max_delay;
+    const NetlistStats stats = compute_stats(nl);
+    point.area = stats.cell_area;
+    point.gates = stats.gates;
+    point.aged_delay.reserve(scenarios.size());
+    for (const AgingScenario& s : scenarios) {
+      point.aged_delay.push_back(aged_delay(nl, s, stimulus));
+    }
+    result.points.push_back(std::move(point));
+  }
+  return result;
+}
+
+}  // namespace aapx

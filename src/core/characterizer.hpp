@@ -1,0 +1,63 @@
+// Component characterization flow (paper Fig. 3).
+//
+// For a base component C_j of width N_j:
+//   (a) sweep precision K from N_j downward, re-synthesizing the truncated
+//       component each time (logic synthesis + optimization),
+//   (b) run fresh STA at each K for t(noAging, K),
+//   (c) run aging-aware STA for every requested scenario for t(Aging, K) —
+//       worst/balanced scenarios annotate every gate uniformly; "measured"
+//       scenarios first extract per-gate stress from a stimulus simulation
+//       (Fig. 3c), then index the degradation-aware library per gate.
+// The result is the delay-vs-precision-vs-aging surface stored in the
+// aging-induced approximation library.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "aging/bti_model.hpp"
+#include "approx/library.hpp"
+#include "core/stimulus.hpp"
+#include "sta/sta.hpp"
+
+namespace aapx {
+
+struct CharacterizerOptions {
+  int min_precision = 16;  ///< sweep floor (K >= this)
+  int precision_step = 1;
+  StaOptions sta;
+};
+
+class ComponentCharacterizer {
+ public:
+  ComponentCharacterizer(const CellLibrary& lib, BtiModel model,
+                         CharacterizerOptions options = {});
+
+  /// Characterizes `base` (which must have truncated_bits == 0) under the
+  /// given scenarios. Scenarios with StressMode::measured require `stimulus`.
+  ComponentCharacterization characterize(
+      const ComponentSpec& base, const std::vector<AgingScenario>& scenarios,
+      const StimulusSet* stimulus = nullptr) const;
+
+  /// Aged max-delay of one concrete netlist under one scenario.
+  double aged_delay(const Netlist& nl, const AgingScenario& scenario,
+                    const StimulusSet* stimulus = nullptr) const;
+
+  const CellLibrary& lib() const noexcept { return *lib_; }
+  const BtiModel& model() const noexcept { return model_; }
+  const CharacterizerOptions& options() const noexcept { return options_; }
+
+ private:
+  const DegradationAwareLibrary& degradation_for(double years) const;
+
+  const CellLibrary* lib_;
+  BtiModel model_;
+  CharacterizerOptions options_;
+  /// Degradation libraries are expensive to build; cache per lifetime.
+  /// unique_ptr keeps returned references stable across cache growth.
+  mutable std::vector<std::pair<double, std::unique_ptr<DegradationAwareLibrary>>>
+      degradation_cache_;
+};
+
+}  // namespace aapx

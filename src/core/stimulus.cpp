@@ -1,0 +1,175 @@
+#include "core/stimulus.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "gatesim/funcsim.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+std::uint64_t wrap_to_width(std::int64_t v, int width) {
+  const std::uint64_t mask =
+      width >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  return static_cast<std::uint64_t>(v) & mask;
+}
+
+double default_sigma(int width) {
+  // Typical multimedia data occupies the low ~60% of the dynamic range;
+  // scale sigma so operands exercise carry chains without saturating.
+  return std::pow(2.0, 0.6 * width);
+}
+
+}  // namespace
+
+StimulusSet make_normal_stimulus(int width, std::size_t count,
+                                 std::uint64_t seed, double sigma) {
+  if (width <= 1 || width > 64) {
+    throw std::invalid_argument("make_normal_stimulus: bad width");
+  }
+  if (sigma <= 0.0) sigma = default_sigma(width);
+  Rng rng(seed);
+  StimulusSet set;
+  set.buses = {"a", "b"};
+  set.vectors.reserve(count);
+  const std::int64_t lim = width >= 63 ? INT64_MAX / 2
+                                       : (std::int64_t{1} << (width - 1)) - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t a = rng.next_normal_int(sigma, -lim, lim);
+    const std::int64_t b = rng.next_normal_int(sigma, -lim, lim);
+    set.vectors.push_back({wrap_to_width(a, width), wrap_to_width(b, width)});
+  }
+  return set;
+}
+
+StimulusSet make_normal_pair_stimulus(int width, std::size_t count,
+                                      std::uint64_t seed, double sigma_a,
+                                      double sigma_b) {
+  if (width <= 1 || width > 64) {
+    throw std::invalid_argument("make_normal_pair_stimulus: bad width");
+  }
+  if (sigma_a <= 0.0 || sigma_b <= 0.0) {
+    throw std::invalid_argument("make_normal_pair_stimulus: bad sigma");
+  }
+  Rng rng(seed);
+  StimulusSet set;
+  set.buses = {"a", "b"};
+  set.vectors.reserve(count);
+  const std::int64_t lim = width >= 63 ? INT64_MAX / 2
+                                       : (std::int64_t{1} << (width - 1)) - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t a = rng.next_normal_int(sigma_a, -lim, lim);
+    const std::int64_t b = rng.next_normal_int(sigma_b, -lim, lim);
+    set.vectors.push_back({wrap_to_width(a, width), wrap_to_width(b, width)});
+  }
+  return set;
+}
+
+StimulusSet make_normal_mac_stimulus(int width, std::size_t count,
+                                     std::uint64_t seed, double sigma) {
+  StimulusSet set = make_normal_stimulus(width, count, seed, sigma);
+  set.buses = {"a", "b", "acc"};
+  Rng rng(seed ^ 0xaccULL);
+  const double acc_sigma = (sigma <= 0.0 ? default_sigma(width) : sigma) * 8.0;
+  const int acc_width = 2 * width;
+  const std::int64_t lim = acc_width >= 63
+                               ? INT64_MAX / 2
+                               : (std::int64_t{1} << (acc_width - 1)) - 1;
+  for (auto& row : set.vectors) {
+    row.push_back(wrap_to_width(rng.next_normal_int(acc_sigma, -lim, lim),
+                                acc_width));
+  }
+  return set;
+}
+
+StimulusSet make_mixed_magnitude_stimulus(int width, std::size_t count,
+                                          std::uint64_t seed, double min_exp,
+                                          double max_exp) {
+  if (width <= 1 || width > 63) {
+    throw std::invalid_argument("make_mixed_magnitude_stimulus: bad width");
+  }
+  if (min_exp < 0.0 || max_exp <= min_exp || max_exp >= width) {
+    throw std::invalid_argument("make_mixed_magnitude_stimulus: bad exponents");
+  }
+  Rng rng(seed);
+  StimulusSet set;
+  set.buses = {"a", "b"};
+  set.vectors.reserve(count);
+  const std::int64_t lim = (std::int64_t{1} << (width - 1)) - 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double e = min_exp + (max_exp - min_exp) * rng.next_double();
+    const double sigma = std::pow(2.0, e);
+    const std::int64_t a = rng.next_normal_int(sigma, -lim, lim);
+    const std::int64_t b = rng.next_normal_int(sigma, -lim, lim);
+    set.vectors.push_back({wrap_to_width(a, width), wrap_to_width(b, width)});
+  }
+  return set;
+}
+
+StimulusSet make_running_sum_stimulus(int width, std::size_t count,
+                                      std::uint64_t seed, double sigma) {
+  if (width <= 1 || width > 63) {
+    throw std::invalid_argument("make_running_sum_stimulus: bad width");
+  }
+  if (sigma <= 0.0) sigma = default_sigma(width);
+  Rng rng(seed);
+  StimulusSet set;
+  set.buses = {"a", "b"};
+  set.vectors.reserve(count);
+  const std::int64_t lim = (std::int64_t{1} << (width - 1)) - 1;
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int64_t sample = rng.next_normal_int(sigma, -lim, lim);
+    set.vectors.push_back({wrap_to_width(acc, width), wrap_to_width(sample, width)});
+    acc += sample;
+    // Leaky accumulator: keeps the running sum in a realistic dynamic range
+    // instead of random-walking to the rails.
+    acc -= acc / 16;
+  }
+  return set;
+}
+
+StimulusSet stimulus_from_operand_pairs(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& ops, int width,
+    std::size_t max_count) {
+  StimulusSet set;
+  set.buses = {"a", "b"};
+  const std::size_t n =
+      max_count == 0 ? ops.size() : std::min(max_count, ops.size());
+  set.vectors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    set.vectors.push_back(
+        {wrap_to_width(ops[i].first, width), wrap_to_width(ops[i].second, width)});
+  }
+  return set;
+}
+
+std::vector<double> measure_gate_duty(const Netlist& nl,
+                                      const StimulusSet& stimulus) {
+  if (stimulus.vectors.empty()) {
+    throw std::invalid_argument("measure_gate_duty: empty stimulus");
+  }
+  FuncSim sim(nl);
+  std::vector<std::uint64_t> high(nl.num_gates(), 0);
+  for (const auto& row : stimulus.vectors) {
+    if (row.size() != stimulus.buses.size()) {
+      throw std::invalid_argument("measure_gate_duty: ragged stimulus");
+    }
+    for (std::size_t b = 0; b < row.size(); ++b) {
+      sim.set_bus(stimulus.buses[b], row[b]);
+    }
+    sim.eval();
+    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+      if (sim.values()[nl.gate(static_cast<GateId>(g)).fanout]) ++high[g];
+    }
+  }
+  std::vector<double> duty(nl.num_gates(), 0.0);
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    duty[g] = static_cast<double>(high[g]) /
+              static_cast<double>(stimulus.vectors.size());
+  }
+  return duty;
+}
+
+}  // namespace aapx

@@ -1,0 +1,73 @@
+// Stimulus sets for actual-case ("measured") aging characterization.
+//
+// The paper characterizes components either under worst-case stress or under
+// the stress induced by concrete inputs: (1) operands drawn from a normal
+// distribution (application-independent) and (2) operand streams extracted
+// from a running application (the IDCT decoding an image). Paper Fig. 5
+// shows both induce nearly identical stress-factor distributions, which is
+// what justifies characterizing with artificial inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gatesim/timedsim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+struct StimulusSet {
+  std::vector<std::string> buses;                   ///< e.g. {"a", "b"}
+  std::vector<std::vector<std::uint64_t>> vectors;  ///< one value per bus
+
+  std::size_t size() const noexcept { return vectors.size(); }
+};
+
+/// Two-operand vectors with values from N(0, sigma), wrapped to `width` bits.
+/// sigma defaults to a "typical image data" magnitude relative to the width.
+StimulusSet make_normal_stimulus(int width, std::size_t count,
+                                 std::uint64_t seed = 1, double sigma = -1.0);
+
+/// Two-operand variant with distinct magnitudes per operand — e.g. a
+/// coefficient input (narrow) against a data input (wide), the profile a
+/// multiplier sees inside a transform datapath.
+StimulusSet make_normal_pair_stimulus(int width, std::size_t count,
+                                      std::uint64_t seed, double sigma_a,
+                                      double sigma_b);
+
+/// Three-operand (a, b, acc) variant for MAC components.
+StimulusSet make_normal_mac_stimulus(int width, std::size_t count,
+                                     std::uint64_t seed = 1, double sigma = -1.0);
+
+/// Normal operand pairs whose per-sample magnitude scale is drawn
+/// log-uniformly from [2^min_exp, 2^max_exp] — a heavy-tailed mix modeling
+/// the wide dynamic range of transform-domain image data. The varying
+/// magnitudes excite carry/propagate chains of every length, producing the
+/// continuous settling-time spectrum behind the paper's Fig. 1 error growth.
+StimulusSet make_mixed_magnitude_stimulus(int width, std::size_t count,
+                                          std::uint64_t seed = 1,
+                                          double min_exp = 4.0,
+                                          double max_exp = 26.0);
+
+/// Accumulator-style adder stimulus: operand `a` is the running sum of the
+/// normally distributed samples fed as operand `b` — exactly what an adder
+/// inside a DSP datapath sees. Zero crossings of the accumulator excite long
+/// carry-propagate chains, which is what makes aged adders fail at speed
+/// (paper Fig. 1 reports ~20-28% erroneous additions under worst-case aging).
+StimulusSet make_running_sum_stimulus(int width, std::size_t count,
+                                      std::uint64_t seed = 1, double sigma = -1.0);
+
+/// Converts a recorded multiplier operand stream (e.g. from an IDCT decode,
+/// via RecordingBackend) into an (a, b) stimulus set.
+StimulusSet stimulus_from_operand_pairs(
+    const std::vector<std::pair<std::int64_t, std::int64_t>>& ops, int width,
+    std::size_t max_count = 0);
+
+/// Runs the stimulus through a zero-delay simulation of the netlist and
+/// returns the per-gate output duty cycles (the measured stress input).
+std::vector<double> measure_gate_duty(const Netlist& nl,
+                                      const StimulusSet& stimulus);
+
+}  // namespace aapx

@@ -1,0 +1,58 @@
+#include "gatesim/funcsim.hpp"
+
+#include <stdexcept>
+
+namespace aapx {
+
+FuncSim::FuncSim(const Netlist& nl) : nl_(&nl), values_(nl.num_nets(), 0) {
+  values_[nl.const1()] = 1;
+}
+
+void FuncSim::set_input(NetId net, bool value) {
+  if (nl_->driver(net) != kInvalidGate || nl_->is_constant(net)) {
+    throw std::invalid_argument("FuncSim::set_input: net is not a primary input");
+  }
+  values_[net] = value ? 1 : 0;
+}
+
+void FuncSim::set_bus(const std::string& bus, std::uint64_t value) {
+  const auto& nets = nl_->input_bus(bus);
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    const bool bit = i < 64 && ((value >> i) & 1u) != 0;
+    if (nl_->is_constant(nets[i])) continue;  // truncated LSBs stay constant
+    values_[nets[i]] = bit ? 1 : 0;
+  }
+}
+
+void FuncSim::eval() {
+  for (const GateId gid : nl_->topo_order()) {
+    const Gate& g = nl_->gate(gid);
+    const Cell& cell = nl_->lib().cell(g.cell);
+    unsigned mask = 0;
+    const int pins = cell.num_inputs();
+    for (int p = 0; p < pins; ++p) {
+      if (values_[g.fanin[static_cast<std::size_t>(p)]]) mask |= 1u << p;
+    }
+    values_[g.fanout] = fn_eval(cell.fn, mask) ? 1 : 0;
+  }
+}
+
+bool FuncSim::value(NetId net) const {
+  if (net >= values_.size()) throw std::out_of_range("FuncSim::value");
+  return values_[net] != 0;
+}
+
+std::uint64_t FuncSim::bus_value(const std::string& output_bus) const {
+  return word_value(nl_->output_bus(output_bus));
+}
+
+std::uint64_t FuncSim::word_value(const std::vector<NetId>& nets) const {
+  if (nets.size() > 64) throw std::invalid_argument("word_value: bus too wide");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (values_[nets[i]]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+}  // namespace aapx

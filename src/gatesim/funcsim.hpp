@@ -1,0 +1,43 @@
+// Zero-delay functional netlist evaluation.
+//
+// Used for correctness checks of the generators, leakage-state sampling, and
+// as the settled-value reference for the timed simulator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+class FuncSim {
+ public:
+  explicit FuncSim(const Netlist& nl);
+
+  /// Sets a primary input net's value (must be a PI).
+  void set_input(NetId net, bool value);
+
+  /// Sets an input bus (LSB-first) from the low bits of `value`.
+  void set_bus(const std::string& bus, std::uint64_t value);
+
+  /// Evaluates all gates in topological order.
+  void eval();
+
+  bool value(NetId net) const;
+
+  /// Reads an output bus into a uint64 (bus width must be <= 64).
+  std::uint64_t bus_value(const std::string& output_bus) const;
+
+  /// Reads any net collection as an LSB-first word.
+  std::uint64_t word_value(const std::vector<NetId>& nets) const;
+
+  const std::vector<char>& values() const noexcept { return values_; }
+
+ private:
+  const Netlist* nl_;
+  std::vector<char> values_;
+};
+
+}  // namespace aapx

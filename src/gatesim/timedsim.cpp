@@ -1,0 +1,205 @@
+#include "gatesim/timedsim.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "gatesim/funcsim.hpp"
+
+namespace aapx {
+
+double Activity::duty_high(NetId net) const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(high_cycles.at(net)) / static_cast<double>(cycles);
+}
+
+double Activity::toggle_rate(NetId net) const {
+  if (cycles == 0) return 0.0;
+  return static_cast<double>(toggles.at(net)) / static_cast<double>(cycles);
+}
+
+std::vector<double> Activity::gate_output_duty(const Netlist& nl) const {
+  std::vector<double> duty;
+  duty.reserve(nl.num_gates());
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    duty.push_back(duty_high(nl.gate(static_cast<GateId>(g)).fanout));
+  }
+  return duty;
+}
+
+TimedSim::TimedSim(const Netlist& nl, Sta::GateDelays delays, DelayModel model)
+    : nl_(&nl), delays_(std::move(delays)), model_(model) {
+  if (delays_.rise.size() != nl.num_gates() ||
+      delays_.fall.size() != nl.num_gates()) {
+    throw std::invalid_argument("TimedSim: delay vector size mismatch");
+  }
+  value_.assign(nl.num_nets(), 0);
+  value_[nl.const1()] = 1;
+  pending_ = value_;
+  sampled_ = value_;
+  generation_.assign(nl.num_nets(), 0);
+  applied_generation_.assign(nl.num_nets(), 0);
+  staged_pi_.assign(nl.inputs().size(), 0);
+  change_time_.assign(nl.num_nets(), 0.0);
+  change_step_.assign(nl.num_nets(), 0);
+  is_output_.assign(nl.num_nets(), 0);
+  for (const NetId po : nl.outputs()) is_output_[po] = 1;
+  activity_.toggles.assign(nl.num_nets(), 0);
+  activity_.high_cycles.assign(nl.num_nets(), 0);
+  reset();
+}
+
+void TimedSim::reset() { reset(std::vector<char>(nl_->inputs().size(), 0)); }
+
+void TimedSim::reset(const std::vector<char>& pi_values) {
+  if (pi_values.size() != nl_->inputs().size()) {
+    throw std::invalid_argument("TimedSim::reset: PI vector size mismatch");
+  }
+  FuncSim settle(*nl_);
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    settle.set_input(nl_->inputs()[i], pi_values[i] != 0);
+  }
+  settle.eval();
+  for (std::size_t n = 0; n < value_.size(); ++n) {
+    value_[n] = settle.values()[n];
+  }
+  pending_ = value_;
+  sampled_ = value_;
+  staged_pi_ = pi_values;
+}
+
+void TimedSim::stage_bus(const std::string& bus, std::uint64_t v) {
+  const auto& nets = nl_->input_bus(bus);
+  // Map bus nets back to PI indices once per call; buses are small.
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (nl_->is_constant(nets[i])) continue;
+    const bool bit = i < 64 && ((v >> i) & 1u) != 0;
+    for (std::size_t pi = 0; pi < nl_->inputs().size(); ++pi) {
+      if (nl_->inputs()[pi] == nets[i]) {
+        staged_pi_[pi] = bit ? 1 : 0;
+        break;
+      }
+    }
+  }
+}
+
+bool TimedSim::step_staged(double t_clock_ps) {
+  return step(staged_pi_, t_clock_ps);
+}
+
+bool TimedSim::step(const std::vector<char>& pi_values, double t_clock_ps) {
+  if (pi_values.size() != nl_->inputs().size()) {
+    throw std::invalid_argument("TimedSim::step: PI vector size mismatch");
+  }
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  for (std::size_t i = 0; i < pi_values.size(); ++i) {
+    const NetId net = nl_->inputs()[i];
+    const char v = pi_values[i] ? 1 : 0;
+    if (pending_[net] != v) {
+      pending_[net] = v;
+      queue.push({0.0, seq_++, net, v, ++generation_[net]});
+    }
+  }
+  staged_pi_ = pi_values;
+
+  bool snapshotted = false;
+  std::uint64_t guard = 0;
+  last_settle_time_ = 0.0;
+  last_output_settle_time_ = 0.0;
+  ++step_id_;
+  while (!queue.empty()) {
+    const Event ev = queue.top();
+    queue.pop();
+    if (++guard > 50'000'000ULL) {
+      throw std::runtime_error("TimedSim::step: event budget exceeded");
+    }
+    // Inertial-delay semantics: a transition superseded by a newer decision
+    // for the same net was a sub-delay pulse and is swallowed. Transport mode
+    // keeps pulses but must drop events arriving out of order (a later
+    // decision can land earlier when rise and fall delays differ), or a stale
+    // value would stick as the final state.
+    if (model_ == DelayModel::inertial && ev.generation != generation_[ev.net]) {
+      continue;
+    }
+    if (model_ == DelayModel::transport &&
+        ev.generation < applied_generation_[ev.net]) {
+      continue;
+    }
+    if (!snapshotted && ev.time > t_clock_ps) {
+      sampled_ = value_;
+      snapshotted = true;
+    }
+    applied_generation_[ev.net] = ev.generation;
+    if (value_[ev.net] == ev.value) continue;
+    value_[ev.net] = ev.value;
+    ++activity_.toggles[ev.net];
+    ++events_processed_;
+    last_settle_time_ = ev.time;
+    change_time_[ev.net] = ev.time;
+    change_step_[ev.net] = step_id_;
+    if (is_output_[ev.net]) last_output_settle_time_ = ev.time;
+    // Propagate to reader gates.
+    for (const NetReader& r : nl_->readers(ev.net)) {
+      const Gate& g = nl_->gate(r.gate);
+      const Cell& cell = nl_->lib().cell(g.cell);
+      unsigned mask = 0;
+      const int pins = cell.num_inputs();
+      for (int p = 0; p < pins; ++p) {
+        if (value_[g.fanin[static_cast<std::size_t>(p)]]) mask |= 1u << p;
+      }
+      const char out = fn_eval(cell.fn, mask) ? 1 : 0;
+      if (pending_[g.fanout] == out) continue;
+      pending_[g.fanout] = out;
+      ++generation_[g.fanout];  // cancels in-flight transitions (inertial)
+      if (model_ == DelayModel::inertial && out == value_[g.fanout]) {
+        continue;  // pulse swallowed entirely
+      }
+      const double delay = out ? delays_.rise[r.gate] : delays_.fall[r.gate];
+      queue.push({ev.time + delay, seq_++, g.fanout, out, generation_[g.fanout]});
+    }
+  }
+  if (!snapshotted) sampled_ = value_;
+
+  ++activity_.cycles;
+  for (std::size_t n = 0; n < value_.size(); ++n) {
+    if (value_[n]) ++activity_.high_cycles[n];
+  }
+
+  for (const NetId po : nl_->outputs()) {
+    if (sampled_[po] != value_[po]) return true;
+  }
+  return false;
+}
+
+std::uint64_t TimedSim::word(const std::vector<NetId>& nets,
+                             const std::vector<char>& vals) const {
+  if (nets.size() > 64) throw std::invalid_argument("TimedSim: bus too wide");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (vals[nets[i]]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::uint64_t TimedSim::sampled_bus(const std::string& bus) const {
+  return word(nl_->output_bus(bus), sampled_);
+}
+
+std::uint64_t TimedSim::settled_bus(const std::string& bus) const {
+  return word(nl_->output_bus(bus), value_);
+}
+
+bool TimedSim::sampled(NetId net) const { return sampled_[net] != 0; }
+bool TimedSim::settled(NetId net) const { return value_[net] != 0; }
+
+double TimedSim::settle_time(NetId net) const {
+  if (net >= change_time_.size()) throw std::out_of_range("TimedSim::settle_time");
+  return change_step_[net] == step_id_ ? change_time_[net] : 0.0;
+}
+
+void TimedSim::clear_activity() {
+  activity_.toggles.assign(nl_->num_nets(), 0);
+  activity_.high_cycles.assign(nl_->num_nets(), 0);
+  activity_.cycles = 0;
+}
+
+}  // namespace aapx

@@ -1,0 +1,44 @@
+// Floating-point reference 8x8 block DCT-II / inverse DCT (orthonormal).
+//
+// This is the encoder/gold-reference side of the DCT->IDCT chain; the
+// device-under-test IDCT lives in src/rtl as a fixed-point microarchitecture
+// model. Images are processed in 8x8 blocks with edge replication padding.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace aapx {
+
+inline constexpr int kDctBlock = 8;
+
+using DctBlock = std::array<double, kDctBlock * kDctBlock>;
+
+/// Orthonormal 8-point DCT-II basis coefficient c[k][n].
+double dct_basis(int k, int n);
+
+/// Forward 2-D DCT of one 8x8 block (row-column decomposition).
+DctBlock forward_dct(const DctBlock& spatial);
+
+/// Inverse 2-D DCT of one 8x8 block.
+DctBlock inverse_dct(const DctBlock& freq);
+
+/// Per-block coefficients of a whole image; pixels are centered (-128..127).
+/// Blocks are stored row-major; partial edge blocks use edge replication.
+struct BlockImage {
+  int width = 0;
+  int height = 0;
+  int blocks_x = 0;
+  int blocks_y = 0;
+  std::vector<DctBlock> blocks;
+};
+
+/// Encodes an image to per-block DCT coefficients (the paper's DCT stage).
+BlockImage encode_image(const Image& img);
+
+/// Decodes coefficients back to an image with the *reference* float IDCT.
+Image decode_image_reference(const BlockImage& coeffs);
+
+}  // namespace aapx

@@ -1,0 +1,86 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace aapx {
+
+Image::Image(int width, int height, std::uint8_t fill)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("Image: dimensions must be positive");
+  }
+  data_.assign(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+               fill);
+}
+
+std::uint8_t Image::at(int x, int y) const {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw std::out_of_range("Image::at");
+  }
+  return data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+               static_cast<std::size_t>(x)];
+}
+
+void Image::set(int x, int y, std::uint8_t v) {
+  if (x < 0 || x >= width_ || y < 0 || y >= height_) {
+    throw std::out_of_range("Image::set");
+  }
+  data_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+        static_cast<std::size_t>(x)] = v;
+}
+
+void Image::set_clamped(int x, int y, int v) {
+  set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+}
+
+void Image::save_pgm(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("Image::save_pgm: cannot open " + path);
+  os << "P5\n" << width_ << ' ' << height_ << "\n255\n";
+  os.write(reinterpret_cast<const char*>(data_.data()),
+           static_cast<std::streamsize>(data_.size()));
+  if (!os) throw std::runtime_error("Image::save_pgm: write failed " + path);
+}
+
+Image Image::load_pgm(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("Image::load_pgm: cannot open " + path);
+  std::string magic;
+  is >> magic;
+  if (magic != "P5") throw std::runtime_error("Image::load_pgm: not a P5 PGM");
+  int w = 0;
+  int h = 0;
+  int maxval = 0;
+  is >> w >> h >> maxval;
+  if (maxval != 255 || w <= 0 || h <= 0) {
+    throw std::runtime_error("Image::load_pgm: unsupported PGM parameters");
+  }
+  is.get();  // single whitespace after header
+  Image img(w, h);
+  is.read(reinterpret_cast<char*>(img.data_.data()),
+          static_cast<std::streamsize>(img.data_.size()));
+  if (!is) throw std::runtime_error("Image::load_pgm: truncated file");
+  return img;
+}
+
+double mse(const Image& a, const Image& b) {
+  if (a.width() != b.width() || a.height() != b.height()) {
+    throw std::invalid_argument("mse: image dimensions differ");
+  }
+  double acc = 0.0;
+  const auto& da = a.data();
+  const auto& db = b.data();
+  for (std::size_t i = 0; i < da.size(); ++i) {
+    const double d = static_cast<double>(da[i]) - static_cast<double>(db[i]);
+    acc += d * d;
+  }
+  return acc / static_cast<double>(da.size());
+}
+
+double psnr(const Image& a, const Image& b) { return psnr_from_mse(mse(a, b)); }
+
+}  // namespace aapx

@@ -1,0 +1,42 @@
+// 8-bit grayscale image container, PGM I/O and quality metrics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aapx {
+
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, std::uint8_t fill = 0);
+
+  int width() const noexcept { return width_; }
+  int height() const noexcept { return height_; }
+  bool empty() const noexcept { return data_.empty(); }
+
+  std::uint8_t at(int x, int y) const;
+  void set(int x, int y, std::uint8_t v);
+  /// Set with clamping of `v` to [0, 255].
+  void set_clamped(int x, int y, int v);
+
+  const std::vector<std::uint8_t>& data() const noexcept { return data_; }
+
+  /// Binary PGM (P5) round-trip.
+  void save_pgm(const std::string& path) const;
+  static Image load_pgm(const std::string& path);
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Peak signal-to-noise ratio [dB]; +inf for identical images.
+double psnr(const Image& a, const Image& b);
+
+/// Mean squared error between two images of identical dimensions.
+double mse(const Image& a, const Image& b);
+
+}  // namespace aapx

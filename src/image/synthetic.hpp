@@ -1,0 +1,33 @@
+// Synthetic stand-ins for the "video trace library" test sequences.
+//
+// Substitution (DESIGN.md Sec. 2): the paper evaluates on first frames of
+// the standard YUV sequences (akiyo, carphone, foreman, grandmother,
+// miss-america, mobile, mother, salesman, suzie). Those files are not
+// redistributable here, so each sequence gets a deterministic synthetic
+// generator matched in *qualitative content*: head-and-shoulders sequences
+// are smooth with a dominant blob and soft gradients, "mobile" is dense
+// texture (calendar + patterned toys), office scenes sit in between. What
+// matters for the reproduction is the high-frequency energy of each image,
+// because that is what modulates PSNR under LSB truncation — the property
+// behind the per-image spread of paper Fig. 8b.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+
+namespace aapx {
+
+/// The nine sequence names of paper Fig. 8b, in the paper's order.
+const std::vector<std::string>& video_trace_names();
+
+/// Builds the synthetic first frame of the named sequence. Throws on unknown
+/// names. Deterministic for a given (name, width, height).
+Image make_video_trace_frame(const std::string& name, int width = 176,
+                             int height = 144);
+
+/// Relative high-frequency detail of a sequence in [0, 1] (mobile == 1).
+double sequence_detail_level(const std::string& name);
+
+}  // namespace aapx

@@ -1,0 +1,47 @@
+#include "netlist/dot.hpp"
+
+#include <ostream>
+
+namespace aapx {
+
+void write_dot(const Netlist& nl, std::ostream& os, const std::string& title) {
+  os << "digraph \"" << title << "\" {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    os << "  pi" << nl.inputs()[i] << " [shape=triangle,label=\""
+       << nl.input_name(i) << "\"];\n";
+  }
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(static_cast<GateId>(g));
+    os << "  g" << g << " [shape=box,label=\"" << nl.lib().cell(gate.cell).name
+       << "\"];\n";
+  }
+  auto endpoint = [&](NetId net) {
+    const GateId d = nl.driver(net);
+    if (d != kInvalidGate) return "g" + std::to_string(d);
+    if (net == nl.const0()) return std::string("const0");
+    if (net == nl.const1()) return std::string("const1");
+    return "pi" + std::to_string(net);
+  };
+  bool used_c0 = false;
+  bool used_c1 = false;
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(static_cast<GateId>(g));
+    const int pins = nl.gate_num_inputs(static_cast<GateId>(g));
+    for (int p = 0; p < pins; ++p) {
+      const NetId in = gate.fanin[static_cast<std::size_t>(p)];
+      used_c0 |= in == nl.const0();
+      used_c1 |= in == nl.const1();
+      os << "  " << endpoint(in) << " -> g" << g << ";\n";
+    }
+  }
+  if (used_c0) os << "  const0 [shape=plaintext,label=\"0\"];\n";
+  if (used_c1) os << "  const1 [shape=plaintext,label=\"1\"];\n";
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    os << "  po" << i << " [shape=invtriangle,label=\"" << nl.output_name(i)
+       << "\"];\n";
+    os << "  " << endpoint(nl.outputs()[i]) << " -> po" << i << ";\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace aapx

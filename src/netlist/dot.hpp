@@ -1,0 +1,14 @@
+// Graphviz export for inspecting small netlists in docs and debugging.
+#pragma once
+
+#include <iosfwd>
+
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+/// Writes the netlist as a Graphviz digraph. Intended for small components;
+/// emits a node per gate and edges along nets.
+void write_dot(const Netlist& nl, std::ostream& os, const std::string& title);
+
+}  // namespace aapx

@@ -1,0 +1,216 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace aapx {
+
+Netlist::Netlist(const CellLibrary& lib) : lib_(&lib) {
+  // Nets 0 and 1 are the constant-0 and constant-1 rails.
+  add_net();
+  add_net();
+}
+
+NetId Netlist::add_net() {
+  net_driver_.push_back(kInvalidGate);
+  net_readers_.emplace_back();
+  topo_cache_.clear();
+  return static_cast<NetId>(net_driver_.size() - 1);
+}
+
+NetId Netlist::add_input(std::string name) {
+  const NetId net = add_net();
+  inputs_.push_back(net);
+  input_names_.push_back(std::move(name));
+  return net;
+}
+
+std::vector<NetId> Netlist::add_input_bus(const std::string& name, int width) {
+  if (width <= 0) throw std::invalid_argument("add_input_bus: width must be > 0");
+  std::vector<NetId> bus;
+  bus.reserve(static_cast<std::size_t>(width));
+  for (int i = 0; i < width; ++i) {
+    bus.push_back(add_input(name + "[" + std::to_string(i) + "]"));
+  }
+  input_buses_[name] = bus;
+  return bus;
+}
+
+void Netlist::mark_output(NetId net, std::string name) {
+  if (net >= num_nets()) throw std::out_of_range("mark_output: bad net");
+  outputs_.push_back(net);
+  output_names_.push_back(std::move(name));
+}
+
+void Netlist::mark_output_bus(std::span<const NetId> nets, const std::string& name) {
+  std::vector<NetId> bus(nets.begin(), nets.end());
+  for (std::size_t i = 0; i < bus.size(); ++i) {
+    mark_output(bus[i], name + "[" + std::to_string(i) + "]");
+  }
+  output_buses_[name] = std::move(bus);
+}
+
+NetId Netlist::add_gate(CellId cell, std::span<const NetId> ins) {
+  const NetId out = add_net();
+  add_gate_driving(cell, ins, out);
+  return out;
+}
+
+GateId Netlist::add_gate_driving(CellId cell, std::span<const NetId> ins,
+                                 NetId output) {
+  const Cell& c = lib_->cell(cell);
+  const int pins = c.num_inputs();
+  if (static_cast<int>(ins.size()) != pins) {
+    throw std::invalid_argument("add_gate: pin count mismatch for " + c.name);
+  }
+  if (output >= num_nets() || is_constant(output)) {
+    throw std::invalid_argument("add_gate_driving: bad output net");
+  }
+  if (net_driver_[output] != kInvalidGate) {
+    throw std::invalid_argument("add_gate_driving: output already driven");
+  }
+  for (const NetId pi : inputs_) {
+    if (pi == output) {
+      throw std::invalid_argument("add_gate_driving: output is a primary input");
+    }
+  }
+  Gate g;
+  g.cell = cell;
+  for (int p = 0; p < pins; ++p) {
+    if (ins[static_cast<std::size_t>(p)] >= num_nets()) {
+      throw std::out_of_range("add_gate: unknown input net");
+    }
+    g.fanin[static_cast<std::size_t>(p)] = ins[static_cast<std::size_t>(p)];
+  }
+  g.fanout = output;
+  const auto gid = static_cast<GateId>(gates_.size());
+  gates_.push_back(g);
+  net_driver_[output] = gid;
+  for (int p = 0; p < pins; ++p) {
+    net_readers_[ins[static_cast<std::size_t>(p)]].push_back({gid, p});
+  }
+  topo_cache_.clear();
+  return gid;
+}
+
+NetId Netlist::mk(LogicFn fn, NetId a) {
+  const NetId ins[] = {a};
+  return add_gate(lib_->smallest(fn), ins);
+}
+NetId Netlist::mk(LogicFn fn, NetId a, NetId b) {
+  const NetId ins[] = {a, b};
+  return add_gate(lib_->smallest(fn), ins);
+}
+NetId Netlist::mk(LogicFn fn, NetId a, NetId b, NetId c) {
+  const NetId ins[] = {a, b, c};
+  return add_gate(lib_->smallest(fn), ins);
+}
+
+const Gate& Netlist::gate(GateId id) const {
+  if (id >= gates_.size()) throw std::out_of_range("Netlist::gate");
+  return gates_[id];
+}
+
+int Netlist::gate_num_inputs(GateId id) const {
+  return lib_->cell(gate(id).cell).num_inputs();
+}
+
+void Netlist::set_gate_cell(GateId id, CellId cell) {
+  if (id >= gates_.size()) throw std::out_of_range("Netlist::set_gate_cell");
+  if (lib_->cell(cell).fn != lib_->cell(gates_[id].cell).fn) {
+    throw std::invalid_argument(
+        "Netlist::set_gate_cell: replacement implements a different function");
+  }
+  gates_[id].cell = cell;
+}
+
+GateId Netlist::driver(NetId net) const {
+  if (net >= num_nets()) throw std::out_of_range("Netlist::driver");
+  return net_driver_[net];
+}
+
+const std::vector<NetReader>& Netlist::readers(NetId net) const {
+  if (net >= num_nets()) throw std::out_of_range("Netlist::readers");
+  return net_readers_[net];
+}
+
+const std::vector<NetId>& Netlist::input_bus(const std::string& name) const {
+  const auto it = input_buses_.find(name);
+  if (it == input_buses_.end()) {
+    throw std::out_of_range("Netlist::input_bus: unknown bus " + name);
+  }
+  return it->second;
+}
+
+const std::vector<NetId>& Netlist::output_bus(const std::string& name) const {
+  const auto it = output_buses_.find(name);
+  if (it == output_buses_.end()) {
+    throw std::out_of_range("Netlist::output_bus: unknown bus " + name);
+  }
+  return it->second;
+}
+
+bool Netlist::has_input_bus(const std::string& name) const {
+  return input_buses_.count(name) != 0;
+}
+
+std::vector<std::string> Netlist::input_bus_names() const {
+  std::vector<std::string> names;
+  names.reserve(input_buses_.size());
+  for (const auto& [name, nets] : input_buses_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::string> Netlist::output_bus_names() const {
+  std::vector<std::string> names;
+  names.reserve(output_buses_.size());
+  for (const auto& [name, nets] : output_buses_) names.push_back(name);
+  return names;
+}
+
+void Netlist::set_input_bus(const std::string& name, std::vector<NetId> nets) {
+  input_buses_[name] = std::move(nets);
+}
+
+void Netlist::set_output_bus(const std::string& name, std::vector<NetId> nets) {
+  output_buses_[name] = std::move(nets);
+}
+
+const std::vector<GateId>& Netlist::topo_order() const {
+  if (!topo_cache_.empty() || gates_.empty()) return topo_cache_;
+  std::vector<int> pending(gates_.size(), 0);
+  std::vector<GateId> ready;
+  for (std::size_t g = 0; g < gates_.size(); ++g) {
+    int unresolved = 0;
+    const int pins = lib_->cell(gates_[g].cell).num_inputs();
+    for (int p = 0; p < pins; ++p) {
+      const NetId in = gates_[g].fanin[static_cast<std::size_t>(p)];
+      if (net_driver_[in] != kInvalidGate) ++unresolved;
+    }
+    pending[g] = unresolved;
+    if (unresolved == 0) ready.push_back(static_cast<GateId>(g));
+  }
+  topo_cache_.reserve(gates_.size());
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const GateId g = ready[head];
+    topo_cache_.push_back(g);
+    for (const NetReader& r : net_readers_[gates_[g].fanout]) {
+      if (--pending[r.gate] == 0) ready.push_back(r.gate);
+    }
+  }
+  if (topo_cache_.size() != gates_.size()) {
+    topo_cache_.clear();
+    throw std::logic_error("Netlist::topo_order: combinational cycle detected");
+  }
+  return topo_cache_;
+}
+
+double Netlist::net_load(NetId net) const {
+  const auto& rs = readers(net);
+  double load = kWireCapPerFanout * static_cast<double>(rs.size());
+  for (const NetReader& r : rs) {
+    load += lib_->cell(gates_[r.gate].cell).pin_cap;
+  }
+  return load;
+}
+
+}  // namespace aapx

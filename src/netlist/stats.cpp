@@ -1,0 +1,24 @@
+#include "netlist/stats.hpp"
+
+namespace aapx {
+
+NetlistStats compute_stats(const Netlist& nl) {
+  NetlistStats stats;
+  stats.gates = nl.num_gates();
+  stats.nets = nl.num_nets();
+  stats.inputs = nl.inputs().size();
+  stats.outputs = nl.outputs().size();
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const Cell& cell = nl.lib().cell(nl.gate(static_cast<GateId>(g)).cell);
+    stats.cell_area += cell.area;
+    ++stats.cell_histogram[cell.name];
+  }
+  return stats;
+}
+
+double total_area(const Netlist& nl, std::size_t num_registers) {
+  return compute_stats(nl).cell_area +
+         nl.lib().dff().area * static_cast<double>(num_registers);
+}
+
+}  // namespace aapx

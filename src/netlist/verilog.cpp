@@ -1,0 +1,362 @@
+#include "netlist/verilog.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace aapx {
+namespace {
+
+// --- writing ---------------------------------------------------------------
+
+/// Splits "a[3]" into ("a", 3); returns index -1 for scalar names.
+std::pair<std::string, int> split_indexed(const std::string& name) {
+  const std::size_t lb = name.find('[');
+  if (lb == std::string::npos || name.back() != ']') return {name, -1};
+  return {name.substr(0, lb),
+          std::stoi(name.substr(lb + 1, name.size() - lb - 2))};
+}
+
+std::string net_ref(const Netlist& nl, NetId net,
+                    const std::map<NetId, std::string>& pi_names) {
+  if (net == nl.const0()) return "1'b0";
+  if (net == nl.const1()) return "1'b1";
+  const auto it = pi_names.find(net);
+  if (it != pi_names.end()) return it->second;
+  return "n" + std::to_string(net);
+}
+
+}  // namespace
+
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   const std::string& module_name) {
+  std::map<NetId, std::string> pi_names;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    pi_names[nl.inputs()[i]] = nl.input_name(i);
+  }
+
+  // Ports: group bused names, keep declaration order stable.
+  std::vector<std::string> port_order;
+  std::map<std::string, int> port_width;  // name -> width (0 = scalar)
+  auto note_port = [&](const std::string& full_name) {
+    const auto [base, index] = split_indexed(full_name);
+    if (port_width.find(base) == port_width.end()) {
+      port_order.push_back(base);
+      port_width[base] = 0;
+    }
+    if (index >= 0) {
+      port_width[base] = std::max(port_width[base], index + 1);
+    }
+  };
+  std::vector<std::string> input_bases;
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) note_port(nl.input_name(i));
+  input_bases = port_order;
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) note_port(nl.output_name(i));
+
+  os << "module " << module_name << " (";
+  for (std::size_t i = 0; i < port_order.size(); ++i) {
+    os << (i > 0 ? ", " : "") << port_order[i];
+  }
+  os << ");\n";
+  for (const std::string& base : port_order) {
+    const bool is_input =
+        std::find(input_bases.begin(), input_bases.end(), base) !=
+        input_bases.end();
+    os << "  " << (is_input ? "input" : "output");
+    if (port_width[base] > 0) os << " [" << port_width[base] - 1 << ":0]";
+    os << ' ' << base << ";\n";
+  }
+
+  if (nl.num_gates() > 0) {
+    os << "  wire";
+    bool first = true;
+    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+      const NetId out = nl.gate(static_cast<GateId>(g)).fanout;
+      os << (first ? " " : ", ") << "n" << out;
+      first = false;
+    }
+    os << ";\n";
+  }
+
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(static_cast<GateId>(g));
+    const Cell& cell = nl.lib().cell(gate.cell);
+    os << "  " << cell.name << " g" << g << " (";
+    for (int p = 0; p < cell.num_inputs(); ++p) {
+      os << ".A" << p << '('
+         << net_ref(nl, gate.fanin[static_cast<std::size_t>(p)], pi_names)
+         << "), ";
+    }
+    os << ".Y(n" << gate.fanout << "));\n";
+  }
+
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    os << "  assign " << nl.output_name(i) << " = "
+       << net_ref(nl, nl.outputs()[i], pi_names) << ";\n";
+  }
+  os << "endmodule\n";
+}
+
+namespace {
+
+// --- parsing ---------------------------------------------------------------
+
+class VLexer {
+ public:
+  explicit VLexer(std::istream& is) {
+    src_.assign(std::istreambuf_iterator<char>(is), {});
+  }
+
+  /// Next token: identifier/number-like chunk or single symbol; empty at EOF.
+  std::string next() {
+    skip();
+    if (pos_ >= src_.size()) return {};
+    const char c = src_[pos_];
+    if (std::strchr("()[];,.=:", c) != nullptr) {
+      ++pos_;
+      return std::string(1, c);
+    }
+    std::string tok;
+    while (pos_ < src_.size()) {
+      const char ch = src_[pos_];
+      if (std::isalnum(static_cast<unsigned char>(ch)) || ch == '_' ||
+          ch == '\'') {
+        tok += ch;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (tok.empty()) {
+      throw std::runtime_error(std::string("verilog: unexpected character '") +
+                               c + "'");
+    }
+    return tok;
+  }
+
+ private:
+  void skip() {
+    while (pos_ < src_.size()) {
+      if (std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        ++pos_;
+      } else if (src_[pos_] == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '/') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else if (src_[pos_] == '/' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '*') {
+        const std::size_t end = src_.find("*/", pos_ + 2);
+        if (end == std::string::npos) {
+          throw std::runtime_error("verilog: open comment");
+        }
+        pos_ = end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string src_;
+  std::size_t pos_ = 0;
+};
+
+class VParser {
+ public:
+  VParser(std::istream& is, const CellLibrary& lib) : lexer_(is), lib_(&lib) {}
+
+  Netlist parse() {
+    Netlist nl(*lib_);
+    expect("module");
+    (void)token();  // module name
+    expect("(");
+    while (peek() != ")") {
+      (void)token();  // port name
+      if (peek() == ",") (void)token();
+    }
+    expect(")");
+    expect(";");
+
+    struct OutputBit {
+      std::string name;
+      NetId net;
+    };
+    std::vector<OutputBit> outputs;
+    std::map<std::string, std::vector<NetId>> output_buses;
+    std::map<std::string, NetId> assigns_pending;  // output bit -> rhs net
+
+    for (std::string tok = token(); tok != "endmodule"; tok = token()) {
+      if (tok == "input" || tok == "output") {
+        const bool is_input = tok == "input";
+        int width = 0;  // 0 = scalar
+        if (peek() == "[") {
+          (void)token();
+          width = std::stoi(token()) + 1;
+          expect(":");
+          if (token() != "0") throw std::runtime_error("verilog: lsb must be 0");
+          expect("]");
+        }
+        while (true) {
+          const std::string name = token();
+          if (is_input) {
+            if (width == 0) {
+              nets_[name] = nl.add_input(name);
+            } else {
+              const auto bus = nl.add_input_bus(name, width);
+              for (int i = 0; i < width; ++i) {
+                nets_[name + "[" + std::to_string(i) + "]"] =
+                    bus[static_cast<std::size_t>(i)];
+              }
+            }
+          } else {
+            const int bits = width == 0 ? 1 : width;
+            for (int i = 0; i < bits; ++i) {
+              const std::string bit_name =
+                  width == 0 ? name : name + "[" + std::to_string(i) + "]";
+              const NetId net = nl.add_net();
+              nets_[bit_name] = net;
+              outputs.push_back({bit_name, net});
+              if (width > 0) output_buses[name].push_back(net);
+            }
+          }
+          if (peek() == ",") {
+            (void)token();
+            continue;
+          }
+          break;
+        }
+        expect(";");
+      } else if (tok == "wire") {
+        while (true) {
+          const std::string name = token();
+          nets_[name] = nl.add_net();
+          if (peek() == ",") {
+            (void)token();
+            continue;
+          }
+          break;
+        }
+        expect(";");
+      } else if (tok == "assign") {
+        const std::string lhs = resolve_name();
+        expect("=");
+        const NetId rhs = resolve_net(nl);
+        expect(";");
+        assigns_pending[lhs] = rhs;
+      } else {
+        // Cell instance: CELLNAME instname ( .PIN(net), ... ) ;
+        const auto cell = lib_->find(tok);
+        if (!cell.has_value()) {
+          throw std::runtime_error("verilog: unknown cell or keyword " + tok);
+        }
+        (void)token();  // instance name
+        expect("(");
+        std::map<std::string, NetId> pins;
+        while (peek() != ")") {
+          expect(".");
+          const std::string pin = token();
+          expect("(");
+          pins[pin] = resolve_net(nl);
+          expect(")");
+          if (peek() == ",") (void)token();
+        }
+        expect(")");
+        expect(";");
+        const int num_ins = lib_->cell(*cell).num_inputs();
+        std::vector<NetId> ins;
+        for (int p = 0; p < num_ins; ++p) {
+          const auto it = pins.find("A" + std::to_string(p));
+          if (it == pins.end()) {
+            throw std::runtime_error("verilog: missing pin A" +
+                                     std::to_string(p));
+          }
+          ins.push_back(it->second);
+        }
+        const auto y = pins.find("Y");
+        if (y == pins.end()) throw std::runtime_error("verilog: missing pin Y");
+        nl.add_gate_driving(*cell, ins, y->second);
+      }
+    }
+
+    // Resolve outputs: direct drivers win; otherwise follow the alias assign.
+    std::map<std::string, std::vector<NetId>> final_buses;
+    for (const OutputBit& out : outputs) {
+      NetId net = out.net;
+      if (nl.driver(net) == kInvalidGate) {
+        const auto it = assigns_pending.find(out.name);
+        if (it == assigns_pending.end()) {
+          throw std::runtime_error("verilog: undriven output " + out.name);
+        }
+        net = it->second;
+      }
+      nl.mark_output(net, out.name);
+      const auto [base, index] = split_indexed(out.name);
+      if (index >= 0) final_buses[base].push_back(net);
+    }
+    for (auto& [name, bus] : final_buses) nl.set_output_bus(name, bus);
+    return nl;
+  }
+
+ private:
+  std::string token() {
+    if (!lookahead_.empty()) {
+      std::string t = std::move(lookahead_);
+      lookahead_.clear();
+      return t;
+    }
+    const std::string t = lexer_.next();
+    if (t.empty()) throw std::runtime_error("verilog: unexpected end of file");
+    return t;
+  }
+
+  const std::string& peek() {
+    if (lookahead_.empty()) lookahead_ = lexer_.next();
+    return lookahead_;
+  }
+
+  void expect(const std::string& s) {
+    const std::string t = token();
+    if (t != s) {
+      throw std::runtime_error("verilog: expected '" + s + "', got '" + t + "'");
+    }
+  }
+
+  /// Reads an identifier, optionally followed by [index].
+  std::string resolve_name() {
+    std::string name = token();
+    if (peek() == "[") {
+      (void)token();
+      name += "[" + token() + "]";
+      expect("]");
+    }
+    return name;
+  }
+
+  NetId resolve_net(Netlist& nl) {
+    const std::string name = resolve_name();
+    if (name == "1'b0") return nl.const0();
+    if (name == "1'b1") return nl.const1();
+    const auto it = nets_.find(name);
+    if (it == nets_.end()) {
+      throw std::runtime_error("verilog: unknown net " + name);
+    }
+    return it->second;
+  }
+
+  VLexer lexer_;
+  const CellLibrary* lib_;
+  std::string lookahead_;
+  std::map<std::string, NetId> nets_;
+};
+
+}  // namespace
+
+Netlist parse_verilog(std::istream& is, const CellLibrary& lib) {
+  return VParser(is, lib).parse();
+}
+
+}  // namespace aapx

@@ -1,0 +1,27 @@
+// Structural Verilog interchange for gate-level netlists.
+//
+// The synthesized netlists the flow produces are what a real project would
+// hand to downstream tools (simulation, P&R) as structural Verilog. The
+// writer emits a flat gate-level module over the library cells; the parser
+// accepts the same subset (module, input/output with ranges, wire, cell
+// instances with named connections, assign aliases, 1'b0/1'b1 constants),
+// so netlists survive a round trip.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+/// Writes `nl` as a flat structural Verilog module.
+void write_verilog(const Netlist& nl, std::ostream& os,
+                   const std::string& module_name);
+
+/// Parses a module produced by write_verilog against `lib` (cells are looked
+/// up by instance type name). Throws std::runtime_error on malformed input
+/// or unknown cells.
+Netlist parse_verilog(std::istream& is, const CellLibrary& lib);
+
+}  // namespace aapx

@@ -1,0 +1,33 @@
+// Power analysis from simulated switching activity.
+//
+// Mirrors the paper's Synopsys-based power flow: leakage is weighted by the
+// probabilistic input-state distribution (independence approximation over
+// per-net duty cycles), dynamic power integrates 1/2*C*Vdd^2 over the toggle
+// counts the timed simulator recorded (glitches included), and boundary
+// registers add their clock and data contributions.
+#pragma once
+
+#include "gatesim/timedsim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+struct PowerOptions {
+  double vdd = 1.1;            ///< V
+  std::size_t num_registers = 0;  ///< boundary flip-flops owned by the block
+  double register_activity = 0.25;///< average D/Q toggle probability per cycle
+};
+
+struct PowerReport {
+  double leakage_nw = 0.0;     ///< total leakage, nW
+  double dynamic_uw = 0.0;     ///< switching power at 1/t_clock, uW
+  double total_uw = 0.0;       ///< leakage + dynamic, uW
+  double energy_per_cycle_fj = 0.0;  ///< total energy per clock cycle, fJ
+};
+
+/// Computes the report for one combinational block given its activity and
+/// the clock period it runs at.
+PowerReport analyze_power(const Netlist& nl, const Activity& activity,
+                          double t_clock_ps, const PowerOptions& options = {});
+
+}  // namespace aapx

@@ -1,0 +1,138 @@
+// Arithmetic backends for RTL simulation.
+//
+// The RTL codec models compute through one of these:
+//  * ExactBackend        — bit-accurate two's complement arithmetic with the
+//    paper's LSB truncation applied to operands (deterministic
+//    approximation). This is the paper's "RTL simulation": seconds per
+//    image, quality loss entirely from the *approximation*.
+//  * TimedNetlistBackend — every operation is evaluated by the event-driven
+//    gate-level simulator on the synthesized component netlist with aged
+//    delays, and the *sampled-at-clock* (possibly wrong) result is returned.
+//    This is the paper's ModelSim gate-level flow and exhibits the
+//    nondeterministic aging-induced timing errors of Figs. 1-2.
+//  * RecordingBackend    — delegates to another backend while recording the
+//    multiplier operand stream, used to extract application stimuli for
+//    actual-case aging characterization (paper Fig. 3c).
+//
+// Composing per-component timed simulations at register boundaries is exact
+// for the paper's microarchitecture because every block is separated by
+// registers (see DESIGN.md Sec. 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "gatesim/timedsim.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+/// Two's complement wrap of `v` to `bits` bits, returned sign-extended.
+std::int64_t wrap_signed(std::int64_t v, int bits);
+
+class ArithBackend {
+ public:
+  virtual ~ArithBackend() = default;
+
+  /// width x width -> 2*width two's complement product.
+  virtual std::int64_t multiply(std::int64_t a, std::int64_t b) = 0;
+
+  /// width + width -> width two's complement sum (wrapping).
+  virtual std::int64_t add(std::int64_t a, std::int64_t b) = 0;
+
+  virtual int width() const = 0;
+};
+
+/// Deterministic approximation: truncation of operand LSBs, exact otherwise.
+class ExactBackend final : public ArithBackend {
+ public:
+  ExactBackend(int width, int mult_truncated_bits, int add_truncated_bits);
+
+  std::int64_t multiply(std::int64_t a, std::int64_t b) override;
+  std::int64_t add(std::int64_t a, std::int64_t b) override;
+  int width() const override { return width_; }
+
+ private:
+  int width_;
+  int mult_trunc_;
+  int add_trunc_;
+};
+
+/// Range of output-bus bits a downstream consumer actually reads. A fixed-
+/// point datapath that wraps the product to `width` bits after a right shift
+/// only consumes product bits [frac, frac + width); constraining and
+/// checking just those bits models the real register boundary.
+struct ObservedWindow {
+  int lo = 0;
+  int count = -1;  ///< -1 = the whole bus
+};
+
+/// Gate-accurate timed evaluation with timing-error capture.
+class TimedNetlistBackend final : public ArithBackend {
+ public:
+  /// `mult` must expose buses a, b -> y; `adder` buses a, b -> y.
+  /// `t_clock_ps` is the sampling clock; delays carry the aging.
+  TimedNetlistBackend(const Netlist& mult, Sta::GateDelays mult_delays,
+                      const Netlist& adder, Sta::GateDelays adder_delays,
+                      int width, double t_clock_ps,
+                      DelayModel model = DelayModel::transport,
+                      ObservedWindow mult_window = {});
+
+  std::int64_t multiply(std::int64_t a, std::int64_t b) override;
+  std::int64_t add(std::int64_t a, std::int64_t b) override;
+  int width() const override { return width_; }
+
+  std::uint64_t mult_errors() const noexcept { return mult_errors_; }
+  std::uint64_t add_errors() const noexcept { return add_errors_; }
+  std::uint64_t mult_ops() const noexcept { return mult_ops_; }
+  std::uint64_t add_ops() const noexcept { return add_ops_; }
+
+  /// Worst observed output settling times across all operations — used to
+  /// speed-bin the fresh design's clock before injecting aged delays.
+  double max_mult_settle() const noexcept { return max_mult_settle_; }
+  double max_add_settle() const noexcept { return max_add_settle_; }
+
+  TimedSim& mult_sim() noexcept { return mult_sim_; }
+  TimedSim& adder_sim() noexcept { return adder_sim_; }
+
+ private:
+  const Netlist* mult_;
+  const Netlist* adder_;
+  TimedSim mult_sim_;
+  TimedSim adder_sim_;
+  int width_;
+  double t_clock_;
+  ObservedWindow mult_window_;
+  std::uint64_t mult_errors_ = 0;
+  std::uint64_t add_errors_ = 0;
+  std::uint64_t mult_ops_ = 0;
+  std::uint64_t add_ops_ = 0;
+  double max_mult_settle_ = 0.0;
+  double max_add_settle_ = 0.0;
+};
+
+/// Records the operand stream feeding the multiplier (and optionally adds).
+class RecordingBackend final : public ArithBackend {
+ public:
+  explicit RecordingBackend(ArithBackend& inner);
+
+  std::int64_t multiply(std::int64_t a, std::int64_t b) override;
+  std::int64_t add(std::int64_t a, std::int64_t b) override;
+  int width() const override { return inner_->width(); }
+
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& mult_ops() const {
+    return mult_ops_;
+  }
+  const std::vector<std::pair<std::int64_t, std::int64_t>>& add_ops() const {
+    return add_ops_;
+  }
+
+ private:
+  ArithBackend* inner_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> mult_ops_;
+  std::vector<std::pair<std::int64_t, std::int64_t>> add_ops_;
+};
+
+}  // namespace aapx

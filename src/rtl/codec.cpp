@@ -1,0 +1,223 @@
+#include "rtl/codec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+std::array<std::array<std::int64_t, kDctBlock>, kDctBlock> make_coeff_table(
+    int frac_bits) {
+  std::array<std::array<std::int64_t, kDctBlock>, kDctBlock> coeff{};
+  const double scale = static_cast<double>(std::int64_t{1} << frac_bits);
+  for (int k = 0; k < kDctBlock; ++k) {
+    for (int n = 0; n < kDctBlock; ++n) {
+      coeff[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)] =
+          std::llround(dct_basis(k, n) * scale);
+    }
+  }
+  return coeff;
+}
+
+void check_config(const CodecConfig& cfg) {
+  if (cfg.width <= 8 || cfg.width > 32) {
+    throw std::invalid_argument("CodecConfig: width must be in (8, 32]");
+  }
+  if (cfg.frac_bits <= 0 || cfg.frac_bits >= cfg.width - 2) {
+    throw std::invalid_argument("CodecConfig: bad frac_bits");
+  }
+  if (cfg.quant_step <= 0.0) {
+    throw std::invalid_argument("CodecConfig: bad quant_step");
+  }
+}
+
+/// Product in Q(2*frac) -> Q(frac) with round-to-nearest.
+std::int64_t shift_product(std::int64_t p, int frac_bits) {
+  return (p + (std::int64_t{1} << (frac_bits - 1))) >> frac_bits;
+}
+
+}  // namespace
+
+QuantizedImage encode_and_quantize(const Image& img, const CodecConfig& cfg) {
+  check_config(cfg);
+  const BlockImage coeffs = encode_image(img);
+  QuantizedImage q;
+  q.width = coeffs.width;
+  q.height = coeffs.height;
+  q.blocks_x = coeffs.blocks_x;
+  q.blocks_y = coeffs.blocks_y;
+  q.quant_step = cfg.quant_step;
+  q.blocks.reserve(coeffs.blocks.size());
+  for (const DctBlock& blk : coeffs.blocks) {
+    std::array<std::int32_t, kDctBlock * kDctBlock> levels{};
+    for (std::size_t i = 0; i < blk.size(); ++i) {
+      levels[i] = static_cast<std::int32_t>(std::llround(blk[i] / cfg.quant_step));
+    }
+    q.blocks.push_back(levels);
+  }
+  return q;
+}
+
+FixedPointIdct::FixedPointIdct(const CodecConfig& cfg, ArithBackend& backend)
+    : cfg_(cfg), backend_(&backend), coeff_(make_coeff_table(cfg.frac_bits)) {
+  check_config(cfg);
+  if (backend.width() != cfg.width) {
+    throw std::invalid_argument("FixedPointIdct: backend width mismatch");
+  }
+}
+
+std::array<std::int64_t, kDctBlock> FixedPointIdct::transform_vector(
+    const std::array<std::int64_t, kDctBlock>& x, bool inverse) const {
+  std::array<std::int64_t, kDctBlock> y{};
+  for (int out = 0; out < kDctBlock; ++out) {
+    std::int64_t acc = 0;
+    for (int in = 0; in < kDctBlock; ++in) {
+      const std::int64_t c =
+          inverse ? coeff_[static_cast<std::size_t>(in)][static_cast<std::size_t>(out)]
+                  : coeff_[static_cast<std::size_t>(out)][static_cast<std::size_t>(in)];
+      const std::int64_t p = backend_->multiply(c, x[static_cast<std::size_t>(in)]);
+      acc = backend_->add(acc, shift_product(p, cfg_.frac_bits));
+    }
+    y[static_cast<std::size_t>(out)] = acc;
+  }
+  return y;
+}
+
+std::array<std::int64_t, kDctBlock * kDctBlock> FixedPointIdct::decode_block(
+    const std::array<std::int32_t, kDctBlock * kDctBlock>& levels) const {
+  const std::int64_t step_q =
+      std::llround(cfg_.quant_step *
+                   static_cast<double>(std::int64_t{1} << cfg_.frac_bits));
+  std::array<std::int64_t, kDctBlock * kDctBlock> data{};
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::int64_t>(levels[i]) * step_q;  // dequantize, Q(frac)
+  }
+  // Rows, then columns (operating on the transposed intermediate).
+  std::array<std::int64_t, kDctBlock * kDctBlock> tmp{};
+  for (int row = 0; row < kDctBlock; ++row) {
+    std::array<std::int64_t, kDctBlock> v{};
+    for (int i = 0; i < kDctBlock; ++i) v[static_cast<std::size_t>(i)] =
+        data[static_cast<std::size_t>(row * kDctBlock + i)];
+    const auto t = transform_vector(v, true);
+    for (int i = 0; i < kDctBlock; ++i) {
+      tmp[static_cast<std::size_t>(i * kDctBlock + row)] =
+          t[static_cast<std::size_t>(i)];  // store transposed
+    }
+  }
+  std::array<std::int64_t, kDctBlock * kDctBlock> out{};
+  for (int row = 0; row < kDctBlock; ++row) {
+    std::array<std::int64_t, kDctBlock> v{};
+    for (int i = 0; i < kDctBlock; ++i) v[static_cast<std::size_t>(i)] =
+        tmp[static_cast<std::size_t>(row * kDctBlock + i)];
+    const auto t = transform_vector(v, true);
+    for (int i = 0; i < kDctBlock; ++i) {
+      out[static_cast<std::size_t>(i * kDctBlock + row)] =
+          t[static_cast<std::size_t>(i)];  // transpose back
+    }
+  }
+  return out;
+}
+
+Image FixedPointIdct::decode(const QuantizedImage& q) const {
+  Image img(q.width, q.height);
+  const std::int64_t half = std::int64_t{1} << (cfg_.frac_bits - 1);
+  for (int by = 0; by < q.blocks_y; ++by) {
+    for (int bx = 0; bx < q.blocks_x; ++bx) {
+      const auto& levels =
+          q.blocks[static_cast<std::size_t>(by) * static_cast<std::size_t>(q.blocks_x) +
+                   static_cast<std::size_t>(bx)];
+      const auto spatial = decode_block(levels);
+      for (int y = 0; y < kDctBlock; ++y) {
+        for (int x = 0; x < kDctBlock; ++x) {
+          const int px = bx * kDctBlock + x;
+          const int py = by * kDctBlock + y;
+          if (px >= q.width || py >= q.height) continue;
+          const std::int64_t v =
+              ((spatial[static_cast<std::size_t>(y * kDctBlock + x)] + half) >>
+               cfg_.frac_bits) +
+              128;
+          // B3 clamp block: saturate to the 8-bit pixel range.
+          img.set_clamped(px, py, static_cast<int>(v));
+        }
+      }
+    }
+  }
+  return img;
+}
+
+FixedPointDct::FixedPointDct(const CodecConfig& cfg, ArithBackend& backend)
+    : cfg_(cfg), backend_(&backend), coeff_(make_coeff_table(cfg.frac_bits)) {
+  check_config(cfg);
+  if (backend.width() != cfg.width) {
+    throw std::invalid_argument("FixedPointDct: backend width mismatch");
+  }
+}
+
+std::array<std::int64_t, kDctBlock> FixedPointDct::transform_vector(
+    const std::array<std::int64_t, kDctBlock>& x) const {
+  std::array<std::int64_t, kDctBlock> y{};
+  for (int k = 0; k < kDctBlock; ++k) {
+    std::int64_t acc = 0;
+    for (int n = 0; n < kDctBlock; ++n) {
+      const std::int64_t p = backend_->multiply(
+          coeff_[static_cast<std::size_t>(k)][static_cast<std::size_t>(n)],
+          x[static_cast<std::size_t>(n)]);
+      acc = backend_->add(acc, shift_product(p, cfg_.frac_bits));
+    }
+    y[static_cast<std::size_t>(k)] = acc;
+  }
+  return y;
+}
+
+QuantizedImage FixedPointDct::encode(const Image& img) const {
+  QuantizedImage q;
+  q.width = img.width();
+  q.height = img.height();
+  q.blocks_x = (img.width() + kDctBlock - 1) / kDctBlock;
+  q.blocks_y = (img.height() + kDctBlock - 1) / kDctBlock;
+  q.quant_step = cfg_.quant_step;
+  const double denom =
+      cfg_.quant_step * static_cast<double>(std::int64_t{1} << cfg_.frac_bits);
+  for (int by = 0; by < q.blocks_y; ++by) {
+    for (int bx = 0; bx < q.blocks_x; ++bx) {
+      std::array<std::int64_t, kDctBlock * kDctBlock> data{};
+      for (int y = 0; y < kDctBlock; ++y) {
+        for (int x = 0; x < kDctBlock; ++x) {
+          const int px = std::min(bx * kDctBlock + x, img.width() - 1);
+          const int py = std::min(by * kDctBlock + y, img.height() - 1);
+          data[static_cast<std::size_t>(y * kDctBlock + x)] =
+              (static_cast<std::int64_t>(img.at(px, py)) - 128)
+              << cfg_.frac_bits;
+        }
+      }
+      // Rows then columns, as in the inverse path.
+      std::array<std::int64_t, kDctBlock * kDctBlock> tmp{};
+      for (int row = 0; row < kDctBlock; ++row) {
+        std::array<std::int64_t, kDctBlock> v{};
+        for (int i = 0; i < kDctBlock; ++i) v[static_cast<std::size_t>(i)] =
+            data[static_cast<std::size_t>(row * kDctBlock + i)];
+        const auto t = transform_vector(v);
+        for (int i = 0; i < kDctBlock; ++i) {
+          tmp[static_cast<std::size_t>(i * kDctBlock + row)] =
+              t[static_cast<std::size_t>(i)];
+        }
+      }
+      std::array<std::int32_t, kDctBlock * kDctBlock> levels{};
+      for (int row = 0; row < kDctBlock; ++row) {
+        std::array<std::int64_t, kDctBlock> v{};
+        for (int i = 0; i < kDctBlock; ++i) v[static_cast<std::size_t>(i)] =
+            tmp[static_cast<std::size_t>(row * kDctBlock + i)];
+        const auto t = transform_vector(v);
+        for (int i = 0; i < kDctBlock; ++i) {
+          levels[static_cast<std::size_t>(i * kDctBlock + row)] =
+              static_cast<std::int32_t>(std::llround(
+                  static_cast<double>(t[static_cast<std::size_t>(i)]) / denom));
+        }
+      }
+      q.blocks.push_back(levels);
+    }
+  }
+  return q;
+}
+
+}  // namespace aapx

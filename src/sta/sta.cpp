@@ -1,0 +1,158 @@
+#include "sta/sta.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+constexpr double kNeverArrives = -std::numeric_limits<double>::infinity();
+
+/// Back-pointer for critical-path extraction: which input pin and input
+/// transition produced a net's worst rise/fall arrival.
+struct Origin {
+  GateId gate = kInvalidGate;
+  int pin = -1;
+  bool input_rising = false;
+};
+
+}  // namespace
+
+double StaResult::net_arrival(NetId net) const {
+  const double r = arrival_rise[net];
+  const double f = arrival_fall[net];
+  const double worst = std::max(r, f);
+  return worst == kNeverArrives ? 0.0 : worst;
+}
+
+Sta::Sta(const Netlist& nl, StaOptions options) : nl_(&nl), options_(options) {}
+
+StaResult Sta::run_fresh() const { return run(nullptr, nullptr); }
+
+StaResult Sta::run_aged(const DegradationAwareLibrary& aged,
+                        const StressProfile& stress) const {
+  if (stress.gate_count() != nl_->num_gates()) {
+    throw std::invalid_argument("Sta::run_aged: stress profile size mismatch");
+  }
+  return run(&aged, &stress);
+}
+
+Sta::GateDelays Sta::gate_delays(const DegradationAwareLibrary* aged,
+                                 const StressProfile* stress) const {
+  const Netlist& nl = *nl_;
+  GateDelays gd;
+  gd.rise.reserve(nl.num_gates());
+  gd.fall.reserve(nl.num_gates());
+  const double slew = options_.primary_input_slew;
+  std::vector<char> is_po(nl.num_nets(), 0);
+  for (const NetId po : nl.outputs()) is_po[po] = 1;
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const auto gid = static_cast<GateId>(g);
+    const Gate& gate = nl.gate(gid);
+    const Cell& cell = nl.lib().cell(gate.cell);
+    // Primary outputs additionally drive the next pipeline stage's registers.
+    double load = nl.net_load(gate.fanout);
+    if (is_po[gate.fanout]) load += options_.primary_output_load;
+
+    double rise_factor = 1.0;
+    double fall_factor = 1.0;
+    if (aged != nullptr && stress != nullptr) {
+      const StressPair sp = stress->gate(gid);
+      rise_factor = aged->rise_factor(gate.cell, sp);
+      fall_factor = aged->fall_factor(gate.cell, sp);
+    }
+    double rise = 0.0;
+    double fall = 0.0;
+    for (const TimingArc& arc : cell.arcs) {
+      rise = std::max(rise, arc.rise_delay.lookup(slew, load));
+      fall = std::max(fall, arc.fall_delay.lookup(slew, load));
+    }
+    gd.rise.push_back(rise * rise_factor);
+    gd.fall.push_back(fall * fall_factor);
+  }
+  return gd;
+}
+
+StaResult Sta::run(const DegradationAwareLibrary* aged,
+                   const StressProfile* stress) const {
+  const Netlist& nl = *nl_;
+  const std::size_t nets = nl.num_nets();
+
+  // STA and the event-driven simulator share one delay model (per gate and
+  // transition direction, at a nominal boundary slew). This makes the STA
+  // max delay a strict upper bound on any simulated settling time, which is
+  // the property behind paper Eq. 1: tCP <= tclock implies no timing errors.
+  const GateDelays gd = gate_delays(aged, stress);
+
+  StaResult res;
+  res.arrival_rise.assign(nets, kNeverArrives);
+  res.arrival_fall.assign(nets, kNeverArrives);
+  std::vector<Origin> origin_rise(nets);
+  std::vector<Origin> origin_fall(nets);
+
+  for (const NetId pi : nl.inputs()) {
+    res.arrival_rise[pi] = 0.0;
+    res.arrival_fall[pi] = 0.0;
+  }
+
+  for (const GateId gid : nl.topo_order()) {
+    const Gate& g = nl.gate(gid);
+    const int pins = nl.gate_num_inputs(gid);
+    for (int p = 0; p < pins; ++p) {
+      const NetId in = g.fanin[static_cast<std::size_t>(p)];
+      // Non-unate treatment: either input transition may cause either output
+      // transition; take the worst combination per output edge.
+      for (const bool input_rising : {false, true}) {
+        const double in_arr =
+            input_rising ? res.arrival_rise[in] : res.arrival_fall[in];
+        if (in_arr == kNeverArrives) continue;
+        const double a_rise = in_arr + gd.rise[gid];
+        if (a_rise > res.arrival_rise[g.fanout]) {
+          res.arrival_rise[g.fanout] = a_rise;
+          origin_rise[g.fanout] = {gid, p, input_rising};
+        }
+        const double a_fall = in_arr + gd.fall[gid];
+        if (a_fall > res.arrival_fall[g.fanout]) {
+          res.arrival_fall[g.fanout] = a_fall;
+          origin_fall[g.fanout] = {gid, p, input_rising};
+        }
+      }
+    }
+  }
+
+  res.output_delay.reserve(nl.outputs().size());
+  res.max_delay = 0.0;
+  res.critical_output = 0;
+  bool critical_rising = true;
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    const NetId po = nl.outputs()[i];
+    const double r = res.arrival_rise[po];
+    const double f = res.arrival_fall[po];
+    const double worst = std::max({r, f, 0.0});
+    res.output_delay.push_back(worst);
+    if (worst > res.max_delay) {
+      res.max_delay = worst;
+      res.critical_output = i;
+      critical_rising = r >= f;
+    }
+  }
+
+  // Critical-path walk-back from the worst output.
+  if (res.max_delay > 0.0 && !nl.outputs().empty()) {
+    NetId net = nl.outputs()[res.critical_output];
+    bool rising = critical_rising;
+    while (true) {
+      const Origin& o = rising ? origin_rise[net] : origin_fall[net];
+      if (o.gate == kInvalidGate) break;
+      const double arrival = rising ? res.arrival_rise[net] : res.arrival_fall[net];
+      res.critical_path.push_back({o.gate, o.pin, rising, arrival});
+      net = nl.gate(o.gate).fanin[static_cast<std::size_t>(o.pin)];
+      rising = o.input_rising;
+    }
+    std::reverse(res.critical_path.begin(), res.critical_path.end());
+  }
+  return res;
+}
+
+}  // namespace aapx

@@ -1,0 +1,77 @@
+// Static timing analysis with optional aging awareness.
+//
+// Arrival times and slews propagate in topological order through the NLDM
+// tables, separately for rising and falling output transitions (arcs are
+// treated as non-unate, the conservative convention for max-delay analysis).
+// The aged variant multiplies each arc delay/slew by the degradation-aware
+// library's factor for the gate's stress pair — the paper's "aging-aware STA"
+// (Fig. 3b / Fig. 6).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "aging/stress.hpp"
+#include "cell/degradation.hpp"
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+struct StaOptions {
+  double primary_input_slew = 20.0;  ///< ps, driven by boundary registers
+  double primary_output_load = 4.0;  ///< fF, next-stage register D pins
+};
+
+/// One step of an extracted critical path.
+struct PathStep {
+  GateId gate;
+  int input_pin;
+  bool output_rising;
+  double arrival;  ///< ps at the gate output
+};
+
+struct StaResult {
+  /// Per-net worst arrival times [ps]; -inf for nets that never transition.
+  std::vector<double> arrival_rise;
+  std::vector<double> arrival_fall;
+
+  double max_delay = 0.0;             ///< worst PO arrival (>= 0)
+  std::size_t critical_output = 0;    ///< PO index achieving max_delay
+  std::vector<PathStep> critical_path;  ///< PI-side first
+
+  /// Worst arrival per primary output index (0 for constant outputs).
+  std::vector<double> output_delay;
+
+  double net_arrival(NetId net) const;
+};
+
+class Sta {
+ public:
+  explicit Sta(const Netlist& nl, StaOptions options = {});
+
+  /// Fresh (no-aging) max-delay analysis — paper's t(noAging).
+  StaResult run_fresh() const;
+
+  /// Aging-aware analysis. The stress profile must cover every gate
+  /// (uniform profiles for worst/balanced, measured profiles from simulation).
+  StaResult run_aged(const DegradationAwareLibrary& aged,
+                     const StressProfile& stress) const;
+
+  /// Per-gate aged delays for the event-driven simulator: worst rise/fall arc
+  /// delay of each gate at its actual load and a nominal input slew.
+  struct GateDelays {
+    std::vector<double> rise;  ///< ps, indexed by GateId
+    std::vector<double> fall;
+  };
+  GateDelays gate_delays(const DegradationAwareLibrary* aged,
+                         const StressProfile* stress) const;
+
+ private:
+  StaResult run(const DegradationAwareLibrary* aged,
+                const StressProfile* stress) const;
+
+  const Netlist* nl_;
+  StaOptions options_;
+};
+
+}  // namespace aapx

@@ -1,0 +1,107 @@
+#include "sta/variation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+/// Longest-path analysis over explicit per-gate delays — the same
+/// rise/fall propagation the Sta uses, minus path extraction.
+double max_delay_with(const Netlist& nl, const Sta::GateDelays& gd) {
+  constexpr double kNever = -std::numeric_limits<double>::infinity();
+  std::vector<double> rise(nl.num_nets(), kNever);
+  std::vector<double> fall(nl.num_nets(), kNever);
+  for (const NetId pi : nl.inputs()) {
+    rise[pi] = 0.0;
+    fall[pi] = 0.0;
+  }
+  for (const GateId gid : nl.topo_order()) {
+    const Gate& g = nl.gate(gid);
+    const int pins = nl.gate_num_inputs(gid);
+    double worst_in = kNever;
+    for (int p = 0; p < pins; ++p) {
+      const NetId in = g.fanin[static_cast<std::size_t>(p)];
+      worst_in = std::max({worst_in, rise[in], fall[in]});
+    }
+    if (worst_in == kNever) continue;
+    rise[g.fanout] = std::max(rise[g.fanout], worst_in + gd.rise[gid]);
+    fall[g.fanout] = std::max(fall[g.fanout], worst_in + gd.fall[gid]);
+  }
+  double max_delay = 0.0;
+  for (const NetId po : nl.outputs()) {
+    max_delay = std::max({max_delay, rise[po], fall[po]});
+  }
+  return max_delay;
+}
+
+}  // namespace
+
+double VariationResult::mean() const {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double s : samples) sum += s;
+  return sum / static_cast<double>(samples.size());
+}
+
+double VariationResult::quantile(double q) const {
+  if (samples.empty()) throw std::logic_error("VariationResult: empty");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("quantile: q in [0,1]");
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(samples.size() - 1) + 0.5);
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+double VariationResult::guardband(double nominal, double q) const {
+  return std::max(0.0, quantile(q) - nominal);
+}
+
+MonteCarloSta::MonteCarloSta(const Netlist& nl, VariationParams params,
+                             StaOptions sta_options)
+    : nl_(&nl), params_(params), sta_options_(sta_options) {
+  if (params_.local_sigma < 0.0 || params_.global_sigma < 0.0) {
+    throw std::invalid_argument("MonteCarloSta: negative sigma");
+  }
+}
+
+VariationResult MonteCarloSta::run_fresh(int samples) const {
+  const Sta sta(*nl_, sta_options_);
+  return run(sta.gate_delays(nullptr, nullptr), samples);
+}
+
+VariationResult MonteCarloSta::run_aged(const DegradationAwareLibrary& aged,
+                                        const StressProfile& stress,
+                                        int samples) const {
+  const Sta sta(*nl_, sta_options_);
+  return run(sta.gate_delays(&aged, &stress), samples);
+}
+
+VariationResult MonteCarloSta::run(const Sta::GateDelays& base,
+                                   int samples) const {
+  if (samples <= 0) throw std::invalid_argument("MonteCarloSta: samples > 0");
+  Rng rng(params_.seed);
+  VariationResult result;
+  result.samples.reserve(static_cast<std::size_t>(samples));
+  // Mean-one lognormal: exp(sigma*z - sigma^2/2).
+  const auto lognormal = [&](double sigma) {
+    return std::exp(sigma * rng.next_normal() - 0.5 * sigma * sigma);
+  };
+  Sta::GateDelays die = base;
+  for (int s = 0; s < samples; ++s) {
+    const double global = lognormal(params_.global_sigma);
+    for (std::size_t g = 0; g < base.rise.size(); ++g) {
+      const double factor = global * lognormal(params_.local_sigma);
+      die.rise[g] = base.rise[g] * factor;
+      die.fall[g] = base.fall[g] * factor;
+    }
+    result.samples.push_back(max_delay_with(*nl_, die));
+  }
+  std::sort(result.samples.begin(), result.samples.end());
+  return result;
+}
+
+}  // namespace aapx

@@ -1,0 +1,366 @@
+#include "synth/arith.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aapx {
+
+std::string to_string(AdderArch arch) {
+  switch (arch) {
+    case AdderArch::ripple: return "ripple";
+    case AdderArch::cla4: return "cla4";
+    case AdderArch::kogge_stone: return "kogge-stone";
+  }
+  return "unknown";
+}
+
+std::string to_string(MultArch arch) {
+  switch (arch) {
+    case MultArch::array: return "array";
+    case MultArch::wallace: return "wallace";
+  }
+  return "unknown";
+}
+
+SumCarry build_full_adder(Netlist& nl, NetId a, NetId b, NetId c) {
+  const NetId ab = nl.mk(LogicFn::kXor2, a, b);
+  return {nl.mk(LogicFn::kXor2, ab, c), nl.mk(LogicFn::kMaj3, a, b, c)};
+}
+
+SumCarry build_half_adder(Netlist& nl, NetId a, NetId b) {
+  return {nl.mk(LogicFn::kXor2, a, b), nl.mk(LogicFn::kAnd2, a, b)};
+}
+
+namespace {
+
+/// Balanced AND tree using AND3/AND2 cells; empty input yields const1.
+NetId and_tree(Netlist& nl, std::vector<NetId> terms) {
+  if (terms.empty()) return nl.const1();
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < terms.size()) {
+      const std::size_t left = terms.size() - i;
+      if (left >= 3 && left != 4) {
+        next.push_back(nl.mk(LogicFn::kAnd3, terms[i], terms[i + 1], terms[i + 2]));
+        i += 3;
+      } else if (left >= 2) {
+        next.push_back(nl.mk(LogicFn::kAnd2, terms[i], terms[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(terms[i]);
+        i += 1;
+      }
+    }
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+/// Balanced OR tree using OR3/OR2 cells; empty input yields const0.
+NetId or_tree(Netlist& nl, std::vector<NetId> terms) {
+  if (terms.empty()) return nl.const0();
+  while (terms.size() > 1) {
+    std::vector<NetId> next;
+    std::size_t i = 0;
+    while (i < terms.size()) {
+      const std::size_t left = terms.size() - i;
+      if (left >= 3 && left != 4) {
+        next.push_back(nl.mk(LogicFn::kOr3, terms[i], terms[i + 1], terms[i + 2]));
+        i += 3;
+      } else if (left >= 2) {
+        next.push_back(nl.mk(LogicFn::kOr2, terms[i], terms[i + 1]));
+        i += 2;
+      } else {
+        next.push_back(terms[i]);
+        i += 1;
+      }
+    }
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+Word build_ripple_adder(Netlist& nl, std::span<const NetId> a,
+                        std::span<const NetId> b, NetId carry_in) {
+  Word out;
+  out.reserve(a.size() + 1);
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const SumCarry sc = build_full_adder(nl, a[i], b[i], carry);
+    out.push_back(sc.sum);
+    carry = sc.carry;
+  }
+  out.push_back(carry);
+  return out;
+}
+
+Word build_cla4_adder(Netlist& nl, std::span<const NetId> a,
+                      std::span<const NetId> b, NetId carry_in) {
+  const std::size_t width = a.size();
+  std::vector<NetId> p(width);
+  std::vector<NetId> g(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    p[i] = nl.mk(LogicFn::kXor2, a[i], b[i]);
+    g[i] = nl.mk(LogicFn::kAnd2, a[i], b[i]);
+  }
+  Word out;
+  out.reserve(width + 1);
+  NetId cin = carry_in;  // ripples from group to group
+  for (std::size_t lo = 0; lo < width; lo += 4) {
+    const std::size_t k = std::min<std::size_t>(4, width - lo);
+    // Lookahead carries inside the group: c_i = OR_t ( g_t * prod p ) + cin*prod p.
+    std::vector<NetId> carries(k + 1);
+    carries[0] = cin;
+    for (std::size_t i = 1; i <= k; ++i) {
+      std::vector<NetId> terms;
+      for (std::size_t t = 0; t < i; ++t) {
+        std::vector<NetId> prod;
+        for (std::size_t m = t + 1; m < i; ++m) prod.push_back(p[lo + m]);
+        prod.push_back(g[lo + t]);
+        terms.push_back(and_tree(nl, prod));
+      }
+      std::vector<NetId> full_prop(p.begin() + static_cast<std::ptrdiff_t>(lo),
+                                   p.begin() + static_cast<std::ptrdiff_t>(lo + i));
+      full_prop.push_back(cin);
+      terms.push_back(and_tree(nl, std::move(full_prop)));
+      carries[i] = or_tree(nl, std::move(terms));
+    }
+    for (std::size_t i = 0; i < k; ++i) {
+      out.push_back(nl.mk(LogicFn::kXor2, p[lo + i], carries[i]));
+    }
+    cin = carries[k];
+  }
+  out.push_back(cin);
+  return out;
+}
+
+Word build_kogge_stone_adder(Netlist& nl, std::span<const NetId> a,
+                             std::span<const NetId> b, NetId carry_in) {
+  const std::size_t width = a.size();
+  std::vector<NetId> p(width);
+  std::vector<NetId> g(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    p[i] = nl.mk(LogicFn::kXor2, a[i], b[i]);
+    g[i] = nl.mk(LogicFn::kAnd2, a[i], b[i]);
+  }
+  // Parallel prefix of the (g, p) carry operator.
+  std::vector<NetId> gg = g;
+  std::vector<NetId> pp = p;
+  for (std::size_t d = 1; d < width; d *= 2) {
+    std::vector<NetId> g2 = gg;
+    std::vector<NetId> p2 = pp;
+    for (std::size_t i = d; i < width; ++i) {
+      g2[i] = nl.mk(LogicFn::kOr2, gg[i], nl.mk(LogicFn::kAnd2, pp[i], gg[i - d]));
+      p2[i] = nl.mk(LogicFn::kAnd2, pp[i], pp[i - d]);
+    }
+    gg = std::move(g2);
+    pp = std::move(p2);
+  }
+  // c_{i+1} = G_i | P_i & cin ; c_0 = cin.
+  Word out;
+  out.reserve(width + 1);
+  NetId carry = carry_in;
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(nl.mk(LogicFn::kXor2, p[i], carry));
+    carry = nl.mk(LogicFn::kOr2, gg[i], nl.mk(LogicFn::kAnd2, pp[i], carry_in));
+  }
+  out.push_back(carry);
+  return out;
+}
+
+}  // namespace
+
+Word build_adder(Netlist& nl, std::span<const NetId> a, std::span<const NetId> b,
+                 NetId carry_in, AdderArch arch) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("build_adder: operand widths differ");
+  }
+  if (a.empty()) throw std::invalid_argument("build_adder: empty operands");
+  switch (arch) {
+    case AdderArch::ripple: return build_ripple_adder(nl, a, b, carry_in);
+    case AdderArch::cla4: return build_cla4_adder(nl, a, b, carry_in);
+    case AdderArch::kogge_stone: return build_kogge_stone_adder(nl, a, b, carry_in);
+  }
+  throw std::invalid_argument("build_adder: unknown architecture");
+}
+
+Word resize_signed(Netlist& nl, std::span<const NetId> w, int width) {
+  if (w.empty()) throw std::invalid_argument("resize_signed: empty word");
+  Word out(w.begin(), w.end());
+  if (static_cast<int>(out.size()) > width) {
+    out.resize(static_cast<std::size_t>(width));
+  } else {
+    const NetId msb = out.back();
+    while (static_cast<int>(out.size()) < width) out.push_back(msb);
+  }
+  (void)nl;
+  return out;
+}
+
+Word reduce_columns(Netlist& nl, std::vector<std::vector<NetId>> columns,
+                    AdderArch final_adder) {
+  const std::size_t width = columns.size();
+  if (width == 0) throw std::invalid_argument("reduce_columns: no columns");
+  // Wallace-style 3:2 / 2:2 compression until every column has <= 2 bits.
+  bool again = true;
+  while (again) {
+    again = false;
+    std::vector<std::vector<NetId>> next(width);
+    for (std::size_t c = 0; c < width; ++c) {
+      auto& col = columns[c];
+      std::size_t i = 0;
+      while (col.size() - i >= 3) {
+        const SumCarry sc = build_full_adder(nl, col[i], col[i + 1], col[i + 2]);
+        next[c].push_back(sc.sum);
+        if (c + 1 < width) next[c + 1].push_back(sc.carry);
+        i += 3;
+      }
+      if (col.size() - i == 2 && col.size() > 2) {
+        const SumCarry sc = build_half_adder(nl, col[i], col[i + 1]);
+        next[c].push_back(sc.sum);
+        if (c + 1 < width) next[c + 1].push_back(sc.carry);
+        i += 2;
+      }
+      for (; i < col.size(); ++i) next[c].push_back(col[i]);
+    }
+    columns = std::move(next);
+    for (const auto& col : columns) {
+      if (col.size() > 2) {
+        again = true;
+        break;
+      }
+    }
+  }
+  Word row0(width);
+  Word row1(width);
+  for (std::size_t c = 0; c < width; ++c) {
+    row0[c] = columns[c].empty() ? nl.const0() : columns[c][0];
+    row1[c] = columns[c].size() > 1 ? columns[c][1] : nl.const0();
+  }
+  Word sum = build_adder(nl, row0, row1, nl.const0(), final_adder);
+  sum.resize(width);  // product is defined modulo 2^width
+  return sum;
+}
+
+namespace {
+
+/// Baugh-Wooley two's complement partial-product columns (see derivation in
+/// tests/synth/multiplier_test.cpp): AND terms for same-sign index pairs,
+/// NAND terms where exactly one index is the sign position, plus constant
+/// ones at weights 2^n and 2^(2n-1).
+std::vector<std::vector<NetId>> bw_partial_product_columns(
+    Netlist& nl, std::span<const NetId> a, std::span<const NetId> b) {
+  const std::size_t n = a.size();
+  const std::size_t out_width = 2 * n;
+  std::vector<std::vector<NetId>> columns(out_width);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const bool i_sign = i == n - 1;
+      const bool j_sign = j == n - 1;
+      const LogicFn fn = (i_sign != j_sign) ? LogicFn::kNand2 : LogicFn::kAnd2;
+      columns[i + j].push_back(nl.mk(fn, a[i], b[j]));
+    }
+  }
+  if (n < out_width) columns[n].push_back(nl.const1());
+  columns[out_width - 1].push_back(nl.const1());
+  return columns;
+}
+
+/// Accumulates partial-product columns with the requested architecture.
+Word accumulate_columns(Netlist& nl, std::vector<std::vector<NetId>> columns,
+                        MultArch arch) {
+  const std::size_t out_width = columns.size();
+  if (arch == MultArch::wallace) {
+    return reduce_columns(nl, std::move(columns), AdderArch::cla4);
+  }
+  // Array multiplier: cascade of ripple additions, one per partial-product
+  // row; the diagonal carry structure gives the classic O(2n) critical path.
+  Word acc(out_width, nl.const0());
+  std::size_t max_rows = 0;
+  for (const auto& col : columns) max_rows = std::max(max_rows, col.size());
+  for (std::size_t row = 0; row < max_rows; ++row) {
+    Word addend(out_width, nl.const0());
+    bool any = false;
+    for (std::size_t c = 0; c < out_width; ++c) {
+      if (row < columns[c].size()) {
+        addend[c] = columns[c][row];
+        any = true;
+      }
+    }
+    if (!any) continue;
+    Word sum = build_adder(nl, acc, addend, nl.const0(), AdderArch::ripple);
+    sum.resize(out_width);
+    acc = std::move(sum);
+  }
+  return acc;
+}
+
+}  // namespace
+
+Word build_multiplier(Netlist& nl, std::span<const NetId> a,
+                      std::span<const NetId> b, MultArch arch) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("build_multiplier: bad operand widths");
+  }
+  return accumulate_columns(nl, bw_partial_product_columns(nl, a, b), arch);
+}
+
+Word build_pp_truncated_multiplier(Netlist& nl, std::span<const NetId> a,
+                                   std::span<const NetId> b, MultArch arch,
+                                   int dropped_columns) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("build_pp_truncated_multiplier: bad widths");
+  }
+  const int out_width = static_cast<int>(2 * a.size());
+  if (dropped_columns < 0 || dropped_columns >= out_width) {
+    throw std::invalid_argument(
+        "build_pp_truncated_multiplier: bad dropped_columns");
+  }
+  std::vector<std::vector<NetId>> columns = bw_partial_product_columns(nl, a, b);
+  for (int c = 0; c < dropped_columns; ++c) {
+    columns[static_cast<std::size_t>(c)].clear();
+  }
+  return accumulate_columns(nl, std::move(columns), arch);
+}
+
+Word build_windowed_adder(Netlist& nl, std::span<const NetId> a,
+                          std::span<const NetId> b, int window) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("build_windowed_adder: bad operand widths");
+  }
+  if (window < 1) {
+    throw std::invalid_argument("build_windowed_adder: window must be >= 1");
+  }
+  const std::size_t width = a.size();
+  std::vector<NetId> p(width);
+  std::vector<NetId> g(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    p[i] = nl.mk(LogicFn::kXor2, a[i], b[i]);
+    g[i] = nl.mk(LogicFn::kAnd2, a[i], b[i]);
+  }
+  // Speculative carry into position i: generated within the lookback window
+  // and propagated to i; carries older than the window are assumed absent.
+  auto windowed_carry = [&](std::size_t i) -> NetId {
+    std::vector<NetId> terms;
+    const std::size_t lo =
+        i > static_cast<std::size_t>(window) ? i - static_cast<std::size_t>(window)
+                                             : 0;
+    for (std::size_t t = lo; t < i; ++t) {
+      std::vector<NetId> prod;
+      for (std::size_t m = t + 1; m < i; ++m) prod.push_back(p[m]);
+      prod.push_back(g[t]);
+      terms.push_back(and_tree(nl, std::move(prod)));
+    }
+    return or_tree(nl, std::move(terms));
+  };
+  Word out;
+  out.reserve(width + 1);
+  for (std::size_t i = 0; i < width; ++i) {
+    out.push_back(nl.mk(LogicFn::kXor2, p[i], windowed_carry(i)));
+  }
+  out.push_back(windowed_carry(width));
+  return out;
+}
+
+}  // namespace aapx

@@ -1,0 +1,73 @@
+// Structural arithmetic building blocks over a Netlist.
+//
+// These are the in-netlist equivalents of what the paper's logic synthesis
+// (Design Compiler "ultra compile") produces for datapath operators. Word
+// operands are LSB-first vectors of nets. All values are two's complement.
+//
+// Adder architectures trade delay growth against area, which directly shapes
+// how many precision bits a component must give up to absorb aging (see the
+// abl_adder_architecture bench): ripple delay grows linearly in width,
+// blocked CLA roughly linearly with a 4x smaller slope, Kogge-Stone
+// logarithmically.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace aapx {
+
+using Word = std::vector<NetId>;
+
+enum class AdderArch { ripple, cla4, kogge_stone };
+enum class MultArch { array, wallace };
+
+std::string to_string(AdderArch arch);
+std::string to_string(MultArch arch);
+
+/// Full adder (sum, carry) from XOR2/MAJ3 cells.
+struct SumCarry {
+  NetId sum;
+  NetId carry;
+};
+SumCarry build_full_adder(Netlist& nl, NetId a, NetId b, NetId c);
+SumCarry build_half_adder(Netlist& nl, NetId a, NetId b);
+
+/// width(a)==width(b) adder; result has width(a)+1 bits (carry-out is MSB).
+Word build_adder(Netlist& nl, std::span<const NetId> a, std::span<const NetId> b,
+                 NetId carry_in, AdderArch arch);
+
+/// Almost-correct adder (speculative carry, Verma et al. [17] style): every
+/// sum bit i uses a carry chain looking back at most `window` positions, so
+/// the critical path scales with the window instead of the width. Errors are
+/// rare (a real carry chain longer than the window) but large when they
+/// occur — the opposite trade to LSB truncation. Result has width+1 bits;
+/// the top carry-out uses the same windowed estimate.
+Word build_windowed_adder(Netlist& nl, std::span<const NetId> a,
+                          std::span<const NetId> b, int window);
+
+/// Fixed-width style multiplier: drops the `dropped_columns` least
+/// significant partial-product columns before accumulation (classic
+/// truncated-multiplier approximation [7]/[8] territory). The dropped
+/// columns' contribution is replaced by nothing (no compensation constant),
+/// giving an always-negative bounded error.
+Word build_pp_truncated_multiplier(Netlist& nl, std::span<const NetId> a,
+                                   std::span<const NetId> b, MultArch arch,
+                                   int dropped_columns);
+
+/// Two's complement Baugh-Wooley product, 2*width bits (mod 2^(2*width)).
+Word build_multiplier(Netlist& nl, std::span<const NetId> a,
+                      std::span<const NetId> b, MultArch arch);
+
+/// Sign-extends / truncates a word to `width` bits (two's complement).
+Word resize_signed(Netlist& nl, std::span<const NetId> w, int width);
+
+/// Column-compression (Wallace) reduction of addend columns to two rows,
+/// then a final adder. `columns[i]` lists the bits of weight 2^i.
+/// Result has columns.size() bits (computed modulo 2^columns.size()).
+Word reduce_columns(Netlist& nl, std::vector<std::vector<NetId>> columns,
+                    AdderArch final_adder);
+
+}  // namespace aapx

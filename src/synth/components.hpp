@@ -1,0 +1,55 @@
+// RTL datapath component generators (the paper's C_j components).
+//
+// Each generator returns an optimized gate-level netlist with stable,
+// LSB-first operand buses. `truncated_bits` implements the paper's generic
+// approximation technique — truncation of operand LSBs: the interface keeps
+// its full width, but the k low bits of every operand are tied to logic 0
+// inside the component, and optimization then removes the logic they fed.
+// The truncated component is both smaller and faster, which is what lets it
+// absorb its aging-induced delay increase.
+#pragma once
+
+#include <string>
+
+#include "synth/arith.hpp"
+
+namespace aapx {
+
+enum class ComponentKind { adder, multiplier, mac, clamp };
+
+std::string to_string(ComponentKind kind);
+
+/// How the precision knob `truncated_bits` is realized in logic. The paper
+/// uses LSB truncation "without loss of generality"; the flow works with any
+/// technique that trades accuracy for delay (paper Sec. III), so two classic
+/// alternatives are provided:
+///  * lsb_truncation — operand LSBs tied to zero (bounded, always-small error)
+///  * carry_window   — speculative adder with a bounded carry lookback of
+///                     precision() bits (rare but large errors)
+///  * pp_truncation  — multiplier drops its truncated_bits least significant
+///                     partial-product columns (bounded negative error)
+enum class ApproxTechnique { lsb_truncation, carry_window, pp_truncation };
+
+std::string to_string(ApproxTechnique technique);
+
+struct ComponentSpec {
+  ComponentKind kind = ComponentKind::adder;
+  int width = 32;              ///< operand bit width N_j
+  int truncated_bits = 0;      ///< the precision knob (N_j - K_j)
+  AdderArch adder_arch = AdderArch::cla4;
+  MultArch mult_arch = MultArch::array;
+  ApproxTechnique technique = ApproxTechnique::lsb_truncation;
+
+  /// Effective precision K_j = width - truncated_bits.
+  int precision() const { return width - truncated_bits; }
+  std::string name() const;
+};
+
+/// Builds and optimizes the component netlist.
+/// Buses: adder  a,b[width] -> y[width+1]
+///        mult   a,b[width] -> y[2*width]        (two's complement)
+///        mac    a,b[width], acc[2*width] -> y[2*width+1]
+///        clamp  x[width] -> y[8]                (saturate to [0, 255])
+Netlist make_component(const CellLibrary& lib, const ComponentSpec& spec);
+
+}  // namespace aapx

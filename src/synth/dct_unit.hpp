@@ -1,0 +1,44 @@
+// Dedicated 1-D 8-point IDCT row datapath.
+//
+// The paper's IDCT microarchitecture time-multiplexes one generic multiplier.
+// A dedicated unit instead hardwires the transform: every coefficient
+// becomes a constant-coefficient multiplier — the generic Baugh-Wooley array
+// with one operand tied to the coefficient's bits, which the optimizer
+// constant-folds into shift-add logic — feeding per-output adder trees.
+// This is the natural "what if we harden the whole transform" companion
+// study: the constant structure is much smaller and its critical path
+// reacts differently to operand truncation (see bench/abl_dedicated_datapath).
+#pragma once
+
+#include <cstdint>
+
+#include "synth/arith.hpp"
+
+namespace aapx {
+
+struct IdctUnitSpec {
+  int data_width = 16;    ///< width of each coefficient input X[k]
+  int frac_bits = 7;      ///< coefficient Q format (matches CodecConfig)
+  int truncated_bits = 0; ///< LSB truncation applied to the data inputs
+  AdderArch adder_arch = AdderArch::cla4;
+
+  /// Output width: data plus 3 growth bits for the 8-term sum.
+  int output_width() const { return data_width + 3; }
+};
+
+/// Builds the optimized unit. Input buses x0..x7 (LSB-first, data_width
+/// bits); output buses y0..y7 (output_width bits). y[n] = sum_k C[n][k]*x[k]
+/// with each product floor-shifted by frac_bits, everything two's complement
+/// modulo 2^output_width.
+Netlist make_idct_row_unit(const CellLibrary& lib, const IdctUnitSpec& spec);
+
+/// The fixed-point coefficient the unit hardwires at (n, k):
+/// round(dct_basis_like(k, n) * 2^frac_bits) for the orthonormal 8-point
+/// inverse DCT.
+std::int64_t idct_unit_coefficient(int n, int k, int frac_bits);
+
+/// Bit-accurate reference of the unit (for tests and quality studies).
+std::int64_t idct_unit_reference(const IdctUnitSpec& spec, int n,
+                                 const std::int64_t x[8]);
+
+}  // namespace aapx

@@ -1,0 +1,45 @@
+// Aging-aware gate sizing — the state-of-the-art baseline the paper compares
+// against ([4]: "Reliability-aware design to suppress aging", DAC'16).
+//
+// Instead of trading precision, [4] makes the netlist resilient by spending
+// circuit overhead: gates on aging-critical paths are replaced by stronger
+// drive variants until the *aged* critical path meets the original (fresh,
+// guardband-free) clock. This buys back the guardband at the cost of area,
+// leakage and dynamic power — exactly the overhead Fig. 8c normalizes our
+// savings against.
+#pragma once
+
+#include "cell/degradation.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+
+namespace aapx {
+
+struct SizingOptions {
+  int max_iterations = 1200;
+  /// Largest drive strength the sizer may use. Routing congestion and input
+  /// slew limits keep real flows below the library maximum; the paper's
+  /// baseline [4] retains a small residual guardband for the same reason.
+  int max_drive = 8;
+  /// After timing is met, downsize gates with positive aged slack to recover
+  /// area/power (standard synthesis recovery; keeps the baseline honest).
+  bool recover_area = true;
+  int max_recovery_iterations = 40;
+  StaOptions sta;
+};
+
+struct SizingResult {
+  Netlist netlist;        ///< resized copy
+  bool met = false;       ///< aged delay <= target achieved
+  double aged_delay = 0;  ///< ps, after sizing
+  int upsized_gates = 0;  ///< number of drive-strength bumps applied
+};
+
+/// Upsizes gates along aged critical paths until the aged max delay meets
+/// `target_delay_ps` (typically the fresh critical path of the original
+/// design) or no further upsizing helps.
+SizingResult size_for_aging(const Netlist& nl, const DegradationAwareLibrary& aged,
+                            const StressProfile& stress, double target_delay_ps,
+                            const SizingOptions& options = {});
+
+}  // namespace aapx

@@ -1,0 +1,87 @@
+#include "util/interp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+/// Index i such that axis[i] <= x < axis[i+1], clamped so that [i, i+1] is a
+/// valid segment; implements Liberty edge extrapolation.
+std::size_t segment_index(const std::vector<double>& axis, double x) {
+  if (axis.size() < 2) return 0;
+  const auto it = std::upper_bound(axis.begin(), axis.end(), x);
+  auto idx = static_cast<std::size_t>(std::distance(axis.begin(), it));
+  if (idx == 0) return 0;
+  if (idx >= axis.size()) return axis.size() - 2;
+  return idx - 1;
+}
+
+double lerp_on(const std::vector<double>& axis, std::size_t seg, double x,
+               double v0, double v1) {
+  const double x0 = axis[seg];
+  const double x1 = axis[seg + 1];
+  if (x1 == x0) return v0;
+  const double t = (x - x0) / (x1 - x0);
+  return v0 + t * (v1 - v0);
+}
+
+}  // namespace
+
+double interp1(const std::vector<double>& axis, const std::vector<double>& values,
+               double x) {
+  if (axis.empty() || axis.size() != values.size()) {
+    throw std::invalid_argument("interp1: axis/values size mismatch");
+  }
+  if (axis.size() == 1) return values[0];
+  const std::size_t s = segment_index(axis, x);
+  return lerp_on(axis, s, x, values[s], values[s + 1]);
+}
+
+Table2D::Table2D(std::vector<double> axis1, std::vector<double> axis2,
+                 std::vector<double> values)
+    : axis1_(std::move(axis1)), axis2_(std::move(axis2)), values_(std::move(values)) {
+  if (axis1_.empty() || axis2_.empty()) {
+    throw std::invalid_argument("Table2D: empty axis");
+  }
+  if (values_.size() != axis1_.size() * axis2_.size()) {
+    throw std::invalid_argument("Table2D: values size mismatch");
+  }
+  if (!std::is_sorted(axis1_.begin(), axis1_.end()) ||
+      !std::is_sorted(axis2_.begin(), axis2_.end())) {
+    throw std::invalid_argument("Table2D: axes must be sorted ascending");
+  }
+}
+
+double Table2D::at(std::size_t i, std::size_t j) const {
+  if (i >= axis1_.size() || j >= axis2_.size()) {
+    throw std::out_of_range("Table2D::at");
+  }
+  return values_[i * axis2_.size() + j];
+}
+
+double Table2D::lookup(double x1, double x2) const {
+  if (values_.empty()) throw std::logic_error("Table2D::lookup on empty table");
+  if (axis1_.size() == 1 && axis2_.size() == 1) return values_[0];
+  if (axis1_.size() == 1) {
+    const std::size_t s2 = segment_index(axis2_, x2);
+    return lerp_on(axis2_, s2, x2, at(0, s2), at(0, s2 + 1));
+  }
+  if (axis2_.size() == 1) {
+    const std::size_t s1 = segment_index(axis1_, x1);
+    return lerp_on(axis1_, s1, x1, at(s1, 0), at(s1 + 1, 0));
+  }
+  const std::size_t s1 = segment_index(axis1_, x1);
+  const std::size_t s2 = segment_index(axis2_, x2);
+  const double v0 = lerp_on(axis2_, s2, x2, at(s1, s2), at(s1, s2 + 1));
+  const double v1 = lerp_on(axis2_, s2, x2, at(s1 + 1, s2), at(s1 + 1, s2 + 1));
+  return lerp_on(axis1_, s1, x1, v0, v1);
+}
+
+Table2D Table2D::scaled(double factor) const {
+  Table2D out = *this;
+  for (auto& v : out.values_) v *= factor;
+  return out;
+}
+
+}  // namespace aapx

@@ -1,0 +1,38 @@
+// Table interpolation used by NLDM timing lookups and the 11x11 stress grid.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aapx {
+
+/// Piecewise-linear interpolation over a sorted axis. Values outside the axis
+/// range are linearly extrapolated from the edge segment (Liberty semantics).
+double interp1(const std::vector<double>& axis, const std::vector<double>& values,
+               double x);
+
+/// 2-D table with Liberty-style bilinear interpolation / edge extrapolation.
+/// Rows are indexed by axis1 (e.g. input slew), columns by axis2 (e.g. load).
+class Table2D {
+ public:
+  Table2D() = default;
+  Table2D(std::vector<double> axis1, std::vector<double> axis2,
+          std::vector<double> values);  ///< values.size() == axis1*axis2, row-major
+
+  double lookup(double x1, double x2) const;
+
+  const std::vector<double>& axis1() const noexcept { return axis1_; }
+  const std::vector<double>& axis2() const noexcept { return axis2_; }
+  double at(std::size_t i, std::size_t j) const;
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// Element-wise scale — used to derive aged tables from fresh ones.
+  Table2D scaled(double factor) const;
+
+ private:
+  std::vector<double> axis1_;
+  std::vector<double> axis2_;
+  std::vector<double> values_;  // row-major: values_[i * axis2.size() + j]
+};
+
+}  // namespace aapx

@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace aapx {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+}
+
+void Histogram::add(double x) noexcept {
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(t));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const { return counts_.at(bin); }
+
+double Histogram::bin_center(std::size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * width;
+}
+
+std::vector<double> Histogram::normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ == 0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = static_cast<double>(counts_[i]) / static_cast<double>(total_);
+  }
+  return out;
+}
+
+double Histogram::overlap(const Histogram& a, const Histogram& b) {
+  if (a.bins() != b.bins()) {
+    throw std::invalid_argument("Histogram::overlap: bin counts differ");
+  }
+  const auto na = a.normalized();
+  const auto nb = b.normalized();
+  double l1 = 0.0;
+  for (std::size_t i = 0; i < na.size(); ++i) l1 += std::abs(na[i] - nb[i]);
+  return 1.0 - l1 / 2.0;
+}
+
+double psnr_from_mse(double mse, double peak) {
+  if (mse <= 0.0) return std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(peak) - 10.0 * std::log10(mse);
+}
+
+}  // namespace aapx

@@ -1,0 +1,63 @@
+// Small statistics helpers shared by characterization and benches.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aapx {
+
+/// Running mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept;  ///< Sample variance (n-1 denominator).
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi]; values outside clamp to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const noexcept { return total_; }
+  /// Center of bin's value range.
+  double bin_center(std::size_t bin) const;
+  double lo() const noexcept { return lo_; }
+  double hi() const noexcept { return hi_; }
+
+  /// Normalized counts (fractions summing to 1; zeros if empty).
+  std::vector<double> normalized() const;
+
+  /// Earth-mover-free shape similarity in [0,1]: 1 - L1/2 of normalized bins.
+  /// Used by the Fig. 5 reproduction to show ND vs IDCT stress profiles match.
+  static double overlap(const Histogram& a, const Histogram& b);
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Peak-signal-to-noise ratio in dB for 8-bit data given mean squared error.
+double psnr_from_mse(double mse, double peak = 255.0);
+
+}  // namespace aapx

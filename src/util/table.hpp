@@ -1,0 +1,29 @@
+// Aligned plain-text table printer used by every bench binary so the
+// reproduced figures/tables read like the paper's rows and series.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aapx {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double v, int precision = 2);
+  /// Formats a percentage such as "13.4%".
+  static std::string pct(double fraction, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aapx

@@ -1,0 +1,65 @@
+#include "aging/stress.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aapx {
+namespace {
+
+TEST(StressTest, DutyConversion) {
+  const StressPair s = stress_from_duty(0.75);
+  EXPECT_DOUBLE_EQ(s.pmos, 0.75);
+  EXPECT_DOUBLE_EQ(s.nmos, 0.25);
+}
+
+TEST(StressTest, DutyValidation) {
+  EXPECT_THROW(stress_from_duty(-0.01), std::invalid_argument);
+  EXPECT_THROW(stress_from_duty(1.01), std::invalid_argument);
+}
+
+TEST(StressTest, UniformWorstProfile) {
+  const StressProfile p = StressProfile::uniform(StressMode::worst, 5);
+  EXPECT_EQ(p.gate_count(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(p.gate(i).pmos, 1.0);
+    EXPECT_DOUBLE_EQ(p.gate(i).nmos, 1.0);
+  }
+}
+
+TEST(StressTest, UniformBalancedProfile) {
+  const StressProfile p = StressProfile::uniform(StressMode::balanced, 3);
+  EXPECT_DOUBLE_EQ(p.gate(2).pmos, 0.5);
+  EXPECT_DOUBLE_EQ(p.gate(2).nmos, 0.5);
+}
+
+TEST(StressTest, UniformMeasuredRejected) {
+  EXPECT_THROW(StressProfile::uniform(StressMode::measured, 2),
+               std::invalid_argument);
+}
+
+TEST(StressTest, MeasuredFromDuty) {
+  const StressProfile p = StressProfile::measured({0.0, 0.25, 1.0});
+  EXPECT_EQ(p.mode(), StressMode::measured);
+  EXPECT_DOUBLE_EQ(p.gate(0).pmos, 0.0);
+  EXPECT_DOUBLE_EQ(p.gate(0).nmos, 1.0);
+  EXPECT_DOUBLE_EQ(p.gate(1).pmos, 0.25);
+  EXPECT_DOUBLE_EQ(p.gate(2).nmos, 0.0);
+}
+
+TEST(StressTest, GateIndexOutOfRange) {
+  const StressProfile p = StressProfile::uniform(StressMode::worst, 2);
+  EXPECT_THROW(p.gate(2), std::out_of_range);
+}
+
+TEST(StressTest, ScenarioLabels) {
+  EXPECT_EQ(AgingScenario::fresh().label(), "noAging");
+  EXPECT_EQ((AgingScenario{StressMode::worst, 10.0}).label(), "10Y(worst)");
+  EXPECT_EQ((AgingScenario{StressMode::balanced, 1.0}).label(), "1Y(balanced)");
+}
+
+TEST(StressTest, FreshDetection) {
+  EXPECT_TRUE(AgingScenario::fresh().is_fresh());
+  EXPECT_FALSE((AgingScenario{StressMode::worst, 5.0}).is_fresh());
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,91 @@
+#include "approx/characterization.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aapx {
+namespace {
+
+/// Hand-built characterization used by the query-logic tests:
+/// constraint t(noAging, 8) = 100 ps, one scenario, linear delay surface.
+ComponentCharacterization make_fixture() {
+  ComponentCharacterization c;
+  c.base = {ComponentKind::adder, 8, 0, AdderArch::cla4, MultArch::array};
+  c.scenarios = {{StressMode::worst, 10.0}, {StressMode::worst, 1.0}};
+  // precision, fresh, area, gates, aged{10y, 1y}
+  c.points = {
+      {8, 100.0, 80.0, 40, {120.0, 110.0}},
+      {7, 95.0, 75.0, 38, {114.0, 104.0}},
+      {6, 90.0, 70.0, 36, {108.0, 99.0}},
+      {5, 85.0, 65.0, 34, {102.0, 93.0}},
+      {4, 80.0, 60.0, 32, {96.0, 88.0}},
+  };
+  return c;
+}
+
+TEST(CharacterizationTest, FullFreshDelayIsConstraint) {
+  EXPECT_DOUBLE_EQ(make_fixture().full_fresh_delay(), 100.0);
+}
+
+TEST(CharacterizationTest, AtPrecisionLookup) {
+  const auto c = make_fixture();
+  EXPECT_DOUBLE_EQ(c.at_precision(6).fresh_delay, 90.0);
+  EXPECT_THROW(c.at_precision(3), std::out_of_range);
+}
+
+TEST(CharacterizationTest, GuardbandComputation) {
+  const auto c = make_fixture();
+  // GB(K) = max(0, aged(K) - fresh(N)).
+  EXPECT_DOUBLE_EQ(c.guardband(8, 0), 20.0);
+  EXPECT_DOUBLE_EQ(c.guardband(6, 0), 8.0);
+  EXPECT_DOUBLE_EQ(c.guardband(4, 0), 0.0);  // clamped at zero
+}
+
+TEST(CharacterizationTest, GuardbandNarrowing) {
+  const auto c = make_fixture();
+  EXPECT_DOUBLE_EQ(c.guardband_narrowing(8, 0), 0.0);
+  EXPECT_DOUBLE_EQ(c.guardband_narrowing(7, 0), 1.0 - 14.0 / 20.0);
+  EXPECT_DOUBLE_EQ(c.guardband_narrowing(5, 0), 1.0 - 2.0 / 20.0);
+  EXPECT_DOUBLE_EQ(c.guardband_narrowing(4, 0), 1.0);
+}
+
+TEST(CharacterizationTest, RequiredPrecisionPicksLargestFitting) {
+  const auto c = make_fixture();
+  // 10y scenario: need aged(K) <= 100 -> K = 4 (96) is first to fit.
+  EXPECT_EQ(c.required_precision(0), 4);
+  // 1y scenario: aged(6) = 99 <= 100 -> K = 6.
+  EXPECT_EQ(c.required_precision(1), 6);
+}
+
+TEST(CharacterizationTest, RequiredPrecisionUnreachable) {
+  auto c = make_fixture();
+  for (auto& p : c.points) p.aged_delay[0] = 500.0;
+  EXPECT_EQ(c.required_precision(0), -1);
+}
+
+TEST(CharacterizationTest, RelSlackSelection) {
+  const auto c = make_fixture();
+  // The selection scales the component's FRESH delay curve (paper Sec. V);
+  // validation against aged STA happens later in the flow.
+  EXPECT_EQ(c.precision_for_rel_slack(0, 0.0), 8);    // fresh(8)=100 <= 100
+  EXPECT_EQ(c.precision_for_rel_slack(0, -0.10), 6);  // fresh(6)=90 <= 90
+  EXPECT_EQ(c.precision_for_rel_slack(0, -0.16), 4);  // fresh(4)=80 <= 84
+  EXPECT_EQ(c.precision_for_rel_slack(0, 0.20), 8);
+  // Harsher slack forces more truncation.
+  EXPECT_LT(c.precision_for_rel_slack(0, -0.05), 8);
+}
+
+TEST(CharacterizationTest, ScenarioIndexLookup) {
+  const auto c = make_fixture();
+  EXPECT_EQ(c.scenario_index({StressMode::worst, 10.0}), 0u);
+  EXPECT_EQ(c.scenario_index({StressMode::worst, 1.0}), 1u);
+  EXPECT_THROW(c.scenario_index({StressMode::balanced, 10.0}), std::out_of_range);
+}
+
+TEST(CharacterizationTest, ScenarioIndexOutOfRangeThrows) {
+  const auto c = make_fixture();
+  EXPECT_THROW(c.guardband(8, 2), std::out_of_range);
+  EXPECT_THROW(c.precision_for_rel_slack(5, 0.0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,88 @@
+#include "approx/error_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+TEST(TruncateLsbsTest, ClearsLowBits) {
+  EXPECT_EQ(truncate_lsbs(0b1111, 2), 0b1100);
+  EXPECT_EQ(truncate_lsbs(0b1111, 0), 0b1111);
+  EXPECT_EQ(truncate_lsbs(100, 3), 96);
+}
+
+TEST(TruncateLsbsTest, NegativeValuesTruncateTowardMinusInfinity) {
+  EXPECT_EQ(truncate_lsbs(-1, 3), -8);
+  EXPECT_EQ(truncate_lsbs(-8, 3), -8);
+  EXPECT_EQ(truncate_lsbs(-7, 2), -8);
+}
+
+TEST(TruncateLsbsTest, InvalidKThrows) {
+  EXPECT_THROW(truncate_lsbs(0, -1), std::invalid_argument);
+  EXPECT_THROW(truncate_lsbs(0, 63), std::invalid_argument);
+}
+
+TEST(ErrorBoundsTest, AdderBoundFormula) {
+  EXPECT_EQ(adder_error_bound(0), 0);
+  EXPECT_EQ(adder_error_bound(1), 2);
+  EXPECT_EQ(adder_error_bound(3), 14);
+  EXPECT_EQ(adder_error_bound(8), 510);
+}
+
+TEST(ErrorBoundsTest, AdderBoundTightOverRandomOperands) {
+  Rng rng(42);
+  for (const int k : {1, 3, 5}) {
+    const std::int64_t bound = adder_error_bound(k);
+    std::int64_t worst = 0;
+    for (int i = 0; i < 20000; ++i) {
+      const std::int64_t a = rng.next_int(-(1 << 20), 1 << 20);
+      const std::int64_t b = rng.next_int(-(1 << 20), 1 << 20);
+      const std::int64_t err =
+          std::llabs((a + b) - (truncate_lsbs(a, k) + truncate_lsbs(b, k)));
+      ASSERT_LE(err, bound);
+      worst = std::max(worst, err);
+    }
+    // The bound is achievable (tight within one LSB of the truncated field).
+    EXPECT_GE(worst, bound / 2);
+  }
+}
+
+TEST(ErrorBoundsTest, MultiplierBoundHoldsOverRandomOperands) {
+  Rng rng(43);
+  const int width = 16;
+  for (const int k : {1, 3, 6}) {
+    const std::int64_t bound = multiplier_error_bound(width, k);
+    for (int i = 0; i < 20000; ++i) {
+      const std::int64_t lim = (std::int64_t{1} << (width - 1)) - 1;
+      const std::int64_t a = rng.next_int(-lim - 1, lim);
+      const std::int64_t b = rng.next_int(-lim - 1, lim);
+      const std::int64_t err =
+          std::llabs(a * b - truncate_lsbs(a, k) * truncate_lsbs(b, k));
+      ASSERT_LE(err, bound) << "a=" << a << " b=" << b << " k=" << k;
+    }
+  }
+}
+
+TEST(ErrorBoundsTest, MultiplierBoundMonotoneInK) {
+  for (int k = 1; k < 8; ++k) {
+    EXPECT_LT(multiplier_error_bound(16, k - 1), multiplier_error_bound(16, k));
+  }
+}
+
+TEST(ErrorBoundsTest, MacBoundEqualsMultiplierBound) {
+  EXPECT_EQ(mac_error_bound(16, 3), multiplier_error_bound(16, 3));
+}
+
+TEST(ErrorBoundsTest, ArgumentValidation) {
+  EXPECT_THROW(multiplier_error_bound(0, 0), std::invalid_argument);
+  EXPECT_THROW(multiplier_error_bound(16, 16), std::invalid_argument);
+  EXPECT_THROW(multiplier_error_bound(60, 5), std::invalid_argument);
+  EXPECT_THROW(adder_error_bound(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aapx

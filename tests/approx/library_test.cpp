@@ -1,0 +1,92 @@
+#include "approx/library.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aapx {
+namespace {
+
+ComponentCharacterization sample(ComponentKind kind, int width) {
+  ComponentCharacterization c;
+  c.base = {kind, width, 0, AdderArch::cla4, MultArch::array};
+  c.scenarios = {{StressMode::worst, 10.0}, {StressMode::balanced, 1.0}};
+  c.points = {
+      {width, 100.5, 80.25, 40, {120.125, 110.0}},
+      {width - 1, 95.0, 75.0, 38, {114.0, 104.0}},
+  };
+  return c;
+}
+
+TEST(ApproximationLibraryTest, AddAndGet) {
+  ApproximationLibrary lib;
+  lib.add(sample(ComponentKind::adder, 8));
+  EXPECT_TRUE(lib.contains("adder8_cla4"));
+  EXPECT_FALSE(lib.contains("adder16_cla4"));
+  const auto& c = lib.get("adder8_cla4");
+  EXPECT_EQ(c.base.width, 8);
+  EXPECT_THROW(lib.get("nope"), std::out_of_range);
+}
+
+TEST(ApproximationLibraryTest, AddReplacesExisting) {
+  ApproximationLibrary lib;
+  lib.add(sample(ComponentKind::adder, 8));
+  auto updated = sample(ComponentKind::adder, 8);
+  updated.points[0].fresh_delay = 42.0;
+  lib.add(updated);
+  EXPECT_EQ(lib.size(), 1u);
+  EXPECT_DOUBLE_EQ(lib.get("adder8_cla4").points[0].fresh_delay, 42.0);
+}
+
+TEST(ApproximationLibraryTest, NamesSorted) {
+  ApproximationLibrary lib;
+  lib.add(sample(ComponentKind::multiplier, 8));
+  lib.add(sample(ComponentKind::adder, 8));
+  const auto names = lib.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "adder8_cla4");
+  EXPECT_EQ(names[1], "multiplier8_array");
+}
+
+TEST(ApproximationLibraryTest, SaveLoadRoundTrip) {
+  ApproximationLibrary lib;
+  lib.add(sample(ComponentKind::adder, 8));
+  lib.add(sample(ComponentKind::mac, 16));
+  std::stringstream ss;
+  lib.save(ss);
+  const ApproximationLibrary loaded = ApproximationLibrary::load(ss);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto& c = loaded.get("adder8_cla4");
+  EXPECT_EQ(c.scenarios.size(), 2u);
+  EXPECT_EQ(c.scenarios[0].mode, StressMode::worst);
+  EXPECT_DOUBLE_EQ(c.scenarios[1].years, 1.0);
+  ASSERT_EQ(c.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.points[0].fresh_delay, 100.5);
+  EXPECT_DOUBLE_EQ(c.points[0].aged_delay[0], 120.125);
+  EXPECT_EQ(c.points[1].gates, 38u);
+  // Queries behave identically after the round trip.
+  EXPECT_EQ(loaded.get("mac16_array_cla4").required_precision(1),
+            lib.get("mac16_array_cla4").required_precision(1));
+}
+
+TEST(ApproximationLibraryTest, LoadRejectsBadHeader) {
+  std::stringstream ss("not a library\n");
+  EXPECT_THROW(ApproximationLibrary::load(ss), std::runtime_error);
+}
+
+TEST(ApproximationLibraryTest, LoadRejectsTruncatedComponent) {
+  std::stringstream ss;
+  ss << "aapx_approximation_library v1\n";
+  ss << "component adder 8 cla4 array\n";  // no end
+  EXPECT_THROW(ApproximationLibrary::load(ss), std::runtime_error);
+}
+
+TEST(ApproximationLibraryTest, LoadRejectsUnknownTokens) {
+  std::stringstream ss;
+  ss << "aapx_approximation_library v1\n";
+  ss << "component adder 8 bogus array\nend\n";
+  EXPECT_THROW(ApproximationLibrary::load(ss), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,94 @@
+#include "cell/cell.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aapx {
+namespace {
+
+TEST(LogicFnTest, InputCounts) {
+  EXPECT_EQ(fn_num_inputs(LogicFn::kInv), 1);
+  EXPECT_EQ(fn_num_inputs(LogicFn::kNand2), 2);
+  EXPECT_EQ(fn_num_inputs(LogicFn::kMaj3), 3);
+  EXPECT_EQ(fn_num_inputs(LogicFn::kMux2), 3);
+}
+
+TEST(LogicFnTest, BasicGates) {
+  EXPECT_FALSE(fn_eval(LogicFn::kInv, 0b1));
+  EXPECT_TRUE(fn_eval(LogicFn::kInv, 0b0));
+  EXPECT_TRUE(fn_eval(LogicFn::kBuf, 0b1));
+  EXPECT_TRUE(fn_eval(LogicFn::kAnd2, 0b11));
+  EXPECT_FALSE(fn_eval(LogicFn::kAnd2, 0b01));
+  EXPECT_FALSE(fn_eval(LogicFn::kNand2, 0b11));
+  EXPECT_TRUE(fn_eval(LogicFn::kOr2, 0b10));
+  EXPECT_FALSE(fn_eval(LogicFn::kNor2, 0b10));
+  EXPECT_TRUE(fn_eval(LogicFn::kXor2, 0b01));
+  EXPECT_FALSE(fn_eval(LogicFn::kXor2, 0b11));
+  EXPECT_TRUE(fn_eval(LogicFn::kXnor2, 0b11));
+}
+
+TEST(LogicFnTest, ThreeInputGates) {
+  EXPECT_TRUE(fn_eval(LogicFn::kAnd3, 0b111));
+  EXPECT_FALSE(fn_eval(LogicFn::kAnd3, 0b110));
+  EXPECT_FALSE(fn_eval(LogicFn::kNand3, 0b111));
+  EXPECT_TRUE(fn_eval(LogicFn::kOr3, 0b100));
+  EXPECT_FALSE(fn_eval(LogicFn::kNor3, 0b001));
+  EXPECT_TRUE(fn_eval(LogicFn::kNor3, 0b000));
+}
+
+TEST(LogicFnTest, Aoi21AndOai21) {
+  // AOI21: !((a & b) | c), pins a=0 b=1 c=2.
+  EXPECT_TRUE(fn_eval(LogicFn::kAoi21, 0b000));
+  EXPECT_FALSE(fn_eval(LogicFn::kAoi21, 0b011));
+  EXPECT_FALSE(fn_eval(LogicFn::kAoi21, 0b100));
+  // OAI21: !((a | b) & c).
+  EXPECT_TRUE(fn_eval(LogicFn::kOai21, 0b011));   // c=0
+  EXPECT_FALSE(fn_eval(LogicFn::kOai21, 0b101));  // a=1, c=1
+  EXPECT_TRUE(fn_eval(LogicFn::kOai21, 0b100));   // a=b=0, c=1
+}
+
+TEST(LogicFnTest, Mux2) {
+  // sel=pin2: sel ? b : a.
+  EXPECT_TRUE(fn_eval(LogicFn::kMux2, 0b001));   // sel=0 -> a=1
+  EXPECT_FALSE(fn_eval(LogicFn::kMux2, 0b010));  // sel=0 -> a=0
+  EXPECT_TRUE(fn_eval(LogicFn::kMux2, 0b110));   // sel=1 -> b=1
+  EXPECT_FALSE(fn_eval(LogicFn::kMux2, 0b101));  // sel=1 -> b=0
+}
+
+TEST(LogicFnTest, Majority) {
+  EXPECT_FALSE(fn_eval(LogicFn::kMaj3, 0b001));
+  EXPECT_TRUE(fn_eval(LogicFn::kMaj3, 0b011));
+  EXPECT_TRUE(fn_eval(LogicFn::kMaj3, 0b111));
+  EXPECT_FALSE(fn_eval(LogicFn::kMaj3, 0b000));
+}
+
+TEST(LogicFnTest, PinControlDetection) {
+  // For AND2 with the other input low, a pin does not control the output.
+  EXPECT_FALSE(fn_pin_controls(LogicFn::kAnd2, 0b00, 0));
+  EXPECT_TRUE(fn_pin_controls(LogicFn::kAnd2, 0b10, 0));
+  // XOR pins always control.
+  for (unsigned m = 0; m < 4; ++m) {
+    EXPECT_TRUE(fn_pin_controls(LogicFn::kXor2, m, 0));
+    EXPECT_TRUE(fn_pin_controls(LogicFn::kXor2, m, 1));
+  }
+}
+
+TEST(CellTest, AvgLeakage) {
+  Cell c;
+  c.leakage_per_state = {1.0, 3.0};
+  EXPECT_DOUBLE_EQ(c.avg_leakage(), 2.0);
+  c.leakage_per_state.clear();
+  EXPECT_DOUBLE_EQ(c.avg_leakage(), 0.0);
+}
+
+TEST(CellTest, ArcLookupThrowsOnMissingPin) {
+  Cell c;
+  c.name = "TEST";
+  TimingArc arc;
+  arc.input_pin = 0;
+  c.arcs.push_back(arc);
+  EXPECT_EQ(c.arc(0).input_pin, 0);
+  EXPECT_THROW(c.arc(1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,98 @@
+#include "image/dct_ref.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "image/synthetic.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+TEST(DctBasisTest, Orthonormality) {
+  // Rows of the basis matrix are orthonormal: sum_n c[k][n] c[l][n] = delta.
+  for (int k = 0; k < kDctBlock; ++k) {
+    for (int l = 0; l < kDctBlock; ++l) {
+      double dot = 0.0;
+      for (int n = 0; n < kDctBlock; ++n) dot += dct_basis(k, n) * dct_basis(l, n);
+      EXPECT_NEAR(dot, k == l ? 1.0 : 0.0, 1e-12) << k << "," << l;
+    }
+  }
+}
+
+TEST(DctTest, ForwardInverseRoundTrip) {
+  Rng rng(3);
+  DctBlock spatial{};
+  for (auto& v : spatial) v = rng.next_int(-128, 127);
+  const DctBlock rec = inverse_dct(forward_dct(spatial));
+  for (std::size_t i = 0; i < spatial.size(); ++i) {
+    EXPECT_NEAR(rec[i], spatial[i], 1e-9);
+  }
+}
+
+TEST(DctTest, ConstantBlockIsPureDc) {
+  DctBlock spatial{};
+  spatial.fill(50.0);
+  const DctBlock freq = forward_dct(spatial);
+  EXPECT_NEAR(freq[0], 50.0 * 8.0, 1e-9);  // DC = 8 * value (orthonormal 2-D)
+  for (std::size_t i = 1; i < freq.size(); ++i) EXPECT_NEAR(freq[i], 0.0, 1e-9);
+}
+
+TEST(DctTest, ParsevalEnergyPreservation) {
+  Rng rng(5);
+  DctBlock spatial{};
+  double e_spatial = 0.0;
+  for (auto& v : spatial) {
+    v = rng.next_normal(0.0, 40.0);
+    e_spatial += v * v;
+  }
+  const DctBlock freq = forward_dct(spatial);
+  double e_freq = 0.0;
+  for (const double v : freq) e_freq += v * v;
+  EXPECT_NEAR(e_freq, e_spatial, 1e-6);
+}
+
+TEST(DctImageTest, EncodeDecodeNearLossless) {
+  const Image img = make_video_trace_frame("akiyo", 64, 48);
+  const Image rec = decode_image_reference(encode_image(img));
+  // Only rounding to 8-bit remains.
+  EXPECT_GT(psnr(img, rec), 50.0);
+}
+
+TEST(DctImageTest, NonMultipleOfEightDimensions) {
+  const Image img = make_video_trace_frame("suzie", 50, 35);
+  const BlockImage coeffs = encode_image(img);
+  EXPECT_EQ(coeffs.blocks_x, 7);
+  EXPECT_EQ(coeffs.blocks_y, 5);
+  const Image rec = decode_image_reference(coeffs);
+  EXPECT_EQ(rec.width(), 50);
+  EXPECT_EQ(rec.height(), 35);
+  EXPECT_GT(psnr(img, rec), 50.0);
+}
+
+TEST(DctImageTest, SmoothImagesCompactEnergyInLowFrequencies) {
+  const BlockImage smooth = encode_image(make_video_trace_frame("miss", 64, 64));
+  const BlockImage busy = encode_image(make_video_trace_frame("mobile", 64, 64));
+  auto high_freq_fraction = [](const BlockImage& bi) {
+    double low = 0.0;
+    double high = 0.0;
+    for (const DctBlock& blk : bi.blocks) {
+      for (int v = 0; v < kDctBlock; ++v) {
+        for (int u = 0; u < kDctBlock; ++u) {
+          const double e = blk[v * kDctBlock + u] * blk[v * kDctBlock + u];
+          if (u + v >= 8) {
+            high += e;
+          } else {
+            low += e;
+          }
+        }
+      }
+    }
+    return high / (low + high);
+  };
+  EXPECT_GT(high_freq_fraction(busy), 3.0 * high_freq_fraction(smooth));
+}
+
+}  // namespace
+}  // namespace aapx

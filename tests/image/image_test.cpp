@@ -1,0 +1,72 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+namespace aapx {
+namespace {
+
+TEST(ImageTest, ConstructionAndAccess) {
+  Image img(4, 3, 7);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.at(0, 0), 7);
+  img.set(2, 1, 200);
+  EXPECT_EQ(img.at(2, 1), 200);
+  EXPECT_THROW(img.at(4, 0), std::out_of_range);
+  EXPECT_THROW(img.set(0, 3, 1), std::out_of_range);
+  EXPECT_THROW(Image(0, 5), std::invalid_argument);
+}
+
+TEST(ImageTest, SetClamped) {
+  Image img(2, 2);
+  img.set_clamped(0, 0, -10);
+  img.set_clamped(1, 0, 300);
+  img.set_clamped(0, 1, 128);
+  EXPECT_EQ(img.at(0, 0), 0);
+  EXPECT_EQ(img.at(1, 0), 255);
+  EXPECT_EQ(img.at(0, 1), 128);
+}
+
+TEST(ImageTest, PgmRoundTrip) {
+  Image img(17, 9);
+  for (int y = 0; y < 9; ++y) {
+    for (int x = 0; x < 17; ++x) {
+      img.set(x, y, static_cast<std::uint8_t>((x * 31 + y * 7) & 0xFF));
+    }
+  }
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "aapx_img_test.pgm").string();
+  img.save_pgm(path);
+  const Image loaded = Image::load_pgm(path);
+  EXPECT_EQ(loaded.width(), img.width());
+  EXPECT_EQ(loaded.height(), img.height());
+  EXPECT_EQ(loaded.data(), img.data());
+  std::remove(path.c_str());
+}
+
+TEST(ImageTest, LoadRejectsMissingFile) {
+  EXPECT_THROW(Image::load_pgm("/nonexistent/path.pgm"), std::runtime_error);
+}
+
+TEST(ImageTest, MseAndPsnr) {
+  Image a(8, 8, 100);
+  Image b(8, 8, 100);
+  EXPECT_DOUBLE_EQ(mse(a, b), 0.0);
+  EXPECT_TRUE(std::isinf(psnr(a, b)));
+  b.set(0, 0, 110);  // one pixel off by 10 -> MSE = 100/64
+  EXPECT_NEAR(mse(a, b), 100.0 / 64.0, 1e-12);
+  EXPECT_NEAR(psnr(a, b), 10.0 * std::log10(255.0 * 255.0 * 64.0 / 100.0), 1e-9);
+}
+
+TEST(ImageTest, MseDimensionMismatchThrows) {
+  Image a(4, 4);
+  Image b(4, 5);
+  EXPECT_THROW(mse(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aapx

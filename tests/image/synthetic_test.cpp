@@ -1,0 +1,81 @@
+#include "image/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aapx {
+namespace {
+
+TEST(SyntheticTest, AllNineSequencesPresent) {
+  const auto& names = video_trace_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names.front(), "akiyo");
+  EXPECT_EQ(names.back(), "suzie");
+}
+
+TEST(SyntheticTest, Deterministic) {
+  const Image a = make_video_trace_frame("foreman", 64, 48);
+  const Image b = make_video_trace_frame("foreman", 64, 48);
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST(SyntheticTest, DistinctSequencesDiffer) {
+  const Image a = make_video_trace_frame("akiyo", 64, 48);
+  const Image b = make_video_trace_frame("mobile", 64, 48);
+  EXPECT_NE(a.data(), b.data());
+}
+
+TEST(SyntheticTest, UnknownNameThrows) {
+  EXPECT_THROW(make_video_trace_frame("bogus"), std::invalid_argument);
+  EXPECT_THROW(sequence_detail_level("bogus"), std::invalid_argument);
+}
+
+TEST(SyntheticTest, RequestedDimensions) {
+  const Image img = make_video_trace_frame("suzie", 120, 96);
+  EXPECT_EQ(img.width(), 120);
+  EXPECT_EQ(img.height(), 96);
+}
+
+TEST(SyntheticTest, MobileIsMostDetailed) {
+  for (const auto& name : video_trace_names()) {
+    EXPECT_LE(sequence_detail_level(name), sequence_detail_level("mobile"));
+  }
+  EXPECT_LT(sequence_detail_level("miss"), sequence_detail_level("foreman"));
+}
+
+/// High-frequency energy proxy: mean absolute horizontal gradient.
+double gradient_energy(const Image& img) {
+  double acc = 0.0;
+  for (int y = 0; y < img.height(); ++y) {
+    for (int x = 1; x < img.width(); ++x) {
+      acc += std::abs(static_cast<int>(img.at(x, y)) -
+                      static_cast<int>(img.at(x - 1, y)));
+    }
+  }
+  return acc / (img.width() * img.height());
+}
+
+TEST(SyntheticTest, DetailLevelOrdersActualFrequencyContent) {
+  // mobile (detail 1.0) must carry far more high-frequency energy than the
+  // smooth head-and-shoulders sequences — the property behind the Fig. 8b
+  // per-image PSNR spread.
+  const double mobile = gradient_energy(make_video_trace_frame("mobile", 96, 80));
+  const double miss = gradient_energy(make_video_trace_frame("miss", 96, 80));
+  const double akiyo = gradient_energy(make_video_trace_frame("akiyo", 96, 80));
+  EXPECT_GT(mobile, 2.0 * miss);
+  EXPECT_GT(mobile, 2.0 * akiyo);
+}
+
+TEST(SyntheticTest, PixelsUseFullRangeSensibly) {
+  const Image img = make_video_trace_frame("carphone", 96, 80);
+  int lo = 255;
+  int hi = 0;
+  for (const std::uint8_t p : img.data()) {
+    lo = std::min<int>(lo, p);
+    hi = std::max<int>(hi, p);
+  }
+  EXPECT_LT(lo, 80);   // has dark content
+  EXPECT_GT(hi, 180);  // has bright content
+}
+
+}  // namespace
+}  // namespace aapx

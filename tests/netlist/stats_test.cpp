@@ -1,0 +1,58 @@
+#include "netlist/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/dot.hpp"
+
+namespace aapx {
+namespace {
+
+TEST(NetlistStatsTest, CountsAndArea) {
+  const CellLibrary lib = make_nangate45_like();
+  Netlist nl(lib);
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId u = nl.mk(LogicFn::kAnd2, a, b);
+  const NetId v = nl.mk(LogicFn::kInv, u);
+  nl.mark_output(v, "v");
+
+  const NetlistStats stats = compute_stats(nl);
+  EXPECT_EQ(stats.gates, 2u);
+  EXPECT_EQ(stats.inputs, 2u);
+  EXPECT_EQ(stats.outputs, 1u);
+  const double expected = lib.cell(lib.smallest(LogicFn::kAnd2)).area +
+                          lib.cell(lib.smallest(LogicFn::kInv)).area;
+  EXPECT_NEAR(stats.cell_area, expected, 1e-12);
+  EXPECT_EQ(stats.cell_histogram.at("AND2_X1"), 1u);
+  EXPECT_EQ(stats.cell_histogram.at("INV_X1"), 1u);
+}
+
+TEST(NetlistStatsTest, TotalAreaIncludesRegisters) {
+  const CellLibrary lib = make_nangate45_like();
+  Netlist nl(lib);
+  const NetId a = nl.add_input("a");
+  nl.mark_output(nl.mk(LogicFn::kInv, a), "y");
+  const double without = total_area(nl, 0);
+  const double with = total_area(nl, 10);
+  EXPECT_NEAR(with - without, 10 * lib.dff().area, 1e-12);
+}
+
+TEST(DotExportTest, EmitsWellFormedDigraph) {
+  const CellLibrary lib = make_nangate45_like();
+  Netlist nl(lib);
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.mk(LogicFn::kNand2, a, nl.const1());
+  nl.mark_output(y, "y");
+  std::ostringstream os;
+  write_dot(nl, os, "test");
+  const std::string dot = os.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("NAND2_X1"), std::string::npos);
+  EXPECT_NE(dot.find("const1"), std::string::npos);
+  EXPECT_NE(dot.find("-> po0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,132 @@
+#include "power/power.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+class PowerTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_nangate45_like();
+
+  Netlist make_adder(int width) const {
+    return make_component(
+        lib_, {ComponentKind::adder, width, 0, AdderArch::cla4, MultArch::array});
+  }
+
+  Activity simulate(const Netlist& nl, int cycles, std::uint64_t seed) const {
+    const Sta sta(nl);
+    TimedSim sim(nl, sta.gate_delays(nullptr, nullptr));
+    sim.clear_activity();
+    Rng rng(seed);
+    const int width = static_cast<int>(nl.input_bus("a").size());
+    const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    for (int i = 0; i < cycles; ++i) {
+      sim.stage_bus("a", rng.next_u64() & mask);
+      sim.stage_bus("b", rng.next_u64() & mask);
+      sim.step_staged(1e9);
+    }
+    return sim.activity();
+  }
+};
+
+TEST_F(PowerTest, AllComponentsPositive) {
+  const Netlist nl = make_adder(8);
+  const Activity act = simulate(nl, 100, 1);
+  const PowerReport report = analyze_power(nl, act, 1000.0);
+  EXPECT_GT(report.leakage_nw, 0.0);
+  EXPECT_GT(report.dynamic_uw, 0.0);
+  EXPECT_GT(report.total_uw, report.dynamic_uw);
+  EXPECT_GT(report.energy_per_cycle_fj, 0.0);
+}
+
+TEST_F(PowerTest, IdleCircuitHasOnlyLeakage) {
+  const Netlist nl = make_adder(8);
+  const Sta sta(nl);
+  TimedSim sim(nl, sta.gate_delays(nullptr, nullptr));
+  sim.clear_activity();
+  for (int i = 0; i < 10; ++i) {
+    sim.stage_bus("a", 0);
+    sim.stage_bus("b", 0);
+    sim.step_staged(1e9);
+  }
+  const PowerReport report = analyze_power(nl, sim.activity(), 1000.0);
+  EXPECT_GT(report.leakage_nw, 0.0);
+  EXPECT_DOUBLE_EQ(report.dynamic_uw, 0.0);
+}
+
+TEST_F(PowerTest, DynamicScalesWithActivity) {
+  const Netlist nl = make_adder(8);
+  // Alternating all-ones/all-zeros toggles far more than repeating vectors.
+  const Sta sta(nl);
+  TimedSim busy(nl, sta.gate_delays(nullptr, nullptr));
+  busy.clear_activity();
+  for (int i = 0; i < 50; ++i) {
+    busy.stage_bus("a", i % 2 == 0 ? 0xFF : 0x00);
+    busy.stage_bus("b", i % 2 == 0 ? 0xFF : 0x00);
+    busy.step_staged(1e9);
+  }
+  const Activity quiet = simulate(nl, 50, 3);
+  const PowerReport busy_report = analyze_power(nl, busy.activity(), 1000.0);
+  const PowerReport quiet_report = analyze_power(nl, quiet, 1000.0);
+  EXPECT_GT(busy_report.dynamic_uw, quiet_report.dynamic_uw);
+}
+
+TEST_F(PowerTest, FasterClockMeansMorePower) {
+  const Netlist nl = make_adder(8);
+  const Activity act = simulate(nl, 100, 5);
+  const PowerReport fast = analyze_power(nl, act, 500.0);
+  const PowerReport slow = analyze_power(nl, act, 2000.0);
+  EXPECT_GT(fast.dynamic_uw, slow.dynamic_uw);
+  // Energy per cycle from switching is clock-independent; leakage part grows
+  // with the period.
+  EXPECT_LT(fast.energy_per_cycle_fj, slow.energy_per_cycle_fj);
+}
+
+TEST_F(PowerTest, RegistersAddLeakageAndSwitching) {
+  const Netlist nl = make_adder(8);
+  const Activity act = simulate(nl, 100, 7);
+  PowerOptions with_regs;
+  with_regs.num_registers = 32;
+  const PowerReport base = analyze_power(nl, act, 1000.0);
+  const PowerReport regs = analyze_power(nl, act, 1000.0, with_regs);
+  EXPECT_GT(regs.leakage_nw, base.leakage_nw);
+  EXPECT_GT(regs.dynamic_uw, base.dynamic_uw);
+}
+
+TEST_F(PowerTest, SmallerNetlistUsesLessPower) {
+  // Truncation (the paper's approximation) must reduce both leakage and
+  // dynamic power — the source of the Fig. 8c savings.
+  const Netlist full = make_adder(16);
+  const Netlist trunc = make_component(
+      lib_, {ComponentKind::adder, 16, 6, AdderArch::cla4, MultArch::array});
+  const Activity act_full = simulate(full, 200, 9);
+  const Sta sta(trunc);
+  TimedSim sim(trunc, sta.gate_delays(nullptr, nullptr));
+  sim.clear_activity();
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    sim.stage_bus("a", rng.next_u64() & 0xFFFF);
+    sim.stage_bus("b", rng.next_u64() & 0xFFFF);
+    sim.step_staged(1e9);
+  }
+  const PowerReport pf = analyze_power(full, act_full, 1000.0);
+  const PowerReport pt = analyze_power(trunc, sim.activity(), 1000.0);
+  EXPECT_LT(pt.leakage_nw, pf.leakage_nw);
+  EXPECT_LT(pt.dynamic_uw, pf.dynamic_uw);
+}
+
+TEST_F(PowerTest, InvalidArgumentsThrow) {
+  const Netlist nl = make_adder(8);
+  const Activity act = simulate(nl, 10, 11);
+  EXPECT_THROW(analyze_power(nl, act, 0.0), std::invalid_argument);
+  Activity bad;
+  EXPECT_THROW(analyze_power(nl, bad, 1000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aapx

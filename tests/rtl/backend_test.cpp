@@ -1,0 +1,127 @@
+#include "rtl/backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "approx/error_bounds.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+TEST(ExactBackendTest, ExactWhenNoTruncation) {
+  ExactBackend be(16, 0, 0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t a = rng.next_int(-32768, 32767);
+    const std::int64_t b = rng.next_int(-32768, 32767);
+    EXPECT_EQ(be.multiply(a, b), a * b);
+    EXPECT_EQ(be.add(a, b), wrap_signed(a + b, 16));
+  }
+}
+
+TEST(ExactBackendTest, TruncationAppliedToOperands) {
+  ExactBackend be(16, 3, 2);
+  EXPECT_EQ(be.multiply(7, 9), 0);  // both truncate to 0
+  EXPECT_EQ(be.multiply(8, 9), 8 * 8);
+  EXPECT_EQ(be.add(7, 3), 4);  // 4 + 0
+}
+
+TEST(ExactBackendTest, TruncationErrorWithinBound) {
+  const int width = 16;
+  const int k = 4;
+  ExactBackend be(width, k, 0);
+  Rng rng(2);
+  const std::int64_t bound = multiplier_error_bound(width, k);
+  for (int i = 0; i < 5000; ++i) {
+    const std::int64_t a = rng.next_int(-32768, 32767);
+    const std::int64_t b = rng.next_int(-32768, 32767);
+    EXPECT_LE(std::llabs(a * b - be.multiply(a, b)), bound);
+  }
+}
+
+TEST(ExactBackendTest, ArgumentValidation) {
+  EXPECT_THROW(ExactBackend(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ExactBackend(33, 0, 0), std::invalid_argument);
+  EXPECT_THROW(ExactBackend(16, 16, 0), std::invalid_argument);
+  EXPECT_THROW(ExactBackend(16, 0, -1), std::invalid_argument);
+}
+
+class TimedBackendTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lib_ = make_nangate45_like();
+    mult_ = std::make_unique<Netlist>(make_component(
+        lib_, {ComponentKind::multiplier, 12, 0, AdderArch::cla4, MultArch::array}));
+    adder_ = std::make_unique<Netlist>(make_component(
+        lib_, {ComponentKind::adder, 12, 0, AdderArch::cla4, MultArch::array}));
+  }
+
+  CellLibrary lib_;
+  std::unique_ptr<Netlist> mult_;
+  std::unique_ptr<Netlist> adder_;
+};
+
+TEST_F(TimedBackendTest, MatchesExactAtGenerousClock) {
+  const Sta msta(*mult_);
+  const Sta asta(*adder_);
+  TimedNetlistBackend be(*mult_, msta.gate_delays(nullptr, nullptr), *adder_,
+                         asta.gate_delays(nullptr, nullptr), 12, 1e9);
+  ExactBackend ref(12, 0, 0);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t a = rng.next_int(-2048, 2047);
+    const std::int64_t b = rng.next_int(-2048, 2047);
+    EXPECT_EQ(be.multiply(a, b), ref.multiply(a, b));
+    EXPECT_EQ(be.add(a, b), ref.add(a, b));
+  }
+  EXPECT_EQ(be.mult_errors(), 0u);
+  EXPECT_EQ(be.add_errors(), 0u);
+  EXPECT_EQ(be.mult_ops(), 300u);
+  EXPECT_GT(be.max_mult_settle(), 0.0);
+}
+
+TEST_F(TimedBackendTest, TightClockCausesCountedErrors) {
+  const Sta msta(*mult_);
+  const Sta asta(*adder_);
+  TimedNetlistBackend be(*mult_, msta.gate_delays(nullptr, nullptr), *adder_,
+                         asta.gate_delays(nullptr, nullptr), 12, 10.0);
+  Rng rng(4);
+  bool any_wrong = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::int64_t a = rng.next_int(-2048, 2047);
+    const std::int64_t b = rng.next_int(-2048, 2047);
+    if (be.multiply(a, b) != a * b) any_wrong = true;
+  }
+  EXPECT_TRUE(any_wrong);
+  EXPECT_GT(be.mult_errors(), 0u);
+}
+
+TEST_F(TimedBackendTest, ConstructorValidation) {
+  const Sta msta(*mult_);
+  const Sta asta(*adder_);
+  EXPECT_THROW(TimedNetlistBackend(*mult_, msta.gate_delays(nullptr, nullptr),
+                                   *adder_, asta.gate_delays(nullptr, nullptr),
+                                   12, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(TimedNetlistBackend(*mult_, msta.gate_delays(nullptr, nullptr),
+                                   *adder_, asta.gate_delays(nullptr, nullptr),
+                                   1, 100.0),
+               std::invalid_argument);
+}
+
+TEST(RecordingBackendTest, RecordsMultiplyOperands) {
+  ExactBackend inner(16, 0, 0);
+  RecordingBackend rec(inner);
+  EXPECT_EQ(rec.multiply(3, -7), -21);
+  EXPECT_EQ(rec.multiply(100, 5), 500);
+  EXPECT_EQ(rec.add(1, 2), 3);  // adds not recorded
+  ASSERT_EQ(rec.mult_ops().size(), 2u);
+  const auto expected = std::make_pair<std::int64_t, std::int64_t>(3, -7);
+  EXPECT_EQ(rec.mult_ops()[0], expected);
+  EXPECT_EQ(rec.width(), 16);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,146 @@
+#include "rtl/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/synthetic.hpp"
+
+namespace aapx {
+namespace {
+
+/// Project-wide codec configuration used by the benches (see DESIGN.md):
+/// Q7 fixed point in a 32-bit datapath, quantization step 4.
+CodecConfig bench_config() {
+  CodecConfig cfg;
+  cfg.frac_bits = 7;
+  return cfg;
+}
+
+TEST(CodecTest, ConfigValidation) {
+  ExactBackend be(32, 0, 0);
+  CodecConfig bad = bench_config();
+  bad.frac_bits = 0;
+  EXPECT_THROW(FixedPointIdct(bad, be), std::invalid_argument);
+  bad = bench_config();
+  bad.width = 40;
+  EXPECT_THROW(FixedPointIdct(bad, be), std::invalid_argument);
+  bad = bench_config();
+  bad.quant_step = 0.0;
+  EXPECT_THROW(FixedPointIdct(bad, be), std::invalid_argument);
+  // Backend width mismatch.
+  ExactBackend narrow(16, 0, 0);
+  EXPECT_THROW(FixedPointIdct(bench_config(), narrow), std::invalid_argument);
+}
+
+TEST(CodecTest, FreshChainReachesPaperBaselinePsnr) {
+  const CodecConfig cfg = bench_config();
+  ExactBackend be(32, 0, 0);
+  FixedPointIdct idct(cfg, be);
+  double avg = 0.0;
+  for (const auto& name : video_trace_names()) {
+    const Image img = make_video_trace_frame(name, 64, 64);
+    const Image rec = idct.decode(encode_and_quantize(img, cfg));
+    const double p = psnr(img, rec);
+    EXPECT_GT(p, 40.0) << name;
+    avg += p;
+  }
+  avg /= static_cast<double>(video_trace_names().size());
+  // Paper Fig. 2: fresh chain ~45 dB.
+  EXPECT_GT(avg, 43.0);
+  EXPECT_LT(avg, 50.0);
+}
+
+TEST(CodecTest, FixedPointEncoderMatchesReferenceClosely) {
+  const CodecConfig cfg = bench_config();
+  ExactBackend be(32, 0, 0);
+  FixedPointDct dct(cfg, be);
+  FixedPointIdct idct(cfg, be);
+  const Image img = make_video_trace_frame("mother", 64, 48);
+  // Fixed-point encode + decode still lands at the fresh-quality level.
+  const Image rec = idct.decode(dct.encode(img));
+  EXPECT_GT(psnr(img, rec), 42.0);
+}
+
+TEST(CodecTest, QuantizedImageGeometry) {
+  const CodecConfig cfg = bench_config();
+  const Image img = make_video_trace_frame("akiyo", 50, 35);
+  const QuantizedImage q = encode_and_quantize(img, cfg);
+  EXPECT_EQ(q.width, 50);
+  EXPECT_EQ(q.height, 35);
+  EXPECT_EQ(q.blocks_x, 7);
+  EXPECT_EQ(q.blocks_y, 5);
+  EXPECT_EQ(q.blocks.size(), 35u);
+  ExactBackend be(32, 0, 0);
+  FixedPointIdct idct(cfg, be);
+  const Image rec = idct.decode(q);
+  EXPECT_EQ(rec.width(), 50);
+  EXPECT_EQ(rec.height(), 35);
+  EXPECT_GT(psnr(img, rec), 40.0);
+}
+
+TEST(CodecTest, TruncationDegradesQualityMonotonically) {
+  const CodecConfig cfg = bench_config();
+  const Image img = make_video_trace_frame("foreman", 64, 64);
+  const QuantizedImage q = encode_and_quantize(img, cfg);
+  double prev = 1e9;
+  for (const int k : {0, 2, 3, 4, 6}) {
+    ExactBackend be(32, k, 0);
+    FixedPointIdct idct(cfg, be);
+    const double p = psnr(img, idct.decode(q));
+    EXPECT_LE(p, prev + 0.5) << "k=" << k;  // allow tiny non-monotone noise
+    prev = p;
+  }
+}
+
+TEST(CodecTest, ThreeBitTruncationReproducesPaperQuality) {
+  // Paper Fig. 8b: with the 10-year worst-case approximation (3 bits), PSNR
+  // stays above 30 dB for all sequences except "mobile".
+  const CodecConfig cfg = bench_config();
+  ExactBackend be(32, 3, 0);
+  FixedPointIdct idct(cfg, be);
+  for (const auto& name : video_trace_names()) {
+    const Image img = make_video_trace_frame(name, 96, 80);
+    const double p = psnr(img, idct.decode(encode_and_quantize(img, cfg)));
+    if (name == "mobile") {
+      EXPECT_LT(p, 31.0);
+      EXPECT_GT(p, 25.0);
+    } else {
+      EXPECT_GT(p, 30.0) << name;
+      EXPECT_LT(p, 40.0) << name;
+    }
+  }
+}
+
+TEST(CodecTest, MobileSuffersTheMostFromTruncation) {
+  const CodecConfig cfg = bench_config();
+  ExactBackend be(32, 3, 0);
+  FixedPointIdct idct(cfg, be);
+  double mobile_psnr = 0.0;
+  double best_other = 0.0;
+  for (const auto& name : video_trace_names()) {
+    const Image img = make_video_trace_frame(name, 96, 80);
+    const double p = psnr(img, idct.decode(encode_and_quantize(img, cfg)));
+    if (name == "mobile") {
+      mobile_psnr = p;
+    } else {
+      best_other = std::max(best_other, p);
+    }
+  }
+  EXPECT_LT(mobile_psnr, best_other - 3.0);
+}
+
+TEST(CodecTest, DecodeBlockDcOnly) {
+  const CodecConfig cfg = bench_config();
+  ExactBackend be(32, 0, 0);
+  FixedPointIdct idct(cfg, be);
+  std::array<std::int32_t, kDctBlock * kDctBlock> levels{};
+  // DC level of 50 quantized at step 4 -> coefficient 200 -> pixels 200/8 = 25.
+  levels[0] = 50;
+  const auto spatial = idct.decode_block(levels);
+  const double expect = 200.0 / 8.0;
+  for (const std::int64_t v : spatial) {
+    EXPECT_NEAR(static_cast<double>(v) / (1 << cfg.frac_bits), expect, 0.5);
+  }
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "gatesim/funcsim.hpp"
+#include "synth/arith.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+struct AdderParam {
+  int width;
+  AdderArch arch;
+};
+
+class AdderTest : public ::testing::TestWithParam<AdderParam> {
+ protected:
+  CellLibrary lib_ = make_nangate45_like();
+};
+
+TEST_P(AdderTest, MatchesReferenceOnRandomVectors) {
+  const auto [width, arch] = GetParam();
+  Netlist nl(lib_);
+  const Word a = nl.add_input_bus("a", width);
+  const Word b = nl.add_input_bus("b", width);
+  const Word y = build_adder(nl, a, b, nl.const0(), arch);
+  ASSERT_EQ(y.size(), static_cast<std::size_t>(width) + 1);
+  nl.mark_output_bus(y, "y");
+
+  FuncSim sim(nl);
+  Rng rng(99);
+  const std::uint64_t mask =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t va = rng.next_u64() & mask;
+    const std::uint64_t vb = rng.next_u64() & mask;
+    sim.set_bus("a", va);
+    sim.set_bus("b", vb);
+    sim.eval();
+    const std::uint64_t expect = (va + vb) & ((mask << 1) | 1);
+    EXPECT_EQ(sim.bus_value("y"), expect) << "a=" << va << " b=" << vb;
+  }
+}
+
+TEST_P(AdderTest, CarryInWorks) {
+  const auto [width, arch] = GetParam();
+  Netlist nl(lib_);
+  const Word a = nl.add_input_bus("a", width);
+  const Word b = nl.add_input_bus("b", width);
+  const Word y = build_adder(nl, a, b, nl.const1(), arch);
+  nl.mark_output_bus(y, "y");
+  FuncSim sim(nl);
+  Rng rng(7);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t va = rng.next_u64() & mask;
+    const std::uint64_t vb = rng.next_u64() & mask;
+    sim.set_bus("a", va);
+    sim.set_bus("b", vb);
+    sim.eval();
+    EXPECT_EQ(sim.bus_value("y"), (va + vb + 1) & ((mask << 1) | 1));
+  }
+}
+
+TEST_P(AdderTest, EdgeVectors) {
+  const auto [width, arch] = GetParam();
+  Netlist nl(lib_);
+  const Word a = nl.add_input_bus("a", width);
+  const Word b = nl.add_input_bus("b", width);
+  nl.mark_output_bus(build_adder(nl, a, b, nl.const0(), arch), "y");
+  FuncSim sim(nl);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::uint64_t cases[][2] = {
+      {0, 0}, {mask, 1}, {mask, mask}, {1, mask}, {mask >> 1, mask >> 1}};
+  for (const auto& c : cases) {
+    sim.set_bus("a", c[0]);
+    sim.set_bus("b", c[1]);
+    sim.eval();
+    EXPECT_EQ(sim.bus_value("y"), (c[0] + c[1]) & ((mask << 1) | 1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsAndArchs, AdderTest,
+    ::testing::Values(AdderParam{4, AdderArch::ripple},
+                      AdderParam{8, AdderArch::ripple},
+                      AdderParam{17, AdderArch::ripple},
+                      AdderParam{32, AdderArch::ripple},
+                      AdderParam{4, AdderArch::cla4},
+                      AdderParam{8, AdderArch::cla4},
+                      AdderParam{13, AdderArch::cla4},
+                      AdderParam{32, AdderArch::cla4},
+                      AdderParam{4, AdderArch::kogge_stone},
+                      AdderParam{8, AdderArch::kogge_stone},
+                      AdderParam{19, AdderArch::kogge_stone},
+                      AdderParam{32, AdderArch::kogge_stone}),
+    [](const ::testing::TestParamInfo<AdderParam>& info) {
+      std::string name = to_string(info.param.arch) + "_w" +
+                         std::to_string(info.param.width);
+      for (auto& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+TEST(AdderStructureTest, ExhaustiveFourBit) {
+  const CellLibrary lib = make_nangate45_like();
+  for (const AdderArch arch :
+       {AdderArch::ripple, AdderArch::cla4, AdderArch::kogge_stone}) {
+    Netlist nl(lib);
+    const Word a = nl.add_input_bus("a", 4);
+    const Word b = nl.add_input_bus("b", 4);
+    nl.mark_output_bus(build_adder(nl, a, b, nl.const0(), arch), "y");
+    FuncSim sim(nl);
+    for (unsigned va = 0; va < 16; ++va) {
+      for (unsigned vb = 0; vb < 16; ++vb) {
+        sim.set_bus("a", va);
+        sim.set_bus("b", vb);
+        sim.eval();
+        ASSERT_EQ(sim.bus_value("y"), va + vb) << to_string(arch);
+      }
+    }
+  }
+}
+
+TEST(AdderStructureTest, WidthMismatchThrows) {
+  const CellLibrary lib = make_nangate45_like();
+  Netlist nl(lib);
+  const Word a = nl.add_input_bus("a", 4);
+  const Word b = nl.add_input_bus("b", 5);
+  EXPECT_THROW(build_adder(nl, a, b, nl.const0(), AdderArch::ripple),
+               std::invalid_argument);
+}
+
+TEST(AdderStructureTest, FullAdderTruthTable) {
+  const CellLibrary lib = make_nangate45_like();
+  Netlist nl(lib);
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const SumCarry sc = build_full_adder(nl, a, b, c);
+  nl.mark_output(sc.sum, "s");
+  nl.mark_output(sc.carry, "co");
+  FuncSim sim(nl);
+  for (unsigned m = 0; m < 8; ++m) {
+    sim.set_input(a, m & 1);
+    sim.set_input(b, (m >> 1) & 1);
+    sim.set_input(c, (m >> 2) & 1);
+    sim.eval();
+    const int total = (m & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    EXPECT_EQ(sim.value(sc.sum), total % 2 == 1);
+    EXPECT_EQ(sim.value(sc.carry), total >= 2);
+  }
+}
+
+TEST(AdderStructureTest, ResizeSignedExtendsAndTruncates) {
+  const CellLibrary lib = make_nangate45_like();
+  Netlist nl(lib);
+  const Word a = nl.add_input_bus("a", 4);
+  const Word ext = resize_signed(nl, a, 8);
+  ASSERT_EQ(ext.size(), 8u);
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(ext[i], a[3]);
+  const Word cut = resize_signed(nl, a, 2);
+  ASSERT_EQ(cut.size(), 2u);
+  EXPECT_EQ(cut[1], a[1]);
+}
+
+}  // namespace
+}  // namespace aapx

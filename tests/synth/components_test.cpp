@@ -1,0 +1,187 @@
+#include "synth/components.hpp"
+
+#include <gtest/gtest.h>
+
+#include "approx/error_bounds.hpp"
+#include "gatesim/funcsim.hpp"
+#include "netlist/stats.hpp"
+#include "rtl/backend.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+class ComponentsTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_nangate45_like();
+};
+
+TEST_F(ComponentsTest, SpecNames) {
+  ComponentSpec s{ComponentKind::adder, 32, 0, AdderArch::cla4, MultArch::array};
+  EXPECT_EQ(s.name(), "adder32_cla4");
+  s.kind = ComponentKind::multiplier;
+  EXPECT_EQ(s.name(), "multiplier32_array");
+  s.truncated_bits = 3;
+  EXPECT_EQ(s.name(), "multiplier32_array_k29");
+  EXPECT_EQ(s.precision(), 29);
+  s.kind = ComponentKind::mac;
+  s.truncated_bits = 0;
+  EXPECT_EQ(s.name(), "mac32_array_cla4");
+}
+
+TEST_F(ComponentsTest, SpecValidation) {
+  EXPECT_THROW(
+      make_component(lib_, {ComponentKind::adder, 0, 0, AdderArch::cla4,
+                            MultArch::array}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_component(lib_, {ComponentKind::adder, 8, 8, AdderArch::cla4,
+                            MultArch::array}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_component(lib_, {ComponentKind::adder, 8, -1, AdderArch::cla4,
+                            MultArch::array}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_component(lib_, {ComponentKind::clamp, 8, 0, AdderArch::cla4,
+                            MultArch::array}),
+      std::invalid_argument);  // clamp needs >= 9 bits
+}
+
+TEST_F(ComponentsTest, TruncationPreservesInterface) {
+  for (const int k : {0, 3, 8}) {
+    const Netlist nl = make_component(
+        lib_, {ComponentKind::adder, 16, k, AdderArch::cla4, MultArch::array});
+    EXPECT_EQ(nl.input_bus("a").size(), 16u);
+    EXPECT_EQ(nl.input_bus("b").size(), 16u);
+    EXPECT_EQ(nl.output_bus("y").size(), 17u);
+  }
+}
+
+TEST_F(ComponentsTest, TruncationShrinksAreaAndGateCount) {
+  std::size_t prev_gates = SIZE_MAX;
+  double prev_area = 1e18;
+  for (const int k : {0, 2, 4, 8}) {
+    const Netlist nl = make_component(
+        lib_, {ComponentKind::multiplier, 12, k, AdderArch::cla4, MultArch::array});
+    const NetlistStats stats = compute_stats(nl);
+    EXPECT_LT(stats.gates, prev_gates);
+    EXPECT_LT(stats.cell_area, prev_area);
+    prev_gates = stats.gates;
+    prev_area = stats.cell_area;
+  }
+}
+
+TEST_F(ComponentsTest, TruncatedAdderMatchesTruncatedArithmetic) {
+  const int width = 16;
+  const int k = 4;
+  const Netlist nl = make_component(
+      lib_, {ComponentKind::adder, width, k, AdderArch::ripple, MultArch::array});
+  FuncSim sim(nl);
+  Rng rng(17);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.next_u64() & mask;
+    const std::uint64_t b = rng.next_u64() & mask;
+    sim.set_bus("a", a);
+    sim.set_bus("b", b);
+    sim.eval();
+    const std::uint64_t ta = a & ~((std::uint64_t{1} << k) - 1);
+    const std::uint64_t tb = b & ~((std::uint64_t{1} << k) - 1);
+    EXPECT_EQ(sim.bus_value("y"), (ta + tb) & ((mask << 1) | 1));
+  }
+}
+
+TEST_F(ComponentsTest, TruncatedMultiplierErrorWithinBound) {
+  const int width = 10;
+  const int k = 3;
+  const Netlist exact = make_component(
+      lib_, {ComponentKind::multiplier, width, 0, AdderArch::cla4, MultArch::array});
+  const Netlist approx = make_component(
+      lib_, {ComponentKind::multiplier, width, k, AdderArch::cla4, MultArch::array});
+  FuncSim se(exact);
+  FuncSim sa(approx);
+  Rng rng(23);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::int64_t bound = multiplier_error_bound(width, k);
+  for (int i = 0; i < 300; ++i) {
+    const std::uint64_t a = rng.next_u64() & mask;
+    const std::uint64_t b = rng.next_u64() & mask;
+    se.set_bus("a", a);
+    se.set_bus("b", b);
+    se.eval();
+    sa.set_bus("a", a);
+    sa.set_bus("b", b);
+    sa.eval();
+    const std::int64_t ye =
+        wrap_signed(static_cast<std::int64_t>(se.bus_value("y")), 2 * width);
+    const std::int64_t ya =
+        wrap_signed(static_cast<std::int64_t>(sa.bus_value("y")), 2 * width);
+    EXPECT_LE(std::abs(ye - ya), bound);
+  }
+}
+
+TEST_F(ComponentsTest, MacComputesMultiplyAccumulate) {
+  const int width = 8;
+  const Netlist nl = make_component(
+      lib_, {ComponentKind::mac, width, 0, AdderArch::ripple, MultArch::array});
+  FuncSim sim(nl);
+  Rng rng(29);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  const std::uint64_t mask2 = (std::uint64_t{1} << (2 * width)) - 1;
+  for (int i = 0; i < 300; ++i) {
+    const std::int64_t a = wrap_signed(static_cast<std::int64_t>(rng.next_u64()), width);
+    const std::int64_t b = wrap_signed(static_cast<std::int64_t>(rng.next_u64()), width);
+    const std::int64_t acc =
+        wrap_signed(static_cast<std::int64_t>(rng.next_u64()), 2 * width);
+    sim.set_bus("a", static_cast<std::uint64_t>(a) & mask);
+    sim.set_bus("b", static_cast<std::uint64_t>(b) & mask);
+    sim.set_bus("acc", static_cast<std::uint64_t>(acc) & mask2);
+    sim.eval();
+    const std::int64_t y =
+        wrap_signed(static_cast<std::int64_t>(sim.bus_value("y")), 2 * width);
+    EXPECT_EQ(y, wrap_signed(a * b + acc, 2 * width));
+  }
+}
+
+TEST_F(ComponentsTest, ClampSaturates) {
+  const Netlist nl = make_component(
+      lib_, {ComponentKind::clamp, 12, 0, AdderArch::cla4, MultArch::array});
+  FuncSim sim(nl);
+  const std::uint64_t mask = (std::uint64_t{1} << 12) - 1;
+  const std::int64_t cases[] = {0, 1, 100, 255, 256, 300, 2047, -1, -5, -2048};
+  for (const std::int64_t x : cases) {
+    sim.set_bus("x", static_cast<std::uint64_t>(x) & mask);
+    sim.eval();
+    const std::int64_t expect = x < 0 ? 0 : (x > 255 ? 255 : x);
+    EXPECT_EQ(sim.bus_value("y"), static_cast<std::uint64_t>(expect)) << "x=" << x;
+  }
+}
+
+TEST_F(ComponentsTest, NoDeadGatesAfterOptimize) {
+  const Netlist nl = make_component(
+      lib_, {ComponentKind::adder, 12, 4, AdderArch::cla4, MultArch::array});
+  // Every gate output must reach a primary output.
+  std::vector<char> live(nl.num_nets(), 0);
+  std::vector<NetId> stack(nl.outputs().begin(), nl.outputs().end());
+  for (const NetId o : stack) live[o] = 1;
+  while (!stack.empty()) {
+    const NetId n = stack.back();
+    stack.pop_back();
+    const GateId d = nl.driver(n);
+    if (d == kInvalidGate) continue;
+    for (int p = 0; p < nl.gate_num_inputs(d); ++p) {
+      const NetId in = nl.gate(d).fanin[static_cast<std::size_t>(p)];
+      if (!live[in]) {
+        live[in] = 1;
+        stack.push_back(in);
+      }
+    }
+  }
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    EXPECT_TRUE(live[nl.gate(static_cast<GateId>(g)).fanout]) << "dead gate " << g;
+  }
+}
+
+}  // namespace
+}  // namespace aapx

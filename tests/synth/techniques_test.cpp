@@ -1,0 +1,181 @@
+// Alternative approximation techniques (paper Sec. III: the flow supports
+// any technique that trades accuracy for delay).
+#include <gtest/gtest.h>
+
+#include "gatesim/funcsim.hpp"
+#include "netlist/stats.hpp"
+#include "rtl/backend.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+class TechniquesTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_nangate45_like();
+};
+
+TEST_F(TechniquesTest, WindowedAdderExactWithFullWindow) {
+  Netlist nl(lib_);
+  const Word a = nl.add_input_bus("a", 12);
+  const Word b = nl.add_input_bus("b", 12);
+  nl.mark_output_bus(build_windowed_adder(nl, a, b, 12), "y");
+  FuncSim sim(nl);
+  Rng rng(1);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t va = rng.next_u64() & 0xFFF;
+    const std::uint64_t vb = rng.next_u64() & 0xFFF;
+    sim.set_bus("a", va);
+    sim.set_bus("b", vb);
+    sim.eval();
+    ASSERT_EQ(sim.bus_value("y"), va + vb);
+  }
+}
+
+TEST_F(TechniquesTest, WindowedAdderErrsOnlyOnLongCarryChains) {
+  const int width = 16;
+  const int window = 6;
+  Netlist nl(lib_);
+  const Word a = nl.add_input_bus("a", width);
+  const Word b = nl.add_input_bus("b", width);
+  nl.mark_output_bus(build_windowed_adder(nl, a, b, window), "y");
+  FuncSim sim(nl);
+  Rng rng(2);
+  const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+  int wrong = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t va = rng.next_u64() & mask;
+    const std::uint64_t vb = rng.next_u64() & mask;
+    sim.set_bus("a", va);
+    sim.set_bus("b", vb);
+    sim.eval();
+    const std::uint64_t got = sim.bus_value("y");
+    const std::uint64_t expect = (va + vb) & ((mask << 1) | 1);
+    if (got != expect) {
+      ++wrong;
+      // An error requires a real carry chain longer than the window: verify
+      // there exists a position whose true carry was generated more than
+      // `window` bits below.
+      bool long_chain = false;
+      std::uint64_t carry = 0;
+      std::vector<int> born(width + 1, -1);
+      for (int bit = 0; bit < width; ++bit) {
+        const std::uint64_t ai = (va >> bit) & 1;
+        const std::uint64_t bi = (vb >> bit) & 1;
+        const std::uint64_t gen = ai & bi;
+        const std::uint64_t prop = ai ^ bi;
+        const std::uint64_t next = gen | (prop & carry);
+        int origin = -1;
+        if (gen) {
+          origin = bit;
+        } else if (prop && carry) {
+          origin = born[bit];
+        }
+        born[bit + 1] = origin;
+        if (next && origin >= 0 && bit + 1 - origin > window) long_chain = true;
+        carry = next;
+      }
+      EXPECT_TRUE(long_chain) << "a=" << va << " b=" << vb;
+    }
+  }
+  // Errors are rare under random stimulus but must exist for a small window.
+  EXPECT_GT(wrong, 0);
+  EXPECT_LT(wrong, 600);
+}
+
+TEST_F(TechniquesTest, WindowedAdderShorterCriticalPath) {
+  auto delay_of = [&](int window) {
+    Netlist nl(lib_);
+    const Word a = nl.add_input_bus("a", 32);
+    const Word b = nl.add_input_bus("b", 32);
+    nl.mark_output_bus(build_windowed_adder(nl, a, b, window), "y");
+    return Sta(nl).run_fresh().max_delay;
+  };
+  EXPECT_LT(delay_of(4), delay_of(8));
+  EXPECT_LT(delay_of(8), delay_of(16));
+}
+
+TEST_F(TechniquesTest, PpTruncatedMultiplierBoundedError) {
+  const int width = 10;
+  for (const int k : {2, 4, 6}) {
+    Netlist nl(lib_);
+    const Word a = nl.add_input_bus("a", width);
+    const Word b = nl.add_input_bus("b", width);
+    nl.mark_output_bus(
+        build_pp_truncated_multiplier(nl, a, b, MultArch::array, k), "y");
+    FuncSim sim(nl);
+    Rng rng(3);
+    const std::uint64_t mask = (std::uint64_t{1} << width) - 1;
+    // Dropped columns c < k each hold at most c+1 partial products plus the
+    // Baugh-Wooley correction constant; their total weight bounds the error.
+    std::int64_t bound = 0;
+    for (int c = 0; c < k; ++c) bound += (c + 2) * (std::int64_t{1} << c);
+    for (int i = 0; i < 500; ++i) {
+      const std::int64_t va =
+          wrap_signed(static_cast<std::int64_t>(rng.next_u64()), width);
+      const std::int64_t vb =
+          wrap_signed(static_cast<std::int64_t>(rng.next_u64()), width);
+      sim.set_bus("a", static_cast<std::uint64_t>(va) & mask);
+      sim.set_bus("b", static_cast<std::uint64_t>(vb) & mask);
+      sim.eval();
+      const std::int64_t got =
+          wrap_signed(static_cast<std::int64_t>(sim.bus_value("y")), 2 * width);
+      EXPECT_LE(std::llabs(got - va * vb), bound)
+          << "k=" << k << " a=" << va << " b=" << vb;
+    }
+  }
+}
+
+TEST_F(TechniquesTest, PpTruncationShrinksNetlist) {
+  const ComponentSpec exact{ComponentKind::multiplier, 12, 0, AdderArch::cla4,
+                            MultArch::array, ApproxTechnique::pp_truncation};
+  ComponentSpec dropped = exact;
+  dropped.truncated_bits = 6;
+  const Netlist full = make_component(lib_, exact);
+  const Netlist trunc = make_component(lib_, dropped);
+  EXPECT_LT(compute_stats(trunc).cell_area, compute_stats(full).cell_area);
+  EXPECT_LT(Sta(trunc).run_fresh().max_delay, Sta(full).run_fresh().max_delay);
+}
+
+TEST_F(TechniquesTest, SpecNamesEncodeTechnique) {
+  ComponentSpec s{ComponentKind::adder, 16, 4, AdderArch::cla4, MultArch::array,
+                  ApproxTechnique::carry_window};
+  EXPECT_EQ(s.name(), "adder16_cla4_window_k12");
+  s.technique = ApproxTechnique::pp_truncation;
+  s.kind = ComponentKind::multiplier;
+  EXPECT_EQ(s.name(), "multiplier16_array_pp_k12");
+}
+
+TEST_F(TechniquesTest, TechniqueKindValidation) {
+  EXPECT_THROW(
+      make_component(lib_, {ComponentKind::multiplier, 8, 0, AdderArch::cla4,
+                            MultArch::array, ApproxTechnique::carry_window}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      make_component(lib_, {ComponentKind::adder, 8, 0, AdderArch::cla4,
+                            MultArch::array, ApproxTechnique::pp_truncation}),
+      std::invalid_argument);
+}
+
+TEST_F(TechniquesTest, WindowedComponentThroughMakeComponent) {
+  const ComponentSpec spec{ComponentKind::adder, 16, 8, AdderArch::cla4,
+                           MultArch::array, ApproxTechnique::carry_window};
+  const Netlist nl = make_component(lib_, spec);  // window = 8
+  EXPECT_EQ(nl.input_bus("a").size(), 16u);
+  EXPECT_EQ(nl.output_bus("y").size(), 17u);
+  // Small-magnitude additions never exceed the window: exact.
+  FuncSim sim(nl);
+  for (std::uint64_t va = 0; va < 32; va += 3) {
+    for (std::uint64_t vb = 0; vb < 32; vb += 5) {
+      sim.set_bus("a", va);
+      sim.set_bus("b", vb);
+      sim.eval();
+      EXPECT_EQ(sim.bus_value("y"), va + vb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aapx

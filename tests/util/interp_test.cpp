@@ -1,0 +1,89 @@
+#include "util/interp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace aapx {
+namespace {
+
+TEST(Interp1Test, ExactKnots) {
+  const std::vector<double> axis = {0.0, 1.0, 2.0};
+  const std::vector<double> vals = {10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 1.0), 20.0);
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 2.0), 40.0);
+}
+
+TEST(Interp1Test, Midpoints) {
+  const std::vector<double> axis = {0.0, 1.0, 2.0};
+  const std::vector<double> vals = {10.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 0.5), 15.0);
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 1.5), 30.0);
+}
+
+TEST(Interp1Test, EdgeExtrapolation) {
+  const std::vector<double> axis = {1.0, 2.0};
+  const std::vector<double> vals = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 0.0), 0.0);   // extrapolate left
+  EXPECT_DOUBLE_EQ(interp1(axis, vals, 3.0), 30.0);  // extrapolate right
+}
+
+TEST(Interp1Test, SinglePoint) {
+  EXPECT_DOUBLE_EQ(interp1({5.0}, {42.0}, -100.0), 42.0);
+}
+
+TEST(Interp1Test, SizeMismatchThrows) {
+  EXPECT_THROW(interp1({1.0, 2.0}, {1.0}, 1.5), std::invalid_argument);
+}
+
+TEST(Table2DTest, ConstructionValidation) {
+  EXPECT_THROW(Table2D({}, {1.0}, {}), std::invalid_argument);
+  EXPECT_THROW(Table2D({1.0}, {1.0}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(Table2D({2.0, 1.0}, {1.0}, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Table2DTest, ExactCorners) {
+  const Table2D t({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(t.lookup(0.0, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 1.0), 4.0);
+}
+
+TEST(Table2DTest, BilinearCenter) {
+  const Table2D t({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(t.lookup(0.5, 0.5), 2.5);
+}
+
+TEST(Table2DTest, ReproducesLinearFunction) {
+  // f(x, y) = 3x + 5y + 1 should interpolate exactly everywhere inside.
+  const std::vector<double> ax = {0.0, 2.0, 5.0};
+  const std::vector<double> ay = {1.0, 4.0};
+  std::vector<double> vals;
+  for (const double x : ax) {
+    for (const double y : ay) vals.push_back(3 * x + 5 * y + 1);
+  }
+  const Table2D t(ax, ay, vals);
+  EXPECT_NEAR(t.lookup(1.3, 2.7), 3 * 1.3 + 5 * 2.7 + 1, 1e-12);
+  EXPECT_NEAR(t.lookup(4.0, 1.0), 3 * 4.0 + 5 * 1.0 + 1, 1e-12);
+  // Edge extrapolation also follows a linear function exactly.
+  EXPECT_NEAR(t.lookup(7.0, 5.0), 3 * 7.0 + 5 * 5.0 + 1, 1e-12);
+}
+
+TEST(Table2DTest, DegenerateAxes) {
+  const Table2D row({1.0}, {0.0, 1.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(row.lookup(99.0, 0.5), 6.0);
+  const Table2D col({0.0, 1.0}, {1.0}, {5.0, 7.0});
+  EXPECT_DOUBLE_EQ(col.lookup(0.5, 99.0), 6.0);
+  const Table2D scalar({1.0}, {1.0}, {3.0});
+  EXPECT_DOUBLE_EQ(scalar.lookup(0.0, 0.0), 3.0);
+}
+
+TEST(Table2DTest, ScaledMultipliesValues) {
+  const Table2D t({0.0, 1.0}, {0.0, 1.0}, {1.0, 2.0, 3.0, 4.0});
+  const Table2D s = t.scaled(2.0);
+  EXPECT_DOUBLE_EQ(s.lookup(1.0, 1.0), 8.0);
+  EXPECT_DOUBLE_EQ(t.lookup(1.0, 1.0), 4.0);  // original untouched
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,117 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace aapx {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+}
+
+TEST(HistogramTest, BinsValues) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(5.5);
+  h.add(5.6);
+  h.add(9.9);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(5), 2u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-5.0);
+  h.add(7.0);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+}
+
+TEST(HistogramTest, BinCenters) {
+  Histogram h(0.0, 100.0, 10);
+  EXPECT_DOUBLE_EQ(h.bin_center(0), 5.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(9), 95.0);
+}
+
+TEST(HistogramTest, NormalizedSumsToOne) {
+  Histogram h(0.0, 1.0, 5);
+  for (int i = 0; i < 50; ++i) h.add(i / 50.0);
+  const auto norm = h.normalized();
+  double sum = 0.0;
+  for (const double v : norm) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, OverlapIdenticalIsOne) {
+  Histogram a(0.0, 1.0, 10);
+  Histogram b(0.0, 1.0, 10);
+  for (int i = 0; i < 100; ++i) {
+    a.add(i / 100.0);
+    b.add(i / 100.0);
+  }
+  EXPECT_NEAR(Histogram::overlap(a, b), 1.0, 1e-12);
+}
+
+TEST(HistogramTest, OverlapDisjointIsZero) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 1.0, 2);
+  a.add(0.1);
+  b.add(0.9);
+  EXPECT_NEAR(Histogram::overlap(a, b), 0.0, 1e-12);
+}
+
+TEST(HistogramTest, OverlapRequiresMatchingBins) {
+  Histogram a(0.0, 1.0, 2);
+  Histogram b(0.0, 1.0, 3);
+  EXPECT_THROW(Histogram::overlap(a, b), std::invalid_argument);
+}
+
+TEST(PsnrTest, ZeroMseIsInfinite) {
+  EXPECT_TRUE(std::isinf(psnr_from_mse(0.0)));
+}
+
+TEST(PsnrTest, KnownValue) {
+  // MSE of 1.0 over 8-bit data: 20*log10(255) = 48.13 dB.
+  EXPECT_NEAR(psnr_from_mse(1.0), 48.1308, 1e-3);
+}
+
+TEST(PsnrTest, MonotoneInMse) {
+  EXPECT_GT(psnr_from_mse(1.0), psnr_from_mse(4.0));
+  EXPECT_GT(psnr_from_mse(4.0), psnr_from_mse(100.0));
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,318 @@
+// aapx — command-line front end to the aging-induced-approximation flow.
+//
+//   aapx characterize --kind adder --width 32 --arch cla4 --years 1,10
+//   aapx flow --width 32 --years 10 --mode worst
+//   aapx schedule --kind multiplier --width 32 --grid 0.5,1,2,5,10
+//   aapx export-liberty [--years 10 --stress worst] --out lib.lib
+//   aapx export-verilog --kind adder --width 16 --trunc 4 --out adder.v
+//   aapx export-sdf --kind adder --width 16 [--years 10] --out adder.sdf
+//
+// Every subcommand builds the generated NanGate-45-like library and the
+// calibrated BTI model; see `aapx help` for the full option list.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cell/liberty.hpp"
+#include "core/adaptive.hpp"
+#include "core/microarch.hpp"
+#include "netlist/stats.hpp"
+#include "netlist/verilog.hpp"
+#include "sta/sdf.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace aapx;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  int get_int(const std::string& key, int fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoi(it->second);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) {
+      throw std::runtime_error("expected --option, got " + key);
+    }
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";
+    }
+  }
+  return args;
+}
+
+std::vector<double> parse_list(const std::string& csv) {
+  std::vector<double> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stod(item));
+  }
+  return out;
+}
+
+ComponentKind parse_kind(const std::string& s) {
+  if (s == "adder") return ComponentKind::adder;
+  if (s == "multiplier" || s == "mult") return ComponentKind::multiplier;
+  if (s == "mac") return ComponentKind::mac;
+  if (s == "clamp") return ComponentKind::clamp;
+  throw std::runtime_error("unknown --kind " + s);
+}
+
+AdderArch parse_adder_arch(const std::string& s) {
+  if (s == "ripple") return AdderArch::ripple;
+  if (s == "cla4") return AdderArch::cla4;
+  if (s == "kogge-stone" || s == "kogge_stone") return AdderArch::kogge_stone;
+  throw std::runtime_error("unknown --arch " + s);
+}
+
+StressMode parse_mode(const std::string& s) {
+  if (s == "worst") return StressMode::worst;
+  if (s == "balanced") return StressMode::balanced;
+  throw std::runtime_error("unknown --mode " + s + " (worst|balanced)");
+}
+
+ComponentSpec spec_from(const Args& args) {
+  ComponentSpec spec;
+  spec.kind = parse_kind(args.get("kind", "adder"));
+  spec.width = args.get_int("width", 32);
+  spec.truncated_bits = args.get_int("trunc", 0);
+  spec.adder_arch = parse_adder_arch(args.get("arch", "cla4"));
+  spec.mult_arch =
+      args.get("mult-arch", "array") == "wallace" ? MultArch::wallace
+                                                  : MultArch::array;
+  return spec;
+}
+
+std::ofstream open_out(const Args& args) {
+  const std::string path = args.get("out", "");
+  if (path.empty()) throw std::runtime_error("--out <file> is required");
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open " + path);
+  return os;
+}
+
+int cmd_characterize(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+  const ComponentSpec spec = spec_from(args);
+  CharacterizerOptions copt;
+  copt.min_precision =
+      args.get_int("min-precision", std::max(1, spec.width - 10));
+  const ComponentCharacterizer ch(lib, BtiModel{}, copt);
+  const StressMode mode = parse_mode(args.get("mode", "worst"));
+  std::vector<AgingScenario> scenarios;
+  for (const double y : parse_list(args.get("years", "1,10"))) {
+    scenarios.push_back({mode, y});
+  }
+  const ComponentCharacterization c = ch.characterize(spec, scenarios);
+
+  std::vector<std::string> header = {"precision", "fresh [ps]", "area [um^2]"};
+  for (const AgingScenario& s : scenarios) header.push_back(s.label() + " [ps]");
+  TextTable table(header);
+  for (const PrecisionPoint& p : c.points) {
+    std::vector<std::string> row = {std::to_string(p.precision),
+                                    TextTable::num(p.fresh_delay, 1),
+                                    TextTable::num(p.area, 1)};
+    for (const double d : p.aged_delay) row.push_back(TextTable::num(d, 1));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const int k = c.required_precision(i);
+    std::printf("%s: guardband-free precision = %s\n",
+                scenarios[i].label().c_str(),
+                k > 0 ? std::to_string(k).c_str() : "unreachable");
+  }
+  const std::string save = args.get("save", "");
+  if (!save.empty()) {
+    ApproximationLibrary out;
+    out.add(c);
+    std::ofstream os(save);
+    if (!os) throw std::runtime_error("cannot open " + save);
+    out.save(os);
+    std::printf("approximation library written to %s\n", save.c_str());
+  }
+  return 0;
+}
+
+int cmd_flow(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+  const int width = args.get_int("width", 32);
+  CharacterizerOptions copt;
+  copt.min_precision = args.get_int("min-precision", std::max(1, width - 8));
+  MicroarchApproximator flow(lib, BtiModel{}, copt);
+  MicroarchSpec design;
+  design.name = "idct";
+  design.blocks = {
+      {"mult", {ComponentKind::multiplier, width, 0, AdderArch::cla4,
+                MultArch::array}, false},
+      {"acc", {ComponentKind::adder, width, 0, AdderArch::cla4, MultArch::array},
+       false},
+  };
+  FlowOptions fopt;
+  fopt.scenario = {parse_mode(args.get("mode", "worst")),
+                   args.get_double("years", 10.0)};
+  const FlowResult plan = flow.run(design, fopt);
+  std::printf("constraint t_CP(noAging) = %.1f ps, timing %s\n",
+              plan.timing_constraint, plan.timing_met ? "met" : "NOT met");
+  TextTable table({"block", "fresh [ps]", "aged [ps]", "rel. slack",
+                   "precision", "meets"});
+  for (const BlockPlan& b : plan.blocks) {
+    table.add_row({b.spec.name, TextTable::num(b.fresh_delay, 1),
+                   TextTable::num(b.aged_delay_full, 1),
+                   TextTable::pct(b.rel_slack),
+                   std::to_string(b.chosen_precision), b.meets ? "yes" : "NO"});
+  }
+  table.print(std::cout);
+  return plan.timing_met ? 0 : 1;
+}
+
+int cmd_schedule(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+  const ComponentSpec spec = spec_from(args);
+  CharacterizerOptions copt;
+  copt.min_precision =
+      args.get_int("min-precision", std::max(1, spec.width - 10));
+  const ComponentCharacterizer ch(lib, BtiModel{}, copt);
+  const AdaptiveScheduler scheduler(ch);
+  const std::vector<double> grid = parse_list(args.get("grid", "1,2,5,10"));
+  const AdaptiveSchedule plan = scheduler.plan(
+      spec, parse_mode(args.get("mode", "worst")), grid);
+  std::printf("%s, constraint %.1f ps, schedule %s\n", spec.name().c_str(),
+              plan.timing_constraint, plan.feasible ? "feasible" : "INFEASIBLE");
+  TextTable table({"from [y]", "precision", "aged delay [ps]",
+                   "guardband avoided [ps]"});
+  for (const ScheduleStep& step : plan.steps) {
+    table.add_row({TextTable::num(step.from_years, 1),
+                   std::to_string(step.precision),
+                   TextTable::num(step.aged_delay, 1),
+                   TextTable::num(step.guardband_if_unapproximated, 1)});
+  }
+  table.print(std::cout);
+  return plan.feasible ? 0 : 1;
+}
+
+int cmd_export_liberty(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+  std::ofstream os = open_out(args);
+  const double years = args.get_double("years", 0.0);
+  if (years > 0.0) {
+    const DegradationAwareLibrary aged(lib, BtiModel{}, years);
+    const StressMode mode = parse_mode(args.get("stress", "worst"));
+    const StressPair stress =
+        mode == StressMode::worst ? kWorstCaseStress : kBalancedStress;
+    write_aged_liberty(aged, stress, os);
+    std::printf("aged liberty (%g years, %s stress) written to %s\n", years,
+                to_string(mode).c_str(), args.get("out", "").c_str());
+  } else {
+    write_liberty(lib, os);
+    std::printf("fresh liberty written to %s\n", args.get("out", "").c_str());
+  }
+  return 0;
+}
+
+int cmd_export_verilog(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+  const ComponentSpec spec = spec_from(args);
+  const Netlist nl = make_component(lib, spec);
+  std::ofstream os = open_out(args);
+  write_verilog(nl, os, spec.name());
+  std::printf("%s: %zu gates, %.1f um^2 -> %s\n", spec.name().c_str(),
+              nl.num_gates(), compute_stats(nl).cell_area,
+              args.get("out", "").c_str());
+  return 0;
+}
+
+int cmd_export_sdf(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+  const ComponentSpec spec = spec_from(args);
+  const Netlist nl = make_component(lib, spec);
+  std::ofstream os = open_out(args);
+  SdfWriteOptions sopt;
+  sopt.design_name = spec.name();
+  const double years = args.get_double("years", 0.0);
+  if (years > 0.0) {
+    const DegradationAwareLibrary aged(lib, BtiModel{}, years);
+    const StressProfile stress = StressProfile::uniform(
+        parse_mode(args.get("stress", "worst")), nl.num_gates());
+    write_aged_sdf(nl, aged, stress, os, sopt);
+  } else {
+    write_sdf(nl, os, sopt);
+  }
+  std::printf("SDF for %s (%s) written to %s\n", spec.name().c_str(),
+              years > 0.0 ? "aged" : "fresh", args.get("out", "").c_str());
+  return 0;
+}
+
+int cmd_help() {
+  std::printf(R"(aapx — aging-induced approximations toolkit
+
+commands:
+  characterize    delay-vs-precision-vs-aging surface of one component
+      --kind adder|multiplier|mac|clamp  --width N  --arch ripple|cla4|kogge-stone
+      --mult-arch array|wallace  --min-precision K  --mode worst|balanced
+      --years 1,10  [--save lib.txt]
+  flow            run the microarchitecture flow on an IDCT-shaped design
+      --width N  --years Y  --mode worst|balanced  [--min-precision K]
+  schedule        adaptive lifetime precision schedule
+      --kind ... --width N  --grid 0.5,1,2,5,10  --mode worst|balanced
+  export-liberty  write the cell library as Liberty
+      --out f.lib  [--years Y --stress worst|balanced]
+  export-verilog  write a synthesized component as structural Verilog
+      --kind ... --width N  [--trunc K]  --out f.v
+  export-sdf      write per-gate delays as SDF
+      --kind ... --width N  [--years Y --stress ...]  --out f.sdf
+  help            this text
+)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    if (args.command == "characterize") return cmd_characterize(args);
+    if (args.command == "flow") return cmd_flow(args);
+    if (args.command == "schedule") return cmd_schedule(args);
+    if (args.command == "export-liberty") return cmd_export_liberty(args);
+    if (args.command == "export-verilog") return cmd_export_verilog(args);
+    if (args.command == "export-sdf") return cmd_export_sdf(args);
+    if (args.command.empty() || args.command == "help" ||
+        args.command == "--help") {
+      return cmd_help();
+    }
+    std::fprintf(stderr, "aapx: unknown command '%s' (try 'aapx help')\n",
+                 args.command.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "aapx: %s\n", e.what());
+    return 1;
+  }
+}
