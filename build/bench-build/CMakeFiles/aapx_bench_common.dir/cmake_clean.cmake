@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_bench_common.dir/common.cpp.o"
+  "CMakeFiles/aapx_bench_common.dir/common.cpp.o.d"
+  "libaapx_bench_common.a"
+  "libaapx_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adaptive_schedule"
+  "../bench/abl_adaptive_schedule.pdb"
+  "CMakeFiles/abl_adaptive_schedule.dir/abl_adaptive_schedule.cpp.o"
+  "CMakeFiles/abl_adaptive_schedule.dir/abl_adaptive_schedule.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adaptive_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

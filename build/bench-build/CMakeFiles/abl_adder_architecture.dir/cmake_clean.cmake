@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_adder_architecture"
+  "../bench/abl_adder_architecture.pdb"
+  "CMakeFiles/abl_adder_architecture.dir/abl_adder_architecture.cpp.o"
+  "CMakeFiles/abl_adder_architecture.dir/abl_adder_architecture.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_adder_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_aging_model"
+  "../bench/abl_aging_model.pdb"
+  "CMakeFiles/abl_aging_model.dir/abl_aging_model.cpp.o"
+  "CMakeFiles/abl_aging_model.dir/abl_aging_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aging_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_approx_techniques"
+  "../bench/abl_approx_techniques.pdb"
+  "CMakeFiles/abl_approx_techniques.dir/abl_approx_techniques.cpp.o"
+  "CMakeFiles/abl_approx_techniques.dir/abl_approx_techniques.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_approx_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

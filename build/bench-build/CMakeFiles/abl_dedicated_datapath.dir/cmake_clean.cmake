@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_dedicated_datapath"
+  "../bench/abl_dedicated_datapath.pdb"
+  "CMakeFiles/abl_dedicated_datapath.dir/abl_dedicated_datapath.cpp.o"
+  "CMakeFiles/abl_dedicated_datapath.dir/abl_dedicated_datapath.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_dedicated_datapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

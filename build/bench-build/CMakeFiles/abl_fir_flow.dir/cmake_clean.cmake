@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_fir_flow"
+  "../bench/abl_fir_flow.pdb"
+  "CMakeFiles/abl_fir_flow.dir/abl_fir_flow.cpp.o"
+  "CMakeFiles/abl_fir_flow.dir/abl_fir_flow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_fir_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/abl_variation_guardband"
+  "../bench/abl_variation_guardband.pdb"
+  "CMakeFiles/abl_variation_guardband.dir/abl_variation_guardband.cpp.o"
+  "CMakeFiles/abl_variation_guardband.dir/abl_variation_guardband.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_variation_guardband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_component_errors"
+  "../bench/fig1_component_errors.pdb"
+  "CMakeFiles/fig1_component_errors.dir/fig1_component_errors.cpp.o"
+  "CMakeFiles/fig1_component_errors.dir/fig1_component_errors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_component_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig2_quality_collapse.cpp" "bench-build/CMakeFiles/fig2_quality_collapse.dir/fig2_quality_collapse.cpp.o" "gcc" "bench-build/CMakeFiles/fig2_quality_collapse.dir/fig2_quality_collapse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/aapx_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aapx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/aapx_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aapx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/aapx_gatesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/approx/CMakeFiles/aapx_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/aapx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/aapx_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/aapx_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aapx_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/aapx_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/aapx_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aapx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_quality_collapse"
+  "../bench/fig2_quality_collapse.pdb"
+  "CMakeFiles/fig2_quality_collapse.dir/fig2_quality_collapse.cpp.o"
+  "CMakeFiles/fig2_quality_collapse.dir/fig2_quality_collapse.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_quality_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_adder_characterization"
+  "../bench/fig4_adder_characterization.pdb"
+  "CMakeFiles/fig4_adder_characterization.dir/fig4_adder_characterization.cpp.o"
+  "CMakeFiles/fig4_adder_characterization.dir/fig4_adder_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_adder_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_stress_histograms"
+  "../bench/fig5_stress_histograms.pdb"
+  "CMakeFiles/fig5_stress_histograms.dir/fig5_stress_histograms.cpp.o"
+  "CMakeFiles/fig5_stress_histograms.dir/fig5_stress_histograms.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stress_histograms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_mac_mult_characterization"
+  "../bench/fig7_mac_mult_characterization.pdb"
+  "CMakeFiles/fig7_mac_mult_characterization.dir/fig7_mac_mult_characterization.cpp.o"
+  "CMakeFiles/fig7_mac_mult_characterization.dir/fig7_mac_mult_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mac_mult_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8a_idct_delay"
+  "../bench/fig8a_idct_delay.pdb"
+  "CMakeFiles/fig8a_idct_delay.dir/fig8a_idct_delay.cpp.o"
+  "CMakeFiles/fig8a_idct_delay.dir/fig8a_idct_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_idct_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

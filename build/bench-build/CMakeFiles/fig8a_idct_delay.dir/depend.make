@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_idct_delay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8b_image_quality"
+  "../bench/fig8b_image_quality.pdb"
+  "CMakeFiles/fig8b_image_quality.dir/fig8b_image_quality.cpp.o"
+  "CMakeFiles/fig8b_image_quality.dir/fig8b_image_quality.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_image_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8c_savings"
+  "../bench/fig8c_savings.pdb"
+  "CMakeFiles/fig8c_savings.dir/fig8c_savings.cpp.o"
+  "CMakeFiles/fig8c_savings.dir/fig8c_savings.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_example_images"
+  "../bench/fig9_example_images.pdb"
+  "CMakeFiles/fig9_example_images.dir/fig9_example_images.cpp.o"
+  "CMakeFiles/fig9_example_images.dir/fig9_example_images.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_example_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_sim_cost"
+  "../bench/tab_sim_cost.pdb"
+  "CMakeFiles/tab_sim_cost.dir/tab_sim_cost.cpp.o"
+  "CMakeFiles/tab_sim_cost.dir/tab_sim_cost.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_sim_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("aging")
+subdirs("cell")
+subdirs("netlist")
+subdirs("synth")
+subdirs("sta")
+subdirs("gatesim")
+subdirs("power")
+subdirs("approx")
+subdirs("image")
+subdirs("rtl")
+subdirs("core")

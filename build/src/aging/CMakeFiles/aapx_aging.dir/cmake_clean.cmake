@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_aging.dir/bti_model.cpp.o"
+  "CMakeFiles/aapx_aging.dir/bti_model.cpp.o.d"
+  "CMakeFiles/aapx_aging.dir/stress.cpp.o"
+  "CMakeFiles/aapx_aging.dir/stress.cpp.o.d"
+  "libaapx_aging.a"
+  "libaapx_aging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_aging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_approx.dir/characterization.cpp.o"
+  "CMakeFiles/aapx_approx.dir/characterization.cpp.o.d"
+  "CMakeFiles/aapx_approx.dir/error_bounds.cpp.o"
+  "CMakeFiles/aapx_approx.dir/error_bounds.cpp.o.d"
+  "CMakeFiles/aapx_approx.dir/library.cpp.o"
+  "CMakeFiles/aapx_approx.dir/library.cpp.o.d"
+  "libaapx_approx.a"
+  "libaapx_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_cell.dir/cell.cpp.o"
+  "CMakeFiles/aapx_cell.dir/cell.cpp.o.d"
+  "CMakeFiles/aapx_cell.dir/degradation.cpp.o"
+  "CMakeFiles/aapx_cell.dir/degradation.cpp.o.d"
+  "CMakeFiles/aapx_cell.dir/liberty.cpp.o"
+  "CMakeFiles/aapx_cell.dir/liberty.cpp.o.d"
+  "CMakeFiles/aapx_cell.dir/library.cpp.o"
+  "CMakeFiles/aapx_cell.dir/library.cpp.o.d"
+  "libaapx_cell.a"
+  "libaapx_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaapx_cell.a"
+)

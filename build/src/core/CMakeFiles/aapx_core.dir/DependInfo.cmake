@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/aapx_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/aapx_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/characterizer.cpp" "src/core/CMakeFiles/aapx_core.dir/characterizer.cpp.o" "gcc" "src/core/CMakeFiles/aapx_core.dir/characterizer.cpp.o.d"
+  "/root/repo/src/core/microarch.cpp" "src/core/CMakeFiles/aapx_core.dir/microarch.cpp.o" "gcc" "src/core/CMakeFiles/aapx_core.dir/microarch.cpp.o.d"
+  "/root/repo/src/core/stimulus.cpp" "src/core/CMakeFiles/aapx_core.dir/stimulus.cpp.o" "gcc" "src/core/CMakeFiles/aapx_core.dir/stimulus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/approx/CMakeFiles/aapx_approx.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/aapx_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/aapx_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/gatesim/CMakeFiles/aapx_gatesim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/aapx_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/aapx_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/aapx_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/aapx_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aapx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

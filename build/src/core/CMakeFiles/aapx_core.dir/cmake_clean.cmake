@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_core.dir/adaptive.cpp.o"
+  "CMakeFiles/aapx_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/aapx_core.dir/characterizer.cpp.o"
+  "CMakeFiles/aapx_core.dir/characterizer.cpp.o.d"
+  "CMakeFiles/aapx_core.dir/microarch.cpp.o"
+  "CMakeFiles/aapx_core.dir/microarch.cpp.o.d"
+  "CMakeFiles/aapx_core.dir/stimulus.cpp.o"
+  "CMakeFiles/aapx_core.dir/stimulus.cpp.o.d"
+  "libaapx_core.a"
+  "libaapx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

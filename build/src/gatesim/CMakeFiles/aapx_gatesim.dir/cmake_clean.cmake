@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_gatesim.dir/funcsim.cpp.o"
+  "CMakeFiles/aapx_gatesim.dir/funcsim.cpp.o.d"
+  "CMakeFiles/aapx_gatesim.dir/timedsim.cpp.o"
+  "CMakeFiles/aapx_gatesim.dir/timedsim.cpp.o.d"
+  "libaapx_gatesim.a"
+  "libaapx_gatesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_gatesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

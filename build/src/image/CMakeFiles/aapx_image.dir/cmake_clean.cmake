@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_image.dir/dct_ref.cpp.o"
+  "CMakeFiles/aapx_image.dir/dct_ref.cpp.o.d"
+  "CMakeFiles/aapx_image.dir/image.cpp.o"
+  "CMakeFiles/aapx_image.dir/image.cpp.o.d"
+  "CMakeFiles/aapx_image.dir/synthetic.cpp.o"
+  "CMakeFiles/aapx_image.dir/synthetic.cpp.o.d"
+  "libaapx_image.a"
+  "libaapx_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_netlist.dir/dot.cpp.o"
+  "CMakeFiles/aapx_netlist.dir/dot.cpp.o.d"
+  "CMakeFiles/aapx_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/aapx_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/aapx_netlist.dir/stats.cpp.o"
+  "CMakeFiles/aapx_netlist.dir/stats.cpp.o.d"
+  "CMakeFiles/aapx_netlist.dir/verilog.cpp.o"
+  "CMakeFiles/aapx_netlist.dir/verilog.cpp.o.d"
+  "libaapx_netlist.a"
+  "libaapx_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_power.dir/power.cpp.o"
+  "CMakeFiles/aapx_power.dir/power.cpp.o.d"
+  "libaapx_power.a"
+  "libaapx_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

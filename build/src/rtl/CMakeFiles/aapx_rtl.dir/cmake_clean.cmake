@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_rtl.dir/backend.cpp.o"
+  "CMakeFiles/aapx_rtl.dir/backend.cpp.o.d"
+  "CMakeFiles/aapx_rtl.dir/codec.cpp.o"
+  "CMakeFiles/aapx_rtl.dir/codec.cpp.o.d"
+  "libaapx_rtl.a"
+  "libaapx_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sta/sdf.cpp" "src/sta/CMakeFiles/aapx_sta.dir/sdf.cpp.o" "gcc" "src/sta/CMakeFiles/aapx_sta.dir/sdf.cpp.o.d"
+  "/root/repo/src/sta/sta.cpp" "src/sta/CMakeFiles/aapx_sta.dir/sta.cpp.o" "gcc" "src/sta/CMakeFiles/aapx_sta.dir/sta.cpp.o.d"
+  "/root/repo/src/sta/variation.cpp" "src/sta/CMakeFiles/aapx_sta.dir/variation.cpp.o" "gcc" "src/sta/CMakeFiles/aapx_sta.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/aapx_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/aapx_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/aapx_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aapx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

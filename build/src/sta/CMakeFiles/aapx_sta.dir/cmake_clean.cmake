@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_sta.dir/sdf.cpp.o"
+  "CMakeFiles/aapx_sta.dir/sdf.cpp.o.d"
+  "CMakeFiles/aapx_sta.dir/sta.cpp.o"
+  "CMakeFiles/aapx_sta.dir/sta.cpp.o.d"
+  "CMakeFiles/aapx_sta.dir/variation.cpp.o"
+  "CMakeFiles/aapx_sta.dir/variation.cpp.o.d"
+  "libaapx_sta.a"
+  "libaapx_sta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_sta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

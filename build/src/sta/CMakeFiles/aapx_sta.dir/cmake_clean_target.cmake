@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaapx_sta.a"
+)

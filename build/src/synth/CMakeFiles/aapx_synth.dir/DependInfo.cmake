@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/arith.cpp" "src/synth/CMakeFiles/aapx_synth.dir/arith.cpp.o" "gcc" "src/synth/CMakeFiles/aapx_synth.dir/arith.cpp.o.d"
+  "/root/repo/src/synth/components.cpp" "src/synth/CMakeFiles/aapx_synth.dir/components.cpp.o" "gcc" "src/synth/CMakeFiles/aapx_synth.dir/components.cpp.o.d"
+  "/root/repo/src/synth/dct_unit.cpp" "src/synth/CMakeFiles/aapx_synth.dir/dct_unit.cpp.o" "gcc" "src/synth/CMakeFiles/aapx_synth.dir/dct_unit.cpp.o.d"
+  "/root/repo/src/synth/passes.cpp" "src/synth/CMakeFiles/aapx_synth.dir/passes.cpp.o" "gcc" "src/synth/CMakeFiles/aapx_synth.dir/passes.cpp.o.d"
+  "/root/repo/src/synth/sizing.cpp" "src/synth/CMakeFiles/aapx_synth.dir/sizing.cpp.o" "gcc" "src/synth/CMakeFiles/aapx_synth.dir/sizing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/aapx_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/sta/CMakeFiles/aapx_sta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cell/CMakeFiles/aapx_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/aging/CMakeFiles/aapx_aging.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aapx_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_synth.dir/arith.cpp.o"
+  "CMakeFiles/aapx_synth.dir/arith.cpp.o.d"
+  "CMakeFiles/aapx_synth.dir/components.cpp.o"
+  "CMakeFiles/aapx_synth.dir/components.cpp.o.d"
+  "CMakeFiles/aapx_synth.dir/dct_unit.cpp.o"
+  "CMakeFiles/aapx_synth.dir/dct_unit.cpp.o.d"
+  "CMakeFiles/aapx_synth.dir/passes.cpp.o"
+  "CMakeFiles/aapx_synth.dir/passes.cpp.o.d"
+  "CMakeFiles/aapx_synth.dir/sizing.cpp.o"
+  "CMakeFiles/aapx_synth.dir/sizing.cpp.o.d"
+  "libaapx_synth.a"
+  "libaapx_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

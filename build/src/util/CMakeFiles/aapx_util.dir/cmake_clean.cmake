@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx_util.dir/interp.cpp.o"
+  "CMakeFiles/aapx_util.dir/interp.cpp.o.d"
+  "CMakeFiles/aapx_util.dir/rng.cpp.o"
+  "CMakeFiles/aapx_util.dir/rng.cpp.o.d"
+  "CMakeFiles/aapx_util.dir/stats.cpp.o"
+  "CMakeFiles/aapx_util.dir/stats.cpp.o.d"
+  "CMakeFiles/aapx_util.dir/table.cpp.o"
+  "CMakeFiles/aapx_util.dir/table.cpp.o.d"
+  "libaapx_util.a"
+  "libaapx_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gatesim_test.dir/gatesim/funcsim_test.cpp.o"
+  "CMakeFiles/gatesim_test.dir/gatesim/funcsim_test.cpp.o.d"
+  "CMakeFiles/gatesim_test.dir/gatesim/timedsim_test.cpp.o"
+  "CMakeFiles/gatesim_test.dir/gatesim/timedsim_test.cpp.o.d"
+  "gatesim_test"
+  "gatesim_test.pdb"
+  "gatesim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gatesim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_test.dir/synth/adder_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/adder_test.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/components_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/components_test.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/dct_unit_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/dct_unit_test.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/multiplier_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/multiplier_test.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/passes_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/passes_test.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/sizing_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/sizing_test.cpp.o.d"
+  "CMakeFiles/synth_test.dir/synth/techniques_test.cpp.o"
+  "CMakeFiles/synth_test.dir/synth/techniques_test.cpp.o.d"
+  "synth_test"
+  "synth_test.pdb"
+  "synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aapx.dir/aapx_cli.cpp.o"
+  "CMakeFiles/aapx.dir/aapx_cli.cpp.o.d"
+  "aapx"
+  "aapx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aapx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
