@@ -142,7 +142,12 @@ enum class TokKind { ident, string, symbol, eof };
 struct Token {
   TokKind kind = TokKind::eof;
   std::string text;
+  int line = 0;  ///< 1-based source line the token starts on
 };
+
+[[noreturn]] void fail_at(int line, const std::string& message) {
+  throw std::runtime_error("liberty:" + std::to_string(line) + ": " + message);
+}
 
 class Lexer {
  public:
@@ -151,6 +156,7 @@ class Lexer {
   Token next() {
     skip_ws_and_comments();
     Token tok;
+    tok.line = line_;
     if (pos_ >= src_.size()) return tok;
     const char c = src_[pos_];
     if (c == '"') {
@@ -159,11 +165,13 @@ class Lexer {
       while (pos_ < src_.size() && src_[pos_] != '"') {
         if (src_[pos_] == '\\' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '\n') {
           pos_ += 2;  // line continuation inside a string
+          ++line_;
           continue;
         }
+        if (src_[pos_] == '\n') ++line_;
         tok.text += src_[pos_++];
       }
-      if (pos_ >= src_.size()) throw std::runtime_error("liberty: unterminated string");
+      if (pos_ >= src_.size()) fail_at(tok.line, "unterminated string");
       ++pos_;
       return tok;
     }
@@ -180,8 +188,7 @@ class Lexer {
       tok.text += src_[pos_++];
     }
     if (tok.text.empty()) {
-      throw std::runtime_error(std::string("liberty: unexpected character '") +
-                               c + "'");
+      fail_at(line_, std::string("unexpected character '") + c + "'");
     }
     return tok;
   }
@@ -191,10 +198,14 @@ class Lexer {
     while (pos_ < src_.size()) {
       const char c = src_[pos_];
       if (std::isspace(static_cast<unsigned char>(c)) || c == '\\') {
+        if (c == '\n') ++line_;
         ++pos_;
       } else if (c == '/' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '*') {
         const std::size_t end = src_.find("*/", pos_ + 2);
-        if (end == std::string::npos) throw std::runtime_error("liberty: open comment");
+        if (end == std::string::npos) fail_at(line_, "open comment");
+        for (std::size_t i = pos_; i < end; ++i) {
+          if (src_[i] == '\n') ++line_;
+        }
         pos_ = end + 2;
       } else {
         break;
@@ -204,16 +215,29 @@ class Lexer {
 
   std::string src_;
   std::size_t pos_ = 0;
+  int line_ = 1;
 };
 
 /// Generic in-memory Liberty group tree.
 struct Group {
   std::string type;                 // e.g. "cell"
+  int line = 0;                     // source line the group starts on
   std::vector<std::string> args;    // e.g. {"NAND2_X1"}
   std::map<std::string, std::string> attrs;          // simple attributes
   std::vector<std::pair<std::string, std::vector<std::string>>> complex;
   std::vector<Group> children;
 };
+
+/// Required attribute lookup with a located diagnostic instead of the bare
+/// std::out_of_range a map::at would give on truncated input.
+const std::string& require_attr(const Group& group, const char* name) {
+  const auto it = group.attrs.find(name);
+  if (it == group.attrs.end()) {
+    fail_at(group.line, "missing attribute '" + std::string(name) + "' in " +
+                            group.type + " group");
+  }
+  return it->second;
+}
 
 class Parser {
  public:
@@ -223,6 +247,7 @@ class Parser {
     Group group;
     expect(TokKind::ident);
     group.type = tok_.text;
+    group.line = tok_.line;
     advance();
     expect_symbol("(");
     advance();
@@ -233,8 +258,7 @@ class Parser {
       } else if (is_symbol(",")) {
         advance();
       } else {
-        throw std::runtime_error("liberty: bad group argument list near " +
-                                 tok_.text);
+        fail_at(tok_.line, "bad group argument list near '" + tok_.text + "'");
       }
     }
     advance();  // ')'
@@ -251,6 +275,7 @@ class Parser {
   void parse_statement(Group& group) {
     expect(TokKind::ident);
     const std::string name = tok_.text;
+    const int name_line = tok_.line;
     advance();
     if (is_symbol(":")) {
       advance();
@@ -276,13 +301,14 @@ class Parser {
         } else if (is_symbol(",")) {
           advance();
         } else {
-          throw std::runtime_error("liberty: bad argument list for " + name);
+          fail_at(tok_.line, "bad argument list for " + name);
         }
       }
       advance();  // ')'
       if (is_symbol("{")) {
         Group child;
         child.type = name;
+        child.line = name_line;
         child.args = std::move(args);
         advance();
         while (!is_symbol("}")) parse_statement(child);
@@ -294,13 +320,16 @@ class Parser {
       group.complex.emplace_back(name, std::move(args));
       return;
     }
-    throw std::runtime_error("liberty: unexpected token after " + name);
+    fail_at(tok_.line, "unexpected token after " + name);
   }
 
   void advance() { tok_ = lexer_.next(); }
   void expect(TokKind kind) {
     if (tok_.kind != kind) {
-      throw std::runtime_error("liberty: unexpected token '" + tok_.text + "'");
+      if (tok_.kind == TokKind::eof) {
+        fail_at(tok_.line, "unexpected end of input");
+      }
+      fail_at(tok_.line, "unexpected token '" + tok_.text + "'");
     }
   }
   bool is_symbol(const char* s) const {
@@ -308,8 +337,12 @@ class Parser {
   }
   void expect_symbol(const char* s) {
     if (!is_symbol(s)) {
-      throw std::runtime_error(std::string("liberty: expected '") + s +
-                               "' near '" + tok_.text + "'");
+      if (tok_.kind == TokKind::eof) {
+        fail_at(tok_.line, std::string("expected '") + s +
+                               "' before end of input");
+      }
+      fail_at(tok_.line,
+              std::string("expected '") + s + "' near '" + tok_.text + "'");
     }
   }
 
@@ -317,13 +350,43 @@ class Parser {
   Token tok_;
 };
 
-std::vector<double> parse_number_list(const std::string& csv) {
+double to_double(const std::string& text, int line, const char* what) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    fail_at(line, std::string("bad ") + what + " value '" + text + "'");
+  }
+  if (used != text.size()) {
+    fail_at(line, std::string("bad ") + what + " value '" + text + "'");
+  }
+  return value;
+}
+
+double attr_double(const Group& group, const char* name) {
+  return to_double(require_attr(group, name), group.line, name);
+}
+
+int attr_int(const Group& group, const char* name) {
+  const double value = to_double(require_attr(group, name), group.line, name);
+  const int as_int = static_cast<int>(value);
+  if (static_cast<double>(as_int) != value) {
+    fail_at(group.line, std::string("bad ") + name + " value (not an integer)");
+  }
+  return as_int;
+}
+
+std::vector<double> parse_number_list(const std::string& csv, int line) {
   std::vector<double> out;
   std::istringstream is(csv);
   std::string item;
   while (std::getline(is, item, ',')) {
-    if (item.find_first_not_of(" \t\n") == std::string::npos) continue;
-    out.push_back(std::stod(item));
+    const std::size_t first = item.find_first_not_of(" \t\n");
+    if (first == std::string::npos) continue;
+    const std::size_t last = item.find_last_not_of(" \t\n");
+    out.push_back(to_double(item.substr(first, last - first + 1), line,
+                            "number list"));
   }
   return out;
 }
@@ -340,7 +403,7 @@ LogicFn parse_fn(const std::string& name) {
       {"MUX2", LogicFn::kMux2},   {"MAJ3", LogicFn::kMaj3},
   };
   const auto it = kMap.find(name);
-  if (it == kMap.end()) throw std::runtime_error("liberty: unknown function " + name);
+  if (it == kMap.end()) throw std::runtime_error("unknown function " + name);
   return it->second;
 }
 
@@ -350,11 +413,20 @@ Table2D parse_values(const Group& table_group, const std::vector<double>& axis1,
     if (name != "values") continue;
     std::vector<double> flat;
     for (const std::string& row : args) {
-      for (const double v : parse_number_list(row)) flat.push_back(v);
+      for (const double v : parse_number_list(row, table_group.line)) {
+        flat.push_back(v);
+      }
+    }
+    if (flat.size() != axis1.size() * axis2.size()) {
+      fail_at(table_group.line, "table " + table_group.type + " has " +
+                                    std::to_string(flat.size()) +
+                                    " values, template wants " +
+                                    std::to_string(axis1.size() * axis2.size()));
     }
     return Table2D(axis1, axis2, std::move(flat));
   }
-  throw std::runtime_error("liberty: table group without values()");
+  fail_at(table_group.line, "table group " + table_group.type +
+                                " without values()");
 }
 
 }  // namespace
@@ -382,8 +454,12 @@ CellLibrary parse_liberty(std::istream& is) {
   for (const Group& child : root.children) {
     if (child.type != "lu_table_template") continue;
     for (const auto& [name, args] : child.complex) {
-      if (name == "index_1" && !args.empty()) axis1 = parse_number_list(args[0]);
-      if (name == "index_2" && !args.empty()) axis2 = parse_number_list(args[0]);
+      if (name == "index_1" && !args.empty()) {
+        axis1 = parse_number_list(args[0], child.line);
+      }
+      if (name == "index_2" && !args.empty()) {
+        axis2 = parse_number_list(args[0], child.line);
+      }
     }
   }
   if (axis1.empty() || axis2.empty()) {
@@ -393,39 +469,44 @@ CellLibrary parse_liberty(std::istream& is) {
   CellLibrary lib;
   for (const Group& cg : root.children) {
     if (cg.type != "cell") continue;
-    if (cg.args.empty()) throw std::runtime_error("liberty: unnamed cell");
+    if (cg.args.empty()) fail_at(cg.line, "unnamed cell");
     Cell cell;
     cell.name = cg.args[0];
-    cell.fn = parse_fn(cg.attrs.at("aapx_function"));
-    cell.drive = std::stoi(cg.attrs.at("aapx_drive"));
-    cell.area = std::stod(cg.attrs.at("area"));
-    cell.aging_sensitivity = std::stod(cg.attrs.at("aapx_aging_sensitivity"));
-    for (const double v :
-         parse_number_list(cg.attrs.at("aapx_leakage_states"))) {
+    try {
+      cell.fn = parse_fn(require_attr(cg, "aapx_function"));
+    } catch (const std::runtime_error& e) {
+      fail_at(cg.line, std::string(e.what()) + " in cell " + cell.name);
+    }
+    cell.drive = attr_int(cg, "aapx_drive");
+    cell.area = attr_double(cg, "area");
+    cell.aging_sensitivity = attr_double(cg, "aapx_aging_sensitivity");
+    for (const double v : parse_number_list(
+             require_attr(cg, "aapx_leakage_states"), cg.line)) {
       cell.leakage_per_state.push_back(v);
     }
     const int pins = cell.num_inputs();
     if (cell.leakage_per_state.size() != std::size_t{1} << pins) {
-      throw std::runtime_error("liberty: leakage state count mismatch in " +
-                               cell.name);
+      fail_at(cg.line, "leakage state count mismatch in " + cell.name);
     }
     for (const Group& pin : cg.children) {
       if (pin.type != "pin" || pin.args.empty()) continue;
       if (pin.attrs.count("capacitance") != 0) {
-        cell.pin_cap = std::stod(pin.attrs.at("capacitance"));
+        cell.pin_cap = attr_double(pin, "capacitance");
       }
       if (pin.args[0] == "Y") {
         if (pin.attrs.count("max_capacitance") != 0) {
-          cell.max_load = std::stod(pin.attrs.at("max_capacitance"));
+          cell.max_load = attr_double(pin, "max_capacitance");
         }
         for (const Group& timing : pin.children) {
           if (timing.type != "timing") continue;
           TimingArc arc;
-          const std::string related = timing.attrs.at("related_pin");
+          const std::string related = require_attr(timing, "related_pin");
           if (related.size() < 2 || related[0] != 'A') {
-            throw std::runtime_error("liberty: bad related_pin " + related);
+            fail_at(timing.line, "bad related_pin " + related);
           }
-          arc.input_pin = std::stoi(related.substr(1));
+          arc.input_pin =
+              static_cast<int>(to_double(related.substr(1), timing.line,
+                                         "related_pin index"));
           for (const Group& tbl : timing.children) {
             if (tbl.type == "cell_rise") arc.rise_delay = parse_values(tbl, axis1, axis2);
             if (tbl.type == "cell_fall") arc.fall_delay = parse_values(tbl, axis1, axis2);
@@ -433,15 +514,14 @@ CellLibrary parse_liberty(std::istream& is) {
             if (tbl.type == "fall_transition") arc.fall_slew = parse_values(tbl, axis1, axis2);
           }
           if (arc.rise_delay.empty() || arc.fall_delay.empty()) {
-            throw std::runtime_error("liberty: incomplete timing arc in " +
-                                     cell.name);
+            fail_at(timing.line, "incomplete timing arc in " + cell.name);
           }
           cell.arcs.push_back(std::move(arc));
         }
       }
     }
     if (cell.arcs.size() != static_cast<std::size_t>(pins)) {
-      throw std::runtime_error("liberty: arc count mismatch in " + cell.name);
+      fail_at(cg.line, "arc count mismatch in " + cell.name);
     }
     lib.add(std::move(cell));
   }

@@ -1,6 +1,7 @@
 #include "core/characterizer.hpp"
 
 #include <stdexcept>
+#include <string>
 
 #include "netlist/stats.hpp"
 #include "synth/components.hpp"
@@ -33,9 +34,9 @@ double ComponentCharacterizer::aged_delay(const Netlist& nl,
   if (scenario.is_fresh()) return sta.run_fresh().max_delay;
   const DegradationAwareLibrary& aged = degradation_for(scenario.years);
   if (scenario.mode == StressMode::measured) {
-    if (stimulus == nullptr) {
+    if (stimulus == nullptr || stimulus->size() == 0) {
       throw std::invalid_argument(
-          "aged_delay: measured scenario requires a stimulus set");
+          "aged_delay: measured scenario requires a non-empty stimulus set");
     }
     const StressProfile profile =
         StressProfile::measured(measure_gate_duty(nl, *stimulus));
@@ -53,8 +54,18 @@ ComponentCharacterization ComponentCharacterizer::characterize(
     throw std::invalid_argument(
         "characterize: base spec must be full precision");
   }
+  if (base.width < 1 || base.width > 64) {
+    throw std::invalid_argument(
+        "characterize: width must be in [1, 64], got " +
+        std::to_string(base.width));
+  }
   if (options_.min_precision < 1 || options_.min_precision > base.width) {
     throw std::invalid_argument("characterize: bad min_precision");
+  }
+  for (const AgingScenario& s : scenarios) {
+    if (s.years < 0.0) {
+      throw std::invalid_argument("characterize: negative scenario years");
+    }
   }
   ComponentCharacterization result;
   result.base = base;

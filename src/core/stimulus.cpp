@@ -130,6 +130,47 @@ StimulusSet make_running_sum_stimulus(int width, std::size_t count,
   return set;
 }
 
+StimulusSet make_carry_stress_stimulus(int width, std::size_t count,
+                                       std::uint64_t seed, double sigma) {
+  if (width <= 1 || width > 63) {
+    throw std::invalid_argument("make_carry_stress_stimulus: bad width");
+  }
+  if (sigma <= 0.0) sigma = default_sigma(width);
+  Rng rng(seed);
+  StimulusSet set;
+  set.buses = {"a", "b"};
+  set.vectors.reserve(count);
+  const std::uint64_t all = (std::uint64_t{1} << width) - 1;
+  const std::int64_t lim = (std::int64_t{1} << (width - 1)) - 1;
+  const int max_j = width / 2;
+  std::int64_t acc = 0;
+  int j = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t phase = i % 5;
+    if (phase == 3) {
+      // Arm: ones from bit j up, no carry activity yet.
+      const std::uint64_t mask = all & ~((std::uint64_t{1} << j) - 1);
+      set.vectors.push_back({mask, 0});
+    } else if (phase == 4) {
+      // Fire: flip only bit j of b -> a single carry generated at bit j
+      // ripples through the all-ones prefix of a to the MSB, a chain of
+      // width - j stages. (A generate must sit at the *lowest* alive bit to
+      // maximize the chain; simultaneous generates collapse to the highest
+      // one, so j has to sweep rather than stack.)
+      const std::uint64_t mask = all & ~((std::uint64_t{1} << j) - 1);
+      set.vectors.push_back({mask, std::uint64_t{1} << j});
+      j = (j + 1) % (max_j + 1);
+    } else {
+      const std::int64_t sample = rng.next_normal_int(sigma, -lim, lim);
+      set.vectors.push_back(
+          {wrap_to_width(acc, width), wrap_to_width(sample, width)});
+      acc += sample;
+      acc -= acc / 16;
+    }
+  }
+  return set;
+}
+
 StimulusSet stimulus_from_operand_pairs(
     const std::vector<std::pair<std::int64_t, std::int64_t>>& ops, int width,
     std::size_t max_count) {

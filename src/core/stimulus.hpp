@@ -59,6 +59,19 @@ StimulusSet make_mixed_magnitude_stimulus(int width, std::size_t count,
 StimulusSet make_running_sum_stimulus(int width, std::size_t count,
                                       std::uint64_t seed = 1, double sigma = -1.0);
 
+/// Running-sum traffic interleaved with deterministic worst-case carry
+/// excitation: every fourth/fifth vector is the pair (a = ones from bit j
+/// up, b = 0) then (a unchanged, b = 1 << j), whose single-bit transition
+/// launches a clean carry ripple from bit j to the MSB. Random traffic
+/// reaches long chains only sporadically; these pairs pin the component's
+/// true critical path every few cycles, which is what an in-situ timing
+/// monitor needs to observe degradation *before* the application data does.
+/// j cycles over [0, width/2], so the pattern keeps exciting near-critical
+/// chains even when low operand bits are truncated away.
+StimulusSet make_carry_stress_stimulus(int width, std::size_t count,
+                                       std::uint64_t seed = 1,
+                                       double sigma = -1.0);
+
 /// Converts a recorded multiplier operand stream (e.g. from an IDCT decode,
 /// via RecordingBackend) into an (a, b) stimulus set.
 StimulusSet stimulus_from_operand_pairs(

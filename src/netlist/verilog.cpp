@@ -107,6 +107,10 @@ namespace {
 
 // --- parsing ---------------------------------------------------------------
 
+[[noreturn]] void vfail(int line, const std::string& message) {
+  throw std::runtime_error("verilog:" + std::to_string(line) + ": " + message);
+}
+
 class VLexer {
  public:
   explicit VLexer(std::istream& is) {
@@ -116,6 +120,7 @@ class VLexer {
   /// Next token: identifier/number-like chunk or single symbol; empty at EOF.
   std::string next() {
     skip();
+    token_line_ = line_;
     if (pos_ >= src_.size()) return {};
     const char c = src_[pos_];
     if (std::strchr("()[];,.=:", c) != nullptr) {
@@ -134,16 +139,19 @@ class VLexer {
       }
     }
     if (tok.empty()) {
-      throw std::runtime_error(std::string("verilog: unexpected character '") +
-                               c + "'");
+      vfail(line_, std::string("unexpected character '") + c + "'");
     }
     return tok;
   }
+
+  /// Line the most recently returned token started on.
+  int token_line() const noexcept { return token_line_; }
 
  private:
   void skip() {
     while (pos_ < src_.size()) {
       if (std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+        if (src_[pos_] == '\n') ++line_;
         ++pos_;
       } else if (src_[pos_] == '/' && pos_ + 1 < src_.size() &&
                  src_[pos_ + 1] == '/') {
@@ -152,7 +160,10 @@ class VLexer {
                  src_[pos_ + 1] == '*') {
         const std::size_t end = src_.find("*/", pos_ + 2);
         if (end == std::string::npos) {
-          throw std::runtime_error("verilog: open comment");
+          vfail(line_, "open comment");
+        }
+        for (std::size_t i = pos_; i < end; ++i) {
+          if (src_[i] == '\n') ++line_;
         }
         pos_ = end + 2;
       } else {
@@ -163,6 +174,8 @@ class VLexer {
 
   std::string src_;
   std::size_t pos_ = 0;
+  int line_ = 1;
+  int token_line_ = 1;
 };
 
 class VParser {
@@ -195,9 +208,9 @@ class VParser {
         int width = 0;  // 0 = scalar
         if (peek() == "[") {
           (void)token();
-          width = std::stoi(token()) + 1;
+          width = number("bus msb") + 1;
           expect(":");
-          if (token() != "0") throw std::runtime_error("verilog: lsb must be 0");
+          if (token() != "0") vfail(line(), "bus lsb must be 0");
           expect("]");
         }
         while (true) {
@@ -251,7 +264,7 @@ class VParser {
         // Cell instance: CELLNAME instname ( .PIN(net), ... ) ;
         const auto cell = lib_->find(tok);
         if (!cell.has_value()) {
-          throw std::runtime_error("verilog: unknown cell or keyword " + tok);
+          vfail(line(), "unknown cell or keyword " + tok);
         }
         (void)token();  // instance name
         expect("(");
@@ -271,13 +284,12 @@ class VParser {
         for (int p = 0; p < num_ins; ++p) {
           const auto it = pins.find("A" + std::to_string(p));
           if (it == pins.end()) {
-            throw std::runtime_error("verilog: missing pin A" +
-                                     std::to_string(p));
+            vfail(line(), "missing pin A" + std::to_string(p) + " on " + tok);
           }
           ins.push_back(it->second);
         }
         const auto y = pins.find("Y");
-        if (y == pins.end()) throw std::runtime_error("verilog: missing pin Y");
+        if (y == pins.end()) vfail(line(), "missing pin Y on " + tok);
         nl.add_gate_driving(*cell, ins, y->second);
       }
     }
@@ -289,7 +301,7 @@ class VParser {
       if (nl.driver(net) == kInvalidGate) {
         const auto it = assigns_pending.find(out.name);
         if (it == assigns_pending.end()) {
-          throw std::runtime_error("verilog: undriven output " + out.name);
+          vfail(line(), "undriven output " + out.name);
         }
         net = it->second;
       }
@@ -306,23 +318,42 @@ class VParser {
     if (!lookahead_.empty()) {
       std::string t = std::move(lookahead_);
       lookahead_.clear();
+      line_ = lookahead_line_;
       return t;
     }
     const std::string t = lexer_.next();
-    if (t.empty()) throw std::runtime_error("verilog: unexpected end of file");
+    line_ = lexer_.token_line();
+    if (t.empty()) vfail(line_, "unexpected end of file");
     return t;
   }
 
   const std::string& peek() {
-    if (lookahead_.empty()) lookahead_ = lexer_.next();
+    if (lookahead_.empty()) {
+      lookahead_ = lexer_.next();
+      lookahead_line_ = lexer_.token_line();
+    }
     return lookahead_;
   }
+
+  /// Line of the most recently consumed token.
+  int line() const noexcept { return line_; }
 
   void expect(const std::string& s) {
     const std::string t = token();
     if (t != s) {
-      throw std::runtime_error("verilog: expected '" + s + "', got '" + t + "'");
+      vfail(line_, "expected '" + s + "', got '" + t + "'");
     }
+  }
+
+  /// Reads a token that must be an unsigned decimal number.
+  int number(const char* what) {
+    const std::string t = token();
+    if (t.empty() ||
+        t.find_first_not_of("0123456789") != std::string::npos ||
+        t.size() > 9) {
+      vfail(line_, std::string("bad ") + what + " '" + t + "'");
+    }
+    return std::stoi(t);
   }
 
   /// Reads an identifier, optionally followed by [index].
@@ -330,7 +361,7 @@ class VParser {
     std::string name = token();
     if (peek() == "[") {
       (void)token();
-      name += "[" + token() + "]";
+      name += "[" + std::to_string(number("bit index")) + "]";
       expect("]");
     }
     return name;
@@ -342,7 +373,7 @@ class VParser {
     if (name == "1'b1") return nl.const1();
     const auto it = nets_.find(name);
     if (it == nets_.end()) {
-      throw std::runtime_error("verilog: unknown net " + name);
+      vfail(line_, "unknown net " + name);
     }
     return it->second;
   }
@@ -350,6 +381,8 @@ class VParser {
   VLexer lexer_;
   const CellLibrary* lib_;
   std::string lookahead_;
+  int line_ = 1;
+  int lookahead_line_ = 1;
   std::map<std::string, NetId> nets_;
 };
 

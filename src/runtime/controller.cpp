@@ -1,0 +1,172 @@
+#include "runtime/controller.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aapx {
+
+std::string to_string(ControlTrigger trigger) {
+  switch (trigger) {
+    case ControlTrigger::sensor_schedule: return "sensor-schedule";
+    case ControlTrigger::functional_errors: return "functional-errors";
+    case ControlTrigger::canary_warning: return "canary-warning";
+    case ControlTrigger::step_up_probe: return "step-up-probe";
+  }
+  return "?";
+}
+
+std::string to_string(ControlOutcome outcome) {
+  switch (outcome) {
+    case ControlOutcome::committed: return "committed";
+    case ControlOutcome::rejected_sta: return "rejected-sta";
+    case ControlOutcome::rejected_burst: return "rejected-burst";
+    case ControlOutcome::at_floor: return "at-floor";
+  }
+  return "?";
+}
+
+std::string to_string(const ControlEvent& event) {
+  std::ostringstream os;
+  os.precision(3);
+  os << "epoch " << event.epoch << " @" << event.years << "y (sensor "
+     << event.sensor_years << "y) " << to_string(event.trigger) << ": "
+     << event.from_precision << " -> " << event.to_precision << " "
+     << to_string(event.outcome) << " [err " << event.window_error_rate
+     << ", canary " << event.window_canary_rate;
+  if (event.verified_sta_delay > 0.0) {
+    os << ", sta " << event.verified_sta_delay << " ps";
+  }
+  os << "]";
+  return os.str();
+}
+
+DegradationController::DegradationController(AdaptiveSchedule schedule,
+                                             ControllerConfig config)
+    : schedule_(std::move(schedule)), config_(config) {
+  if (schedule_.steps.empty()) {
+    throw std::invalid_argument("DegradationController: empty schedule");
+  }
+  precision_ = schedule_.steps.front().precision;
+  max_precision_ = precision_;
+  if (config_.precision_floor < 1 || config_.precision_floor > max_precision_) {
+    throw std::invalid_argument(
+        "DegradationController: precision_floor out of range");
+  }
+}
+
+void DegradationController::log(int epoch, double years, double sensor_years,
+                                ControlTrigger trigger, ControlOutcome outcome,
+                                int to_precision,
+                                const TimingErrorMonitor& monitor,
+                                double sta_delay) {
+  ControlEvent event;
+  event.epoch = epoch;
+  event.years = years;
+  event.sensor_years = sensor_years;
+  event.trigger = trigger;
+  event.outcome = outcome;
+  event.from_precision = precision_;
+  event.to_precision = to_precision;
+  event.window_error_rate = monitor.window_error_rate();
+  event.window_canary_rate = monitor.window_canary_rate();
+  event.verified_sta_delay = sta_delay;
+  events_.push_back(event);
+}
+
+bool DegradationController::step_down(int epoch, double years,
+                                      double sensor_years, int target,
+                                      ControlTrigger trigger,
+                                      const TimingErrorMonitor& monitor,
+                                      VerifyHooks& hooks) {
+  for (int k = target; k >= config_.precision_floor; --k) {
+    const double sta = hooks.sta_delay(k, sensor_years);
+    if (sta > schedule_.timing_constraint + 1e-9) {
+      log(epoch, years, sensor_years, trigger, ControlOutcome::rejected_sta, k,
+          monitor, sta);
+      continue;
+    }
+    const BurstResult burst = hooks.burst(k);
+    if (!burst.clean()) {
+      log(epoch, years, sensor_years, trigger, ControlOutcome::rejected_burst,
+          k, monitor, sta);
+      continue;
+    }
+    log(epoch, years, sensor_years, trigger, ControlOutcome::committed, k,
+        monitor, sta);
+    precision_ = k;
+    ++reconfigurations_;
+    clean_epochs_ = 0;
+    return true;
+  }
+  // Nothing verified clean: pin at the floor as the best remaining effort.
+  log(epoch, years, sensor_years, trigger, ControlOutcome::at_floor,
+      config_.precision_floor, monitor, 0.0);
+  const bool changed = precision_ != config_.precision_floor;
+  if (changed) {
+    precision_ = config_.precision_floor;
+    ++reconfigurations_;
+  }
+  clean_epochs_ = 0;
+  return changed;
+}
+
+bool DegradationController::step_up(int epoch, double years,
+                                    double sensor_years,
+                                    const TimingErrorMonitor& monitor,
+                                    VerifyHooks& hooks) {
+  const int candidate = precision_ + 1;
+  clean_epochs_ = 0;  // spend the streak on this probe, pass or fail
+  const double sta = hooks.sta_delay(candidate, sensor_years);
+  if (sta > schedule_.timing_constraint + 1e-9) {
+    log(epoch, years, sensor_years, ControlTrigger::step_up_probe,
+        ControlOutcome::rejected_sta, candidate, monitor, sta);
+    return false;
+  }
+  const BurstResult burst = hooks.burst(candidate);
+  if (!burst.clean()) {
+    log(epoch, years, sensor_years, ControlTrigger::step_up_probe,
+        ControlOutcome::rejected_burst, candidate, monitor, sta);
+    return false;
+  }
+  log(epoch, years, sensor_years, ControlTrigger::step_up_probe,
+      ControlOutcome::committed, candidate, monitor, sta);
+  precision_ = candidate;
+  ++reconfigurations_;
+  return true;
+}
+
+bool DegradationController::evaluate(int epoch, double years,
+                                     double sensor_years,
+                                     const TimingErrorMonitor& monitor,
+                                     VerifyHooks& hooks) {
+  // 1. Proactive: the sensor-indexed schedule demands a lower precision.
+  const int scheduled = schedule_.precision_at(sensor_years);
+  if (scheduled < precision_) {
+    return step_down(epoch, years, sensor_years, scheduled,
+                     ControlTrigger::sensor_schedule, monitor, hooks);
+  }
+  // 2. Reactive: the monitor tripped — reality is ahead of the model.
+  if (monitor.tripped()) {
+    const ControlTrigger trigger = monitor.functional_tripped()
+                                       ? ControlTrigger::functional_errors
+                                       : ControlTrigger::canary_warning;
+    if (precision_ <= config_.precision_floor) {
+      log(epoch, years, sensor_years, trigger, ControlOutcome::at_floor,
+          precision_, monitor, 0.0);
+      clean_epochs_ = 0;
+      return false;
+    }
+    return step_down(epoch, years, sensor_years, precision_ - 1, trigger,
+                     monitor, hooks);
+  }
+  // 3. Hysteresis: step back up only after a sustained clean window.
+  ++clean_epochs_;
+  if (config_.allow_step_up && precision_ < max_precision_ &&
+      clean_epochs_ >= config_.clean_epochs_to_step_up &&
+      precision_ < schedule_.precision_at(sensor_years)) {
+    return step_up(epoch, years, sensor_years, monitor, hooks);
+  }
+  return false;
+}
+
+}  // namespace aapx

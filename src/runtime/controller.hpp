@@ -1,0 +1,128 @@
+// Closed-loop degradation controller.
+//
+// Owns the precision knob at run time. The AdaptiveScheduler plans the
+// precision-over-lifetime schedule open-loop from the calibrated BTI model;
+// this controller walks that plan defensively:
+//
+//  * it follows the schedule using the *sensor's* age estimate (never ground
+//    truth),
+//  * it steps precision down early when the timing-error monitor trips
+//    (functional errors, or the canary early warning),
+//  * every candidate precision is re-verified before committing — first
+//    against the model (aged STA at the sensor age must meet the timing
+//    constraint), then in situ (a short timed-simulation burst on the real,
+//    possibly-faulted hardware must sample cleanly),
+//  * it steps back up only after a sustained clean window (hysteresis), and
+//    a step up must pass the same verification.
+//
+// Every decision — trigger, candidate, verification outcome — is appended to
+// a structured event log so campaigns can audit the loop's behavior.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "runtime/monitor.hpp"
+
+namespace aapx {
+
+enum class ControlTrigger {
+  sensor_schedule,    ///< sensor-indexed schedule demands a lower precision
+  functional_errors,  ///< monitor saw sampled timing errors
+  canary_warning,     ///< canary/replica path early warning
+  step_up_probe,      ///< sustained clean window; trying to regain quality
+};
+
+enum class ControlOutcome {
+  committed,       ///< candidate verified clean and adopted
+  rejected_sta,    ///< aged STA at sensor age violates the constraint
+  rejected_burst,  ///< in-situ verification burst still saw errors
+  at_floor,        ///< no clean precision left; pinned at the floor
+};
+
+std::string to_string(ControlTrigger trigger);
+std::string to_string(ControlOutcome outcome);
+
+/// One controller decision, as appended to the event log.
+struct ControlEvent {
+  int epoch = 0;
+  double years = 0.0;         ///< wall-clock age at decision time
+  double sensor_years = 0.0;  ///< sensor estimate the decision used
+  ControlTrigger trigger = ControlTrigger::sensor_schedule;
+  ControlOutcome outcome = ControlOutcome::committed;
+  int from_precision = 0;
+  int to_precision = 0;
+  double window_error_rate = 0.0;
+  double window_canary_rate = 0.0;
+  double verified_sta_delay = 0.0;  ///< ps; 0 when STA was not consulted
+};
+
+std::string to_string(const ControlEvent& event);
+
+struct ControllerConfig {
+  /// Lowest precision the controller may fall to (the quality floor the
+  /// application still accepts).
+  int precision_floor = 1;
+  /// Consecutive clean control epochs (no window errors, no canary hits)
+  /// required before a step up is probed.
+  std::size_t clean_epochs_to_step_up = 3;
+  bool allow_step_up = true;
+};
+
+/// In-situ verification result of one candidate precision.
+struct BurstResult {
+  std::size_t vectors = 0;
+  std::size_t errors = 0;
+  std::size_t canary_hits = 0;
+
+  bool clean() const noexcept { return errors == 0 && canary_hits == 0; }
+};
+
+class DegradationController {
+ public:
+  /// Verification environment the runtime provides. `sta_delay` evaluates
+  /// the candidate against the *nominal* aged model at the sensor age (the
+  /// controller's model-side check); `burst` runs a short timed-sim burst on
+  /// the true hardware (the ground-truth check).
+  struct VerifyHooks {
+    virtual ~VerifyHooks() = default;
+    virtual double sta_delay(int precision, double sensor_years) = 0;
+    virtual BurstResult burst(int precision) = 0;
+  };
+
+  DegradationController(AdaptiveSchedule schedule, ControllerConfig config);
+
+  int precision() const noexcept { return precision_; }
+  const AdaptiveSchedule& schedule() const noexcept { return schedule_; }
+  const std::vector<ControlEvent>& events() const noexcept { return events_; }
+  /// Committed precision changes so far (adaptation cycles).
+  std::size_t reconfigurations() const noexcept { return reconfigurations_; }
+
+  /// One control evaluation at the end of an epoch. Returns true if the
+  /// precision changed — the caller must then switch the datapath and reset
+  /// the monitor window.
+  bool evaluate(int epoch, double years, double sensor_years,
+                const TimingErrorMonitor& monitor, VerifyHooks& hooks);
+
+ private:
+  bool step_down(int epoch, double years, double sensor_years, int target,
+                 ControlTrigger trigger, const TimingErrorMonitor& monitor,
+                 VerifyHooks& hooks);
+  bool step_up(int epoch, double years, double sensor_years,
+               const TimingErrorMonitor& monitor, VerifyHooks& hooks);
+  void log(int epoch, double years, double sensor_years, ControlTrigger trigger,
+           ControlOutcome outcome, int to_precision,
+           const TimingErrorMonitor& monitor, double sta_delay);
+
+  AdaptiveSchedule schedule_;
+  ControllerConfig config_;
+  int precision_;
+  int max_precision_;
+  std::vector<ControlEvent> events_;
+  std::size_t clean_epochs_ = 0;
+  std::size_t reconfigurations_ = 0;
+};
+
+}  // namespace aapx

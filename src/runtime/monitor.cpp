@@ -1,0 +1,77 @@
+#include "runtime/monitor.hpp"
+
+#include <stdexcept>
+
+namespace aapx {
+
+namespace {
+constexpr unsigned char kErrorBit = 1;
+constexpr unsigned char kCanaryBit = 2;
+}  // namespace
+
+TimingErrorMonitor::TimingErrorMonitor(MonitorConfig config)
+    : config_(config), ring_(config.window, 0) {
+  if (config_.window == 0) {
+    throw std::invalid_argument("TimingErrorMonitor: window must be > 0");
+  }
+  if (config_.canary_margin <= 0.0 || config_.canary_margin > 1.0) {
+    throw std::invalid_argument(
+        "TimingErrorMonitor: canary_margin must be in (0, 1]");
+  }
+}
+
+void TimingErrorMonitor::record(bool timing_error, double output_settle_ps,
+                                double t_clock_ps) {
+  if (t_clock_ps <= 0.0) {
+    throw std::invalid_argument("TimingErrorMonitor::record: t_clock <= 0");
+  }
+  // A settle time beyond the canary sampling point is an early warning; a
+  // functional error implies the guard zone was crossed as well.
+  const bool canary_hit =
+      timing_error || output_settle_ps > config_.canary_margin * t_clock_ps;
+
+  if (window_filled_ == ring_.size()) {
+    const unsigned char old = ring_[head_];
+    if (old & kErrorBit) --window_errors_;
+    if (old & kCanaryBit) --window_canary_;
+  } else {
+    ++window_filled_;
+  }
+  unsigned char flags = 0;
+  if (timing_error) flags |= kErrorBit;
+  if (canary_hit) flags |= kCanaryBit;
+  ring_[head_] = flags;
+  head_ = (head_ + 1) % ring_.size();
+
+  if (timing_error) {
+    ++window_errors_;
+    ++total_errors_;
+  }
+  if (canary_hit) {
+    ++window_canary_;
+    ++total_canary_;
+  }
+  ++total_steps_;
+}
+
+void TimingErrorMonitor::reset_window() {
+  ring_.assign(ring_.size(), 0);
+  head_ = 0;
+  window_filled_ = 0;
+  window_errors_ = 0;
+  window_canary_ = 0;
+}
+
+double TimingErrorMonitor::window_error_rate() const {
+  if (window_filled_ == 0) return 0.0;
+  return static_cast<double>(window_errors_) /
+         static_cast<double>(window_filled_);
+}
+
+double TimingErrorMonitor::window_canary_rate() const {
+  if (window_filled_ == 0) return 0.0;
+  return static_cast<double>(window_canary_) /
+         static_cast<double>(window_filled_);
+}
+
+}  // namespace aapx

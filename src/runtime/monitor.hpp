@@ -1,0 +1,83 @@
+// In-situ timing-error monitor.
+//
+// Watches the sampled-vs-settled outcome of every TimedSim::step over a
+// sliding window and exposes two trip signals:
+//
+//  * functional trip — sampled primary outputs actually differed from the
+//    settled values (a real aging-induced timing error, paper Sec. II);
+//  * canary trip — the output settling time entered the guard zone
+//    (canary_margin * t_clock, t_clock]. This models the classic
+//    replica-path / canary flip-flop technique: a slightly tighter copy of
+//    the critical path fails *before* the functional path does, giving the
+//    controller an early warning while the outputs are still correct.
+//
+// The monitor is pure bookkeeping — it never looks at the aging model — so
+// it observes exactly what real silicon could observe.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aapx {
+
+struct MonitorConfig {
+  std::size_t window = 64;  ///< sliding window length [steps]
+  /// Functional errors within the window that trip the monitor.
+  std::size_t functional_trip = 1;
+  /// The canary path samples at canary_margin * t_clock; settling beyond it
+  /// is an early warning. Must be in (0, 1].
+  double canary_margin = 0.95;
+  /// Canary hits within the window that raise the early warning.
+  std::size_t canary_trip = 4;
+};
+
+class TimingErrorMonitor {
+ public:
+  explicit TimingErrorMonitor(MonitorConfig config = {});
+
+  /// Records one sampled cycle: whether a primary output sampled wrong, and
+  /// the output settling time relative to the sampling clock.
+  void record(bool timing_error, double output_settle_ps, double t_clock_ps);
+
+  /// Forgets the window (counters persist). Call after a reconfiguration so
+  /// stale pre-reconfiguration errors cannot re-trip the monitor.
+  void reset_window();
+
+  // -- sliding-window state --
+  std::size_t window_steps() const noexcept { return window_filled_; }
+  std::size_t window_errors() const noexcept { return window_errors_; }
+  std::size_t window_canary() const noexcept { return window_canary_; }
+  double window_error_rate() const;
+  double window_canary_rate() const;
+
+  bool functional_tripped() const noexcept {
+    return window_errors_ >= config_.functional_trip;
+  }
+  bool canary_tripped() const noexcept {
+    return window_canary_ >= config_.canary_trip;
+  }
+  bool tripped() const noexcept {
+    return functional_tripped() || canary_tripped();
+  }
+
+  // -- lifetime counters (never reset) --
+  std::uint64_t total_steps() const noexcept { return total_steps_; }
+  std::uint64_t total_errors() const noexcept { return total_errors_; }
+  std::uint64_t total_canary() const noexcept { return total_canary_; }
+
+  const MonitorConfig& config() const noexcept { return config_; }
+
+ private:
+  MonitorConfig config_;
+  /// Ring buffer of per-step flags (bit 0 = error, bit 1 = canary hit).
+  std::vector<unsigned char> ring_;
+  std::size_t head_ = 0;
+  std::size_t window_filled_ = 0;
+  std::size_t window_errors_ = 0;
+  std::size_t window_canary_ = 0;
+  std::uint64_t total_steps_ = 0;
+  std::uint64_t total_errors_ = 0;
+  std::uint64_t total_canary_ = 0;
+};
+
+}  // namespace aapx

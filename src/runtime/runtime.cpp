@@ -1,0 +1,254 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "cell/degradation.hpp"
+#include "core/stimulus.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+
+bool CampaignResult::converged_clean() const {
+  return !epochs.empty() && epochs.back().errors == 0;
+}
+
+std::uint64_t CampaignResult::errors_in_last(std::size_t n) const {
+  std::uint64_t sum = 0;
+  const std::size_t first = epochs.size() > n ? epochs.size() - n : 0;
+  for (std::size_t i = first; i < epochs.size(); ++i) sum += epochs[i].errors;
+  return sum;
+}
+
+ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
+                                     RuntimeOptions options)
+    : lib_(&lib), nominal_(nominal), options_(std::move(options)) {
+  const ComponentSpec& c = options_.component;
+  if (c.truncated_bits != 0) {
+    throw std::invalid_argument(
+        "ClosedLoopRuntime: component must be full precision");
+  }
+  if (c.width < 1 || c.width > 64) {
+    throw std::invalid_argument(
+        "ClosedLoopRuntime: component width must be in [1, 64]");
+  }
+  if (options_.min_precision < 1 || options_.min_precision > c.width) {
+    throw std::invalid_argument("ClosedLoopRuntime: bad min_precision");
+  }
+  if (options_.stress == StressMode::measured) {
+    throw std::invalid_argument(
+        "ClosedLoopRuntime: campaigns use uniform stress (worst or balanced)");
+  }
+  CharacterizerOptions copt;
+  copt.min_precision = options_.min_precision;
+  copt.sta = options_.sta;
+  const ComponentCharacterizer characterizer(*lib_, nominal_, copt);
+  const AdaptiveScheduler scheduler(characterizer);
+  schedule_ = scheduler.plan(c, options_.stress, options_.schedule_grid);
+}
+
+const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
+  const auto it = netlist_cache_.find(precision);
+  if (it != netlist_cache_.end()) return it->second;
+  if (precision < options_.min_precision ||
+      precision > options_.component.width) {
+    throw std::invalid_argument("ClosedLoopRuntime: precision out of range");
+  }
+  ComponentSpec spec = options_.component;
+  spec.truncated_bits = spec.width - precision;
+  return netlist_cache_.emplace(precision, make_component(*lib_, spec))
+      .first->second;
+}
+
+StimulusSet ClosedLoopRuntime::make_stimulus(std::size_t count,
+                                             std::uint64_t seed) const {
+  const int width = options_.component.width;
+  switch (options_.component.kind) {
+    case ComponentKind::adder:
+      // Running-sum traffic plus deterministic carry-ripple probes: random
+      // data excites the critical chain only sporadically, so a monitored
+      // campaign mixes in transitions that pin it every few cycles.
+      return make_carry_stress_stimulus(width, count, seed);
+    case ComponentKind::multiplier:
+      return make_mixed_magnitude_stimulus(width, count, seed);
+    case ComponentKind::mac:
+      return make_normal_mac_stimulus(width, count, seed);
+    case ComponentKind::clamp:
+      break;
+  }
+  throw std::invalid_argument(
+      "ClosedLoopRuntime: no campaign stimulus generator for this component");
+}
+
+namespace {
+
+/// Verification environment over the runtime's plant: model-side aged STA
+/// with the *nominal* BTI model at the sensor age, and ground-truth bursts
+/// against the injector's faulted delays at the current wall-clock age.
+class RuntimeHooks final : public DegradationController::VerifyHooks {
+ public:
+  RuntimeHooks(const ClosedLoopRuntime& runtime, const CellLibrary& lib,
+               const BtiModel& nominal, const FaultInjector& faults,
+               const CampaignOptions& campaign)
+      : runtime_(runtime), lib_(lib), nominal_(nominal), faults_(faults),
+        campaign_(campaign) {}
+
+  void set_epoch(int epoch, double years) {
+    epoch_ = epoch;
+    years_ = years;
+  }
+
+  double sta_delay(int precision, double sensor_years) override {
+    const RuntimeOptions& opt = runtime_.options();
+    const Netlist& nl = runtime_.netlist_for(precision);
+    const Sta sta(nl, opt.sta);
+    if (sensor_years <= 0.0) return sta.run_fresh().max_delay;
+    const DegradationAwareLibrary aged(lib_, nominal_, sensor_years);
+    const StressProfile stress =
+        StressProfile::uniform(opt.stress, nl.num_gates());
+    return sta.run_aged(aged, stress).max_delay;
+  }
+
+  BurstResult burst(int precision) override {
+    const RuntimeOptions& opt = runtime_.options();
+    const Netlist& nl = runtime_.netlist_for(precision);
+    TimedSim sim(nl, faults_.true_delays(nl, opt.stress, years_, opt.sta),
+                 opt.delay_model);
+    sim.reset();
+    const double t_clock = runtime_.schedule().timing_constraint;
+    // A dedicated seed stream: verification vectors differ from the epoch
+    // workload so a commit is not tuned to the traffic that tripped it.
+    const std::uint64_t seed = campaign_.stimulus_seed * 977 +
+                               static_cast<std::uint64_t>(epoch_) * 31 +
+                               static_cast<std::uint64_t>(precision);
+    const StimulusSet stim =
+        runtime_.make_stimulus(campaign_.verify_vectors, seed);
+    BurstResult result;
+    for (const auto& row : stim.vectors) {
+      for (std::size_t b = 0; b < stim.buses.size(); ++b) {
+        sim.stage_bus(stim.buses[b], row[b]);
+      }
+      const bool error = sim.step_staged(t_clock);
+      const double settle = sim.last_output_settle_time();
+      ++result.vectors;
+      if (error) ++result.errors;
+      if (error || settle > campaign_.monitor.canary_margin * t_clock) {
+        ++result.canary_hits;
+      }
+    }
+    return result;
+  }
+
+ private:
+  const ClosedLoopRuntime& runtime_;
+  const CellLibrary& lib_;
+  const BtiModel& nominal_;
+  const FaultInjector& faults_;
+  const CampaignOptions& campaign_;
+  int epoch_ = 0;
+  double years_ = 0.0;
+};
+
+}  // namespace
+
+CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
+                                      const CampaignOptions& campaign) const {
+  if (campaign.epochs < 1) {
+    throw std::invalid_argument("ClosedLoopRuntime::run: epochs must be >= 1");
+  }
+  if (campaign.lifetime_years <= 0.0) {
+    throw std::invalid_argument("ClosedLoopRuntime::run: lifetime must be > 0");
+  }
+  if (campaign.vectors_per_epoch == 0 || campaign.verify_vectors == 0) {
+    throw std::invalid_argument(
+        "ClosedLoopRuntime::run: vector counts must be > 0");
+  }
+  if (!schedule_.feasible) {
+    throw std::invalid_argument(
+        "ClosedLoopRuntime::run: planned schedule is infeasible");
+  }
+
+  CampaignResult result;
+  result.schedule = schedule_;
+  result.timing_constraint = schedule_.timing_constraint;
+  const double t_clock = schedule_.timing_constraint;
+
+  TimingErrorMonitor monitor(campaign.monitor);
+  ControllerConfig ccfg = campaign.controller;
+  ccfg.precision_floor = std::max(ccfg.precision_floor, options_.min_precision);
+  DegradationController controller(schedule_, ccfg);
+  AgingSensor sensor = faults.make_sensor();
+  RuntimeHooks hooks(*this, *lib_, nominal_, faults, campaign);
+
+  int open_precision = schedule_.steps.front().precision;
+  for (int e = 1; e <= campaign.epochs; ++e) {
+    const double years = campaign.lifetime_years * static_cast<double>(e) /
+                         static_cast<double>(campaign.epochs);
+    hooks.set_epoch(e, years);
+
+    int precision;
+    if (campaign.closed_loop) {
+      precision = controller.precision();
+    } else {
+      precision = schedule_.precision_at(years);
+      if (precision != open_precision) {
+        ++result.reconfigurations;
+        open_precision = precision;
+      }
+    }
+
+    const Netlist& nl = netlist_for(precision);
+    TimedSim sim(nl,
+                 faults.true_delays(nl, options_.stress, years, options_.sta),
+                 options_.delay_model);
+    sim.reset();
+    const StimulusSet stim =
+        make_stimulus(campaign.vectors_per_epoch, campaign.stimulus_seed + e);
+
+    EpochReport report;
+    report.epoch = e;
+    report.years = years;
+    report.precision = precision;
+    for (const auto& row : stim.vectors) {
+      for (std::size_t b = 0; b < stim.buses.size(); ++b) {
+        sim.stage_bus(stim.buses[b], row[b]);
+      }
+      const bool error = sim.step_staged(t_clock);
+      const double settle = sim.last_output_settle_time();
+      ++report.vectors;
+      if (error) ++report.errors;
+      if (error || settle > campaign.monitor.canary_margin * t_clock) {
+        ++report.canary_hits;
+      }
+      report.max_settle_ps = std::max(report.max_settle_ps, settle);
+      if (campaign.closed_loop) monitor.record(error, settle, t_clock);
+    }
+
+    if (campaign.closed_loop) {
+      const double sensor_years =
+          sensor.read(faults.equivalent_nominal_years(years));
+      report.sensor_years = sensor_years;
+      if (controller.evaluate(e, years, sensor_years, monitor, hooks)) {
+        monitor.reset_window();
+      }
+    } else {
+      report.sensor_years = years;
+    }
+
+    result.total_errors += report.errors;
+    result.total_vectors += report.vectors;
+    result.epochs.push_back(report);
+  }
+
+  if (campaign.closed_loop) {
+    result.events = controller.events();
+    result.reconfigurations = controller.reconfigurations();
+    result.final_precision = controller.precision();
+  } else {
+    result.final_precision = open_precision;
+  }
+  return result;
+}
+
+}  // namespace aapx

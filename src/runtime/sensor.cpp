@@ -1,0 +1,31 @@
+#include "runtime/sensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace aapx {
+
+AgingSensor::AgingSensor(AgingSensorConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.gain <= 0.0) {
+    throw std::invalid_argument("AgingSensor: gain must be > 0");
+  }
+  if (config_.noise_sigma_years < 0.0) {
+    throw std::invalid_argument("AgingSensor: negative noise sigma");
+  }
+}
+
+double AgingSensor::read(double true_effective_years) {
+  if (true_effective_years < 0.0) {
+    throw std::invalid_argument("AgingSensor::read: negative age");
+  }
+  double estimate = config_.gain * true_effective_years +
+                    config_.offset_years +
+                    config_.drift_per_year * true_effective_years;
+  if (config_.noise_sigma_years > 0.0) {
+    estimate += rng_.next_normal(0.0, config_.noise_sigma_years);
+  }
+  return std::max(0.0, estimate);
+}
+
+}  // namespace aapx

@@ -1,0 +1,53 @@
+// Noisy aging-sensor model.
+//
+// A real closed-loop degradation system never observes ΔVth ground truth: it
+// reads an on-die monitor (ring oscillator, IDDQ trend, canary flip-flop
+// bank) whose output is a biased, noisy, drifting *estimate* of accumulated
+// aging. The controller must therefore never be allowed to trust the sensor
+// alone — the point of the in-situ verification loop (see controller.hpp).
+//
+// The sensor reports aging in "equivalent nominal years": the lifetime that,
+// under the nominal BTI model and the planned stress regime, would produce
+// the ΔVth the sensor believes it measured. That is exactly the coordinate
+// the AdaptiveSchedule is indexed by, so controller code can feed readings
+// straight into AdaptiveSchedule::precision_at.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace aapx {
+
+struct AgingSensorConfig {
+  /// Multiplicative gain error: reported years ~= gain * true years.
+  /// gain < 1 models a sensor that under-estimates degradation (the
+  /// dangerous direction); gain > 1 an over-cautious one.
+  double gain = 1.0;
+  /// Additive offset [years], applied after the gain.
+  double offset_years = 0.0;
+  /// Per-reading white noise sigma [years].
+  double noise_sigma_years = 0.0;
+  /// Accumulating drift [years of reported age per true year] — the sensor
+  /// itself ages; its error grows over the device lifetime.
+  double drift_per_year = 0.0;
+  std::uint64_t seed = 1;
+};
+
+/// Stateful sensor model; readings are deterministic for a given seed and
+/// reading sequence.
+class AgingSensor {
+ public:
+  explicit AgingSensor(AgingSensorConfig config = {});
+
+  /// One reading at the given true effective age (clamped to >= 0).
+  double read(double true_effective_years);
+
+  const AgingSensorConfig& config() const noexcept { return config_; }
+
+ private:
+  AgingSensorConfig config_;
+  Rng rng_;
+};
+
+}  // namespace aapx

@@ -113,6 +113,15 @@ TEST_F(AdaptiveTest, InputValidation) {
   const double grid[] = {1.0};
   EXPECT_THROW(scheduler.plan(spec, StressMode::measured, grid),
                std::invalid_argument);
+  const double negative[] = {-1.0, 5.0};
+  EXPECT_THROW(scheduler.plan(spec, StressMode::worst, negative),
+               std::invalid_argument);
+  const double zero_year[] = {0.0, 5.0};
+  EXPECT_THROW(scheduler.plan(spec, StressMode::worst, zero_year),
+               std::invalid_argument);
+  const double duplicate[] = {1.0, 1.0};
+  EXPECT_THROW(scheduler.plan(spec, StressMode::worst, duplicate),
+               std::invalid_argument);
 }
 
 TEST_F(AdaptiveTest, InfeasibleGridReported) {

@@ -114,6 +114,35 @@ TEST_F(CharacterizerTest, InputValidation) {
                std::invalid_argument);
 }
 
+TEST_F(CharacterizerTest, RejectsOutOfRangeWidths) {
+  const auto ch = make(1);
+  for (const int width : {0, -4, 65, 128}) {
+    EXPECT_THROW(ch.characterize({ComponentKind::adder, width, 0,
+                                  AdderArch::ripple, MultArch::array},
+                                 {{StressMode::worst, 1.0}}),
+                 std::invalid_argument)
+        << "width " << width;
+  }
+}
+
+TEST_F(CharacterizerTest, RejectsNegativeScenarioYears) {
+  const auto ch = make(8);
+  EXPECT_THROW(ch.characterize({ComponentKind::adder, 8, 0, AdderArch::cla4,
+                                MultArch::array},
+                               {{StressMode::worst, -1.0}}),
+               std::invalid_argument);
+}
+
+TEST_F(CharacterizerTest, RejectsEmptyMeasuredStimulus) {
+  const auto ch = make(8);
+  const ComponentSpec spec{ComponentKind::adder, 8, 0, AdderArch::cla4,
+                           MultArch::array};
+  const StimulusSet empty;
+  EXPECT_THROW(
+      ch.characterize(spec, {{StressMode::measured, 10.0}}, &empty),
+      std::invalid_argument);
+}
+
 TEST_F(CharacterizerTest, PaperHeadlineNumbers) {
   // The calibrated reproduction of paper Figs. 4 and 7 (see EXPERIMENTS.md):
   // 32-bit CLA adder needs 6 bits after 1 year and 8 bits after 10 years of

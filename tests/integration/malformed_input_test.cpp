@@ -1,0 +1,253 @@
+// Malformed-input robustness: every broken interchange file must surface as
+// a thrown diagnostic that names the offending source line — never a crash,
+// a hang, or a silently wrong in-memory structure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "cell/library.hpp"
+#include "cell/liberty.hpp"
+#include "netlist/verilog.hpp"
+
+namespace aapx {
+namespace {
+
+/// Runs the parse and returns the diagnostic it threw; fails if it didn't.
+template <typename Fn>
+std::string diagnostic_of(Fn&& parse) {
+  try {
+    parse();
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected the parse to throw";
+  return {};
+}
+
+class MalformedLibertyTest : public ::testing::Test {
+ protected:
+  MalformedLibertyTest() : lib_(make_nangate45_like()) {
+    std::ostringstream os;
+    write_liberty(lib_, os);
+    golden_ = os.str();
+  }
+
+  static std::string parse_diag(const std::string& text) {
+    return diagnostic_of([&] {
+      std::istringstream is(text);
+      (void)parse_liberty(is);
+    });
+  }
+
+  /// Replaces the first occurrence of `from` with `to`.
+  static std::string mutate(std::string text, const std::string& from,
+                            const std::string& to) {
+    const std::size_t at = text.find(from);
+    EXPECT_NE(at, std::string::npos) << "fixture lost marker " << from;
+    return text.replace(at, from.size(), to);
+  }
+
+  CellLibrary lib_;
+  std::string golden_;
+};
+
+TEST_F(MalformedLibertyTest, GoldenRoundTripStillWorks) {
+  std::istringstream is(golden_);
+  EXPECT_EQ(parse_liberty(is).size(), lib_.size());
+}
+
+TEST_F(MalformedLibertyTest, EmptyStream) {
+  const std::string diag = parse_diag("");
+  EXPECT_NE(diag.find("liberty:1:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("end of input"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedLibertyTest, TruncatedFileAtEveryGranularity) {
+  // Cutting the file anywhere must produce a located diagnostic, not a
+  // crash or an accepted half-library.
+  for (const double fraction : {0.1, 0.35, 0.6, 0.85, 0.999}) {
+    const std::string cut =
+        golden_.substr(0, static_cast<std::size_t>(
+                              static_cast<double>(golden_.size()) * fraction));
+    const std::string diag = parse_diag(cut);
+    EXPECT_NE(diag.find("liberty:"), std::string::npos)
+        << "fraction " << fraction << ": " << diag;
+  }
+}
+
+TEST_F(MalformedLibertyTest, UnknownCellFunction) {
+  const std::string diag =
+      parse_diag(mutate(golden_, "aapx_function : INV;",
+                        "aapx_function : FROBNICATOR;"));
+  EXPECT_NE(diag.find("unknown function FROBNICATOR"), std::string::npos)
+      << diag;
+  EXPECT_NE(diag.find("liberty:"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedLibertyTest, MalformedNumericAttribute) {
+  const std::string diag =
+      parse_diag(mutate(golden_, "aapx_drive : 1;", "aapx_drive : banana;"));
+  EXPECT_NE(diag.find("bad aapx_drive value"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("liberty:"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedLibertyTest, MissingRequiredAttribute) {
+  const std::string diag =
+      parse_diag(mutate(golden_, "aapx_function : INV;", ""));
+  EXPECT_NE(diag.find("missing attribute 'aapx_function'"), std::string::npos)
+      << diag;
+}
+
+TEST_F(MalformedLibertyTest, TableValueCountMismatch) {
+  // Drop one value from the first table: "0.1, 0.2, ..." row edits are
+  // fragile, so corrupt by doubling a separator instead.
+  const std::size_t at = golden_.find("values");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t comma = golden_.find(',', at);
+  ASSERT_NE(comma, std::string::npos);
+  std::string text = golden_;
+  // Delete everything between the first two commas in the values block.
+  const std::size_t comma2 = text.find(',', comma + 1);
+  ASSERT_NE(comma2, std::string::npos);
+  text.erase(comma, comma2 - comma);
+  const std::string diag = parse_diag(text);
+  EXPECT_NE(diag.find("liberty:"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedLibertyTest, DiagnosticLineNumberPointsNearTheDefect) {
+  // The defect is planted on a known line; the diagnostic must carry it.
+  std::string text = golden_;
+  const std::size_t at = text.find("aapx_drive : 1;");
+  ASSERT_NE(at, std::string::npos);
+  const int line =
+      1 + static_cast<int>(std::count(text.begin(), text.begin() +
+                                          static_cast<std::ptrdiff_t>(at),
+                                      '\n'));
+  text.replace(at, 15, "aapx_drive : x;");
+  const std::string diag = parse_diag(text);
+  // The attribute diagnostic is located at its cell group header, which
+  // opens at most a few lines above the attribute itself.
+  const std::size_t colon = diag.find(':');
+  ASSERT_NE(colon, std::string::npos);
+  const std::size_t colon2 = diag.find(':', colon + 1);
+  ASSERT_NE(colon2, std::string::npos);
+  const int reported = std::stoi(diag.substr(colon + 1, colon2 - colon - 1));
+  EXPECT_GT(reported, 1);
+  EXPECT_LE(reported, line);
+  EXPECT_GE(reported, line - 10);
+}
+
+class MalformedVerilogTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_nangate45_like();
+
+  std::string parse_diag(const std::string& text) {
+    return diagnostic_of([&] {
+      std::istringstream is(text);
+      (void)parse_verilog(is, lib_);
+    });
+  }
+};
+
+TEST_F(MalformedVerilogTest, EmptyStream) {
+  const std::string diag = parse_diag("");
+  EXPECT_NE(diag.find("verilog:1:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("end of file"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, TruncatedModule) {
+  const std::string diag = parse_diag("module m (a);\n  input a;\n");
+  EXPECT_NE(diag.find("verilog:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("end of file"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, UnknownCellNamesTheLine) {
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  NO_SUCH_CELL g0 (.A0(a), .Y(y));\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("verilog:4:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("unknown cell or keyword NO_SUCH_CELL"),
+            std::string::npos)
+      << diag;
+}
+
+TEST_F(MalformedVerilogTest, BadBusRangeBound) {
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input [wide:0] a;\n"
+      "  output y;\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("verilog:2:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("bad bus msb 'wide'"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, NonZeroLsbIsRejected) {
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input [7:3] a;\n"
+      "  output y;\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("verilog:2:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("bus lsb must be 0"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, OverlongBusBoundIsRejected) {
+  // A bound that would overflow int must be diagnosed, not UB via stoi.
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input [99999999999999:0] a;\n"
+      "  output y;\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("bad bus msb"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, UnknownNetInInstance) {
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  INV_X1 g0 (.A0(ghost), .Y(y));\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("verilog:4:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("unknown net ghost"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, MissingPinIsDiagnosed) {
+  const std::string diag = parse_diag(
+      "module m (a, b, y);\n"
+      "  input a, b;\n"
+      "  output y;\n"
+      "  NAND2_X1 g0 (.A0(a), .Y(y));\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("missing pin A1 on NAND2_X1"), std::string::npos)
+      << diag;
+}
+
+TEST_F(MalformedVerilogTest, UndrivenOutputIsDiagnosed) {
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input a;\n"
+      "  output y;\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("undriven output y"), std::string::npos) << diag;
+}
+
+TEST_F(MalformedVerilogTest, StrayCharacterIsDiagnosed) {
+  const std::string diag = parse_diag(
+      "module m (a, y);\n"
+      "  input a;\n"
+      "  output y;\n"
+      "  @#!\n"
+      "endmodule\n");
+  EXPECT_NE(diag.find("verilog:4:"), std::string::npos) << diag;
+  EXPECT_NE(diag.find("unexpected character"), std::string::npos) << diag;
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,179 @@
+// Fault-injection campaign: the acceptance scenario for the closed-loop
+// degradation runtime.
+//
+// Plant faults: the die accumulates 1.5x the modeled ΔVth (process outlier /
+// workload dependency), suffers a +20 K thermal excursion from mid-life on,
+// and its aging sensor under-reports by 40% with noisy readings. The
+// open-loop plan — walk the precomputed schedule by wall-clock age — samples
+// wrong results both early (the planned first step is already infeasible on
+// this die) and at end of life (the thermal excursion erodes the remaining
+// margin). The closed loop, seeing only the monitor, the biased sensor, and
+// its own verification bursts, converges to a verified precision step and
+// samples zero timing errors after the first adaptation.
+#include "runtime/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "cell/library.hpp"
+
+namespace aapx {
+namespace {
+
+class ClosedLoopCampaignTest : public ::testing::Test {
+ protected:
+  ClosedLoopCampaignTest() : lib_(make_nangate45_like()) {
+    options_.component = {ComponentKind::adder, 16, 0, AdderArch::ripple,
+                          MultArch::array};
+    options_.min_precision = 6;
+    options_.schedule_grid = {0.5, 1.0, 2.0, 5.0, 10.0};
+    runtime_ = std::make_unique<ClosedLoopRuntime>(lib_, BtiModel{}, options_);
+
+    campaign_.lifetime_years = 10.0;
+    campaign_.epochs = 16;
+    campaign_.vectors_per_epoch = 96;
+    campaign_.verify_vectors = 48;
+    // The monitor sees a whole epoch; the canary samples 3% early and two
+    // guard-zone settles raise the warning.
+    campaign_.monitor.window = 96;
+    campaign_.monitor.canary_margin = 0.97;
+    campaign_.monitor.canary_trip = 2;
+  }
+
+  static FaultScenario acceptance_scenario() {
+    FaultScenario f;
+    f.aging_acceleration = 1.5;
+    f.sensor_gain = 0.6;
+    f.sensor_noise_sigma_years = 0.2;
+    f.temp_step_kelvin = 20.0;
+    f.temp_step_from_years = 5.0;
+    return f;
+  }
+
+  CellLibrary lib_;
+  RuntimeOptions options_;
+  CampaignOptions campaign_;
+  std::unique_ptr<ClosedLoopRuntime> runtime_;
+};
+
+TEST_F(ClosedLoopCampaignTest, NominalLifeIsCleanForBothLoops) {
+  const FaultInjector nominal(lib_, BtiModel{}, FaultScenario::nominal());
+
+  CampaignOptions open = campaign_;
+  open.closed_loop = false;
+  const CampaignResult r_open = runtime_->run(nominal, open);
+  EXPECT_EQ(r_open.total_errors, 0u);
+  EXPECT_TRUE(r_open.converged_clean());
+
+  const CampaignResult r_closed = runtime_->run(nominal, campaign_);
+  EXPECT_EQ(r_closed.total_errors, 0u);
+  EXPECT_TRUE(r_closed.converged_clean());
+  // The loop may take a defensive canary step (the planner runs segments at
+  // >99% clock utilization), but it must stay within one step of the plan.
+  EXPECT_GE(r_closed.final_precision,
+            runtime_->schedule().steps.back().precision - 1);
+  EXPECT_LE(r_closed.reconfigurations, r_open.reconfigurations + 1);
+}
+
+TEST_F(ClosedLoopCampaignTest, OpenLoopCollapsesUnderAcceptanceScenario) {
+  const FaultInjector faults(lib_, BtiModel{}, acceptance_scenario());
+  CampaignOptions open = campaign_;
+  open.closed_loop = false;
+  const CampaignResult r = runtime_->run(faults, open);
+
+  // The fixed schedule samples wrong results on this die...
+  EXPECT_GT(r.total_errors, 0u);
+  // ...and is still failing at end of life (the thermal excursion erodes the
+  // last planned step's margin — this is not a transient).
+  EXPECT_GT(r.epochs.back().errors, 0u);
+  EXPECT_FALSE(r.converged_clean());
+}
+
+TEST_F(ClosedLoopCampaignTest, ClosedLoopConvergesUnderAcceptanceScenario) {
+  const FaultInjector faults(lib_, BtiModel{}, acceptance_scenario());
+  const CampaignResult closed = runtime_->run(faults, campaign_);
+
+  CampaignOptions open_opt = campaign_;
+  open_opt.closed_loop = false;
+  const CampaignResult open = runtime_->run(faults, open_opt);
+
+  // Converged: zero sampled timing errors once the first adaptation landed.
+  EXPECT_TRUE(closed.converged_clean());
+  for (std::size_t i = 1; i < closed.epochs.size(); ++i) {
+    EXPECT_EQ(closed.epochs[i].errors, 0u)
+        << "epoch " << closed.epochs[i].epoch << " not clean";
+  }
+  // Bounded adaptation: a handful of committed reconfigurations, not a hunt.
+  EXPECT_GE(closed.reconfigurations, 1u);
+  EXPECT_LE(closed.reconfigurations, 4u);
+  EXPECT_GE(closed.final_precision, options_.min_precision);
+
+  // Strictly better than the open loop on the same die.
+  EXPECT_LT(closed.total_errors, open.total_errors);
+
+  // The canary fired while outputs were still correct: some committed
+  // step-down was triggered by the early warning with a zero error rate in
+  // the window.
+  const bool canary_led = std::any_of(
+      closed.events.begin(), closed.events.end(), [](const ControlEvent& e) {
+        return e.trigger == ControlTrigger::canary_warning &&
+               e.outcome == ControlOutcome::committed &&
+               e.window_error_rate == 0.0;
+      });
+  EXPECT_TRUE(canary_led);
+
+  // Every committed step was verified against the constraint model-side.
+  for (const ControlEvent& e : closed.events) {
+    if (e.outcome == ControlOutcome::committed) {
+      EXPECT_LE(e.verified_sta_delay, closed.timing_constraint + 1e-9);
+    }
+  }
+}
+
+TEST_F(ClosedLoopCampaignTest, SensorScheduleAloneHandlesPureAcceleration) {
+  // Without the thermal excursion the sensor-indexed schedule is enough:
+  // the controller lands on the end-of-life precision early and stays clean.
+  FaultScenario f;
+  f.aging_acceleration = 1.5;
+  f.sensor_gain = 0.6;
+  f.sensor_noise_sigma_years = 0.2;
+  const FaultInjector faults(lib_, BtiModel{}, f);
+
+  const CampaignResult closed = runtime_->run(faults, campaign_);
+  EXPECT_TRUE(closed.converged_clean());
+  EXPECT_EQ(closed.errors_in_last(closed.epochs.size() - 1), 0u);
+}
+
+TEST_F(ClosedLoopCampaignTest, ValidatesCampaignOptions) {
+  const FaultInjector nominal(lib_, BtiModel{}, FaultScenario::nominal());
+  CampaignOptions bad = campaign_;
+  bad.epochs = 0;
+  EXPECT_THROW(runtime_->run(nominal, bad), std::invalid_argument);
+  bad = campaign_;
+  bad.lifetime_years = -1.0;
+  EXPECT_THROW(runtime_->run(nominal, bad), std::invalid_argument);
+  bad = campaign_;
+  bad.vectors_per_epoch = 0;
+  EXPECT_THROW(runtime_->run(nominal, bad), std::invalid_argument);
+}
+
+TEST_F(ClosedLoopCampaignTest, ValidatesRuntimeOptions) {
+  RuntimeOptions bad = options_;
+  bad.component.truncated_bits = 2;
+  EXPECT_THROW(ClosedLoopRuntime(lib_, BtiModel{}, bad),
+               std::invalid_argument);
+  bad = options_;
+  bad.min_precision = 0;
+  EXPECT_THROW(ClosedLoopRuntime(lib_, BtiModel{}, bad),
+               std::invalid_argument);
+  bad = options_;
+  bad.stress = StressMode::measured;
+  EXPECT_THROW(ClosedLoopRuntime(lib_, BtiModel{}, bad),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace aapx

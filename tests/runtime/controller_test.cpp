@@ -1,0 +1,233 @@
+#include "runtime/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace aapx {
+namespace {
+
+AdaptiveSchedule two_step_schedule() {
+  AdaptiveSchedule sched;
+  sched.timing_constraint = 100.0;
+  sched.steps = {{0.0, 8, 99.0, 0.0}, {5.0, 6, 98.0, 0.0}};
+  return sched;
+}
+
+/// Scriptable verification environment.
+struct FakeHooks : DegradationController::VerifyHooks {
+  std::function<double(int, double)> sta = [](int, double) { return 50.0; };
+  std::function<BurstResult(int)> burst_fn = [](int) {
+    return BurstResult{32, 0, 0};
+  };
+  std::vector<int> sta_calls;
+  std::vector<int> burst_calls;
+
+  double sta_delay(int precision, double sensor_years) override {
+    sta_calls.push_back(precision);
+    return sta(precision, sensor_years);
+  }
+  BurstResult burst(int precision) override {
+    burst_calls.push_back(precision);
+    return burst_fn(precision);
+  }
+};
+
+TimingErrorMonitor clean_monitor() {
+  TimingErrorMonitor mon;
+  mon.record(false, 10.0, 100.0);
+  return mon;
+}
+
+TimingErrorMonitor erroring_monitor() {
+  TimingErrorMonitor mon;
+  mon.record(true, 100.0, 100.0);
+  return mon;
+}
+
+TEST(DegradationController, ValidatesInputs) {
+  EXPECT_THROW(DegradationController(AdaptiveSchedule{}, {}),
+               std::invalid_argument);
+  ControllerConfig cfg;
+  cfg.precision_floor = 9;  // above the schedule's max precision of 8
+  EXPECT_THROW(DegradationController(two_step_schedule(), cfg),
+               std::invalid_argument);
+}
+
+TEST(DegradationController, StartsAtFirstScheduledPrecision) {
+  DegradationController ctl(two_step_schedule(), {});
+  EXPECT_EQ(ctl.precision(), 8);
+  EXPECT_EQ(ctl.reconfigurations(), 0u);
+}
+
+TEST(DegradationController, FollowsSensorIndexedSchedule) {
+  DegradationController ctl(two_step_schedule(), {});
+  FakeHooks hooks;
+  const TimingErrorMonitor mon = clean_monitor();
+  // Sensor still young: nothing to do.
+  EXPECT_FALSE(ctl.evaluate(1, 1.0, 1.0, mon, hooks));
+  // Sensor says we're past the 5-year step: follow the plan down to 6,
+  // but only after verification.
+  EXPECT_TRUE(ctl.evaluate(2, 2.0, 6.0, mon, hooks));
+  EXPECT_EQ(ctl.precision(), 6);
+  EXPECT_EQ(ctl.reconfigurations(), 1u);
+  ASSERT_EQ(ctl.events().size(), 1u);
+  EXPECT_EQ(ctl.events()[0].trigger, ControlTrigger::sensor_schedule);
+  EXPECT_EQ(ctl.events()[0].outcome, ControlOutcome::committed);
+  EXPECT_EQ(ctl.events()[0].from_precision, 8);
+  EXPECT_EQ(ctl.events()[0].to_precision, 6);
+  EXPECT_EQ(hooks.burst_calls, std::vector<int>{6});
+}
+
+TEST(DegradationController, MonitorTripStepsDownOne) {
+  DegradationController ctl(two_step_schedule(), {});
+  FakeHooks hooks;
+  EXPECT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  EXPECT_EQ(ctl.precision(), 7);
+  ASSERT_EQ(ctl.events().size(), 1u);
+  EXPECT_EQ(ctl.events()[0].trigger, ControlTrigger::functional_errors);
+}
+
+TEST(DegradationController, CanaryTripIsDistinguishedFromFunctional) {
+  MonitorConfig mcfg;
+  mcfg.canary_margin = 0.9;
+  mcfg.canary_trip = 1;
+  TimingErrorMonitor mon(mcfg);
+  mon.record(false, 95.0, 100.0);  // guard zone, outputs still correct
+  ASSERT_TRUE(mon.canary_tripped());
+  ASSERT_FALSE(mon.functional_tripped());
+
+  DegradationController ctl(two_step_schedule(), {});
+  FakeHooks hooks;
+  EXPECT_TRUE(ctl.evaluate(1, 1.0, 1.0, mon, hooks));
+  ASSERT_EQ(ctl.events().size(), 1u);
+  EXPECT_EQ(ctl.events()[0].trigger, ControlTrigger::canary_warning);
+  EXPECT_DOUBLE_EQ(ctl.events()[0].window_error_rate, 0.0);
+}
+
+TEST(DegradationController, DescendsPastCandidatesThatFailVerification) {
+  DegradationController ctl(two_step_schedule(), {});
+  FakeHooks hooks;
+  // Precision 7 fails the model-side STA check, 6 fails the in-situ burst,
+  // 5 verifies clean.
+  hooks.sta = [](int k, double) { return k == 7 ? 150.0 : 50.0; };
+  hooks.burst_fn = [](int k) {
+    return k == 6 ? BurstResult{32, 1, 1} : BurstResult{32, 0, 0};
+  };
+  EXPECT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  EXPECT_EQ(ctl.precision(), 5);
+  ASSERT_EQ(ctl.events().size(), 3u);
+  EXPECT_EQ(ctl.events()[0].outcome, ControlOutcome::rejected_sta);
+  EXPECT_EQ(ctl.events()[0].to_precision, 7);
+  EXPECT_EQ(ctl.events()[1].outcome, ControlOutcome::rejected_burst);
+  EXPECT_EQ(ctl.events()[1].to_precision, 6);
+  EXPECT_EQ(ctl.events()[2].outcome, ControlOutcome::committed);
+  EXPECT_EQ(ctl.events()[2].to_precision, 5);
+  // The burst is only spent on candidates that pass the model check.
+  EXPECT_EQ(hooks.burst_calls, (std::vector<int>{6, 5}));
+}
+
+TEST(DegradationController, PinsAtFloorWhenNothingVerifies) {
+  ControllerConfig cfg;
+  cfg.precision_floor = 5;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  hooks.burst_fn = [](int) { return BurstResult{32, 2, 2}; };
+  EXPECT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  EXPECT_EQ(ctl.precision(), 5);
+  EXPECT_EQ(ctl.events().back().outcome, ControlOutcome::at_floor);
+
+  // Already at the floor and still erroring: logged, but no further change.
+  EXPECT_FALSE(ctl.evaluate(2, 2.0, 2.0, erroring_monitor(), hooks));
+  EXPECT_EQ(ctl.precision(), 5);
+  EXPECT_EQ(ctl.events().back().outcome, ControlOutcome::at_floor);
+}
+
+TEST(DegradationController, StepUpRequiresSustainedCleanWindow) {
+  ControllerConfig cfg;
+  cfg.clean_epochs_to_step_up = 3;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  const TimingErrorMonitor clean = clean_monitor();
+
+  // Tripped once: down to 7.
+  ASSERT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  ASSERT_EQ(ctl.precision(), 7);
+
+  // Two clean epochs are not enough.
+  EXPECT_FALSE(ctl.evaluate(2, 2.0, 1.0, clean, hooks));
+  EXPECT_FALSE(ctl.evaluate(3, 3.0, 1.0, clean, hooks));
+  EXPECT_EQ(ctl.precision(), 7);
+  // The third clean epoch probes and commits a step up.
+  EXPECT_TRUE(ctl.evaluate(4, 4.0, 1.0, clean, hooks));
+  EXPECT_EQ(ctl.precision(), 8);
+  EXPECT_EQ(ctl.events().back().trigger, ControlTrigger::step_up_probe);
+  EXPECT_EQ(ctl.events().back().outcome, ControlOutcome::committed);
+}
+
+TEST(DegradationController, RejectedProbeSpendsTheCleanStreak) {
+  ControllerConfig cfg;
+  cfg.clean_epochs_to_step_up = 2;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  const TimingErrorMonitor clean = clean_monitor();
+
+  ASSERT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  ASSERT_EQ(ctl.precision(), 7);
+
+  hooks.burst_fn = [](int) { return BurstResult{32, 1, 1}; };
+  EXPECT_FALSE(ctl.evaluate(2, 2.0, 1.0, clean, hooks));
+  EXPECT_FALSE(ctl.evaluate(3, 3.0, 1.0, clean, hooks));  // probe, rejected
+  EXPECT_EQ(ctl.events().back().outcome, ControlOutcome::rejected_burst);
+  EXPECT_EQ(ctl.precision(), 7);
+  // The streak restarts: the very next clean epoch must not probe again.
+  EXPECT_FALSE(ctl.evaluate(4, 4.0, 1.0, clean, hooks));
+  EXPECT_EQ(ctl.precision(), 7);
+}
+
+TEST(DegradationController, StepUpNeverExceedsSensorSchedule) {
+  ControllerConfig cfg;
+  cfg.clean_epochs_to_step_up = 1;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  const TimingErrorMonitor clean = clean_monitor();
+
+  // Sensor says we're old: follow the plan down to 6.
+  ASSERT_TRUE(ctl.evaluate(1, 1.0, 7.0, clean, hooks));
+  ASSERT_EQ(ctl.precision(), 6);
+  // Clean epochs accumulate, but the sensor still demands 6 — no probe.
+  EXPECT_FALSE(ctl.evaluate(2, 2.0, 7.0, clean, hooks));
+  EXPECT_FALSE(ctl.evaluate(3, 3.0, 7.0, clean, hooks));
+  EXPECT_EQ(ctl.precision(), 6);
+  // Sensor recants (e.g. noise): the probe is allowed again.
+  EXPECT_TRUE(ctl.evaluate(4, 4.0, 1.0, clean, hooks));
+  EXPECT_EQ(ctl.precision(), 7);
+}
+
+TEST(DegradationController, StepUpCanBeDisabled) {
+  ControllerConfig cfg;
+  cfg.clean_epochs_to_step_up = 1;
+  cfg.allow_step_up = false;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  const TimingErrorMonitor clean = clean_monitor();
+  ASSERT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  EXPECT_FALSE(ctl.evaluate(2, 2.0, 1.0, clean, hooks));
+  EXPECT_FALSE(ctl.evaluate(3, 3.0, 1.0, clean, hooks));
+  EXPECT_EQ(ctl.precision(), 7);
+}
+
+TEST(DegradationController, EventToStringIsReadable) {
+  DegradationController ctl(two_step_schedule(), {});
+  FakeHooks hooks;
+  ASSERT_TRUE(ctl.evaluate(3, 1.5, 6.0, clean_monitor(), hooks));
+  const std::string text = to_string(ctl.events().front());
+  EXPECT_NE(text.find("sensor-schedule"), std::string::npos);
+  EXPECT_NE(text.find("committed"), std::string::npos);
+  EXPECT_NE(text.find("8 -> 6"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,110 @@
+#include "runtime/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+TEST(TimingErrorMonitor, ValidatesConfig) {
+  MonitorConfig bad_window;
+  bad_window.window = 0;
+  EXPECT_THROW(TimingErrorMonitor{bad_window}, std::invalid_argument);
+
+  MonitorConfig bad_margin;
+  bad_margin.canary_margin = 0.0;
+  EXPECT_THROW(TimingErrorMonitor{bad_margin}, std::invalid_argument);
+  bad_margin.canary_margin = 1.5;
+  EXPECT_THROW(TimingErrorMonitor{bad_margin}, std::invalid_argument);
+}
+
+TEST(TimingErrorMonitor, CountsErrorsInWindow) {
+  MonitorConfig cfg;
+  cfg.window = 4;
+  cfg.functional_trip = 2;
+  TimingErrorMonitor mon(cfg);
+
+  EXPECT_FALSE(mon.tripped());
+  mon.record(true, 900.0, 1000.0);
+  EXPECT_EQ(mon.window_errors(), 1u);
+  EXPECT_FALSE(mon.functional_tripped());
+  mon.record(false, 100.0, 1000.0);
+  mon.record(true, 900.0, 1000.0);
+  EXPECT_EQ(mon.window_errors(), 2u);
+  EXPECT_TRUE(mon.functional_tripped());
+  EXPECT_TRUE(mon.tripped());
+  EXPECT_DOUBLE_EQ(mon.window_error_rate(), 2.0 / 3.0);
+}
+
+TEST(TimingErrorMonitor, OldEntriesSlideOut) {
+  MonitorConfig cfg;
+  cfg.window = 3;
+  cfg.functional_trip = 1;
+  TimingErrorMonitor mon(cfg);
+
+  mon.record(true, 900.0, 1000.0);
+  EXPECT_TRUE(mon.functional_tripped());
+  // Three clean records push the error out of the window.
+  mon.record(false, 100.0, 1000.0);
+  mon.record(false, 100.0, 1000.0);
+  mon.record(false, 100.0, 1000.0);
+  EXPECT_EQ(mon.window_errors(), 0u);
+  EXPECT_FALSE(mon.tripped());
+  // Lifetime counters never forget.
+  EXPECT_EQ(mon.total_errors(), 1u);
+  EXPECT_EQ(mon.total_steps(), 4u);
+}
+
+TEST(TimingErrorMonitor, CanaryFiresBeforeFunctionalFailure) {
+  MonitorConfig cfg;
+  cfg.window = 8;
+  cfg.canary_margin = 0.9;
+  cfg.canary_trip = 2;
+  TimingErrorMonitor mon(cfg);
+
+  // Settling inside the guard zone (0.9 * t_clock, t_clock]: outputs are
+  // still sampled correctly (no functional error), but the replica path
+  // already fails — the early warning trips with zero functional errors.
+  mon.record(false, 950.0, 1000.0);
+  EXPECT_FALSE(mon.canary_tripped());
+  mon.record(false, 980.0, 1000.0);
+  EXPECT_TRUE(mon.canary_tripped());
+  EXPECT_FALSE(mon.functional_tripped());
+  EXPECT_TRUE(mon.tripped());
+  EXPECT_EQ(mon.window_errors(), 0u);
+  EXPECT_EQ(mon.window_canary(), 2u);
+}
+
+TEST(TimingErrorMonitor, SettleBelowGuardZoneIsClean) {
+  MonitorConfig cfg;
+  cfg.canary_margin = 0.9;
+  TimingErrorMonitor mon(cfg);
+  mon.record(false, 899.0, 1000.0);
+  EXPECT_EQ(mon.window_canary(), 0u);
+}
+
+TEST(TimingErrorMonitor, FunctionalErrorAlwaysCountsAsCanaryHit) {
+  // A sampled error means the canary would certainly have failed too.
+  TimingErrorMonitor mon;
+  mon.record(true, 100.0, 1000.0);
+  EXPECT_EQ(mon.window_canary(), 1u);
+}
+
+TEST(TimingErrorMonitor, ResetWindowKeepsLifetimeCounters) {
+  MonitorConfig cfg;
+  cfg.window = 4;
+  TimingErrorMonitor mon(cfg);
+  mon.record(true, 990.0, 1000.0);
+  mon.record(true, 990.0, 1000.0);
+  mon.reset_window();
+  EXPECT_EQ(mon.window_steps(), 0u);
+  EXPECT_EQ(mon.window_errors(), 0u);
+  EXPECT_FALSE(mon.tripped());
+  EXPECT_EQ(mon.total_errors(), 2u);
+  EXPECT_EQ(mon.total_steps(), 2u);
+  EXPECT_DOUBLE_EQ(mon.window_error_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -1,0 +1,75 @@
+#include "runtime/sensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace aapx {
+namespace {
+
+TEST(AgingSensor, ValidatesConfig) {
+  AgingSensorConfig bad_gain;
+  bad_gain.gain = 0.0;
+  EXPECT_THROW(AgingSensor{bad_gain}, std::invalid_argument);
+  bad_gain.gain = -1.0;
+  EXPECT_THROW(AgingSensor{bad_gain}, std::invalid_argument);
+
+  AgingSensorConfig bad_noise;
+  bad_noise.noise_sigma_years = -0.1;
+  EXPECT_THROW(AgingSensor{bad_noise}, std::invalid_argument);
+}
+
+TEST(AgingSensor, RejectsNegativeAge) {
+  AgingSensor sensor;
+  EXPECT_THROW(sensor.read(-1.0), std::invalid_argument);
+}
+
+TEST(AgingSensor, IdealSensorReportsTruth) {
+  AgingSensor sensor;  // gain 1, no offset, no noise, no drift
+  EXPECT_DOUBLE_EQ(sensor.read(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(sensor.read(3.5), 3.5);
+  EXPECT_DOUBLE_EQ(sensor.read(10.0), 10.0);
+}
+
+TEST(AgingSensor, GainAndOffsetBiasTheReading) {
+  AgingSensorConfig cfg;
+  cfg.gain = 0.6;
+  cfg.offset_years = 0.5;
+  AgingSensor sensor(cfg);
+  EXPECT_NEAR(sensor.read(10.0), 0.6 * 10.0 + 0.5, 1e-12);
+}
+
+TEST(AgingSensor, DriftGrowsWithTrueAge) {
+  AgingSensorConfig cfg;
+  cfg.drift_per_year = 0.1;
+  AgingSensor sensor(cfg);
+  EXPECT_NEAR(sensor.read(1.0), 1.0 + 0.1, 1e-12);
+  EXPECT_NEAR(sensor.read(10.0), 10.0 + 1.0, 1e-12);
+}
+
+TEST(AgingSensor, ReadingsClampAtZero) {
+  AgingSensorConfig cfg;
+  cfg.offset_years = -5.0;
+  AgingSensor sensor(cfg);
+  EXPECT_DOUBLE_EQ(sensor.read(1.0), 0.0);
+}
+
+TEST(AgingSensor, NoiseIsDeterministicPerSeed) {
+  AgingSensorConfig cfg;
+  cfg.noise_sigma_years = 0.5;
+  cfg.seed = 42;
+  AgingSensor a(cfg);
+  AgingSensor b(cfg);
+  bool saw_noise = false;
+  for (int i = 0; i < 16; ++i) {
+    const double ra = a.read(5.0);
+    const double rb = b.read(5.0);
+    EXPECT_DOUBLE_EQ(ra, rb);
+    if (std::abs(ra - 5.0) > 1e-9) saw_noise = true;
+  }
+  EXPECT_TRUE(saw_noise);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -6,6 +6,7 @@
 //   aapx export-liberty [--years 10 --stress worst] --out lib.lib
 //   aapx export-verilog --kind adder --width 16 --trunc 4 --out adder.v
 //   aapx export-sdf --kind adder --width 16 [--years 10] --out adder.sdf
+//   aapx faultsim --width 16 --arch ripple --accel 1.5 --sensor-gain 0.6
 //
 // Every subcommand builds the generated NanGate-45-like library and the
 // calibrated BTI model; see `aapx help` for the full option list.
@@ -23,6 +24,7 @@
 #include "core/microarch.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
+#include "runtime/runtime.hpp"
 #include "sta/sdf.hpp"
 #include "util/table.hpp"
 
@@ -30,21 +32,65 @@ namespace {
 
 using namespace aapx;
 
+/// Strict numeric conversion: the whole string must be consumed, so
+/// "--width banana" and "--years 1x" are one-line errors, not zeros.
+int to_int_strict(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != text.size()) {
+    throw std::runtime_error("bad " + what + " value '" + text + "'");
+  }
+  return value;
+}
+
+double to_double_strict(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != text.size()) {
+    throw std::runtime_error("bad " + what + " value '" + text + "'");
+  }
+  return value;
+}
+
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
 
+  bool has(const std::string& key) const {
+    return options.find(key) != options.end();
+  }
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = options.find(key);
     return it == options.end() ? fallback : it->second;
   }
   int get_int(const std::string& key, int fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stoi(it->second);
+    return it == options.end() ? fallback
+                               : to_int_strict(it->second, "--" + key);
   }
   double get_double(const std::string& key, double fallback) const {
     const auto it = options.find(key);
-    return it == options.end() ? fallback : std::stod(it->second);
+    return it == options.end() ? fallback
+                               : to_double_strict(it->second, "--" + key);
+  }
+  /// Like get_double but additionally rejects negative values.
+  double get_years(const std::string& key, double fallback) const {
+    const double y = get_double(key, fallback);
+    if (y < 0.0) {
+      throw std::runtime_error("--" + key + " must be non-negative, got " +
+                               get(key, ""));
+    }
+    return y;
   }
 };
 
@@ -67,12 +113,15 @@ Args parse_args(int argc, char** argv) {
   return args;
 }
 
-std::vector<double> parse_list(const std::string& csv) {
+std::vector<double> parse_list(const std::string& csv, const std::string& what) {
   std::vector<double> out;
   std::stringstream ss(csv);
   std::string item;
   while (std::getline(ss, item, ',')) {
-    if (!item.empty()) out.push_back(std::stod(item));
+    if (!item.empty()) out.push_back(to_double_strict(item, what));
+  }
+  if (out.empty()) {
+    throw std::runtime_error(what + " list is empty");
   }
   return out;
 }
@@ -127,7 +176,10 @@ int cmd_characterize(const Args& args) {
   const ComponentCharacterizer ch(lib, BtiModel{}, copt);
   const StressMode mode = parse_mode(args.get("mode", "worst"));
   std::vector<AgingScenario> scenarios;
-  for (const double y : parse_list(args.get("years", "1,10"))) {
+  for (const double y : parse_list(args.get("years", "1,10"), "--years")) {
+    if (y < 0.0) {
+      throw std::runtime_error("--years entries must be non-negative");
+    }
     scenarios.push_back({mode, y});
   }
   const ComponentCharacterization c = ch.characterize(spec, scenarios);
@@ -177,7 +229,7 @@ int cmd_flow(const Args& args) {
   };
   FlowOptions fopt;
   fopt.scenario = {parse_mode(args.get("mode", "worst")),
-                   args.get_double("years", 10.0)};
+                   args.get_years("years", 10.0)};
   const FlowResult plan = flow.run(design, fopt);
   std::printf("constraint t_CP(noAging) = %.1f ps, timing %s\n",
               plan.timing_constraint, plan.timing_met ? "met" : "NOT met");
@@ -201,7 +253,8 @@ int cmd_schedule(const Args& args) {
       args.get_int("min-precision", std::max(1, spec.width - 10));
   const ComponentCharacterizer ch(lib, BtiModel{}, copt);
   const AdaptiveScheduler scheduler(ch);
-  const std::vector<double> grid = parse_list(args.get("grid", "1,2,5,10"));
+  const std::vector<double> grid =
+      parse_list(args.get("grid", "1,2,5,10"), "--grid");
   const AdaptiveSchedule plan = scheduler.plan(
       spec, parse_mode(args.get("mode", "worst")), grid);
   std::printf("%s, constraint %.1f ps, schedule %s\n", spec.name().c_str(),
@@ -221,7 +274,7 @@ int cmd_schedule(const Args& args) {
 int cmd_export_liberty(const Args& args) {
   const CellLibrary lib = make_nangate45_like();
   std::ofstream os = open_out(args);
-  const double years = args.get_double("years", 0.0);
+  const double years = args.get_years("years", 0.0);
   if (years > 0.0) {
     const DegradationAwareLibrary aged(lib, BtiModel{}, years);
     const StressMode mode = parse_mode(args.get("stress", "worst"));
@@ -256,7 +309,7 @@ int cmd_export_sdf(const Args& args) {
   std::ofstream os = open_out(args);
   SdfWriteOptions sopt;
   sopt.design_name = spec.name();
-  const double years = args.get_double("years", 0.0);
+  const double years = args.get_years("years", 0.0);
   if (years > 0.0) {
     const DegradationAwareLibrary aged(lib, BtiModel{}, years);
     const StressProfile stress = StressProfile::uniform(
@@ -268,6 +321,72 @@ int cmd_export_sdf(const Args& args) {
   std::printf("SDF for %s (%s) written to %s\n", spec.name().c_str(),
               years > 0.0 ? "aged" : "fresh", args.get("out", "").c_str());
   return 0;
+}
+
+int cmd_faultsim(const Args& args) {
+  const CellLibrary lib = make_nangate45_like();
+
+  RuntimeOptions ropt;
+  ropt.component = spec_from(args);
+  if (!args.has("arch")) ropt.component.adder_arch = AdderArch::ripple;
+  if (!args.has("width")) ropt.component.width = 16;
+  ropt.min_precision =
+      args.get_int("min-precision", std::max(1, ropt.component.width - 10));
+  ropt.schedule_grid = parse_list(args.get("grid", "0.5,1,2,5,10"), "--grid");
+  const ClosedLoopRuntime runtime(lib, BtiModel{}, ropt);
+
+  FaultScenario fault;
+  fault.aging_acceleration = args.get_double("accel", 1.0);
+  fault.temp_step_kelvin = args.get_double("temp-step", 0.0);
+  fault.temp_step_from_years = args.get_years("temp-from", 0.0);
+  fault.gate_outlier_fraction = args.get_double("outlier-frac", 0.0);
+  fault.gate_outlier_factor = args.get_double("outlier-factor", 1.0);
+  fault.sensor_gain = args.get_double("sensor-gain", 1.0);
+  fault.sensor_offset_years = args.get_double("sensor-offset", 0.0);
+  fault.sensor_noise_sigma_years = args.get_double("sensor-noise", 0.0);
+  fault.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const FaultInjector faults(lib, BtiModel{}, fault);
+
+  CampaignOptions copt;
+  copt.lifetime_years = args.get_years("years", 10.0);
+  copt.epochs = args.get_int("epochs", 16);
+  copt.vectors_per_epoch =
+      static_cast<std::size_t>(args.get_int("vectors", 96));
+  copt.verify_vectors =
+      static_cast<std::size_t>(args.get_int("verify-vectors", 48));
+  copt.closed_loop = !args.has("open-loop");
+  copt.monitor.window = copt.vectors_per_epoch;
+  copt.monitor.canary_margin = args.get_double("canary-margin", 0.97);
+  copt.monitor.canary_trip =
+      static_cast<std::size_t>(args.get_int("canary-trip", 2));
+
+  const CampaignResult r = runtime.run(faults, copt);
+
+  std::printf("%s, constraint %.1f ps, %s campaign, %d epochs / %.1f years\n",
+              ropt.component.name().c_str(), r.timing_constraint,
+              copt.closed_loop ? "closed-loop" : "open-loop", copt.epochs,
+              copt.lifetime_years);
+  TextTable table({"epoch", "age [y]", "sensor [y]", "precision", "errors",
+                   "canary", "max settle [ps]"});
+  for (const EpochReport& e : r.epochs) {
+    table.add_row({std::to_string(e.epoch), TextTable::num(e.years, 2),
+                   TextTable::num(e.sensor_years, 2),
+                   std::to_string(e.precision), std::to_string(e.errors),
+                   std::to_string(e.canary_hits),
+                   TextTable::num(e.max_settle_ps, 1)});
+  }
+  table.print(std::cout);
+  for (const ControlEvent& e : r.events) {
+    std::printf("  %s\n", to_string(e).c_str());
+  }
+  std::printf(
+      "total %llu errors / %llu vectors, %zu reconfigurations, "
+      "final precision %d, %s\n",
+      static_cast<unsigned long long>(r.total_errors),
+      static_cast<unsigned long long>(r.total_vectors), r.reconfigurations,
+      r.final_precision,
+      r.converged_clean() ? "converged clean" : "NOT converged");
+  return r.converged_clean() ? 0 : 1;
 }
 
 int cmd_help() {
@@ -288,6 +407,12 @@ commands:
       --kind ... --width N  [--trunc K]  --out f.v
   export-sdf      write per-gate delays as SDF
       --kind ... --width N  [--years Y --stress ...]  --out f.sdf
+  faultsim        fault-injection campaign on the closed-loop runtime
+      --kind ... --width N  --arch ...  --grid 0.5,1,2,5,10  --years Y
+      --epochs N  --vectors N  --verify-vectors N  [--open-loop]
+      --accel R  --temp-step K --temp-from Y  --outlier-frac F --outlier-factor R
+      --sensor-gain G --sensor-offset Y --sensor-noise SIGMA  --seed S
+      --canary-margin M --canary-trip N
   help            this text
 )");
   return 0;
@@ -304,6 +429,7 @@ int main(int argc, char** argv) {
     if (args.command == "export-liberty") return cmd_export_liberty(args);
     if (args.command == "export-verilog") return cmd_export_verilog(args);
     if (args.command == "export-sdf") return cmd_export_sdf(args);
+    if (args.command == "faultsim") return cmd_faultsim(args);
     if (args.command.empty() || args.command == "help" ||
         args.command == "--help") {
       return cmd_help();
