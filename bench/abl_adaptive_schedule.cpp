@@ -26,10 +26,11 @@ double quality_at(const Config& cfg, int precision) {
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   print_banner("Extension — adaptive precision schedule over lifetime",
                "\"Systems that gradually degrade in quality as they age\" "
                "(paper Sec. VII), scheduled from one characterization.");
+  BenchJson bench_json("abl_adaptive_schedule", argc, argv);
   Config cfg;
   CharacterizerOptions copt;
   copt.min_precision = 26;

@@ -13,10 +13,11 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   print_banner("Ablation — adder architecture vs required precision",
                "The paper's trade-off requires delay that scales with "
                "precision; architecture choice decides feasibility.");
+  BenchJson bench_json("abl_adder_architecture", argc, argv);
   Config cfg;
   CharacterizerOptions copt;
   copt.min_precision = 16;

@@ -11,10 +11,11 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   print_banner("Ablation — BTI model sensitivity",
                "Required adder/multiplier precision reduction for 10Y WC "
                "across aging-model parameter variations.");
+  BenchJson bench_json("abl_aging_model", argc, argv);
   Config cfg;
 
   TextTable table({"time exp n", "dVth scale", "adder bits", "mult bits",

@@ -98,6 +98,7 @@ int main(int argc, char** argv) {
   print_banner("Ablation — approximation techniques as the aging knob",
                "Same Eq. 2 target, three error profiles: always-small (lsb), "
                "small-negative (pp), rare-but-huge (window).");
+  BenchJson bench_json("abl_approx_techniques", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
   const std::size_t n = fast ? 500 : 3000;

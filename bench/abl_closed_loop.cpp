@@ -14,6 +14,7 @@
 #include "common.hpp"
 #include "image/synthetic.hpp"
 #include "runtime/runtime.hpp"
+#include "util/parallel.hpp"
 
 using namespace aapx;
 using namespace aapx::bench;
@@ -29,6 +30,9 @@ class TimedAdderBackend final : public ArithBackend {
                     double t_clock_ps, DelayModel model)
       : exact_(width, 0, 0),
         sim_(adder, std::move(delays), model),
+        a_nets_(&adder.input_bus("a")),
+        b_nets_(&adder.input_bus("b")),
+        y_nets_(&adder.output_bus("y")),
         width_(width),
         t_clock_(t_clock_ps) {}
 
@@ -38,29 +42,38 @@ class TimedAdderBackend final : public ArithBackend {
 
   std::int64_t add(std::int64_t a, std::int64_t b) override {
     const std::uint64_t mask = (std::uint64_t{1} << width_) - 1;
-    sim_.stage_bus("a", static_cast<std::uint64_t>(a) & mask);
-    sim_.stage_bus("b", static_cast<std::uint64_t>(b) & mask);
+    sim_.stage_word(*a_nets_, static_cast<std::uint64_t>(a) & mask);
+    sim_.stage_word(*b_nets_, static_cast<std::uint64_t>(b) & mask);
     if (sim_.step_staged(t_clock_)) ++errors_;
-    return wrap_signed(static_cast<std::int64_t>(sim_.sampled_bus("y")),
+    return wrap_signed(static_cast<std::int64_t>(sim_.sampled_word(*y_nets_)),
                        width_);
   }
 
   int width() const override { return width_; }
   std::uint64_t errors() const noexcept { return errors_; }
+  std::uint64_t sim_events() const noexcept { return sim_.events_processed(); }
 
  private:
   ExactBackend exact_;
   TimedSim sim_;
+  const std::vector<NetId>* a_nets_;
+  const std::vector<NetId>* b_nets_;
+  const std::vector<NetId>* y_nets_;
   int width_;
   double t_clock_;
   std::uint64_t errors_ = 0;
 };
 
+struct EpochDecode {
+  double psnr_db = 0.0;
+  std::uint64_t sim_events = 0;
+};
+
 /// Decodes the reference frame through the epoch's plant state.
-double epoch_psnr(const Config& cfg, const ClosedLoopRuntime& runtime,
-                  const FaultInjector& faults, const EpochReport& epoch,
-                  double t_clock, const Image& img,
-                  const QuantizedImage& coded) {
+EpochDecode epoch_psnr(const Config& cfg, const ClosedLoopRuntime& runtime,
+                       const FaultInjector& faults, const EpochReport& epoch,
+                       double t_clock, const Image& img,
+                       const QuantizedImage& coded) {
   const Netlist& adder = runtime.netlist_for(epoch.precision);
   TimedAdderBackend be(
       adder,
@@ -68,7 +81,8 @@ double epoch_psnr(const Config& cfg, const ClosedLoopRuntime& runtime,
                          runtime.options().sta),
       cfg.codec().width, t_clock, runtime.options().delay_model);
   FixedPointIdct idct(cfg.codec(), be);
-  return psnr(img, idct.decode(coded));
+  const double db = psnr(img, idct.decode(coded));
+  return {db, be.sim_events()};
 }
 
 }  // namespace
@@ -77,6 +91,7 @@ int main(int argc, char** argv) {
   print_banner("Extension — closed-loop runtime vs. open-loop schedule",
                "Fault-injection campaign: PSNR over lifetime when reality "
                "deviates from the calibrated aging model.");
+  BenchJson bench_json("abl_closed_loop", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
   const int frame = arg_int(argc, argv, "--size", fast ? 16 : 32);
@@ -105,8 +120,14 @@ int main(int argc, char** argv) {
 
   CampaignOptions open_opt = copt;
   open_opt.closed_loop = false;
-  const CampaignResult open = runtime.run(faults, open_opt);
-  const CampaignResult closed = runtime.run(faults, copt);
+  // The open- and closed-loop campaigns share the runtime's (mutexed) caches
+  // but are otherwise independent plants — run the pair concurrently.
+  CampaignResult campaigns[2];
+  parallel_for(2, [&](std::size_t i) {
+    campaigns[i] = runtime.run(faults, i == 0 ? open_opt : copt);
+  });
+  const CampaignResult& open = campaigns[0];
+  const CampaignResult& closed = campaigns[1];
 
   const Image img = make_video_trace_frame("foreman", frame, frame);
   const QuantizedImage coded = encode_and_quantize(img, cfg.codec());
@@ -121,21 +142,30 @@ int main(int argc, char** argv) {
                 fault.sensor_gain);
   }
 
+  // Per-epoch image decodes are independent: each owns its TimedSim plant,
+  // so the 2 x epochs PSNR grid fans out over the pool into indexed slots.
+  const std::size_t n_epochs = open.epochs.size();
+  std::vector<EpochDecode> decodes(2 * n_epochs);
+  parallel_for(2 * n_epochs, [&](std::size_t i) {
+    const bool is_open = i < n_epochs;
+    const CampaignResult& campaign = is_open ? open : closed;
+    decodes[i] = epoch_psnr(cfg, runtime, faults,
+                            campaign.epochs[is_open ? i : i - n_epochs],
+                            campaign.timing_constraint, img, coded);
+  });
+
   TextTable table({"age [y]", "open K", "open errs", "open PSNR [dB]",
                    "closed K", "closed errs", "closed PSNR [dB]"});
-  for (std::size_t i = 0; i < open.epochs.size(); ++i) {
+  std::uint64_t decode_events = 0;
+  for (const EpochDecode& d : decodes) decode_events += d.sim_events;
+  for (std::size_t i = 0; i < n_epochs; ++i) {
     const EpochReport& eo = open.epochs[i];
     const EpochReport& ec = closed.epochs[i];
     table.add_row(
         {TextTable::num(eo.years, 2), std::to_string(eo.precision),
-         std::to_string(eo.errors),
-         TextTable::num(epoch_psnr(cfg, runtime, faults, eo,
-                                   open.timing_constraint, img, coded),
-                        1),
+         std::to_string(eo.errors), TextTable::num(decodes[i].psnr_db, 1),
          std::to_string(ec.precision), std::to_string(ec.errors),
-         TextTable::num(epoch_psnr(cfg, runtime, faults, ec,
-                                   closed.timing_constraint, img, coded),
-                        1)});
+         TextTable::num(decodes[n_epochs + i].psnr_db, 1)});
   }
   table.print(std::cout);
 
@@ -152,5 +182,14 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(closed.total_errors),
       closed.reconfigurations,
       closed.converged_clean() ? "clean" : "DIRTY", closed.final_precision);
+
+  bench_json.add_events(decode_events);
+  bench_json.metric("campaign_vectors", static_cast<double>(
+                                            open.total_vectors +
+                                            closed.total_vectors));
+  bench_json.metric("open_errors", static_cast<double>(open.total_errors));
+  bench_json.metric("closed_errors", static_cast<double>(closed.total_errors));
+  bench_json.metric("final_precision",
+                    static_cast<double>(closed.final_precision));
   return closed.converged_clean() ? 0 : 1;
 }

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   print_banner("Extension — dedicated IDCT row unit under aging",
                "The paper's per-component methodology applied to a hardwired "
                "constant-multiplier transform datapath.");
+  BenchJson bench_json("abl_dedicated_datapath", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
 

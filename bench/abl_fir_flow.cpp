@@ -15,10 +15,11 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   print_banner("Extension — FIR filter through the microarchitecture flow",
                "Same flow, different design: per-block slack decides where "
                "precision is spent.");
+  BenchJson bench_json("abl_fir_flow", argc, argv);
   Config cfg;
 
   MicroarchSpec fir;

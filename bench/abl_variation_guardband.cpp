@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   print_banner("Extension — variation + aging guardband decomposition",
                "How much of the combined statistical guardband precision "
                "reduction can buy back.");
+  BenchJson bench_json("abl_variation_guardband", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
   const int dies = fast ? 60 : 250;

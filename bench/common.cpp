@@ -4,9 +4,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 
 #include "gatesim/timedsim.hpp"
 #include "image/synthetic.hpp"
+#include "util/parallel.hpp"
 
 namespace aapx::bench {
 
@@ -24,6 +26,67 @@ int arg_int(int argc, char** argv, const std::string& flag, int fallback) {
   return fallback;
 }
 
+double arg_double(int argc, char** argv, const std::string& flag,
+                  double fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return std::atof(argv[i + 1]);
+  }
+  return fallback;
+}
+
+namespace {
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchJson::BenchJson(std::string name, int argc, char** argv)
+    : name_(std::move(name)) {
+  const int threads = arg_int(argc, argv, "--threads",
+                              arg_int(argc, argv, "-j", 0));
+  if (threads > 0) set_num_threads(threads);
+  baseline_wall_s_ = arg_double(argc, argv, "--baseline-wall", 0.0);
+  start_ = std::chrono::steady_clock::now();
+}
+
+void BenchJson::metric(const std::string& key, double value) {
+  metrics_.emplace_back(key, json_num(value));
+}
+
+void BenchJson::metric(const std::string& key, const std::string& value) {
+  metrics_.emplace_back(key, "\"" + value + "\"");
+}
+
+BenchJson::~BenchJson() {
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  std::ofstream out("BENCH_" + name_ + ".json");
+  if (!out) return;
+  out << "{\n";
+  out << "  \"name\": \"" << name_ << "\",\n";
+  out << "  \"threads\": " << num_threads() << ",\n";
+  out << "  \"wall_s\": " << json_num(wall_s);
+  if (events_ > 0) {
+    out << ",\n  \"events\": " << events_;
+    out << ",\n  \"events_per_sec\": "
+        << json_num(static_cast<double>(events_) / std::max(wall_s, 1e-12));
+  }
+  if (baseline_wall_s_ > 0.0) {
+    out << ",\n  \"baseline_wall_s\": " << json_num(baseline_wall_s_);
+    out << ",\n  \"speedup_vs_baseline\": "
+        << json_num(baseline_wall_s_ / std::max(wall_s, 1e-12));
+  }
+  for (const auto& [key, value] : metrics_) {
+    out << ",\n  \"" << key << "\": " << value;
+  }
+  out << "\n}\n";
+}
+
 Sta::GateDelays scenario_delays(const Config& cfg, const Netlist& nl,
                                 const AgingScenario& scenario) {
   const Sta sta(nl);
@@ -36,10 +99,20 @@ Sta::GateDelays scenario_delays(const Config& cfg, const Netlist& nl,
 
 namespace {
 
-void apply_row(TimedSim& sim, const StimulusSet& stim,
+/// Bus name -> net list, resolved once per simulation loop.
+std::vector<const std::vector<NetId>*> resolve_buses(const Netlist& nl,
+                                                     const StimulusSet& stim) {
+  std::vector<const std::vector<NetId>*> nets;
+  nets.reserve(stim.buses.size());
+  for (const auto& bus : stim.buses) nets.push_back(&nl.input_bus(bus));
+  return nets;
+}
+
+void apply_row(TimedSim& sim,
+               const std::vector<const std::vector<NetId>*>& bus_nets,
                const std::vector<std::uint64_t>& row) {
-  for (std::size_t b = 0; b < stim.buses.size(); ++b) {
-    sim.stage_bus(stim.buses[b], row[b]);
+  for (std::size_t b = 0; b < bus_nets.size(); ++b) {
+    sim.stage_word(*bus_nets[b], row[b]);
   }
 }
 
@@ -48,9 +121,10 @@ void apply_row(TimedSim& sim, const StimulusSet& stim,
 double bin_fresh_clock(const Config& cfg, const Netlist& nl,
                        const StimulusSet& stimulus, DelayModel model) {
   TimedSim sim(nl, scenario_delays(cfg, nl, AgingScenario::fresh()), model);
+  const auto bus_nets = resolve_buses(nl, stimulus);
   double t_clock = 0.0;
   for (const auto& row : stimulus.vectors) {
-    apply_row(sim, stimulus, row);
+    apply_row(sim, bus_nets, row);
     sim.step_staged(1e12);
     t_clock = std::max(t_clock, sim.last_output_settle_time());
   }
@@ -62,9 +136,10 @@ double measure_error_rate(const Config& cfg, const Netlist& nl,
                           const AgingScenario& scenario, double t_clock,
                           DelayModel model) {
   TimedSim sim(nl, scenario_delays(cfg, nl, scenario), model);
+  const auto bus_nets = resolve_buses(nl, stimulus);
   std::size_t errors = 0;
   for (const auto& row : stimulus.vectors) {
-    apply_row(sim, stimulus, row);
+    apply_row(sim, bus_nets, row);
     if (sim.step_staged(t_clock)) ++errors;
   }
   return static_cast<double>(errors) /

@@ -7,8 +7,10 @@
 // *shape* — who wins, by what factor, where crossovers sit — is the target.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "aging/bti_model.hpp"
@@ -71,6 +73,39 @@ bool fast_mode(int argc, char** argv);
 
 /// Value of "--size N" or fallback.
 int arg_int(int argc, char** argv, const std::string& flag, int fallback);
+
+/// Value of "--flag X.Y" or fallback.
+double arg_double(int argc, char** argv, const std::string& flag,
+                  double fallback);
+
+/// Machine-readable bench telemetry.
+///
+/// Constructing a BenchJson starts the wall timer and applies the shared
+/// "--threads N" / "-j N" flags to the process-wide worker-pool size;
+/// destruction writes BENCH_<name>.json into the working directory with the
+/// wall time, thread count, event throughput (when the bench reported
+/// events), any custom metrics, and — when the caller passed
+/// "--baseline-wall <seconds>" (measured wall time of a reference binary) —
+/// the speedup against that baseline.
+class BenchJson {
+ public:
+  BenchJson(std::string name, int argc, char** argv);
+  ~BenchJson();
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void metric(const std::string& key, double value);
+  void metric(const std::string& key, const std::string& value);
+  /// Accumulates simulator event counts for the events_per_sec field.
+  void add_events(std::uint64_t n) { events_ += n; }
+
+ private:
+  std::string name_;
+  double baseline_wall_s_ = 0.0;
+  std::uint64_t events_ = 0;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Per-gate delays of a netlist under a uniform-stress scenario (fresh when
 /// scenario.is_fresh()).

@@ -62,6 +62,7 @@ int main(int argc, char** argv) {
   print_banner("Fig. 1 — aging-induced timing errors at the removed guardband",
                "Errors grow with lifetime and stress; the adder suffers more "
                "than the multiplier (component-dependent aging).");
+  BenchJson bench_json("fig1_component_errors", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
   run_component(cfg, cfg.adder32(), cfg.adder_sigma, fast ? 1200 : 6000,

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   print_banner("Fig. 2 — DCT->IDCT quality collapse without a guardband",
                "Gate-level timed simulation of the full chain; PSNR falls "
                "from ~46 dB to unusable levels as the circuit ages.");
+  BenchJson bench_json("fig2_quality_collapse", argc, argv);
   Config cfg;
   const int size = arg_int(argc, argv, "--size",
                            fast_mode(argc, argv) ? 16 : 24);

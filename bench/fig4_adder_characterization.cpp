@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   print_banner("Fig. 4 — 32-bit adder: aging-induced delay vs precision",
                "Truncating operand LSBs shortens the CLA carry structure "
                "enough to absorb worst-case BTI aging.");
+  BenchJson bench_json("fig4_adder_characterization", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
 

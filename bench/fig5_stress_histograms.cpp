@@ -47,6 +47,7 @@ int main(int argc, char** argv) {
   print_banner("Fig. 5 — actual-case stress factors: ND vs IDCT stimuli",
                "Similar stress distributions -> similar aged delays -> "
                "artificial inputs suffice for characterization.");
+  BenchJson bench_json("fig5_stress_histograms", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
 

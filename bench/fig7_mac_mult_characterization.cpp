@@ -44,10 +44,11 @@ void run(const Config& cfg, const ComponentSpec& spec, int min_precision,
 
 }  // namespace
 
-int main(int, char**) {
+int main(int argc, char** argv) {
   print_banner("Fig. 7 — multiplier and MAC characterization",
                "Different RTL components need different precision reductions "
                "for the same lifetime (paper Sec. VI).");
+  BenchJson bench_json("fig7_mac_mult_characterization", argc, argv);
   Config cfg;
   run(cfg, cfg.mult32(), 26,
       "(paper: 1 bit narrows 29%, 2 bits 79%; 2 bits compensate 1 year, "

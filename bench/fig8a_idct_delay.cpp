@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   print_banner("Fig. 8a — IDCT delay, original vs aging-induced approximation",
                "The multiplier is the critical block; 3 truncated bits absorb "
                "10 years of worst-case aging (paper: rel. slack -8.3%, 3 bits).");
+  BenchJson bench_json("fig8a_idct_delay", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
 

@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
   print_banner("Fig. 8c — savings vs aging-aware synthesis [4]",
                "Converting the guardband into precision reduces area and "
                "power instead of paying overhead for resilience.");
+  BenchJson bench_json("fig8c_savings", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
 

@@ -174,6 +174,7 @@ void print_cost_table() {
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
+  aapx::bench::BenchJson bench_json("tab_sim_cost", argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   print_cost_table();

@@ -5,6 +5,7 @@
 
 #include "netlist/stats.hpp"
 #include "synth/components.hpp"
+#include "util/parallel.hpp"
 
 namespace aapx {
 
@@ -19,18 +20,30 @@ ComponentCharacterizer::ComponentCharacterizer(const CellLibrary& lib,
 
 const DegradationAwareLibrary& ComponentCharacterizer::degradation_for(
     double years) const {
-  for (const auto& [y, lib] : degradation_cache_) {
-    if (y == years) return *lib;
+  // Build outside the lock would allow duplicate work; the build is the
+  // expensive part but happens once per lifetime value, so holding the lock
+  // keeps the cache simple and the returned reference stable.
+  std::lock_guard<std::mutex> lock(degradation_mutex_);
+  auto it = degradation_cache_.find(years);
+  if (it == degradation_cache_.end()) {
+    it = degradation_cache_
+             .emplace(years, std::make_unique<DegradationAwareLibrary>(
+                                 *lib_, model_, years))
+             .first;
   }
-  degradation_cache_.emplace_back(
-      years, std::make_unique<DegradationAwareLibrary>(*lib_, model_, years));
-  return *degradation_cache_.back().second;
+  return *it->second;
 }
 
 double ComponentCharacterizer::aged_delay(const Netlist& nl,
                                           const AgingScenario& scenario,
                                           const StimulusSet* stimulus) const {
   const Sta sta(nl, options_.sta);
+  return aged_delay_with(sta, nl, scenario, stimulus);
+}
+
+double ComponentCharacterizer::aged_delay_with(
+    const Sta& sta, const Netlist& nl, const AgingScenario& scenario,
+    const StimulusSet* stimulus) const {
   if (scenario.is_fresh()) return sta.run_fresh().max_delay;
   const DegradationAwareLibrary& aged = degradation_for(scenario.years);
   if (scenario.mode == StressMode::measured) {
@@ -71,8 +84,23 @@ ComponentCharacterization ComponentCharacterizer::characterize(
   result.base = base;
   result.scenarios = scenarios;
 
+  // Prewarm the degradation cache serially: every point needs the same aged
+  // libraries, and building them inside parallel_for would serialize the
+  // workers on degradation_mutex_ while one of them does the build.
+  for (const AgingScenario& s : scenarios) {
+    if (!s.is_fresh()) degradation_for(s.years);
+  }
+
+  std::vector<int> precisions;
   for (int k = base.width; k >= options_.min_precision;
        k -= options_.precision_step) {
+    precisions.push_back(k);
+  }
+  result.points.resize(precisions.size());
+  // Each precision point synthesizes its own netlist and Sta, and writes only
+  // its own result slot, so the surface is bit-identical at any thread count.
+  parallel_for(precisions.size(), [&](std::size_t i) {
+    const int k = precisions[i];
     ComponentSpec spec = base;
     spec.truncated_bits = base.width - k;
     const Netlist nl = make_component(*lib_, spec);
@@ -86,10 +114,10 @@ ComponentCharacterization ComponentCharacterizer::characterize(
     point.gates = stats.gates;
     point.aged_delay.reserve(scenarios.size());
     for (const AgingScenario& s : scenarios) {
-      point.aged_delay.push_back(aged_delay(nl, s, stimulus));
+      point.aged_delay.push_back(aged_delay_with(sta, nl, s, stimulus));
     }
-    result.points.push_back(std::move(point));
-  }
+    result.points[i] = std::move(point);
+  });
   return result;
 }
 

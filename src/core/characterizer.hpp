@@ -12,8 +12,9 @@
 // aging-induced approximation library.
 #pragma once
 
+#include <map>
 #include <memory>
-#include <utility>
+#include <mutex>
 #include <vector>
 
 #include "aging/bti_model.hpp"
@@ -51,13 +52,21 @@ class ComponentCharacterizer {
  private:
   const DegradationAwareLibrary& degradation_for(double years) const;
 
+  /// aged_delay with the Sta supplied by the caller, so one Sta per netlist
+  /// serves the fresh run and every scenario.
+  double aged_delay_with(const Sta& sta, const Netlist& nl,
+                         const AgingScenario& scenario,
+                         const StimulusSet* stimulus) const;
+
   const CellLibrary* lib_;
   BtiModel model_;
   CharacterizerOptions options_;
   /// Degradation libraries are expensive to build; cache per lifetime.
-  /// unique_ptr keeps returned references stable across cache growth.
-  mutable std::vector<std::pair<double, std::unique_ptr<DegradationAwareLibrary>>>
+  /// unique_ptr keeps returned references stable across cache growth, and the
+  /// mutex makes lookups safe from parallel_for workers.
+  mutable std::map<double, std::unique_ptr<DegradationAwareLibrary>>
       degradation_cache_;
+  mutable std::mutex degradation_mutex_;
 };
 
 }  // namespace aapx

@@ -6,6 +6,21 @@ namespace aapx {
 
 FuncSim::FuncSim(const Netlist& nl) : nl_(&nl), values_(nl.num_nets(), 0) {
   values_[nl.const1()] = 1;
+  gates_.reserve(nl.num_gates());
+  for (const GateId gid : nl.topo_order()) {
+    const Gate& g = nl.gate(gid);
+    FlatGate fg;
+    for (std::size_t p = 0; p < fg.fanin.size(); ++p) {
+      fg.fanin[p] = g.fanin[p] == kInvalidNet ? nl.const0() : g.fanin[p];
+    }
+    fg.fanout = g.fanout;
+    const LogicFn fn = nl.lib().cell(g.cell).fn;
+    fg.tt = 0;
+    for (unsigned m = 0; m < 8; ++m) {
+      if (fn_eval(fn, m)) fg.tt |= static_cast<std::uint8_t>(1u << m);
+    }
+    gates_.push_back(fg);
+  }
 }
 
 void FuncSim::set_input(NetId net, bool value) {
@@ -25,15 +40,12 @@ void FuncSim::set_bus(const std::string& bus, std::uint64_t value) {
 }
 
 void FuncSim::eval() {
-  for (const GateId gid : nl_->topo_order()) {
-    const Gate& g = nl_->gate(gid);
-    const Cell& cell = nl_->lib().cell(g.cell);
-    unsigned mask = 0;
-    const int pins = cell.num_inputs();
-    for (int p = 0; p < pins; ++p) {
-      if (values_[g.fanin[static_cast<std::size_t>(p)]]) mask |= 1u << p;
-    }
-    values_[g.fanout] = fn_eval(cell.fn, mask) ? 1 : 0;
+  char* const v = values_.data();
+  for (const FlatGate& g : gates_) {
+    const unsigned mask = static_cast<unsigned>(v[g.fanin[0]]) |
+                          (static_cast<unsigned>(v[g.fanin[1]]) << 1) |
+                          (static_cast<unsigned>(v[g.fanin[2]]) << 2);
+    v[g.fanout] = static_cast<char>((g.tt >> mask) & 1u);
   }
 }
 

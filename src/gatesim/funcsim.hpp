@@ -4,6 +4,7 @@
 // as the settled-value reference for the timed simulator.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -36,7 +37,16 @@ class FuncSim {
   const std::vector<char>& values() const noexcept { return values_; }
 
  private:
+  /// Per-gate truth table + fanins flattened at construction (same layout as
+  /// TimedSim/PackedFuncSim) so eval() walks flat arrays only.
+  struct FlatGate {
+    std::array<NetId, 3> fanin;
+    NetId fanout;
+    std::uint8_t tt;
+  };
+
   const Netlist* nl_;
+  std::vector<FlatGate> gates_;  ///< in topological order
   std::vector<char> values_;
 };
 

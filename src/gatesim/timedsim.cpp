@@ -1,6 +1,6 @@
 #include "gatesim/timedsim.hpp"
 
-#include <queue>
+#include <algorithm>
 #include <stdexcept>
 
 #include "gatesim/funcsim.hpp"
@@ -45,7 +45,53 @@ TimedSim::TimedSim(const Netlist& nl, Sta::GateDelays delays, DelayModel model)
   for (const NetId po : nl.outputs()) is_output_[po] = 1;
   activity_.toggles.assign(nl.num_nets(), 0);
   activity_.high_cycles.assign(nl.num_nets(), 0);
+  high_sync_.assign(nl.num_nets(), 0);
+
+  // Flatten gate functions, fanins and delays so the event loop never chases
+  // Gate/Cell indirections, and the reader lists into one CSR array.
+  gate_info_.reserve(nl.num_gates());
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(static_cast<GateId>(g));
+    GateInfo info;
+    for (std::size_t p = 0; p < info.fanin.size(); ++p) {
+      info.fanin[p] = gate.fanin[p] == kInvalidNet ? nl.const0() : gate.fanin[p];
+    }
+    info.fanout = gate.fanout;
+    info.rise = delays_.rise[g];
+    info.fall = delays_.fall[g];
+    const LogicFn fn = nl.lib().cell(gate.cell).fn;
+    info.tt = 0;
+    for (unsigned m = 0; m < 8; ++m) {
+      if (fn_eval(fn, m)) info.tt |= static_cast<std::uint8_t>(1u << m);
+    }
+    gate_info_.push_back(info);
+  }
+  reader_offset_.assign(nl.num_nets() + 1, 0);
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    reader_offset_[n + 1] =
+        reader_offset_[n] +
+        static_cast<std::uint32_t>(nl.readers(static_cast<NetId>(n)).size());
+  }
+  reader_gate_.resize(reader_offset_.back());
+  for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+    std::uint32_t at = reader_offset_[n];
+    for (const NetReader& r : nl.readers(static_cast<NetId>(n))) {
+      reader_gate_[at++] = r.gate;
+    }
+  }
   reset();
+}
+
+void TimedSim::push_event(Event ev) {
+  heap_.push_back(ev);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+}
+
+TimedSim::Event TimedSim::pop_event() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
+  const Event ev = heap_.back();
+  heap_.pop_back();
+  return ev;
 }
 
 void TimedSim::reset() { reset(std::vector<char>(nl_->inputs().size(), 0)); }
@@ -54,6 +100,8 @@ void TimedSim::reset(const std::vector<char>& pi_values) {
   if (pi_values.size() != nl_->inputs().size()) {
     throw std::invalid_argument("TimedSim::reset: PI vector size mismatch");
   }
+  // Values are about to change without events; settle the duty books first.
+  sync_high_cycles();
   FuncSim settle(*nl_);
   for (std::size_t i = 0; i < pi_values.size(); ++i) {
     settle.set_input(nl_->inputs()[i], pi_values[i] != 0);
@@ -68,17 +116,16 @@ void TimedSim::reset(const std::vector<char>& pi_values) {
 }
 
 void TimedSim::stage_bus(const std::string& bus, std::uint64_t v) {
-  const auto& nets = nl_->input_bus(bus);
-  // Map bus nets back to PI indices once per call; buses are small.
+  stage_word(nl_->input_bus(bus), v);
+}
+
+void TimedSim::stage_word(const std::vector<NetId>& nets, std::uint64_t v) {
   for (std::size_t i = 0; i < nets.size(); ++i) {
     if (nl_->is_constant(nets[i])) continue;
     const bool bit = i < 64 && ((v >> i) & 1u) != 0;
-    for (std::size_t pi = 0; pi < nl_->inputs().size(); ++pi) {
-      if (nl_->inputs()[pi] == nets[i]) {
-        staged_pi_[pi] = bit ? 1 : 0;
-        break;
-      }
-    }
+    const NetId pi = nl_->pi_index(nets[i]);
+    if (pi == kInvalidNet) continue;  // bus member rewritten off the PI list
+    staged_pi_[pi] = bit ? 1 : 0;
   }
 }
 
@@ -90,13 +137,14 @@ bool TimedSim::step(const std::vector<char>& pi_values, double t_clock_ps) {
   if (pi_values.size() != nl_->inputs().size()) {
     throw std::invalid_argument("TimedSim::step: PI vector size mismatch");
   }
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  heap_.clear();
+  seq_ = 0;
   for (std::size_t i = 0; i < pi_values.size(); ++i) {
     const NetId net = nl_->inputs()[i];
     const char v = pi_values[i] ? 1 : 0;
     if (pending_[net] != v) {
       pending_[net] = v;
-      queue.push({0.0, seq_++, net, v, ++generation_[net]});
+      push_event({0.0, seq_++, net, ++generation_[net], v});
     }
   }
   staged_pi_ = pi_values;
@@ -106,9 +154,8 @@ bool TimedSim::step(const std::vector<char>& pi_values, double t_clock_ps) {
   last_settle_time_ = 0.0;
   last_output_settle_time_ = 0.0;
   ++step_id_;
-  while (!queue.empty()) {
-    const Event ev = queue.top();
-    queue.pop();
+  while (!heap_.empty()) {
+    const Event ev = pop_event();
     if (++guard > 50'000'000ULL) {
       throw std::runtime_error("TimedSim::step: event budget exceeded");
     }
@@ -130,6 +177,12 @@ bool TimedSim::step(const std::vector<char>& pi_values, double t_clock_ps) {
     }
     applied_generation_[ev.net] = ev.generation;
     if (value_[ev.net] == ev.value) continue;
+    // Fold the cycles the old value was held into the duty account before
+    // overwriting it (lazy replacement for a per-step sweep of all nets).
+    if (value_[ev.net]) {
+      activity_.high_cycles[ev.net] += activity_.cycles - high_sync_[ev.net];
+    }
+    high_sync_[ev.net] = activity_.cycles;
     value_[ev.net] = ev.value;
     ++activity_.toggles[ev.net];
     ++events_processed_;
@@ -137,32 +190,30 @@ bool TimedSim::step(const std::vector<char>& pi_values, double t_clock_ps) {
     change_time_[ev.net] = ev.time;
     change_step_[ev.net] = step_id_;
     if (is_output_[ev.net]) last_output_settle_time_ = ev.time;
-    // Propagate to reader gates.
-    for (const NetReader& r : nl_->readers(ev.net)) {
-      const Gate& g = nl_->gate(r.gate);
-      const Cell& cell = nl_->lib().cell(g.cell);
-      unsigned mask = 0;
-      const int pins = cell.num_inputs();
-      for (int p = 0; p < pins; ++p) {
-        if (value_[g.fanin[static_cast<std::size_t>(p)]]) mask |= 1u << p;
-      }
-      const char out = fn_eval(cell.fn, mask) ? 1 : 0;
+    // Propagate to reader gates (flat CSR + per-gate truth tables; no
+    // Gate/Cell lookups on the hot path).
+    const std::uint32_t rbegin = reader_offset_[ev.net];
+    const std::uint32_t rend = reader_offset_[ev.net + 1];
+    for (std::uint32_t r = rbegin; r < rend; ++r) {
+      const GateId gid = reader_gate_[r];
+      const GateInfo& g = gate_info_[gid];
+      const unsigned mask = static_cast<unsigned>(value_[g.fanin[0]]) |
+                            (static_cast<unsigned>(value_[g.fanin[1]]) << 1) |
+                            (static_cast<unsigned>(value_[g.fanin[2]]) << 2);
+      const char out = static_cast<char>((g.tt >> mask) & 1u);
       if (pending_[g.fanout] == out) continue;
       pending_[g.fanout] = out;
       ++generation_[g.fanout];  // cancels in-flight transitions (inertial)
       if (model_ == DelayModel::inertial && out == value_[g.fanout]) {
         continue;  // pulse swallowed entirely
       }
-      const double delay = out ? delays_.rise[r.gate] : delays_.fall[r.gate];
-      queue.push({ev.time + delay, seq_++, g.fanout, out, generation_[g.fanout]});
+      const double delay = out ? g.rise : g.fall;
+      push_event({ev.time + delay, seq_++, g.fanout, generation_[g.fanout], out});
     }
   }
   if (!snapshotted) sampled_ = value_;
 
   ++activity_.cycles;
-  for (std::size_t n = 0; n < value_.size(); ++n) {
-    if (value_[n]) ++activity_.high_cycles[n];
-  }
 
   for (const NetId po : nl_->outputs()) {
     if (sampled_[po] != value_[po]) return true;
@@ -188,6 +239,14 @@ std::uint64_t TimedSim::settled_bus(const std::string& bus) const {
   return word(nl_->output_bus(bus), value_);
 }
 
+std::uint64_t TimedSim::sampled_word(const std::vector<NetId>& nets) const {
+  return word(nets, sampled_);
+}
+
+std::uint64_t TimedSim::settled_word(const std::vector<NetId>& nets) const {
+  return word(nets, value_);
+}
+
 bool TimedSim::sampled(NetId net) const { return sampled_[net] != 0; }
 bool TimedSim::settled(NetId net) const { return value_[net] != 0; }
 
@@ -196,9 +255,24 @@ double TimedSim::settle_time(NetId net) const {
   return change_step_[net] == step_id_ ? change_time_[net] : 0.0;
 }
 
+void TimedSim::sync_high_cycles() const {
+  for (std::size_t n = 0; n < value_.size(); ++n) {
+    if (value_[n]) {
+      activity_.high_cycles[n] += activity_.cycles - high_sync_[n];
+    }
+    high_sync_[n] = activity_.cycles;
+  }
+}
+
+const Activity& TimedSim::activity() const {
+  sync_high_cycles();
+  return activity_;
+}
+
 void TimedSim::clear_activity() {
   activity_.toggles.assign(nl_->num_nets(), 0);
   activity_.high_cycles.assign(nl_->num_nets(), 0);
+  high_sync_.assign(nl_->num_nets(), 0);
   activity_.cycles = 0;
 }
 

@@ -59,17 +59,23 @@ class TimedSim {
 
   /// Sets one bus of the *next* input vector (staging area), LSB-first.
   void stage_bus(const std::string& bus, std::uint64_t value);
+  /// stage_bus with the net list already resolved (callers on a hot loop
+  /// look the bus up once via Netlist::input_bus instead of per vector).
+  void stage_word(const std::vector<NetId>& nets, std::uint64_t value);
   /// Runs step() with the staged vector.
   bool step_staged(double t_clock_ps);
 
   /// Sampled (at t_clock) and settled values of an output bus.
   std::uint64_t sampled_bus(const std::string& bus) const;
   std::uint64_t settled_bus(const std::string& bus) const;
+  /// Same with pre-resolved nets (see stage_word).
+  std::uint64_t sampled_word(const std::vector<NetId>& nets) const;
+  std::uint64_t settled_word(const std::vector<NetId>& nets) const;
 
   bool sampled(NetId net) const;
   bool settled(NetId net) const;
 
-  const Activity& activity() const noexcept { return activity_; }
+  const Activity& activity() const;
   void clear_activity();
 
   /// Total events processed since construction (simulation cost metric).
@@ -92,25 +98,50 @@ class TimedSim {
   double settle_time(NetId net) const;
 
  private:
+  /// 24 bytes; seq restarts every step (the heap is drained per step, so
+  /// only intra-step ordering matters) which keeps it in 32 bits.
   struct Event {
     double time;
-    std::uint64_t seq;  // FIFO tie-break for equal times
+    std::uint32_t seq;  // FIFO tie-break for equal times
     NetId net;
-    char value;
     std::uint32_t generation;  // stale events are skipped (inertial delay)
+    char value;
     bool operator>(const Event& o) const {
       if (time != o.time) return time > o.time;
       return seq > o.seq;
     }
   };
 
-  void schedule_fanout(NetId net, double now);
+  /// Per-gate record flattened out of Netlist/CellLibrary at construction:
+  /// the step() inner loop reads only this array, never chasing Cell or
+  /// Gate indirections per event. `tt` bit m = fn_eval(fn, m); unused fanin
+  /// slots point at const0 so every gate evaluates as 3-input.
+  struct GateInfo {
+    std::array<NetId, 3> fanin;
+    NetId fanout;
+    double rise;  ///< ps, output-rise delay of this gate
+    double fall;
+    std::uint8_t tt;  ///< 8-entry truth table over the 3 fanin values
+  };
+
+  void push_event(Event ev);
+  Event pop_event();
   std::uint64_t word(const std::vector<NetId>& nets,
                      const std::vector<char>& vals) const;
+  /// Folds all outstanding cycles into high_cycles (see high_sync_).
+  void sync_high_cycles() const;
 
   const Netlist* nl_;
   Sta::GateDelays delays_;
   DelayModel model_;
+  std::vector<GateInfo> gate_info_;  ///< indexed by GateId
+  /// Readers of each net as a flat CSR list of gate ids:
+  /// gates reader_gate_[reader_offset_[net] .. reader_offset_[net+1]).
+  std::vector<std::uint32_t> reader_offset_;
+  std::vector<GateId> reader_gate_;
+  /// Event-queue backing storage, reused across step() calls (a fresh
+  /// priority_queue per cycle was one malloc/free per simulated vector).
+  std::vector<Event> heap_;
   std::vector<char> value_;    ///< current waveform value per net
   std::vector<char> pending_;  ///< projected final value per net
   /// Incremented whenever a net's scheduled transition is superseded;
@@ -121,9 +152,14 @@ class TimedSim {
   std::vector<std::uint32_t> applied_generation_;
   std::vector<char> sampled_;  ///< snapshot at t_clock
   std::vector<char> staged_pi_;
-  Activity activity_;
+  /// Duty accounting is lazy: high_cycles is brought up to date per net on
+  /// each committed toggle (and fully on read) instead of sweeping every net
+  /// every step. high_sync_[n] = cycle count already folded into
+  /// high_cycles[n]; mutable so the const accessor can settle the books.
+  mutable Activity activity_;
+  mutable std::vector<std::uint64_t> high_sync_;
   std::uint64_t events_processed_ = 0;
-  std::uint64_t seq_ = 0;
+  std::uint32_t seq_ = 0;
   double last_settle_time_ = 0.0;
   double last_output_settle_time_ = 0.0;
   std::vector<char> is_output_;

@@ -13,12 +13,14 @@ Netlist::Netlist(const CellLibrary& lib) : lib_(&lib) {
 NetId Netlist::add_net() {
   net_driver_.push_back(kInvalidGate);
   net_readers_.emplace_back();
+  pi_index_.push_back(kInvalidNet);
   topo_cache_.clear();
   return static_cast<NetId>(net_driver_.size() - 1);
 }
 
 NetId Netlist::add_input(std::string name) {
   const NetId net = add_net();
+  pi_index_[net] = static_cast<NetId>(inputs_.size());
   inputs_.push_back(net);
   input_names_.push_back(std::move(name));
   return net;

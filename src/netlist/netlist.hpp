@@ -84,6 +84,13 @@ class Netlist {
 
   const std::vector<NetId>& inputs() const noexcept { return inputs_; }
   const std::vector<NetId>& outputs() const noexcept { return outputs_; }
+
+  /// Index of `net` within inputs(), or kInvalidNet if it is not a primary
+  /// input. O(1): maintained at add_input time so bus staging in the
+  /// simulators does not scan the PI list per bit.
+  NetId pi_index(NetId net) const {
+    return net < pi_index_.size() ? pi_index_[net] : kInvalidNet;
+  }
   const std::string& input_name(std::size_t i) const { return input_names_[i]; }
   const std::string& output_name(std::size_t i) const { return output_names_[i]; }
 
@@ -120,6 +127,7 @@ class Netlist {
   std::vector<std::vector<NetReader>> net_readers_;
   std::vector<NetId> inputs_;
   std::vector<std::string> input_names_;
+  std::vector<NetId> pi_index_;  ///< per net: index into inputs_ or kInvalidNet
   std::vector<NetId> outputs_;
   std::vector<std::string> output_names_;
   std::unordered_map<std::string, std::vector<NetId>> input_buses_;

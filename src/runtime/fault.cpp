@@ -59,6 +59,19 @@ double FaultInjector::equivalent_nominal_years(double years) const {
   return years * std::pow(dvth_true / dvth_nom, 1.0 / n);
 }
 
+const DegradationAwareLibrary& FaultInjector::faulted_library(
+    double years) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = library_cache_.find(years);
+  if (it == library_cache_.end()) {
+    it = library_cache_
+             .emplace(years, std::make_unique<DegradationAwareLibrary>(
+                                 *lib_, faulted_model(years), years))
+             .first;
+  }
+  return *it->second;
+}
+
 Sta::GateDelays FaultInjector::true_delays(const Netlist& nl, StressMode mode,
                                            double years,
                                            const StaOptions& sta_options) const {
@@ -70,7 +83,7 @@ Sta::GateDelays FaultInjector::true_delays(const Netlist& nl, StressMode mode,
   if (years == 0.0) {
     delays = sta.gate_delays(nullptr, nullptr);
   } else {
-    const DegradationAwareLibrary aged(*lib_, faulted_model(years), years);
+    const DegradationAwareLibrary& aged = faulted_library(years);
     const StressProfile stress = StressProfile::uniform(mode, nl.num_gates());
     delays = sta.gate_delays(&aged, &stress);
   }

@@ -23,6 +23,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 
 #include "aging/bti_model.hpp"
 #include "aging/stress.hpp"
@@ -94,9 +97,17 @@ class FaultInjector {
   const BtiModel& nominal_model() const noexcept { return nominal_; }
 
  private:
+  /// Faulted degradation library at one wall-clock age (the faulted model is
+  /// itself a function of `years` via the temperature step, so age is the
+  /// complete key). Guarded for concurrent campaigns sharing one injector.
+  const DegradationAwareLibrary& faulted_library(double years) const;
+
   const CellLibrary* lib_;
   BtiModel nominal_;
   FaultScenario scenario_;
+  mutable std::mutex cache_mutex_;
+  mutable std::map<double, std::unique_ptr<DegradationAwareLibrary>>
+      library_cache_;
 };
 
 }  // namespace aapx

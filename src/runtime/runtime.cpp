@@ -49,6 +49,9 @@ ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
 }
 
 const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
+  // std::map nodes are stable, so returned references survive later inserts;
+  // the lock makes concurrent campaigns over one runtime safe.
+  std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = netlist_cache_.find(precision);
   if (it != netlist_cache_.end()) return it->second;
   if (precision < options_.min_precision ||
@@ -59,6 +62,45 @@ const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
   spec.truncated_bits = spec.width - precision;
   return netlist_cache_.emplace(precision, make_component(*lib_, spec))
       .first->second;
+}
+
+const DegradationAwareLibrary& ClosedLoopRuntime::aged_library(
+    double years) const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  auto it = aged_library_cache_.find(years);
+  if (it == aged_library_cache_.end()) {
+    it = aged_library_cache_
+             .emplace(years, std::make_unique<DegradationAwareLibrary>(
+                                 *lib_, nominal_, years))
+             .first;
+  }
+  return *it->second;
+}
+
+double ClosedLoopRuntime::model_sta_delay(int precision,
+                                          double sensor_years) const {
+  const std::pair<int, double> key{precision, sensor_years};
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = sta_delay_cache_.find(key);
+    if (it != sta_delay_cache_.end()) return it->second;
+  }
+  // Compute outside the lock (netlist_for/aged_library lock internally); a
+  // racing duplicate computation yields the identical value.
+  const Netlist& nl = netlist_for(precision);
+  const Sta sta(nl, options_.sta);
+  double delay;
+  if (sensor_years <= 0.0) {
+    delay = sta.run_fresh().max_delay;
+  } else {
+    const DegradationAwareLibrary& aged = aged_library(sensor_years);
+    const StressProfile stress =
+        StressProfile::uniform(options_.stress, nl.num_gates());
+    delay = sta.run_aged(aged, stress).max_delay;
+  }
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  sta_delay_cache_.emplace(key, delay);
+  return delay;
 }
 
 StimulusSet ClosedLoopRuntime::make_stimulus(std::size_t count,
@@ -88,11 +130,9 @@ namespace {
 /// against the injector's faulted delays at the current wall-clock age.
 class RuntimeHooks final : public DegradationController::VerifyHooks {
  public:
-  RuntimeHooks(const ClosedLoopRuntime& runtime, const CellLibrary& lib,
-               const BtiModel& nominal, const FaultInjector& faults,
+  RuntimeHooks(const ClosedLoopRuntime& runtime, const FaultInjector& faults,
                const CampaignOptions& campaign)
-      : runtime_(runtime), lib_(lib), nominal_(nominal), faults_(faults),
-        campaign_(campaign) {}
+      : runtime_(runtime), faults_(faults), campaign_(campaign) {}
 
   void set_epoch(int epoch, double years) {
     epoch_ = epoch;
@@ -100,14 +140,10 @@ class RuntimeHooks final : public DegradationController::VerifyHooks {
   }
 
   double sta_delay(int precision, double sensor_years) override {
-    const RuntimeOptions& opt = runtime_.options();
-    const Netlist& nl = runtime_.netlist_for(precision);
-    const Sta sta(nl, opt.sta);
-    if (sensor_years <= 0.0) return sta.run_fresh().max_delay;
-    const DegradationAwareLibrary aged(lib_, nominal_, sensor_years);
-    const StressProfile stress =
-        StressProfile::uniform(opt.stress, nl.num_gates());
-    return sta.run_aged(aged, stress).max_delay;
+    // Memoized on the runtime: the controller re-queries the same
+    // (precision, sensor age) points across epochs, and each query used to
+    // rebuild a full degradation-aware library.
+    return runtime_.model_sta_delay(precision, sensor_years);
   }
 
   BurstResult burst(int precision) override {
@@ -124,10 +160,12 @@ class RuntimeHooks final : public DegradationController::VerifyHooks {
                                static_cast<std::uint64_t>(precision);
     const StimulusSet stim =
         runtime_.make_stimulus(campaign_.verify_vectors, seed);
+    std::vector<const std::vector<NetId>*> bus_nets;
+    for (const auto& bus : stim.buses) bus_nets.push_back(&nl.input_bus(bus));
     BurstResult result;
     for (const auto& row : stim.vectors) {
-      for (std::size_t b = 0; b < stim.buses.size(); ++b) {
-        sim.stage_bus(stim.buses[b], row[b]);
+      for (std::size_t b = 0; b < bus_nets.size(); ++b) {
+        sim.stage_word(*bus_nets[b], row[b]);
       }
       const bool error = sim.step_staged(t_clock);
       const double settle = sim.last_output_settle_time();
@@ -142,8 +180,6 @@ class RuntimeHooks final : public DegradationController::VerifyHooks {
 
  private:
   const ClosedLoopRuntime& runtime_;
-  const CellLibrary& lib_;
-  const BtiModel& nominal_;
   const FaultInjector& faults_;
   const CampaignOptions& campaign_;
   int epoch_ = 0;
@@ -179,7 +215,7 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
   ccfg.precision_floor = std::max(ccfg.precision_floor, options_.min_precision);
   DegradationController controller(schedule_, ccfg);
   AgingSensor sensor = faults.make_sensor();
-  RuntimeHooks hooks(*this, *lib_, nominal_, faults, campaign);
+  RuntimeHooks hooks(*this, faults, campaign);
 
   int open_precision = schedule_.steps.front().precision;
   for (int e = 1; e <= campaign.epochs; ++e) {
@@ -205,14 +241,16 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
     sim.reset();
     const StimulusSet stim =
         make_stimulus(campaign.vectors_per_epoch, campaign.stimulus_seed + e);
+    std::vector<const std::vector<NetId>*> bus_nets;
+    for (const auto& bus : stim.buses) bus_nets.push_back(&nl.input_bus(bus));
 
     EpochReport report;
     report.epoch = e;
     report.years = years;
     report.precision = precision;
     for (const auto& row : stim.vectors) {
-      for (std::size_t b = 0; b < stim.buses.size(); ++b) {
-        sim.stage_bus(stim.buses[b], row[b]);
+      for (std::size_t b = 0; b < bus_nets.size(); ++b) {
+        sim.stage_word(*bus_nets[b], row[b]);
       }
       const bool error = sim.step_staged(t_clock);
       const double settle = sim.last_output_settle_time();

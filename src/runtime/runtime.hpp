@@ -19,6 +19,9 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
 #include <vector>
 
 #include "core/adaptive.hpp"
@@ -97,6 +100,11 @@ class ClosedLoopRuntime {
 
   /// The (cached) synthesized component at one precision step.
   const Netlist& netlist_for(int precision) const;
+  /// The (cached) degradation-aware library under the nominal BTI model.
+  const DegradationAwareLibrary& aged_library(double years) const;
+  /// Model-side aged STA delay at one (precision, sensor age) point, memoized
+  /// — verification re-queries the same points across epochs.
+  double model_sta_delay(int precision, double sensor_years) const;
   /// The campaign workload generator for this component kind.
   StimulusSet make_stimulus(std::size_t count, std::uint64_t seed) const;
 
@@ -105,7 +113,13 @@ class ClosedLoopRuntime {
   BtiModel nominal_;
   RuntimeOptions options_;
   AdaptiveSchedule schedule_;
+  /// All caches are guarded by cache_mutex_ so concurrent campaigns (e.g. the
+  /// open/closed pair a benchmark runs in parallel) can share one runtime.
+  mutable std::mutex cache_mutex_;
   mutable std::map<int, Netlist> netlist_cache_;
+  mutable std::map<double, std::unique_ptr<DegradationAwareLibrary>>
+      aged_library_cache_;
+  mutable std::map<std::pair<int, double>, double> sta_delay_cache_;
 };
 
 }  // namespace aapx

@@ -5,6 +5,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace aapx {
@@ -85,20 +86,36 @@ VariationResult MonteCarloSta::run(const Sta::GateDelays& base,
   if (samples <= 0) throw std::invalid_argument("MonteCarloSta: samples > 0");
   Rng rng(params_.seed);
   VariationResult result;
-  result.samples.reserve(static_cast<std::size_t>(samples));
+  const std::size_t n = static_cast<std::size_t>(samples);
+  const std::size_t gates = base.rise.size();
+  result.samples.resize(n);
   // Mean-one lognormal: exp(sigma*z - sigma^2/2).
   const auto lognormal = [&](double sigma) {
     return std::exp(sigma * rng.next_normal() - 0.5 * sigma * sigma);
   };
-  Sta::GateDelays die = base;
-  for (int s = 0; s < samples; ++s) {
-    const double global = lognormal(params_.global_sigma);
-    for (std::size_t g = 0; g < base.rise.size(); ++g) {
-      const double factor = global * lognormal(params_.local_sigma);
-      die.rise[g] = base.rise[g] * factor;
-      die.fall[g] = base.fall[g] * factor;
+  // Factors are drawn serially in blocks — the RNG stream is consumed in
+  // exactly the sequential order — then the longest-path analyses run in
+  // parallel into index-owned slots, so the distribution is bit-identical
+  // to a serial run at any thread count.
+  constexpr std::size_t kBlock = 64;
+  std::vector<double> factors;
+  for (std::size_t first = 0; first < n; first += kBlock) {
+    const std::size_t count = std::min(kBlock, n - first);
+    factors.assign(count * gates, 1.0);
+    for (std::size_t s = 0; s < count; ++s) {
+      const double global = lognormal(params_.global_sigma);
+      for (std::size_t g = 0; g < gates; ++g) {
+        factors[s * gates + g] = global * lognormal(params_.local_sigma);
+      }
     }
-    result.samples.push_back(max_delay_with(*nl_, die));
+    parallel_for(count, [&](std::size_t s) {
+      Sta::GateDelays die = base;
+      for (std::size_t g = 0; g < gates; ++g) {
+        die.rise[g] = base.rise[g] * factors[s * gates + g];
+        die.fall[g] = base.fall[g] * factors[s * gates + g];
+      }
+      result.samples[first + s] = max_delay_with(*nl_, die);
+    });
   }
   std::sort(result.samples.begin(), result.samples.end());
   return result;

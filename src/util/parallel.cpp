@@ -1,0 +1,158 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace aapx {
+namespace {
+
+std::atomic<int> g_num_threads_override{0};
+thread_local bool t_in_parallel_region = false;
+
+/// A lazily grown, process-lifetime pool. One job at a time (parallel_for is
+/// a barrier); every pool worker joins every job and self-schedules chunks
+/// off a shared atomic cursor, so a generation counter is all the handshake
+/// needed. Workers are detached: at process exit they are parked in wait().
+class ThreadPool {
+ public:
+  static ThreadPool& instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked; workers never join
+    return *pool;
+  }
+
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn,
+           int threads) {
+    std::unique_lock<std::mutex> job_lock(job_mutex_);
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      while (static_cast<int>(num_workers_) < threads - 1) {
+        std::thread t([this, gen = generation_] { worker_loop(gen); });
+        t.detach();
+        ++num_workers_;
+      }
+      fn_ = &fn;
+      n_ = n;
+      next_.store(0);
+      // Chunked self-scheduling: big enough to amortize the atomic, small
+      // enough to balance uneven bodies. Results are index-addressed, so
+      // scheduling order never affects them.
+      chunk_ = n / (static_cast<std::size_t>(threads) * 8) + 1;
+      active_ = num_workers_;
+      error_ = nullptr;
+      ++generation_;
+    }
+    cv_.notify_all();
+    work();  // the caller is a worker too
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      done_cv_.wait(lk, [&] { return active_ == 0; });
+      fn_ = nullptr;
+      error = error_;
+      error_ = nullptr;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void worker_loop(std::uint64_t seen) {
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(mutex_);
+        cv_.wait(lk, [&] { return generation_ != seen; });
+        seen = generation_;
+      }
+      work();
+      {
+        std::lock_guard<std::mutex> lk(mutex_);
+        --active_;
+        if (active_ == 0) done_cv_.notify_all();
+      }
+    }
+  }
+
+  void work() {
+    t_in_parallel_region = true;
+    const std::function<void(std::size_t)>* fn;
+    std::size_t n, chunk;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      fn = fn_;
+      n = n_;
+      chunk = chunk_;
+    }
+    for (;;) {
+      const std::size_t begin = next_.fetch_add(chunk);
+      if (begin >= n) break;
+      const std::size_t end = std::min(n, begin + chunk);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lk(mutex_);
+          if (!error_) error_ = std::current_exception();
+          next_.store(n);  // stop handing out further chunks
+        }
+      }
+    }
+    t_in_parallel_region = false;
+  }
+
+  std::mutex job_mutex_;  ///< serializes top-level parallel_for calls
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable done_cv_;
+  std::size_t num_workers_ = 0;
+  const std::function<void(std::size_t)>* fn_ = nullptr;
+  std::size_t n_ = 0;
+  std::size_t chunk_ = 1;
+  std::atomic<std::size_t> next_{0};
+  std::size_t active_ = 0;
+  std::uint64_t generation_ = 0;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+int hardware_threads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+int num_threads() {
+  const int forced = g_num_threads_override.load(std::memory_order_relaxed);
+  if (forced > 0) return forced;
+  if (const char* env = std::getenv("AAPX_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return hardware_threads();
+}
+
+void set_num_threads(int threads) {
+  if (threads < 0) throw std::invalid_argument("set_num_threads: negative");
+  g_num_threads_override.store(threads, std::memory_order_relaxed);
+}
+
+bool in_parallel_region() { return t_in_parallel_region; }
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads) {
+  if (threads <= 0) threads = num_threads();
+  if (static_cast<std::size_t>(threads) > n) threads = static_cast<int>(n);
+  if (n <= 1 || threads <= 1 || t_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool::instance().run(n, fn, threads);
+}
+
+}  // namespace aapx

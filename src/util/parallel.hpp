@@ -1,0 +1,44 @@
+// Thread-pooled parallel_for for the embarrassingly-parallel grains of the
+// flow: precision points in characterization, Monte-Carlo dies, stimulus
+// batches, campaign runs and image decodes.
+//
+// Determinism contract: parallel_for(n, fn) calls fn(i) exactly once for
+// every i in [0, n); each body must write only to state owned by index i
+// (its own result slot). Under that discipline results are bit-identical to
+// a serial loop regardless of thread count or scheduling, which is what the
+// determinism tests assert. Shared *read-only* state (netlists, libraries,
+// prewarmed caches) is safe; shared mutable state needs its own lock.
+//
+// Nested parallel_for calls run serially in the calling worker — the outer
+// grain already owns the pool, and the inner loop stays deterministic.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace aapx {
+
+/// Hardware concurrency, at least 1.
+int hardware_threads();
+
+/// Worker count parallel_for uses when `threads == 0`:
+/// set_num_threads() override, else AAPX_THREADS env var, else hardware.
+int num_threads();
+
+/// Overrides the global default worker count (0 = back to automatic).
+/// The `aapx` CLI's -j flag and the benches' --threads flag land here.
+void set_num_threads(int threads);
+
+/// Runs fn(i) for every i in [0, n), distributing chunks over `threads`
+/// workers (0 = num_threads()). Falls back to a plain serial loop when n is
+/// tiny, when only one thread is configured, or when already inside a
+/// parallel_for body. The first exception thrown by any body is rethrown on
+/// the caller after all workers finish.
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  int threads = 0);
+
+/// True while executing inside a parallel_for body on any thread (used to
+/// serialize nested parallelism).
+bool in_parallel_region();
+
+}  // namespace aapx

@@ -1,0 +1,93 @@
+// Thread-count determinism: every parallel_for grain writes only to its own
+// index slot, so characterization, Monte-Carlo STA and measured-stress
+// extraction must produce bit-identical results at any worker count.
+#include <gtest/gtest.h>
+
+#include "core/characterizer.hpp"
+#include "core/stimulus.hpp"
+#include "sta/variation.hpp"
+#include "synth/components.hpp"
+#include "util/parallel.hpp"
+
+namespace aapx {
+namespace {
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_num_threads(0); }
+
+  CellLibrary lib_ = make_nangate45_like();
+  BtiModel model_;
+};
+
+TEST_F(DeterminismTest, CharacterizeBitIdenticalAcrossThreadCounts) {
+  CharacterizerOptions opt;
+  opt.min_precision = 11;
+  const ComponentCharacterizer ch(lib_, model_, opt);
+  const ComponentSpec spec{ComponentKind::adder, 16, 0, AdderArch::cla4,
+                           MultArch::array};
+  const StimulusSet stim = make_normal_stimulus(16, 64, 3);
+  const std::vector<AgingScenario> scenarios = {
+      {StressMode::worst, 10.0},
+      {StressMode::balanced, 5.0},
+      {StressMode::measured, 10.0}};
+
+  set_num_threads(1);
+  const auto serial = ch.characterize(spec, scenarios, &stim);
+  set_num_threads(4);
+  const auto pooled = ch.characterize(spec, scenarios, &stim);
+
+  ASSERT_EQ(serial.points.size(), pooled.points.size());
+  for (std::size_t i = 0; i < serial.points.size(); ++i) {
+    const auto& a = serial.points[i];
+    const auto& b = pooled.points[i];
+    EXPECT_EQ(a.precision, b.precision);
+    EXPECT_EQ(a.gates, b.gates);
+    // Exact equality on purpose: same floating-point operations in the same
+    // order, whichever worker evaluates the precision point.
+    EXPECT_EQ(a.fresh_delay, b.fresh_delay);
+    EXPECT_EQ(a.area, b.area);
+    ASSERT_EQ(a.aged_delay.size(), b.aged_delay.size());
+    for (std::size_t s = 0; s < a.aged_delay.size(); ++s) {
+      EXPECT_EQ(a.aged_delay[s], b.aged_delay[s]) << "point " << i
+                                                  << " scenario " << s;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, MonteCarloBitIdenticalAcrossThreadCounts) {
+  const Netlist nl = make_component(
+      lib_, {ComponentKind::adder, 16, 0, AdderArch::ripple, MultArch::array});
+  VariationParams params;
+  params.seed = 42;
+  const MonteCarloSta mc(nl, params);
+
+  set_num_threads(1);
+  const VariationResult serial = mc.run_fresh(150);
+  set_num_threads(4);
+  const VariationResult pooled = mc.run_fresh(150);
+
+  ASSERT_EQ(serial.samples.size(), pooled.samples.size());
+  for (std::size_t s = 0; s < serial.samples.size(); ++s) {
+    EXPECT_EQ(serial.samples[s], pooled.samples[s]) << "die " << s;
+  }
+}
+
+TEST_F(DeterminismTest, MeasuredDutyBitIdenticalAcrossThreadCounts) {
+  const Netlist nl = make_component(
+      lib_, {ComponentKind::adder, 16, 0, AdderArch::cla4, MultArch::array});
+  const StimulusSet stim = make_normal_stimulus(16, 300, 5);
+
+  set_num_threads(1);
+  const std::vector<double> serial = measure_gate_duty(nl, stim);
+  set_num_threads(4);
+  const std::vector<double> pooled = measure_gate_duty(nl, stim);
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t g = 0; g < serial.size(); ++g) {
+    EXPECT_EQ(serial[g], pooled[g]) << "gate " << g;
+  }
+}
+
+}  // namespace
+}  // namespace aapx

@@ -26,6 +26,7 @@
 #include "netlist/verilog.hpp"
 #include "runtime/runtime.hpp"
 #include "sta/sdf.hpp"
+#include "util/parallel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -100,6 +101,7 @@ Args parse_args(int argc, char** argv) {
   args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
+    if (key == "-j") key = "--threads";  // make-style worker-count shorthand
     if (key.rfind("--", 0) != 0) {
       throw std::runtime_error("expected --option, got " + key);
     }
@@ -414,6 +416,10 @@ commands:
       --sensor-gain G --sensor-offset Y --sensor-noise SIGMA  --seed S
       --canary-margin M --canary-trip N
   help            this text
+
+global options:
+  --threads N | -j N   worker threads for parallel sweeps (default: all
+                       cores, or the AAPX_THREADS environment variable)
 )");
   return 0;
 }
@@ -423,6 +429,11 @@ commands:
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    if (args.has("threads")) {
+      const int threads = args.get_int("threads", 0);
+      if (threads < 1) throw std::runtime_error("--threads must be >= 1");
+      set_num_threads(threads);
+    }
     if (args.command == "characterize") return cmd_characterize(args);
     if (args.command == "flow") return cmd_flow(args);
     if (args.command == "schedule") return cmd_schedule(args);
