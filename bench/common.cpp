@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 #include "gatesim/timedsim.hpp"
 #include "image/synthetic.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 
 namespace aapx::bench {
@@ -34,6 +37,21 @@ double arg_double(int argc, char** argv, const std::string& flag,
   return fallback;
 }
 
+std::string arg_str(int argc, char** argv, const std::string& flag,
+                    const std::string& fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (flag == argv[i]) return argv[i + 1];
+  }
+  return fallback;
+}
+
+std::string out_path(int argc, char** argv, const std::string& filename) {
+  const std::string dir = arg_str(argc, argv, "--outdir", "");
+  if (dir.empty()) return filename;
+  std::filesystem::create_directories(dir);
+  return (std::filesystem::path(dir) / filename).string();
+}
+
 namespace {
 
 std::string json_num(double v) {
@@ -50,6 +68,9 @@ BenchJson::BenchJson(std::string name, int argc, char** argv)
                               arg_int(argc, argv, "-j", 0));
   if (threads > 0) set_num_threads(threads);
   baseline_wall_s_ = arg_double(argc, argv, "--baseline-wall", 0.0);
+  trace_path_ = arg_str(argc, argv, "--trace", "");
+  metrics_path_ = arg_str(argc, argv, "--metrics", "");
+  if (!trace_path_.empty()) obs::Tracer::instance().start();
   start_ = std::chrono::steady_clock::now();
 }
 
@@ -65,6 +86,21 @@ BenchJson::~BenchJson() {
   const double wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
+  if (!trace_path_.empty()) {
+    if (!obs::Tracer::instance().stop_and_write_file(trace_path_)) {
+      std::fprintf(stderr, "bench: cannot write --trace file %s\n",
+                   trace_path_.c_str());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    std::ofstream os(metrics_path_);
+    if (os) {
+      obs::metrics().write_json(os);
+    } else {
+      std::fprintf(stderr, "bench: cannot write --metrics file %s\n",
+                   metrics_path_.c_str());
+    }
+  }
   std::ofstream out("BENCH_" + name_ + ".json");
   if (!out) return;
   out << "{\n";
@@ -84,6 +120,9 @@ BenchJson::~BenchJson() {
   for (const auto& [key, value] : metrics_) {
     out << ",\n  \"" << key << "\": " << value;
   }
+  // Snapshot of the process metrics registry (cache hit/miss counters, sim
+  // statistics, pool utilization) so each BENCH file is self-describing.
+  out << ",\n  \"metrics_registry\": " << obs::metrics().to_json();
   out << "\n}\n";
 }
 

@@ -78,15 +78,29 @@ int arg_int(int argc, char** argv, const std::string& flag, int fallback);
 double arg_double(int argc, char** argv, const std::string& flag,
                   double fallback);
 
+/// Value of "--flag text" or fallback.
+std::string arg_str(int argc, char** argv, const std::string& flag,
+                    const std::string& fallback);
+
+/// Joins "--outdir D" (created on first use) with `filename`; falls back to
+/// the working directory when --outdir was not passed. All bench/example
+/// image outputs route through this so runs don't litter the repo root.
+std::string out_path(int argc, char** argv, const std::string& filename);
+
 /// Machine-readable bench telemetry.
 ///
 /// Constructing a BenchJson starts the wall timer and applies the shared
 /// "--threads N" / "-j N" flags to the process-wide worker-pool size;
 /// destruction writes BENCH_<name>.json into the working directory with the
 /// wall time, thread count, event throughput (when the bench reported
-/// events), any custom metrics, and — when the caller passed
+/// events), any custom metrics, a snapshot of the process metrics registry
+/// ("metrics_registry"), and — when the caller passed
 /// "--baseline-wall <seconds>" (measured wall time of a reference binary) —
 /// the speedup against that baseline.
+///
+/// The shared instrumentation flags also apply to every bench:
+/// "--trace <file>" collects a Chrome trace across the bench and writes it
+/// at destruction; "--metrics <file>" writes the registry snapshot JSON.
 class BenchJson {
  public:
   BenchJson(std::string name, int argc, char** argv);
@@ -104,6 +118,8 @@ class BenchJson {
   double baseline_wall_s_ = 0.0;
   std::uint64_t events_ = 0;
   std::vector<std::pair<std::string, std::string>> metrics_;
+  std::string trace_path_;
+  std::string metrics_path_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -15,7 +15,7 @@ using namespace aapx::bench;
 
 int main(int argc, char** argv) {
   print_banner("Fig. 9 — example images after 10Y WC approximation",
-               "Decoded frames written as fig9_<name>.pgm.");
+               "Decoded frames written as fig9_<name>.pgm (see --outdir).");
   BenchJson bench_json("fig9_example_images", argc, argv);
   Config cfg;
   const bool fast = fast_mode(argc, argv);
@@ -33,21 +33,27 @@ int main(int argc, char** argv) {
   constexpr std::size_t n_rows = std::size(rows);
 
   // Each frame decodes through its own backend (multiply mutates backend
-  // state) and writes its own PGM + PSNR slot.
+  // state) and writes its own PGM + PSNR slot. Paths are resolved before the
+  // loop: out_path may create --outdir, which should happen exactly once.
+  std::vector<std::string> files(n_rows);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    files[i] =
+        out_path(argc, argv, std::string("fig9_") + rows[i].name + ".pgm");
+  }
   std::vector<double> db(n_rows);
   parallel_for(n_rows, [&](std::size_t i) {
     ExactBackend be(codec.width, truncated, 0);
     FixedPointIdct idct(codec, be);
     const Image img = make_video_trace_frame(rows[i].name, w, h);
     const Image out = idct.decode(encode_and_quantize(img, codec));
-    out.save_pgm(std::string("fig9_") + rows[i].name + ".pgm");
+    out.save_pgm(files[i]);
     db[i] = psnr(img, out);
   });
 
   TextTable table({"sequence", "PSNR [dB]", "paper [dB]", "file"});
   for (std::size_t i = 0; i < n_rows; ++i) {
     table.add_row({rows[i].name, TextTable::num(db[i], 1), rows[i].paper,
-                   std::string("fig9_") + rows[i].name + ".pgm"});
+                   files[i]});
   }
   table.print(std::cout);
   std::printf("\n(paper: \"even for the 'mobile' image with 28 dB PSNR, image "

@@ -1,6 +1,6 @@
 // Image pipeline example: run the paper's whole story on one image.
 //
-//   build/examples/image_pipeline [sequence] [years]
+//   build/examples/image_pipeline [sequence] [years] [--outdir D]
 //
 // 1. Runs the microarchitecture flow (paper Fig. 6) on the IDCT design for
 //    the requested lifetime under worst-case aging.
@@ -12,7 +12,9 @@
 // 3. Writes all frames as PGM files and prints the PSNR comparison.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "core/microarch.hpp"
 #include "image/synthetic.hpp"
@@ -20,8 +22,27 @@
 
 int main(int argc, char** argv) {
   using namespace aapx;
-  const std::string sequence = argc > 1 ? argv[1] : "foreman";
-  const double years = argc > 2 ? std::atof(argv[2]) : 10.0;
+  // Positional args ([sequence] [years]) plus the shared --outdir flag for
+  // routing the PGM outputs away from the working directory.
+  std::string outdir;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--outdir" && i + 1 < argc) {
+      outdir = argv[++i];
+    } else {
+      positional.push_back(a);
+    }
+  }
+  const std::string sequence = !positional.empty() ? positional[0] : "foreman";
+  const double years =
+      positional.size() > 1 ? std::atof(positional[1].c_str()) : 10.0;
+  if (!outdir.empty()) std::filesystem::create_directories(outdir);
+  const auto out = [&](const char* name) {
+    return outdir.empty()
+               ? std::string(name)
+               : (std::filesystem::path(outdir) / name).string();
+  };
 
   const CellLibrary lib = make_nangate45_like();
   const BtiModel bti;
@@ -90,10 +111,10 @@ int main(int argc, char** argv) {
       FixedPointIdct(codec, naive_be).decode(encode_and_quantize(small, codec));
 
   // --- report --------------------------------------------------------------
-  img.save_pgm("pipeline_original.pgm");
-  fresh.save_pgm("pipeline_fresh.pgm");
-  approx.save_pgm("pipeline_approx.pgm");
-  naive.save_pgm("pipeline_naive_aged.pgm");
+  img.save_pgm(out("pipeline_original.pgm"));
+  fresh.save_pgm(out("pipeline_fresh.pgm"));
+  approx.save_pgm(out("pipeline_approx.pgm"));
+  naive.save_pgm(out("pipeline_naive_aged.pgm"));
   std::printf("\n%-28s %6.1f dB  (pipeline_fresh.pgm)\n",
               "fresh full precision:", psnr(img, fresh));
   std::printf("%-28s %6.1f dB  (pipeline_approx.pgm)\n",

@@ -4,6 +4,9 @@
 #include <string>
 
 #include "netlist/stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "synth/components.hpp"
 #include "util/parallel.hpp"
 
@@ -23,13 +26,20 @@ const DegradationAwareLibrary& ComponentCharacterizer::degradation_for(
   // Build outside the lock would allow duplicate work; the build is the
   // expensive part but happens once per lifetime value, so holding the lock
   // keeps the cache simple and the returned reference stable.
+  static obs::Counter& hits =
+      obs::metrics().counter("characterizer.degradation_cache_hits");
+  static obs::Counter& misses =
+      obs::metrics().counter("characterizer.degradation_cache_misses");
   std::lock_guard<std::mutex> lock(degradation_mutex_);
   auto it = degradation_cache_.find(years);
   if (it == degradation_cache_.end()) {
+    misses.add();
     it = degradation_cache_
              .emplace(years, std::make_unique<DegradationAwareLibrary>(
                                  *lib_, model_, years))
              .first;
+  } else {
+    hits.add();
   }
   return *it->second;
 }
@@ -80,6 +90,7 @@ ComponentCharacterization ComponentCharacterizer::characterize(
       throw std::invalid_argument("characterize: negative scenario years");
     }
   }
+  obs::Span span("characterize");
   ComponentCharacterization result;
   result.base = base;
   result.scenarios = scenarios;
@@ -101,6 +112,7 @@ ComponentCharacterization ComponentCharacterizer::characterize(
   // its own result slot, so the surface is bit-identical at any thread count.
   parallel_for(precisions.size(), [&](std::size_t i) {
     const int k = precisions[i];
+    obs::Span point_span("characterize.point", static_cast<std::uint64_t>(k));
     ComponentSpec spec = base;
     spec.truncated_bits = base.width - k;
     const Netlist nl = make_component(*lib_, spec);
@@ -118,6 +130,26 @@ ComponentCharacterization ComponentCharacterizer::characterize(
     }
     result.points[i] = std::move(point);
   });
+
+  // Run-log emission happens after the barrier, in index order, so the JSONL
+  // output is byte-identical at any thread count.
+  obs::RunLog& log = obs::RunLog::instance();
+  if (log.enabled() && !in_parallel_region()) {
+    obs::JsonWriter start;
+    start.field("component", base.name())
+        .field("points", static_cast<std::uint64_t>(result.points.size()))
+        .field("scenarios", static_cast<std::uint64_t>(scenarios.size()));
+    log.emit("sweep_start", start);
+    for (const PrecisionPoint& p : result.points) {
+      obs::JsonWriter w;
+      w.field("component", base.name())
+          .field("precision", p.precision)
+          .field("fresh_ps", p.fresh_delay)
+          .field("gates", static_cast<std::uint64_t>(p.gates))
+          .field("area", p.area);
+      log.emit("sweep_point", w);
+    }
+  }
   return result;
 }
 

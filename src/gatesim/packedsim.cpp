@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+
 namespace aapx {
 namespace {
 
@@ -58,11 +60,19 @@ void PackedFuncSim::set_input_lanes(NetId net, std::uint64_t lanes) {
   values_[net] = lanes;
 }
 
+PackedFuncSim::~PackedFuncSim() {
+  static obs::Counter& evals = obs::metrics().counter("packedsim.evals");
+  static obs::Counter& lanes = obs::metrics().counter("packedsim.lanes_used");
+  evals.add(evals_);
+  lanes.add(lanes_used_);
+}
+
 void PackedFuncSim::set_bus(const std::string& bus,
                             std::span<const std::uint64_t> lane_values) {
   if (lane_values.size() > static_cast<std::size_t>(kLanes)) {
     throw std::invalid_argument("PackedFuncSim::set_bus: more than 64 lanes");
   }
+  last_staged_lanes_ = static_cast<int>(lane_values.size());
   const auto& nets = nl_->input_bus(bus);
   for (std::size_t i = 0; i < nets.size(); ++i) {
     if (nl_->is_constant(nets[i])) continue;  // truncated LSBs stay constant
@@ -77,6 +87,8 @@ void PackedFuncSim::set_bus(const std::string& bus,
 }
 
 void PackedFuncSim::eval() {
+  ++evals_;
+  lanes_used_ += static_cast<std::uint64_t>(last_staged_lanes_);
   std::uint64_t* const v = values_.data();
   for (const PackedGate& g : gates_) {
     v[g.fanout] =

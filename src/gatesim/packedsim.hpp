@@ -27,6 +27,9 @@ class PackedFuncSim {
   static constexpr int kLanes = 64;
 
   explicit PackedFuncSim(const Netlist& nl);
+  /// Flushes per-instance statistics (evals, lane utilization) into the
+  /// process metrics registry — one registry touch per sim lifetime.
+  ~PackedFuncSim();
 
   /// Sets a primary input net's value in all 64 lanes at once
   /// (bit j = value in lane j).
@@ -66,6 +69,13 @@ class PackedFuncSim {
   const Netlist* nl_;
   std::vector<PackedGate> gates_;        ///< in topological order
   std::vector<std::uint64_t> values_;    ///< per net, one bit per lane
+  /// Lane-utilization accounting (plain members, flushed at destruction):
+  /// evals_ counts eval() calls; lanes_staged_ sums the staged lane count of
+  /// the most recent set_bus before each eval (kLanes when inputs were set
+  /// via set_input_lanes only — a full word is in flight either way).
+  std::uint64_t evals_ = 0;
+  std::uint64_t lanes_used_ = 0;
+  int last_staged_lanes_ = kLanes;
 };
 
 }  // namespace aapx

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "gatesim/funcsim.hpp"
+#include "obs/metrics.hpp"
 
 namespace aapx {
 
@@ -82,8 +83,18 @@ TimedSim::TimedSim(const Netlist& nl, Sta::GateDelays delays, DelayModel model)
   reset();
 }
 
+TimedSim::~TimedSim() {
+  static obs::Counter& events = obs::metrics().counter("timedsim.events");
+  static obs::Counter& steps = obs::metrics().counter("timedsim.steps");
+  static obs::Gauge& depth = obs::metrics().gauge("timedsim.max_queue_depth");
+  events.add(events_processed_);
+  steps.add(step_id_);
+  depth.update_max(static_cast<double>(max_queue_depth_));
+}
+
 void TimedSim::push_event(Event ev) {
   heap_.push_back(ev);
+  if (heap_.size() > max_queue_depth_) max_queue_depth_ = heap_.size();
   std::push_heap(heap_.begin(), heap_.end(), std::greater<Event>{});
 }
 

@@ -45,6 +45,10 @@ class TimedSim {
   /// `delays` come from Sta::gate_delays (fresh or aged).
   TimedSim(const Netlist& nl, Sta::GateDelays delays,
            DelayModel model = DelayModel::inertial);
+  /// Flushes per-instance statistics (events, steps, peak queue depth) into
+  /// the process metrics registry — one registry touch per sim lifetime,
+  /// never per event.
+  ~TimedSim();
 
   /// Initializes the settled state from the given PI assignment
   /// (held "for a long time"; no events are generated).
@@ -80,6 +84,9 @@ class TimedSim {
 
   /// Total events processed since construction (simulation cost metric).
   std::uint64_t events_processed() const noexcept { return events_processed_; }
+
+  /// Peak event-queue population since construction.
+  std::size_t max_queue_depth() const noexcept { return max_queue_depth_; }
 
   /// Time of the last applied value change in the most recent step — the
   /// settling time of that input transition (any net, including internal
@@ -159,6 +166,7 @@ class TimedSim {
   mutable Activity activity_;
   mutable std::vector<std::uint64_t> high_sync_;
   std::uint64_t events_processed_ = 0;
+  std::size_t max_queue_depth_ = 0;  ///< plain member; flushed at destruction
   std::uint32_t seq_ = 0;
   double last_settle_time_ = 0.0;
   double last_output_settle_time_ = 0.0;

@@ -1,0 +1,82 @@
+// Minimal JSON support for the observability layer: an escaping line/object
+// writer (trace files, metrics snapshots, JSONL run logs) and a small
+// recursive-descent parser (the `aapx report` reader and the trace/log
+// schema validators consume our own output with it). Zero dependencies —
+// this is the bottom of the obs stack and must stay standard-library-only.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aapx::obs {
+
+/// Escapes `s` for embedding between JSON double quotes (adds no quotes).
+std::string json_escape(std::string_view s);
+
+/// Compact numeric formatting for logs and traces ("%.10g": stable, short,
+/// and more precision than any logged quantity carries).
+std::string json_num(double v);
+
+/// Builds one JSON object incrementally. Field order is insertion order, so
+/// emitted lines are stable and diffable.
+class JsonWriter {
+ public:
+  JsonWriter& field(std::string_view key, std::string_view value);
+  JsonWriter& field(std::string_view key, const char* value);
+  JsonWriter& field(std::string_view key, double value);
+  JsonWriter& field(std::string_view key, std::int64_t value);
+  JsonWriter& field(std::string_view key, std::uint64_t value);
+  JsonWriter& field(std::string_view key, int value);
+  JsonWriter& field(std::string_view key, bool value);
+  /// Appends `raw_json` verbatim as the value (arrays, nested objects).
+  JsonWriter& raw_field(std::string_view key, std::string_view raw_json);
+  /// Appends all of `other`'s fields after this writer's own.
+  JsonWriter& append(const JsonWriter& other);
+
+  bool empty() const noexcept { return body_.empty(); }
+  /// Comma-joined fields without the surrounding braces (for composition).
+  const std::string& body() const noexcept { return body_; }
+  /// The complete object: "{...}".
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+/// Parsed JSON value. Object member order is preserved.
+struct JsonValue {
+  enum class Type { null, boolean, number, string, array, object };
+
+  Type type = Type::null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const noexcept { return type == Type::null; }
+  bool is_bool() const noexcept { return type == Type::boolean; }
+  bool is_number() const noexcept { return type == Type::number; }
+  bool is_string() const noexcept { return type == Type::string; }
+  bool is_array() const noexcept { return type == Type::array; }
+  bool is_object() const noexcept { return type == Type::object; }
+
+  /// Object member by key, or nullptr (also nullptr when not an object).
+  const JsonValue* find(std::string_view key) const;
+  /// Convenience typed lookups with fallback.
+  double num_or(std::string_view key, double fallback) const;
+  std::string str_or(std::string_view key, std::string_view fallback) const;
+};
+
+/// Parses one complete JSON document; the whole input must be consumed
+/// (trailing whitespace allowed). On failure returns nullopt and, when
+/// `error` is non-null, a one-line diagnostic with the byte offset.
+std::optional<JsonValue> json_parse(std::string_view text,
+                                    std::string* error = nullptr);
+
+}  // namespace aapx::obs

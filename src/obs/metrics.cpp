@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace aapx::obs {
+
+void Gauge::set(double v) noexcept {
+  value_.store(v, std::memory_order_relaxed);
+  update_max(v);
+}
+
+void Gauge::update_max(double v) noexcept {
+  double cur = max_.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+  double val = value_.load(std::memory_order_relaxed);
+  while (v > val &&
+         !value_.compare_exchange_weak(val, v, std::memory_order_relaxed)) {
+  }
+}
+
+void Gauge::reset() noexcept {
+  value_.store(0.0, std::memory_order_relaxed);
+  max_.store(0.0, std::memory_order_relaxed);
+}
+
+namespace {
+
+int bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // v < 1 and NaN both land in bucket 0
+  const int e = std::ilogb(v) + 1;
+  return e >= Histogram::kBuckets ? Histogram::kBuckets - 1 : e;
+}
+
+}  // namespace
+
+void Histogram::observe(double v) noexcept {
+  buckets_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+      1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::bucket_floor(int i) noexcept {
+  return i <= 0 ? 0.0 : std::ldexp(1.0, i - 1);
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // leaked on exit
+  return *registry;
+}
+
+MetricsRegistry& metrics() { return MetricsRegistry::instance(); }
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (gauges_.count(name) || histograms_.count(name)) {
+    throw std::logic_error("metric '" + name + "' already has another kind");
+  }
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || histograms_.count(name)) {
+    throw std::logic_error("metric '" + name + "' already has another kind");
+  }
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (counters_.count(name) || gauges_.count(name)) {
+    throw std::logic_error("metric '" + name + "' already has another kind");
+  }
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, std::make_pair(g->value(), g->max()));
+  }
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample sample;
+    sample.count = h->count();
+    sample.sum = h->sum();
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket(i);
+      if (n > 0) sample.buckets.emplace_back(i, n);
+    }
+    snap.histograms.emplace_back(name, std::move(sample));
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const MetricsSnapshot snap = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, vm] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) + "\":{\"value\":" + json_num(vm.first) +
+           ",\"max\":" + json_num(vm.second) + "}";
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(name) +
+           "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + json_num(h.sum) + ",\"buckets\":[";
+    bool bfirst = true;
+    for (const auto& [index, n] : h.buckets) {
+      if (!bfirst) out += ',';
+      bfirst = false;
+      out += "[" + std::to_string(index) + "," + std::to_string(n) + "]";
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  os << to_json() << "\n";
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace aapx::obs

@@ -1,0 +1,131 @@
+// Process-wide metrics registry: counters, gauges and log2-bucketed
+// histograms, addressable by name from anywhere in the flow.
+//
+// Overhead discipline — the registry is always on (there is no enable flag)
+// because the steady-state cost is designed to be unmeasurable:
+//
+//  * hot paths hold a reference obtained once (`static obs::Counter& c =
+//    obs::metrics().counter("x");`) so the name lookup happens one time,
+//  * Counter::add is a single relaxed atomic fetch_add,
+//  * per-object statistics (TimedSim events, PackedFuncSim lanes) accumulate
+//    in plain members and are flushed into the registry once, at object
+//    destruction — never per event.
+//
+// Values never feed back into any analysis, so instrumentation cannot change
+// results; reset() zeroes values but keeps every handle valid (node-stable
+// map of unique_ptrs).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aapx::obs {
+
+/// Monotonic event count. Relaxed increments: totals are exact, ordering
+/// against other metrics is not promised (and not needed).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value plus a running maximum (CAS loop, contention-free in
+/// practice: gauges are written at coarse grains).
+class Gauge {
+ public:
+  void set(double v) noexcept;
+  /// Raises the running maximum (and the value) to at least `v`.
+  void update_max(double v) noexcept;
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  double max() const noexcept { return max_.load(std::memory_order_relaxed); }
+  void reset() noexcept;
+
+ private:
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Histogram over non-negative measures with power-of-two buckets: bucket 0
+/// counts v < 1, bucket i (i >= 1) counts v in [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(double v) noexcept;
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Lower edge of bucket i (0 for bucket 0).
+  static double bucket_floor(int i) noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<double> sum_{0.0};
+};
+
+struct HistogramSample {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  /// (bucket index, count) for non-empty buckets only.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
+};
+
+/// Point-in-time copy of every registered metric, in name order.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// name -> (value, max)
+  std::vector<std::pair<std::string, std::pair<double, double>>> gauges;
+  std::vector<std::pair<std::string, HistogramSample>> histograms;
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Returns the metric with this name, creating it on first use. The
+  /// returned reference stays valid for the process lifetime (including
+  /// across reset()). Creating the same name as two different kinds throws.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string to_json() const;
+  void write_json(std::ostream& os) const;
+  /// Zeroes every metric value; handles remain valid. Test isolation only.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Shorthand for MetricsRegistry::instance().
+MetricsRegistry& metrics();
+
+}  // namespace aapx::obs

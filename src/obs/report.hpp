@@ -1,0 +1,94 @@
+// Offline analysis of the instrumentation artifacts: schema validation and
+// summarization of Chrome trace files, JSONL run logs and metrics snapshots.
+// Consumed by the `aapx report` subcommand and by the trace_schema tests;
+// returns plain data so callers own the presentation.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace aapx::obs {
+
+// --- trace files -----------------------------------------------------------
+
+/// Structural validation of a Chrome trace-event document as this layer
+/// emits it: object with a traceEvents array; every event an object with
+/// string "ph"/"name" and numeric "pid"/"tid" (plus numeric "ts" on B/E);
+/// per-tid B/E events balanced in stack (LIFO, matching names) order.
+/// Returns one message per violation; empty = valid.
+std::vector<std::string> validate_trace(const JsonValue& doc);
+
+/// Aggregated statistics of one span name.
+struct SpanStat {
+  std::string name;
+  std::uint64_t count = 0;
+  double incl_us = 0.0;  ///< summed inclusive time
+  double max_us = 0.0;   ///< longest single span
+};
+
+struct TraceSummary {
+  std::vector<SpanStat> spans;  ///< sorted by inclusive time, descending
+  std::size_t events = 0;       ///< B/E events (metadata excluded)
+  std::size_t threads = 0;      ///< distinct tids with at least one span
+  double wall_us = 0.0;         ///< max E timestamp seen
+};
+
+/// Summarizes a (valid) trace; unbalanced remnants are skipped, not fatal.
+TraceSummary summarize_trace(const JsonValue& doc);
+
+// --- JSONL run logs --------------------------------------------------------
+
+/// Reads one record per line. Blank lines are skipped; parse failures are
+/// reported into `errors` (line-numbered) and omitted from the result.
+std::vector<JsonValue> parse_jsonl(std::istream& is,
+                                   std::vector<std::string>* errors);
+
+/// Validates one run-log record: must be an object with a string "type";
+/// known types must carry their required fields with the right JSON types
+/// (unknown types are allowed — the schema is open). Empty = valid.
+std::vector<std::string> validate_log_record(const JsonValue& record);
+
+/// One row of the controller decision timeline (type == "control_event").
+struct DecisionRow {
+  int epoch = 0;
+  double years = 0.0;
+  double sensor_years = 0.0;
+  std::string trigger;
+  std::string outcome;
+  int from_precision = 0;
+  int to_precision = 0;
+  double sta_delay_ps = 0.0;
+};
+
+struct LogSummary {
+  /// (type, count) in first-appearance order.
+  std::vector<std::pair<std::string, std::uint64_t>> type_counts;
+  std::vector<DecisionRow> decisions;
+};
+
+LogSummary summarize_log(const std::vector<JsonValue>& records);
+
+// --- metrics snapshots -----------------------------------------------------
+
+/// Hit/miss pair derived from counters named "<name>_hits"/"<name>_misses".
+struct CacheRate {
+  std::string name;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  double rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits) / static_cast<double>(total);
+  }
+};
+
+/// Extracts every *_hits/*_misses counter pair from a metrics JSON document
+/// (as MetricsRegistry::to_json emits), sorted by name.
+std::vector<CacheRate> cache_rates_from_metrics(const JsonValue& doc);
+
+}  // namespace aapx::obs

@@ -1,0 +1,194 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace aapx::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct TraceEvent {
+  const char* name;  ///< string literal owned by the call site
+  double ts_us;
+  std::uint64_t arg;
+  char ph;  ///< 'B' or 'E'
+  bool has_arg;
+};
+
+struct ThreadBuf {
+  std::vector<TraceEvent> events;
+  std::string name;
+  int tid = 0;
+};
+
+/// Per-thread buffer cap; beyond it events are dropped (counted in the
+/// emitted metadata) instead of growing without bound.
+constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 22;
+
+thread_local ThreadBuf* t_buf = nullptr;
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mutex;
+  std::vector<std::unique_ptr<ThreadBuf>> threads;
+  Clock::time_point epoch{};
+  std::atomic<std::uint64_t> dropped{0};
+
+  ThreadBuf* this_thread() {
+    if (t_buf == nullptr) {
+      auto buf = std::make_unique<ThreadBuf>();
+      std::lock_guard<std::mutex> lock(mutex);
+      buf->tid = static_cast<int>(threads.size());
+      t_buf = buf.get();
+      threads.push_back(std::move(buf));
+    }
+    return t_buf;
+  }
+
+  void record(const char* name, char ph, std::uint64_t arg, bool has_arg) {
+    ThreadBuf* buf = this_thread();
+    if (buf->events.size() >= kMaxEventsPerThread) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    const double ts_us =
+        std::chrono::duration<double, std::micro>(Clock::now() - epoch)
+            .count();
+    buf->events.push_back({name, ts_us, arg, ph, has_arg});
+  }
+};
+
+Tracer::Impl& Tracer::impl() {
+  static Impl* impl = new Impl();  // leaked; thread buffers must outlive exit
+  return *impl;
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::enabled() const noexcept {
+  return const_cast<Tracer*>(this)->impl().enabled.load(
+      std::memory_order_relaxed);
+}
+
+void Tracer::start() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& buf : im.threads) buf->events.clear();
+  im.dropped.store(0, std::memory_order_relaxed);
+  im.epoch = Clock::now();
+  im.enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::stop_and_write(std::ostream& os) {
+  Impl& im = impl();
+  im.enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(im.mutex);
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& line) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n" << line;
+  };
+  emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+       "\"args\":{\"name\":\"aapx\"}}");
+  for (const auto& buf : im.threads) {
+    if (!buf->name.empty()) {
+      emit("{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(buf->tid) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+           json_escape(buf->name) + "\"}}");
+    }
+  }
+  for (const auto& buf : im.threads) {
+    for (const TraceEvent& ev : buf->events) {
+      std::string line = "{\"ph\":\"";
+      line += ev.ph;
+      line += "\",\"pid\":1,\"tid\":" + std::to_string(buf->tid) +
+              ",\"ts\":" + json_num(ev.ts_us) + ",\"name\":\"" +
+              json_escape(ev.name) + "\"";
+      if (ev.has_arg) {
+        line += ",\"args\":{\"n\":" + std::to_string(ev.arg) + "}";
+      }
+      line += "}";
+      emit(line);
+    }
+    buf->events.clear();
+  }
+  const std::uint64_t dropped = im.dropped.load(std::memory_order_relaxed);
+  if (dropped > 0) {
+    emit("{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"dropped_events\","
+         "\"args\":{\"n\":" + std::to_string(dropped) + "}}");
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::stop_and_write_file(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) {
+    discard();
+    return false;
+  }
+  stop_and_write(os);
+  return static_cast<bool>(os);
+}
+
+void Tracer::discard() {
+  Impl& im = impl();
+  im.enabled.store(false, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(im.mutex);
+  for (auto& buf : im.threads) buf->events.clear();
+  im.dropped.store(0, std::memory_order_relaxed);
+}
+
+std::size_t Tracer::event_count() const {
+  Impl& im = const_cast<Tracer*>(this)->impl();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  std::size_t n = 0;
+  for (const auto& buf : im.threads) n += buf->events.size();
+  return n;
+}
+
+void set_thread_name(const std::string& name) {
+  Tracer::Impl& im = Tracer::instance().impl();
+  ThreadBuf* buf = im.this_thread();
+  std::lock_guard<std::mutex> lock(im.mutex);
+  buf->name = name;
+}
+
+Span::Span(const char* name) noexcept : name_(nullptr) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  name_ = name;
+  tracer.impl().record(name, 'B', 0, false);
+}
+
+Span::Span(const char* name, std::uint64_t arg) noexcept : name_(nullptr) {
+  Tracer& tracer = Tracer::instance();
+  if (!tracer.enabled()) return;
+  name_ = name;
+  tracer.impl().record(name, 'B', arg, true);
+}
+
+Span::~Span() {
+  if (name_ == nullptr) return;
+  Tracer& tracer = Tracer::instance();
+  // If tracing stopped mid-span the B was already flushed or cleared; an E
+  // recorded now would be unbalanced, so drop it.
+  if (!tracer.enabled()) return;
+  tracer.impl().record(name_, 'E', 0, false);
+}
+
+}  // namespace aapx::obs

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "cell/degradation.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace aapx {
@@ -61,13 +62,20 @@ double FaultInjector::equivalent_nominal_years(double years) const {
 
 const DegradationAwareLibrary& FaultInjector::faulted_library(
     double years) const {
+  static obs::Counter& hits =
+      obs::metrics().counter("fault.library_cache_hits");
+  static obs::Counter& misses =
+      obs::metrics().counter("fault.library_cache_misses");
   std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = library_cache_.find(years);
   if (it == library_cache_.end()) {
+    misses.add();
     it = library_cache_
              .emplace(years, std::make_unique<DegradationAwareLibrary>(
                                  *lib_, faulted_model(years), years))
              .first;
+  } else {
+    hits.add();
   }
   return *it->second;
 }

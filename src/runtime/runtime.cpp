@@ -5,8 +5,12 @@
 
 #include "cell/degradation.hpp"
 #include "core/stimulus.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "sta/sta.hpp"
 #include "synth/components.hpp"
+#include "util/parallel.hpp"
 
 namespace aapx {
 
@@ -51,9 +55,17 @@ ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
 const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
   // std::map nodes are stable, so returned references survive later inserts;
   // the lock makes concurrent campaigns over one runtime safe.
+  static obs::Counter& hits =
+      obs::metrics().counter("runtime.netlist_cache_hits");
+  static obs::Counter& misses =
+      obs::metrics().counter("runtime.netlist_cache_misses");
   std::lock_guard<std::mutex> lock(cache_mutex_);
   const auto it = netlist_cache_.find(precision);
-  if (it != netlist_cache_.end()) return it->second;
+  if (it != netlist_cache_.end()) {
+    hits.add();
+    return it->second;
+  }
+  misses.add();
   if (precision < options_.min_precision ||
       precision > options_.component.width) {
     throw std::invalid_argument("ClosedLoopRuntime: precision out of range");
@@ -66,25 +78,40 @@ const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
 
 const DegradationAwareLibrary& ClosedLoopRuntime::aged_library(
     double years) const {
+  static obs::Counter& hits =
+      obs::metrics().counter("runtime.aged_library_cache_hits");
+  static obs::Counter& misses =
+      obs::metrics().counter("runtime.aged_library_cache_misses");
   std::lock_guard<std::mutex> lock(cache_mutex_);
   auto it = aged_library_cache_.find(years);
   if (it == aged_library_cache_.end()) {
+    misses.add();
     it = aged_library_cache_
              .emplace(years, std::make_unique<DegradationAwareLibrary>(
                                  *lib_, nominal_, years))
              .first;
+  } else {
+    hits.add();
   }
   return *it->second;
 }
 
 double ClosedLoopRuntime::model_sta_delay(int precision,
                                           double sensor_years) const {
+  static obs::Counter& hits =
+      obs::metrics().counter("runtime.sta_delay_cache_hits");
+  static obs::Counter& misses =
+      obs::metrics().counter("runtime.sta_delay_cache_misses");
   const std::pair<int, double> key{precision, sensor_years};
   {
     std::lock_guard<std::mutex> lock(cache_mutex_);
     const auto it = sta_delay_cache_.find(key);
-    if (it != sta_delay_cache_.end()) return it->second;
+    if (it != sta_delay_cache_.end()) {
+      hits.add();
+      return it->second;
+    }
   }
+  misses.add();
   // Compute outside the lock (netlist_for/aged_library lock internally); a
   // racing duplicate computation yields the identical value.
   const Netlist& nl = netlist_for(precision);
@@ -124,6 +151,24 @@ StimulusSet ClosedLoopRuntime::make_stimulus(std::size_t count,
 }
 
 namespace {
+
+/// Serializes one controller decision into the unified run log. This is the
+/// single source of the control_event record shape; `aapx faultsim --log`
+/// exports event history by running a campaign with the log open.
+void log_control_event(obs::RunLog& log, const ControlEvent& ev) {
+  obs::JsonWriter w;
+  w.field("epoch", ev.epoch)
+      .field("years", ev.years)
+      .field("sensor_years", ev.sensor_years)
+      .field("trigger", to_string(ev.trigger))
+      .field("outcome", to_string(ev.outcome))
+      .field("from_precision", ev.from_precision)
+      .field("to_precision", ev.to_precision)
+      .field("window_error_rate", ev.window_error_rate)
+      .field("window_canary_rate", ev.window_canary_rate)
+      .field("verified_sta_delay_ps", ev.verified_sta_delay);
+  log.emit("control_event", w);
+}
 
 /// Verification environment over the runtime's plant: model-side aged STA
 /// with the *nominal* BTI model at the sensor age, and ground-truth bursts
@@ -205,10 +250,31 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
         "ClosedLoopRuntime::run: planned schedule is infeasible");
   }
 
+  obs::Span campaign_span("campaign",
+                          static_cast<std::uint64_t>(campaign.epochs));
+  // Run-log emission is restricted to the serial spine: a campaign launched
+  // inside parallel_for (e.g. the open/closed ablation pair) stays silent so
+  // the JSONL output is deterministic and ordered.
+  obs::RunLog& log = obs::RunLog::instance();
+  const bool logging = log.enabled() && !in_parallel_region();
+
   CampaignResult result;
   result.schedule = schedule_;
   result.timing_constraint = schedule_.timing_constraint;
   const double t_clock = schedule_.timing_constraint;
+
+  if (logging) {
+    obs::JsonWriter w;
+    w.field("component", options_.component.name())
+        .field("mode", campaign.closed_loop ? "closed" : "open")
+        .field("epochs", campaign.epochs)
+        .field("lifetime_years", campaign.lifetime_years)
+        .field("constraint_ps", t_clock)
+        .field("vectors_per_epoch",
+               static_cast<std::uint64_t>(campaign.vectors_per_epoch))
+        .field("stimulus_seed", campaign.stimulus_seed);
+    log.emit("campaign_start", w);
+  }
 
   TimingErrorMonitor monitor(campaign.monitor);
   ControllerConfig ccfg = campaign.controller;
@@ -218,7 +284,9 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
   RuntimeHooks hooks(*this, faults, campaign);
 
   int open_precision = schedule_.steps.front().precision;
+  std::size_t logged_events = 0;
   for (int e = 1; e <= campaign.epochs; ++e) {
+    obs::Span epoch_span("epoch", static_cast<std::uint64_t>(e));
     const double years = campaign.lifetime_years * static_cast<double>(e) /
                          static_cast<double>(campaign.epochs);
     hooks.set_epoch(e, years);
@@ -277,6 +345,25 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
     result.total_errors += report.errors;
     result.total_vectors += report.vectors;
     result.epochs.push_back(report);
+
+    if (logging) {
+      obs::JsonWriter w;
+      w.field("epoch", report.epoch)
+          .field("years", report.years)
+          .field("precision", report.precision)
+          .field("vectors", static_cast<std::uint64_t>(report.vectors))
+          .field("errors", static_cast<std::uint64_t>(report.errors))
+          .field("canary_hits",
+                 static_cast<std::uint64_t>(report.canary_hits))
+          .field("sensor_years", report.sensor_years)
+          .field("max_settle_ps", report.max_settle_ps);
+      log.emit("epoch", w);
+      // Controller decisions taken this epoch, interleaved in epoch order.
+      const auto& events = controller.events();
+      for (; logged_events < events.size(); ++logged_events) {
+        log_control_event(log, events[logged_events]);
+      }
+    }
   }
 
   if (campaign.closed_loop) {
@@ -285,6 +372,17 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
     result.final_precision = controller.precision();
   } else {
     result.final_precision = open_precision;
+  }
+
+  if (logging) {
+    obs::JsonWriter w;
+    w.field("total_errors", result.total_errors)
+        .field("total_vectors", result.total_vectors)
+        .field("final_precision", result.final_precision)
+        .field("reconfigurations",
+               static_cast<std::uint64_t>(result.reconfigurations))
+        .field("converged_clean", result.converged_clean());
+    log.emit("campaign_end", w);
   }
   return result;
 }

@@ -4,6 +4,11 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
+#include "util/parallel.hpp"
+
 namespace aapx {
 namespace {
 
@@ -76,6 +81,11 @@ Sta::GateDelays Sta::gate_delays(const DegradationAwareLibrary* aged,
 
 StaResult Sta::run(const DegradationAwareLibrary* aged,
                    const StressProfile* stress) const {
+  obs::Span span("sta.run");
+  static obs::Counter& fresh_runs = obs::metrics().counter("sta.fresh_runs");
+  static obs::Counter& aged_runs = obs::metrics().counter("sta.aged_runs");
+  (aged != nullptr ? aged_runs : fresh_runs).add();
+
   const Netlist& nl = *nl_;
   const std::size_t nets = nl.num_nets();
 
@@ -151,6 +161,18 @@ StaResult Sta::run(const DegradationAwareLibrary* aged,
       rising = o.input_rising;
     }
     std::reverse(res.critical_path.begin(), res.critical_path.end());
+  }
+
+  // Serial-spine queries only: runs launched from parallel_for workers stay
+  // out of the log so its byte content is independent of the thread count
+  // (the serial fallback marks the region too, so 1 thread matches N).
+  obs::RunLog& log = obs::RunLog::instance();
+  if (log.enabled() && !in_parallel_region()) {
+    obs::JsonWriter w;
+    w.field("kind", aged != nullptr ? "aged" : "fresh")
+        .field("gates", static_cast<std::uint64_t>(nl.num_gates()))
+        .field("max_delay_ps", res.max_delay);
+    log.emit("sta_query", w);
   }
   return res;
 }

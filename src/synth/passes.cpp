@@ -6,6 +6,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace aapx {
 namespace {
 
@@ -115,16 +118,25 @@ OptimizeResult optimize_once(const Netlist& nl);
 }  // namespace
 
 OptimizeResult optimize(const Netlist& nl) {
+  obs::Span span("optimize", static_cast<std::uint64_t>(nl.num_gates()));
+  static obs::Counter& calls = obs::metrics().counter("optimize.calls");
+  static obs::Counter& passes = obs::metrics().counter("optimize.passes");
+  static obs::Counter& removed = obs::metrics().counter("optimize.gates_removed");
+  calls.add();
+  std::uint64_t pass_count = 1;
   // Constant folding can orphan upstream logic that was still live when the
   // forward pass visited it, so iterate to a fixpoint (2 passes typical).
   OptimizeResult result = optimize_once(nl);
   for (int iter = 0; iter < 8; ++iter) {
     OptimizeResult next = optimize_once(result.netlist);
+    ++pass_count;
     if (next.netlist.num_gates() == result.netlist.num_gates()) break;
     next.gates_removed += result.gates_removed;
     result = std::move(next);
   }
   result.gates_removed = nl.num_gates() - result.netlist.num_gates();
+  passes.add(pass_count);
+  removed.add(result.gates_removed);
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "util/parallel.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdlib>
 #include <exception>
@@ -8,6 +9,9 @@
 #include <stdexcept>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace aapx {
 namespace {
@@ -32,10 +36,19 @@ class ThreadPool {
     {
       std::lock_guard<std::mutex> lk(mutex_);
       while (static_cast<int>(num_workers_) < threads - 1) {
-        std::thread t([this, gen = generation_] { worker_loop(gen); });
+        std::thread t([this, gen = generation_, id = num_workers_] {
+          obs::set_thread_name("aapx-worker-" + std::to_string(id));
+          worker_loop(gen);
+        });
         t.detach();
         ++num_workers_;
       }
+      static obs::Gauge& workers_gauge = obs::metrics().gauge("pool.workers");
+      workers_gauge.update_max(static_cast<double>(num_workers_ + 1));
+      static obs::Counter& jobs = obs::metrics().counter("pool.jobs");
+      static obs::Counter& items = obs::metrics().counter("pool.items");
+      jobs.add();
+      items.add(n);
       fn_ = &fn;
       n_ = n;
       next_.store(0);
@@ -81,6 +94,7 @@ class ThreadPool {
 
   void work() {
     t_in_parallel_region = true;
+    const auto t0 = std::chrono::steady_clock::now();
     const std::function<void(std::size_t)>* fn;
     std::size_t n, chunk;
     {
@@ -89,20 +103,32 @@ class ThreadPool {
       n = n_;
       chunk = chunk_;
     }
-    for (;;) {
-      const std::size_t begin = next_.fetch_add(chunk);
-      if (begin >= n) break;
-      const std::size_t end = std::min(n, begin + chunk);
-      for (std::size_t i = begin; i < end; ++i) {
-        try {
-          (*fn)(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lk(mutex_);
-          if (!error_) error_ = std::current_exception();
-          next_.store(n);  // stop handing out further chunks
+    std::uint64_t chunks_taken = 0;
+    {
+      obs::Span span("parallel_for.work");
+      for (;;) {
+        const std::size_t begin = next_.fetch_add(chunk);
+        if (begin >= n) break;
+        ++chunks_taken;
+        const std::size_t end = std::min(n, begin + chunk);
+        for (std::size_t i = begin; i < end; ++i) {
+          try {
+            (*fn)(i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lk(mutex_);
+            if (!error_) error_ = std::current_exception();
+            next_.store(n);  // stop handing out further chunks
+          }
         }
       }
     }
+    static obs::Counter& chunks = obs::metrics().counter("pool.chunks");
+    static obs::Counter& busy = obs::metrics().counter("pool.busy_us");
+    chunks.add(chunks_taken);
+    busy.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
     t_in_parallel_region = false;
   }
 
@@ -149,9 +175,19 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
   if (threads <= 0) threads = num_threads();
   if (static_cast<std::size_t>(threads) > n) threads = static_cast<int>(n);
   if (n <= 1 || threads <= 1 || t_in_parallel_region) {
+    // The serial fallback still counts as a parallel region: callers that
+    // gate side effects on in_parallel_region() (run-log emission) must see
+    // the same answer at 1 thread as at N, or logs would differ by thread
+    // count. Restore-on-exit keeps nesting and exceptions correct.
+    struct RegionGuard {
+      bool prev = t_in_parallel_region;
+      RegionGuard() { t_in_parallel_region = true; }
+      ~RegionGuard() { t_in_parallel_region = prev; }
+    } guard;
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  obs::Span span("parallel_for", static_cast<std::uint64_t>(n));
   ThreadPool::instance().run(n, fn, threads);
 }
 

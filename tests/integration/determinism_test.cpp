@@ -5,6 +5,7 @@
 
 #include "core/characterizer.hpp"
 #include "core/stimulus.hpp"
+#include "obs/trace.hpp"
 #include "sta/variation.hpp"
 #include "synth/components.hpp"
 #include "util/parallel.hpp"
@@ -14,7 +15,10 @@ namespace {
 
 class DeterminismTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_num_threads(0); }
+  void TearDown() override {
+    obs::Tracer::instance().discard();
+    set_num_threads(0);
+  }
 
   CellLibrary lib_ = make_nangate45_like();
   BtiModel model_;
@@ -51,6 +55,42 @@ TEST_F(DeterminismTest, CharacterizeBitIdenticalAcrossThreadCounts) {
     for (std::size_t s = 0; s < a.aged_delay.size(); ++s) {
       EXPECT_EQ(a.aged_delay[s], b.aged_delay[s]) << "point " << i
                                                   << " scenario " << s;
+    }
+  }
+}
+
+TEST_F(DeterminismTest, TracingDoesNotPerturbResults) {
+  // Same exactness contract with the instrumentation layer fully live:
+  // spans read the steady clock and buffer events but never feed anything
+  // back into the analysis, so a traced pooled run must equal the untraced
+  // serial one bit for bit.
+  CharacterizerOptions opt;
+  opt.min_precision = 11;
+  const ComponentCharacterizer ch(lib_, model_, opt);
+  const ComponentSpec spec{ComponentKind::adder, 16, 0, AdderArch::cla4,
+                           MultArch::array};
+  const StimulusSet stim = make_normal_stimulus(16, 64, 3);
+  const std::vector<AgingScenario> scenarios = {{StressMode::worst, 10.0},
+                                                {StressMode::measured, 5.0}};
+
+  set_num_threads(1);
+  const auto bare = ch.characterize(spec, scenarios, &stim);
+
+  obs::Tracer::instance().start();
+  set_num_threads(4);
+  const auto traced = ch.characterize(spec, scenarios, &stim);
+  EXPECT_GT(obs::Tracer::instance().event_count(), 0u);
+  obs::Tracer::instance().discard();
+
+  ASSERT_EQ(bare.points.size(), traced.points.size());
+  for (std::size_t i = 0; i < bare.points.size(); ++i) {
+    EXPECT_EQ(bare.points[i].precision, traced.points[i].precision);
+    EXPECT_EQ(bare.points[i].fresh_delay, traced.points[i].fresh_delay);
+    ASSERT_EQ(bare.points[i].aged_delay.size(),
+              traced.points[i].aged_delay.size());
+    for (std::size_t s = 0; s < bare.points[i].aged_delay.size(); ++s) {
+      EXPECT_EQ(bare.points[i].aged_delay[s], traced.points[i].aged_delay[s])
+          << "point " << i << " scenario " << s;
     }
   }
 }

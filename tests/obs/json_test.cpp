@@ -1,0 +1,102 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace aapx::obs {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(json_escape("characterize.point"), "characterize.point");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonWriterTest, PreservesInsertionOrderAndTypes) {
+  JsonWriter w;
+  w.field("s", "text")
+      .field("d", 1.5)
+      .field("i", std::int64_t{-3})
+      .field("u", std::uint64_t{7})
+      .field("b", true);
+  EXPECT_EQ(w.str(), "{\"s\":\"text\",\"d\":1.5,\"i\":-3,\"u\":7,\"b\":true}");
+}
+
+TEST(JsonWriterTest, RawFieldAndAppendCompose) {
+  JsonWriter inner;
+  inner.field("x", 1);
+  JsonWriter w;
+  w.raw_field("arr", "[1,2]").append(inner);
+  EXPECT_EQ(w.str(), "{\"arr\":[1,2],\"x\":1}");
+  EXPECT_FALSE(w.empty());
+  EXPECT_TRUE(JsonWriter().empty());
+}
+
+TEST(JsonParseTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.field("name", "sta.run").field("gates", 4921).field("ok", true);
+  const auto doc = json_parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->str_or("name", ""), "sta.run");
+  EXPECT_EQ(doc->num_or("gates", 0), 4921);
+  const JsonValue* ok = doc->find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->is_bool());
+  EXPECT_TRUE(ok->boolean);
+}
+
+TEST(JsonParseTest, ParsesNestedContainersAndLiterals) {
+  const auto doc =
+      json_parse(R"({"a":[1,2.5,-3e2],"o":{"n":null},"e":[],"s":"A\n"})");
+  ASSERT_TRUE(doc.has_value());
+  const JsonValue* a = doc->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, -300.0);
+  const JsonValue* n = doc->find("o")->find("n");
+  ASSERT_NE(n, nullptr);
+  EXPECT_TRUE(n->is_null());
+  EXPECT_TRUE(doc->find("e")->array.empty());
+  EXPECT_EQ(doc->str_or("s", ""), "A\n");
+}
+
+TEST(JsonParseTest, RejectsMalformedInputWithDiagnostic) {
+  std::string err;
+  EXPECT_FALSE(json_parse("{\"a\":}", &err).has_value());
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(json_parse("", nullptr).has_value());
+  EXPECT_FALSE(json_parse("{} trailing", nullptr).has_value());
+  EXPECT_FALSE(json_parse("[1,2", nullptr).has_value());
+  EXPECT_FALSE(json_parse("\"unterminated", nullptr).has_value());
+}
+
+TEST(JsonNumTest, FormatsCompactly) {
+  EXPECT_EQ(json_num(1.0), "1");
+  EXPECT_EQ(json_num(0.5), "0.5");
+  // %.10g keeps more digits than any logged picosecond quantity carries.
+  const auto parsed = json_parse(json_num(5062.8123456));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_NEAR(parsed->number, 5062.8123456, 1e-6);
+}
+
+TEST(JsonValueTest, LookupsAreSafeOnWrongTypes) {
+  const auto doc = json_parse("[1]");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("x"), nullptr);
+  EXPECT_DOUBLE_EQ(doc->num_or("x", -1.0), -1.0);
+  EXPECT_EQ(doc->str_or("x", "fb"), "fb");
+}
+
+}  // namespace
+}  // namespace aapx::obs

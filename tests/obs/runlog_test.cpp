@@ -1,0 +1,116 @@
+#include "obs/runlog.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace aapx::obs {
+namespace {
+
+/// The run log is process-global; every test leaves it closed.
+class RunLogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { RunLog::instance().close(); }
+
+  static std::string tmp_path(const std::string& name) {
+    return ::testing::TempDir() + name;
+  }
+
+  static std::vector<JsonValue> read_records(const std::string& path) {
+    std::ifstream is(path);
+    EXPECT_TRUE(is.is_open()) << path;
+    std::vector<std::string> errors;
+    const std::vector<JsonValue> records = parse_jsonl(is, &errors);
+    EXPECT_TRUE(errors.empty()) << errors.front();
+    return records;
+  }
+};
+
+TEST_F(RunLogTest, DisabledEmitIsANoOp) {
+  ASSERT_FALSE(RunLog::instance().enabled());
+  JsonWriter w;
+  w.field("x", 1);
+  RunLog::instance().emit("ignored", w);  // must not crash or write
+}
+
+TEST_F(RunLogTest, EmitsOneParsableRecordPerLine) {
+  const std::string path = tmp_path("runlog_basic.jsonl");
+  ASSERT_TRUE(RunLog::instance().open(path));
+  EXPECT_TRUE(RunLog::instance().enabled());
+
+  JsonWriter w;
+  w.field("component", "adder32").field("points", 11);
+  RunLog::instance().emit("sweep_start", w);
+  RunLog::instance().emit("campaign_end");
+  RunLog::instance().close();
+  EXPECT_FALSE(RunLog::instance().enabled());
+
+  const auto records = read_records(path);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].str_or("type", ""), "sweep_start");
+  EXPECT_EQ(records[0].str_or("component", ""), "adder32");
+  EXPECT_DOUBLE_EQ(records[0].num_or("points", 0), 11.0);
+  EXPECT_EQ(records[1].str_or("type", ""), "campaign_end");
+}
+
+TEST_F(RunLogTest, TypeStringsAreEscaped) {
+  const std::string path = tmp_path("runlog_escape.jsonl");
+  ASSERT_TRUE(RunLog::instance().open(path));
+  RunLog::instance().emit("odd\"type");
+  RunLog::instance().close();
+  const auto records = read_records(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].str_or("type", ""), "odd\"type");
+}
+
+TEST_F(RunLogTest, OpenTruncatesPreviousContents) {
+  const std::string path = tmp_path("runlog_trunc.jsonl");
+  ASSERT_TRUE(RunLog::instance().open(path));
+  RunLog::instance().emit("first");
+  RunLog::instance().close();
+  ASSERT_TRUE(RunLog::instance().open(path));
+  RunLog::instance().emit("second");
+  RunLog::instance().close();
+  const auto records = read_records(path);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].str_or("type", ""), "second");
+}
+
+TEST_F(RunLogTest, OpenFailureLeavesLogDisabled) {
+  EXPECT_FALSE(RunLog::instance().open("/nonexistent-dir/x/y.jsonl"));
+  EXPECT_FALSE(RunLog::instance().enabled());
+}
+
+TEST_F(RunLogTest, ManifestCarriesSchemaBuildInfoAndCallerFields) {
+  const std::string path = tmp_path("runlog_manifest.jsonl");
+  ASSERT_TRUE(RunLog::instance().open(path));
+  JsonWriter caller;
+  caller.field("command", "faultsim").field("threads", 4);
+  emit_manifest(caller);
+  RunLog::instance().close();
+
+  const auto records = read_records(path);
+  ASSERT_EQ(records.size(), 1u);
+  const JsonValue& m = records[0];
+  EXPECT_EQ(m.str_or("type", ""), "manifest");
+  EXPECT_EQ(m.str_or("schema", ""), kRunLogSchema);
+  EXPECT_NE(m.find("build_type"), nullptr);
+  EXPECT_NE(m.find("sanitize"), nullptr);
+  EXPECT_NE(m.find("compiler"), nullptr);
+  EXPECT_EQ(m.str_or("command", ""), "faultsim");
+  EXPECT_DOUBLE_EQ(m.num_or("threads", 0), 4.0);
+  EXPECT_TRUE(validate_log_record(m).empty());
+}
+
+TEST_F(RunLogTest, ManifestWithoutOpenLogIsANoOp) {
+  emit_manifest(JsonWriter());  // disabled: nothing to write to
+}
+
+}  // namespace
+}  // namespace aapx::obs

@@ -7,9 +7,16 @@
 //   aapx export-verilog --kind adder --width 16 --trunc 4 --out adder.v
 //   aapx export-sdf --kind adder --width 16 [--years 10] --out adder.sdf
 //   aapx faultsim --width 16 --arch ripple --accel 1.5 --sensor-gain 0.6
+//   aapx faultsim ... --log run.jsonl --trace run.trace --metrics run.json
+//   aapx report --log run.jsonl --trace run.trace --metrics run.json
 //
 // Every subcommand builds the generated NanGate-45-like library and the
 // calibrated BTI model; see `aapx help` for the full option list.
+//
+// Global instrumentation options (any subcommand):
+//   --trace <file>    Chrome trace-event JSON (load in Perfetto)
+//   --metrics <file>  metrics-registry snapshot as JSON
+//   --log <file>      structured JSONL run log (manifest + flow records)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +31,10 @@
 #include "core/microarch.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
 #include "sta/sdf.hpp"
 #include "util/parallel.hpp"
@@ -391,6 +402,124 @@ int cmd_faultsim(const Args& args) {
   return r.converged_clean() ? 0 : 1;
 }
 
+std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << is.rdbuf();
+  return buf.str();
+}
+
+int cmd_report(const Args& args) {
+  const std::string trace_path = args.get("trace", "");
+  const std::string log_path = args.get("log", "");
+  const std::string metrics_path = args.get("metrics", "");
+  if (trace_path.empty() && log_path.empty() && metrics_path.empty()) {
+    throw std::runtime_error(
+        "report: pass at least one of --trace, --log, --metrics");
+  }
+  const bool check = args.has("check");
+  const int top = args.get_int("top", 15);
+  if (top < 1) throw std::runtime_error("--top must be >= 1");
+  std::size_t failures = 0;
+
+  if (!trace_path.empty()) {
+    std::string err;
+    const auto doc = obs::json_parse(read_file(trace_path), &err);
+    if (!doc) {
+      std::printf("trace %s: JSON parse error: %s\n", trace_path.c_str(),
+                  err.c_str());
+      ++failures;
+    } else {
+      const std::vector<std::string> errors = obs::validate_trace(*doc);
+      for (const std::string& e : errors) {
+        std::printf("trace %s: %s\n", trace_path.c_str(), e.c_str());
+      }
+      failures += errors.size();
+      const obs::TraceSummary s = obs::summarize_trace(*doc);
+      std::printf("trace: %zu span events on %zu threads, %.3f ms wall\n",
+                  s.events, s.threads, s.wall_us / 1000.0);
+      std::printf("top spans by inclusive time:\n");
+      TextTable table({"span", "count", "incl [ms]", "max [ms]"});
+      for (std::size_t i = 0;
+           i < s.spans.size() && i < static_cast<std::size_t>(top); ++i) {
+        const obs::SpanStat& sp = s.spans[i];
+        table.add_row({sp.name, std::to_string(sp.count),
+                       TextTable::num(sp.incl_us / 1000.0, 3),
+                       TextTable::num(sp.max_us / 1000.0, 3)});
+      }
+      table.print(std::cout);
+    }
+  }
+
+  if (!log_path.empty()) {
+    std::ifstream is(log_path);
+    if (!is) throw std::runtime_error("cannot open " + log_path);
+    std::vector<std::string> errors;
+    const std::vector<obs::JsonValue> records = obs::parse_jsonl(is, &errors);
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      for (const std::string& e : obs::validate_log_record(records[i])) {
+        errors.push_back("record " + std::to_string(i + 1) + ": " + e);
+      }
+    }
+    for (const std::string& e : errors) {
+      std::printf("log %s: %s\n", log_path.c_str(), e.c_str());
+    }
+    failures += errors.size();
+    const obs::LogSummary ls = obs::summarize_log(records);
+    std::printf("run log: %zu records\n", records.size());
+    TextTable types({"record type", "count"});
+    for (const auto& [type, count] : ls.type_counts) {
+      types.add_row({type, std::to_string(count)});
+    }
+    types.print(std::cout);
+    if (!ls.decisions.empty()) {
+      std::printf("controller decision timeline:\n");
+      TextTable t({"epoch", "age [y]", "sensor [y]", "trigger", "outcome",
+                   "precision", "sta [ps]"});
+      for (const obs::DecisionRow& d : ls.decisions) {
+        t.add_row({std::to_string(d.epoch), TextTable::num(d.years, 2),
+                   TextTable::num(d.sensor_years, 2), d.trigger, d.outcome,
+                   std::to_string(d.from_precision) + " -> " +
+                       std::to_string(d.to_precision),
+                   d.sta_delay_ps > 0.0 ? TextTable::num(d.sta_delay_ps, 1)
+                                        : std::string("-")});
+      }
+      t.print(std::cout);
+    }
+  }
+
+  if (!metrics_path.empty()) {
+    std::string err;
+    const auto doc = obs::json_parse(read_file(metrics_path), &err);
+    if (!doc) {
+      std::printf("metrics %s: JSON parse error: %s\n", metrics_path.c_str(),
+                  err.c_str());
+      ++failures;
+    } else {
+      const std::vector<obs::CacheRate> rates =
+          obs::cache_rates_from_metrics(*doc);
+      std::printf("cache hit rates:\n");
+      TextTable t({"cache", "hits", "misses", "hit rate"});
+      for (const obs::CacheRate& r : rates) {
+        t.add_row({r.name, std::to_string(r.hits), std::to_string(r.misses),
+                   TextTable::pct(r.rate())});
+      }
+      t.print(std::cout);
+    }
+  }
+
+  if (check) {
+    if (failures == 0) {
+      std::printf("report: all artifacts valid\n");
+      return 0;
+    }
+    std::printf("report: %zu validation failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_help() {
   std::printf(R"(aapx — aging-induced approximations toolkit
 
@@ -415,13 +544,46 @@ commands:
       --accel R  --temp-step K --temp-from Y  --outlier-frac F --outlier-factor R
       --sensor-gain G --sensor-offset Y --sensor-noise SIGMA  --seed S
       --canary-margin M --canary-trip N
+  report          summarize instrumentation artifacts from a previous run
+      --trace f.trace     top spans by inclusive time, thread/wall stats
+      --log f.jsonl       record-type counts + controller decision timeline
+      --metrics f.json    cache hit rates from the metrics snapshot
+      [--top N]           span rows to print (default 15)
+      [--check]           exit nonzero if any artifact fails validation
   help            this text
 
 global options:
   --threads N | -j N   worker threads for parallel sweeps (default: all
                        cores, or the AAPX_THREADS environment variable)
+  --trace <file>       write a Chrome trace-event JSON of this run
+                       (chrome://tracing or Perfetto)
+  --metrics <file>     write the metrics-registry snapshot as JSON
+  --log <file>         write the structured JSONL run log (manifest,
+                       campaign/epoch/control_event/sweep/sta records)
 )");
   return 0;
+}
+
+}  // namespace
+
+namespace {
+
+int dispatch(const Args& args) {
+  if (args.command == "characterize") return cmd_characterize(args);
+  if (args.command == "flow") return cmd_flow(args);
+  if (args.command == "schedule") return cmd_schedule(args);
+  if (args.command == "export-liberty") return cmd_export_liberty(args);
+  if (args.command == "export-verilog") return cmd_export_verilog(args);
+  if (args.command == "export-sdf") return cmd_export_sdf(args);
+  if (args.command == "faultsim") return cmd_faultsim(args);
+  if (args.command == "report") return cmd_report(args);
+  if (args.command.empty() || args.command == "help" ||
+      args.command == "--help") {
+    return cmd_help();
+  }
+  std::fprintf(stderr, "aapx: unknown command '%s' (try 'aapx help')\n",
+               args.command.c_str());
+  return 2;
 }
 
 }  // namespace
@@ -434,20 +596,56 @@ int main(int argc, char** argv) {
       if (threads < 1) throw std::runtime_error("--threads must be >= 1");
       set_num_threads(threads);
     }
-    if (args.command == "characterize") return cmd_characterize(args);
-    if (args.command == "flow") return cmd_flow(args);
-    if (args.command == "schedule") return cmd_schedule(args);
-    if (args.command == "export-liberty") return cmd_export_liberty(args);
-    if (args.command == "export-verilog") return cmd_export_verilog(args);
-    if (args.command == "export-sdf") return cmd_export_sdf(args);
-    if (args.command == "faultsim") return cmd_faultsim(args);
-    if (args.command.empty() || args.command == "help" ||
-        args.command == "--help") {
-      return cmd_help();
+
+    const std::string trace_path = args.get("trace", "");
+    const std::string metrics_path = args.get("metrics", "");
+    const std::string log_path = args.get("log", "");
+    // `report` reads these paths as inputs; every other command writes them.
+    const bool instrumented = args.command != "report";
+    if (instrumented && !log_path.empty()) {
+      if (!obs::RunLog::instance().open(log_path)) {
+        throw std::runtime_error("cannot open --log file " + log_path);
+      }
+      std::string argline = args.command;
+      for (int i = 2; i < argc; ++i) {
+        argline += ' ';
+        argline += argv[i];
+      }
+      obs::JsonWriter mf;
+      mf.field("command", args.command)
+          .field("argv", argline)
+          .field("threads", num_threads());
+      obs::emit_manifest(mf);
     }
-    std::fprintf(stderr, "aapx: unknown command '%s' (try 'aapx help')\n",
-                 args.command.c_str());
-    return 2;
+    if (instrumented && !trace_path.empty()) obs::Tracer::instance().start();
+
+    const int rc = dispatch(args);
+
+    if (instrumented && !trace_path.empty()) {
+      if (obs::Tracer::instance().stop_and_write_file(trace_path)) {
+        std::fprintf(stderr, "aapx: trace written to %s\n", trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "aapx: cannot write --trace file %s\n",
+                     trace_path.c_str());
+        return 1;
+      }
+    }
+    if (instrumented && !metrics_path.empty()) {
+      std::ofstream os(metrics_path);
+      if (!os) {
+        std::fprintf(stderr, "aapx: cannot write --metrics file %s\n",
+                     metrics_path.c_str());
+        return 1;
+      }
+      obs::metrics().write_json(os);
+      std::fprintf(stderr, "aapx: metrics written to %s\n",
+                   metrics_path.c_str());
+    }
+    if (instrumented && !log_path.empty()) {
+      obs::RunLog::instance().close();
+      std::fprintf(stderr, "aapx: run log written to %s\n", log_path.c_str());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "aapx: %s\n", e.what());
     return 1;

@@ -1,0 +1,72 @@
+# ctest script chaining the instrumented CLI end to end: an accelerated
+# faultsim campaign writes all three artifacts (--log/--trace/--metrics),
+# `aapx report` renders the decision timeline, span table and cache hit
+# rates from them, and `aapx report --check` certifies them schema-valid.
+# Invoked as: cmake -DAAPX_BIN=<aapx> -DWORKDIR=<scratch> -P cli_obs_test.cmake
+if(NOT DEFINED AAPX_BIN OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "pass -DAAPX_BIN=<path to aapx> -DWORKDIR=<scratch dir>")
+endif()
+
+file(REMOVE_RECURSE "${WORKDIR}")
+file(MAKE_DIRECTORY "${WORKDIR}")
+set(log "${WORKDIR}/run.jsonl")
+set(trace "${WORKDIR}/run.trace")
+set(metrics "${WORKDIR}/run_metrics.json")
+
+function(check_contains text pattern what)
+  if(NOT text MATCHES "${pattern}")
+    message(FATAL_ERROR "${what}: expected to match '${pattern}', got:\n${text}")
+  endif()
+endfunction()
+
+# --- 1. instrumented campaign (accelerated die => control events fire) ------
+execute_process(
+  COMMAND "${AAPX_BIN}" faultsim --width 12 --arch ripple --grid 1,5,10
+          --epochs 8 --vectors 32 --verify-vectors 24 --accel 1.7
+          --log "${log}" --trace "${trace}" --metrics "${metrics}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "faultsim failed (rc=${rc}):\n${out}\n${err}")
+endif()
+foreach(artifact "${log}" "${trace}" "${metrics}")
+  if(NOT EXISTS "${artifact}")
+    message(FATAL_ERROR "faultsim did not write ${artifact}")
+  endif()
+endforeach()
+check_contains("${err}" "run log written to" "faultsim stderr")
+
+# --- 2. report renders all three sections -----------------------------------
+execute_process(
+  COMMAND "${AAPX_BIN}" report --log "${log}" --trace "${trace}"
+          --metrics "${metrics}"
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report failed (rc=${rc}):\n${out}\n${err}")
+endif()
+check_contains("${out}" "top spans by inclusive time" "report")
+check_contains("${out}" "campaign" "report span table")
+check_contains("${out}" "controller decision timeline" "report")
+check_contains("${out}" "cache hit rates" "report")
+check_contains("${out}" "characterizer\\.degradation_cache" "report")
+
+# --- 3. --check certifies the artifacts against the bundled validators ------
+execute_process(
+  COMMAND "${AAPX_BIN}" report --log "${log}" --trace "${trace}"
+          --metrics "${metrics}" --check
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report --check failed (rc=${rc}):\n${out}\n${err}")
+endif()
+check_contains("${out}" "report: all artifacts valid" "report --check")
+
+# --- 4. --check rejects a corrupted log -------------------------------------
+file(APPEND "${log}" "{\"type\":\"epoch\",\"epoch\":\"not-a-number\"}\n")
+execute_process(
+  COMMAND "${AAPX_BIN}" report --log "${log}" --check
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "report --check accepted a corrupted log:\n${out}")
+endif()
+check_contains("${out}" "validation failure" "report --check (corrupt)")
+
+message(STATUS "cli_obs_test: all stages passed")
