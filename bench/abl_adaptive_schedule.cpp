@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
   Config cfg;
   CharacterizerOptions copt;
   copt.min_precision = 26;
-  const ComponentCharacterizer ch(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer ch(bench_context(), cfg.lib, cfg.model, copt);
   const AdaptiveScheduler scheduler(ch);
 
   const double grid[] = {0.5, 1.0, 2.0, 5.0, 10.0, 15.0};

@@ -21,7 +21,8 @@ int main(int argc, char** argv) {
   Config cfg;
   CharacterizerOptions copt;
   copt.min_precision = 16;
-  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer characterizer(bench_context(), cfg.lib,
+                                             cfg.model, copt);
 
   TextTable table({"architecture", "fresh CP [ps]", "10Y WC aging",
                    "bits for 1Y WC", "bits for 10Y WC"});

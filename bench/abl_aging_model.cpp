@@ -29,12 +29,14 @@ int main(int argc, char** argv) {
       const BtiModel model(params);
       CharacterizerOptions aopt;
       aopt.min_precision = 20;
-      const ComponentCharacterizer acharacterizer(cfg.lib, model, aopt);
+      const ComponentCharacterizer acharacterizer(bench_context(), cfg.lib,
+                                                  model, aopt);
       const auto adder = acharacterizer.characterize(
           cfg.adder32(), {{StressMode::worst, 10.0}});
       CharacterizerOptions mopt;
       mopt.min_precision = 26;  // the multiplier never needs more than 6 bits
-      const ComponentCharacterizer mcharacterizer(cfg.lib, model, mopt);
+      const ComponentCharacterizer mcharacterizer(bench_context(), cfg.lib,
+                                                  model, mopt);
       const auto mult = mcharacterizer.characterize(
           cfg.mult32(), {{StressMode::worst, 10.0}});
       const int ka = adder.required_precision(0);

@@ -31,7 +31,7 @@ struct ErrorProfile {
 
 ErrorProfile measure_errors(const Config& cfg, const ComponentSpec& spec,
                             const StimulusSet& stim, bool is_adder) {
-  const Netlist nl = make_component(cfg.lib, spec);
+  const Netlist nl = make_component(bench_context(), cfg.lib, spec);
   FuncSim sim(nl);
   std::size_t wrong = 0;
   RunningStats abs_err;
@@ -73,7 +73,7 @@ void run(const Config& cfg, ComponentSpec base, ApproxTechnique technique,
   base.technique = technique;
   CharacterizerOptions copt;
   copt.min_precision = min_precision;
-  const ComponentCharacterizer ch(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer ch(bench_context(), cfg.lib, cfg.model, copt);
   const auto c = ch.characterize(base, {{StressMode::worst, 10.0}});
   const int k = c.required_precision(0);
   if (k < 0) {

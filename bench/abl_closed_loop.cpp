@@ -100,7 +100,7 @@ int main(int argc, char** argv) {
   ropt.component = {ComponentKind::adder, 32, 0, AdderArch::ripple,
                     MultArch::array};
   ropt.min_precision = 22;
-  const ClosedLoopRuntime runtime(cfg.lib, cfg.model, ropt);
+  const ClosedLoopRuntime runtime(bench_context(), cfg.lib, cfg.model, ropt);
 
   FaultScenario fault;
   fault.aging_acceleration = 1.5;
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
   fault.sensor_noise_sigma_years = 0.2;
   fault.temp_step_kelvin = 20.0;
   fault.temp_step_from_years = 5.0;
-  const FaultInjector faults(cfg.lib, cfg.model, fault);
+  const FaultInjector faults(bench_context(), cfg.lib, cfg.model, fault);
 
   CampaignOptions copt;
   copt.epochs = fast ? 8 : 16;

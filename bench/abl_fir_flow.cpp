@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
   CharacterizerOptions copt;
   copt.min_precision = 16;
-  MicroarchApproximator flow(cfg.lib, cfg.model, copt);
+  MicroarchApproximator flow(bench_context(), cfg.lib, cfg.model, copt);
   for (const double years : {1.0, 10.0}) {
     FlowOptions fopt;
     fopt.scenario = {StressMode::worst, years};

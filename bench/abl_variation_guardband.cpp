@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
 
   const ComponentSpec spec{ComponentKind::multiplier, width, 0, AdderArch::cla4,
                            MultArch::array};
-  const Netlist nl = make_component(cfg.lib, spec);
+  const Netlist nl = make_component(bench_context(), cfg.lib, spec);
   const double nominal = Sta(nl).run_fresh().max_delay;
   const DegradationAwareLibrary aged(cfg.lib, cfg.model, 10.0);
   const StressProfile stress =
@@ -62,7 +62,7 @@ int main(int argc, char** argv) {
   for (int k = 0; k <= 6; ++k) {
     ComponentSpec t = spec;
     t.truncated_bits = k;
-    const Netlist tnl = make_component(cfg.lib, t);
+    const Netlist tnl = make_component(bench_context(), cfg.lib, t);
     const StressProfile tstress =
         StressProfile::uniform(StressMode::worst, tnl.num_gates());
     const MonteCarloSta tmc(tnl);

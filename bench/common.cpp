@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "engine/context.hpp"
 #include "gatesim/timedsim.hpp"
 #include "image/synthetic.hpp"
 #include "obs/metrics.hpp"
@@ -14,6 +15,8 @@
 #include "util/parallel.hpp"
 
 namespace aapx::bench {
+
+const Context& bench_context() { return Context::process_default(); }
 
 bool fast_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

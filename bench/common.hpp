@@ -23,6 +23,10 @@
 #include "synth/components.hpp"
 #include "util/table.hpp"
 
+namespace aapx {
+class Context;
+}  // namespace aapx
+
 namespace aapx::bench {
 
 /// Project-wide experiment configuration (the calibration record — see
@@ -67,6 +71,13 @@ struct Config {
   double adder_sigma = 64.0;
   double mult_sigma = 8192.0;
 };
+
+/// The Context every bench runs on. This is the process default, so the
+/// shared "--threads/-j" handling in BenchJson (which lands on the global
+/// set_num_threads shim) and the "--metrics" registry snapshot keep their
+/// historic meaning, while all benches share one DesignStore: a netlist
+/// synthesized for one table row is a cache hit for the next.
+const Context& bench_context();
 
 /// True if "--fast" was passed (benches shrink their workloads; used by CI).
 bool fast_mode(int argc, char** argv);

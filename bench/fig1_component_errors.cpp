@@ -21,7 +21,7 @@ namespace {
 
 void run_component(const Config& cfg, const ComponentSpec& spec, double sigma,
                    std::size_t vectors, const char* paper_row) {
-  const Netlist nl = make_component(cfg.lib, spec);
+  const Netlist nl = make_component(bench_context(), cfg.lib, spec);
   const StimulusSet stim = make_normal_stimulus(spec.width, vectors, 42, sigma);
   const double t_clock =
       bin_fresh_clock(cfg, nl, stim, DelayModel::inertial);

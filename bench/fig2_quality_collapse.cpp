@@ -28,8 +28,8 @@ int main(int argc, char** argv) {
   const CodecConfig codec = cfg.codec();
   const Image img = make_video_trace_frame("akiyo", size, size);
 
-  const Netlist mult = make_component(cfg.lib, cfg.mult32());
-  const Netlist adder = make_component(cfg.lib, cfg.adder32());
+  const Netlist mult = make_component(bench_context(), cfg.lib, cfg.mult32());
+  const Netlist adder = make_component(bench_context(), cfg.lib, cfg.adder32());
   const ObservedWindow window{codec.frac_bits, codec.width};
 
   std::printf("image: akiyo %dx%d synthetic frame; transport-delay gate sim\n\n",

@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
 
   CharacterizerOptions copt;
   copt.min_precision = 22;
-  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer characterizer(bench_context(), cfg.lib,
+                                             cfg.model, copt);
 
   // Worst-case columns.
   const auto wc = characterizer.characterize(

@@ -56,7 +56,7 @@ int main(int argc, char** argv) {
   // distributions at the datapath's Q-format magnitudes; half of the data
   // samples carry the dequantizer's zeroed LSBs (the row-pass profile),
   // half are free (the column-pass profile).
-  const Netlist mult = make_component(cfg.lib, cfg.mult32());
+  const Netlist mult = make_component(bench_context(), cfg.lib, cfg.mult32());
   StimulusSet nd;
   nd.buses = {"a", "b"};
   {

@@ -16,7 +16,8 @@ void run(const Config& cfg, const ComponentSpec& spec, int min_precision,
          const char* paper_note) {
   CharacterizerOptions copt;
   copt.min_precision = min_precision;
-  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer characterizer(bench_context(), cfg.lib,
+                                             cfg.model, copt);
   const auto c = characterizer.characterize(
       spec, {{StressMode::worst, 1.0}, {StressMode::worst, 10.0}});
 

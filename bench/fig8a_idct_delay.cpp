@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
   CharacterizerOptions copt;
   copt.min_precision = 24;
-  MicroarchApproximator flow(cfg.lib, cfg.model, copt);
+  MicroarchApproximator flow(bench_context(), cfg.lib, cfg.model, copt);
   FlowOptions fopt;
   fopt.scenario = {StressMode::worst, 10.0};
   const FlowResult plan = flow.run(idct, fopt);
@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
               "reduction suffices; other blocks keep full precision)\n\n");
 
   // Delay of both designs under every aging case of the figure.
-  const Netlist original = make_component(cfg.lib, cfg.mult32());
+  const Netlist original = make_component(bench_context(), cfg.lib, cfg.mult32());
   const Netlist approximated = flow.build_block(plan.blocks[0]);
   const StimulusSet idct_ops = record_idct_mult_stimulus(
       cfg, "akiyo", fast ? 24 : 48, fast ? 300 : 2000);

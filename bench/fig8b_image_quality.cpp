@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
   // Precision from the component characterization (10Y WC).
   CharacterizerOptions copt;
   copt.min_precision = 26;
-  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer characterizer(bench_context(), cfg.lib,
+                                             cfg.model, copt);
   const auto c = characterizer.characterize(cfg.mult32(),
                                             {{StressMode::worst, 10.0}});
   const int truncated = 32 - c.required_precision(0);

@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   Config cfg;
   const bool fast = fast_mode(argc, argv);
 
-  const Netlist original = make_component(cfg.lib, cfg.mult32());
+  const Netlist original = make_component(bench_context(), cfg.lib, cfg.mult32());
   const Sta sta(original);
   const double constraint = sta.run_fresh().max_delay;
   const DegradationAwareLibrary aged(cfg.lib, cfg.model, 10.0);
@@ -91,13 +91,14 @@ int main(int argc, char** argv) {
   // Ours: precision reduction from the approximation library.
   CharacterizerOptions copt;
   copt.min_precision = 26;
-  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer characterizer(bench_context(), cfg.lib,
+                                             cfg.model, copt);
   const auto c = characterizer.characterize(cfg.mult32(),
                                             {{StressMode::worst, 10.0}});
   const int precision = c.required_precision(0);
   ComponentSpec approx_spec = cfg.mult32();
   approx_spec.truncated_bits = 32 - precision;
-  const Netlist ours = make_component(cfg.lib, approx_spec);
+  const Netlist ours = make_component(bench_context(), cfg.lib, approx_spec);
   {
     const Sta asta(ours);
     const StressProfile astress =

@@ -28,12 +28,14 @@ Config& config() {
 }
 
 const Netlist& mult_netlist() {
-  static const Netlist nl = make_component(config().lib, config().mult32());
+  static const Netlist nl =
+      make_component(bench_context(), config().lib, config().mult32());
   return nl;
 }
 
 const Netlist& adder_netlist() {
-  static const Netlist nl = make_component(config().lib, config().adder32());
+  static const Netlist nl =
+      make_component(bench_context(), config().lib, config().adder32());
   return nl;
 }
 
@@ -98,7 +100,8 @@ void BM_CharacterizeOnePrecision(benchmark::State& state) {
   const Config& cfg = config();
   CharacterizerOptions copt;
   copt.min_precision = 31;
-  const ComponentCharacterizer characterizer(cfg.lib, cfg.model, copt);
+  const ComponentCharacterizer characterizer(bench_context(), cfg.lib,
+                                             cfg.model, copt);
   ComponentSpec spec = cfg.adder32();
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -11,6 +11,7 @@
 
 #include "cell/library.hpp"
 #include "core/characterizer.hpp"
+#include "engine/context.hpp"
 #include "synth/components.hpp"
 #include "util/table.hpp"
 
@@ -18,6 +19,10 @@
 
 int main() {
   using namespace aapx;
+  // One Context for the whole sweep: the three characterizers below share
+  // its DesignStore, so the synthesized netlists and aged libraries of one
+  // component row are cache hits for the next.
+  const Context ctx;
   const CellLibrary lib = make_nangate45_like();
   const BtiModel bti;
 
@@ -38,7 +43,7 @@ int main() {
   for (const auto& comp : components) {
     CharacterizerOptions options;
     options.min_precision = comp.min_precision;
-    const ComponentCharacterizer characterizer(lib, bti, options);
+    const ComponentCharacterizer characterizer(ctx, lib, bti, options);
     std::vector<AgingScenario> scenarios;
     for (const double y : lifetimes) {
       scenarios.push_back({StressMode::worst, y});

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/microarch.hpp"
+#include "engine/context.hpp"
 #include "image/synthetic.hpp"
 #include "rtl/codec.hpp"
 
@@ -44,6 +45,7 @@ int main(int argc, char** argv) {
                : (std::filesystem::path(outdir) / name).string();
   };
 
+  const Context ctx;
   const CellLibrary lib = make_nangate45_like();
   const BtiModel bti;
   CodecConfig codec;
@@ -60,7 +62,7 @@ int main(int argc, char** argv) {
   };
   CharacterizerOptions copt;
   copt.min_precision = 24;
-  MicroarchApproximator flow(lib, bti, copt);
+  MicroarchApproximator flow(ctx, lib, bti, copt);
   FlowOptions fopt;
   fopt.scenario = {StressMode::worst, years};
   const FlowResult plan = flow.run(idct_design, fopt);
@@ -83,8 +85,9 @@ int main(int argc, char** argv) {
 
   // Naive guardband removal: full-precision netlists with aged delays at the
   // speed-binned fresh clock (consumed product bits), timing errors and all.
-  const Netlist mult = make_component(lib, idct_design.blocks[0].component);
-  const Netlist adder = make_component(lib, idct_design.blocks[1].component);
+  const Netlist mult = make_component(ctx, lib, idct_design.blocks[0].component);
+  const Netlist adder =
+      make_component(ctx, lib, idct_design.blocks[1].component);
   const Sta msta(mult);
   const Sta asta(adder);
   const ObservedWindow window{codec.frac_bits, codec.width};

@@ -11,12 +11,16 @@
 #include "approx/error_bounds.hpp"
 #include "cell/library.hpp"
 #include "core/characterizer.hpp"
+#include "engine/context.hpp"
 #include "synth/components.hpp"
 
 int main() {
   using namespace aapx;
 
-  // 1. Substrates: a NanGate-45-like cell library and the BTI aging model.
+  // 1. Substrates: an execution Context (the cache/metrics/thread-pool home
+  //    of one evaluation session), a NanGate-45-like cell library and the
+  //    BTI aging model.
+  const Context ctx;
   const CellLibrary lib = make_nangate45_like();
   const BtiModel bti;  // calibrated defaults (see DESIGN.md Sec. 5)
 
@@ -27,7 +31,7 @@ int main() {
   // 3. Characterize delay vs precision vs aging (paper Fig. 3).
   CharacterizerOptions options;
   options.min_precision = 8;
-  const ComponentCharacterizer characterizer(lib, bti, options);
+  const ComponentCharacterizer characterizer(ctx, lib, bti, options);
   const ComponentCharacterization c = characterizer.characterize(
       adder, {{StressMode::worst, 1.0}, {StressMode::worst, 10.0}});
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "engine/design_store.hpp"
 #include "netlist/stats.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
@@ -12,42 +13,34 @@
 
 namespace aapx {
 
-ComponentCharacterizer::ComponentCharacterizer(const CellLibrary& lib,
+ComponentCharacterizer::ComponentCharacterizer(const Context& ctx,
+                                               const CellLibrary& lib,
                                                BtiModel model,
                                                CharacterizerOptions options)
-    : lib_(&lib), model_(model), options_(options) {
+    : ctx_(&ctx), lib_(&lib), model_(model), options_(options) {
   if (options_.precision_step <= 0) {
     throw std::invalid_argument("ComponentCharacterizer: bad precision_step");
   }
 }
 
+ComponentCharacterizer::ComponentCharacterizer(const CellLibrary& lib,
+                                               BtiModel model,
+                                               CharacterizerOptions options)
+    : ComponentCharacterizer(Context::process_default(), lib, model,
+                             options) {}
+
 const DegradationAwareLibrary& ComponentCharacterizer::degradation_for(
     double years) const {
-  // Build outside the lock would allow duplicate work; the build is the
-  // expensive part but happens once per lifetime value, so holding the lock
-  // keeps the cache simple and the returned reference stable.
-  static obs::Counter& hits =
-      obs::metrics().counter("characterizer.degradation_cache_hits");
-  static obs::Counter& misses =
-      obs::metrics().counter("characterizer.degradation_cache_misses");
-  std::lock_guard<std::mutex> lock(degradation_mutex_);
-  auto it = degradation_cache_.find(years);
-  if (it == degradation_cache_.end()) {
-    misses.add();
-    it = degradation_cache_
-             .emplace(years, std::make_unique<DegradationAwareLibrary>(
-                                 *lib_, model_, years))
-             .first;
-  } else {
-    hits.add();
-  }
-  return *it->second;
+  // PR 4: the per-characterizer cache moved into the Context's DesignStore —
+  // aged libraries built here are keyed by content and shared with the
+  // runtime and the fault injector.
+  return ctx_->store().aged_library(*lib_, model_, years);
 }
 
 double ComponentCharacterizer::aged_delay(const Netlist& nl,
                                           const AgingScenario& scenario,
                                           const StimulusSet* stimulus) const {
-  const Sta sta(nl, options_.sta);
+  const Sta sta(nl, options_.sta, ctx_);
   return aged_delay_with(sta, nl, scenario, stimulus);
 }
 
@@ -108,32 +101,43 @@ ComponentCharacterization ComponentCharacterizer::characterize(
     precisions.push_back(k);
   }
   result.points.resize(precisions.size());
-  // Each precision point synthesizes its own netlist and Sta, and writes only
-  // its own result slot, so the surface is bit-identical at any thread count.
-  parallel_for(precisions.size(), [&](std::size_t i) {
+  engine::DesignStore& store = ctx_->store();
+  // Each precision point gets its netlist from the shared store (synthesized
+  // once per distinct spec, process-wide) and writes only its own result
+  // slot, so the surface is bit-identical at any thread count. Uniform-stress
+  // and fresh delays route through the store's memoized aged-STA; measured
+  // scenarios are stimulus-dependent and keep the direct Sta path.
+  ctx_->parallel_for(precisions.size(), [&](std::size_t i) {
     const int k = precisions[i];
     obs::Span point_span("characterize.point", static_cast<std::uint64_t>(k));
     ComponentSpec spec = base;
     spec.truncated_bits = base.width - k;
-    const Netlist nl = make_component(*lib_, spec);
-    const Sta sta(nl, options_.sta);
+    const Netlist& nl = store.netlist(*lib_, spec);
 
     PrecisionPoint point;
     point.precision = k;
-    point.fresh_delay = sta.run_fresh().max_delay;
+    point.fresh_delay = store.aged_sta_delay(*lib_, spec, model_,
+                                             StressMode::worst, 0.0,
+                                             options_.sta);
     const NetlistStats stats = compute_stats(nl);
     point.area = stats.cell_area;
     point.gates = stats.gates;
     point.aged_delay.reserve(scenarios.size());
     for (const AgingScenario& s : scenarios) {
-      point.aged_delay.push_back(aged_delay_with(sta, nl, s, stimulus));
+      if (!s.is_fresh() && s.mode == StressMode::measured) {
+        const Sta sta(nl, options_.sta, ctx_);
+        point.aged_delay.push_back(aged_delay_with(sta, nl, s, stimulus));
+      } else {
+        point.aged_delay.push_back(store.aged_sta_delay(
+            *lib_, spec, model_, s.mode, s.years, options_.sta));
+      }
     }
     result.points[i] = std::move(point);
   });
 
   // Run-log emission happens after the barrier, in index order, so the JSONL
   // output is byte-identical at any thread count.
-  obs::RunLog& log = obs::RunLog::instance();
+  obs::RunLog& log = ctx_->runlog();
   if (log.enabled() && !in_parallel_region()) {
     obs::JsonWriter start;
     start.field("component", base.name())

@@ -12,14 +12,12 @@
 // aging-induced approximation library.
 #pragma once
 
-#include <map>
-#include <memory>
-#include <mutex>
 #include <vector>
 
 #include "aging/bti_model.hpp"
 #include "approx/library.hpp"
 #include "core/stimulus.hpp"
+#include "engine/context.hpp"
 #include "sta/sta.hpp"
 
 namespace aapx {
@@ -32,6 +30,14 @@ struct CharacterizerOptions {
 
 class ComponentCharacterizer {
  public:
+  /// All synthesized netlists, degradation-aware libraries and cacheable
+  /// aged delays go through `ctx`'s DesignStore, so anything this
+  /// characterizer warms is reusable by every other consumer of the same
+  /// Context (runtime, fault injector, another characterizer).
+  ComponentCharacterizer(const Context& ctx, const CellLibrary& lib,
+                         BtiModel model, CharacterizerOptions options = {});
+
+  /// Process-default-Context shim: behaves exactly like the pre-Context API.
   ComponentCharacterizer(const CellLibrary& lib, BtiModel model,
                          CharacterizerOptions options = {});
 
@@ -45,6 +51,7 @@ class ComponentCharacterizer {
   double aged_delay(const Netlist& nl, const AgingScenario& scenario,
                     const StimulusSet* stimulus = nullptr) const;
 
+  const Context& context() const noexcept { return *ctx_; }
   const CellLibrary& lib() const noexcept { return *lib_; }
   const BtiModel& model() const noexcept { return model_; }
   const CharacterizerOptions& options() const noexcept { return options_; }
@@ -58,15 +65,10 @@ class ComponentCharacterizer {
                          const AgingScenario& scenario,
                          const StimulusSet* stimulus) const;
 
+  const Context* ctx_;
   const CellLibrary* lib_;
   BtiModel model_;
   CharacterizerOptions options_;
-  /// Degradation libraries are expensive to build; cache per lifetime.
-  /// unique_ptr keeps returned references stable across cache growth, and the
-  /// mutex makes lookups safe from parallel_for workers.
-  mutable std::map<double, std::unique_ptr<DegradationAwareLibrary>>
-      degradation_cache_;
-  mutable std::mutex degradation_mutex_;
 };
 
 }  // namespace aapx

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "engine/design_store.hpp"
 #include "synth/components.hpp"
 
 namespace aapx {
@@ -18,10 +19,16 @@ const StimulusSet* stimulus_for(const FlowOptions& options,
 
 }  // namespace
 
+MicroarchApproximator::MicroarchApproximator(const Context& ctx,
+                                             const CellLibrary& lib,
+                                             BtiModel model,
+                                             CharacterizerOptions options)
+    : lib_(&lib), characterizer_(ctx, lib, model, options) {}
+
 MicroarchApproximator::MicroarchApproximator(const CellLibrary& lib,
                                              BtiModel model,
                                              CharacterizerOptions options)
-    : lib_(&lib), characterizer_(lib, model, options) {}
+    : MicroarchApproximator(Context::process_default(), lib, model, options) {}
 
 const ComponentCharacterization& MicroarchApproximator::characterization_for(
     const ComponentSpec& base, const AgingScenario& scenario,
@@ -54,7 +61,9 @@ const ComponentCharacterization& MicroarchApproximator::characterization_for(
 Netlist MicroarchApproximator::build_block(const BlockPlan& plan) const {
   ComponentSpec spec = plan.spec.component;
   spec.truncated_bits = spec.width - plan.chosen_precision;
-  return make_component(*lib_, spec);
+  // Copy out of the store: synthesis happens at most once per distinct spec
+  // even across validation iterations and repeated flows.
+  return characterizer_.context().store().netlist(*lib_, spec);
 }
 
 FlowResult MicroarchApproximator::run(const MicroarchSpec& design,
@@ -66,14 +75,16 @@ FlowResult MicroarchApproximator::run(const MicroarchSpec& design,
   result.blocks.reserve(design.blocks.size());
 
   // --- step 1: synthesize and take the fresh design constraint -------------
-  std::vector<Netlist> netlists;
+  const Context& ctx = characterizer_.context();
+  engine::DesignStore& store = ctx.store();
+  std::vector<const Netlist*> netlists;
   netlists.reserve(design.blocks.size());
   for (const BlockSpec& block : design.blocks) {
     if (block.component.truncated_bits != 0) {
       throw std::invalid_argument("run: blocks must start at full precision");
     }
-    netlists.push_back(make_component(*lib_, block.component));
-    const Sta sta(netlists.back(), options.sta);
+    netlists.push_back(&store.netlist(*lib_, block.component));
+    const Sta sta(*netlists.back(), options.sta, &ctx);
     BlockPlan plan;
     plan.spec = block;
     plan.fresh_delay = sta.run_fresh().max_delay;
@@ -87,7 +98,7 @@ FlowResult MicroarchApproximator::run(const MicroarchSpec& design,
   for (std::size_t i = 0; i < result.blocks.size(); ++i) {
     BlockPlan& plan = result.blocks[i];
     plan.aged_delay_full = characterizer_.aged_delay(
-        netlists[i], options.scenario, stimulus_for(options, plan.spec.name));
+        *netlists[i], options.scenario, stimulus_for(options, plan.spec.name));
     plan.slack = result.timing_constraint - plan.aged_delay_full;
     plan.rel_slack = plan.slack / result.timing_constraint;
   }

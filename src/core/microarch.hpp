@@ -63,6 +63,13 @@ struct FlowResult {
 
 class MicroarchApproximator {
  public:
+  /// Block synthesis and aged STA route through `ctx`'s DesignStore, so a
+  /// flow re-uses netlists/libraries warmed by any prior work on the same
+  /// Context.
+  MicroarchApproximator(const Context& ctx, const CellLibrary& lib,
+                        BtiModel model, CharacterizerOptions options = {});
+
+  /// Process-default-Context shim (pre-Context API).
   MicroarchApproximator(const CellLibrary& lib, BtiModel model,
                         CharacterizerOptions options = {});
 

@@ -1,0 +1,43 @@
+#include "engine/context.hpp"
+
+#include "engine/design_store.hpp"
+
+namespace aapx {
+
+Context::Context() : Context(Options{}) {}
+
+Context::Context(const Options& options) {
+  if (options.metrics != nullptr) {
+    metrics_ = options.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
+  }
+  if (options.runlog != nullptr) {
+    runlog_ = options.runlog;
+  } else {
+    owned_runlog_ = std::make_unique<obs::RunLog>();
+    runlog_ = owned_runlog_.get();
+  }
+  tracer_ = &obs::Tracer::instance();
+  threads_.store(options.threads, std::memory_order_relaxed);
+  seed_.store(options.seed, std::memory_order_relaxed);
+  // The store is created last: it registers its counters with metrics().
+  store_ = std::make_unique<engine::DesignStore>(*this);
+}
+
+Context::~Context() = default;
+
+Context& Context::process_default() {
+  // Leaked on purpose, like the singletons it subsumes: worker threads and
+  // atexit-ordered destructors may still touch it at process teardown.
+  static Context* ctx = [] {
+    Options options;
+    options.metrics = &obs::MetricsRegistry::instance();
+    options.runlog = &obs::RunLog::instance();
+    return new Context(options);
+  }();
+  return *ctx;
+}
+
+}  // namespace aapx

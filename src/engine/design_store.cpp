@@ -1,0 +1,224 @@
+#include "engine/design_store.hpp"
+
+#include <stdexcept>
+
+#include "engine/context.hpp"
+#include "engine/key.hpp"
+#include "obs/runlog.hpp"
+#include "util/hash.hpp"
+#include "util/parallel.hpp"
+
+namespace aapx::engine {
+namespace {
+
+// Family tags keep the three key spaces disjoint inside one digest space.
+constexpr std::uint64_t kTagNetlist = 0x4e4c303031ULL;  // "NL001"
+constexpr std::uint64_t kTagLibrary = 0x414c303031ULL;  // "AL001"
+constexpr std::uint64_t kTagDelay = 0x4454303031ULL;    // "DT001"
+
+}  // namespace
+
+DesignStore::DesignStore(const Context& ctx) : ctx_(&ctx) {
+  obs::MetricsRegistry& m = ctx.metrics();
+  netlist_hits_ = &m.counter("engine.store.netlist_hits");
+  netlist_misses_ = &m.counter("engine.store.netlist_misses");
+  library_hits_ = &m.counter("engine.store.library_hits");
+  library_misses_ = &m.counter("engine.store.library_misses");
+  delay_hits_ = &m.counter("engine.store.delay_hits");
+  delay_misses_ = &m.counter("engine.store.delay_misses");
+}
+
+std::uint64_t DesignStore::fingerprint(const CellLibrary& lib) {
+  {
+    std::lock_guard<std::mutex> lock(fp_mutex_);
+    const auto it = fp_cache_.find(&lib);
+    if (it != fp_cache_.end()) return it->second;
+  }
+  // Content walk outside the lock; a racing duplicate computes the same
+  // digest (fingerprinting is pure).
+  const std::uint64_t fp = engine::fingerprint(lib);
+  std::lock_guard<std::mutex> lock(fp_mutex_);
+  fp_cache_.emplace(&lib, fp);
+  return fp;
+}
+
+const Netlist& DesignStore::netlist(const CellLibrary& lib,
+                                    const ComponentSpec& spec) {
+  const std::uint64_t fp = fingerprint(lib);
+  const std::uint64_t key =
+      Hasher{}.u64(kTagNetlist).u64(fp).u64(key_of(spec)).digest();
+  Shard<NetlistEntry>& shard = netlists_[shard_of(key)];
+  // The build runs under the shard lock: a racing requester of the same
+  // netlist waits instead of synthesizing a duplicate, and hit/miss totals
+  // stay deterministic at any thread count (one miss per distinct key).
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    const NetlistEntry& e = *it->second;
+    if (e.lib_fp != fp || !(e.spec == spec)) {
+      throw std::logic_error("DesignStore: netlist key collision");
+    }
+    netlist_hits_->add();
+    return e.netlist;
+  }
+  netlist_misses_->add();
+  auto entry = std::make_unique<NetlistEntry>(
+      NetlistEntry{fp, spec, make_component(*ctx_, lib, spec)});
+  it = shard.entries.emplace(key, std::move(entry)).first;
+  return it->second->netlist;
+}
+
+const DegradationAwareLibrary& DesignStore::aged_library(const CellLibrary& lib,
+                                                         const BtiModel& model,
+                                                         double years) {
+  const std::uint64_t fp = fingerprint(lib);
+  const std::uint64_t key = Hasher{}
+                                .u64(kTagLibrary)
+                                .u64(fp)
+                                .u64(key_of(model))
+                                .f64(years)
+                                .digest();
+  Shard<LibraryEntry>& shard = libraries_[shard_of(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.entries.find(key);
+  if (it != shard.entries.end()) {
+    const LibraryEntry& e = *it->second;
+    if (e.lib_fp != fp || e.years != years ||
+        key_of(e.params) != key_of(model.params())) {
+      throw std::logic_error("DesignStore: library key collision");
+    }
+    library_hits_->add();
+    return *e.library;
+  }
+  library_misses_->add();
+  auto entry = std::make_unique<LibraryEntry>();
+  entry->lib_fp = fp;
+  entry->params = model.params();
+  entry->years = years;
+  entry->library = std::make_unique<DegradationAwareLibrary>(lib, model, years);
+  it = shard.entries.emplace(key, std::move(entry)).first;
+  return *it->second->library;
+}
+
+double DesignStore::aged_sta_delay(const CellLibrary& lib,
+                                   const ComponentSpec& spec,
+                                   const BtiModel& model, StressMode mode,
+                                   double years, const StaOptions& sta) {
+  if (mode == StressMode::measured) {
+    throw std::invalid_argument(
+        "DesignStore::aged_sta_delay: measured-mode delays are "
+        "stimulus-dependent and not cacheable by spec");
+  }
+  const std::uint64_t netlist_key =
+      Hasher{}.u64(fingerprint(lib)).u64(key_of(spec)).digest();
+  // Fresh timing does not depend on the aging model or stress mode; keying
+  // it as plain "fresh" lets every model share one entry.
+  Hasher scenario;
+  if (years <= 0.0) {
+    scenario.str("fresh");
+  } else {
+    scenario.u64(key_of(model)).i32(static_cast<int>(mode)).f64(years);
+  }
+  const std::uint64_t scenario_key = scenario.u64(key_of(sta)).digest();
+  const std::uint64_t key = Hasher{}
+                                .u64(kTagDelay)
+                                .u64(netlist_key)
+                                .u64(scenario_key)
+                                .digest();
+
+  Shard<DelayEntry>& shard = delays_[shard_of(key)];
+  {
+    bool hit = false;
+    std::uint64_t gates = 0;
+    double delay = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        const DelayEntry& e = *it->second;
+        if (e.netlist_key != netlist_key || e.scenario_key != scenario_key) {
+          throw std::logic_error("DesignStore: delay key collision");
+        }
+        delay_hits_->add();
+        hit = true;
+        gates = e.gates;
+        delay = e.delay;
+      }
+    }
+    if (hit) {
+      log_delay_query(years > 0.0, gates, delay);
+      return delay;
+    }
+  }
+  delay_misses_->add();
+  double delay;
+  std::uint64_t gates;
+  {
+    // Compute outside the lock — netlist()/aged_library() take their own
+    // family locks and an STA run is too long to serialize a shard on. A
+    // racing duplicate computes the identical value; first insert wins.
+    // The fill runs off the serial spine: whether it executes at all depends
+    // on process-wide cache history, so the Sta run must not emit its own
+    // sta_query record (log_delay_query below reports the query instead,
+    // identically for hits and misses).
+    const OffSpineGuard off_spine;
+    const Netlist& nl = netlist(lib, spec);
+    const Sta sta_engine(nl, sta, ctx_);
+    gates = static_cast<std::uint64_t>(nl.num_gates());
+    if (years <= 0.0) {
+      delay = sta_engine.run_fresh().max_delay;
+    } else {
+      const DegradationAwareLibrary& aged = aged_library(lib, model, years);
+      const StressProfile stress =
+          StressProfile::uniform(mode, nl.num_gates());
+      delay = sta_engine.run_aged(aged, stress).max_delay;
+    }
+    auto entry = std::make_unique<DelayEntry>();
+    entry->netlist_key = netlist_key;
+    entry->scenario_key = scenario_key;
+    entry->delay = delay;
+    entry->gates = gates;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.emplace(key, std::move(entry));
+  }
+  log_delay_query(years > 0.0, gates, delay);
+  return delay;
+}
+
+void DesignStore::log_delay_query(bool aged, std::uint64_t gates,
+                                  double delay) const {
+  obs::RunLog& log = ctx_->runlog();
+  if (!log.enabled() || in_parallel_region()) return;
+  obs::JsonWriter w;
+  w.field("kind", aged ? "aged" : "fresh")
+      .field("gates", gates)
+      .field("max_delay_ps", delay);
+  log.emit("sta_query", w);
+}
+
+DesignStore::Stats DesignStore::stats() const {
+  Stats s;
+  s.netlist_hits = netlist_hits_->value();
+  s.netlist_misses = netlist_misses_->value();
+  s.library_hits = library_hits_->value();
+  s.library_misses = library_misses_->value();
+  s.delay_hits = delay_hits_->value();
+  s.delay_misses = delay_misses_->value();
+  return s;
+}
+
+std::size_t DesignStore::entries() const {
+  std::size_t n = 0;
+  const auto count = [&n](const auto& family) {
+    for (const auto& shard : family) {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      n += shard.entries.size();
+    }
+  };
+  count(netlists_);
+  count(libraries_);
+  count(delays_);
+  return n;
+}
+
+}  // namespace aapx::engine

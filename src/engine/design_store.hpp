@@ -1,0 +1,155 @@
+// Content-addressed store for the expensive artifacts of the aging flow.
+//
+// PR 2 memoized re-synthesis and aged STA with three *separate* keyed caches
+// buried inside ComponentCharacterizer, ClosedLoopRuntime and FaultInjector.
+// Identical (spec, lifetime, model) work was still recomputed across layers,
+// and nothing could be shared between concurrent campaigns. The DesignStore
+// is the single home for all three families:
+//
+//   netlist   : (library fingerprint, ComponentSpec)            -> Netlist
+//   library   : (library fingerprint, BtiParams, years)         -> aged lib
+//   sta delay : (netlist key, model-or-fresh, stress, years,
+//                StaOptions)                                    -> ps
+//
+// Keys are stable 64-bit content digests (engine/key.hpp): the characterizer
+// warms an entry, the runtime and the fault injector hit it — one unified
+// store, cross-layer by construction. A FaultInjector with a nominal
+// scenario keys the *same* degradation libraries as the runtime, because the
+// key is the model's parameter content, not the object that asked.
+//
+// Concurrency: each family is sharded 16 ways by key; a shard's mutex is
+// held across a netlist/library build (so racing requesters wait instead of
+// duplicating the expensive work — and hit/miss counts stay deterministic),
+// while STA delays are computed outside the lock (racing duplicates compute
+// the identical value; first insert wins). Returned references are stable
+// for the Context's lifetime: values live in node-stable maps behind
+// unique_ptr.
+//
+// Collision discipline: every netlist/library hit re-verifies the stored key
+// material (spec / params / years / fingerprint) and throws on mismatch —
+// a 64-bit collision is astronomically unlikely but must never silently
+// serve the wrong artifact.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "aging/bti_model.hpp"
+#include "aging/stress.hpp"
+#include "cell/degradation.hpp"
+#include "netlist/netlist.hpp"
+#include "obs/metrics.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+
+class Context;
+
+namespace engine {
+
+class DesignStore {
+ public:
+  /// The store reports hit/miss counters into (and builds artifacts under)
+  /// its owning Context; `Context::store()` is the only intended way in.
+  explicit DesignStore(const Context& ctx);
+  DesignStore(const DesignStore&) = delete;
+  DesignStore& operator=(const DesignStore&) = delete;
+
+  /// The synthesized, optimized netlist of `spec` under `lib`. Reference
+  /// stays valid for the store's lifetime.
+  const Netlist& netlist(const CellLibrary& lib, const ComponentSpec& spec);
+
+  /// The degradation-aware library of `lib` under `model` at `years`.
+  const DegradationAwareLibrary& aged_library(const CellLibrary& lib,
+                                              const BtiModel& model,
+                                              double years);
+
+  /// Memoized max-delay of `spec` under uniform stress `mode` at `years`
+  /// (fresh STA when years == 0; the model is then irrelevant and excluded
+  /// from the key, so fresh delays are shared across models). Measured-mode
+  /// queries are stimulus-dependent and must not come through this cache.
+  double aged_sta_delay(const CellLibrary& lib, const ComponentSpec& spec,
+                        const BtiModel& model, StressMode mode, double years,
+                        const StaOptions& sta);
+
+  /// Content fingerprint of `lib`, memoized per library object (libraries
+  /// are immutable once built everywhere in this codebase).
+  std::uint64_t fingerprint(const CellLibrary& lib);
+
+  struct Stats {
+    std::uint64_t netlist_hits = 0, netlist_misses = 0;
+    std::uint64_t library_hits = 0, library_misses = 0;
+    std::uint64_t delay_hits = 0, delay_misses = 0;
+
+    std::uint64_t hits() const {
+      return netlist_hits + library_hits + delay_hits;
+    }
+    std::uint64_t misses() const {
+      return netlist_misses + library_misses + delay_misses;
+    }
+  };
+  Stats stats() const;
+
+  /// Total cached entries across all families (diagnostic).
+  std::size_t entries() const;
+
+  static constexpr std::size_t kShards = 16;
+
+ private:
+  struct NetlistEntry {
+    std::uint64_t lib_fp = 0;
+    ComponentSpec spec;
+    Netlist netlist;
+  };
+  struct LibraryEntry {
+    std::uint64_t lib_fp = 0;
+    BtiParams params;
+    double years = 0.0;
+    std::unique_ptr<DegradationAwareLibrary> library;
+  };
+  struct DelayEntry {
+    std::uint64_t netlist_key = 0;
+    std::uint64_t scenario_key = 0;
+    double delay = 0.0;
+    std::uint64_t gates = 0;  ///< netlist size, kept for query log records
+  };
+
+  template <typename Entry>
+  struct Shard {
+    mutable std::mutex mutex;
+    /// std::map: node-stable, so references/pointers into entries survive
+    /// growth; unique_ptr keeps them stable even through map moves.
+    std::map<std::uint64_t, std::unique_ptr<Entry>> entries;
+  };
+  template <typename Entry>
+  using Family = std::array<Shard<Entry>, kShards>;
+
+  static std::size_t shard_of(std::uint64_t key) { return key % kShards; }
+
+  /// Emits the sta_query run-log record for one delay *query* (hit or miss
+  /// alike — the record documents the logical query, so the log stays
+  /// byte-identical no matter what warmed the cache). Serial spine only.
+  void log_delay_query(bool aged, std::uint64_t gates, double delay) const;
+
+  const Context* ctx_;
+  Family<NetlistEntry> netlists_;
+  Family<LibraryEntry> libraries_;
+  Family<DelayEntry> delays_;
+
+  std::mutex fp_mutex_;
+  std::map<const CellLibrary*, std::uint64_t> fp_cache_;
+
+  obs::Counter* netlist_hits_;
+  obs::Counter* netlist_misses_;
+  obs::Counter* library_hits_;
+  obs::Counter* library_misses_;
+  obs::Counter* delay_hits_;
+  obs::Counter* delay_misses_;
+};
+
+}  // namespace engine
+}  // namespace aapx

@@ -1,0 +1,53 @@
+// Content-addressed key derivation for the DesignStore.
+//
+// Every cacheable artifact of the flow is identified by a 64-bit FNV-1a
+// digest of the *inputs that determine it*, via util/hash.hpp:
+//
+//   netlist        <- tag, cell-library fingerprint, ComponentSpec fields
+//   aged library   <- tag, fingerprint, BtiParams fields, lifetime years
+//   aged-STA delay <- tag, netlist key, model key or "fresh", stress mode,
+//                     years, StaOptions fields
+//
+// Keys are pure functions of content — never of addresses — so two
+// BtiModel objects with equal parameters share cache entries, and keys are
+// stable across runs (they could be persisted or shipped to a remote shard).
+#pragma once
+
+#include <cstdint>
+
+#include "aging/bti_model.hpp"
+#include "aging/stress.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+
+class CellLibrary;
+
+namespace engine {
+
+/// Digest of every ComponentSpec field (kind, width, truncation, adder and
+/// multiplier architecture, approximation technique).
+std::uint64_t key_of(const ComponentSpec& spec);
+
+/// Digest of the full BtiParams record (voltages, prefactors, exponents,
+/// temperatures). Models with equal parameters key identically.
+std::uint64_t key_of(const BtiParams& params);
+inline std::uint64_t key_of(const BtiModel& model) {
+  return key_of(model.params());
+}
+
+std::uint64_t key_of(const StaOptions& options);
+
+/// Digest of (mode, years). Fresh scenarios (years == 0) of any mode key
+/// identically — aging-free timing does not depend on the stress mode.
+std::uint64_t key_of(const AgingScenario& scenario);
+
+/// Content fingerprint of a cell library: every cell's name, function,
+/// drive, electrical constants, leakage vector and NLDM tables, plus the DFF
+/// boundary spec. Expensive (walks every table); DesignStore memoizes it per
+/// library object.
+std::uint64_t fingerprint(const CellLibrary& lib);
+
+}  // namespace engine
+}  // namespace aapx

@@ -100,6 +100,13 @@ struct MetricsSnapshot {
 
 class MetricsRegistry {
  public:
+  /// Registries are constructible: each aapx::Context owns a private one so
+  /// concurrent tenants never share counters. instance() remains the
+  /// process-default registry (what Context::process_default() routes to).
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
   static MetricsRegistry& instance();
 
   /// Returns the metric with this name, creating it on first use. The
@@ -117,8 +124,6 @@ class MetricsRegistry {
   void reset();
 
  private:
-  MetricsRegistry() = default;
-
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

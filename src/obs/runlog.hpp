@@ -29,6 +29,13 @@ inline constexpr const char* kRunLogSchema = "aapx-runlog-v1";
 
 class RunLog {
  public:
+  /// Logs are constructible: each aapx::Context owns a private one (closed
+  /// until open()), so concurrent tenants write disjoint files. instance()
+  /// remains the process-default log the CLI's --log flag drives.
+  RunLog() = default;
+  RunLog(const RunLog&) = delete;
+  RunLog& operator=(const RunLog&) = delete;
+
   static RunLog& instance();
 
   bool enabled() const noexcept {
@@ -44,8 +51,6 @@ class RunLog {
   void emit(std::string_view type);
 
  private:
-  RunLog() = default;
-
   std::atomic<bool> enabled_{false};
   std::mutex mutex_;
   std::ofstream out_;

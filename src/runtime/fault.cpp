@@ -4,14 +4,15 @@
 #include <stdexcept>
 
 #include "cell/degradation.hpp"
+#include "engine/design_store.hpp"
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace aapx {
 
-FaultInjector::FaultInjector(const CellLibrary& lib, BtiModel nominal,
-                             FaultScenario scenario)
-    : lib_(&lib), nominal_(nominal), scenario_(scenario) {
+FaultInjector::FaultInjector(const Context& ctx, const CellLibrary& lib,
+                             BtiModel nominal, FaultScenario scenario)
+    : ctx_(&ctx), lib_(&lib), nominal_(nominal), scenario_(scenario) {
   if (scenario_.aging_acceleration <= 0.0) {
     throw std::invalid_argument("FaultInjector: aging_acceleration must be > 0");
   }
@@ -29,6 +30,10 @@ FaultInjector::FaultInjector(const CellLibrary& lib, BtiModel nominal,
         "FaultInjector: temp_step_from_years must be >= 0");
   }
 }
+
+FaultInjector::FaultInjector(const CellLibrary& lib, BtiModel nominal,
+                             FaultScenario scenario)
+    : FaultInjector(Context::process_default(), lib, nominal, scenario) {}
 
 BtiModel FaultInjector::faulted_model(double years) const {
   BtiParams params = nominal_.params();
@@ -62,22 +67,9 @@ double FaultInjector::equivalent_nominal_years(double years) const {
 
 const DegradationAwareLibrary& FaultInjector::faulted_library(
     double years) const {
-  static obs::Counter& hits =
-      obs::metrics().counter("fault.library_cache_hits");
-  static obs::Counter& misses =
-      obs::metrics().counter("fault.library_cache_misses");
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto it = library_cache_.find(years);
-  if (it == library_cache_.end()) {
-    misses.add();
-    it = library_cache_
-             .emplace(years, std::make_unique<DegradationAwareLibrary>(
-                                 *lib_, faulted_model(years), years))
-             .first;
-  } else {
-    hits.add();
-  }
-  return *it->second;
+  // A nominal scenario's faulted model is content-identical to the nominal
+  // model, so this resolves to the same store entries the runtime warms.
+  return ctx_->store().aged_library(*lib_, faulted_model(years), years);
 }
 
 Sta::GateDelays FaultInjector::true_delays(const Netlist& nl, StressMode mode,
@@ -86,7 +78,7 @@ Sta::GateDelays FaultInjector::true_delays(const Netlist& nl, StressMode mode,
   if (years < 0.0) {
     throw std::invalid_argument("FaultInjector::true_delays: negative age");
   }
-  const Sta sta(nl, sta_options);
+  const Sta sta(nl, sta_options, ctx_);
   Sta::GateDelays delays;
   if (years == 0.0) {
     delays = sta.gate_delays(nullptr, nullptr);

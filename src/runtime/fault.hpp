@@ -23,13 +23,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
 
 #include "aging/bti_model.hpp"
 #include "aging/stress.hpp"
 #include "cell/library.hpp"
+#include "engine/context.hpp"
 #include "netlist/netlist.hpp"
 #include "runtime/sensor.hpp"
 #include "sta/sta.hpp"
@@ -69,6 +67,13 @@ struct FaultScenario {
 
 class FaultInjector {
  public:
+  /// Faulted degradation libraries come from `ctx`'s DesignStore: keyed by
+  /// model *content*, so a nominal scenario shares the very same entries the
+  /// runtime and characterizer use.
+  FaultInjector(const Context& ctx, const CellLibrary& lib, BtiModel nominal,
+                FaultScenario scenario);
+
+  /// Process-default-Context shim (pre-Context API).
   FaultInjector(const CellLibrary& lib, BtiModel nominal,
                 FaultScenario scenario);
 
@@ -97,17 +102,16 @@ class FaultInjector {
   const BtiModel& nominal_model() const noexcept { return nominal_; }
 
  private:
-  /// Faulted degradation library at one wall-clock age (the faulted model is
-  /// itself a function of `years` via the temperature step, so age is the
-  /// complete key). Guarded for concurrent campaigns sharing one injector.
+  /// Faulted degradation library at one wall-clock age, served by the
+  /// DesignStore (the faulted model is itself a function of `years` via the
+  /// temperature step, and the store keys on the model's content, so the
+  /// (model(years), years) pair is the complete key).
   const DegradationAwareLibrary& faulted_library(double years) const;
 
+  const Context* ctx_;
   const CellLibrary* lib_;
   BtiModel nominal_;
   FaultScenario scenario_;
-  mutable std::mutex cache_mutex_;
-  mutable std::map<double, std::unique_ptr<DegradationAwareLibrary>>
-      library_cache_;
 };
 
 }  // namespace aapx

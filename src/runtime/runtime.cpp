@@ -5,6 +5,7 @@
 
 #include "cell/degradation.hpp"
 #include "core/stimulus.hpp"
+#include "engine/design_store.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
 #include "obs/trace.hpp"
@@ -25,9 +26,9 @@ std::uint64_t CampaignResult::errors_in_last(std::size_t n) const {
   return sum;
 }
 
-ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
-                                     RuntimeOptions options)
-    : lib_(&lib), nominal_(nominal), options_(std::move(options)) {
+ClosedLoopRuntime::ClosedLoopRuntime(const Context& ctx, const CellLibrary& lib,
+                                     BtiModel nominal, RuntimeOptions options)
+    : ctx_(&ctx), lib_(&lib), nominal_(nominal), options_(std::move(options)) {
   const ComponentSpec& c = options_.component;
   if (c.truncated_bits != 0) {
     throw std::invalid_argument(
@@ -47,87 +48,42 @@ ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
   CharacterizerOptions copt;
   copt.min_precision = options_.min_precision;
   copt.sta = options_.sta;
-  const ComponentCharacterizer characterizer(*lib_, nominal_, copt);
+  // Planning warms the Context's DesignStore: every netlist / aged library /
+  // delay the schedule touches is a store hit for the campaign later.
+  const ComponentCharacterizer characterizer(*ctx_, *lib_, nominal_, copt);
   const AdaptiveScheduler scheduler(characterizer);
   schedule_ = scheduler.plan(c, options_.stress, options_.schedule_grid);
 }
 
-const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
-  // std::map nodes are stable, so returned references survive later inserts;
-  // the lock makes concurrent campaigns over one runtime safe.
-  static obs::Counter& hits =
-      obs::metrics().counter("runtime.netlist_cache_hits");
-  static obs::Counter& misses =
-      obs::metrics().counter("runtime.netlist_cache_misses");
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  const auto it = netlist_cache_.find(precision);
-  if (it != netlist_cache_.end()) {
-    hits.add();
-    return it->second;
-  }
-  misses.add();
+ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
+                                     RuntimeOptions options)
+    : ClosedLoopRuntime(Context::process_default(), lib, nominal,
+                        std::move(options)) {}
+
+ComponentSpec ClosedLoopRuntime::spec_for(int precision) const {
   if (precision < options_.min_precision ||
       precision > options_.component.width) {
     throw std::invalid_argument("ClosedLoopRuntime: precision out of range");
   }
   ComponentSpec spec = options_.component;
   spec.truncated_bits = spec.width - precision;
-  return netlist_cache_.emplace(precision, make_component(*lib_, spec))
-      .first->second;
+  return spec;
+}
+
+const Netlist& ClosedLoopRuntime::netlist_for(int precision) const {
+  return ctx_->store().netlist(*lib_, spec_for(precision));
 }
 
 const DegradationAwareLibrary& ClosedLoopRuntime::aged_library(
     double years) const {
-  static obs::Counter& hits =
-      obs::metrics().counter("runtime.aged_library_cache_hits");
-  static obs::Counter& misses =
-      obs::metrics().counter("runtime.aged_library_cache_misses");
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  auto it = aged_library_cache_.find(years);
-  if (it == aged_library_cache_.end()) {
-    misses.add();
-    it = aged_library_cache_
-             .emplace(years, std::make_unique<DegradationAwareLibrary>(
-                                 *lib_, nominal_, years))
-             .first;
-  } else {
-    hits.add();
-  }
-  return *it->second;
+  return ctx_->store().aged_library(*lib_, nominal_, years);
 }
 
 double ClosedLoopRuntime::model_sta_delay(int precision,
                                           double sensor_years) const {
-  static obs::Counter& hits =
-      obs::metrics().counter("runtime.sta_delay_cache_hits");
-  static obs::Counter& misses =
-      obs::metrics().counter("runtime.sta_delay_cache_misses");
-  const std::pair<int, double> key{precision, sensor_years};
-  {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    const auto it = sta_delay_cache_.find(key);
-    if (it != sta_delay_cache_.end()) {
-      hits.add();
-      return it->second;
-    }
-  }
-  misses.add();
-  // Compute outside the lock (netlist_for/aged_library lock internally); a
-  // racing duplicate computation yields the identical value.
-  const Netlist& nl = netlist_for(precision);
-  const Sta sta(nl, options_.sta);
-  double delay;
-  if (sensor_years <= 0.0) {
-    delay = sta.run_fresh().max_delay;
-  } else {
-    const DegradationAwareLibrary& aged = aged_library(sensor_years);
-    const StressProfile stress =
-        StressProfile::uniform(options_.stress, nl.num_gates());
-    delay = sta.run_aged(aged, stress).max_delay;
-  }
-  std::lock_guard<std::mutex> lock(cache_mutex_);
-  sta_delay_cache_.emplace(key, delay);
-  return delay;
+  return ctx_->store().aged_sta_delay(*lib_, spec_for(precision), nominal_,
+                                      options_.stress, sensor_years,
+                                      options_.sta);
 }
 
 StimulusSet ClosedLoopRuntime::make_stimulus(std::size_t count,
@@ -255,7 +211,7 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
   // Run-log emission is restricted to the serial spine: a campaign launched
   // inside parallel_for (e.g. the open/closed ablation pair) stays silent so
   // the JSONL output is deterministic and ordered.
-  obs::RunLog& log = obs::RunLog::instance();
+  obs::RunLog& log = ctx_->runlog();
   const bool logging = log.enabled() && !in_parallel_region();
 
   CampaignResult result;

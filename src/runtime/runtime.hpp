@@ -18,14 +18,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "core/adaptive.hpp"
 #include "core/characterizer.hpp"
+#include "engine/context.hpp"
 #include "gatesim/timedsim.hpp"
 #include "runtime/controller.hpp"
 #include "runtime/fault.hpp"
@@ -87,6 +85,14 @@ struct CampaignResult {
 
 class ClosedLoopRuntime {
  public:
+  /// Synthesized netlists, degradation libraries and model-side STA delays
+  /// all live in `ctx`'s DesignStore — shared with the characterizer (which
+  /// warms them while planning the schedule) and with any other runtime or
+  /// fault injector on the same Context.
+  ClosedLoopRuntime(const Context& ctx, const CellLibrary& lib,
+                    BtiModel nominal, RuntimeOptions options);
+
+  /// Process-default-Context shim (pre-Context API).
   ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
                     RuntimeOptions options);
 
@@ -98,28 +104,29 @@ class ClosedLoopRuntime {
   CampaignResult run(const FaultInjector& faults,
                      const CampaignOptions& campaign) const;
 
-  /// The (cached) synthesized component at one precision step.
+  /// The synthesized component at one precision step, served from the
+  /// Context's DesignStore (stable reference, shared across consumers).
   const Netlist& netlist_for(int precision) const;
-  /// The (cached) degradation-aware library under the nominal BTI model.
+  /// The degradation-aware library under the nominal BTI model (DesignStore).
   const DegradationAwareLibrary& aged_library(double years) const;
   /// Model-side aged STA delay at one (precision, sensor age) point, memoized
-  /// — verification re-queries the same points across epochs.
+  /// in the DesignStore — verification re-queries the same points across
+  /// epochs, and a characterizer-warmed entry is a hit here.
   double model_sta_delay(int precision, double sensor_years) const;
   /// The campaign workload generator for this component kind.
   StimulusSet make_stimulus(std::size_t count, std::uint64_t seed) const;
 
+  const Context& context() const noexcept { return *ctx_; }
+
  private:
+  /// Full-precision spec narrowed to `precision` (validated).
+  ComponentSpec spec_for(int precision) const;
+
+  const Context* ctx_;
   const CellLibrary* lib_;
   BtiModel nominal_;
   RuntimeOptions options_;
   AdaptiveSchedule schedule_;
-  /// All caches are guarded by cache_mutex_ so concurrent campaigns (e.g. the
-  /// open/closed pair a benchmark runs in parallel) can share one runtime.
-  mutable std::mutex cache_mutex_;
-  mutable std::map<int, Netlist> netlist_cache_;
-  mutable std::map<double, std::unique_ptr<DegradationAwareLibrary>>
-      aged_library_cache_;
-  mutable std::map<std::pair<int, double>, double> sta_delay_cache_;
 };
 
 }  // namespace aapx

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "engine/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
 #include "obs/trace.hpp"
@@ -31,7 +32,14 @@ double StaResult::net_arrival(NetId net) const {
   return worst == kNeverArrives ? 0.0 : worst;
 }
 
-Sta::Sta(const Netlist& nl, StaOptions options) : nl_(&nl), options_(options) {}
+Sta::Sta(const Netlist& nl, StaOptions options, const Context* ctx)
+    : nl_(&nl), options_(options) {
+  obs::MetricsRegistry& registry =
+      ctx != nullptr ? ctx->metrics() : obs::metrics();
+  fresh_runs_ = &registry.counter("sta.fresh_runs");
+  aged_runs_ = &registry.counter("sta.aged_runs");
+  runlog_ = ctx != nullptr ? &ctx->runlog() : &obs::RunLog::instance();
+}
 
 StaResult Sta::run_fresh() const { return run(nullptr, nullptr); }
 
@@ -82,9 +90,7 @@ Sta::GateDelays Sta::gate_delays(const DegradationAwareLibrary* aged,
 StaResult Sta::run(const DegradationAwareLibrary* aged,
                    const StressProfile* stress) const {
   obs::Span span("sta.run");
-  static obs::Counter& fresh_runs = obs::metrics().counter("sta.fresh_runs");
-  static obs::Counter& aged_runs = obs::metrics().counter("sta.aged_runs");
-  (aged != nullptr ? aged_runs : fresh_runs).add();
+  (aged != nullptr ? aged_runs_ : fresh_runs_)->add();
 
   const Netlist& nl = *nl_;
   const std::size_t nets = nl.num_nets();
@@ -166,7 +172,7 @@ StaResult Sta::run(const DegradationAwareLibrary* aged,
   // Serial-spine queries only: runs launched from parallel_for workers stay
   // out of the log so its byte content is independent of the thread count
   // (the serial fallback marks the region too, so 1 thread matches N).
-  obs::RunLog& log = obs::RunLog::instance();
+  obs::RunLog& log = *runlog_;
   if (log.enabled() && !in_parallel_region()) {
     obs::JsonWriter w;
     w.field("kind", aged != nullptr ? "aged" : "fresh")

@@ -15,7 +15,14 @@
 #include "cell/degradation.hpp"
 #include "netlist/netlist.hpp"
 
+namespace aapx::obs {
+class Counter;
+class RunLog;
+}  // namespace aapx::obs
+
 namespace aapx {
+
+class Context;
 
 struct StaOptions {
   double primary_input_slew = 20.0;  ///< ps, driven by boundary registers
@@ -47,7 +54,11 @@ struct StaResult {
 
 class Sta {
  public:
-  explicit Sta(const Netlist& nl, StaOptions options = {});
+  /// `ctx` scopes the instrumentation sinks (run counters, sta_query log
+  /// records); nullptr routes to the process-default registry/log, which is
+  /// what existing call sites get. Timing results never depend on `ctx`.
+  explicit Sta(const Netlist& nl, StaOptions options = {},
+               const Context* ctx = nullptr);
 
   /// Fresh (no-aging) max-delay analysis — paper's t(noAging).
   StaResult run_fresh() const;
@@ -72,6 +83,12 @@ class Sta {
 
   const Netlist* nl_;
   StaOptions options_;
+  /// Instrumentation handles resolved once at construction against the
+  /// context's sinks (a per-instance cache; never static, so each Context's
+  /// registry sees its own sta.* counts).
+  obs::Counter* fresh_runs_;
+  obs::Counter* aged_runs_;
+  obs::RunLog* runlog_;
 };
 
 }  // namespace aapx

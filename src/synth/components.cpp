@@ -128,9 +128,8 @@ Netlist gen_clamp(const CellLibrary& lib, const ComponentSpec& spec) {
   return nl;
 }
 
-}  // namespace
-
-Netlist make_component(const CellLibrary& lib, const ComponentSpec& spec) {
+Netlist make_component_impl(const CellLibrary& lib, const ComponentSpec& spec,
+                            const Context* ctx) {
   if (spec.width <= 0) throw std::invalid_argument("make_component: bad width");
   if (spec.truncated_bits < 0 || spec.truncated_bits >= spec.width) {
     throw std::invalid_argument("make_component: truncated_bits out of range");
@@ -154,7 +153,18 @@ Netlist make_component(const CellLibrary& lib, const ComponentSpec& spec) {
     }
     throw std::invalid_argument("make_component: unknown kind");
   }();
-  return optimize(raw).netlist;
+  return optimize(raw, ctx).netlist;
+}
+
+}  // namespace
+
+Netlist make_component(const CellLibrary& lib, const ComponentSpec& spec) {
+  return make_component_impl(lib, spec, nullptr);
+}
+
+Netlist make_component(const Context& ctx, const CellLibrary& lib,
+                       const ComponentSpec& spec) {
+  return make_component_impl(lib, spec, &ctx);
 }
 
 }  // namespace aapx

@@ -43,7 +43,13 @@ struct ComponentSpec {
   /// Effective precision K_j = width - truncated_bits.
   int precision() const { return width - truncated_bits; }
   std::string name() const;
+
+  /// Field-wise equality — the engine::DesignStore verifies cache hits
+  /// against the full spec to rule out key collisions.
+  friend bool operator==(const ComponentSpec&, const ComponentSpec&) = default;
 };
+
+class Context;
 
 /// Builds and optimizes the component netlist.
 /// Buses: adder  a,b[width] -> y[width+1]
@@ -51,5 +57,11 @@ struct ComponentSpec {
 ///        mac    a,b[width], acc[2*width] -> y[2*width+1]
 ///        clamp  x[width] -> y[8]                (saturate to [0, 255])
 Netlist make_component(const CellLibrary& lib, const ComponentSpec& spec);
+
+/// Context-routed variant: synthesis instrumentation (optimizer pass
+/// counters) lands in `ctx`'s metrics registry instead of the process
+/// default. Identical netlist output.
+Netlist make_component(const Context& ctx, const CellLibrary& lib,
+                       const ComponentSpec& spec);
 
 }  // namespace aapx

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "engine/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -117,11 +118,15 @@ OptimizeResult optimize_once(const Netlist& nl);
 
 }  // namespace
 
-OptimizeResult optimize(const Netlist& nl) {
+OptimizeResult optimize(const Netlist& nl, const Context* ctx) {
   obs::Span span("optimize", static_cast<std::uint64_t>(nl.num_gates()));
-  static obs::Counter& calls = obs::metrics().counter("optimize.calls");
-  static obs::Counter& passes = obs::metrics().counter("optimize.passes");
-  static obs::Counter& removed = obs::metrics().counter("optimize.gates_removed");
+  // Counters resolve against the caller's Context registry (per-call lookup:
+  // a static handle would pin the first caller's registry forever).
+  obs::MetricsRegistry& registry =
+      ctx != nullptr ? ctx->metrics() : obs::metrics();
+  obs::Counter& calls = registry.counter("optimize.calls");
+  obs::Counter& passes = registry.counter("optimize.passes");
+  obs::Counter& removed = registry.counter("optimize.gates_removed");
   calls.add();
   std::uint64_t pass_count = 1;
   // Constant folding can orphan upstream logic that was still live when the

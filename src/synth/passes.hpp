@@ -12,6 +12,8 @@
 
 namespace aapx {
 
+class Context;
+
 struct OptimizeResult {
   Netlist netlist;
   std::size_t gates_removed = 0;
@@ -20,6 +22,8 @@ struct OptimizeResult {
 /// Returns an optimized copy. Primary inputs (count, names, buses) are
 /// preserved verbatim so component interfaces stay stable even when inputs
 /// become dangling; outputs/buses are remapped onto the new nets.
-OptimizeResult optimize(const Netlist& nl);
+/// Pass counters go to `ctx`'s metrics registry when given, else to the
+/// process-default registry; the netlist result is context-independent.
+OptimizeResult optimize(const Netlist& nl, const Context* ctx = nullptr);
 
 }  // namespace aapx

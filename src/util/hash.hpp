@@ -1,0 +1,117 @@
+// Stable content hashing for cache keys.
+//
+// One FNV-1a-combine utility replaces the ad-hoc cache-key structs that used
+// to live separately in the characterizer (lifetime -> degradation library),
+// the closed-loop runtime ((precision, years) -> STA delay) and the fault
+// injector (lifetime -> faulted library). Every engine::DesignStore key is a
+// 64-bit digest built here.
+//
+// Stability contract: a digest depends only on the sequence of typed feeds —
+// not on platform endianness (integers are fed LSB-first byte by byte), not
+// on process layout (no pointers are ever hashed) and not on the run (no
+// addresses, no timestamps). The same logical key therefore hashes to the
+// same value across runs and machines, which is what makes digests usable as
+// persistent, content-addressed identities.
+//
+// Collision policy: 64-bit FNV-1a is not collision-free; stores that keep
+// the original key material verify it on every hit and treat a mismatch as a
+// hard error (see engine/design_store.cpp). The hash_test collision-sanity
+// suite checks that realistic key populations stay collision-free.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace aapx {
+
+inline constexpr std::uint64_t kFnv1aOffsetBasis = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/// Incremental, order-sensitive FNV-1a (64-bit) hasher. Feed calls return
+/// *this so keys read as one chained expression:
+///
+///   const std::uint64_t key =
+///       Hasher{}.str("netlist").u64(lib_fp).i32(spec.width).digest();
+class Hasher {
+ public:
+  constexpr Hasher() = default;
+
+  constexpr Hasher& byte(std::uint8_t b) noexcept {
+    h_ ^= b;
+    h_ *= kFnv1aPrime;
+    return *this;
+  }
+
+  Hasher& bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) byte(p[i]);
+    return *this;
+  }
+
+  /// Integers feed their bytes LSB-first regardless of host endianness.
+  constexpr Hasher& u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      byte(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8;
+    }
+    return *this;
+  }
+  constexpr Hasher& u32(std::uint32_t v) noexcept {
+    for (int i = 0; i < 4; ++i) {
+      byte(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8;
+    }
+    return *this;
+  }
+  constexpr Hasher& i32(std::int32_t v) noexcept {
+    return u32(static_cast<std::uint32_t>(v));
+  }
+  constexpr Hasher& i64(std::int64_t v) noexcept {
+    return u64(static_cast<std::uint64_t>(v));
+  }
+  constexpr Hasher& boolean(bool v) noexcept {
+    return byte(v ? 1 : 0);
+  }
+
+  /// Doubles hash their IEEE-754 bit pattern; -0.0 is normalized to +0.0 so
+  /// keys that compare equal hash equal. (NaNs keep their payload — they
+  /// never compare equal anyway.)
+  Hasher& f64(double v) noexcept {
+    if (v == 0.0) v = 0.0;  // collapses -0.0
+    return u64(std::bit_cast<std::uint64_t>(v));
+  }
+
+  /// Strings are length-prefixed so str("ab").str("c") != str("a").str("bc").
+  Hasher& str(std::string_view s) noexcept {
+    u64(s.size());
+    return bytes(s.data(), s.size());
+  }
+
+  constexpr std::uint64_t digest() const noexcept { return h_; }
+
+ private:
+  std::uint64_t h_ = kFnv1aOffsetBasis;
+};
+
+/// Plain FNV-1a of a byte string (the classic definition; exposed so tests
+/// can pin golden values and other layers can hash opaque blobs).
+inline std::uint64_t fnv1a(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnv1aOffsetBasis;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnv1aPrime;
+  }
+  return h;
+}
+
+/// Mixes a stream index into a base seed — the per-Context RNG-stream
+/// derivation (Context::make_rng). Distinct (seed, stream) pairs map to
+/// well-separated 64-bit seeds.
+inline std::uint64_t mix_seed(std::uint64_t seed,
+                              std::uint64_t stream) noexcept {
+  return Hasher{}.u64(seed).u64(stream).digest();
+}
+
+}  // namespace aapx

@@ -170,6 +170,12 @@ void set_num_threads(int threads) {
 
 bool in_parallel_region() { return t_in_parallel_region; }
 
+OffSpineGuard::OffSpineGuard() : prev_(t_in_parallel_region) {
+  t_in_parallel_region = true;
+}
+
+OffSpineGuard::~OffSpineGuard() { t_in_parallel_region = prev_; }
+
 void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                   int threads) {
   if (threads <= 0) threads = num_threads();

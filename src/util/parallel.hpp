@@ -23,10 +23,15 @@ int hardware_threads();
 
 /// Worker count parallel_for uses when `threads == 0`:
 /// set_num_threads() override, else AAPX_THREADS env var, else hardware.
+/// Worker counts are a per-Context property since PR 4: an aapx::Context
+/// with Options::threads == 0 falls through to this default, so these free
+/// functions are exactly the default Context's thread policy (and the -j /
+/// --threads flags keep their historic meaning).
 int num_threads();
 
 /// Overrides the global default worker count (0 = back to automatic).
-/// The `aapx` CLI's -j flag and the benches' --threads flag land here.
+/// The `aapx` CLI's -j flag and the benches' --threads flag land here;
+/// Contexts with an explicit thread count are unaffected.
 void set_num_threads(int threads);
 
 /// Runs fn(i) for every i in [0, n), distributing chunks over `threads`
@@ -40,5 +45,21 @@ void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
 /// True while executing inside a parallel_for body on any thread (used to
 /// serialize nested parallelism).
 bool in_parallel_region();
+
+/// RAII marker: in_parallel_region() is true on this thread for the scope.
+/// For work that must stay off the deterministic serial spine even when it
+/// happens to run there — e.g. DesignStore cache fills, whose execution
+/// depends on process-wide cache history: any run-log record emitted from
+/// inside would make the log depend on what ran earlier in the process.
+class OffSpineGuard {
+ public:
+  OffSpineGuard();
+  ~OffSpineGuard();
+  OffSpineGuard(const OffSpineGuard&) = delete;
+  OffSpineGuard& operator=(const OffSpineGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 }  // namespace aapx

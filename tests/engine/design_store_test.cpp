@@ -1,0 +1,170 @@
+// Unit tests for the content-addressed DesignStore: identity of returned
+// references, content (not object) addressing, hit/miss accounting, the
+// fresh-delay-shared-across-models keying rule, and the measured-mode guard.
+#include "engine/design_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "aging/bti_model.hpp"
+#include "cell/library.hpp"
+#include "engine/context.hpp"
+#include "engine/key.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+namespace {
+
+ComponentSpec adder8() {
+  return {ComponentKind::adder, 8, 0, AdderArch::ripple, MultArch::array};
+}
+ComponentSpec adder8_trunc2() {
+  return {ComponentKind::adder, 8, 2, AdderArch::ripple, MultArch::array};
+}
+
+class DesignStoreTest : public ::testing::Test {
+ protected:
+  DesignStoreTest() : lib_(make_nangate45_like()) {}
+
+  Context ctx_;
+  CellLibrary lib_;
+};
+
+TEST_F(DesignStoreTest, NetlistIsBuiltOnceAndServedByReference) {
+  engine::DesignStore& store = ctx_.store();
+  const Netlist& first = store.netlist(lib_, adder8());
+  const Netlist& second = store.netlist(lib_, adder8());
+  EXPECT_EQ(&first, &second);  // one entry, stable reference
+
+  const auto stats = store.stats();
+  EXPECT_EQ(stats.netlist_misses, 1u);
+  EXPECT_EQ(stats.netlist_hits, 1u);
+
+  // The cached artifact is the same netlist the synth layer produces.
+  const Netlist direct = make_component(ctx_, lib_, adder8());
+  EXPECT_EQ(first.num_gates(), direct.num_gates());
+}
+
+TEST_F(DesignStoreTest, DistinctSpecsGetDistinctEntries) {
+  engine::DesignStore& store = ctx_.store();
+  const Netlist& full = store.netlist(lib_, adder8());
+  const Netlist& trunc = store.netlist(lib_, adder8_trunc2());
+  EXPECT_NE(&full, &trunc);
+  EXPECT_EQ(store.stats().netlist_misses, 2u);
+  EXPECT_EQ(store.stats().netlist_hits, 0u);
+  EXPECT_EQ(store.entries(), 2u);
+}
+
+TEST_F(DesignStoreTest, AgedLibraryIsContentAddressed) {
+  engine::DesignStore& store = ctx_.store();
+  // Two distinct BtiModel objects with equal parameters must share one
+  // entry: the key is the parameter content, not the object identity.
+  const BtiModel a;
+  const BtiModel b;
+  const DegradationAwareLibrary& first = store.aged_library(lib_, a, 10.0);
+  const DegradationAwareLibrary& second = store.aged_library(lib_, b, 10.0);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(store.stats().library_misses, 1u);
+  EXPECT_EQ(store.stats().library_hits, 1u);
+
+  // A different lifetime is a different artifact.
+  const DegradationAwareLibrary& other = store.aged_library(lib_, a, 1.0);
+  EXPECT_NE(&first, &other);
+
+  // A different parameter set is a different artifact.
+  BtiParams hot = a.params();
+  hot.a_pmos *= 2.0;
+  const DegradationAwareLibrary& stressed =
+      store.aged_library(lib_, BtiModel(hot), 10.0);
+  EXPECT_NE(&first, &stressed);
+  EXPECT_EQ(store.stats().library_misses, 3u);
+}
+
+TEST_F(DesignStoreTest, DelayCacheMatchesDirectSta) {
+  engine::DesignStore& store = ctx_.store();
+  const BtiModel model;
+  const StaOptions sta;
+
+  const double fresh =
+      store.aged_sta_delay(lib_, adder8(), model, StressMode::worst, 0.0, sta);
+  const double aged =
+      store.aged_sta_delay(lib_, adder8(), model, StressMode::worst, 10.0, sta);
+  EXPECT_GT(aged, fresh);  // aging only slows gates down
+
+  // Both queries must agree with an uncached STA run on the same netlist.
+  const Netlist nl = make_component(ctx_, lib_, adder8());
+  const Sta direct(nl, sta);
+  EXPECT_DOUBLE_EQ(fresh, direct.run_fresh().max_delay);
+  const DegradationAwareLibrary aged_lib(lib_, model, 10.0);
+  const StressProfile stress =
+      StressProfile::uniform(StressMode::worst, nl.num_gates());
+  EXPECT_DOUBLE_EQ(aged, direct.run_aged(aged_lib, stress).max_delay);
+
+  // Re-querying serves from cache.
+  const auto before = store.stats();
+  EXPECT_DOUBLE_EQ(fresh, store.aged_sta_delay(lib_, adder8(), model,
+                                               StressMode::worst, 0.0, sta));
+  EXPECT_EQ(store.stats().delay_hits, before.delay_hits + 1);
+  EXPECT_EQ(store.stats().delay_misses, before.delay_misses);
+}
+
+TEST_F(DesignStoreTest, FreshDelayIsSharedAcrossModels) {
+  engine::DesignStore& store = ctx_.store();
+  // years == 0 excludes the model from the key: a second model's fresh
+  // query is a hit on the first model's entry.
+  BtiParams hot = BtiParams{};
+  hot.a_pmos *= 3.0;
+  const double d1 = store.aged_sta_delay(lib_, adder8(), BtiModel{},
+                                         StressMode::worst, 0.0, StaOptions{});
+  const double d2 = store.aged_sta_delay(lib_, adder8(), BtiModel(hot),
+                                         StressMode::balanced, 0.0,
+                                         StaOptions{});
+  EXPECT_DOUBLE_EQ(d1, d2);
+  EXPECT_EQ(store.stats().delay_misses, 1u);
+  EXPECT_EQ(store.stats().delay_hits, 1u);
+}
+
+TEST_F(DesignStoreTest, MeasuredModeIsRejected) {
+  EXPECT_THROW(ctx_.store().aged_sta_delay(lib_, adder8(), BtiModel{},
+                                           StressMode::measured, 10.0,
+                                           StaOptions{}),
+               std::invalid_argument);
+}
+
+TEST_F(DesignStoreTest, FingerprintIsStablePerLibraryContent) {
+  engine::DesignStore& store = ctx_.store();
+  const std::uint64_t fp1 = store.fingerprint(lib_);
+  const std::uint64_t fp2 = store.fingerprint(lib_);
+  EXPECT_EQ(fp1, fp2);  // memoized
+
+  // An equal-content library object fingerprints identically (content, not
+  // address), through a second store so neither memo is reused.
+  Context other;
+  const CellLibrary twin = make_nangate45_like();
+  EXPECT_EQ(fp1, other.store().fingerprint(twin));
+}
+
+TEST_F(DesignStoreTest, KeyOfEqualValuesAgrees) {
+  EXPECT_EQ(engine::key_of(adder8()), engine::key_of(adder8()));
+  EXPECT_NE(engine::key_of(adder8()), engine::key_of(adder8_trunc2()));
+  EXPECT_EQ(engine::key_of(BtiModel{}), engine::key_of(BtiModel{}));
+  BtiParams hot = BtiParams{};
+  hot.a_nmos *= 2.0;
+  EXPECT_NE(engine::key_of(BtiModel{}), engine::key_of(BtiModel(hot)));
+}
+
+TEST_F(DesignStoreTest, ContextsDoNotShareEntries) {
+  Context other;
+  const Netlist& mine = ctx_.store().netlist(lib_, adder8());
+  const Netlist& theirs = other.store().netlist(lib_, adder8());
+  EXPECT_NE(&mine, &theirs);
+  // Each store counted its own (single) miss into its own registry.
+  EXPECT_EQ(ctx_.store().stats().netlist_misses, 1u);
+  EXPECT_EQ(other.store().stats().netlist_misses, 1u);
+  EXPECT_EQ(ctx_.store().stats().netlist_hits, 0u);
+}
+
+}  // namespace
+}  // namespace aapx

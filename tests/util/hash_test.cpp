@@ -1,0 +1,149 @@
+// Stability and collision-sanity tests for the FNV-1a cache-key hasher
+// (util/hash.hpp) — the single key utility behind every engine::DesignStore
+// family. Digests are persistent content identities, so the goldens here pin
+// the byte-level feeding scheme: changing it silently would orphan every
+// key ever produced.
+#include "util/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aapx {
+namespace {
+
+// --- golden digests --------------------------------------------------------
+
+TEST(HashTest, Fnv1aMatchesReferenceVectors) {
+  // The classic 64-bit FNV-1a test vectors.
+  EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a(""), kFnv1aOffsetBasis);
+  EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, CompositeDigestIsPinned) {
+  // One digest of every typed feed, pinned forever: a change to any feeding
+  // rule (length prefix, LSB-first integers, IEEE bit pattern, bool byte)
+  // breaks this golden — which is the point, because it would also silently
+  // invalidate every persisted DesignStore key.
+  const std::uint64_t key = Hasher{}
+                                .str("aapx")
+                                .u64(0x0123456789abcdefULL)
+                                .i32(-7)
+                                .f64(1.5)
+                                .boolean(true)
+                                .digest();
+  EXPECT_EQ(key, 0x8784f8ce7976a77fULL);
+}
+
+TEST(HashTest, MixSeedIsPinned) {
+  EXPECT_EQ(mix_seed(42, 7), 0xe56ecf4870a447e8ULL);
+}
+
+TEST(HashTest, EmptyHasherIsOffsetBasis) {
+  EXPECT_EQ(Hasher{}.digest(), kFnv1aOffsetBasis);
+}
+
+// --- feeding-scheme properties ---------------------------------------------
+
+TEST(HashTest, IntegersFeedLsbFirstBytes) {
+  // u64/u32 are defined as their LSB-first byte expansion, independent of
+  // host endianness — the portability half of the stability contract.
+  const std::uint64_t via_u64 = Hasher{}.u64(0x0807060504030201ULL).digest();
+  Hasher manual;
+  for (std::uint8_t b = 1; b <= 8; ++b) manual.byte(b);
+  EXPECT_EQ(via_u64, manual.digest());
+
+  const std::uint64_t via_u32 = Hasher{}.u32(0x04030201U).digest();
+  Hasher manual32;
+  for (std::uint8_t b = 1; b <= 4; ++b) manual32.byte(b);
+  EXPECT_EQ(via_u32, manual32.digest());
+}
+
+TEST(HashTest, StringsAreLengthPrefixed) {
+  // Without the prefix these two feeds would concatenate identically.
+  EXPECT_NE(Hasher{}.str("ab").str("c").digest(),
+            Hasher{}.str("a").str("bc").digest());
+  EXPECT_NE(Hasher{}.str("").str("x").digest(),
+            Hasher{}.str("x").str("").digest());
+}
+
+TEST(HashTest, OrderSensitive) {
+  EXPECT_NE(Hasher{}.u64(1).u64(2).digest(), Hasher{}.u64(2).u64(1).digest());
+}
+
+TEST(HashTest, NegativeZeroHashesLikePositiveZero) {
+  // Keys that compare equal must hash equal; 0.0 == -0.0.
+  EXPECT_EQ(Hasher{}.f64(0.0).digest(), Hasher{}.f64(-0.0).digest());
+  EXPECT_NE(Hasher{}.f64(0.0).digest(), Hasher{}.f64(1e-300).digest());
+}
+
+TEST(HashTest, SignedIntegersRoundTripThroughTwosComplement) {
+  EXPECT_EQ(Hasher{}.i32(-1).digest(), Hasher{}.u32(0xffffffffU).digest());
+  EXPECT_EQ(Hasher{}.i64(-1).digest(),
+            Hasher{}.u64(0xffffffffffffffffULL).digest());
+  EXPECT_NE(Hasher{}.i32(-1).digest(), Hasher{}.i32(1).digest());
+}
+
+TEST(HashTest, DigestIsPureFunctionOfFeeds) {
+  const auto make = [] {
+    return Hasher{}.str("component").i32(32).i32(4).f64(10.0).digest();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+// --- collision sanity ------------------------------------------------------
+
+TEST(HashTest, RealisticKeyPopulationIsCollisionFree) {
+  // Shapes mirror the DesignStore families: (kind, width, truncation,
+  // arch, arch) spec-like keys crossed with (years, mode) scenario-like
+  // keys. ~37k distinct keys must produce ~37k distinct digests — with
+  // 64-bit digests a single collision here would indicate a structural
+  // weakness (e.g. feeds aliasing), not bad luck.
+  std::set<std::uint64_t> digests;
+  std::size_t keys = 0;
+  for (int kind = 0; kind < 4; ++kind) {
+    for (int width = 4; width <= 64; width += 4) {
+      for (int trunc = 0; trunc < 12; ++trunc) {
+        for (int aarch = 0; aarch < 2; ++aarch) {
+          for (int march = 0; march < 2; ++march) {
+            for (double years : {0.0, 0.5, 1.0, 5.0, 10.0, 15.0}) {
+              digests.insert(Hasher{}
+                                 .i32(kind)
+                                 .i32(width)
+                                 .i32(trunc)
+                                 .i32(aarch)
+                                 .i32(march)
+                                 .f64(years)
+                                 .digest());
+              ++keys;
+            }
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(keys, 15000u);
+  EXPECT_EQ(digests.size(), keys);
+}
+
+TEST(HashTest, SequentialSeedStreamsAreCollisionFree) {
+  // mix_seed is the per-Context RNG-stream derivation: adjacent streams of
+  // adjacent seeds must stay distinct.
+  std::set<std::uint64_t> seeds;
+  std::size_t n = 0;
+  for (std::uint64_t seed = 0; seed < 128; ++seed) {
+    for (std::uint64_t stream = 0; stream < 128; ++stream) {
+      seeds.insert(mix_seed(seed, stream));
+      ++n;
+    }
+  }
+  EXPECT_EQ(seeds.size(), n);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -28,6 +28,8 @@
 
 #include "cell/liberty.hpp"
 #include "core/adaptive.hpp"
+#include "engine/context.hpp"
+#include "engine/design_store.hpp"
 #include "core/microarch.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
@@ -180,13 +182,13 @@ std::ofstream open_out(const Args& args) {
   return os;
 }
 
-int cmd_characterize(const Args& args) {
+int cmd_characterize(const Context& ctx, const Args& args) {
   const CellLibrary lib = make_nangate45_like();
   const ComponentSpec spec = spec_from(args);
   CharacterizerOptions copt;
   copt.min_precision =
       args.get_int("min-precision", std::max(1, spec.width - 10));
-  const ComponentCharacterizer ch(lib, BtiModel{}, copt);
+  const ComponentCharacterizer ch(ctx, lib, BtiModel{}, copt);
   const StressMode mode = parse_mode(args.get("mode", "worst"));
   std::vector<AgingScenario> scenarios;
   for (const double y : parse_list(args.get("years", "1,10"), "--years")) {
@@ -226,12 +228,12 @@ int cmd_characterize(const Args& args) {
   return 0;
 }
 
-int cmd_flow(const Args& args) {
+int cmd_flow(const Context& ctx, const Args& args) {
   const CellLibrary lib = make_nangate45_like();
   const int width = args.get_int("width", 32);
   CharacterizerOptions copt;
   copt.min_precision = args.get_int("min-precision", std::max(1, width - 8));
-  MicroarchApproximator flow(lib, BtiModel{}, copt);
+  MicroarchApproximator flow(ctx, lib, BtiModel{}, copt);
   MicroarchSpec design;
   design.name = "idct";
   design.blocks = {
@@ -258,13 +260,13 @@ int cmd_flow(const Args& args) {
   return plan.timing_met ? 0 : 1;
 }
 
-int cmd_schedule(const Args& args) {
+int cmd_schedule(const Context& ctx, const Args& args) {
   const CellLibrary lib = make_nangate45_like();
   const ComponentSpec spec = spec_from(args);
   CharacterizerOptions copt;
   copt.min_precision =
       args.get_int("min-precision", std::max(1, spec.width - 10));
-  const ComponentCharacterizer ch(lib, BtiModel{}, copt);
+  const ComponentCharacterizer ch(ctx, lib, BtiModel{}, copt);
   const AdaptiveScheduler scheduler(ch);
   const std::vector<double> grid =
       parse_list(args.get("grid", "1,2,5,10"), "--grid");
@@ -303,10 +305,10 @@ int cmd_export_liberty(const Args& args) {
   return 0;
 }
 
-int cmd_export_verilog(const Args& args) {
+int cmd_export_verilog(const Context& ctx, const Args& args) {
   const CellLibrary lib = make_nangate45_like();
   const ComponentSpec spec = spec_from(args);
-  const Netlist nl = make_component(lib, spec);
+  const Netlist nl = make_component(ctx, lib, spec);
   std::ofstream os = open_out(args);
   write_verilog(nl, os, spec.name());
   std::printf("%s: %zu gates, %.1f um^2 -> %s\n", spec.name().c_str(),
@@ -315,10 +317,10 @@ int cmd_export_verilog(const Args& args) {
   return 0;
 }
 
-int cmd_export_sdf(const Args& args) {
+int cmd_export_sdf(const Context& ctx, const Args& args) {
   const CellLibrary lib = make_nangate45_like();
   const ComponentSpec spec = spec_from(args);
-  const Netlist nl = make_component(lib, spec);
+  const Netlist nl = make_component(ctx, lib, spec);
   std::ofstream os = open_out(args);
   SdfWriteOptions sopt;
   sopt.design_name = spec.name();
@@ -336,7 +338,7 @@ int cmd_export_sdf(const Args& args) {
   return 0;
 }
 
-int cmd_faultsim(const Args& args) {
+int cmd_faultsim(const Context& ctx, const Args& args) {
   const CellLibrary lib = make_nangate45_like();
 
   RuntimeOptions ropt;
@@ -346,7 +348,7 @@ int cmd_faultsim(const Args& args) {
   ropt.min_precision =
       args.get_int("min-precision", std::max(1, ropt.component.width - 10));
   ropt.schedule_grid = parse_list(args.get("grid", "0.5,1,2,5,10"), "--grid");
-  const ClosedLoopRuntime runtime(lib, BtiModel{}, ropt);
+  const ClosedLoopRuntime runtime(ctx, lib, BtiModel{}, ropt);
 
   FaultScenario fault;
   fault.aging_acceleration = args.get_double("accel", 1.0);
@@ -358,7 +360,7 @@ int cmd_faultsim(const Args& args) {
   fault.sensor_offset_years = args.get_double("sensor-offset", 0.0);
   fault.sensor_noise_sigma_years = args.get_double("sensor-noise", 0.0);
   fault.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const FaultInjector faults(lib, BtiModel{}, fault);
+  const FaultInjector faults(ctx, lib, BtiModel{}, fault);
 
   CampaignOptions copt;
   copt.lifetime_years = args.get_years("years", 10.0);
@@ -568,14 +570,14 @@ global options:
 
 namespace {
 
-int dispatch(const Args& args) {
-  if (args.command == "characterize") return cmd_characterize(args);
-  if (args.command == "flow") return cmd_flow(args);
-  if (args.command == "schedule") return cmd_schedule(args);
+int dispatch(const Context& ctx, const Args& args) {
+  if (args.command == "characterize") return cmd_characterize(ctx, args);
+  if (args.command == "flow") return cmd_flow(ctx, args);
+  if (args.command == "schedule") return cmd_schedule(ctx, args);
   if (args.command == "export-liberty") return cmd_export_liberty(args);
-  if (args.command == "export-verilog") return cmd_export_verilog(args);
-  if (args.command == "export-sdf") return cmd_export_sdf(args);
-  if (args.command == "faultsim") return cmd_faultsim(args);
+  if (args.command == "export-verilog") return cmd_export_verilog(ctx, args);
+  if (args.command == "export-sdf") return cmd_export_sdf(ctx, args);
+  if (args.command == "faultsim") return cmd_faultsim(ctx, args);
   if (args.command == "report") return cmd_report(args);
   if (args.command.empty() || args.command == "help" ||
       args.command == "--help") {
@@ -591,6 +593,12 @@ int dispatch(const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    // The CLI is a single-tenant process: it runs on the process-default
+    // Context, whose metrics/run-log sinks are the global instances the
+    // --metrics/--log flags have always driven. --threads/-j keeps its
+    // historic meaning by setting the global default worker count, which a
+    // Context with no explicit thread count falls through to.
+    const Context& ctx = Context::process_default();
     if (args.has("threads")) {
       const int threads = args.get_int("threads", 0);
       if (threads < 1) throw std::runtime_error("--threads must be >= 1");
@@ -603,7 +611,7 @@ int main(int argc, char** argv) {
     // `report` reads these paths as inputs; every other command writes them.
     const bool instrumented = args.command != "report";
     if (instrumented && !log_path.empty()) {
-      if (!obs::RunLog::instance().open(log_path)) {
+      if (!ctx.runlog().open(log_path)) {
         throw std::runtime_error("cannot open --log file " + log_path);
       }
       std::string argline = args.command;
@@ -614,12 +622,12 @@ int main(int argc, char** argv) {
       obs::JsonWriter mf;
       mf.field("command", args.command)
           .field("argv", argline)
-          .field("threads", num_threads());
+          .field("threads", ctx.num_threads());
       obs::emit_manifest(mf);
     }
     if (instrumented && !trace_path.empty()) obs::Tracer::instance().start();
 
-    const int rc = dispatch(args);
+    const int rc = dispatch(ctx, args);
 
     if (instrumented && !trace_path.empty()) {
       if (obs::Tracer::instance().stop_and_write_file(trace_path)) {
@@ -637,12 +645,12 @@ int main(int argc, char** argv) {
                      metrics_path.c_str());
         return 1;
       }
-      obs::metrics().write_json(os);
+      ctx.metrics().write_json(os);
       std::fprintf(stderr, "aapx: metrics written to %s\n",
                    metrics_path.c_str());
     }
     if (instrumented && !log_path.empty()) {
-      obs::RunLog::instance().close();
+      ctx.runlog().close();
       std::fprintf(stderr, "aapx: run log written to %s\n", log_path.c_str());
     }
     return rc;

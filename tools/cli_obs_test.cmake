@@ -47,7 +47,11 @@ check_contains("${out}" "top spans by inclusive time" "report")
 check_contains("${out}" "campaign" "report span table")
 check_contains("${out}" "controller decision timeline" "report")
 check_contains("${out}" "cache hit rates" "report")
-check_contains("${out}" "characterizer\\.degradation_cache" "report")
+# The unified DesignStore must be serving cross-layer hits: the characterizer
+# warms entries during planning, the campaign's runtime + fault injector then
+# hit them — all through one engine.store.* counter family.
+check_contains("${out}" "engine\\.store\\.library" "report")
+check_contains("${out}" "engine\\.store\\.netlist" "report")
 
 # --- 3. --check certifies the artifacts against the bundled validators ------
 execute_process(
