@@ -8,6 +8,7 @@
 #include <fstream>
 
 #include "engine/context.hpp"
+#include "engine/design_store.hpp"
 #include "gatesim/timedsim.hpp"
 #include "image/synthetic.hpp"
 #include "obs/metrics.hpp"
@@ -73,6 +74,13 @@ BenchJson::BenchJson(std::string name, int argc, char** argv)
   baseline_wall_s_ = arg_double(argc, argv, "--baseline-wall", 0.0);
   trace_path_ = arg_str(argc, argv, "--trace", "");
   metrics_path_ = arg_str(argc, argv, "--metrics", "");
+  store_path_ = arg_str(argc, argv, "--store", "");
+  if (store_path_.empty()) {
+    if (const char* env = std::getenv("AAPX_STORE")) store_path_ = env;
+  }
+  // Warm-start from the snapshot before the timer starts: load cost is not
+  // part of the bench, only the hits it produces are.
+  if (!store_path_.empty()) bench_context().store().open(store_path_);
   if (!trace_path_.empty()) obs::Tracer::instance().start();
   start_ = std::chrono::steady_clock::now();
 }
@@ -94,6 +102,13 @@ BenchJson::~BenchJson() {
       std::fprintf(stderr, "bench: cannot write --trace file %s\n",
                    trace_path_.c_str());
     }
+  }
+  // Save before the registry snapshots below so the persist counters the
+  // save bumps are part of both the --metrics file and the BENCH json.
+  if (!store_path_.empty() &&
+      !bench_context().store().save(store_path_)) {
+    std::fprintf(stderr, "bench: cannot write --store file %s\n",
+                 store_path_.c_str());
   }
   if (!metrics_path_.empty()) {
     std::ofstream os(metrics_path_);

@@ -111,7 +111,12 @@ std::string out_path(int argc, char** argv, const std::string& filename);
 ///
 /// The shared instrumentation flags also apply to every bench:
 /// "--trace <file>" collects a Chrome trace across the bench and writes it
-/// at destruction; "--metrics <file>" writes the registry snapshot JSON.
+/// at destruction; "--metrics <file>" writes the registry snapshot JSON;
+/// "--store <file>" (or the AAPX_STORE environment variable) opens a
+/// persistent DesignStore snapshot into the shared bench Context at
+/// construction and saves it back at destruction, so a second bench run
+/// warm-starts from the first one's synthesized netlists, aged libraries
+/// and characterization surfaces.
 class BenchJson {
  public:
   BenchJson(std::string name, int argc, char** argv);
@@ -131,6 +136,7 @@ class BenchJson {
   std::vector<std::pair<std::string, std::string>> metrics_;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string store_path_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -52,6 +52,39 @@ DegradationAwareLibrary::DegradationAwareLibrary(const CellLibrary& lib,
   }
 }
 
+DegradationAwareLibrary::DegradationAwareLibrary(const CellLibrary& lib,
+                                                 const BtiModel& model,
+                                                 double years,
+                                                 std::vector<Table2D> rise_grid,
+                                                 std::vector<Table2D> fall_grid)
+    : lib_(&lib),
+      model_(model),
+      years_(years),
+      rise_grid_(std::move(rise_grid)),
+      fall_grid_(std::move(fall_grid)) {
+  if (years < 0.0) {
+    throw std::invalid_argument("DegradationAwareLibrary: negative lifetime");
+  }
+  if (rise_grid_.size() != lib.size() || fall_grid_.size() != lib.size()) {
+    throw std::invalid_argument(
+        "DegradationAwareLibrary: grid count does not match library size");
+  }
+}
+
+const Table2D& DegradationAwareLibrary::rise_grid(CellId cell) const {
+  if (cell >= rise_grid_.size()) {
+    throw std::out_of_range("DegradationAwareLibrary::rise_grid");
+  }
+  return rise_grid_[cell];
+}
+
+const Table2D& DegradationAwareLibrary::fall_grid(CellId cell) const {
+  if (cell >= fall_grid_.size()) {
+    throw std::out_of_range("DegradationAwareLibrary::fall_grid");
+  }
+  return fall_grid_[cell];
+}
+
 double DegradationAwareLibrary::rise_factor(CellId cell, StressPair stress) const {
   if (cell >= rise_grid_.size()) {
     throw std::out_of_range("DegradationAwareLibrary::rise_factor");

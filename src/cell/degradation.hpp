@@ -29,6 +29,13 @@ class DegradationAwareLibrary {
   DegradationAwareLibrary(const CellLibrary& lib, const BtiModel& model,
                           double years);
 
+  /// Adopts precomputed factor grids instead of rebuilding them — the
+  /// deserialization path of the persistent DesignStore (engine/persist).
+  /// Both grid vectors must hold one table per cell of `lib`.
+  DegradationAwareLibrary(const CellLibrary& lib, const BtiModel& model,
+                          double years, std::vector<Table2D> rise_grid,
+                          std::vector<Table2D> fall_grid);
+
   /// Delay scale factor (>= 1) for an output-rise transition of `cell`
   /// under the given stress pair, bilinear over the 11x11 grid.
   double rise_factor(CellId cell, StressPair stress) const;
@@ -41,6 +48,14 @@ class DegradationAwareLibrary {
 
   /// Number of grid points per stress axis (the "11" in 11x11).
   static constexpr int kGridPoints = 11;
+
+  /// Raw factor grids of one cell, exposed for serialization. axis1 = S_p,
+  /// axis2 = S_n.
+  const Table2D& rise_grid(CellId cell) const;
+  const Table2D& fall_grid(CellId cell) const;
+  /// Number of cells covered (== size of the library this was built from,
+  /// without touching it — serialization may outlive the library object).
+  std::size_t num_cells() const noexcept { return rise_grid_.size(); }
 
  private:
   const CellLibrary* lib_;

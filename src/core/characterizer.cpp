@@ -84,6 +84,51 @@ ComponentCharacterization ComponentCharacterizer::characterize(
     }
   }
   obs::Span span("characterize");
+
+  // Route through the Context's surface cache whenever the sweep is a pure
+  // function of its key (no stimulus-dependent measured scenarios): a second
+  // characterization of the same component — in this process or, with a
+  // store file attached, in a later one — returns the memoized surface
+  // bit-identically instead of re-synthesizing. The sweep itself never logs
+  // (its sta_query records are suppressed inside parallel_for anyway), so
+  // the run-log emission below is identical for a cached and a computed
+  // surface.
+  bool cacheable = true;
+  for (const AgingScenario& s : scenarios) {
+    if (!s.is_fresh() && s.mode == StressMode::measured) cacheable = false;
+  }
+  ComponentCharacterization result =
+      cacheable ? ctx_->store().surface(
+                      *lib_, model_, base, scenarios, options_.min_precision,
+                      options_.precision_step, options_.sta,
+                      [&] { return sweep(base, scenarios, stimulus); })
+                : sweep(base, scenarios, stimulus);
+
+  // Run-log emission happens outside the sweep, in index order, so the JSONL
+  // output is byte-identical at any thread count and any cache warmth.
+  obs::RunLog& log = ctx_->runlog();
+  if (log.enabled() && !in_parallel_region()) {
+    obs::JsonWriter start;
+    start.field("component", base.name())
+        .field("points", static_cast<std::uint64_t>(result.points.size()))
+        .field("scenarios", static_cast<std::uint64_t>(scenarios.size()));
+    log.emit("sweep_start", start);
+    for (const PrecisionPoint& p : result.points) {
+      obs::JsonWriter w;
+      w.field("component", base.name())
+          .field("precision", p.precision)
+          .field("fresh_ps", p.fresh_delay)
+          .field("gates", static_cast<std::uint64_t>(p.gates))
+          .field("area", p.area);
+      log.emit("sweep_point", w);
+    }
+  }
+  return result;
+}
+
+ComponentCharacterization ComponentCharacterizer::sweep(
+    const ComponentSpec& base, const std::vector<AgingScenario>& scenarios,
+    const StimulusSet* stimulus) const {
   ComponentCharacterization result;
   result.base = base;
   result.scenarios = scenarios;
@@ -134,26 +179,6 @@ ComponentCharacterization ComponentCharacterizer::characterize(
     }
     result.points[i] = std::move(point);
   });
-
-  // Run-log emission happens after the barrier, in index order, so the JSONL
-  // output is byte-identical at any thread count.
-  obs::RunLog& log = ctx_->runlog();
-  if (log.enabled() && !in_parallel_region()) {
-    obs::JsonWriter start;
-    start.field("component", base.name())
-        .field("points", static_cast<std::uint64_t>(result.points.size()))
-        .field("scenarios", static_cast<std::uint64_t>(scenarios.size()));
-    log.emit("sweep_start", start);
-    for (const PrecisionPoint& p : result.points) {
-      obs::JsonWriter w;
-      w.field("component", base.name())
-          .field("precision", p.precision)
-          .field("fresh_ps", p.fresh_delay)
-          .field("gates", static_cast<std::uint64_t>(p.gates))
-          .field("area", p.area);
-      log.emit("sweep_point", w);
-    }
-  }
   return result;
 }
 

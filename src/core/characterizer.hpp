@@ -59,6 +59,13 @@ class ComponentCharacterizer {
  private:
   const DegradationAwareLibrary& degradation_for(double years) const;
 
+  /// The actual precision sweep (synthesis + STA per point), without run-log
+  /// emission. characterize() routes it through the Context's surface cache
+  /// when every scenario is cacheable (i.e. not measured-mode).
+  ComponentCharacterization sweep(const ComponentSpec& base,
+                                  const std::vector<AgingScenario>& scenarios,
+                                  const StimulusSet* stimulus) const;
+
   /// aged_delay with the Sta supplied by the caller, so one Sta per netlist
   /// serves the fresh run and every scenario.
   double aged_delay_with(const Sta& sta, const Netlist& nl,

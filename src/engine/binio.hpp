@@ -1,0 +1,122 @@
+// Endianness-stable binary encoding primitives for the persistent store.
+//
+// Every multi-byte integer is written LSB-first regardless of host
+// endianness, mirroring the convention util/hash.hpp uses to feed digests —
+// a store file written on a big-endian machine reads back identically on a
+// little-endian one. Doubles travel as their IEEE-754 bit pattern inside a
+// u64. Strings and vectors are length-prefixed.
+//
+// BinReader is bounds-checked: any read past the end of the payload throws
+// std::runtime_error, which the DesignStore's load path treats as a corrupt
+// record (drop + warn + cold miss), never as undefined behavior.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aapx::engine {
+
+class BinWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      u8(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8;
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      u8(static_cast<std::uint8_t>(v & 0xffU));
+      v >>= 8;
+    }
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+  void str(std::string_view s) {
+    u64(s.size());
+    buf_.append(s.data(), s.size());
+  }
+  void f64_vec(const std::vector<double>& v) {
+    u64(v.size());
+    for (const double x : v) f64(x);
+  }
+
+  const std::string& data() const noexcept { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class BinReader {
+ public:
+  explicit BinReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t u8() {
+    if (pos_ >= data_.size()) fail();
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint32_t u32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::uint64_t u64() {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(u8()) << (8 * i);
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+
+  std::string str() {
+    const std::uint64_t n = len(u64());
+    std::string s(data_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+  std::vector<double> f64_vec() {
+    const std::uint64_t n = len(u64() * 8) / 8;
+    std::vector<double> v;
+    v.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());
+    return v;
+  }
+
+  /// Validates a caller-decoded element count against the remaining bytes
+  /// (each element at least `min_bytes`), so a corrupt length prefix cannot
+  /// drive a multi-gigabyte allocation before the bounds check trips.
+  std::uint64_t count(std::uint64_t n, std::uint64_t min_bytes) {
+    if (min_bytes != 0 && n > remaining() / min_bytes) fail();
+    return n;
+  }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool at_end() const noexcept { return pos_ == data_.size(); }
+  /// Throws unless every byte was consumed — trailing garbage is corruption.
+  void expect_end() const {
+    if (!at_end()) fail();
+  }
+
+ private:
+  /// Bounds-checks a byte length against the remaining payload.
+  std::uint64_t len(std::uint64_t n) {
+    if (n > remaining()) fail();
+    return n;
+  }
+  [[noreturn]] static void fail() {
+    throw std::runtime_error("store payload truncated or corrupt");
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace aapx::engine

@@ -24,6 +24,9 @@ Context::Context(const Options& options) {
   seed_.store(options.seed, std::memory_order_relaxed);
   // The store is created last: it registers its counters with metrics().
   store_ = std::make_unique<engine::DesignStore>(*this);
+  if (!options.store_path.empty()) {
+    store_->open(options.store_path);
+  }
 }
 
 Context::~Context() = default;

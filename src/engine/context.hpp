@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
@@ -61,6 +62,11 @@ class Context {
     /// Run-log sink; nullptr = this Context owns a fresh private log
     /// (disabled until opened).
     obs::RunLog* runlog = nullptr;
+    /// Store file to open into the DesignStore at construction (the CLI's
+    /// `--store` / AAPX_STORE). Empty = in-memory only. Opening never
+    /// fails hard: a missing file is a cold start, a damaged one degrades
+    /// to cold with a warning (see DesignStore::open).
+    std::string store_path;
   };
 
   /// Fully private Context: own DesignStore, own metrics registry, own

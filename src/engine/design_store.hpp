@@ -29,16 +29,34 @@
 // material (spec / params / years / fingerprint) and throws on mismatch —
 // a 64-bit collision is astronomically unlikely but must never silently
 // serve the wrong artifact.
+//
+// Persistence (engine/persist.hpp): open(path) stages the records of a
+// versioned store file; a staged record is materialized lazily, on the first
+// query for its key, after re-verifying its embedded key material against
+// the live query — so a stale or colliding record degrades to a cold miss,
+// never a wrong hit. save(path) snapshots every in-memory entry plus any
+// still-staged record back to disk (byte-deterministic: records sorted by
+// kind then key). A characterizer run with a store attached thereby warms a
+// file that later runtime / fault-injection runs hit across processes.
+// Run logs stay byte-identical cold vs. warm: disk-served queries take the
+// exact hit paths (sta_query records carry the same fields either way), and
+// the store_load/store_save records contain only warmth-invariant fields.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "aging/bti_model.hpp"
 #include "aging/stress.hpp"
+#include "approx/characterization.hpp"
 #include "cell/degradation.hpp"
 #include "netlist/netlist.hpp"
 #include "obs/metrics.hpp"
@@ -76,20 +94,45 @@ class DesignStore {
                         const BtiModel& model, StressMode mode, double years,
                         const StaOptions& sta);
 
+  /// Memoized characterization surface of `base` (delay vs. precision vs.
+  /// aging, paper Fig. 3/4/7) under the exact sweep parameters. On a miss,
+  /// `build` runs under the key's shard lock (racing requesters wait; one
+  /// miss per distinct key). Measured-mode scenarios are stimulus-dependent
+  /// and must not come through this cache.
+  const ComponentCharacterization& surface(
+      const CellLibrary& lib, const BtiModel& model, const ComponentSpec& base,
+      const std::vector<AgingScenario>& scenarios, int min_precision,
+      int precision_step, const StaOptions& sta,
+      const std::function<ComponentCharacterization()>& build);
+
   /// Content fingerprint of `lib`, memoized per library object (libraries
   /// are immutable once built everywhere in this codebase).
   std::uint64_t fingerprint(const CellLibrary& lib);
+
+  /// Stages the records of the store file at `path` for lazy, re-verified
+  /// materialization and remembers the attachment for save(). A missing
+  /// file is a clean cold start; a corrupt, wrong-version or wrong-build
+  /// file degrades to cold with a warning on stderr. Returns false iff the
+  /// file existed but some of it had to be discarded.
+  bool open(const std::string& path);
+
+  /// Serializes every in-memory entry plus any still-staged record to
+  /// `path` (atomic: temp file + rename). Output bytes are deterministic
+  /// for a given store content. Returns false on I/O failure.
+  bool save(const std::string& path) const;
 
   struct Stats {
     std::uint64_t netlist_hits = 0, netlist_misses = 0;
     std::uint64_t library_hits = 0, library_misses = 0;
     std::uint64_t delay_hits = 0, delay_misses = 0;
+    std::uint64_t surface_hits = 0, surface_misses = 0;
+    std::uint64_t persist_hits = 0;  ///< queries served from a store file
 
     std::uint64_t hits() const {
-      return netlist_hits + library_hits + delay_hits;
+      return netlist_hits + library_hits + delay_hits + surface_hits;
     }
     std::uint64_t misses() const {
-      return netlist_misses + library_misses + delay_misses;
+      return netlist_misses + library_misses + delay_misses + surface_misses;
     }
   };
   Stats stats() const;
@@ -117,6 +160,15 @@ class DesignStore {
     double delay = 0.0;
     std::uint64_t gates = 0;  ///< netlist size, kept for query log records
   };
+  struct SurfaceEntry {
+    std::uint64_t lib_fp = 0;
+    BtiParams params;
+    StaOptions sta;
+    int min_precision = 0;
+    int precision_step = 0;
+    std::vector<AgingScenario> scenarios;
+    ComponentCharacterization surface;
+  };
 
   template <typename Entry>
   struct Shard {
@@ -135,13 +187,30 @@ class DesignStore {
   /// byte-identical no matter what warmed the cache). Serial spine only.
   void log_delay_query(bool aged, std::uint64_t gates, double delay) const;
 
+  /// Emits a warmth-invariant store_load / store_save run-log record.
+  void log_persist(const char* type, const std::string& path) const;
+
+  /// Pops the staged payload for `key` of one record kind, if any. Call
+  /// while holding the destination family's shard mutex (lock order is
+  /// always shard -> staged).
+  std::optional<std::string> take_staged(std::uint32_t kind,
+                                         std::uint64_t key);
+  /// Accounting for a query that a disk record satisfied / failed to.
+  void count_persist_miss();
+
   const Context* ctx_;
   Family<NetlistEntry> netlists_;
   Family<LibraryEntry> libraries_;
   Family<DelayEntry> delays_;
+  Family<SurfaceEntry> surfaces_;
 
   std::mutex fp_mutex_;
   std::map<const CellLibrary*, std::uint64_t> fp_cache_;
+
+  /// Raw records loaded by open() but not yet requested, keyed (kind, key).
+  mutable std::mutex staged_mutex_;
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> staged_;
+  std::atomic<bool> store_attached_{false};
 
   obs::Counter* netlist_hits_;
   obs::Counter* netlist_misses_;
@@ -149,6 +218,16 @@ class DesignStore {
   obs::Counter* library_misses_;
   obs::Counter* delay_hits_;
   obs::Counter* delay_misses_;
+  obs::Counter* surface_hits_;
+  obs::Counter* surface_misses_;
+  obs::Counter* persist_hits_;
+  obs::Counter* persist_misses_;
+  obs::Counter* persist_loads_;
+  obs::Counter* persist_saves_;
+  obs::Counter* persist_records_loaded_;
+  obs::Counter* persist_records_dropped_;
+  obs::Counter* persist_bytes_read_;
+  obs::Counter* persist_bytes_written_;
 };
 
 }  // namespace engine

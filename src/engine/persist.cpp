@@ -1,0 +1,510 @@
+#include "engine/persist.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "engine/binio.hpp"
+#include "util/hash.hpp"
+
+namespace aapx::engine {
+namespace {
+
+// Build provenance macros come from the top-level CMakeLists (the same pair
+// the run-log manifest records).
+#ifndef AAPX_BUILD_TYPE
+#define AAPX_BUILD_TYPE "unknown"
+#endif
+#ifndef AAPX_SANITIZE_MODE
+#define AAPX_SANITIZE_MODE "unknown"
+#endif
+
+void encode_spec(BinWriter& w, const ComponentSpec& spec) {
+  w.i32(static_cast<int>(spec.kind));
+  w.i32(spec.width);
+  w.i32(spec.truncated_bits);
+  w.i32(static_cast<int>(spec.adder_arch));
+  w.i32(static_cast<int>(spec.mult_arch));
+  w.i32(static_cast<int>(spec.technique));
+}
+
+ComponentSpec decode_spec(BinReader& r) {
+  ComponentSpec spec;
+  spec.kind = static_cast<ComponentKind>(r.i32());
+  spec.width = r.i32();
+  spec.truncated_bits = r.i32();
+  spec.adder_arch = static_cast<AdderArch>(r.i32());
+  spec.mult_arch = static_cast<MultArch>(r.i32());
+  spec.technique = static_cast<ApproxTechnique>(r.i32());
+  return spec;
+}
+
+void encode_params(BinWriter& w, const BtiParams& p) {
+  w.f64(p.vdd);
+  w.f64(p.vth0);
+  w.f64(p.a_pmos);
+  w.f64(p.a_nmos);
+  w.f64(p.time_exponent);
+  w.f64(p.stress_exponent);
+  w.f64(p.alpha);
+  w.f64(p.t_ref_years);
+  w.f64(p.temp_kelvin);
+  w.f64(p.t_ref_kelvin);
+  w.f64(p.activation_ev);
+}
+
+BtiParams decode_params(BinReader& r) {
+  BtiParams p;
+  p.vdd = r.f64();
+  p.vth0 = r.f64();
+  p.a_pmos = r.f64();
+  p.a_nmos = r.f64();
+  p.time_exponent = r.f64();
+  p.stress_exponent = r.f64();
+  p.alpha = r.f64();
+  p.t_ref_years = r.f64();
+  p.temp_kelvin = r.f64();
+  p.t_ref_kelvin = r.f64();
+  p.activation_ev = r.f64();
+  return p;
+}
+
+void encode_table(BinWriter& w, const Table2D& t) {
+  w.f64_vec(t.axis1());
+  w.f64_vec(t.axis2());
+  w.u64(t.axis1().size() * t.axis2().size());
+  for (std::size_t i = 0; i < t.axis1().size(); ++i) {
+    for (std::size_t j = 0; j < t.axis2().size(); ++j) w.f64(t.at(i, j));
+  }
+}
+
+Table2D decode_table(BinReader& r) {
+  std::vector<double> axis1 = r.f64_vec();
+  std::vector<double> axis2 = r.f64_vec();
+  std::vector<double> values = r.f64_vec();
+  if (values.size() != axis1.size() * axis2.size()) {
+    throw std::runtime_error("store table dimensions inconsistent");
+  }
+  return Table2D(std::move(axis1), std::move(axis2), std::move(values));
+}
+
+}  // namespace
+
+std::uint64_t build_fingerprint() {
+  return Hasher{}
+      .str("aapx-store")
+      .u32(kStoreFormatVersion)
+      .str(__VERSION__)
+      .str(AAPX_BUILD_TYPE)
+      .str(AAPX_SANITIZE_MODE)
+      .digest();
+}
+
+const char* to_string(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::netlist:
+      return "netlist";
+    case RecordKind::aged_library:
+      return "aged_library";
+    case RecordKind::sta_delay:
+      return "sta_delay";
+    case RecordKind::surface:
+      return "surface";
+  }
+  return "unknown";
+}
+
+StoreFileData load_store_file(const std::string& path) {
+  StoreFileData out;
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return out;  // no file: clean cold start
+  out.file_found = true;
+
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string bytes = buf.str();
+  out.bytes_read = bytes.size();
+
+  const auto reject = [&](const std::string& why) -> StoreFileData& {
+    out.warnings.push_back("store " + path + ": " + why +
+                           " — starting cold");
+    out.records.clear();
+    return out;
+  };
+
+  try {
+    BinReader r(bytes);
+    char magic[8];
+    for (char& c : magic) c = static_cast<char>(r.u8());
+    if (!std::equal(magic, magic + 8, kStoreMagic)) {
+      return reject("not a store file (bad magic)");
+    }
+    const std::uint32_t version = r.u32();
+    if (version != kStoreFormatVersion) {
+      return reject("format version " + std::to_string(version) +
+                    " (expected " + std::to_string(kStoreFormatVersion) + ")");
+    }
+    const std::uint64_t build_fp = r.u64();
+    if (build_fp != build_fingerprint()) {
+      return reject("built by a different toolchain/configuration");
+    }
+    out.header_ok = true;
+
+    const std::uint64_t count = r.u64();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      RawRecord rec;
+      bool framed = false;
+      try {
+        const std::uint32_t kind = r.u32();
+        rec.key = r.u64();
+        const std::uint64_t size = r.u64();
+        const std::uint64_t checksum = r.u64();
+        if (size > r.remaining()) {
+          throw std::runtime_error("truncated record");
+        }
+        rec.payload.resize(size);
+        for (std::uint64_t b = 0; b < size; ++b) {
+          rec.payload[b] = static_cast<char>(r.u8());
+        }
+        // Past this point the cursor sits at the next record: a content
+        // failure below costs only this record, not the tail.
+        framed = true;
+        if (fnv1a(rec.payload) != checksum) {
+          throw std::runtime_error("checksum mismatch");
+        }
+        if (kind < 1 || kind > 4) {
+          throw std::runtime_error("unknown record kind " +
+                                   std::to_string(kind));
+        }
+        rec.kind = static_cast<RecordKind>(kind);
+      } catch (const std::exception& e) {
+        if (!framed) {
+          // A framing error means nothing after this point can be trusted:
+          // drop this record and the unreadable tail.
+          out.records_dropped += count - i;
+          out.warnings.push_back("store " + path + ": record " +
+                                 std::to_string(i + 1) + "/" +
+                                 std::to_string(count) + ": " + e.what() +
+                                 " — dropping it and the remaining tail");
+          return out;
+        }
+        ++out.records_dropped;
+        out.warnings.push_back("store " + path + ": record " +
+                               std::to_string(i + 1) + "/" +
+                               std::to_string(count) + ": " + e.what() +
+                               " — dropping it");
+        continue;
+      }
+      out.records.push_back(std::move(rec));
+    }
+  } catch (const std::exception& e) {
+    return reject(std::string("corrupt header: ") + e.what());
+  }
+  return out;
+}
+
+std::uint64_t write_store_file(const std::string& path,
+                               const std::vector<RawRecord>& records) {
+  BinWriter w;
+  for (const char c : kStoreMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kStoreFormatVersion);
+  w.u64(build_fingerprint());
+  w.u64(records.size());
+  for (const RawRecord& rec : records) {
+    w.u32(static_cast<std::uint32_t>(rec.kind));
+    w.u64(rec.key);
+    w.u64(rec.payload.size());
+    w.u64(fnv1a(rec.payload));
+    for (const char c : rec.payload) w.u8(static_cast<std::uint8_t>(c));
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return 0;
+    os.write(w.data().data(), static_cast<std::streamsize>(w.data().size()));
+    if (!os) return 0;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return 0;
+  }
+  return w.data().size();
+}
+
+// --- netlist ----------------------------------------------------------------
+
+std::string encode_netlist_payload(std::uint64_t lib_fp,
+                                   const ComponentSpec& spec,
+                                   const Netlist& nl) {
+  BinWriter w;
+  w.u64(lib_fp);
+  encode_spec(w, spec);
+  w.u64(nl.num_nets());
+  w.u64(nl.inputs().size());
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    w.u64(nl.inputs()[i]);
+    w.str(nl.input_name(i));
+  }
+  w.u64(nl.num_gates());
+  for (GateId g = 0; g < nl.num_gates(); ++g) {
+    const Gate& gate = nl.gate(g);
+    // Pin count from the gate's own fanin sentinels, NOT gate_num_inputs():
+    // that consults the CellLibrary, and save() may run after the caller's
+    // library object is gone (the store only borrows it).
+    int pins = 0;
+    while (pins < static_cast<int>(gate.fanin.size()) &&
+           gate.fanin[static_cast<std::size_t>(pins)] != kInvalidNet) {
+      ++pins;
+    }
+    w.u32(gate.cell);
+    w.u8(static_cast<std::uint8_t>(pins));
+    for (int p = 0; p < pins; ++p) w.u32(gate.fanin[static_cast<std::size_t>(p)]);
+    w.u32(gate.fanout);
+  }
+  w.u64(nl.outputs().size());
+  for (std::size_t i = 0; i < nl.outputs().size(); ++i) {
+    w.u64(nl.outputs()[i]);
+    w.str(nl.output_name(i));
+  }
+  // Buses sorted by name so encoding never depends on unordered_map order.
+  const auto write_buses = [&w, &nl](std::vector<std::string> names,
+                                     const auto& bus_of) {
+    std::sort(names.begin(), names.end());
+    w.u64(names.size());
+    for (const std::string& name : names) {
+      w.str(name);
+      const std::vector<NetId>& nets = bus_of(name);
+      w.u64(nets.size());
+      for (const NetId net : nets) w.u64(net);
+    }
+  };
+  write_buses(nl.input_bus_names(),
+              [&nl](const std::string& n) -> const std::vector<NetId>& {
+                return nl.input_bus(n);
+              });
+  write_buses(nl.output_bus_names(),
+              [&nl](const std::string& n) -> const std::vector<NetId>& {
+                return nl.output_bus(n);
+              });
+  return w.take();
+}
+
+NetlistPayload decode_netlist_payload(const std::string& payload,
+                                      const CellLibrary& lib) {
+  BinReader r(payload);
+  const std::uint64_t lib_fp = r.u64();
+  const ComponentSpec spec = decode_spec(r);
+
+  const std::uint64_t num_nets = r.u64();
+  Netlist nl(lib);  // creates the two constant nets
+  if (num_nets < 2) throw std::runtime_error("store netlist has no nets");
+
+  struct NamedNet {
+    NetId net;
+    std::string name;
+  };
+  std::vector<NamedNet> inputs;
+  const std::uint64_t num_inputs = r.count(r.u64(), 16);
+  inputs.reserve(num_inputs);
+  for (std::uint64_t i = 0; i < num_inputs; ++i) {
+    const auto net = static_cast<NetId>(r.u64());
+    inputs.push_back({net, r.str()});
+  }
+  // Primary inputs appear in net-id order (add_input creates a fresh net per
+  // call), which is what lets a linear replay reconstruct the exact ids.
+  std::size_t next_input = 0;
+  for (std::uint64_t id = 2; id < num_nets; ++id) {
+    if (next_input < inputs.size() && inputs[next_input].net == id) {
+      if (nl.add_input(inputs[next_input].name) != id) {
+        throw std::runtime_error("store netlist input replay diverged");
+      }
+      ++next_input;
+    } else if (nl.add_net() != id) {
+      throw std::runtime_error("store netlist net replay diverged");
+    }
+  }
+  if (next_input != inputs.size()) {
+    throw std::runtime_error("store netlist inputs not in net order");
+  }
+
+  const std::uint64_t num_gates = r.count(r.u64(), 9);
+  for (std::uint64_t g = 0; g < num_gates; ++g) {
+    const auto cell = static_cast<CellId>(r.u32());
+    const int pins = r.u8();
+    if (pins > 3) throw std::runtime_error("store netlist gate pin overflow");
+    NetId ins[3] = {};
+    for (int p = 0; p < pins; ++p) ins[p] = static_cast<NetId>(r.u32());
+    const auto out = static_cast<NetId>(r.u32());
+    // add_gate_driving re-checks pin count vs the cell function, driver
+    // uniqueness and net bounds — a corrupt gate list throws here.
+    nl.add_gate_driving(cell, std::span<const NetId>(ins, pins), out);
+  }
+
+  const std::uint64_t num_outputs = r.count(r.u64(), 16);
+  for (std::uint64_t i = 0; i < num_outputs; ++i) {
+    const auto net = static_cast<NetId>(r.u64());
+    nl.mark_output(net, r.str());
+  }
+
+  const auto read_buses = [&r, num_nets](const auto& install) {
+    const std::uint64_t count = r.count(r.u64(), 16);
+    for (std::uint64_t b = 0; b < count; ++b) {
+      std::string name = r.str();
+      const std::uint64_t n = r.count(r.u64(), 8);
+      std::vector<NetId> nets;
+      nets.reserve(n);
+      for (std::uint64_t i = 0; i < n; ++i) {
+        const auto net = static_cast<NetId>(r.u64());
+        if (net >= num_nets) throw std::runtime_error("store bus net overflow");
+        nets.push_back(net);
+      }
+      install(std::move(name), std::move(nets));
+    }
+  };
+  read_buses([&nl](std::string name, std::vector<NetId> nets) {
+    nl.set_input_bus(name, std::move(nets));
+  });
+  read_buses([&nl](std::string name, std::vector<NetId> nets) {
+    nl.set_output_bus(name, std::move(nets));
+  });
+  r.expect_end();
+  return NetlistPayload{lib_fp, spec, std::move(nl)};
+}
+
+// --- aged library -----------------------------------------------------------
+
+std::string encode_aged_library_payload(std::uint64_t lib_fp,
+                                        const BtiParams& params, double years,
+                                        const DegradationAwareLibrary& aged) {
+  BinWriter w;
+  w.u64(lib_fp);
+  encode_params(w, params);
+  w.f64(years);
+  // Cell count from the grids, NOT aged.base(): save() may run after the
+  // borrowed CellLibrary object is gone.
+  const std::uint64_t num_cells = aged.num_cells();
+  w.u64(num_cells);
+  for (CellId c = 0; c < num_cells; ++c) {
+    encode_table(w, aged.rise_grid(c));
+    encode_table(w, aged.fall_grid(c));
+  }
+  return w.take();
+}
+
+AgedLibraryPayload decode_aged_library_payload(const std::string& payload,
+                                               const CellLibrary& lib) {
+  BinReader r(payload);
+  const std::uint64_t lib_fp = r.u64();
+  const BtiParams params = decode_params(r);
+  const double years = r.f64();
+  const std::uint64_t num_cells = r.count(r.u64(), 32);
+  if (num_cells != lib.size()) {
+    throw std::runtime_error("store aged library cell count mismatch");
+  }
+  std::vector<Table2D> rise;
+  std::vector<Table2D> fall;
+  rise.reserve(num_cells);
+  fall.reserve(num_cells);
+  for (std::uint64_t c = 0; c < num_cells; ++c) {
+    rise.push_back(decode_table(r));
+    fall.push_back(decode_table(r));
+  }
+  r.expect_end();
+  return AgedLibraryPayload{
+      lib_fp, params, years,
+      DegradationAwareLibrary(lib, BtiModel(params), years, std::move(rise),
+                              std::move(fall))};
+}
+
+// --- sta delay --------------------------------------------------------------
+
+std::string encode_sta_delay_payload(const StaDelayPayload& p) {
+  BinWriter w;
+  w.u64(p.netlist_key);
+  w.u64(p.scenario_key);
+  w.f64(p.delay);
+  w.u64(p.gates);
+  return w.take();
+}
+
+StaDelayPayload decode_sta_delay_payload(const std::string& payload) {
+  BinReader r(payload);
+  StaDelayPayload p;
+  p.netlist_key = r.u64();
+  p.scenario_key = r.u64();
+  p.delay = r.f64();
+  p.gates = r.u64();
+  r.expect_end();
+  return p;
+}
+
+// --- characterization surface -----------------------------------------------
+
+std::string encode_surface_payload(const SurfacePayload& p) {
+  BinWriter w;
+  w.u64(p.lib_fp);
+  encode_params(w, p.params);
+  w.f64(p.sta.primary_input_slew);
+  w.f64(p.sta.primary_output_load);
+  w.i32(p.min_precision);
+  w.i32(p.precision_step);
+  w.u64(p.scenarios.size());
+  for (const AgingScenario& s : p.scenarios) {
+    w.i32(static_cast<int>(s.mode));
+    w.f64(s.years);
+  }
+  encode_spec(w, p.surface.base);
+  w.u64(p.surface.points.size());
+  for (const PrecisionPoint& pt : p.surface.points) {
+    w.i32(pt.precision);
+    w.f64(pt.fresh_delay);
+    w.f64(pt.area);
+    w.u64(pt.gates);
+    w.f64_vec(pt.aged_delay);
+  }
+  return w.take();
+}
+
+SurfacePayload decode_surface_payload(const std::string& payload) {
+  BinReader r(payload);
+  SurfacePayload p;
+  p.lib_fp = r.u64();
+  p.params = decode_params(r);
+  p.sta.primary_input_slew = r.f64();
+  p.sta.primary_output_load = r.f64();
+  p.min_precision = r.i32();
+  p.precision_step = r.i32();
+  const std::uint64_t nscen = r.count(r.u64(), 12);
+  p.scenarios.reserve(nscen);
+  for (std::uint64_t i = 0; i < nscen; ++i) {
+    AgingScenario s;
+    s.mode = static_cast<StressMode>(r.i32());
+    s.years = r.f64();
+    p.scenarios.push_back(s);
+  }
+  p.surface.base = decode_spec(r);
+  p.surface.scenarios = p.scenarios;
+  const std::uint64_t npoints = r.count(r.u64(), 36);
+  p.surface.points.reserve(npoints);
+  for (std::uint64_t i = 0; i < npoints; ++i) {
+    PrecisionPoint pt;
+    pt.precision = r.i32();
+    pt.fresh_delay = r.f64();
+    pt.area = r.f64();
+    pt.gates = r.u64();
+    pt.aged_delay = r.f64_vec();
+    if (pt.aged_delay.size() != nscen) {
+      throw std::runtime_error("store surface scenario columns mismatch");
+    }
+    p.surface.points.push_back(std::move(pt));
+  }
+  r.expect_end();
+  return p;
+}
+
+}  // namespace aapx::engine

@@ -1,0 +1,149 @@
+// Versioned on-disk format for DesignStore snapshots — the persistent form
+// of the paper's aging-induced approximation library.
+//
+// A store file is a header plus a flat sequence of self-describing records:
+//
+//   header   magic "AAPXSTR\0" (8) | format_version u32 | build_fp u64
+//            | record_count u64
+//   record   kind u32 | key u64 | payload_size u64 | payload_fnv1a u64
+//            | payload bytes
+//
+// All integers are little-endian on disk (engine/binio.hpp), so files move
+// between hosts of any endianness. `key` is the record's content-addressed
+// DesignStore digest; `payload_fnv1a` is a per-record checksum of the
+// payload bytes. The header's build fingerprint digests the format version,
+// compiler and build configuration: floating-point artifacts are only
+// guaranteed bit-reproducible within one build, so a file from a different
+// build is rejected wholesale (cold start) rather than risking sub-ulp
+// drift being mistaken for cached truth.
+//
+// Failure policy (the load path never throws):
+//   * missing file                  -> cold start, no warning
+//   * bad magic / version / build   -> whole file rejected, one warning
+//   * truncated / checksum-mismatch -> record dropped, warning, rest kept
+// A loaded record is still only *staged*: the DesignStore re-verifies its
+// full key material against the live query before serving it (see
+// design_store.cpp), so a stale-but-well-formed record degrades to a cold
+// miss, never a wrong hit.
+//
+// Record payloads (kinds 1-4) carry the entry plus the key material needed
+// for that re-verification; decode helpers below are the single source of
+// truth for their layout. Payload layout changes require bumping
+// kStoreFormatVersion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "aging/bti_model.hpp"
+#include "aging/stress.hpp"
+#include "approx/characterization.hpp"
+#include "cell/degradation.hpp"
+#include "netlist/netlist.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx::engine {
+
+inline constexpr char kStoreMagic[8] = {'A', 'A', 'P', 'X',
+                                        'S', 'T', 'R', '\0'};
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+/// Byte offsets of the header fields, exported so the corruption tests can
+/// patch specific fields without re-deriving the layout.
+inline constexpr std::size_t kHeaderVersionOffset = 8;
+inline constexpr std::size_t kHeaderBuildFpOffset = 12;
+inline constexpr std::size_t kHeaderCountOffset = 20;
+inline constexpr std::size_t kHeaderSize = 28;
+
+/// Fingerprint of this build: format version, compiler, build type and
+/// sanitizer mode. Files are only trusted within one fingerprint.
+std::uint64_t build_fingerprint();
+
+enum class RecordKind : std::uint32_t {
+  netlist = 1,
+  aged_library = 2,
+  sta_delay = 3,
+  surface = 4,
+};
+
+const char* to_string(RecordKind kind);
+
+struct RawRecord {
+  RecordKind kind;
+  std::uint64_t key = 0;
+  std::string payload;
+};
+
+struct StoreFileData {
+  bool file_found = false;  ///< false: no file at `path` (clean cold start)
+  bool header_ok = false;   ///< false: file rejected wholesale
+  std::uint64_t bytes_read = 0;
+  std::uint64_t records_dropped = 0;  ///< bad checksum / truncated tail
+  std::vector<RawRecord> records;
+  std::vector<std::string> warnings;  ///< human-readable, for stderr
+};
+
+/// Reads and checksums `path`. Never throws: every failure mode lands in
+/// `warnings` / `records_dropped` and degrades toward a cold start.
+StoreFileData load_store_file(const std::string& path);
+
+/// Writes header + records to `path` atomically (temp file + rename).
+/// Records are written in the order given — callers sort by (kind, key) so
+/// save output is byte-deterministic. Returns bytes written, 0 on I/O error.
+std::uint64_t write_store_file(const std::string& path,
+                               const std::vector<RawRecord>& records);
+
+// --- payload codecs ---------------------------------------------------------
+// Encoders serialize an entry with its key material; decoders re-verify
+// structural invariants (counts, cell ids) and throw std::runtime_error on
+// any inconsistency. Decoded netlists/libraries attach to the live
+// CellLibrary passed in; callers must have checked the payload's library
+// fingerprint against that library first.
+
+struct NetlistPayload {
+  std::uint64_t lib_fp = 0;
+  ComponentSpec spec;
+  Netlist netlist;
+};
+std::string encode_netlist_payload(std::uint64_t lib_fp,
+                                   const ComponentSpec& spec,
+                                   const Netlist& nl);
+NetlistPayload decode_netlist_payload(const std::string& payload,
+                                      const CellLibrary& lib);
+
+struct AgedLibraryPayload {
+  std::uint64_t lib_fp = 0;
+  BtiParams params;
+  double years = 0.0;
+  DegradationAwareLibrary library;
+};
+std::string encode_aged_library_payload(std::uint64_t lib_fp,
+                                        const BtiParams& params, double years,
+                                        const DegradationAwareLibrary& aged);
+AgedLibraryPayload decode_aged_library_payload(const std::string& payload,
+                                               const CellLibrary& lib);
+
+struct StaDelayPayload {
+  std::uint64_t netlist_key = 0;
+  std::uint64_t scenario_key = 0;
+  double delay = 0.0;
+  std::uint64_t gates = 0;
+};
+std::string encode_sta_delay_payload(const StaDelayPayload& p);
+StaDelayPayload decode_sta_delay_payload(const std::string& payload);
+
+struct SurfacePayload {
+  std::uint64_t lib_fp = 0;
+  BtiParams params;
+  StaOptions sta;
+  int min_precision = 0;
+  int precision_step = 0;
+  std::vector<AgingScenario> scenarios;
+  ComponentCharacterization surface;  ///< surface.base is the spec key part
+};
+std::string encode_surface_payload(const SurfacePayload& p);
+SurfacePayload decode_surface_payload(const std::string& payload);
+
+}  // namespace aapx::engine

@@ -1,0 +1,300 @@
+// Persistence layer tests: the save -> fresh process -> open round trip
+// must reproduce bit-identical artifacts, and every way a store file can be
+// damaged (truncation, flipped payload byte, wrong format version, foreign
+// build fingerprint) must degrade to a cold miss with results identical to a
+// run that never had a store — never a wrong hit, never a crash.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "aging/bti_model.hpp"
+#include "approx/characterization.hpp"
+#include "cell/library.hpp"
+#include "engine/context.hpp"
+#include "engine/design_store.hpp"
+#include "engine/persist.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+namespace {
+
+ComponentSpec adder8() {
+  return {ComponentKind::adder, 8, 0, AdderArch::ripple, MultArch::array};
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  EXPECT_TRUE(is.is_open()) << path;
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(os.is_open()) << path;
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+class PersistTest : public ::testing::Test {
+ protected:
+  PersistTest() : lib_(make_nangate45_like()) {
+    path_ = ::testing::TempDir() + "persist_test_store.aapx";
+    std::remove(path_.c_str());
+  }
+
+  /// Warms a store with one netlist, one aged library, fresh + aged delays
+  /// and one characterization surface, then saves it to path_. Returns the
+  /// values the cold computation produced.
+  struct Warmed {
+    std::size_t gates = 0;
+    double fresh = 0.0;
+    double aged = 0.0;
+    ComponentCharacterization surface;
+  };
+  Warmed warm_and_save() {
+    Warmed w;
+    Context ctx;
+    engine::DesignStore& store = ctx.store();
+    w.gates = store.netlist(lib_, adder8()).num_gates();
+    w.fresh = store.aged_sta_delay(lib_, adder8(), model_, StressMode::worst,
+                                   0.0, sta_);
+    w.aged = store.aged_sta_delay(lib_, adder8(), model_, StressMode::worst,
+                                  10.0, sta_);
+    w.surface = store.surface(lib_, model_, adder8(), scenarios_, 4, 1, sta_,
+                              [&] { return sweep_directly(ctx); });
+    EXPECT_TRUE(store.save(path_));
+    EXPECT_EQ(store.stats().persist_hits, 0u);
+    return w;
+  }
+
+  /// A minimal hand-rolled sweep so the test does not depend on the core
+  /// characterizer (engine-layer test): per precision, fresh + aged delay
+  /// via the store.
+  ComponentCharacterization sweep_directly(const Context& ctx) {
+    ComponentCharacterization c;
+    c.base = adder8();
+    c.scenarios = scenarios_;
+    for (int k = 8; k >= 4; --k) {
+      ComponentSpec spec = adder8();
+      spec.truncated_bits = 8 - k;
+      PrecisionPoint p;
+      p.precision = k;
+      p.fresh_delay = ctx.store().aged_sta_delay(
+          lib_, spec, model_, StressMode::worst, 0.0, sta_);
+      p.gates = ctx.store().netlist(lib_, spec).num_gates();
+      for (const AgingScenario& s : scenarios_) {
+        p.aged_delay.push_back(ctx.store().aged_sta_delay(
+            lib_, spec, model_, s.mode, s.years, sta_));
+      }
+      c.points.push_back(std::move(p));
+    }
+    return c;
+  }
+
+  /// Re-runs the same queries on a fresh Context (optionally opening the
+  /// store file first) and returns what it produced.
+  Warmed replay(bool open_store, engine::DesignStore::Stats* stats = nullptr) {
+    Warmed w;
+    Context ctx;
+    engine::DesignStore& store = ctx.store();
+    if (open_store) store.open(path_);
+    w.gates = store.netlist(lib_, adder8()).num_gates();
+    w.fresh = store.aged_sta_delay(lib_, adder8(), model_, StressMode::worst,
+                                   0.0, sta_);
+    w.aged = store.aged_sta_delay(lib_, adder8(), model_, StressMode::worst,
+                                  10.0, sta_);
+    w.surface = store.surface(lib_, model_, adder8(), scenarios_, 4, 1, sta_,
+                              [&] { return sweep_directly(ctx); });
+    if (stats != nullptr) *stats = store.stats();
+    return w;
+  }
+
+  static void expect_bit_identical(const Warmed& a, const Warmed& b) {
+    EXPECT_EQ(a.gates, b.gates);
+    // Bit-identical, not approximately-equal: the persistence layer must
+    // reproduce the double exactly or reject the record.
+    EXPECT_EQ(a.fresh, b.fresh);
+    EXPECT_EQ(a.aged, b.aged);
+    ASSERT_EQ(a.surface.points.size(), b.surface.points.size());
+    for (std::size_t i = 0; i < a.surface.points.size(); ++i) {
+      const PrecisionPoint& pa = a.surface.points[i];
+      const PrecisionPoint& pb = b.surface.points[i];
+      EXPECT_EQ(pa.precision, pb.precision);
+      EXPECT_EQ(pa.fresh_delay, pb.fresh_delay);
+      EXPECT_EQ(pa.gates, pb.gates);
+      ASSERT_EQ(pa.aged_delay.size(), pb.aged_delay.size());
+      for (std::size_t s = 0; s < pa.aged_delay.size(); ++s) {
+        EXPECT_EQ(pa.aged_delay[s], pb.aged_delay[s]);
+      }
+    }
+  }
+
+  CellLibrary lib_;
+  BtiModel model_;
+  StaOptions sta_;
+  std::vector<AgingScenario> scenarios_ = {{StressMode::worst, 1.0},
+                                           {StressMode::worst, 10.0}};
+  std::string path_;
+};
+
+TEST_F(PersistTest, RoundTripReproducesBitIdenticalArtifacts) {
+  const Warmed cold = warm_and_save();
+
+  engine::DesignStore::Stats stats;
+  const Warmed warm = replay(/*open_store=*/true, &stats);
+  expect_bit_identical(cold, warm);
+
+  // Every query was served from the file: persist hits, zero misses, no
+  // synthesis or STA recomputed (every family counted a hit).
+  EXPECT_GT(stats.persist_hits, 0u);
+  EXPECT_EQ(stats.misses(), 0u);
+  EXPECT_EQ(stats.netlist_hits + stats.delay_hits + stats.surface_hits,
+            stats.hits());
+}
+
+TEST_F(PersistTest, SaveIsByteDeterministic) {
+  warm_and_save();
+  const std::string first = read_bytes(path_);
+
+  // Re-saving the identical logical content from a fresh warm process must
+  // produce the identical file, byte for byte.
+  const std::string second_path = path_ + ".resave";
+  {
+    Context ctx;
+    ctx.store().open(path_);
+    (void)ctx.store().netlist(lib_, adder8());  // materialize one record
+    ASSERT_TRUE(ctx.store().save(second_path));
+  }
+  EXPECT_EQ(first, read_bytes(second_path));
+  std::remove(second_path.c_str());
+}
+
+TEST_F(PersistTest, MissingFileIsCleanColdStart) {
+  Context ctx;
+  EXPECT_TRUE(ctx.store().open(path_ + ".does-not-exist"));
+  engine::DesignStore::Stats stats;
+  const Warmed cold = replay(/*open_store=*/false, &stats);
+  EXPECT_GT(cold.gates, 0u);
+  EXPECT_EQ(stats.persist_hits, 0u);
+}
+
+TEST_F(PersistTest, TruncatedFileDegradesToCold) {
+  const Warmed cold = warm_and_save();
+  const std::string bytes = read_bytes(path_);
+  // Cut the file mid-record: everything after the cut is unusable, and the
+  // half-record at the cut must be dropped, not misread.
+  write_bytes(path_, bytes.substr(0, bytes.size() / 2));
+
+  engine::DesignStore::Stats stats;
+  const Warmed recovered = replay(/*open_store=*/true, &stats);
+  expect_bit_identical(cold, recovered);
+  EXPECT_GT(stats.misses(), 0u);  // some records were gone -> recomputed
+}
+
+TEST_F(PersistTest, TruncatedHeaderDegradesToCold) {
+  const Warmed cold = warm_and_save();
+  const std::string bytes = read_bytes(path_);
+  write_bytes(path_, bytes.substr(0, engine::kHeaderSize - 4));
+
+  engine::DesignStore::Stats stats;
+  const Warmed recovered = replay(/*open_store=*/true, &stats);
+  expect_bit_identical(cold, recovered);
+  EXPECT_EQ(stats.persist_hits, 0u);  // nothing loadable at all
+}
+
+TEST_F(PersistTest, FlippedPayloadByteDropsOnlyThatRecord) {
+  const Warmed cold = warm_and_save();
+  std::string bytes = read_bytes(path_);
+  // Flip one byte inside the first record's payload. The first record
+  // starts right after the header; its payload starts 28 bytes later
+  // (kind u32 + key u64 + size u64 + checksum u64).
+  const std::size_t target = engine::kHeaderSize + 28 + 5;
+  ASSERT_LT(target, bytes.size());
+  bytes[target] = static_cast<char>(bytes[target] ^ 0x40);
+  write_bytes(path_, bytes);
+
+  // Exactly the damaged record is dropped at load; the rest survive.
+  const engine::StoreFileData data = engine::load_store_file(path_);
+  EXPECT_TRUE(data.header_ok);
+  EXPECT_EQ(data.records_dropped, 1u);
+  ASSERT_EQ(data.warnings.size(), 1u);
+  EXPECT_NE(data.warnings[0].find("checksum mismatch"), std::string::npos);
+
+  engine::DesignStore::Stats stats;
+  const Warmed recovered = replay(/*open_store=*/true, &stats);
+  expect_bit_identical(cold, recovered);
+  EXPECT_GT(stats.persist_hits, 0u);  // surviving records still served
+}
+
+TEST_F(PersistTest, WrongFormatVersionRejectsWholeFile) {
+  const Warmed cold = warm_and_save();
+  std::string bytes = read_bytes(path_);
+  bytes[engine::kHeaderVersionOffset] =
+      static_cast<char>(bytes[engine::kHeaderVersionOffset] + 1);
+  write_bytes(path_, bytes);
+
+  engine::DesignStore::Stats stats;
+  const Warmed recovered = replay(/*open_store=*/true, &stats);
+  expect_bit_identical(cold, recovered);
+  EXPECT_EQ(stats.persist_hits, 0u);  // no record was even staged
+}
+
+TEST_F(PersistTest, ForeignBuildFingerprintRejectsWholeFile) {
+  const Warmed cold = warm_and_save();
+  std::string bytes = read_bytes(path_);
+  bytes[engine::kHeaderBuildFpOffset] =
+      static_cast<char>(bytes[engine::kHeaderBuildFpOffset] ^ 0xff);
+  write_bytes(path_, bytes);
+
+  engine::DesignStore::Stats stats;
+  const Warmed recovered = replay(/*open_store=*/true, &stats);
+  expect_bit_identical(cold, recovered);
+  EXPECT_EQ(stats.persist_hits, 0u);
+}
+
+TEST_F(PersistTest, DamagedOpenReportsFalseAndWarns) {
+  warm_and_save();
+  std::string bytes = read_bytes(path_);
+  bytes[engine::kHeaderVersionOffset] =
+      static_cast<char>(bytes[engine::kHeaderVersionOffset] + 1);
+  write_bytes(path_, bytes);
+
+  Context ctx;
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(ctx.store().open(path_));
+  const std::string err = testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("format version"), std::string::npos) << err;
+}
+
+TEST_F(PersistTest, StaleRecordIsColdMissNotWrongHit) {
+  warm_and_save();
+
+  // A query the file does not answer — the same component under a hotter
+  // BTI parameter set — must recompute honestly: none of the staged records
+  // (keyed by the nominal model's content) may be served for it.
+  BtiParams hot = model_.params();
+  hot.a_pmos *= 2.0;
+  const BtiModel hot_model{hot};
+
+  Context probe_ctx;
+  const double honest = probe_ctx.store().aged_sta_delay(
+      lib_, adder8(), hot_model, StressMode::worst, 10.0, sta_);
+
+  Context ctx;
+  ctx.store().open(path_);
+  const double recomputed = ctx.store().aged_sta_delay(
+      lib_, adder8(), hot_model, StressMode::worst, 10.0, sta_);
+  EXPECT_EQ(honest, recomputed);
+  // The netlist record is legitimately model-independent and may be served;
+  // no *delay* record keyed to the nominal model may be.
+  EXPECT_EQ(ctx.store().stats().delay_hits, 0u);
+  EXPECT_EQ(ctx.store().stats().delay_misses, 1u);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -18,18 +18,22 @@
 //   --metrics <file>  metrics-registry snapshot as JSON
 //   --log <file>      structured JSONL run log (manifest + flow records)
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "cell/liberty.hpp"
 #include "core/adaptive.hpp"
+#include "engine/binio.hpp"
 #include "engine/context.hpp"
 #include "engine/design_store.hpp"
+#include "engine/persist.hpp"
 #include "core/microarch.hpp"
 #include "netlist/stats.hpp"
 #include "netlist/verilog.hpp"
@@ -78,7 +82,11 @@ double to_double_strict(const std::string& text, const std::string& what) {
 
 struct Args {
   std::string command;
+  std::string action;  ///< positional sub-action ("library build" etc.)
   std::map<std::string, std::string> options;
+  /// argv index where each option appeared, for parser-style diagnostics
+  /// ("argv[3]: unknown option '--foo'" mirrors "verilog:12: ...").
+  std::map<std::string, int> arg_index;
 
   bool has(const std::string& key) const {
     return options.find(key) != options.end();
@@ -112,13 +120,21 @@ Args parse_args(int argc, char** argv) {
   Args args;
   if (argc < 2) return args;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int i = 2;
+  // `library` takes one positional action before its options.
+  if (args.command == "library" && i < argc &&
+      std::strncmp(argv[i], "--", 2) != 0) {
+    args.action = argv[i++];
+  }
+  for (; i < argc; ++i) {
     std::string key = argv[i];
     if (key == "-j") key = "--threads";  // make-style worker-count shorthand
     if (key.rfind("--", 0) != 0) {
-      throw std::runtime_error("expected --option, got " + key);
+      throw std::runtime_error("argv[" + std::to_string(i) +
+                               "]: expected --option, got '" + key + "'");
     }
     key = key.substr(2);
+    args.arg_index[key] = i;
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[key] = argv[++i];
     } else {
@@ -126,6 +142,73 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Rejects options the selected command does not understand — silently
+/// ignored flags hide typos ("--mim-precision") until the results look
+/// wrong. Diagnostics carry the argv position, like the liberty/verilog
+/// parsers carry line numbers. Unknown *commands* fall through: dispatch()
+/// reports those.
+void reject_unknown_options(const Args& args) {
+  static const std::set<std::string> kGlobal = {"threads", "trace", "metrics",
+                                               "log", "store"};
+  static const std::map<std::string, std::set<std::string>> kByCommand = {
+      {"characterize",
+       {"kind", "width", "trunc", "arch", "mult-arch", "min-precision", "mode",
+        "years", "save"}},
+      {"flow", {"width", "years", "mode", "min-precision"}},
+      {"schedule",
+       {"kind", "width", "trunc", "arch", "mult-arch", "min-precision", "mode",
+        "grid"}},
+      {"export-liberty", {"out", "years", "stress"}},
+      {"export-verilog", {"kind", "width", "trunc", "arch", "mult-arch",
+                          "out"}},
+      {"export-sdf", {"kind", "width", "trunc", "arch", "mult-arch", "years",
+                      "stress", "out"}},
+      {"faultsim",
+       {"kind", "width", "trunc", "arch", "mult-arch", "min-precision", "grid",
+        "accel", "temp-step", "temp-from", "outlier-frac", "outlier-factor",
+        "sensor-gain", "sensor-offset", "sensor-noise", "seed", "years",
+        "epochs", "vectors", "verify-vectors", "open-loop", "canary-margin",
+        "canary-trip"}},
+      {"report", {"trace", "log", "metrics", "check", "top"}},
+      {"help", {}},
+  };
+  static const std::map<std::string, std::set<std::string>> kLibraryActions = {
+      {"build", {"out", "kinds", "widths", "arch", "mult-arch",
+                 "min-precision", "mode", "years"}},
+      {"query", {"kind", "width"}},
+      {"info", {}},
+      {"merge", {"out", "inputs"}},
+  };
+
+  const std::set<std::string>* allowed = nullptr;
+  std::string label = args.command;
+  if (args.command == "library") {
+    const auto it = kLibraryActions.find(args.action);
+    if (it == kLibraryActions.end()) return;  // cmd_library reports it
+    allowed = &it->second;
+    label += " " + args.action;
+  } else {
+    const auto it = kByCommand.find(args.command);
+    if (it == kByCommand.end()) return;  // dispatch reports it
+    allowed = &it->second;
+  }
+  // Report the *first* offending token on the command line, not map order.
+  const std::string* worst_key = nullptr;
+  int worst_index = 0;
+  for (const auto& [key, index] : args.arg_index) {
+    if (kGlobal.count(key) != 0 || allowed->count(key) != 0) continue;
+    if (worst_key == nullptr || index < worst_index) {
+      worst_key = &key;
+      worst_index = index;
+    }
+  }
+  if (worst_key != nullptr) {
+    throw std::runtime_error("argv[" + std::to_string(worst_index) +
+                             "]: unknown option '--" + *worst_key + "' for '" +
+                             label + "' (try 'aapx help')");
+  }
 }
 
 std::vector<double> parse_list(const std::string& csv, const std::string& what) {
@@ -522,6 +605,233 @@ int cmd_report(const Args& args) {
   return 0;
 }
 
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+/// Prints one persisted characterization surface as the same table
+/// `aapx characterize` prints — but straight from the file, no synthesis.
+void print_surface(const engine::SurfacePayload& p) {
+  const ComponentCharacterization& c = p.surface;
+  std::printf("%s (min precision %d, step %d)\n", c.base.name().c_str(),
+              p.min_precision, p.precision_step);
+  std::vector<std::string> header = {"precision", "fresh [ps]", "area [um^2]"};
+  for (const AgingScenario& s : c.scenarios) {
+    header.push_back(s.label() + " [ps]");
+  }
+  TextTable table(header);
+  for (const PrecisionPoint& pt : c.points) {
+    std::vector<std::string> row = {std::to_string(pt.precision),
+                                    TextTable::num(pt.fresh_delay, 1),
+                                    TextTable::num(pt.area, 1)};
+    for (const double d : pt.aged_delay) row.push_back(TextTable::num(d, 1));
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+}
+
+/// `aapx library build`: characterize a cross-product of components into the
+/// Context's DesignStore and save it as one distributable store file — the
+/// materialized form of the paper's aging-induced approximation library.
+int cmd_library_build(const Context& ctx, const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw std::runtime_error("--out <file> is required");
+  const CellLibrary lib = make_nangate45_like();
+  const StressMode mode = parse_mode(args.get("mode", "worst"));
+  std::vector<AgingScenario> scenarios;
+  for (const double y : parse_list(args.get("years", "1,10"), "--years")) {
+    if (y < 0.0) {
+      throw std::runtime_error("--years entries must be non-negative");
+    }
+    scenarios.push_back({mode, y});
+  }
+  std::vector<ComponentKind> kinds;
+  for (const std::string& k : split_csv(args.get("kinds", "adder"))) {
+    kinds.push_back(parse_kind(k));
+  }
+  if (kinds.empty()) throw std::runtime_error("--kinds list is empty");
+  std::vector<int> widths;
+  for (const double w : parse_list(args.get("widths", "8"), "--widths")) {
+    widths.push_back(static_cast<int>(w));
+  }
+
+  std::size_t surfaces = 0;
+  for (const ComponentKind kind : kinds) {
+    for (const int width : widths) {
+      ComponentSpec spec;
+      spec.kind = kind;
+      spec.width = width;
+      spec.adder_arch = parse_adder_arch(args.get("arch", "cla4"));
+      spec.mult_arch = args.get("mult-arch", "array") == "wallace"
+                           ? MultArch::wallace
+                           : MultArch::array;
+      CharacterizerOptions copt;
+      copt.min_precision =
+          args.get_int("min-precision", std::max(1, width - 10));
+      const ComponentCharacterizer ch(ctx, lib, BtiModel{}, copt);
+      (void)ch.characterize(spec, scenarios);
+      ++surfaces;
+      std::printf("characterized %s\n", spec.name().c_str());
+    }
+  }
+  if (!ctx.store().save(out)) {
+    throw std::runtime_error("cannot write store file " + out);
+  }
+  std::printf("library with %zu surface(s) (%zu store entries) -> %s\n",
+              surfaces, ctx.store().entries(), out.c_str());
+  return 0;
+}
+
+/// `aapx library query`: print surfaces straight out of a store file.
+int cmd_library_query(const Args& args) {
+  const std::string path = args.get("store", "");
+  if (path.empty()) throw std::runtime_error("--store <file> is required");
+  engine::StoreFileData data = engine::load_store_file(path);
+  if (!data.file_found) throw std::runtime_error("cannot open " + path);
+  for (const std::string& w : data.warnings) {
+    std::fprintf(stderr, "aapx store: %s\n", w.c_str());
+  }
+  const bool filter_kind = args.has("kind");
+  const ComponentKind kind =
+      filter_kind ? parse_kind(args.get("kind", "")) : ComponentKind::adder;
+  const int width = args.get_int("width", 0);
+
+  std::size_t shown = 0;
+  for (const engine::RawRecord& rec : data.records) {
+    if (rec.kind != engine::RecordKind::surface) continue;
+    engine::SurfacePayload p;
+    try {
+      p = engine::decode_surface_payload(rec.payload);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "aapx store: skipping surface record: %s\n",
+                   e.what());
+      continue;
+    }
+    if (filter_kind && p.surface.base.kind != kind) continue;
+    if (width > 0 && p.surface.base.width != width) continue;
+    print_surface(p);
+    ++shown;
+  }
+  std::printf("%zu surface(s) matched in %s\n", shown, path.c_str());
+  return shown > 0 ? 0 : 1;
+}
+
+/// `aapx library info`: header + per-kind record census. The header is
+/// decoded by hand so a file from a *different* build still reports itself.
+int cmd_library_info(const Args& args) {
+  const std::string path = args.get("store", "");
+  if (path.empty()) throw std::runtime_error("--store <file> is required");
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buf;
+  buf << is.rdbuf();
+  const std::string bytes = buf.str();
+  if (bytes.size() < engine::kHeaderSize ||
+      std::memcmp(bytes.data(), engine::kStoreMagic, 8) != 0) {
+    throw std::runtime_error(path + " is not an aapx store file");
+  }
+  engine::BinReader r(std::string_view(bytes).substr(8));  // past the magic
+  const std::uint32_t version = r.u32();
+  const std::uint64_t build_fp = r.u64();
+  const std::uint64_t count = r.u64();
+  std::printf("store file:     %s (%zu bytes)\n", path.c_str(), bytes.size());
+  std::printf("format version: %u (this binary: %u)\n", version,
+              engine::kStoreFormatVersion);
+  std::printf("build:          %016llx (this binary: %016llx)%s\n",
+              static_cast<unsigned long long>(build_fp),
+              static_cast<unsigned long long>(engine::build_fingerprint()),
+              build_fp == engine::build_fingerprint()
+                  ? ""
+                  : "  [foreign build: records unusable here]");
+  std::printf("records:        %llu\n",
+              static_cast<unsigned long long>(count));
+
+  engine::StoreFileData data = engine::load_store_file(path);
+  for (const std::string& w : data.warnings) {
+    std::fprintf(stderr, "aapx store: %s\n", w.c_str());
+  }
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> census;
+  for (const engine::RawRecord& rec : data.records) {
+    auto& [n, payload_bytes] = census[engine::to_string(rec.kind)];
+    ++n;
+    payload_bytes += rec.payload.size();
+  }
+  TextTable table({"kind", "records", "payload bytes"});
+  for (const auto& [name, stat] : census) {
+    table.add_row({name, std::to_string(stat.first),
+                   std::to_string(stat.second)});
+  }
+  table.print(std::cout);
+  if (data.records_dropped > 0) {
+    std::printf("%llu record(s) dropped as damaged\n",
+                static_cast<unsigned long long>(data.records_dropped));
+  }
+  return 0;
+}
+
+/// `aapx library merge`: union several store files into one, first-wins on
+/// conflicting payloads for the same key.
+int cmd_library_merge(const Args& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) throw std::runtime_error("--out <file> is required");
+  const std::vector<std::string> inputs = split_csv(args.get("inputs", ""));
+  if (inputs.empty()) {
+    throw std::runtime_error("--inputs <a.aapx,b.aapx,...> is required");
+  }
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::string> merged;
+  std::size_t conflicts = 0;
+  for (const std::string& input : inputs) {
+    engine::StoreFileData data = engine::load_store_file(input);
+    if (!data.file_found) throw std::runtime_error("cannot open " + input);
+    for (const std::string& w : data.warnings) {
+      std::fprintf(stderr, "aapx store: %s\n", w.c_str());
+    }
+    for (engine::RawRecord& rec : data.records) {
+      const std::pair<std::uint32_t, std::uint64_t> key = {
+          static_cast<std::uint32_t>(rec.kind), rec.key};
+      const auto it = merged.find(key);
+      if (it == merged.end()) {
+        merged.emplace(key, std::move(rec.payload));
+      } else if (it->second != rec.payload) {
+        std::fprintf(stderr,
+                     "aapx store: %s: conflicting %s record %016llx "
+                     "(keeping first)\n",
+                     input.c_str(), engine::to_string(rec.kind),
+                     static_cast<unsigned long long>(rec.key));
+        ++conflicts;
+      }
+    }
+  }
+  std::vector<engine::RawRecord> records;
+  records.reserve(merged.size());
+  for (auto& [key, payload] : merged) {
+    records.push_back({static_cast<engine::RecordKind>(key.first), key.second,
+                       std::move(payload)});
+  }
+  // std::map iterates (kind, key)-sorted already — write is deterministic.
+  if (engine::write_store_file(out, records) == 0) {
+    throw std::runtime_error("cannot write store file " + out);
+  }
+  std::printf("%zu record(s) from %zu file(s) -> %s (%zu conflict(s))\n",
+              records.size(), inputs.size(), out.c_str(), conflicts);
+  return 0;
+}
+
+int cmd_library(const Context& ctx, const Args& args) {
+  if (args.action == "build") return cmd_library_build(ctx, args);
+  if (args.action == "query") return cmd_library_query(args);
+  if (args.action == "info") return cmd_library_info(args);
+  if (args.action == "merge") return cmd_library_merge(args);
+  throw std::runtime_error("library: unknown action '" + args.action +
+                           "' (build|query|info|merge)");
+}
+
 int cmd_help() {
   std::printf(R"(aapx — aging-induced approximations toolkit
 
@@ -546,6 +856,13 @@ commands:
       --accel R  --temp-step K --temp-from Y  --outlier-frac F --outlier-factor R
       --sensor-gain G --sensor-offset Y --sensor-noise SIGMA  --seed S
       --canary-margin M --canary-trip N
+  library         build / inspect / merge persistent store files
+      build  --out lib.aapx  --kinds adder,multiplier  --widths 8,16
+             --arch ... --mult-arch ... --mode worst|balanced --years 1,10
+             [--min-precision K]
+      query  --store lib.aapx  [--kind adder --width 8]
+      info   --store lib.aapx
+      merge  --out all.aapx  --inputs a.aapx,b.aapx
   report          summarize instrumentation artifacts from a previous run
       --trace f.trace     top spans by inclusive time, thread/wall stats
       --log f.jsonl       record-type counts + controller decision timeline
@@ -557,6 +874,9 @@ commands:
 global options:
   --threads N | -j N   worker threads for parallel sweeps (default: all
                        cores, or the AAPX_THREADS environment variable)
+  --store <file>       persistent DesignStore: warm this run from the file
+                       if it exists, save the warmed store back on exit
+                       (default: the AAPX_STORE environment variable)
   --trace <file>       write a Chrome trace-event JSON of this run
                        (chrome://tracing or Perfetto)
   --metrics <file>     write the metrics-registry snapshot as JSON
@@ -578,6 +898,7 @@ int dispatch(const Context& ctx, const Args& args) {
   if (args.command == "export-verilog") return cmd_export_verilog(ctx, args);
   if (args.command == "export-sdf") return cmd_export_sdf(ctx, args);
   if (args.command == "faultsim") return cmd_faultsim(ctx, args);
+  if (args.command == "library") return cmd_library(ctx, args);
   if (args.command == "report") return cmd_report(args);
   if (args.command.empty() || args.command == "help" ||
       args.command == "--help") {
@@ -593,6 +914,7 @@ int dispatch(const Context& ctx, const Args& args) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+    reject_unknown_options(args);
     // The CLI is a single-tenant process: it runs on the process-default
     // Context, whose metrics/run-log sinks are the global instances the
     // --metrics/--log flags have always driven. --threads/-j keeps its
@@ -627,7 +949,28 @@ int main(int argc, char** argv) {
     }
     if (instrumented && !trace_path.empty()) obs::Tracer::instance().start();
 
+    // Persistent store (`--store` / AAPX_STORE): warm the Context's
+    // DesignStore before dispatch and save the warmed store back after, so
+    // a second identical invocation is served from disk. Opened *after* the
+    // run log so the store_load record lands in it — identically whether
+    // the file exists yet or not. `report` only reads artifacts and
+    // `library` manages store files explicitly; neither attaches one.
+    std::string store_path = args.get("store", "");
+    if (store_path.empty()) {
+      if (const char* env = std::getenv("AAPX_STORE")) store_path = env;
+    }
+    static const std::set<std::string> kStoreCommands = {
+        "characterize", "flow",       "schedule", "export-liberty",
+        "export-verilog", "export-sdf", "faultsim"};
+    const bool uses_store =
+        !store_path.empty() && kStoreCommands.count(args.command) != 0;
+    if (uses_store) ctx.store().open(store_path);
+
     const int rc = dispatch(ctx, args);
+
+    if (uses_store && !ctx.store().save(store_path)) {
+      return rc != 0 ? rc : 1;
+    }
 
     if (instrumented && !trace_path.empty()) {
       if (obs::Tracer::instance().stop_and_write_file(trace_path)) {
