@@ -26,7 +26,9 @@ double quality_at(const Config& cfg, int precision) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Extension — adaptive precision schedule over lifetime",
                "\"Systems that gradually degrade in quality as they age\" "
                "(paper Sec. VII), scheduled from one characterization.");
@@ -64,4 +66,11 @@ int main(int argc, char** argv) {
               quality_at(cfg, plan.steps.front().precision),
               plan.steps.size() > 1 ? plan.steps[1].from_years : 15.0);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

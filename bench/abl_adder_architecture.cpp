@@ -13,7 +13,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Ablation — adder architecture vs required precision",
                "The paper's trade-off requires delay that scales with "
                "precision; architecture choice decides feasibility.");
@@ -45,4 +47,11 @@ int main(int argc, char** argv) {
   std::printf("\n(the characterized paper adder is the blocked CLA: 6 bits "
               "for 1 year, 8 for 10 years)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -11,7 +11,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Ablation — BTI model sensitivity",
                "Required adder/multiplier precision reduction for 10Y WC "
                "across aging-model parameter variations.");
@@ -57,4 +59,11 @@ int main(int argc, char** argv) {
   std::printf("\n(calibrated defaults: n = 0.16, scale = 1.0 -> 8 adder bits, "
               "3 multiplier bits)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -94,7 +94,9 @@ void run(const Config& cfg, ComponentSpec base, ApproxTechnique technique,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Ablation — approximation techniques as the aging knob",
                "Same Eq. 2 target, three error profiles: always-small (lsb), "
                "small-negative (pp), rare-but-huge (window).");
@@ -131,4 +133,11 @@ int main(int argc, char** argv) {
       "carry cascade. Operand truncation is the only knob here that shrinks "
       "the critical structure itself — supporting the paper's choice.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

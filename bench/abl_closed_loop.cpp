@@ -87,7 +87,9 @@ EpochDecode epoch_psnr(const Config& cfg, const ClosedLoopRuntime& runtime,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Extension — closed-loop runtime vs. open-loop schedule",
                "Fault-injection campaign: PSNR over lifetime when reality "
                "deviates from the calibrated aging model.");
@@ -192,4 +194,11 @@ int main(int argc, char** argv) {
   bench_json.metric("final_precision",
                     static_cast<double>(closed.final_precision));
   return closed.converged_clean() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -17,7 +17,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Extension — dedicated IDCT row unit under aging",
                "The paper's per-component methodology applied to a hardwired "
                "constant-multiplier transform datapath.");
@@ -63,4 +65,11 @@ int main(int argc, char** argv) {
               "trees dominate its critical path, so truncation pays off at a "
               "different rate — the flow handles both without change)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

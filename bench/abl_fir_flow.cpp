@@ -15,7 +15,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Extension — FIR filter through the microarchitecture flow",
                "Same flow, different design: per-block slack decides where "
                "precision is spent.");
@@ -63,4 +65,11 @@ int main(int argc, char** argv) {
               "even at 10 years and everything else keeps full precision — "
               "the paper's selective 'where' in action on a second design.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -1,0 +1,152 @@
+// Ablation (ISSUE 6) — characterization-as-a-service throughput: queries
+// per second against an in-process `aapx serve` server, cold store vs warm
+// store, at 1/2/4 concurrent clients. The qps numbers are machine-dependent
+// (they land in BENCH_abl_serve_throughput.json as qps_* fields, which the
+// regression checker ignores like wall_s); the request counts, error count
+// and the gate checksum over every returned surface are deterministic and
+// ARE regression-checked — a service that stopped answering, started
+// shedding, or drifted from the bit-identical-to-local contract shows up
+// there.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common.hpp"
+#include "engine/context.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+namespace {
+
+std::vector<service::CharacterizeRequest> make_workload(bool fast) {
+  std::vector<service::CharacterizeRequest> reqs;
+  for (const int width : fast ? std::vector<int>{4, 5}
+                              : std::vector<int>{4, 5, 6, 7}) {
+    service::CharacterizeRequest req;
+    req.spec.kind = ComponentKind::adder;
+    req.spec.width = width;
+    req.spec.adder_arch = AdderArch::ripple;
+    req.scenarios = {{StressMode::worst, 10.0}};
+    req.min_precision = width - 2;
+    reqs.push_back(req);
+  }
+  return reqs;
+}
+
+struct PassResult {
+  double qps = 0.0;
+  std::uint64_t completed = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t gates = 0;  ///< sum over every point of every response
+};
+
+/// Issues `repeat` rounds of the workload, request i pinned to client
+/// thread i % clients (a deterministic partition, so the per-response
+/// checksums are independent of scheduling).
+PassResult run_pass(const std::string& endpoint,
+                    const std::vector<service::CharacterizeRequest>& reqs,
+                    int clients, int repeat) {
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> gates{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      service::ServiceClient client(endpoint);
+      std::string err;
+      for (int round = 0; round < repeat; ++round) {
+        for (std::size_t i = c; i < reqs.size();
+             i += static_cast<std::size_t>(clients)) {
+          const auto response = client.characterize(reqs[i], &err);
+          if (!response.has_value()) {
+            errors.fetch_add(1);
+            continue;
+          }
+          completed.fetch_add(1);
+          std::uint64_t g = 0;
+          for (const auto& pt : response->surface.points) g += pt.gates;
+          gates.fetch_add(g);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  PassResult r;
+  r.completed = completed.load();
+  r.errors = errors.load();
+  r.gates = gates.load();
+  r.qps = static_cast<double>(r.completed) / std::max(wall, 1e-12);
+  return r;
+}
+
+int run(int argc, char** argv) {
+  print_banner("Ablation — `aapx serve` throughput",
+               "Characterization queries per second, cold vs warm store, at "
+               "1/2/4 concurrent clients (one server, shared DesignStore).");
+  BenchJson bench_json("abl_serve_throughput", argc, argv);
+  const bool fast = fast_mode(argc, argv);
+  const int warm_rounds = arg_int(argc, argv, "--rounds", fast ? 3 : 5);
+  const std::vector<service::CharacterizeRequest> reqs = make_workload(fast);
+
+  TextTable table({"clients", "cold qps", "warm qps", "warm/cold"});
+  std::uint64_t total_completed = 0;
+  std::uint64_t total_errors = 0;
+  std::uint64_t gates_checksum = 0;
+  for (const int clients : {1, 2, 4}) {
+    // A fresh root Context per client count: every cold pass really is
+    // cold, and the warm pass that follows hits the store the cold pass
+    // just filled.
+    Context root;
+    service::ServerOptions opts;
+    opts.listen = "tcp:0";
+    service::Server server(root, opts);
+    std::string err;
+    if (!server.start(&err)) {
+      std::fprintf(stderr, "abl_serve_throughput: %s\n", err.c_str());
+      return 1;
+    }
+    const PassResult cold = run_pass(server.endpoint(), reqs, clients, 1);
+    const PassResult warm =
+        run_pass(server.endpoint(), reqs, clients, warm_rounds);
+    server.stop();
+
+    total_completed += cold.completed + warm.completed;
+    total_errors += cold.errors + warm.errors;
+    gates_checksum += cold.gates + warm.gates;
+    const std::string tag = std::to_string(clients);
+    bench_json.metric("qps_cold_" + tag, cold.qps);
+    bench_json.metric("qps_warm_" + tag, warm.qps);
+    table.add_row({tag, TextTable::num(cold.qps, 1),
+                   TextTable::num(warm.qps, 1),
+                   TextTable::num(warm.qps / std::max(cold.qps, 1e-12), 2)});
+  }
+  bench_json.metric("requests_total", static_cast<double>(total_completed));
+  bench_json.metric("request_errors", static_cast<double>(total_errors));
+  bench_json.metric("gates_checksum", static_cast<double>(gates_checksum));
+  table.print(std::cout);
+  std::printf("\n(warm responses are store hits — the shared-DesignStore "
+              "payoff the service exists for; qps is machine-dependent, the "
+              "checksums are not)\n");
+  return total_errors == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
+}

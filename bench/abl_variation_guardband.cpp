@@ -14,7 +14,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Extension — variation + aging guardband decomposition",
                "How much of the combined statistical guardband precision "
                "reduction can buy back.");
@@ -82,4 +84,11 @@ int main(int argc, char** argv) {
     std::printf("\nthe sweep range does not cover the combined corner\n");
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -1,12 +1,16 @@
 #include "common.hpp"
 
+#include <signal.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 
+#include "engine/cancel.hpp"
 #include "engine/context.hpp"
 #include "engine/design_store.hpp"
 #include "gatesim/timedsim.hpp"
@@ -18,6 +22,40 @@
 namespace aapx::bench {
 
 const Context& bench_context() { return Context::process_default(); }
+
+namespace {
+
+CancelToken g_bench_cancel;          // NOLINT
+std::atomic<int> g_bench_signal{0};  // NOLINT
+
+extern "C" void bench_shutdown_signal(int signum) {
+  g_bench_signal.store(signum, std::memory_order_relaxed);
+  g_bench_cancel.cancel();
+}
+
+}  // namespace
+
+int guarded_main(int argc, char** argv, const std::function<int()>& body) {
+  (void)argc;
+  (void)argv;
+  Context::process_default().set_cancel_token(&g_bench_cancel);
+  struct sigaction sa = {};
+  sa.sa_handler = bench_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  try {
+    return body();
+  } catch (const CancelledError& e) {
+    // The exception already unwound the bench scope, so a BenchJson that
+    // was live in `body` has written its telemetry and saved the --store
+    // snapshot — only fully-built artifacts, insertions are transactional.
+    const int signum = g_bench_signal.load();
+    std::fprintf(stderr, "bench: interrupted by signal %d (%s)\n", signum,
+                 e.what());
+    return signum > 0 ? 128 + signum : 1;
+  }
+}
 
 bool fast_mode(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {

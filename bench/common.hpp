@@ -9,6 +9,7 @@
 
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -78,6 +79,17 @@ struct Config {
 /// historic meaning, while all benches share one DesignStore: a netlist
 /// synthesized for one table row is a cache hit for the next.
 const Context& bench_context();
+
+/// Runs a bench body under graceful SIGINT/SIGTERM handling. The signal
+/// handler trips the process-default Context's CancelToken (two atomic
+/// stores — async-signal-safe), the running sweep unwinds with
+/// CancelledError through the bench scope — so a live BenchJson still
+/// writes its telemetry and saves the --store snapshot on the way out, the
+/// same "store holds only completed artifacts" contract the CLI gives —
+/// and the process exits 128+signum with a one-line diagnostic instead of
+/// dying mid-write. Every bench main is `return guarded_main(argc, argv,
+/// [&] { ... });`.
+int guarded_main(int argc, char** argv, const std::function<int()>& body);
 
 /// True if "--fast" was passed (benches shrink their workloads; used by CI).
 bool fast_mode(int argc, char** argv);

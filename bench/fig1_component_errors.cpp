@@ -58,7 +58,9 @@ void run_component(const Config& cfg, const ComponentSpec& spec, double sigma,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 1 — aging-induced timing errors at the removed guardband",
                "Errors grow with lifetime and stress; the adder suffers more "
                "than the multiplier (component-dependent aging).");
@@ -70,4 +72,11 @@ int main(int argc, char** argv) {
   run_component(cfg, cfg.mult32(), cfg.mult_sigma, fast ? 300 : 2000,
                 "multiplier");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

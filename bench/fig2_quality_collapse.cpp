@@ -17,7 +17,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 2 — DCT->IDCT quality collapse without a guardband",
                "Gate-level timed simulation of the full chain; PSNR falls "
                "from ~46 dB to unusable levels as the circuit ages.");
@@ -77,4 +79,11 @@ int main(int argc, char** argv) {
               t_clock, window.lo, window.lo + window.count);
   table.print(std::cout);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -18,7 +18,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 4 — 32-bit adder: aging-induced delay vs precision",
                "Truncating operand LSBs shortens the CLA carry structure "
                "enough to absorb worst-case BTI aging.");
@@ -84,4 +86,11 @@ int main(int argc, char** argv) {
   std::printf("(paper Sec. IV: actual-case is markedly less conservative than "
               "worst-case, and ND vs IDCT stimuli agree — see Fig. 5)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -43,7 +43,9 @@ void print_histogram(const char* title, const Histogram& h) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 5 — actual-case stress factors: ND vs IDCT stimuli",
                "Similar stress distributions -> similar aged delays -> "
                "artificial inputs suffice for characterization.");
@@ -103,4 +105,11 @@ int main(int argc, char** argv) {
   std::printf("(paper: \"both histograms are similar and hence the induced "
               "delay increase will be similar as well\")\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

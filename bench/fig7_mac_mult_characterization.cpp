@@ -45,7 +45,9 @@ void run(const Config& cfg, const ComponentSpec& spec, int min_precision,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 7 — multiplier and MAC characterization",
                "Different RTL components need different precision reductions "
                "for the same lifetime (paper Sec. VI).");
@@ -58,4 +60,11 @@ int main(int argc, char** argv) {
       "(paper: 1 bit narrows ~80%; 3 bits compensate 10 years — our "
       "ripple-accumulator MAC needs 2, see EXPERIMENTS.md)");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

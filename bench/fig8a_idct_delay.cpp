@@ -11,7 +11,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 8a — IDCT delay, original vs aging-induced approximation",
                "The multiplier is the critical block; 3 truncated bits absorb "
                "10 years of worst-case aging (paper: rel. slack -8.3%, 3 bits).");
@@ -79,4 +81,11 @@ int main(int argc, char** argv) {
               "constraint in all aging cases -> no timing errors, only "
               "controlled approximations)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -15,7 +15,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 8b — image quality under the 10Y WC approximation",
                "Deterministic truncation degrades quality gracefully; the "
                "high-detail 'mobile' sequence suffers most.");
@@ -81,4 +83,11 @@ int main(int argc, char** argv) {
   bench_json.metric("avg_fresh_db", avg_fresh / n);
   bench_json.metric("avg_approx_db", avg_approx / n);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -47,7 +47,9 @@ DesignMetrics measure(const Config& cfg, const Netlist& nl, double clock_ps,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 8c — savings vs aging-aware synthesis [4]",
                "Converting the guardband into precision reduces area and "
                "power instead of paying overhead for resilience.");
@@ -142,4 +144,11 @@ int main(int argc, char** argv) {
   std::printf("\n(all savings normalized to the aging-aware synthesis "
               "baseline, as in paper Fig. 8c)\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

@@ -13,7 +13,9 @@
 using namespace aapx;
 using namespace aapx::bench;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   print_banner("Fig. 9 — example images after 10Y WC approximation",
                "Decoded frames written as fig9_<name>.pgm (see --outdir).");
   BenchJson bench_json("fig9_example_images", argc, argv);
@@ -59,4 +61,11 @@ int main(int argc, char** argv) {
   std::printf("\n(paper: \"even for the 'mobile' image with 28 dB PSNR, image "
               "quality is still very good and noise is hardly observable\")\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv,
+                                   [&] { return run(argc, argv); });
 }

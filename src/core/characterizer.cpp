@@ -133,6 +133,11 @@ ComponentCharacterization ComponentCharacterizer::sweep(
   result.base = base;
   result.scenarios = scenarios;
 
+  // First cancellation check before ANY store-touching work (the prewarm
+  // below inserts aged libraries): a pre-cancelled sweep must leave the
+  // store exactly as it found it.
+  ctx_->check_cancelled("characterize.sweep");
+
   // Prewarm the degradation cache serially: every point needs the same aged
   // libraries, and building them inside parallel_for would serialize the
   // workers on degradation_mutex_ while one of them does the build.
@@ -152,7 +157,13 @@ ComponentCharacterization ComponentCharacterizer::sweep(
   // slot, so the surface is bit-identical at any thread count. Uniform-stress
   // and fresh delays route through the store's memoized aged-STA; measured
   // scenarios are stimulus-dependent and keep the direct Sta path.
+  // Every point body starts with a cancellation check — the cooperative
+  // grain the serve deadline contract promises. A tripped token throws out
+  // of parallel_for (first exception wins) before the *next* synthesis
+  // starts, so a cancelled sweep stops burning cores within one point and
+  // inserts nothing partial: store entries only land after a full build.
   ctx_->parallel_for(precisions.size(), [&](std::size_t i) {
+    ctx_->check_cancelled("characterize.point");
     const int k = precisions[i];
     obs::Span point_span("characterize.point", static_cast<std::uint64_t>(k));
     ComponentSpec spec = base;

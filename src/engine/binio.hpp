@@ -6,9 +6,14 @@
 // little-endian one. Doubles travel as their IEEE-754 bit pattern inside a
 // u64. Strings and vectors are length-prefixed.
 //
-// BinReader is bounds-checked: any read past the end of the payload throws
-// std::runtime_error, which the DesignStore's load path treats as a corrupt
-// record (drop + warn + cold miss), never as undefined behavior.
+// BinReader is bounds-checked against adversarial input: any read past the
+// end of the payload throws std::runtime_error, and every length prefix is
+// validated against the remaining bytes *before* any allocation, so a
+// corrupt or hostile prefix can neither drive a multi-gigabyte allocation
+// nor wrap a size computation. The DesignStore's load path treats the throw
+// as a corrupt record (drop + warn + cold miss) and the service layer as a
+// malformed frame (typed error response) — never undefined behavior.
+// tests/service/service_protocol_test.cpp fuzzes every codec through here.
 #pragma once
 
 #include <bit>
@@ -83,7 +88,10 @@ class BinReader {
     return s;
   }
   std::vector<double> f64_vec() {
-    const std::uint64_t n = len(u64() * 8) / 8;
+    // count(), not len(n * 8): an adversarial length prefix near 2^61 would
+    // wrap the multiplication and sail past the bounds check — frames now
+    // arrive from untrusted sockets, not just our own store files.
+    const std::uint64_t n = count(u64(), 8);
     std::vector<double> v;
     v.reserve(n);
     for (std::uint64_t i = 0; i < n; ++i) v.push_back(f64());

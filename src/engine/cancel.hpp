@@ -1,0 +1,80 @@
+// Cooperative cancellation for long-running flow work — the primitive that
+// lets `aapx serve` enforce per-request deadlines and lets the CLI turn
+// SIGINT/SIGTERM into a clean drain instead of a lost warm store.
+//
+// A CancelToken is a tiny shared flag-plus-deadline. The *owner* (server
+// request handler, CLI signal handler) calls cancel() or set_deadline(); the
+// *workers* (characterizer sweep bodies, DesignStore fills) call check()
+// at natural grain boundaries — one precision point, one STA fill — and a
+// tripped token throws CancelledError. Checks are two relaxed atomic loads
+// when the token is armed with no deadline, so sprinkling them on hot paths
+// is free; a deadline adds one steady_clock read per check.
+//
+// Cancellation is cooperative and transactional by construction: every
+// DesignStore insertion happens only after its value is fully built, so a
+// CancelledError unwinding out of a sweep leaves no partial records — the
+// store is exactly as warm as the work that completed (see
+// tests/service/service_cancel_test.cpp).
+//
+// cancel() is a single atomic store, making it safe to call from a POSIX
+// signal handler (the CLI's SIGINT/SIGTERM path relies on this).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace aapx {
+
+/// Thrown by CancelToken::check() once the token has tripped. Derives from
+/// std::runtime_error so unaware layers treat it as an ordinary failure;
+/// aware layers (the server worker loop, the CLI main) catch it by type to
+/// turn "stopped early" into a typed cancelled response / clean snapshot.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled: " + where) {}
+};
+
+class CancelToken {
+ public:
+  /// Trips the token permanently. Async-signal-safe (one atomic store).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arms a wall deadline; the token trips once steady_clock passes it.
+  void set_deadline(std::chrono::steady_clock::time_point tp) noexcept {
+    deadline_ns_.store(tp.time_since_epoch().count(),
+                       std::memory_order_relaxed);
+  }
+  void set_deadline_after(std::chrono::milliseconds budget) noexcept {
+    set_deadline(std::chrono::steady_clock::now() + budget);
+  }
+  /// Disarms the deadline (not an explicit cancel()): the server loosens a
+  /// deduped job to its laxest waiter's budget this way.
+  void clear_deadline() noexcept {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    return deadline != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >=
+               deadline;
+  }
+
+  /// Throws CancelledError if the token has tripped; `where` names the
+  /// abandoned grain for the diagnostic ("characterize.point" etc.).
+  void check(const char* where) const {
+    if (cancelled()) throw CancelledError(where);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{0};  ///< steady_clock ns; 0 = none
+};
+
+}  // namespace aapx

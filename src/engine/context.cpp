@@ -22,10 +22,19 @@ Context::Context(const Options& options) {
   tracer_ = &obs::Tracer::instance();
   threads_.store(options.threads, std::memory_order_relaxed);
   seed_.store(options.seed, std::memory_order_relaxed);
-  // The store is created last: it registers its counters with metrics().
-  store_ = std::make_unique<engine::DesignStore>(*this);
-  if (!options.store_path.empty()) {
-    store_->open(options.store_path);
+  cancel_.store(options.cancel, std::memory_order_relaxed);
+  if (options.shared_store != nullptr) {
+    // Multi-tenant mode: borrow another Context's store (the server's
+    // per-connection Contexts all point at the root store). Its metrics
+    // keep reporting into the owning Context.
+    store_ = options.shared_store;
+  } else {
+    // The store is created last: it registers its counters with metrics().
+    owned_store_ = std::make_unique<engine::DesignStore>(*this);
+    store_ = owned_store_.get();
+    if (!options.store_path.empty()) {
+      store_->open(options.store_path);
+    }
   }
 }
 

@@ -36,6 +36,7 @@
 #include <memory>
 #include <string>
 
+#include "engine/cancel.hpp"
 #include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
 #include "obs/trace.hpp"
@@ -67,6 +68,16 @@ class Context {
     /// fails hard: a missing file is a cold start, a damaged one degrades
     /// to cold with a warning (see DesignStore::open).
     std::string store_path;
+    /// Borrowed DesignStore instead of an owned one — the multi-tenant
+    /// sharing knob: `aapx serve` gives every per-connection Context the
+    /// root Context's store so all clients warm one cache. The store (and
+    /// the Context that owns it) must outlive this Context; store_path is
+    /// ignored when set. nullptr = own a private store (the default, and
+    /// the isolation the context_isolation tests pin down).
+    engine::DesignStore* shared_store = nullptr;
+    /// Cancellation token checked by this Context's long-running sweeps
+    /// (see engine/cancel.hpp). Borrowed; nullptr = never cancelled.
+    const CancelToken* cancel = nullptr;
   };
 
   /// Fully private Context: own DesignStore, own metrics registry, own
@@ -115,6 +126,23 @@ class Context {
     return Rng(mix_seed(seed(), stream));
   }
 
+  /// The cancellation token long-running work under this Context observes,
+  /// or nullptr. Swappable at runtime: the CLI arms the process-default
+  /// Context's token before dispatch, the server arms one per request.
+  const CancelToken* cancel_token() const noexcept {
+    return cancel_.load(std::memory_order_relaxed);
+  }
+  void set_cancel_token(const CancelToken* token) noexcept {
+    cancel_.store(token, std::memory_order_relaxed);
+  }
+  /// Throws CancelledError if this Context's token (if any) has tripped.
+  /// Two relaxed loads when untripped — cheap enough for per-grain checks
+  /// (one precision point, one STA fill), which is the granularity the
+  /// serve deadline contract promises.
+  void check_cancelled(const char* where) const {
+    if (const CancelToken* token = cancel_token()) token->check(where);
+  }
+
   /// parallel_for with this Context's worker count. Same determinism
   /// contract as aapx::parallel_for: results are bit-identical at any count.
   void parallel_for(std::size_t n,
@@ -128,9 +156,11 @@ class Context {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::RunLog* runlog_ = nullptr;
   obs::Tracer* tracer_ = nullptr;
-  std::unique_ptr<engine::DesignStore> store_;
+  std::unique_ptr<engine::DesignStore> owned_store_;
+  engine::DesignStore* store_ = nullptr;
   std::atomic<int> threads_{0};
   std::atomic<std::uint64_t> seed_{0};
+  std::atomic<const CancelToken*> cancel_{nullptr};
 };
 
 }  // namespace aapx

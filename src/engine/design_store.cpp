@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <utility>
 
@@ -389,6 +390,14 @@ const ComponentCharacterization& DesignStore::surface(
 }
 
 bool DesignStore::open(const std::string& path) {
+  // A SIGKILL mid-save leaves the write_store_file temp file behind; the
+  // rename never happened, so the main file is intact and the temp is
+  // garbage. Reclaim it here — open() marks the start of a new attachment,
+  // when no save of ours can be in flight yet.
+  {
+    std::error_code ec;
+    std::filesystem::remove(path + ".tmp", ec);
+  }
   StoreFileData data = load_store_file(path);
   for (const std::string& w : data.warnings) {
     std::fprintf(stderr, "aapx store: %s\n", w.c_str());
@@ -494,6 +503,41 @@ void DesignStore::log_delay_query(bool aged, std::uint64_t gates,
       .field("gates", gates)
       .field("max_delay_ps", delay);
   log.emit("sta_query", w);
+}
+
+std::vector<SurfacePayload> DesignStore::surface_snapshot() const {
+  std::vector<SurfacePayload> out;
+  for (const auto& shard : surfaces_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, e] : shard.entries) {
+      out.push_back({e->lib_fp, e->params, e->sta, e->min_precision,
+                     e->precision_step, e->scenarios, e->surface});
+    }
+  }
+  {
+    // Staged disk records count too: a `serve` on a freshly opened store
+    // should answer library queries without anyone forcing materialization.
+    std::lock_guard<std::mutex> lock(staged_mutex_);
+    for (const auto& [k, payload] : staged_) {
+      if (static_cast<RecordKind>(k.first) != RecordKind::surface) continue;
+      try {
+        out.push_back(decode_surface_payload(payload));
+      } catch (const std::exception&) {
+        // Damaged staged record: the query path would drop it too.
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SurfacePayload& a, const SurfacePayload& b) {
+              if (a.surface.base.kind != b.surface.base.kind) {
+                return a.surface.base.kind < b.surface.base.kind;
+              }
+              if (a.surface.base.width != b.surface.base.width) {
+                return a.surface.base.width < b.surface.base.width;
+              }
+              return key_of(a.surface.base) < key_of(b.surface.base);
+            });
+  return out;
 }
 
 DesignStore::Stats DesignStore::stats() const {

@@ -69,6 +69,8 @@ class Context;
 
 namespace engine {
 
+struct SurfacePayload;  // engine/persist.hpp
+
 class DesignStore {
  public:
   /// The store reports hit/miss counters into (and builds artifacts under)
@@ -120,6 +122,12 @@ class DesignStore {
   /// `path` (atomic: temp file + rename). Output bytes are deterministic
   /// for a given store content. Returns false on I/O failure.
   bool save(const std::string& path) const;
+
+  /// Every characterization surface currently in the store — materialized
+  /// entries plus still-staged disk records — sorted by (kind, width, spec
+  /// key) so the output is deterministic. Serves `aapx serve`'s
+  /// library-query requests without forcing materialization.
+  std::vector<SurfacePayload> surface_snapshot() const;
 
   struct Stats {
     std::uint64_t netlist_hits = 0, netlist_misses = 0;

@@ -90,6 +90,22 @@ Table2D decode_table(BinReader& r) {
   return Table2D(std::move(axis1), std::move(axis2), std::move(values));
 }
 
+/// Normalizes decoder failures to the documented std::runtime_error. The
+/// structural re-checks the decoders lean on (Netlist::add_gate_driving,
+/// Table2D construction) throw logic_error flavours like out_of_range on
+/// corrupt input; callers — the load path, and now the untrusted-socket
+/// protocol layer — are promised runtime_error and nothing else.
+template <typename Fn>
+auto decode_guarded(const char* what, const Fn& fn) -> decltype(fn()) {
+  try {
+    return fn();
+  } catch (const std::runtime_error&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw std::runtime_error(std::string(what) + ": " + e.what());
+  }
+}
+
 }  // namespace
 
 std::uint64_t build_fingerprint() {
@@ -296,84 +312,95 @@ std::string encode_netlist_payload(std::uint64_t lib_fp,
 
 NetlistPayload decode_netlist_payload(const std::string& payload,
                                       const CellLibrary& lib) {
-  BinReader r(payload);
-  const std::uint64_t lib_fp = r.u64();
-  const ComponentSpec spec = decode_spec(r);
+  return decode_guarded("store netlist record", [&]() -> NetlistPayload {
+    BinReader r(payload);
+    const std::uint64_t lib_fp = r.u64();
+    const ComponentSpec spec = decode_spec(r);
 
-  const std::uint64_t num_nets = r.u64();
-  Netlist nl(lib);  // creates the two constant nets
-  if (num_nets < 2) throw std::runtime_error("store netlist has no nets");
+    const std::uint64_t num_nets = r.u64();
+    Netlist nl(lib);  // creates the two constant nets
+    if (num_nets < 2) throw std::runtime_error("store netlist has no nets");
 
-  struct NamedNet {
-    NetId net;
-    std::string name;
-  };
-  std::vector<NamedNet> inputs;
-  const std::uint64_t num_inputs = r.count(r.u64(), 16);
-  inputs.reserve(num_inputs);
-  for (std::uint64_t i = 0; i < num_inputs; ++i) {
-    const auto net = static_cast<NetId>(r.u64());
-    inputs.push_back({net, r.str()});
-  }
-  // Primary inputs appear in net-id order (add_input creates a fresh net per
-  // call), which is what lets a linear replay reconstruct the exact ids.
-  std::size_t next_input = 0;
-  for (std::uint64_t id = 2; id < num_nets; ++id) {
-    if (next_input < inputs.size() && inputs[next_input].net == id) {
-      if (nl.add_input(inputs[next_input].name) != id) {
-        throw std::runtime_error("store netlist input replay diverged");
-      }
-      ++next_input;
-    } else if (nl.add_net() != id) {
-      throw std::runtime_error("store netlist net replay diverged");
+    struct NamedNet {
+      NetId net;
+      std::string name;
+    };
+    std::vector<NamedNet> inputs;
+    const std::uint64_t num_inputs = r.count(r.u64(), 16);
+    inputs.reserve(num_inputs);
+    for (std::uint64_t i = 0; i < num_inputs; ++i) {
+      const auto net = static_cast<NetId>(r.u64());
+      inputs.push_back({net, r.str()});
     }
-  }
-  if (next_input != inputs.size()) {
-    throw std::runtime_error("store netlist inputs not in net order");
-  }
-
-  const std::uint64_t num_gates = r.count(r.u64(), 9);
-  for (std::uint64_t g = 0; g < num_gates; ++g) {
-    const auto cell = static_cast<CellId>(r.u32());
-    const int pins = r.u8();
-    if (pins > 3) throw std::runtime_error("store netlist gate pin overflow");
-    NetId ins[3] = {};
-    for (int p = 0; p < pins; ++p) ins[p] = static_cast<NetId>(r.u32());
-    const auto out = static_cast<NetId>(r.u32());
-    // add_gate_driving re-checks pin count vs the cell function, driver
-    // uniqueness and net bounds — a corrupt gate list throws here.
-    nl.add_gate_driving(cell, std::span<const NetId>(ins, pins), out);
-  }
-
-  const std::uint64_t num_outputs = r.count(r.u64(), 16);
-  for (std::uint64_t i = 0; i < num_outputs; ++i) {
-    const auto net = static_cast<NetId>(r.u64());
-    nl.mark_output(net, r.str());
-  }
-
-  const auto read_buses = [&r, num_nets](const auto& install) {
-    const std::uint64_t count = r.count(r.u64(), 16);
-    for (std::uint64_t b = 0; b < count; ++b) {
-      std::string name = r.str();
-      const std::uint64_t n = r.count(r.u64(), 8);
-      std::vector<NetId> nets;
-      nets.reserve(n);
-      for (std::uint64_t i = 0; i < n; ++i) {
-        const auto net = static_cast<NetId>(r.u64());
-        if (net >= num_nets) throw std::runtime_error("store bus net overflow");
-        nets.push_back(net);
-      }
-      install(std::move(name), std::move(nets));
+    // In any valid encoding every net beyond the constants is either a
+    // primary input or carries at least one payload byte downstream (its
+    // driving gate), so this bounds the replay loop below — without it a
+    // corrupt count would grow the netlist until the machine runs dry.
+    if (num_nets > 2 + num_inputs + payload.size()) {
+      throw std::runtime_error("store netlist net count exceeds payload bound");
     }
-  };
-  read_buses([&nl](std::string name, std::vector<NetId> nets) {
-    nl.set_input_bus(name, std::move(nets));
+    // Primary inputs appear in net-id order (add_input creates a fresh net per
+    // call), which is what lets a linear replay reconstruct the exact ids.
+    std::size_t next_input = 0;
+    for (std::uint64_t id = 2; id < num_nets; ++id) {
+      if (next_input < inputs.size() && inputs[next_input].net == id) {
+        if (nl.add_input(inputs[next_input].name) != id) {
+          throw std::runtime_error("store netlist input replay diverged");
+        }
+        ++next_input;
+      } else if (nl.add_net() != id) {
+        throw std::runtime_error("store netlist net replay diverged");
+      }
+    }
+    if (next_input != inputs.size()) {
+      throw std::runtime_error("store netlist inputs not in net order");
+    }
+
+    const std::uint64_t num_gates = r.count(r.u64(), 9);
+    for (std::uint64_t g = 0; g < num_gates; ++g) {
+      const auto cell = static_cast<CellId>(r.u32());
+      const int pins = r.u8();
+      if (pins > 3) throw std::runtime_error("store netlist gate pin overflow");
+      NetId ins[3] = {};
+      for (int p = 0; p < pins; ++p) ins[p] = static_cast<NetId>(r.u32());
+      const auto out = static_cast<NetId>(r.u32());
+      // add_gate_driving re-checks pin count vs the cell function, driver
+      // uniqueness and net bounds — a corrupt gate list throws here.
+      nl.add_gate_driving(cell, std::span<const NetId>(ins, pins), out);
+    }
+
+    const std::uint64_t num_outputs = r.count(r.u64(), 16);
+    for (std::uint64_t i = 0; i < num_outputs; ++i) {
+      const auto net = static_cast<NetId>(r.u64());
+      nl.mark_output(net, r.str());
+    }
+
+    const auto read_buses = [&r, num_nets](const auto& install) {
+      const std::uint64_t count = r.count(r.u64(), 16);
+      for (std::uint64_t b = 0; b < count; ++b) {
+        std::string name = r.str();
+        const std::uint64_t n = r.count(r.u64(), 8);
+        std::vector<NetId> nets;
+        nets.reserve(n);
+        for (std::uint64_t i = 0; i < n; ++i) {
+          const auto net = static_cast<NetId>(r.u64());
+          if (net >= num_nets) {
+            throw std::runtime_error("store bus net overflow");
+          }
+          nets.push_back(net);
+        }
+        install(std::move(name), std::move(nets));
+      }
+    };
+    read_buses([&nl](std::string name, std::vector<NetId> nets) {
+      nl.set_input_bus(name, std::move(nets));
+    });
+    read_buses([&nl](std::string name, std::vector<NetId> nets) {
+      nl.set_output_bus(name, std::move(nets));
+    });
+    r.expect_end();
+    return NetlistPayload{lib_fp, spec, std::move(nl)};
   });
-  read_buses([&nl](std::string name, std::vector<NetId> nets) {
-    nl.set_output_bus(name, std::move(nets));
-  });
-  r.expect_end();
-  return NetlistPayload{lib_fp, spec, std::move(nl)};
 }
 
 // --- aged library -----------------------------------------------------------
@@ -398,27 +425,30 @@ std::string encode_aged_library_payload(std::uint64_t lib_fp,
 
 AgedLibraryPayload decode_aged_library_payload(const std::string& payload,
                                                const CellLibrary& lib) {
-  BinReader r(payload);
-  const std::uint64_t lib_fp = r.u64();
-  const BtiParams params = decode_params(r);
-  const double years = r.f64();
-  const std::uint64_t num_cells = r.count(r.u64(), 32);
-  if (num_cells != lib.size()) {
-    throw std::runtime_error("store aged library cell count mismatch");
-  }
-  std::vector<Table2D> rise;
-  std::vector<Table2D> fall;
-  rise.reserve(num_cells);
-  fall.reserve(num_cells);
-  for (std::uint64_t c = 0; c < num_cells; ++c) {
-    rise.push_back(decode_table(r));
-    fall.push_back(decode_table(r));
-  }
-  r.expect_end();
-  return AgedLibraryPayload{
-      lib_fp, params, years,
-      DegradationAwareLibrary(lib, BtiModel(params), years, std::move(rise),
-                              std::move(fall))};
+  return decode_guarded("store aged library record",
+                        [&]() -> AgedLibraryPayload {
+    BinReader r(payload);
+    const std::uint64_t lib_fp = r.u64();
+    const BtiParams params = decode_params(r);
+    const double years = r.f64();
+    const std::uint64_t num_cells = r.count(r.u64(), 32);
+    if (num_cells != lib.size()) {
+      throw std::runtime_error("store aged library cell count mismatch");
+    }
+    std::vector<Table2D> rise;
+    std::vector<Table2D> fall;
+    rise.reserve(num_cells);
+    fall.reserve(num_cells);
+    for (std::uint64_t c = 0; c < num_cells; ++c) {
+      rise.push_back(decode_table(r));
+      fall.push_back(decode_table(r));
+    }
+    r.expect_end();
+    return AgedLibraryPayload{
+        lib_fp, params, years,
+        DegradationAwareLibrary(lib, BtiModel(params), years, std::move(rise),
+                                std::move(fall))};
+  });
 }
 
 // --- sta delay --------------------------------------------------------------
@@ -471,40 +501,42 @@ std::string encode_surface_payload(const SurfacePayload& p) {
 }
 
 SurfacePayload decode_surface_payload(const std::string& payload) {
-  BinReader r(payload);
-  SurfacePayload p;
-  p.lib_fp = r.u64();
-  p.params = decode_params(r);
-  p.sta.primary_input_slew = r.f64();
-  p.sta.primary_output_load = r.f64();
-  p.min_precision = r.i32();
-  p.precision_step = r.i32();
-  const std::uint64_t nscen = r.count(r.u64(), 12);
-  p.scenarios.reserve(nscen);
-  for (std::uint64_t i = 0; i < nscen; ++i) {
-    AgingScenario s;
-    s.mode = static_cast<StressMode>(r.i32());
-    s.years = r.f64();
-    p.scenarios.push_back(s);
-  }
-  p.surface.base = decode_spec(r);
-  p.surface.scenarios = p.scenarios;
-  const std::uint64_t npoints = r.count(r.u64(), 36);
-  p.surface.points.reserve(npoints);
-  for (std::uint64_t i = 0; i < npoints; ++i) {
-    PrecisionPoint pt;
-    pt.precision = r.i32();
-    pt.fresh_delay = r.f64();
-    pt.area = r.f64();
-    pt.gates = r.u64();
-    pt.aged_delay = r.f64_vec();
-    if (pt.aged_delay.size() != nscen) {
-      throw std::runtime_error("store surface scenario columns mismatch");
+  return decode_guarded("store surface record", [&]() -> SurfacePayload {
+    BinReader r(payload);
+    SurfacePayload p;
+    p.lib_fp = r.u64();
+    p.params = decode_params(r);
+    p.sta.primary_input_slew = r.f64();
+    p.sta.primary_output_load = r.f64();
+    p.min_precision = r.i32();
+    p.precision_step = r.i32();
+    const std::uint64_t nscen = r.count(r.u64(), 12);
+    p.scenarios.reserve(nscen);
+    for (std::uint64_t i = 0; i < nscen; ++i) {
+      AgingScenario s;
+      s.mode = static_cast<StressMode>(r.i32());
+      s.years = r.f64();
+      p.scenarios.push_back(s);
     }
-    p.surface.points.push_back(std::move(pt));
-  }
-  r.expect_end();
-  return p;
+    p.surface.base = decode_spec(r);
+    p.surface.scenarios = p.scenarios;
+    const std::uint64_t npoints = r.count(r.u64(), 36);
+    p.surface.points.reserve(npoints);
+    for (std::uint64_t i = 0; i < npoints; ++i) {
+      PrecisionPoint pt;
+      pt.precision = r.i32();
+      pt.fresh_delay = r.f64();
+      pt.area = r.f64();
+      pt.gates = r.u64();
+      pt.aged_delay = r.f64_vec();
+      if (pt.aged_delay.size() != nscen) {
+        throw std::runtime_error("store surface scenario columns mismatch");
+      }
+      p.surface.points.push_back(std::move(pt));
+    }
+    r.expect_end();
+    return p;
+  });
 }
 
 }  // namespace aapx::engine

@@ -195,6 +195,10 @@ const std::map<std::string, std::vector<FieldSpec>>& known_types() {
       {"sweep_point",
        {{"component", true}, {"precision", false}, {"fresh_ps", false}}},
       {"sta_query", {{"kind", true}, {"gates", false}, {"max_delay_ps", false}}},
+      // Service-layer records (aapx serve per-request logs).
+      {"request", {{"msg", true}, {"request_id", false}}},
+      {"response", {{"msg", true}, {"request_id", false}}},
+      {"cancelled", {{"where", true}, {"reason", true}}},
   };
   return types;
 }

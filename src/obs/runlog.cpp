@@ -46,7 +46,10 @@ void RunLog::emit(std::string_view type, const JsonWriter& fields) {
 void RunLog::emit(std::string_view type) { emit(type, JsonWriter()); }
 
 void emit_manifest(const JsonWriter& caller_fields) {
-  RunLog& log = RunLog::instance();
+  emit_manifest(RunLog::instance(), caller_fields);
+}
+
+void emit_manifest(RunLog& log, const JsonWriter& caller_fields) {
   if (!log.enabled()) return;
   JsonWriter w;
   w.field("schema", kRunLogSchema)

@@ -61,4 +61,8 @@ class RunLog {
 /// component spec, seed, thread count). Call once, right after open().
 void emit_manifest(const JsonWriter& caller_fields);
 
+/// Same, into an explicit log — the server's per-request logs each start
+/// with their own manifest so every file is report --check-valid standalone.
+void emit_manifest(RunLog& log, const JsonWriter& caller_fields);
+
 }  // namespace aapx::obs

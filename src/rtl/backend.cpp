@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "approx/error_bounds.hpp"
+#include "engine/context.hpp"
 
 namespace aapx {
 
@@ -62,6 +63,13 @@ TimedNetlistBackend::TimedNetlistBackend(const Netlist& mult,
 }
 
 std::int64_t TimedNetlistBackend::multiply(std::int64_t a, std::int64_t b) {
+  // One gate-level simulation is the cooperative cancellation grain of every
+  // sim-heavy workload (image benches, faultsim campaigns). Backends are
+  // constructed without a Context, so the check goes against the
+  // process-default one — exactly the token the bench/CLI signal handlers
+  // arm; an untripped check is two relaxed loads, invisible next to an
+  // event-driven multiply.
+  Context::process_default().check_cancelled("gatesim.multiply");
   const std::uint64_t mask = width_ == 64 ? ~std::uint64_t{0}
                                           : (std::uint64_t{1} << width_) - 1;
   mult_sim_.stage_bus("a", static_cast<std::uint64_t>(a) & mask);
@@ -88,6 +96,7 @@ std::int64_t TimedNetlistBackend::multiply(std::int64_t a, std::int64_t b) {
 }
 
 std::int64_t TimedNetlistBackend::add(std::int64_t a, std::int64_t b) {
+  Context::process_default().check_cancelled("gatesim.add");
   const std::uint64_t mask = (std::uint64_t{1} << width_) - 1;
   adder_sim_.stage_bus("a", static_cast<std::uint64_t>(a) & mask);
   adder_sim_.stage_bus("b", static_cast<std::uint64_t>(b) & mask);

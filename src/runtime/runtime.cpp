@@ -242,6 +242,10 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
   int open_precision = schedule_.steps.front().precision;
   std::size_t logged_events = 0;
   for (int e = 1; e <= campaign.epochs; ++e) {
+    // Per-epoch cancellation grain: a SIGINT'd `aapx faultsim --store` run
+    // unwinds here with only whole epochs behind it, so the snapshot the
+    // CLI saves on the way out is exactly as warm as the completed work.
+    ctx_->check_cancelled("campaign.epoch");
     obs::Span epoch_span("epoch", static_cast<std::uint64_t>(e));
     const double years = campaign.lifetime_years * static_cast<double>(e) /
                          static_cast<double>(campaign.epochs);

@@ -1,0 +1,73 @@
+// Bounded MPMC work queue — the server's explicit backpressure point.
+//
+// The capacity is a hard admission limit, not a hint: try_push() never
+// blocks and never grows the queue, it simply refuses when full, and the
+// caller (a connection reader) turns that refusal into a typed retry_later
+// response. An overloaded server therefore answers every request — with
+// work, or with "not now, back off N ms" — and can never wedge a client on
+// an unbounded internal backlog. pop() blocks; close() wakes every popper,
+// and already-queued items still drain after close (the graceful-shutdown
+// path wants queued requests finished, not dropped).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace aapx::service {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Non-blocking admission. False when full or closed — the caller sheds
+  /// the load explicitly instead of waiting.
+  bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks for the next item. nullopt once the queue is closed *and*
+  /// drained — workers exit only after finishing the backlog.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace aapx::service

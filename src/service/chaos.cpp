@@ -1,0 +1,509 @@
+#include "service/chaos.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <thread>
+
+#include "core/characterizer.hpp"
+#include "engine/binio.hpp"
+#include "engine/context.hpp"
+#include "engine/design_store.hpp"
+#include "engine/persist.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+
+namespace aapx::service {
+namespace {
+
+/// An invariant violation; run_chaos_scenario turns it into exit code 1.
+struct ChaosFailure : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+void require(bool ok, const std::string& what) {
+  if (!ok) throw ChaosFailure(what);
+}
+
+void note(const ChaosOptions& opts, const std::string& msg) {
+  if (opts.verbose) std::fprintf(stderr, "chaos: %s\n", msg.c_str());
+}
+
+/// The small, fast request every scenario reuses (4 precision points).
+CharacterizeRequest small_request(int width = 6) {
+  CharacterizeRequest req;
+  req.spec.kind = ComponentKind::adder;
+  req.spec.width = width;
+  req.spec.adder_arch = AdderArch::ripple;
+  req.scenarios = {{StressMode::worst, 10.0}};
+  req.min_precision = std::max(1, width - 3);
+  req.precision_step = 1;
+  return req;
+}
+
+/// Invariant 1's reference: the same request computed cold, single-threaded,
+/// in a private Context — no store warmth, no server, no concurrency.
+ComponentCharacterization cold_surface(const CharacterizeRequest& req) {
+  Context::Options copt;
+  copt.threads = 1;
+  const Context ctx(copt);
+  const CellLibrary lib = make_nangate45_like();
+  CharacterizerOptions ch_opt;
+  ch_opt.min_precision = req.min_precision;
+  ch_opt.precision_step = req.precision_step;
+  ch_opt.sta = req.sta;
+  const ComponentCharacterizer ch(ctx, lib, BtiModel{}, ch_opt);
+  return ch.characterize(req.spec, req.scenarios);
+}
+
+/// Bit-identical comparison — doubles compared by value equality, which for
+/// the determinism contract (same build, same inputs) means same bits.
+void require_same_surface(const ComponentCharacterization& got,
+                          const ComponentCharacterization& want,
+                          const std::string& who) {
+  require(got.base == want.base, who + ": base spec differs");
+  require(got.points.size() == want.points.size(),
+          who + ": point count differs");
+  for (std::size_t i = 0; i < got.points.size(); ++i) {
+    const PrecisionPoint& g = got.points[i];
+    const PrecisionPoint& w = want.points[i];
+    require(g.precision == w.precision && g.gates == w.gates &&
+                g.fresh_delay == w.fresh_delay && g.area == w.area &&
+                g.aged_delay == w.aged_delay,
+            who + ": point " + std::to_string(i) +
+                " not bit-identical to cold computation");
+  }
+}
+
+struct TestServer {
+  explicit TestServer(ServerOptions opts) : root(), server(root, opts) {
+    std::string err;
+    if (!server.start(&err)) {
+      throw std::runtime_error("chaos: server start failed: " + err);
+    }
+  }
+  Context root;
+  Server server;
+};
+
+ServerOptions base_options() {
+  ServerOptions opts;
+  opts.listen = "tcp:0";
+  opts.workers = 2;
+  opts.sweep_threads = 1;
+  return opts;
+}
+
+// --- scenario: drop ---------------------------------------------------------
+// A client disappears mid-frame; another vanishes right after sending a
+// full request (its response hits a dead socket). Well-behaved clients on
+// the same server must be unaffected and get bit-identical results.
+
+int scenario_drop(const ChaosOptions& opts) {
+  TestServer ts(base_options());
+  const CharacterizeRequest req = small_request();
+
+  // Half a frame, then hang up.
+  {
+    std::string err;
+    const int fd = connect_endpoint(ts.server.endpoint(), &err);
+    require(fd >= 0, "connect: " + err);
+    const std::string bytes =
+        encode_frame({MsgType::characterize, 7, encode_request(req)});
+    send_all(fd, std::string_view(bytes).substr(0, bytes.size() / 2));
+    close_fd(fd);
+  }
+  // A full request, then hang up before the response arrives.
+  {
+    std::string err;
+    const int fd = connect_endpoint(ts.server.endpoint(), &err);
+    require(fd >= 0, "connect: " + err);
+    send_all(fd,
+             encode_frame({MsgType::characterize, 8, encode_request(req)}));
+    close_fd(fd);
+  }
+  note(opts, "two connections dropped; querying through a healthy client");
+
+  ServiceClient client(ts.server.endpoint());
+  std::string err;
+  const auto surface = client.characterize(req, &err);
+  require(surface.has_value(), "healthy client failed: " + err);
+  require_same_surface(surface->surface, cold_surface(req), "drop");
+  ts.server.stop();
+  return 0;
+}
+
+// --- scenario: slowloris ----------------------------------------------------
+// One connection trickles a request a byte at a time. The server must keep
+// serving everyone else at full speed, and still answer the slow client
+// once its frame finally completes.
+
+int scenario_slowloris(const ChaosOptions& opts) {
+  TestServer ts(base_options());
+  const CharacterizeRequest req = small_request();
+
+  std::string err;
+  const int slow_fd = connect_endpoint(ts.server.endpoint(), &err);
+  require(slow_fd >= 0, "connect: " + err);
+  const std::string slow_bytes = encode_frame({MsgType::ping, 42, {}});
+
+  std::thread trickler([&] {
+    for (const char c : slow_bytes) {
+      send_all(slow_fd, std::string_view(&c, 1));
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  });
+
+  // Meanwhile: normal requests complete normally.
+  ServiceClient client(ts.server.endpoint());
+  const ComponentCharacterization want = cold_surface(req);
+  for (int i = 0; i < 3; ++i) {
+    const auto surface = client.characterize(req, &err);
+    require(surface.has_value(), "fast client starved: " + err);
+    require_same_surface(surface->surface, want, "slowloris");
+  }
+  note(opts, "fast client served while slow frame still trickling");
+
+  trickler.join();
+  // The slow client's ping must eventually be answered.
+  char buf[64];
+  FrameReader reader;
+  bool got_pong = false;
+  while (!got_pong) {
+    require(wait_readable(slow_fd, 5000) == 1, "slow client never answered");
+    const long n = recv_some(slow_fd, buf, sizeof(buf));
+    require(n > 0, "slow client connection died");
+    reader.feed(buf, static_cast<std::size_t>(n));
+    while (auto frame = reader.next()) {
+      require(frame->type == MsgType::pong && frame->request_id == 42,
+              "slow client got a wrong response");
+      got_pong = true;
+    }
+  }
+  close_fd(slow_fd);
+  ts.server.stop();
+  return 0;
+}
+
+// --- scenario: malformed ----------------------------------------------------
+// Hostile frames: garbage magic, an absurd length prefix, a well-framed but
+// invalid payload. Framing damage is connection-fatal (one error frame);
+// payload damage gets a typed error and the connection lives. The server
+// must survive all of it and keep serving.
+
+int scenario_malformed(const ChaosOptions& opts) {
+  TestServer ts(base_options());
+
+  const auto expect_error_then_close = [&](const std::string& bytes,
+                                           const std::string& what) {
+    std::string err;
+    const int fd = connect_endpoint(ts.server.endpoint(), &err);
+    require(fd >= 0, "connect: " + err);
+    send_all(fd, bytes);
+    FrameReader reader;
+    char buf[512];
+    bool got_error = false;
+    bool closed = false;
+    while (!closed) {
+      require(wait_readable(fd, 5000) == 1, what + ": server hung");
+      const long n = recv_some(fd, buf, sizeof(buf));
+      if (n <= 0) {
+        closed = true;
+        break;
+      }
+      reader.feed(buf, static_cast<std::size_t>(n));
+      while (auto frame = reader.next()) {
+        require(frame->type == MsgType::error, what + ": expected error");
+        got_error = true;
+      }
+    }
+    require(got_error, what + ": no error frame before close");
+    close_fd(fd);
+  };
+
+  expect_error_then_close(std::string(64, '\x5a'), "garbage magic");
+
+  {
+    // Valid magic and type, absurd payload length: must be rejected from
+    // the 24 header bytes alone, never buffered or allocated.
+    engine::BinWriter w;
+    w.u32(kFrameMagic);
+    w.u32(static_cast<std::uint32_t>(MsgType::characterize));
+    w.u64(1);
+    w.u64(1ull << 60);
+    expect_error_then_close(w.take(), "hostile length prefix");
+  }
+
+  {
+    // Well-framed, invalid payload (width 99): typed error, connection
+    // survives and still answers a ping.
+    CharacterizeRequest bad = small_request();
+    bad.spec.width = 99;
+    std::string payload = encode_request(bad);
+    std::string err;
+    const int fd = connect_endpoint(ts.server.endpoint(), &err);
+    require(fd >= 0, "connect: " + err);
+    send_all(fd, encode_frame({MsgType::characterize, 5, payload}));
+    send_all(fd, encode_frame({MsgType::ping, 6, {}}));
+    FrameReader reader;
+    char buf[512];
+    bool got_error = false;
+    bool got_pong = false;
+    while (!(got_error && got_pong)) {
+      require(wait_readable(fd, 5000) == 1, "bad payload: server hung");
+      const long n = recv_some(fd, buf, sizeof(buf));
+      require(n > 0, "bad payload: connection closed early");
+      reader.feed(buf, static_cast<std::size_t>(n));
+      while (auto frame = reader.next()) {
+        if (frame->request_id == 5) {
+          require(frame->type == MsgType::error,
+                  "bad payload: expected typed error");
+          got_error = true;
+        } else if (frame->request_id == 6) {
+          require(frame->type == MsgType::pong, "bad payload: expected pong");
+          got_pong = true;
+        }
+      }
+    }
+    close_fd(fd);
+  }
+  note(opts, "three hostile clients handled; verifying server still serves");
+
+  ServiceClient client(ts.server.endpoint());
+  const CharacterizeRequest req = small_request();
+  std::string err;
+  const auto surface = client.characterize(req, &err);
+  require(surface.has_value(), "server damaged by malformed input: " + err);
+  require_same_surface(surface->surface, cold_surface(req), "malformed");
+  require(ts.server.stats().protocol_errors >= 3,
+          "protocol errors not counted");
+  ts.server.stop();
+  return 0;
+}
+
+// --- scenario: storm --------------------------------------------------------
+// Overload: a tiny queue, one worker, many concurrent clients. Distinct
+// requests must shed with retry_later (and complete after client backoff);
+// identical requests must dedup onto one computation. Every completed
+// response must be bit-identical to its cold reference.
+
+int scenario_storm(const ChaosOptions& opts) {
+  ServerOptions sopts = base_options();
+  sopts.workers = 1;
+  sopts.queue_capacity = 2;
+  sopts.retry_hint_ms = 20;
+  TestServer ts(sopts);
+
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(kClients);
+  std::vector<ComponentCharacterization> results(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      // Widths 4..9: all distinct, so dedup can't absorb the storm and the
+      // 2-slot queue must shed.
+      const CharacterizeRequest req = small_request(4 + i);
+      ClientOptions copt;
+      copt.max_attempts = 64;
+      copt.jitter_seed = static_cast<std::uint64_t>(i + 1);
+      ServiceClient client(ts.server.endpoint(), copt);
+      std::string err;
+      const auto surface = client.characterize(req, &err);
+      if (!surface.has_value()) {
+        errors[i] = err;
+        return;
+      }
+      results[i] = surface->surface;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kClients; ++i) {
+    require(errors[i].empty(),
+            "storm client " + std::to_string(i) + ": " + errors[i]);
+    require_same_surface(results[i], cold_surface(small_request(4 + i)),
+                         "storm client " + std::to_string(i));
+  }
+  const Server::Stats mid = ts.server.stats();
+  note(opts, "distinct storm done: shed=" + std::to_string(mid.shed));
+  require(mid.shed > 0, "6 clients vs 2-slot queue never shed: backpressure "
+                        "not exercised");
+
+  // Identical storm: one request from many clients at once must compute
+  // once and fan the result out. To make the overlap deterministic (not a
+  // race against how fast one computation finishes), first park a slow
+  // blocker on the single worker; the identical requests then all arrive
+  // while their job is still queued behind it.
+  CharacterizeRequest blocker = small_request(32);
+  blocker.min_precision = 1;  // 32 points: reliably outlasts six connects
+  std::string berr;
+  const int blocker_fd = connect_endpoint(ts.server.endpoint(), &berr);
+  require(blocker_fd >= 0, "blocker connect: " + berr);
+  send_all(blocker_fd,
+           encode_frame({MsgType::characterize, 999, encode_request(blocker)}));
+  // Brief pause so the worker has picked the blocker up — kept much
+  // shorter than the blocker's compute time, so it is still running (and
+  // the identical job still queued behind it) when the storm fires.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+
+  const CharacterizeRequest same = small_request(10);
+  threads.clear();
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      ClientOptions copt;
+      copt.max_attempts = 64;
+      copt.jitter_seed = static_cast<std::uint64_t>(100 + i);
+      ServiceClient client(ts.server.endpoint(), copt);
+      std::string err;
+      const auto surface = client.characterize(same, &err);
+      if (!surface.has_value()) {
+        errors[i] = err;
+        return;
+      }
+      results[i] = surface->surface;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const ComponentCharacterization want = cold_surface(same);
+  for (int i = 0; i < kClients; ++i) {
+    require(errors[i].empty(),
+            "identical-storm client " + std::to_string(i) + ": " + errors[i]);
+    require_same_surface(results[i], want,
+                         "identical-storm client " + std::to_string(i));
+  }
+  require(ts.server.stats().deduped > 0,
+          "identical storm never deduped onto one computation");
+  close_fd(blocker_fd);
+  ts.server.stop();
+  return 0;
+}
+
+// --- scenario: kill ---------------------------------------------------------
+// Process-level crash-safety: spawn a real `aapx serve` child snapshotting
+// at a tight interval, feed it work, SIGKILL it at a different phase each
+// round, and require its store file to reopen cleanly every time. Finishes
+// with a warm restart: a fresh server on the survivor store still serves
+// (and a retrying client rides across the restart gap).
+
+int scenario_kill(const ChaosOptions& opts) {
+  require(!opts.self_exe.empty(),
+          "kill scenario needs --self-exe (path to the aapx binary)");
+  const std::string store =
+      opts.work_dir + "/chaos_kill_store.aapx";
+  const std::string endpoint =
+      "unix:" + opts.work_dir + "/chaos_kill.sock";
+  std::filesystem::remove(store);
+
+  const CharacterizeRequest req = small_request();
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    const pid_t pid = ::fork();
+    require(pid >= 0, "fork failed");
+    if (pid == 0) {
+      // Child: immediately exec a real server (fork-without-exec would be
+      // unsafe here — the parent has run multithreaded servers already).
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) {
+        ::dup2(devnull, 1);
+        ::dup2(devnull, 2);
+      }
+      ::execl(opts.self_exe.c_str(), opts.self_exe.c_str(), "serve",
+              "--listen", endpoint.c_str(), "--store", store.c_str(),
+              "--snapshot-interval", "0.02", "--workers", "2",
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    // Wait for the child to listen, give it work, then kill it at a
+    // different point in its snapshot cycle each round.
+    ServiceClient client(endpoint, {.max_attempts = 40});
+    std::string err;
+    require(client.ping(&err), "child server never came up: " + err);
+    (void)client.characterize(small_request(4 + round), &err);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10 + 17 * round));
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    require(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL,
+            "child did not die by SIGKILL");
+
+    // Invariant 3: whatever instant the kill hit, the store file is either
+    // absent, the old snapshot or the new one — never torn.
+    const engine::StoreFileData data = engine::load_store_file(store);
+    if (data.file_found) {
+      require(data.header_ok, "round " + std::to_string(round) +
+                                  ": store header corrupt after SIGKILL");
+      require(data.records_dropped == 0,
+              "round " + std::to_string(round) +
+                  ": torn records after SIGKILL");
+    }
+    note(opts, "round " + std::to_string(round) + ": store " +
+                   (data.file_found ? "intact" : "absent") + " after SIGKILL");
+  }
+
+  // Warm restart: a fresh in-process server opens the survivor store (also
+  // cleaning any stale .tmp the kill left) and serves bit-identically. A
+  // retrying client issued before the server is up rides the backoff.
+  Context::Options ropt;
+  ropt.store_path = store;
+  Context root(ropt);
+  ServerOptions sopts = base_options();
+  sopts.listen = endpoint;
+  Server server(root, sopts);
+
+  std::string result_err;
+  std::optional<engine::SurfacePayload> late;
+  std::thread early_client([&] {
+    ServiceClient client(endpoint, {.max_attempts = 60});
+    late = client.characterize(req, &result_err);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::string err;
+  require(server.start(&err), "warm restart failed: " + err);
+  early_client.join();
+  require(late.has_value(), "client did not survive restart: " + result_err);
+  require_same_surface(late->surface, cold_surface(req), "kill/warm-restart");
+  require(!std::filesystem::exists(store + ".tmp"),
+          "stale .tmp survived DesignStore::open");
+  server.stop();
+  return 0;
+}
+
+}  // namespace
+
+std::vector<std::string> chaos_scenarios() {
+  return {"drop", "slowloris", "malformed", "storm", "kill"};
+}
+
+int run_chaos_scenario(const std::string& name, const ChaosOptions& options) {
+  try {
+    int rc = 0;
+    if (name == "drop") {
+      rc = scenario_drop(options);
+    } else if (name == "slowloris") {
+      rc = scenario_slowloris(options);
+    } else if (name == "malformed") {
+      rc = scenario_malformed(options);
+    } else if (name == "storm") {
+      rc = scenario_storm(options);
+    } else if (name == "kill") {
+      rc = scenario_kill(options);
+    } else {
+      throw std::runtime_error("unknown chaos scenario '" + name + "'");
+    }
+    if (rc == 0) std::fprintf(stderr, "chaos %s: PASS\n", name.c_str());
+    return rc;
+  } catch (const ChaosFailure& e) {
+    std::fprintf(stderr, "chaos %s: FAIL: %s\n", name.c_str(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace aapx::service

@@ -1,0 +1,41 @@
+// Chaos harness for the `aapx serve` robustness contract.
+//
+// Each scenario abuses a live server the way real deployments get abused —
+// dropped connections mid-frame, slow-loris byte trickles, malformed and
+// hostile frames, request storms past the queue limit, SIGKILL mid-snapshot
+// — and then checks the invariants that define "fault-tolerant" here:
+//
+//   1. every response that completes is bit-identical to the same request
+//      computed cold, single-threaded, in-process;
+//   2. the server keeps serving other clients while one misbehaves;
+//   3. a killed server's store file always reopens — cold at worst, never
+//      corrupt (atomic snapshot writes make torn files impossible);
+//   4. overload and deadlines produce typed responses, never hangs.
+//
+// Scenarios run via `aapx servesim --scenario <name>` and as tier-1 ctest
+// entries (tests/service/). They are deliberately library code so the tests
+// can also call them in-process.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aapx::service {
+
+struct ChaosOptions {
+  /// Scratch directory for sockets, stores and logs (must exist).
+  std::string work_dir = ".";
+  /// Path to the aapx binary, for scenarios that spawn a real server
+  /// process to SIGKILL (empty skips those process-level checks).
+  std::string self_exe;
+  bool verbose = false;
+};
+
+/// All scenario names, in documentation order.
+std::vector<std::string> chaos_scenarios();
+
+/// Runs one scenario; returns 0 on pass, 1 on an invariant violation
+/// (details on stderr). Unknown names throw std::runtime_error.
+int run_chaos_scenario(const std::string& name, const ChaosOptions& options);
+
+}  // namespace aapx::service

@@ -1,0 +1,88 @@
+// Client side of the `aapx serve` protocol — both the `aapx client` CLI and
+// the in-process tests/benches speak through this class.
+//
+// Fault-tolerance contract: one call() is a *reliable* request —
+//   * transport failure (server restarting, connection dropped mid-frame)
+//     reconnects and resends after an exponential backoff with
+//     deterministic jitter,
+//   * a retry_later response (server backpressure) backs off by at least
+//     the server's hint before resending,
+//   * error / cancelled responses are terminal: the server made a decision,
+//     retrying wouldn't change it, so the outcome is reported to the
+//     caller instead.
+// Retries are bounded by max_attempts; the final failure reason is always
+// a human-readable string, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "engine/persist.hpp"
+#include "service/protocol.hpp"
+
+namespace aapx::service {
+
+struct ClientOptions {
+  int max_attempts = 8;
+  std::uint32_t base_backoff_ms = 10;
+  std::uint32_t max_backoff_ms = 2000;
+  /// Jitter stream seed — deterministic, so test schedules reproduce.
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Outcome of one reliable call. `ok` with the payload frame, or a terminal
+/// failure (`cancelled` true when the server answered `cancelled`).
+struct CallResult {
+  bool ok = false;
+  bool cancelled = false;
+  std::string error;  ///< terminal reason when !ok
+  Frame frame;        ///< the ok_* response when ok
+};
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(std::string endpoint, ClientOptions options = {});
+  ~ServiceClient();
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// One reliable request/response round trip (see contract above).
+  CallResult call(MsgType type, const std::string& payload);
+
+  bool ping(std::string* err = nullptr);
+
+  /// Characterize via the service; nullopt with `err` filled on terminal
+  /// failure. The returned payload is the store codec verbatim, so a
+  /// decoded surface is bit-identical to a locally computed one.
+  std::optional<engine::SurfacePayload> characterize(
+      const CharacterizeRequest& req, std::string* err = nullptr);
+
+  std::optional<double> aged_delay(const AgedDelayRequest& req,
+                                   std::string* err = nullptr);
+
+  std::optional<std::vector<engine::SurfacePayload>> library_query(
+      const LibraryQueryRequest& req, std::string* err = nullptr);
+
+  /// Attempts beyond the first across all calls (retry observability).
+  std::uint64_t retries() const noexcept { return retries_; }
+
+  void disconnect();
+
+ private:
+  bool ensure_connected(std::string* err);
+  /// Sends `frame` and reads frames until the response with its id arrives.
+  /// False on transport failure (caller reconnects and retries).
+  bool roundtrip(const Frame& frame, Frame* response, std::string* err);
+  std::uint32_t next_backoff_ms(int attempt, std::uint32_t server_hint_ms);
+
+  std::string endpoint_;
+  ClientOptions options_;
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t jitter_state_ = 0;
+  std::uint64_t retries_ = 0;
+};
+
+}  // namespace aapx::service

@@ -1,0 +1,508 @@
+#include "service/server.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "engine/design_store.hpp"
+#include "engine/persist.hpp"
+#include "obs/json.hpp"
+#include "obs/runlog.hpp"
+#include "service/bounded_queue.hpp"
+#include "service/protocol.hpp"
+#include "service/socket.hpp"
+
+namespace aapx::service {
+namespace {
+
+/// One accepted client. The reader thread and any worker finishing a job
+/// for this client both write frames; the mutex serializes them so frames
+/// never interleave. shutdown() (not close()) tears the socket down while
+/// references remain — the fd itself closes with the last shared_ptr, so a
+/// worker can never write into a recycled descriptor.
+struct Connection {
+  explicit Connection(int fd_in) : fd(fd_in) {}
+  ~Connection() { close_fd(fd); }
+  Connection(const Connection&) = delete;
+  Connection& operator=(const Connection&) = delete;
+
+  bool send_frame(const Frame& frame) {
+    std::lock_guard<std::mutex> lock(write_mutex);
+    if (!alive.load(std::memory_order_relaxed)) return false;
+    if (!send_all(fd, encode_frame(frame))) {
+      // Peer vanished mid-response (the chaos harness does this on
+      // purpose): mark dead so later responses stop trying.
+      alive.store(false, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+
+  const int fd;
+  std::mutex write_mutex;
+  std::atomic<bool> alive{true};
+};
+
+using ConnPtr = std::shared_ptr<Connection>;
+
+struct Waiter {
+  ConnPtr conn;
+  std::uint64_t request_id = 0;
+};
+
+/// One admitted unit of work. Deduped requests attach as extra waiters; the
+/// job's CancelToken deadline always reflects the *laxest* waiter, so a
+/// tight-deadline duplicate can never cancel work a patient client wants.
+struct Job {
+  MsgType type = MsgType::characterize;
+  CharacterizeRequest characterize;
+  AgedDelayRequest aged_delay;
+  std::uint64_t dedup = 0;
+  std::uint64_t seq = 0;  ///< server-wide sequence, names the request log
+  CancelToken token;
+  // Waiters and deadline bookkeeping are guarded by the server's inflight
+  // mutex (never touched by the executing worker until it takes the job
+  // out of the inflight map).
+  std::vector<Waiter> waiters;
+  bool no_deadline = false;
+  std::chrono::steady_clock::time_point laxest_deadline{};
+};
+
+using JobPtr = std::shared_ptr<Job>;
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(const Context& root, ServerOptions opts)
+      : options(std::move(opts)),
+        root(&root),
+        lib(make_nangate45_like()),
+        model(BtiModel{}),
+        queue(std::max<std::size_t>(1, options.queue_capacity)) {
+    options.workers = std::max(1, options.workers);
+    lib_fp = root.store().fingerprint(lib);
+  }
+
+  ServerOptions options;
+  const Context* root;
+  const CellLibrary lib;
+  const BtiModel model;
+  std::uint64_t lib_fp = 0;
+
+  int listen_fd = -1;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> started{false};
+
+  BoundedQueue<JobPtr> queue;
+  std::mutex inflight_mutex;
+  std::map<std::uint64_t, JobPtr> inflight;
+  std::atomic<std::uint64_t> next_seq{0};
+
+  std::thread acceptor;
+  std::vector<std::thread> workers;
+  std::thread snapshotter;
+  std::mutex snapshot_mutex;  // wait_for + final save
+  std::condition_variable snapshot_cv;
+
+  std::mutex conns_mutex;
+  std::vector<ConnPtr> conns;
+  std::vector<std::thread> conn_threads;
+
+  std::atomic<std::uint64_t> n_connections{0}, n_requests{0}, n_completed{0},
+      n_shed{0}, n_deduped{0}, n_cancelled{0}, n_protocol_errors{0},
+      n_snapshots{0};
+
+  // --- admission (reader threads) -------------------------------------------
+
+  void handle_request(const ConnPtr& conn, const Frame& frame) {
+    if (frame.type == MsgType::ping) {
+      conn->send_frame({MsgType::pong, frame.request_id, {}});
+      return;
+    }
+    if (!is_request(frame.type)) {
+      throw ProtocolError("client sent a response-type frame");
+    }
+    try {
+      if (frame.type == MsgType::library_query) {
+        serve_library_query(conn, frame);
+        return;
+      }
+      admit(conn, frame);
+    } catch (const ProtocolError& e) {
+      // A malformed *payload* gets a typed error and the connection lives
+      // on; a malformed *frame* (bad magic/length, thrown from FrameReader
+      // in the caller) is connection-fatal because resynchronization is
+      // impossible.
+      n_protocol_errors.fetch_add(1);
+      conn->send_frame(
+          {MsgType::error, frame.request_id,
+           encode_error_response({e.what()})});
+    }
+  }
+
+  void serve_library_query(const ConnPtr& conn, const Frame& frame) {
+    const LibraryQueryRequest req =
+        decode_library_query_request(frame.payload);
+    std::vector<engine::SurfacePayload> all = root->store().surface_snapshot();
+    std::vector<engine::SurfacePayload> out;
+    for (engine::SurfacePayload& p : all) {
+      if (req.kind >= 0 &&
+          static_cast<std::int32_t>(p.surface.base.kind) != req.kind) {
+        continue;
+      }
+      if (req.width != 0 && p.surface.base.width != req.width) continue;
+      out.push_back(std::move(p));
+    }
+    conn->send_frame({MsgType::ok_surfaces, frame.request_id,
+                      encode_surfaces_response(out)});
+    n_requests.fetch_add(1);
+    n_completed.fetch_add(1);
+  }
+
+  void admit(const ConnPtr& conn, const Frame& frame) {
+    JobPtr job = std::make_shared<Job>();
+    job->type = frame.type;
+    std::uint32_t deadline_ms = 0;
+    if (frame.type == MsgType::characterize) {
+      job->characterize = decode_characterize_request(frame.payload);
+      job->dedup = job->characterize.dedup_key();
+      deadline_ms = job->characterize.deadline_ms;
+    } else {
+      job->aged_delay = decode_aged_delay_request(frame.payload);
+      job->dedup = job->aged_delay.dedup_key();
+      deadline_ms = job->aged_delay.deadline_ms;
+    }
+    if (stopping.load()) {
+      // Draining: shed instead of queueing, so the backlog only shrinks.
+      n_shed.fetch_add(1);
+      conn->send_frame({MsgType::retry_later, frame.request_id,
+                        encode_retry_later_response({options.retry_hint_ms})});
+      return;
+    }
+    const Waiter waiter{conn, frame.request_id};
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      const auto it = inflight.find(job->dedup);
+      if (it != inflight.end()) {
+        // Identical work already in flight: attach, loosen its deadline to
+        // the laxest waiter, pay nothing.
+        JobPtr& running = it->second;
+        running->waiters.push_back(waiter);
+        loosen_deadline(*running, deadline_ms);
+        n_requests.fetch_add(1);
+        n_deduped.fetch_add(1);
+        return;
+      }
+      job->seq = next_seq.fetch_add(1);
+      job->waiters.push_back(waiter);
+      if (deadline_ms == 0) {
+        job->no_deadline = true;
+      } else {
+        job->laxest_deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(deadline_ms);
+        job->token.set_deadline(job->laxest_deadline);
+      }
+      // Register before pushing, still under the lock: a worker that pops
+      // the job immediately will block on this mutex in execute() until the
+      // entry exists, so it can never erase a key we haven't added yet.
+      inflight.emplace(job->dedup, job);
+      if (!queue.try_push(job)) {
+        // Backpressure: the queue refused, the client gets a typed hint.
+        inflight.erase(job->dedup);
+        n_shed.fetch_add(1);
+        conn->send_frame(
+            {MsgType::retry_later, frame.request_id,
+             encode_retry_later_response({options.retry_hint_ms})});
+        return;
+      }
+    }
+    n_requests.fetch_add(1);
+  }
+
+  /// Caller holds inflight_mutex.
+  static void loosen_deadline(Job& job, std::uint32_t new_deadline_ms) {
+    if (job.no_deadline) return;
+    if (new_deadline_ms == 0) {
+      job.no_deadline = true;
+      job.token.clear_deadline();
+      return;
+    }
+    const auto tp = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(new_deadline_ms);
+    if (tp > job.laxest_deadline) {
+      job.laxest_deadline = tp;
+      job.token.set_deadline(tp);
+    }
+  }
+
+  // --- execution (worker threads) -------------------------------------------
+
+  void worker_loop() {
+    while (auto job = queue.pop()) execute(**job);
+  }
+
+  void execute(Job& job) {
+    obs::RunLog log;
+    std::uint64_t first_id = 0;
+    {
+      // job.waiters is guarded by inflight_mutex until the job leaves the
+      // inflight map below (dedup joins may still be appending).
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      if (!job.waiters.empty()) first_id = job.waiters.front().request_id;
+    }
+    if (!options.log_dir.empty()) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "req_%06llu.jsonl",
+                    static_cast<unsigned long long>(job.seq));
+      if (log.open(options.log_dir + "/" + name)) {
+        obs::JsonWriter m;
+        m.field("command", "serve").field("msg", to_string(job.type));
+        obs::emit_manifest(log, m);
+        obs::JsonWriter r;
+        r.field("msg", to_string(job.type)).field("request_id", first_id);
+        log.emit("request", r);
+      }
+    }
+
+    Frame response;
+    try {
+      response = compute(job, log);
+    } catch (const CancelledError& e) {
+      response = {MsgType::cancelled, 0,
+                  encode_cancelled_response(
+                      {stopping.load() ? "shutdown" : "deadline"})};
+      if (log.enabled()) {
+        obs::JsonWriter w;
+        w.field("where", e.what())
+            .field("reason", stopping.load() ? "shutdown" : "deadline");
+        log.emit("cancelled", w);
+      }
+    } catch (const std::exception& e) {
+      response = {MsgType::error, 0, encode_error_response({e.what()})};
+    }
+    if (log.enabled() && response.type != MsgType::cancelled) {
+      obs::JsonWriter w;
+      w.field("msg", to_string(response.type)).field("request_id", first_id);
+      log.emit("response", w);
+    }
+    log.close();
+
+    // Take the job out of flight *before* answering: a duplicate arriving
+    // after this point starts a fresh job (probably a pure store hit)
+    // instead of attaching to one that already answered.
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      waiters = std::move(job.waiters);
+      job.waiters.clear();
+      inflight.erase(job.dedup);
+    }
+    for (const Waiter& w : waiters) {
+      // Count before sending: a client that has the response in hand must
+      // already see it reflected in the server's stats.
+      if (response.type == MsgType::cancelled) {
+        n_cancelled.fetch_add(1);
+      } else if (response.type != MsgType::error) {
+        n_completed.fetch_add(1);
+      }
+      response.request_id = w.request_id;
+      w.conn->send_frame(response);
+    }
+  }
+
+  Frame compute(Job& job, obs::RunLog& log) {
+    // The per-request Context: borrows the shared store (every client warms
+    // one cache), carries the job's CancelToken down into the sweep, and
+    // routes the sweep's run-log records into this request's private file.
+    Context::Options copt;
+    copt.shared_store = &root->store();
+    copt.cancel = &job.token;
+    copt.threads = options.sweep_threads;
+    copt.runlog = &log;
+    const Context ctx(copt);
+
+    if (job.type == MsgType::characterize) {
+      const CharacterizeRequest& req = job.characterize;
+      CharacterizerOptions copts;
+      copts.min_precision = req.min_precision;
+      copts.precision_step = req.precision_step;
+      copts.sta = req.sta;
+      const ComponentCharacterizer ch(ctx, lib, model, copts);
+      engine::SurfacePayload p;
+      p.lib_fp = lib_fp;
+      p.params = model.params();
+      p.sta = req.sta;
+      p.min_precision = req.min_precision;
+      p.precision_step = req.precision_step;
+      p.scenarios = req.scenarios;
+      p.surface = ch.characterize(req.spec, req.scenarios);
+      return {MsgType::ok_surface, 0, encode_surface_response(p)};
+    }
+    const AgedDelayRequest& req = job.aged_delay;
+    ctx.check_cancelled("serve.aged_delay");
+    const double delay = ctx.store().aged_sta_delay(lib, req.spec, model,
+                                                    req.mode, req.years,
+                                                    req.sta);
+    return {MsgType::ok_delay, 0, encode_delay_response({delay})};
+  }
+
+  // --- connection plumbing --------------------------------------------------
+
+  void reader_loop(const ConnPtr& conn) {
+    FrameReader reader(options.max_payload);
+    char buf[4096];
+    while (true) {
+      const int ready = wait_readable(conn->fd, 200);
+      if (ready < 0) {
+        conn->alive.store(false, std::memory_order_relaxed);
+        break;
+      }
+      if (ready == 0) {
+        // Graceful drain: stop reading but leave the connection alive —
+        // a worker finishing this client's queued job still delivers its
+        // response before stop() tears the socket down.
+        if (stopping.load()) break;
+        continue;
+      }
+      const long n = recv_some(conn->fd, buf, sizeof(buf));
+      if (n <= 0) {
+        conn->alive.store(false, std::memory_order_relaxed);
+        break;
+      }
+      try {
+        reader.feed(buf, static_cast<std::size_t>(n));
+        while (auto frame = reader.next()) handle_request(conn, *frame);
+      } catch (const ProtocolError& e) {
+        // Framing is broken and resync is impossible: one diagnostic
+        // frame, then an active shutdown so the peer observes EOF (the
+        // ConnPtr in `conns` would otherwise hold the fd open until
+        // server stop, leaving the client staring at a dead socket).
+        n_protocol_errors.fetch_add(1);
+        conn->send_frame(
+            {MsgType::error, 0, encode_error_response({e.what()})});
+        conn->alive.store(false, std::memory_order_relaxed);
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+    }
+    // The fd itself closes with the last ConnPtr — a worker holding this
+    // connection for a drained job can never write into a recycled fd.
+  }
+
+  void acceptor_loop() {
+    while (!stopping.load()) {
+      const int ready = wait_readable(listen_fd, 200);
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      auto conn = std::make_shared<Connection>(fd);
+      n_connections.fetch_add(1);
+      std::lock_guard<std::mutex> lock(conns_mutex);
+      conns.push_back(conn);
+      conn_threads.emplace_back([this, conn] { reader_loop(conn); });
+    }
+  }
+
+  void snapshot_loop() {
+    std::unique_lock<std::mutex> lock(snapshot_mutex);
+    const auto interval = std::chrono::duration<double>(
+        options.snapshot_interval_s);
+    while (!stopping.load()) {
+      snapshot_cv.wait_for(lock, interval,
+                           [&] { return stopping.load(); });
+      if (stopping.load()) break;
+      save_snapshot();
+    }
+  }
+
+  void save_snapshot() {
+    if (options.store_path.empty()) return;
+    if (root->store().save(options.store_path)) n_snapshots.fetch_add(1);
+  }
+};
+
+Server::Server(const Context& root, ServerOptions options)
+    : impl_(std::make_unique<Impl>(root, std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+bool Server::start(std::string* err) {
+  impl_->listen_fd = listen_endpoint(impl_->options.listen, &endpoint_, err);
+  if (impl_->listen_fd < 0) return false;
+  impl_->started.store(true);
+  impl_->acceptor = std::thread([this] { impl_->acceptor_loop(); });
+  for (int i = 0; i < impl_->options.workers; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+  if (!impl_->options.store_path.empty() &&
+      impl_->options.snapshot_interval_s > 0.0) {
+    impl_->snapshotter = std::thread([this] { impl_->snapshot_loop(); });
+  }
+  return true;
+}
+
+void Server::stop() {
+  if (!impl_->started.exchange(false)) return;
+  // 1. Close admission: readers shed new requests, the acceptor exits.
+  impl_->stopping.store(true);
+  impl_->snapshot_cv.notify_all();
+  if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  // 2. Drain: close() lets workers finish every queued job, then exit.
+  impl_->queue.close();
+  for (std::thread& w : impl_->workers) {
+    if (w.joinable()) w.join();
+  }
+  impl_->workers.clear();
+  if (impl_->snapshotter.joinable()) impl_->snapshotter.join();
+  // 3. Tear down connections (responses for drained jobs are already out).
+  {
+    std::lock_guard<std::mutex> lock(impl_->conns_mutex);
+    for (const ConnPtr& c : impl_->conns) {
+      c->alive.store(false, std::memory_order_relaxed);
+      ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : impl_->conn_threads) {
+    if (t.joinable()) t.join();
+  }
+  impl_->conn_threads.clear();
+  {
+    std::lock_guard<std::mutex> lock(impl_->conns_mutex);
+    impl_->conns.clear();
+  }
+  close_fd(impl_->listen_fd);
+  impl_->listen_fd = -1;
+  unlink_endpoint(impl_->options.listen);
+  // 4. Final snapshot: the drained store's warmth survives the restart.
+  impl_->save_snapshot();
+}
+
+void Server::serve_forever() {
+  while (!stop_requested_.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  stop();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections = impl_->n_connections.load();
+  s.requests = impl_->n_requests.load();
+  s.completed = impl_->n_completed.load();
+  s.shed = impl_->n_shed.load();
+  s.deduped = impl_->n_deduped.load();
+  s.cancelled = impl_->n_cancelled.load();
+  s.protocol_errors = impl_->n_protocol_errors.load();
+  s.snapshots = impl_->n_snapshots.load();
+  return s;
+}
+
+}  // namespace aapx::service

@@ -1,0 +1,224 @@
+#include "service/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace aapx::service {
+namespace {
+
+constexpr std::string_view kUnixPrefix = "unix:";
+constexpr std::string_view kTcpPrefix = "tcp:";
+
+bool parse_tcp_port(std::string_view text, int* port, std::string* err) {
+  if (text.empty() || text.size() > 5) {
+    if (err != nullptr) *err = "bad tcp port '" + std::string(text) + "'";
+    return false;
+  }
+  int value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      if (err != nullptr) *err = "bad tcp port '" + std::string(text) + "'";
+      return false;
+    }
+    value = value * 10 + (c - '0');
+  }
+  if (value > 65535) {
+    if (err != nullptr) *err = "tcp port out of range";
+    return false;
+  }
+  *port = value;
+  return true;
+}
+
+std::string errno_string(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+int make_unix_addr(const std::string& path, sockaddr_un* addr,
+                   std::string* err) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    if (err != nullptr) *err = "unix socket path empty or too long";
+    return -1;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return 0;
+}
+
+}  // namespace
+
+bool valid_endpoint(const std::string& spec, std::string* err) {
+  if (spec.rfind(kUnixPrefix, 0) == 0) {
+    sockaddr_un addr;
+    return make_unix_addr(spec.substr(kUnixPrefix.size()), &addr, err) == 0;
+  }
+  if (spec.rfind(kTcpPrefix, 0) == 0) {
+    int port = 0;
+    return parse_tcp_port(spec.substr(kTcpPrefix.size()), &port, err);
+  }
+  if (err != nullptr) {
+    *err = "endpoint must be unix:<path> or tcp:<port>, got '" + spec + "'";
+  }
+  return false;
+}
+
+int listen_endpoint(const std::string& spec, std::string* resolved,
+                    std::string* err) {
+  if (spec.rfind(kUnixPrefix, 0) == 0) {
+    const std::string path = spec.substr(kUnixPrefix.size());
+    sockaddr_un addr;
+    if (make_unix_addr(path, &addr, err) != 0) return -1;
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (err != nullptr) *err = errno_string("socket");
+      return -1;
+    }
+    // A stale socket file from a SIGKILLed predecessor would make bind fail
+    // forever; connect() on it distinguishes live from stale, but for a
+    // path the caller chose we take the simple route the chaos harness
+    // needs: remove and rebind.
+    ::unlink(path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 64) != 0) {
+      if (err != nullptr) *err = errno_string("bind/listen");
+      ::close(fd);
+      return -1;
+    }
+    if (resolved != nullptr) *resolved = spec;
+    return fd;
+  }
+  if (spec.rfind(kTcpPrefix, 0) == 0) {
+    int port = 0;
+    if (!parse_tcp_port(spec.substr(kTcpPrefix.size()), &port, err)) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (err != nullptr) *err = errno_string("socket");
+      return -1;
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+            0 ||
+        ::listen(fd, 64) != 0) {
+      if (err != nullptr) *err = errno_string("bind/listen");
+      ::close(fd);
+      return -1;
+    }
+    if (resolved != nullptr) {
+      socklen_t len = sizeof(addr);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+        *resolved = "tcp:" + std::to_string(ntohs(addr.sin_port));
+      } else {
+        *resolved = spec;
+      }
+    }
+    return fd;
+  }
+  if (err != nullptr) {
+    *err = "endpoint must be unix:<path> or tcp:<port>, got '" + spec + "'";
+  }
+  return -1;
+}
+
+int connect_endpoint(const std::string& spec, std::string* err) {
+  if (spec.rfind(kUnixPrefix, 0) == 0) {
+    sockaddr_un addr;
+    if (make_unix_addr(spec.substr(kUnixPrefix.size()), &addr, err) != 0) {
+      return -1;
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (err != nullptr) *err = errno_string("socket");
+      return -1;
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (err != nullptr) *err = errno_string("connect");
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (spec.rfind(kTcpPrefix, 0) == 0) {
+    int port = 0;
+    if (!parse_tcp_port(spec.substr(kTcpPrefix.size()), &port, err)) return -1;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      if (err != nullptr) *err = errno_string("socket");
+      return -1;
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (err != nullptr) *err = errno_string("connect");
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (err != nullptr) {
+    *err = "endpoint must be unix:<path> or tcp:<port>, got '" + spec + "'";
+  }
+  return -1;
+}
+
+bool send_all(int fd, std::string_view bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                          MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+long recv_some(int fd, char* buf, std::size_t n) {
+  while (true) {
+    const auto got = ::recv(fd, buf, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return static_cast<long>(got);
+  }
+}
+
+int wait_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  while (true) {
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0 && errno == EINTR) continue;
+    return rc;
+  }
+}
+
+void close_fd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+void unlink_endpoint(const std::string& spec) {
+  if (spec.rfind(kUnixPrefix, 0) == 0) {
+    ::unlink(spec.c_str() + kUnixPrefix.size());
+  }
+}
+
+}  // namespace aapx::service

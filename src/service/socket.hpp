@@ -1,0 +1,53 @@
+// Thin POSIX socket wrappers shared by the `aapx serve` server and client.
+//
+// Endpoints are spelled as strings so one CLI flag covers both transports:
+//
+//   unix:/path/to.sock   Unix-domain stream socket (default for local use)
+//   tcp:PORT             TCP on 127.0.0.1; PORT 0 binds an ephemeral port
+//                        and listen_endpoint() reports the resolved one
+//
+// All helpers return -1 / false and fill `err` instead of throwing — socket
+// failure is an expected runtime condition for a fault-tolerant service,
+// not an exceptional one. Writes use MSG_NOSIGNAL so a peer that vanished
+// mid-response (the chaos harness does this on purpose) surfaces as an
+// EPIPE return, never a process-killing SIGPIPE.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace aapx::service {
+
+/// Validates `spec` ("unix:<path>" or "tcp:<port>"). Returns false and
+/// fills `err` on a malformed spec.
+bool valid_endpoint(const std::string& spec, std::string* err);
+
+/// Binds and listens on `spec`. Returns the listening fd, or -1 with `err`
+/// set. `resolved` (may alias `spec`'s value) receives the concrete
+/// endpoint — identical to `spec` except that tcp:0 becomes the kernel-
+/// assigned port, which is what tests use to avoid port races.
+int listen_endpoint(const std::string& spec, std::string* resolved,
+                    std::string* err);
+
+/// Connects to `spec`. Returns the connected fd, or -1 with `err` set.
+int connect_endpoint(const std::string& spec, std::string* err);
+
+/// Writes all of `bytes`, retrying short writes. False on any error (the
+/// fd is left open; the caller owns closing it).
+bool send_all(int fd, std::string_view bytes);
+
+/// One recv() of at most `n` bytes. Returns bytes read, 0 on orderly peer
+/// close, -1 on error (EINTR is retried internally).
+long recv_some(int fd, char* buf, std::size_t n);
+
+/// Waits up to `timeout_ms` for `fd` to become readable. Returns 1 when
+/// readable, 0 on timeout, -1 on error.
+int wait_readable(int fd, int timeout_ms);
+
+void close_fd(int fd);
+
+/// Removes a unix-domain socket file if `spec` is a unix endpoint (listener
+/// cleanup; ignores errors — the path may never have been created).
+void unlink_endpoint(const std::string& spec);
+
+}  // namespace aapx::service

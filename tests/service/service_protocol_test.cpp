@@ -1,0 +1,309 @@
+// Adversarial-input coverage for the `aapx serve` wire protocol and the
+// engine/binio.hpp record codecs underneath it (ISSUE 6 satellite: frames
+// now arrive from untrusted sockets, so every decoder must reject malformed
+// bytes with a typed error — never crash, hang, or allocate absurdly).
+//
+// Strategy: build one known-good encoding per codec, then attack it three
+// ways — truncation at every prefix length, deterministic random byte
+// mutations, and random garbage — asserting the decoder either succeeds or
+// throws its documented error type.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/characterizer.hpp"
+#include "engine/binio.hpp"
+#include "engine/context.hpp"
+#include "engine/design_store.hpp"
+#include "engine/persist.hpp"
+#include "service/protocol.hpp"
+
+namespace aapx::service {
+namespace {
+
+// Deterministic xorshift64 stream so every CI run fuzzes the same inputs.
+struct Xorshift {
+  std::uint64_t state = 0x243F6A8885A308D3ull;
+  std::uint64_t next() {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  }
+};
+
+CharacterizeRequest sample_characterize() {
+  CharacterizeRequest req;
+  req.spec.kind = ComponentKind::adder;
+  req.spec.width = 8;
+  req.spec.adder_arch = AdderArch::ripple;
+  req.scenarios = {{StressMode::worst, 10.0}, {StressMode::balanced, 1.0}};
+  req.min_precision = 4;
+  req.precision_step = 2;
+  req.deadline_ms = 250;
+  return req;
+}
+
+AgedDelayRequest sample_aged_delay() {
+  AgedDelayRequest req;
+  req.spec.kind = ComponentKind::multiplier;
+  req.spec.width = 6;
+  req.mode = StressMode::balanced;
+  req.years = 5.0;
+  req.deadline_ms = 100;
+  return req;
+}
+
+/// Runs `decode` over every truncation of `valid` and over `rounds` random
+/// byte mutations. The decoder must either succeed or throw ErrorT.
+template <typename ErrorT, typename Decode>
+void fuzz_codec(const std::string& valid, const Decode& decode,
+                const char* who, int rounds = 300) {
+  // Truncation at every prefix: a short payload must never decode.
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    EXPECT_THROW(decode(valid.substr(0, len)), ErrorT)
+        << who << ": truncation to " << len << " bytes accepted";
+  }
+  // Random mutations: flip 1-4 bytes; success is allowed (some bytes are
+  // don't-cares, e.g. payload doubles), crashing or foreign throws are not.
+  Xorshift rng;
+  for (int round = 0; round < rounds; ++round) {
+    std::string bytes = valid;
+    const int flips = 1 + static_cast<int>(rng.next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.next() % bytes.size()] =
+          static_cast<char>(rng.next() & 0xff);
+    }
+    try {
+      decode(bytes);
+    } catch (const ErrorT&) {
+      // rejected cleanly — exactly the contract
+    }
+  }
+  // Trailing garbage must be malformed, not silently ignored.
+  EXPECT_THROW(decode(valid + std::string(3, '\x7f')), ErrorT)
+      << who << ": trailing garbage accepted";
+  // Pure garbage of assorted lengths.
+  for (const std::size_t len : {1u, 7u, 24u, 255u}) {
+    std::string garbage(len, '\0');
+    for (char& c : garbage) c = static_cast<char>(rng.next() & 0xff);
+    try {
+      decode(garbage);
+    } catch (const ErrorT&) {
+    }
+  }
+}
+
+TEST(ServiceProtocol, RequestCodecsRoundTrip) {
+  const CharacterizeRequest creq = sample_characterize();
+  const CharacterizeRequest cgot =
+      decode_characterize_request(encode_request(creq));
+  EXPECT_EQ(cgot.spec, creq.spec);
+  EXPECT_EQ(cgot.scenarios.size(), creq.scenarios.size());
+  EXPECT_EQ(cgot.min_precision, creq.min_precision);
+  EXPECT_EQ(cgot.precision_step, creq.precision_step);
+  EXPECT_EQ(cgot.deadline_ms, creq.deadline_ms);
+  EXPECT_EQ(cgot.dedup_key(), creq.dedup_key());
+
+  const AgedDelayRequest areq = sample_aged_delay();
+  const AgedDelayRequest agot = decode_aged_delay_request(encode_request(areq));
+  EXPECT_EQ(agot.spec, areq.spec);
+  EXPECT_EQ(agot.mode, areq.mode);
+  EXPECT_EQ(agot.years, areq.years);
+  EXPECT_EQ(agot.dedup_key(), areq.dedup_key());
+
+  const LibraryQueryRequest lreq{2, 16};
+  const LibraryQueryRequest lgot =
+      decode_library_query_request(encode_request(lreq));
+  EXPECT_EQ(lgot.kind, lreq.kind);
+  EXPECT_EQ(lgot.width, lreq.width);
+}
+
+TEST(ServiceProtocol, DeadlineExcludedFromDedupKey) {
+  CharacterizeRequest a = sample_characterize();
+  CharacterizeRequest b = a;
+  b.deadline_ms = 9999;
+  EXPECT_EQ(a.dedup_key(), b.dedup_key());
+  b.min_precision += 1;
+  EXPECT_NE(a.dedup_key(), b.dedup_key());
+}
+
+TEST(ServiceProtocol, FuzzRequestPayloads) {
+  fuzz_codec<ProtocolError>(
+      encode_request(sample_characterize()),
+      [](const std::string& b) { return decode_characterize_request(b); },
+      "characterize");
+  fuzz_codec<ProtocolError>(
+      encode_request(sample_aged_delay()),
+      [](const std::string& b) { return decode_aged_delay_request(b); },
+      "aged_delay");
+  fuzz_codec<ProtocolError>(
+      encode_request(LibraryQueryRequest{1, 8}),
+      [](const std::string& b) { return decode_library_query_request(b); },
+      "library_query");
+}
+
+TEST(ServiceProtocol, FuzzResponsePayloads) {
+  fuzz_codec<ProtocolError>(
+      encode_delay_response({123.5}),
+      [](const std::string& b) { return decode_delay_response(b); }, "delay");
+  fuzz_codec<ProtocolError>(
+      encode_error_response({"bad input"}),
+      [](const std::string& b) { return decode_error_response(b); }, "error");
+  fuzz_codec<ProtocolError>(
+      encode_retry_later_response({50}),
+      [](const std::string& b) { return decode_retry_later_response(b); },
+      "retry_later");
+  fuzz_codec<ProtocolError>(
+      encode_cancelled_response({"deadline"}),
+      [](const std::string& b) { return decode_cancelled_response(b); },
+      "cancelled");
+}
+
+TEST(ServiceProtocol, RejectsInvalidEnumAndRangeValues) {
+  CharacterizeRequest req = sample_characterize();
+  req.spec.width = 99;  // above the 64-bit datapath ceiling
+  EXPECT_THROW(decode_characterize_request(encode_request(req)),
+               ProtocolError);
+  req = sample_characterize();
+  req.min_precision = 0;
+  EXPECT_THROW(decode_characterize_request(encode_request(req)),
+               ProtocolError);
+  // Measured-mode aged delay is stimulus-dependent: not servable.
+  AgedDelayRequest areq = sample_aged_delay();
+  areq.mode = StressMode::measured;
+  EXPECT_THROW(decode_aged_delay_request(encode_request(areq)),
+               ProtocolError);
+  areq = sample_aged_delay();
+  areq.years = -1.0;
+  EXPECT_THROW(decode_aged_delay_request(encode_request(areq)),
+               ProtocolError);
+}
+
+// --- FrameReader ------------------------------------------------------------
+
+TEST(FrameReader, ReassemblesByteByByte) {
+  const Frame a{MsgType::ping, 7, {}};
+  const Frame b{MsgType::characterize, 8,
+                encode_request(sample_characterize())};
+  const std::string stream = encode_frame(a) + encode_frame(b);
+  FrameReader reader;
+  std::vector<Frame> got;
+  for (const char c : stream) {
+    reader.feed(&c, 1);
+    while (auto frame = reader.next()) got.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].type, MsgType::ping);
+  EXPECT_EQ(got[0].request_id, 7u);
+  EXPECT_EQ(got[1].type, MsgType::characterize);
+  EXPECT_EQ(got[1].payload, b.payload);
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, RejectsBadMagicImmediately) {
+  FrameReader reader;
+  const std::string garbage(64, '\x5a');
+  reader.feed(garbage.data(), garbage.size());
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(FrameReader, RejectsHostileLengthPrefixFromHeaderAlone) {
+  engine::BinWriter w;
+  w.u32(kFrameMagic);
+  w.u32(static_cast<std::uint32_t>(MsgType::characterize));
+  w.u64(1);
+  w.u64(1ull << 60);  // absurd payload length
+  const std::string header = w.take();
+  FrameReader reader;
+  reader.feed(header.data(), header.size());
+  // Must throw with only the 24 header bytes buffered — i.e. without
+  // waiting for (or allocating room for) a payload that never comes.
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(FrameReader, RejectsUnknownMessageType) {
+  engine::BinWriter w;
+  w.u32(kFrameMagic);
+  w.u32(999);
+  w.u64(1);
+  w.u64(0);
+  const std::string header = w.take();
+  FrameReader reader;
+  reader.feed(header.data(), header.size());
+  EXPECT_THROW(reader.next(), ProtocolError);
+}
+
+TEST(FrameReader, FuzzRandomStreams) {
+  // Random byte streams must only ever yield frames or ProtocolError.
+  Xorshift rng;
+  for (int round = 0; round < 200; ++round) {
+    FrameReader reader;
+    std::string stream(1 + rng.next() % 200, '\0');
+    for (char& c : stream) c = static_cast<char>(rng.next() & 0xff);
+    // Occasionally splice a valid header in front so the payload path is
+    // exercised too, not just the magic check.
+    if (round % 4 == 0) {
+      stream = encode_frame({MsgType::ping, rng.next(), {}}) + stream;
+    }
+    try {
+      reader.feed(stream.data(), stream.size());
+      while (reader.next().has_value()) {
+      }
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+// --- engine/persist record codecs (store files share the binio substrate) ---
+
+TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
+  const Context ctx;
+  const CellLibrary lib = make_nangate45_like();
+  const BtiModel model;
+  const std::uint64_t lib_fp = ctx.store().fingerprint(lib);
+  const ComponentSpec spec{ComponentKind::adder, 4, 0, AdderArch::ripple,
+                           MultArch::array};
+  const Netlist& nl = ctx.store().netlist(lib, spec);
+  const DegradationAwareLibrary& aged =
+      ctx.store().aged_library(lib, model, 10.0);
+
+  fuzz_codec<std::runtime_error>(
+      engine::encode_netlist_payload(lib_fp, spec, nl),
+      [&](const std::string& b) {
+        return engine::decode_netlist_payload(b, lib);
+      },
+      "netlist record", 150);
+  fuzz_codec<std::runtime_error>(
+      engine::encode_aged_library_payload(lib_fp, model.params(), 10.0, aged),
+      [&](const std::string& b) {
+        return engine::decode_aged_library_payload(b, lib);
+      },
+      "aged_library record", 150);
+  fuzz_codec<std::runtime_error>(
+      engine::encode_sta_delay_payload({1, 2, 3.5, 40}),
+      [](const std::string& b) {
+        return engine::decode_sta_delay_payload(b);
+      },
+      "sta_delay record", 150);
+
+  engine::SurfacePayload sp;
+  sp.lib_fp = lib_fp;
+  sp.params = model.params();
+  sp.min_precision = 3;
+  sp.precision_step = 1;
+  sp.scenarios = {{StressMode::worst, 10.0}};
+  CharacterizerOptions copt;
+  copt.min_precision = 3;
+  const ComponentCharacterizer ch(ctx, lib, model, copt);
+  sp.surface = ch.characterize(spec, sp.scenarios);
+  fuzz_codec<std::runtime_error>(
+      engine::encode_surface_payload(sp),
+      [](const std::string& b) { return engine::decode_surface_payload(b); },
+      "surface record", 150);
+}
+
+}  // namespace
+}  // namespace aapx::service

@@ -9,14 +9,27 @@
 //   aapx faultsim --width 16 --arch ripple --accel 1.5 --sensor-gain 0.6
 //   aapx faultsim ... --log run.jsonl --trace run.trace --metrics run.json
 //   aapx report --log run.jsonl --trace run.trace --metrics run.json
+//   aapx serve --listen tcp:7471 --store lib.aapx --snapshot-interval 30
+//   aapx client --connect tcp:7471 --op characterize --width 16
+//   aapx servesim --scenario all
 //
 // Every subcommand builds the generated NanGate-45-like library and the
 // calibrated BTI model; see `aapx help` for the full option list.
+//
+// Signal discipline: SIGINT/SIGTERM trip a process-wide CancelToken that
+// long-running flows (characterize sweeps, faultsim epochs) check
+// cooperatively. The interrupted run saves its warmed --store snapshot,
+// prints a one-line diagnostic and exits 128+signum — never a lost store,
+// never a torn file (snapshots are temp+rename). `aapx serve` instead
+// drains gracefully and exits 0: shutdown is its normal lifecycle.
 //
 // Global instrumentation options (any subcommand):
 //   --trace <file>    Chrome trace-event JSON (load in Perfetto)
 //   --metrics <file>  metrics-registry snapshot as JSON
 //   --log <file>      structured JSONL run log (manifest + flow records)
+#include <signal.h>
+
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,6 +55,10 @@
 #include "obs/runlog.hpp"
 #include "obs/trace.hpp"
 #include "runtime/runtime.hpp"
+#include "service/chaos.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sta/sdf.hpp"
 #include "util/parallel.hpp"
 #include "util/table.hpp"
@@ -49,6 +66,30 @@
 namespace {
 
 using namespace aapx;
+
+/// The process-wide cancellation token SIGINT/SIGTERM trip. Long-running
+/// flows observe it through the process-default Context; `aapx serve`
+/// additionally gets its graceful-drain request. The handler body is two
+/// atomic stores — strictly async-signal-safe.
+CancelToken g_cancel;                              // NOLINT
+std::atomic<service::Server*> g_server{nullptr};   // NOLINT
+std::atomic<int> g_signal{0};                      // NOLINT
+
+extern "C" void handle_shutdown_signal(int signum) {
+  g_signal.store(signum, std::memory_order_relaxed);
+  g_cancel.cancel();
+  if (service::Server* server = g_server.load(std::memory_order_relaxed)) {
+    server->request_stop();
+  }
+}
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
 
 /// Strict numeric conversion: the whole string must be consumed, so
 /// "--width banana" and "--years 1x" are one-line errors, not zeros.
@@ -172,6 +213,13 @@ void reject_unknown_options(const Args& args) {
         "epochs", "vectors", "verify-vectors", "open-loop", "canary-margin",
         "canary-trip"}},
       {"report", {"trace", "log", "metrics", "check", "top"}},
+      {"serve",
+       {"listen", "workers", "sweep-threads", "queue", "retry-hint-ms",
+        "snapshot-interval", "log-dir"}},
+      {"client",
+       {"connect", "op", "kind", "width", "trunc", "arch", "mult-arch",
+        "min-precision", "step", "mode", "years", "deadline-ms", "attempts"}},
+      {"servesim", {"scenario", "work-dir", "self-exe", "verbose"}},
       {"help", {}},
   };
   static const std::map<std::string, std::set<std::string>> kLibraryActions = {
@@ -832,6 +880,140 @@ int cmd_library(const Context& ctx, const Args& args) {
                            "' (build|query|info|merge)");
 }
 
+/// `aapx serve`: long-running characterization service over the Context's
+/// DesignStore. Shutdown is SIGINT/SIGTERM → graceful drain → snapshot →
+/// exit 128+signal, the same convention as every other interrupted
+/// subcommand (see src/service/server.hpp for the robustness contract).
+int cmd_serve(const Context& ctx, const Args& args,
+              const std::string& store_path) {
+  service::ServerOptions sopts;
+  sopts.listen = args.get("listen", "tcp:0");
+  sopts.workers = args.get_int("workers", 2);
+  if (sopts.workers < 1) throw std::runtime_error("--workers must be >= 1");
+  sopts.sweep_threads = args.get_int("sweep-threads", 1);
+  const int queue = args.get_int("queue", 64);
+  if (queue < 1) throw std::runtime_error("--queue must be >= 1");
+  sopts.queue_capacity = static_cast<std::size_t>(queue);
+  sopts.retry_hint_ms =
+      static_cast<std::uint32_t>(args.get_int("retry-hint-ms", 50));
+  sopts.snapshot_interval_s = args.get_double("snapshot-interval", 0.0);
+  sopts.store_path = store_path;
+  sopts.log_dir = args.get("log-dir", "");
+
+  service::Server server(ctx, sopts);
+  std::string err;
+  if (!server.start(&err)) throw std::runtime_error("serve: " + err);
+  g_server.store(&server);
+  std::printf("aapx serve: listening on %s (%d workers, queue %d%s)\n",
+              server.endpoint().c_str(), sopts.workers, queue,
+              store_path.empty() ? "" : (", store " + store_path).c_str());
+  std::fflush(stdout);
+  server.serve_forever();
+  g_server.store(nullptr);
+
+  const service::Server::Stats s = server.stats();
+  std::printf(
+      "aapx serve: drained after signal %d — %llu connection(s), "
+      "%llu request(s): %llu ok, %llu shed, %llu deduped, %llu cancelled, "
+      "%llu protocol error(s), %llu snapshot(s)\n",
+      g_signal.load(), static_cast<unsigned long long>(s.connections),
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.deduped),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.snapshots));
+  const int signum = g_signal.load();
+  return signum > 0 ? 128 + signum : 0;
+}
+
+/// `aapx client`: one request against a running `aapx serve`, with the
+/// ServiceClient's full retry/backoff behavior.
+int cmd_client(const Args& args) {
+  const std::string endpoint = args.get("connect", "");
+  if (endpoint.empty()) {
+    throw std::runtime_error("--connect unix:<path>|tcp:<port> is required");
+  }
+  service::ClientOptions copt;
+  copt.max_attempts = args.get_int("attempts", 8);
+  service::ServiceClient client(endpoint, copt);
+  const std::string op = args.get("op", "ping");
+  std::string err;
+
+  if (op == "ping") {
+    if (!client.ping(&err)) throw std::runtime_error("ping: " + err);
+    std::printf("pong from %s\n", endpoint.c_str());
+    return 0;
+  }
+  if (op == "characterize") {
+    service::CharacterizeRequest req;
+    req.spec = spec_from(args);
+    req.min_precision =
+        args.get_int("min-precision", std::max(1, req.spec.width - 10));
+    req.precision_step = args.get_int("step", 1);
+    const StressMode mode = parse_mode(args.get("mode", "worst"));
+    for (const double y : parse_list(args.get("years", "1,10"), "--years")) {
+      if (y < 0.0) {
+        throw std::runtime_error("--years entries must be non-negative");
+      }
+      req.scenarios.push_back({mode, y});
+    }
+    req.deadline_ms =
+        static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
+    const auto surface = client.characterize(req, &err);
+    if (!surface.has_value()) throw std::runtime_error("characterize: " + err);
+    print_surface(*surface);
+    if (client.retries() > 0) {
+      std::fprintf(stderr, "aapx client: %llu retry attempt(s)\n",
+                   static_cast<unsigned long long>(client.retries()));
+    }
+    return 0;
+  }
+  if (op == "aged-delay") {
+    service::AgedDelayRequest req;
+    req.spec = spec_from(args);
+    req.mode = parse_mode(args.get("mode", "worst"));
+    req.years = args.get_years("years", 10.0);
+    req.deadline_ms =
+        static_cast<std::uint32_t>(args.get_int("deadline-ms", 0));
+    const auto delay = client.aged_delay(req, &err);
+    if (!delay.has_value()) throw std::runtime_error("aged-delay: " + err);
+    std::printf("%s @ %s/%.3gy: %.3f ps\n", req.spec.name().c_str(),
+                to_string(req.mode).c_str(), req.years, *delay);
+    return 0;
+  }
+  if (op == "query") {
+    service::LibraryQueryRequest req;
+    if (args.has("kind")) {
+      req.kind = static_cast<std::int32_t>(parse_kind(args.get("kind", "")));
+    }
+    req.width = args.get_int("width", 0);
+    const auto surfaces = client.library_query(req, &err);
+    if (!surfaces.has_value()) throw std::runtime_error("query: " + err);
+    for (const engine::SurfacePayload& p : *surfaces) print_surface(p);
+    std::printf("%zu surface(s) on %s\n", surfaces->size(), endpoint.c_str());
+    return 0;
+  }
+  throw std::runtime_error("unknown --op " + op +
+                           " (ping|characterize|aged-delay|query)");
+}
+
+/// `aapx servesim`: the chaos harness (src/service/chaos.hpp).
+int cmd_servesim(const Args& args) {
+  service::ChaosOptions copt;
+  copt.work_dir = args.get("work-dir", ".");
+  copt.self_exe = args.get("self-exe", "/proc/self/exe");
+  copt.verbose = args.has("verbose");
+  const std::string scenario = args.get("scenario", "all");
+  if (scenario != "all") return service::run_chaos_scenario(scenario, copt);
+  int rc = 0;
+  for (const std::string& name : service::chaos_scenarios()) {
+    rc |= service::run_chaos_scenario(name, copt);
+  }
+  return rc;
+}
+
 int cmd_help() {
   std::printf(R"(aapx — aging-induced approximations toolkit
 
@@ -869,6 +1051,19 @@ commands:
       --metrics f.json    cache hit rates from the metrics snapshot
       [--top N]           span rows to print (default 15)
       [--check]           exit nonzero if any artifact fails validation
+  serve           characterization-as-a-service daemon (SIGTERM = drain)
+      --listen unix:<path>|tcp:<port>   (tcp:0 = ephemeral, printed at start)
+      --workers N  --sweep-threads N  --queue N  --retry-hint-ms MS
+      --snapshot-interval SECONDS      periodic atomic --store snapshots
+      --log-dir DIR                    per-request JSONL run logs
+  client          one request against a running server (retry + backoff)
+      --connect unix:<path>|tcp:<port>
+      --op ping|characterize|aged-delay|query
+      --kind ... --width N --arch ...  --years 1,10  --mode worst|balanced
+      --min-precision K --step S  --deadline-ms MS  --attempts N
+  servesim        chaos harness for the service layer
+      --scenario all|drop|slowloris|malformed|storm|kill
+      --work-dir DIR  --self-exe PATH  --verbose
   help            this text
 
 global options:
@@ -890,7 +1085,8 @@ global options:
 
 namespace {
 
-int dispatch(const Context& ctx, const Args& args) {
+int dispatch(const Context& ctx, const Args& args,
+             const std::string& store_path) {
   if (args.command == "characterize") return cmd_characterize(ctx, args);
   if (args.command == "flow") return cmd_flow(ctx, args);
   if (args.command == "schedule") return cmd_schedule(ctx, args);
@@ -900,6 +1096,9 @@ int dispatch(const Context& ctx, const Args& args) {
   if (args.command == "faultsim") return cmd_faultsim(ctx, args);
   if (args.command == "library") return cmd_library(ctx, args);
   if (args.command == "report") return cmd_report(args);
+  if (args.command == "serve") return cmd_serve(ctx, args, store_path);
+  if (args.command == "client") return cmd_client(args);
+  if (args.command == "servesim") return cmd_servesim(args);
   if (args.command.empty() || args.command == "help" ||
       args.command == "--help") {
     return cmd_help();
@@ -920,7 +1119,15 @@ int main(int argc, char** argv) {
     // --metrics/--log flags have always driven. --threads/-j keeps its
     // historic meaning by setting the global default worker count, which a
     // Context with no explicit thread count falls through to.
-    const Context& ctx = Context::process_default();
+    Context& ctx = Context::process_default();
+    // SIGINT/SIGTERM become cooperative cancellation: sweeps and campaign
+    // epochs observe the token and unwind cleanly instead of the process
+    // dying with an unsaved store. `report` keeps default signal behavior
+    // (it only reads artifacts; instant death loses nothing).
+    if (args.command != "report") {
+      install_signal_handlers();
+      ctx.set_cancel_token(&g_cancel);
+    }
     if (args.has("threads")) {
       const int threads = args.get_int("threads", 0);
       if (threads < 1) throw std::runtime_error("--threads must be >= 1");
@@ -961,12 +1168,29 @@ int main(int argc, char** argv) {
     }
     static const std::set<std::string> kStoreCommands = {
         "characterize", "flow",       "schedule", "export-liberty",
-        "export-verilog", "export-sdf", "faultsim"};
+        "export-verilog", "export-sdf", "faultsim", "serve"};
     const bool uses_store =
         !store_path.empty() && kStoreCommands.count(args.command) != 0;
     if (uses_store) ctx.store().open(store_path);
 
-    const int rc = dispatch(ctx, args);
+    int rc = 0;
+    try {
+      rc = dispatch(ctx, args, uses_store ? store_path : std::string());
+    } catch (const CancelledError& e) {
+      // A shutdown signal unwound the flow mid-sweep/mid-epoch. The store
+      // holds only fully-built artifacts (insertions are transactional),
+      // so snapshotting the partial progress is always safe — the next
+      // run warm-starts from whatever completed.
+      const int signum = g_signal.load();
+      const bool saved = uses_store && ctx.store().save(store_path);
+      std::fprintf(stderr,
+                   "aapx: interrupted by signal %d (%s)%s\n", signum,
+                   e.what(),
+                   saved ? (", warm store snapshot saved to " + store_path)
+                               .c_str()
+                         : "");
+      return signum > 0 ? 128 + signum : 1;
+    }
 
     if (uses_store && !ctx.store().save(store_path)) {
       return rc != 0 ? rc : 1;
