@@ -28,14 +28,40 @@ bool ServiceClient::ensure_connected(std::string* err) {
 }
 
 bool ServiceClient::roundtrip(const Frame& frame, Frame* response,
-                              std::string* err) {
-  if (!send_all(fd_, encode_frame(frame))) {
+                              std::uint32_t timeout_ms, std::string* err) {
+  const bool bounded = timeout_ms > 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  if (!send_all(fd_, encode_frame(frame),
+                bounded ? static_cast<int>(timeout_ms) : -1)) {
     if (err != nullptr) *err = "send failed";
     return false;
   }
   FrameReader reader;
   char buf[4096];
   while (true) {
+    int wait_ms = -1;
+    if (bounded) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        // A wedged server is a transport failure, not a hang: the caller
+        // reconnects and retries under backoff like any dropped link.
+        if (err != nullptr) {
+          *err = "no response within " + std::to_string(timeout_ms) + " ms";
+        }
+        return false;
+      }
+      wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count() +
+          1);
+    }
+    const int ready = wait_readable(fd_, wait_ms);
+    if (ready < 0) {
+      if (err != nullptr) *err = "recv failed";
+      return false;
+    }
+    if (ready == 0) continue;  // the loop head re-checks the deadline
     const long n = recv_some(fd_, buf, sizeof(buf));
     if (n <= 0) {
       if (err != nullptr) *err = n == 0 ? "server closed" : "recv failed";
@@ -69,7 +95,15 @@ std::uint32_t ServiceClient::next_backoff_ms(int attempt,
                                  server_hint_ms);
 }
 
-CallResult ServiceClient::call(MsgType type, const std::string& payload) {
+CallResult ServiceClient::call(MsgType type, const std::string& payload,
+                               std::uint32_t deadline_ms) {
+  // A deadline-carrying request is answered (`cancelled` at worst) within
+  // its own budget by a healthy server, so anything past deadline + margin
+  // means the server is wedged; deadline-free requests get the blanket
+  // response timeout.
+  const std::uint32_t timeout_ms =
+      deadline_ms > 0 ? deadline_ms + options_.deadline_margin_ms
+                      : options_.response_timeout_ms;
   CallResult result;
   std::string last_error = "no attempts made";
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
@@ -78,7 +112,7 @@ CallResult ServiceClient::call(MsgType type, const std::string& payload) {
     if (ensure_connected(&last_error)) {
       Frame request{type, next_request_id_++, payload};
       Frame response;
-      if (!roundtrip(request, &response, &last_error)) {
+      if (!roundtrip(request, &response, timeout_ms, &last_error)) {
         // Transport failure — the server may be mid-restart (the chaos
         // harness kills it on purpose). Reconnect fresh next attempt.
         disconnect();
@@ -122,7 +156,8 @@ bool ServiceClient::ping(std::string* err) {
 
 std::optional<engine::SurfacePayload> ServiceClient::characterize(
     const CharacterizeRequest& req, std::string* err) {
-  const CallResult r = call(MsgType::characterize, encode_request(req));
+  const CallResult r =
+      call(MsgType::characterize, encode_request(req), req.deadline_ms);
   if (!r.ok) {
     if (err != nullptr) *err = r.error;
     return std::nullopt;
@@ -137,7 +172,8 @@ std::optional<engine::SurfacePayload> ServiceClient::characterize(
 
 std::optional<double> ServiceClient::aged_delay(const AgedDelayRequest& req,
                                                 std::string* err) {
-  const CallResult r = call(MsgType::aged_delay, encode_request(req));
+  const CallResult r =
+      call(MsgType::aged_delay, encode_request(req), req.deadline_ms);
   if (!r.ok) {
     if (err != nullptr) *err = r.error;
     return std::nullopt;

@@ -9,7 +9,11 @@
 //     the server's hint before resending,
 //   * error / cancelled responses are terminal: the server made a decision,
 //     retrying wouldn't change it, so the outcome is reported to the
-//     caller instead.
+//     caller instead,
+//   * a wedged server (accepts, never answers) is bounded by a response
+//     timeout — deadline_ms + deadline_margin_ms for deadline-carrying
+//     requests, response_timeout_ms otherwise — and treated as a transport
+//     failure eligible for retry.
 // Retries are bounded by max_attempts; the final failure reason is always
 // a human-readable string, never a hang.
 #pragma once
@@ -30,6 +34,14 @@ struct ClientOptions {
   std::uint32_t max_backoff_ms = 2000;
   /// Jitter stream seed — deterministic, so test schedules reproduce.
   std::uint64_t jitter_seed = 1;
+  /// Ceiling on one attempt's wait for a response when the request carries
+  /// no deadline; 0 = wait forever. Expiry is a retryable transport
+  /// failure, so a wedged server cannot hang the client indefinitely.
+  std::uint32_t response_timeout_ms = 60000;
+  /// Slack added to a request's deadline_ms for its attempt timeout: the
+  /// server should answer `cancelled` by then, so anything later means the
+  /// server is wedged, not slow.
+  std::uint32_t deadline_margin_ms = 2000;
 };
 
 /// Outcome of one reliable call. `ok` with the payload frame, or a terminal
@@ -49,7 +61,10 @@ class ServiceClient {
   ServiceClient& operator=(const ServiceClient&) = delete;
 
   /// One reliable request/response round trip (see contract above).
-  CallResult call(MsgType type, const std::string& payload);
+  /// `deadline_ms` is the request's server-side budget when it carries one
+  /// (0 = none); it sizes the per-attempt response timeout.
+  CallResult call(MsgType type, const std::string& payload,
+                  std::uint32_t deadline_ms = 0);
 
   bool ping(std::string* err = nullptr);
 
@@ -72,9 +87,11 @@ class ServiceClient {
 
  private:
   bool ensure_connected(std::string* err);
-  /// Sends `frame` and reads frames until the response with its id arrives.
-  /// False on transport failure (caller reconnects and retries).
-  bool roundtrip(const Frame& frame, Frame* response, std::string* err);
+  /// Sends `frame` and reads frames until the response with its id arrives
+  /// or `timeout_ms` elapses (0 = no bound). False on transport failure or
+  /// timeout (caller reconnects and retries).
+  bool roundtrip(const Frame& frame, Frame* response, std::uint32_t timeout_ms,
+                 std::string* err);
   std::uint32_t next_backoff_ms(int attempt, std::uint32_t server_hint_ms);
 
   std::string endpoint_;

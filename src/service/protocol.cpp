@@ -160,14 +160,15 @@ void FrameReader::feed(const char* data, std::size_t n) {
   buf_.append(data, n);
 }
 
+void FrameReader::compact() {
+  if (pos_ == 0) return;
+  buf_.erase(0, pos_);
+  pos_ = 0;
+}
+
 std::optional<Frame> FrameReader::next() {
   if (buf_.size() - pos_ < kFrameHeaderSize) {
-    // Compact once the consumed prefix dominates, so a long-lived
-    // connection doesn't grow its buffer without bound.
-    if (pos_ > 0 && pos_ >= buf_.size() / 2) {
-      buf_.erase(0, pos_);
-      pos_ = 0;
-    }
+    compact();
     return std::nullopt;
   }
   BinReader r(std::string_view(buf_).substr(pos_));
@@ -188,6 +189,7 @@ std::optional<Frame> FrameReader::next() {
     malformed("unknown message type " + std::to_string(raw_type));
   }
   if (buf_.size() - pos_ < kFrameHeaderSize + payload_size) {
+    compact();
     return std::nullopt;  // header validated; wait for the payload bytes
   }
   Frame frame;
@@ -196,10 +198,11 @@ std::optional<Frame> FrameReader::next() {
   frame.payload = buf_.substr(pos_ + kFrameHeaderSize,
                               static_cast<std::size_t>(payload_size));
   pos_ += kFrameHeaderSize + static_cast<std::size_t>(payload_size);
-  if (pos_ == buf_.size()) {
-    buf_.clear();
-    pos_ = 0;
-  }
+  // Amortized-O(1) mid-stream compaction: once the consumed prefix is at
+  // least as large as the live tail, erasing it moves fewer bytes than it
+  // frees — a connection streaming back-to-back frames stays bounded by
+  // one frame plus one recv chunk instead of accreting every answered one.
+  if (pos_ >= buf_.size() - pos_) compact();
   return frame;
 }
 

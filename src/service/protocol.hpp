@@ -92,8 +92,16 @@ class FrameReader {
   void feed(const char* data, std::size_t n);
   std::optional<Frame> next();
   std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+  /// Total bytes held, including any not-yet-erased consumed prefix — lets
+  /// tests assert the buffer stays bounded on a long-lived connection.
+  std::size_t footprint() const noexcept { return buf_.size(); }
 
  private:
+  /// Erases the consumed prefix. Called on every wait-for-more-bytes return
+  /// and, amortized, after mid-buffer pops, so the buffer never retains
+  /// already-answered frames across a long-lived connection.
+  void compact();
+
   std::uint64_t max_payload_;
   std::string buf_;
   std::size_t pos_ = 0;

@@ -29,7 +29,8 @@ namespace {
 /// references remain — the fd itself closes with the last shared_ptr, so a
 /// worker can never write into a recycled descriptor.
 struct Connection {
-  explicit Connection(int fd_in) : fd(fd_in) {}
+  Connection(int fd_in, int write_timeout_ms_in)
+      : fd(fd_in), write_timeout_ms(write_timeout_ms_in) {}
   ~Connection() { close_fd(fd); }
   Connection(const Connection&) = delete;
   Connection& operator=(const Connection&) = delete;
@@ -37,21 +38,36 @@ struct Connection {
   bool send_frame(const Frame& frame) {
     std::lock_guard<std::mutex> lock(write_mutex);
     if (!alive.load(std::memory_order_relaxed)) return false;
-    if (!send_all(fd, encode_frame(frame))) {
-      // Peer vanished mid-response (the chaos harness does this on
-      // purpose): mark dead so later responses stop trying.
+    if (!send_all(fd, encode_frame(frame), write_timeout_ms)) {
+      // Peer vanished mid-response or stopped draining its socket (the
+      // chaos harness does both on purpose): mark dead so later responses
+      // stop trying, and shut the socket down so the reader thread wakes
+      // and the connection can be reaped.
       alive.store(false, std::memory_order_relaxed);
+      ::shutdown(fd, SHUT_RDWR);
       return false;
     }
     return true;
   }
 
   const int fd;
+  const int write_timeout_ms;
   std::mutex write_mutex;
   std::atomic<bool> alive{true};
+  /// Set by the reader thread on exit; the acceptor reaps done connections.
+  std::atomic<bool> reader_done{false};
 };
 
 using ConnPtr = std::shared_ptr<Connection>;
+
+/// A live connection plus its reader thread, owned by Impl::conns until the
+/// reader exits and the acceptor reaps the entry. Workers holding the
+/// ConnPtr through a Waiter keep the fd open past reaping, so a drained
+/// job's response can never hit a recycled descriptor.
+struct ConnEntry {
+  ConnPtr conn;
+  std::thread reader;
+};
 
 struct Waiter {
   ConnPtr conn;
@@ -113,8 +129,7 @@ struct Server::Impl {
   std::condition_variable snapshot_cv;
 
   std::mutex conns_mutex;
-  std::vector<ConnPtr> conns;
-  std::vector<std::thread> conn_threads;
+  std::vector<ConnEntry> conns;
 
   std::atomic<std::uint64_t> n_connections{0}, n_requests{0}, n_completed{0},
       n_shed{0}, n_deduped{0}, n_cancelled{0}, n_protocol_errors{0},
@@ -188,6 +203,7 @@ struct Server::Impl {
       return;
     }
     const Waiter waiter{conn, frame.request_id};
+    bool shed = false;
     {
       std::lock_guard<std::mutex> lock(inflight_mutex);
       const auto it = inflight.find(job->dedup);
@@ -215,14 +231,18 @@ struct Server::Impl {
       // entry exists, so it can never erase a key we haven't added yet.
       inflight.emplace(job->dedup, job);
       if (!queue.try_push(job)) {
-        // Backpressure: the queue refused, the client gets a typed hint.
         inflight.erase(job->dedup);
-        n_shed.fetch_add(1);
-        conn->send_frame(
-            {MsgType::retry_later, frame.request_id,
-             encode_retry_later_response({options.retry_hint_ms})});
-        return;
+        shed = true;
       }
+    }
+    if (shed) {
+      // Backpressure: the queue refused, the client gets a typed hint —
+      // sent strictly outside inflight_mutex, so a shed client that has
+      // stopped draining its socket can never stall admission or workers.
+      n_shed.fetch_add(1);
+      conn->send_frame({MsgType::retry_later, frame.request_id,
+                        encode_retry_later_response({options.retry_hint_ms})});
+      return;
     }
     n_requests.fetch_add(1);
   }
@@ -395,19 +415,39 @@ struct Server::Impl {
     }
     // The fd itself closes with the last ConnPtr — a worker holding this
     // connection for a drained job can never write into a recycled fd.
+    conn->reader_done.store(true, std::memory_order_release);
+  }
+
+  /// Joins exited reader threads and drops their ConnEntry, so a long-
+  /// running daemon does not accrete one fd plus one thread stack per
+  /// connection ever accepted. Workers delivering a late response still
+  /// hold the ConnPtr through their Waiter, so reaping never closes an fd
+  /// out from under them.
+  void reap_connections() {
+    std::lock_guard<std::mutex> lock(conns_mutex);
+    auto it = conns.begin();
+    while (it != conns.end()) {
+      if (it->conn->reader_done.load(std::memory_order_acquire)) {
+        it->reader.join();
+        it = conns.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
 
   void acceptor_loop() {
     while (!stopping.load()) {
+      reap_connections();
       const int ready = wait_readable(listen_fd, 200);
       if (ready <= 0) continue;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
-      auto conn = std::make_shared<Connection>(fd);
+      auto conn = std::make_shared<Connection>(fd, options.write_timeout_ms);
       n_connections.fetch_add(1);
       std::lock_guard<std::mutex> lock(conns_mutex);
-      conns.push_back(conn);
-      conn_threads.emplace_back([this, conn] { reader_loop(conn); });
+      conns.push_back(
+          {conn, std::thread([this, conn] { reader_loop(conn); })});
     }
   }
 
@@ -462,22 +502,21 @@ void Server::stop() {
   }
   impl_->workers.clear();
   if (impl_->snapshotter.joinable()) impl_->snapshotter.join();
-  // 3. Tear down connections (responses for drained jobs are already out).
+  // 3. Tear down surviving connections (responses for drained jobs are
+  // already out; the acceptor has exited, so no new entries can appear).
+  std::vector<ConnEntry> entries;
   {
     std::lock_guard<std::mutex> lock(impl_->conns_mutex);
-    for (const ConnPtr& c : impl_->conns) {
-      c->alive.store(false, std::memory_order_relaxed);
-      ::shutdown(c->fd, SHUT_RDWR);
-    }
+    entries.swap(impl_->conns);
   }
-  for (std::thread& t : impl_->conn_threads) {
-    if (t.joinable()) t.join();
+  for (const ConnEntry& e : entries) {
+    e.conn->alive.store(false, std::memory_order_relaxed);
+    ::shutdown(e.conn->fd, SHUT_RDWR);
   }
-  impl_->conn_threads.clear();
-  {
-    std::lock_guard<std::mutex> lock(impl_->conns_mutex);
-    impl_->conns.clear();
+  for (ConnEntry& e : entries) {
+    if (e.reader.joinable()) e.reader.join();
   }
+  entries.clear();
   close_fd(impl_->listen_fd);
   impl_->listen_fd = -1;
   unlink_endpoint(impl_->options.listen);
@@ -495,6 +534,10 @@ void Server::serve_forever() {
 Server::Stats Server::stats() const {
   Stats s;
   s.connections = impl_->n_connections.load();
+  {
+    std::lock_guard<std::mutex> lock(impl_->conns_mutex);
+    s.live_connections = impl_->conns.size();
+  }
   s.requests = impl_->n_requests.load();
   s.completed = impl_->n_completed.load();
   s.shed = impl_->n_shed.load();

@@ -59,6 +59,10 @@ struct ServerOptions {
   std::uint32_t retry_hint_ms = 50;
   /// Reject frames with payloads beyond this before buffering them.
   std::uint64_t max_payload = 16ull << 20;
+  /// Bounded-time response writes: a peer whose socket buffer stays full
+  /// for this long is marked dead and disconnected instead of blocking the
+  /// writing thread (readers and workers both write). < 0 = block forever.
+  int write_timeout_ms = 5000;
   /// Snapshot target for the shared store; empty = no snapshots.
   std::string store_path;
   /// Periodic snapshot interval; 0 = snapshot only on graceful stop.
@@ -97,7 +101,8 @@ class Server {
   void serve_forever();
 
   struct Stats {
-    std::uint64_t connections = 0;
+    std::uint64_t connections = 0;     ///< ever accepted
+    std::uint64_t live_connections = 0;  ///< tracked now (not yet reaped)
     std::uint64_t requests = 0;        ///< admitted (queued or deduped)
     std::uint64_t completed = 0;       ///< ok_* responses sent
     std::uint64_t shed = 0;            ///< retry_later responses sent

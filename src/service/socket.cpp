@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 namespace aapx::service {
@@ -180,13 +181,33 @@ int connect_endpoint(const std::string& spec, std::string* err) {
   return -1;
 }
 
-bool send_all(int fd, std::string_view bytes) {
+bool send_all(int fd, std::string_view bytes, int timeout_ms) {
+  const bool bounded = timeout_ms >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   std::size_t sent = 0;
   while (sent < bytes.size()) {
     const auto n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
-                          MSG_NOSIGNAL);
+                          MSG_NOSIGNAL | (bounded ? MSG_DONTWAIT : 0));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // The peer's buffer is full: wait for writability, but only up to
+        // the remaining budget — a non-draining peer is an error, not a
+        // reason to block a writer thread forever.
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return false;
+        const int remaining_ms = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline -
+                                                                  now)
+                .count() +
+            1);
+        pollfd pfd{fd, POLLOUT, 0};
+        const int rc = ::poll(&pfd, 1, remaining_ms);
+        if (rc < 0 && errno == EINTR) continue;
+        if (rc <= 0) return false;  // timeout or poll error
+        continue;
+      }
       return false;
     }
     sent += static_cast<std::size_t>(n);

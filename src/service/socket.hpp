@@ -32,9 +32,12 @@ int listen_endpoint(const std::string& spec, std::string* resolved,
 /// Connects to `spec`. Returns the connected fd, or -1 with `err` set.
 int connect_endpoint(const std::string& spec, std::string* err);
 
-/// Writes all of `bytes`, retrying short writes. False on any error (the
-/// fd is left open; the caller owns closing it).
-bool send_all(int fd, std::string_view bytes);
+/// Writes all of `bytes`, retrying short writes. With `timeout_ms < 0` the
+/// call blocks until the kernel accepts every byte; otherwise it waits for
+/// writability (POLLOUT) at most `timeout_ms` total, so a peer that stops
+/// draining its socket can never wedge a writer forever. False on any error
+/// or timeout (the fd is left open; the caller owns closing it).
+bool send_all(int fd, std::string_view bytes, int timeout_ms = -1);
 
 /// One recv() of at most `n` bytes. Returns bytes read, 0 on orderly peer
 /// close, -1 on error (EINTR is retried internally).

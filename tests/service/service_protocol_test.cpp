@@ -9,6 +9,7 @@
 // throws its documented error type.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -201,6 +202,37 @@ TEST(FrameReader, ReassemblesByteByByte) {
   EXPECT_EQ(got[1].type, MsgType::characterize);
   EXPECT_EQ(got[1].payload, b.payload);
   EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameReader, CompactsConsumedPrefixOnLongLivedStreams) {
+  // A connection streaming back-to-back frames must not accrete answered
+  // bytes: whatever the feed/pop interleaving, the internal footprint stays
+  // bounded by a few frames, never by the total ever streamed.
+  const std::string payload(100, 'p');
+  std::size_t frame_size = 0;
+  std::size_t max_footprint = 0;
+  FrameReader reader;
+  std::size_t popped = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    // Four frames per burst, split mid-payload so both wait-for-bytes
+    // paths (short header, short payload) run alongside mid-buffer pops.
+    std::string burst;
+    for (std::uint64_t j = 0; j < 4; ++j) {
+      burst += encode_frame({MsgType::ping, i * 4 + j, payload});
+    }
+    frame_size = burst.size() / 4;
+    const std::size_t cut = burst.size() / 2 + 7;
+    reader.feed(burst.data(), cut);
+    while (reader.next().has_value()) ++popped;
+    max_footprint = std::max(max_footprint, reader.footprint());
+    reader.feed(burst.data() + cut, burst.size() - cut);
+    while (reader.next().has_value()) ++popped;
+    max_footprint = std::max(max_footprint, reader.footprint());
+  }
+  EXPECT_EQ(popped, 2000u);
+  EXPECT_EQ(reader.buffered(), 0u);
+  EXPECT_LE(max_footprint, 8 * frame_size)
+      << "consumed prefix retained across a long-lived stream";
 }
 
 TEST(FrameReader, RejectsBadMagicImmediately) {

@@ -5,7 +5,9 @@
 // fault-injection side — drops, malformed frames, storms, SIGKILL — lives
 // in the chaos harness; see src/service/chaos.cpp and `aapx servesim`.)
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
+#include <chrono>
 #include <filesystem>
 #include <optional>
 #include <string>
@@ -195,6 +197,84 @@ TEST(ServeEndToEnd, MalformedPayloadGetsTypedErrorResponse) {
   EXPECT_EQ(client.retries(), 0u) << "typed errors are terminal, not retried";
   server.stop();
   EXPECT_EQ(server.stats().protocol_errors, 1u);
+}
+
+TEST(ServeEndToEnd, DisconnectedClientsAreReaped) {
+  Context root;
+  Server server(root, ServerOptions{});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  // Churn several short-lived raw connections, then hold one live client.
+  for (int i = 0; i < 5; ++i) {
+    const int fd = connect_endpoint(server.endpoint(), &err);
+    ASSERT_GE(fd, 0) << err;
+    close_fd(fd);
+  }
+  ServiceClient client(server.endpoint());
+  ASSERT_TRUE(client.ping(&err)) << err;
+  // The acceptor reaps dead connections on its next pass: the daemon must
+  // not retain one fd + one thread per connection ever accepted.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.stats().live_connections > 1 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.connections, 6u);
+  EXPECT_EQ(stats.live_connections, 1u)
+      << "dead connections not reaped while the server keeps running";
+  // The surviving client still works after its neighbors were reaped.
+  EXPECT_TRUE(client.ping(&err)) << err;
+  server.stop();
+}
+
+TEST(SocketPrimitives, SendAllTimesOutOnNonDrainingPeer) {
+  // A writer with a bounded send must give up once the peer's socket
+  // buffer stays full — this is what keeps a stalled client from wedging
+  // a worker or reader thread forever.
+  std::string err;
+  std::string endpoint;
+  const int listen_fd = listen_endpoint("tcp:0", &endpoint, &err);
+  ASSERT_GE(listen_fd, 0) << err;
+  const int client_fd = connect_endpoint(endpoint, &err);
+  ASSERT_GE(client_fd, 0) << err;
+  ASSERT_EQ(wait_readable(listen_fd, 5000), 1);
+  const int server_fd = ::accept(listen_fd, nullptr, nullptr);
+  ASSERT_GE(server_fd, 0);
+  // Nobody reads client_fd; 64 MiB cannot fit in loopback socket buffers.
+  const std::string big(64u << 20, 'x');
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(send_all(server_fd, big, 200));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(5))
+      << "bounded send blocked far past its timeout";
+  close_fd(server_fd);
+  close_fd(client_fd);
+  close_fd(listen_fd);
+}
+
+TEST(ServeEndToEnd, ClientBoundsWaitOnWedgedServer) {
+  // A listener that accepts but never answers: the client's response
+  // timeout must turn the hang into a bounded, retryable failure.
+  std::string err;
+  std::string endpoint;
+  const int listen_fd = listen_endpoint("tcp:0", &endpoint, &err);
+  ASSERT_GE(listen_fd, 0) << err;
+  ClientOptions copt;
+  copt.max_attempts = 2;
+  copt.response_timeout_ms = 150;
+  copt.base_backoff_ms = 1;
+  ServiceClient client(endpoint, copt);
+  const auto t0 = std::chrono::steady_clock::now();
+  const CallResult result = client.call(MsgType::ping, {});
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("no response within"), std::string::npos)
+      << result.error;
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "client hung on a wedged server despite response_timeout_ms";
+  close_fd(listen_fd);
 }
 
 TEST(ServeEndToEnd, ServeForeverHonorsRequestStop) {
