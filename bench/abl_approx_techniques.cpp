@@ -15,57 +15,41 @@
 
 #include "common.hpp"
 #include "core/characterizer.hpp"
-#include "gatesim/funcsim.hpp"
-#include "util/stats.hpp"
+#include "core/error_sampling.hpp"
 
 using namespace aapx;
 using namespace aapx::bench;
 
 namespace {
 
-struct ErrorProfile {
-  double error_rate;  ///< fraction of operations with any error
-  double mean_abs;    ///< mean |error| over erroneous operations
-  double max_abs;
-};
-
-ErrorProfile measure_errors(const Config& cfg, const ComponentSpec& spec,
-                            const StimulusSet& stim, bool is_adder) {
+/// Wide-lane sampled error profile: a whole lane word of vectors per packed
+/// eval instead of the old per-vector scalar FuncSim walk.
+SampledErrorProfile measure_errors(const Config& cfg, const ComponentSpec& spec,
+                                   const StimulusSet& stim, bool is_adder) {
   const Netlist nl = make_component(bench_context(), cfg.lib, spec);
-  FuncSim sim(nl);
-  std::size_t wrong = 0;
-  RunningStats abs_err;
-  double max_abs = 0.0;
-  for (const auto& row : stim.vectors) {
-    sim.set_bus("a", row[0]);
-    sim.set_bus("b", row[1]);
-    sim.eval();
-    std::int64_t got = 0;
-    std::int64_t expect = 0;
-    if (is_adder) {
-      // The adder bus carries width+1 unsigned result bits (carry-out MSB).
-      const std::uint64_t mask_out =
-          (std::uint64_t{1} << (spec.width + 1)) - 1;
-      got = static_cast<std::int64_t>(sim.bus_value("y"));
-      expect = static_cast<std::int64_t>((row[0] + row[1]) & mask_out);
-    } else {
-      got = wrap_signed(static_cast<std::int64_t>(sim.bus_value("y")),
-                        2 * spec.width);
-      const std::int64_t a =
-          wrap_signed(static_cast<std::int64_t>(row[0]), spec.width);
-      const std::int64_t b =
-          wrap_signed(static_cast<std::int64_t>(row[1]), spec.width);
-      expect = wrap_signed(a * b, 2 * spec.width);
-    }
-    if (got != expect) {
-      ++wrong;
-      const double e = std::abs(static_cast<double>(got - expect));
-      abs_err.add(e);
-      max_abs = std::max(max_abs, e);
-    }
+  if (is_adder) {
+    // The adder bus carries width+1 unsigned result bits (carry-out MSB).
+    const std::uint64_t mask_out = (std::uint64_t{1} << (spec.width + 1)) - 1;
+    return sample_error_profile(
+        nl, stim, "y",
+        [](std::uint64_t raw) { return static_cast<std::int64_t>(raw); },
+        [mask_out](const std::vector<std::uint64_t>& row) {
+          return static_cast<std::int64_t>((row[0] + row[1]) & mask_out);
+        });
   }
-  return {static_cast<double>(wrong) / static_cast<double>(stim.size()),
-          abs_err.mean(), max_abs};
+  const int width = spec.width;
+  return sample_error_profile(
+      nl, stim, "y",
+      [width](std::uint64_t raw) {
+        return wrap_signed(static_cast<std::int64_t>(raw), 2 * width);
+      },
+      [width](const std::vector<std::uint64_t>& row) {
+        const std::int64_t a =
+            wrap_signed(static_cast<std::int64_t>(row[0]), width);
+        const std::int64_t b =
+            wrap_signed(static_cast<std::int64_t>(row[1]), width);
+        return wrap_signed(a * b, 2 * width);
+      });
 }
 
 void run(const Config& cfg, ComponentSpec base, ApproxTechnique technique,
@@ -82,7 +66,7 @@ void run(const Config& cfg, ComponentSpec base, ApproxTechnique technique,
   }
   ComponentSpec chosen = base;
   chosen.truncated_bits = base.width - k;
-  const ErrorProfile prof =
+  const SampledErrorProfile prof =
       measure_errors(cfg, chosen, stim, base.kind == ComponentKind::adder);
   table.add_row({chosen.name(),
                  TextTable::num(c.at_precision(k).aged_delay[0], 0) + " ps",

@@ -30,8 +30,8 @@ class TimedAdderBackend final : public ArithBackend {
                     double t_clock_ps, DelayModel model)
       : exact_(width, 0, 0),
         sim_(adder, std::move(delays), model),
-        a_nets_(&adder.input_bus("a")),
-        b_nets_(&adder.input_bus("b")),
+        a_pis_(sim_.resolve_stage(adder.input_bus("a"))),
+        b_pis_(sim_.resolve_stage(adder.input_bus("b"))),
         y_nets_(&adder.output_bus("y")),
         width_(width),
         t_clock_(t_clock_ps) {}
@@ -42,8 +42,8 @@ class TimedAdderBackend final : public ArithBackend {
 
   std::int64_t add(std::int64_t a, std::int64_t b) override {
     const std::uint64_t mask = (std::uint64_t{1} << width_) - 1;
-    sim_.stage_word(*a_nets_, static_cast<std::uint64_t>(a) & mask);
-    sim_.stage_word(*b_nets_, static_cast<std::uint64_t>(b) & mask);
+    sim_.stage_resolved(a_pis_, static_cast<std::uint64_t>(a) & mask);
+    sim_.stage_resolved(b_pis_, static_cast<std::uint64_t>(b) & mask);
     if (sim_.step_staged(t_clock_)) ++errors_;
     return wrap_signed(static_cast<std::int64_t>(sim_.sampled_word(*y_nets_)),
                        width_);
@@ -56,8 +56,8 @@ class TimedAdderBackend final : public ArithBackend {
  private:
   ExactBackend exact_;
   TimedSim sim_;
-  const std::vector<NetId>* a_nets_;
-  const std::vector<NetId>* b_nets_;
+  const std::vector<NetId> a_pis_;
+  const std::vector<NetId> b_pis_;
   const std::vector<NetId>* y_nets_;
   int width_;
   double t_clock_;

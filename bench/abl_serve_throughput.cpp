@@ -2,11 +2,13 @@
 // per second against an in-process `aapx serve` server, cold store vs warm
 // store, at 1/2/4 concurrent clients. The qps numbers are machine-dependent
 // (they land in BENCH_abl_serve_throughput.json as qps_* fields, which the
-// regression checker ignores like wall_s); the request counts, error count
-// and the gate checksum over every returned surface are deterministic and
-// ARE regression-checked — a service that stopped answering, started
-// shedding, or drifted from the bit-identical-to-local contract shows up
-// there.
+// regression checker ignores like wall_s). The request counts, error count
+// and the gate checksum over every returned surface are informational too:
+// since the server learned to shed load under deadline pressure, how many
+// requests complete inside the timed window — and hence the checksum over
+// the surfaces that did come back — depends on machine speed. The
+// bit-identical-to-local contract is enforced by the service tests, not by
+// this bench.
 #include <atomic>
 #include <chrono>
 #include <cstdint>

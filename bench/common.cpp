@@ -195,19 +195,23 @@ Sta::GateDelays scenario_delays(const Config& cfg, const Netlist& nl,
 namespace {
 
 /// Bus name -> net list, resolved once per simulation loop.
-std::vector<const std::vector<NetId>*> resolve_buses(const Netlist& nl,
-                                                     const StimulusSet& stim) {
-  std::vector<const std::vector<NetId>*> nets;
-  nets.reserve(stim.buses.size());
-  for (const auto& bus : stim.buses) nets.push_back(&nl.input_bus(bus));
-  return nets;
+/// Per-bus PI indices for TimedSim::stage_resolved (hoists the per-bit
+/// net-to-PI lookups out of the per-vector loop).
+std::vector<std::vector<NetId>> resolve_stage_buses(const TimedSim& sim,
+                                                    const Netlist& nl,
+                                                    const StimulusSet& stim) {
+  std::vector<std::vector<NetId>> resolved;
+  resolved.reserve(stim.buses.size());
+  for (const auto& bus : stim.buses) {
+    resolved.push_back(sim.resolve_stage(nl.input_bus(bus)));
+  }
+  return resolved;
 }
 
-void apply_row(TimedSim& sim,
-               const std::vector<const std::vector<NetId>*>& bus_nets,
+void apply_row(TimedSim& sim, const std::vector<std::vector<NetId>>& bus_pis,
                const std::vector<std::uint64_t>& row) {
-  for (std::size_t b = 0; b < bus_nets.size(); ++b) {
-    sim.stage_word(*bus_nets[b], row[b]);
+  for (std::size_t b = 0; b < bus_pis.size(); ++b) {
+    sim.stage_resolved(bus_pis[b], row[b]);
   }
 }
 
@@ -216,10 +220,10 @@ void apply_row(TimedSim& sim,
 double bin_fresh_clock(const Config& cfg, const Netlist& nl,
                        const StimulusSet& stimulus, DelayModel model) {
   TimedSim sim(nl, scenario_delays(cfg, nl, AgingScenario::fresh()), model);
-  const auto bus_nets = resolve_buses(nl, stimulus);
+  const auto bus_pis = resolve_stage_buses(sim, nl, stimulus);
   double t_clock = 0.0;
   for (const auto& row : stimulus.vectors) {
-    apply_row(sim, bus_nets, row);
+    apply_row(sim, bus_pis, row);
     sim.step_staged(1e12);
     t_clock = std::max(t_clock, sim.last_output_settle_time());
   }
@@ -231,10 +235,10 @@ double measure_error_rate(const Config& cfg, const Netlist& nl,
                           const AgingScenario& scenario, double t_clock,
                           DelayModel model) {
   TimedSim sim(nl, scenario_delays(cfg, nl, scenario), model);
-  const auto bus_nets = resolve_buses(nl, stimulus);
+  const auto bus_pis = resolve_stage_buses(sim, nl, stimulus);
   std::size_t errors = 0;
   for (const auto& row : stimulus.vectors) {
-    apply_row(sim, bus_nets, row);
+    apply_row(sim, bus_pis, row);
     if (sim.step_staged(t_clock)) ++errors;
   }
   return static_cast<double>(errors) /

@@ -198,11 +198,14 @@ std::vector<double> measure_gate_duty(const Netlist& nl,
       throw std::invalid_argument("measure_gate_duty: ragged stimulus");
     }
   }
-  // 64 vectors per PackedFuncSim::eval, batches distributed over the pool.
-  // Per-batch integer popcounts summed in batch order keep the result
-  // bit-identical to the scalar loop regardless of thread count.
+  // One WideSim::eval simulates a whole lane word of vectors (64-512
+  // depending on the dispatched backend); batches are distributed over the
+  // pool. Per-batch integer popcounts summed in batch order keep the result
+  // bit-identical to the scalar loop regardless of thread count — and of
+  // lane width, since the total is an exact integer sum either way.
   const std::size_t n_vectors = stimulus.vectors.size();
-  const std::size_t lanes = static_cast<std::size_t>(PackedFuncSim::kLanes);
+  const std::size_t lanes =
+      static_cast<std::size_t>(simd::backend_lanes(simd::simd_dispatch()));
   const std::size_t n_batches = (n_vectors + lanes - 1) / lanes;
   std::vector<NetId> gate_fanout(nl.num_gates());
   for (std::size_t g = 0; g < nl.num_gates(); ++g) {
@@ -210,7 +213,7 @@ std::vector<double> measure_gate_duty(const Netlist& nl,
   }
   std::vector<std::vector<std::uint64_t>> batch_high(n_batches);
   parallel_for(n_batches, [&](std::size_t batch) {
-    PackedFuncSim sim(nl);
+    const auto sim = make_wide_sim(nl);
     const std::size_t first = batch * lanes;
     const std::size_t count = std::min(lanes, n_vectors - first);
     std::vector<std::uint64_t> lane_values(count);
@@ -218,17 +221,13 @@ std::vector<double> measure_gate_duty(const Netlist& nl,
       for (std::size_t i = 0; i < count; ++i) {
         lane_values[i] = stimulus.vectors[first + i][b];
       }
-      sim.set_bus(stimulus.buses[b], lane_values);
+      sim->set_bus(stimulus.buses[b], lane_values);
     }
-    sim.eval();
-    const std::uint64_t valid =
-        count == lanes ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+    sim->eval();
     std::vector<std::uint64_t>& high = batch_high[batch];
-    high.resize(nl.num_gates());
-    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
-      high[g] = static_cast<std::uint64_t>(
-          std::popcount(sim.lanes(gate_fanout[g]) & valid));
-    }
+    high.assign(nl.num_gates(), 0);
+    sim->add_high_popcounts(gate_fanout, static_cast<int>(count),
+                            high.data());
   });
   std::vector<double> duty(nl.num_gates(), 0.0);
   for (std::size_t g = 0; g < nl.num_gates(); ++g) {

@@ -21,6 +21,11 @@ constexpr std::uint64_t kTagNetlist = 0x4e4c303031ULL;  // "NL001"
 constexpr std::uint64_t kTagLibrary = 0x414c303031ULL;  // "AL001"
 constexpr std::uint64_t kTagDelay = 0x4454303031ULL;    // "DT001"
 constexpr std::uint64_t kTagSurface = 0x5346303031ULL;  // "SF001"
+// Incremental boundary-condition STA delays (truncation modeled as
+// never-arriving PIs on the full-precision netlist). A separate tag keeps
+// them from ever aliasing kTagDelay's re-synthesized full-STA entries —
+// the two families answer different questions about the same spec.
+constexpr std::uint64_t kTagTruncDelay = 0x4454303032ULL;  // "DT002"
 
 /// Scenario identity under the surface cache: fresh scenarios of any stress
 /// mode are the same query (aging-free timing ignores the mode).
@@ -42,7 +47,7 @@ std::uint64_t surface_key(std::uint64_t lib_fp, const BtiParams& params,
                           const ComponentSpec& base,
                           const std::vector<AgingScenario>& scenarios,
                           int min_precision, int precision_step,
-                          const StaOptions& sta) {
+                          const StaOptions& sta, bool incremental) {
   Hasher h;
   h.u64(kTagSurface)
       .u64(lib_fp)
@@ -53,6 +58,8 @@ std::uint64_t surface_key(std::uint64_t lib_fp, const BtiParams& params,
       .i32(precision_step)
       .u64(scenarios.size());
   for (const AgingScenario& s : scenarios) h.u64(key_of(s));
+  // Hashed only when set so every pre-existing store file keeps its keys.
+  if (incremental) h.str("inc-sta");
   return h.digest();
 }
 
@@ -327,10 +334,105 @@ double DesignStore::aged_sta_delay(const CellLibrary& lib,
   return delay;
 }
 
+double DesignStore::truncated_sta_delay(
+    const CellLibrary& lib, const ComponentSpec& base, int truncated_bits,
+    const BtiModel& model, StressMode mode, double years,
+    const StaOptions& sta, std::uint64_t gates,
+    const std::function<double()>& compute) {
+  if (mode == StressMode::measured) {
+    throw std::invalid_argument(
+        "DesignStore::truncated_sta_delay: measured-mode delays are "
+        "stimulus-dependent and not cacheable by spec");
+  }
+  const std::uint64_t netlist_key =
+      Hasher{}.u64(fingerprint(lib)).u64(key_of(base)).digest();
+  // Same scenario derivation as aged_sta_delay plus the truncation depth;
+  // the family tag below is what keeps the two key spaces disjoint.
+  Hasher scenario;
+  if (years <= 0.0) {
+    scenario.str("fresh");
+  } else {
+    scenario.u64(key_of(model)).i32(static_cast<int>(mode)).f64(years);
+  }
+  const std::uint64_t scenario_key =
+      scenario.i32(truncated_bits).u64(key_of(sta)).digest();
+  const std::uint64_t key = Hasher{}
+                                .u64(kTagTruncDelay)
+                                .u64(netlist_key)
+                                .u64(scenario_key)
+                                .digest();
+
+  Shard<DelayEntry>& shard = delays_[shard_of(key)];
+  {
+    bool hit = false;
+    double delay = 0.0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) {
+        const DelayEntry& e = *it->second;
+        if (e.netlist_key != netlist_key || e.scenario_key != scenario_key) {
+          throw std::logic_error("DesignStore: delay key collision");
+        }
+        delay_hits_->add();
+        hit = true;
+        delay = e.delay;
+      } else if (auto blob = take_staged(
+                     static_cast<std::uint32_t>(RecordKind::sta_delay), key)) {
+        try {
+          const StaDelayPayload p = decode_sta_delay_payload(*blob);
+          if (p.netlist_key == netlist_key && p.scenario_key == scenario_key) {
+            delay_hits_->add();
+            persist_hits_->add();
+            auto entry = std::make_unique<DelayEntry>();
+            entry->netlist_key = netlist_key;
+            entry->scenario_key = scenario_key;
+            entry->delay = p.delay;
+            entry->gates = p.gates;
+            shard.entries.emplace(key, std::move(entry));
+            hit = true;
+            delay = p.delay;
+          } else {
+            warn_record_dropped("sta_delay", key, "stale key material");
+            persist_records_dropped_->add();
+          }
+        } catch (const std::exception& e) {
+          warn_record_dropped("sta_delay", key, e.what());
+          persist_records_dropped_->add();
+        }
+      }
+    }
+    if (hit) {
+      log_delay_query(years > 0.0, gates, delay);
+      return delay;
+    }
+  }
+  delay_misses_->add();
+  count_persist_miss();
+  double delay;
+  {
+    // Off the serial spine for the same reason as aged_sta_delay: whether
+    // the compute callback runs depends on cache history, so nothing inside
+    // it may emit run-log records; the log_delay_query below documents the
+    // query identically for hits and misses.
+    const OffSpineGuard off_spine;
+    delay = compute();
+    auto entry = std::make_unique<DelayEntry>();
+    entry->netlist_key = netlist_key;
+    entry->scenario_key = scenario_key;
+    entry->delay = delay;
+    entry->gates = gates;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.entries.emplace(key, std::move(entry));
+  }
+  log_delay_query(years > 0.0, gates, delay);
+  return delay;
+}
+
 const ComponentCharacterization& DesignStore::surface(
     const CellLibrary& lib, const BtiModel& model, const ComponentSpec& base,
     const std::vector<AgingScenario>& scenarios, int min_precision,
-    int precision_step, const StaOptions& sta,
+    int precision_step, const StaOptions& sta, bool incremental_sta,
     const std::function<ComponentCharacterization()>& build) {
   for (const AgingScenario& s : scenarios) {
     if (!s.is_fresh() && s.mode == StressMode::measured) {
@@ -340,8 +442,9 @@ const ComponentCharacterization& DesignStore::surface(
     }
   }
   const std::uint64_t fp = fingerprint(lib);
-  const std::uint64_t key = surface_key(fp, model.params(), base, scenarios,
-                                        min_precision, precision_step, sta);
+  const std::uint64_t key =
+      surface_key(fp, model.params(), base, scenarios, min_precision,
+                  precision_step, sta, incremental_sta);
   Shard<SurfaceEntry>& shard = surfaces_[shard_of(key)];
   // Like netlists, the build runs under the shard lock: surfaces are the
   // most expensive artifact in the store and must never be computed twice.
@@ -351,7 +454,8 @@ const ComponentCharacterization& DesignStore::surface(
     const SurfaceEntry& e = *it->second;
     if (e.lib_fp != fp || key_of(e.params) != key_of(model.params()) ||
         key_of(e.sta) != key_of(sta) || e.min_precision != min_precision ||
-        e.precision_step != precision_step || !(e.surface.base == base) ||
+        e.precision_step != precision_step ||
+        e.incremental != incremental_sta || !(e.surface.base == base) ||
         !scenarios_equal(e.scenarios, scenarios)) {
       throw std::logic_error("DesignStore: surface key collision");
     }
@@ -370,7 +474,8 @@ const ComponentCharacterization& DesignStore::surface(
         persist_hits_->add();
         auto entry = std::make_unique<SurfaceEntry>(
             SurfaceEntry{fp, p.params, p.sta, min_precision, precision_step,
-                         std::move(p.scenarios), std::move(p.surface)});
+                         incremental_sta, std::move(p.scenarios),
+                         std::move(p.surface)});
         it = shard.entries.emplace(key, std::move(entry)).first;
         return it->second->surface;
       }
@@ -384,7 +489,7 @@ const ComponentCharacterization& DesignStore::surface(
   count_persist_miss();
   auto entry = std::make_unique<SurfaceEntry>(
       SurfaceEntry{fp, model.params(), sta, min_precision, precision_step,
-                   scenarios, build()});
+                   incremental_sta, scenarios, build()});
   it = shard.entries.emplace(key, std::move(entry)).first;
   return it->second->surface;
 }

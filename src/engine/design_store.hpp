@@ -96,15 +96,36 @@ class DesignStore {
                         const BtiModel& model, StressMode mode, double years,
                         const StaOptions& sta);
 
+  /// Memoized max-delay of the *incremental boundary-condition family*:
+  /// `base` (full precision) analyzed with its `truncated_bits` lowest
+  /// operand bits held constant, instead of re-synthesized at reduced
+  /// precision. These values legitimately differ from aged_sta_delay's
+  /// (re-synthesis constant-propagates logic away and changes loads), so
+  /// they live under their own key tag and can never alias full-STA
+  /// entries. The caller supplies `compute` because the incremental
+  /// engine's state (arrival arrays, cone masks) must persist across the
+  /// sweep's queries; `gates` is the base netlist's gate count for the
+  /// query log record. Hits and misses emit the same sta_query record, so
+  /// run logs are byte-identical at any store warmth — and `compute` is
+  /// algorithm-agnostic, so AAPX_STA_FULL=1 changes nothing observable.
+  double truncated_sta_delay(const CellLibrary& lib, const ComponentSpec& base,
+                             int truncated_bits, const BtiModel& model,
+                             StressMode mode, double years,
+                             const StaOptions& sta, std::uint64_t gates,
+                             const std::function<double()>& compute);
+
   /// Memoized characterization surface of `base` (delay vs. precision vs.
   /// aging, paper Fig. 3/4/7) under the exact sweep parameters. On a miss,
   /// `build` runs under the key's shard lock (racing requesters wait; one
   /// miss per distinct key). Measured-mode scenarios are stimulus-dependent
-  /// and must not come through this cache.
+  /// and must not come through this cache. `incremental_sta` marks surfaces
+  /// built by the boundary-condition sweep (ComponentCharacterizer's
+  /// incremental mode) — keyed apart so they never alias re-synthesized
+  /// surfaces of the same component.
   const ComponentCharacterization& surface(
       const CellLibrary& lib, const BtiModel& model, const ComponentSpec& base,
       const std::vector<AgingScenario>& scenarios, int min_precision,
-      int precision_step, const StaOptions& sta,
+      int precision_step, const StaOptions& sta, bool incremental_sta,
       const std::function<ComponentCharacterization()>& build);
 
   /// Content fingerprint of `lib`, memoized per library object (libraries
@@ -174,6 +195,9 @@ class DesignStore {
     StaOptions sta;
     int min_precision = 0;
     int precision_step = 0;
+    /// Boundary-condition (incremental-STA) family flag. Part of the key;
+    /// not in the persisted payload (the record's key carries it).
+    bool incremental = false;
     std::vector<AgingScenario> scenarios;
     ComponentCharacterization surface;
   };

@@ -1,124 +1,51 @@
-#include "gatesim/packedsim.hpp"
-
-#include <stdexcept>
-
-#include "obs/metrics.hpp"
+// Factories behind the WideSim facade: the always-available backends (u64
+// and the portable multi-uint64 words) live here; the AVX backends live in
+// packedsim_avx2.cpp / packedsim_avx512.cpp so only those translation units
+// carry vector-ISA code, and are reached only after a cpuid check.
+#include "gatesim/widesim_impl.hpp"
 
 namespace aapx {
-namespace {
 
-/// Bitwise 64-lane form of each logic function. Must match fn_eval bit for
-/// bit; PackedFuncSimTest.MatchesFnEvalExhaustively holds it to that.
-std::uint64_t eval_packed(LogicFn fn, std::uint64_t a, std::uint64_t b,
-                          std::uint64_t c) {
-  switch (fn) {
-    case LogicFn::kBuf:   return a;
-    case LogicFn::kInv:   return ~a;
-    case LogicFn::kAnd2:  return a & b;
-    case LogicFn::kNand2: return ~(a & b);
-    case LogicFn::kOr2:   return a | b;
-    case LogicFn::kNor2:  return ~(a | b);
-    case LogicFn::kXor2:  return a ^ b;
-    case LogicFn::kXnor2: return ~(a ^ b);
-    case LogicFn::kAnd3:  return a & b & c;
-    case LogicFn::kNand3: return ~(a & b & c);
-    case LogicFn::kOr3:   return a | b | c;
-    case LogicFn::kNor3:  return ~(a | b | c);
-    case LogicFn::kAoi21: return ~((a & b) | c);
-    case LogicFn::kOai21: return ~((a | b) & c);
-    case LogicFn::kMux2:  return (c & b) | (~c & a);
-    case LogicFn::kMaj3:  return (a & b) | (a & c) | (b & c);
-  }
-  throw std::logic_error("eval_packed: unknown logic function");
-}
-
-}  // namespace
-
-PackedFuncSim::PackedFuncSim(const Netlist& nl)
-    : nl_(&nl), values_(nl.num_nets(), 0) {
-  values_[nl.const1()] = ~std::uint64_t{0};
-  gates_.reserve(nl.num_gates());
-  for (const GateId gid : nl.topo_order()) {
-    const Gate& g = nl.gate(gid);
-    PackedGate pg;
-    // Unused fanin slots point at const0 so every gate can be evaluated as
-    // 3-input without branching on pin count.
-    for (std::size_t p = 0; p < pg.fanin.size(); ++p) {
-      pg.fanin[p] = g.fanin[p] == kInvalidNet ? nl.const0() : g.fanin[p];
+std::unique_ptr<WideSim> make_wide_sim(const Netlist& nl,
+                                       simd::SimdBackend backend) {
+  const auto available = [&] {
+    for (const simd::SimdBackend b : simd::compiled_backends()) {
+      if (b == backend) return simd::backend_runnable(backend);
     }
-    pg.fanout = g.fanout;
-    pg.fn = nl.lib().cell(g.cell).fn;
-    gates_.push_back(pg);
-  }
-}
-
-void PackedFuncSim::set_input_lanes(NetId net, std::uint64_t lanes) {
-  if (nl_->driver(net) != kInvalidGate || nl_->is_constant(net)) {
+    return false;
+  };
+  if (!available()) {
     throw std::invalid_argument(
-        "PackedFuncSim::set_input_lanes: net is not a primary input");
+        std::string("make_wide_sim: backend '") + simd::to_string(backend) +
+        "' is not compiled into this binary or not supported by this CPU");
   }
-  values_[net] = lanes;
+  switch (backend) {
+    case simd::SimdBackend::u64:
+      return std::make_unique<detail::WideSimT<simd::SimWord64>>(nl, backend);
+    case simd::SimdBackend::portable256:
+      return std::make_unique<detail::WideSimT<simd::SimWord256P>>(nl,
+                                                                   backend);
+    case simd::SimdBackend::portable512:
+      return std::make_unique<detail::WideSimT<simd::SimWord512P>>(nl,
+                                                                   backend);
+    case simd::SimdBackend::avx2:
+#ifdef AAPX_SIMD_HAVE_AVX2
+      return detail::make_wide_sim_avx2(nl);
+#else
+      break;
+#endif
+    case simd::SimdBackend::avx512:
+#ifdef AAPX_SIMD_HAVE_AVX512
+      return detail::make_wide_sim_avx512(nl);
+#else
+      break;
+#endif
+  }
+  throw std::logic_error("make_wide_sim: unreachable backend");
 }
 
-PackedFuncSim::~PackedFuncSim() {
-  static obs::Counter& evals = obs::metrics().counter("packedsim.evals");
-  static obs::Counter& lanes = obs::metrics().counter("packedsim.lanes_used");
-  evals.add(evals_);
-  lanes.add(lanes_used_);
-}
-
-void PackedFuncSim::set_bus(const std::string& bus,
-                            std::span<const std::uint64_t> lane_values) {
-  if (lane_values.size() > static_cast<std::size_t>(kLanes)) {
-    throw std::invalid_argument("PackedFuncSim::set_bus: more than 64 lanes");
-  }
-  last_staged_lanes_ = static_cast<int>(lane_values.size());
-  const auto& nets = nl_->input_bus(bus);
-  for (std::size_t i = 0; i < nets.size(); ++i) {
-    if (nl_->is_constant(nets[i])) continue;  // truncated LSBs stay constant
-    std::uint64_t word = 0;
-    if (i < 64) {
-      for (std::size_t lane = 0; lane < lane_values.size(); ++lane) {
-        word |= ((lane_values[lane] >> i) & 1u) << lane;
-      }
-    }
-    values_[nets[i]] = word;
-  }
-}
-
-void PackedFuncSim::eval() {
-  ++evals_;
-  lanes_used_ += static_cast<std::uint64_t>(last_staged_lanes_);
-  std::uint64_t* const v = values_.data();
-  for (const PackedGate& g : gates_) {
-    v[g.fanout] =
-        eval_packed(g.fn, v[g.fanin[0]], v[g.fanin[1]], v[g.fanin[2]]);
-  }
-}
-
-std::uint64_t PackedFuncSim::lanes(NetId net) const {
-  if (net >= values_.size()) throw std::out_of_range("PackedFuncSim::lanes");
-  return values_[net];
-}
-
-std::uint64_t PackedFuncSim::bus_value(const std::string& output_bus,
-                                       int lane) const {
-  return word_value(nl_->output_bus(output_bus), lane);
-}
-
-std::uint64_t PackedFuncSim::word_value(const std::vector<NetId>& nets,
-                                        int lane) const {
-  if (nets.size() > 64) {
-    throw std::invalid_argument("PackedFuncSim::word_value: bus too wide");
-  }
-  if (lane < 0 || lane >= kLanes) {
-    throw std::out_of_range("PackedFuncSim::word_value: bad lane");
-  }
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < nets.size(); ++i) {
-    if ((values_[nets[i]] >> lane) & 1u) v |= std::uint64_t{1} << i;
-  }
-  return v;
+std::unique_ptr<WideSim> make_wide_sim(const Netlist& nl) {
+  return make_wide_sim(nl, simd::simd_dispatch());
 }
 
 }  // namespace aapx

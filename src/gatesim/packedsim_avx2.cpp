@@ -1,0 +1,17 @@
+// AVX2 wide-sim backend: 256 lanes per __m256i word. This translation unit
+// is compiled with -mavx2 (see gatesim/CMakeLists.txt); make_wide_sim only
+// calls in here after __builtin_cpu_supports("avx2").
+#include "gatesim/widesim_impl.hpp"
+
+#ifndef __AVX2__
+#error "packedsim_avx2.cpp must be compiled with -mavx2"
+#endif
+
+namespace aapx::detail {
+
+std::unique_ptr<WideSim> make_wide_sim_avx2(const Netlist& nl) {
+  return std::make_unique<WideSimT<simd::SimWordAvx2>>(
+      nl, simd::SimdBackend::avx2);
+}
+
+}  // namespace aapx::detail

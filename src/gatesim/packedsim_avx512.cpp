@@ -1,0 +1,19 @@
+// AVX-512 wide-sim backend: 512 lanes per __m512i word, one vpternlog per
+// gate (detail::eval_ternlog bakes each gate function's truth table into
+// the instruction immediate). This translation unit is compiled with
+// -mavx512f (see gatesim/CMakeLists.txt); make_wide_sim only calls in here
+// after __builtin_cpu_supports("avx512f").
+#include "gatesim/widesim_impl.hpp"
+
+#ifndef __AVX512F__
+#error "packedsim_avx512.cpp must be compiled with -mavx512f"
+#endif
+
+namespace aapx::detail {
+
+std::unique_ptr<WideSim> make_wide_sim_avx512(const Netlist& nl) {
+  return std::make_unique<WideSimT<simd::SimWordAvx512>>(
+      nl, simd::SimdBackend::avx512);
+}
+
+}  // namespace aapx::detail

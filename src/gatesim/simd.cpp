@@ -1,0 +1,146 @@
+#include "gatesim/simd.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+
+namespace aapx::simd {
+
+void transpose64(std::uint64_t m[64]) {
+  // Recursive block swap (Hacker's Delight 7-3, LSB-first column
+  // convention): at step j, swap the high-column half of rows k with the
+  // low-column half of rows k + j.
+  std::uint64_t msk = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, msk ^= msk << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = ((m[k] >> j) ^ m[k + j]) & msk;
+      m[k] ^= t << j;
+      m[k + j] ^= t;
+    }
+  }
+}
+
+const char* to_string(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::u64:         return "u64";
+    case SimdBackend::portable256: return "portable256";
+    case SimdBackend::portable512: return "portable512";
+    case SimdBackend::avx2:        return "avx2";
+    case SimdBackend::avx512:      return "avx512";
+  }
+  return "?";
+}
+
+int backend_lanes(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::u64:         return 64;
+    case SimdBackend::portable256: return 256;
+    case SimdBackend::portable512: return 512;
+    case SimdBackend::avx2:        return 256;
+    case SimdBackend::avx512:      return 512;
+  }
+  return 0;
+}
+
+const std::vector<SimdBackend>& compiled_backends() {
+  static const std::vector<SimdBackend> backends = [] {
+    std::vector<SimdBackend> b{SimdBackend::u64, SimdBackend::portable256,
+                               SimdBackend::portable512};
+#ifdef AAPX_SIMD_HAVE_AVX2
+    b.push_back(SimdBackend::avx2);
+#endif
+#ifdef AAPX_SIMD_HAVE_AVX512
+    b.push_back(SimdBackend::avx512);
+#endif
+    return b;
+  }();
+  return backends;
+}
+
+bool backend_runnable(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::u64:
+    case SimdBackend::portable256:
+    case SimdBackend::portable512:
+      return true;
+    case SimdBackend::avx2:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case SimdBackend::avx512:
+#if defined(__x86_64__) || defined(__i386__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool parse_backend(const std::string& name, SimdBackend& out) {
+  if (name == "u64") out = SimdBackend::u64;
+  else if (name == "portable256") out = SimdBackend::portable256;
+  else if (name == "portable512" || name == "portable") out = SimdBackend::portable512;
+  else if (name == "avx2") out = SimdBackend::avx2;
+  else if (name == "avx512") out = SimdBackend::avx512;
+  else return false;
+  return true;
+}
+
+namespace {
+
+bool compiled(SimdBackend b) {
+  for (const SimdBackend c : compiled_backends()) {
+    if (c == b) return true;
+  }
+  return false;
+}
+
+SimdBackend resolve_dispatch() {
+  // Widest usable backend wins; AVX words beat the equal-width portable
+  // words (one register op vs an unrolled scalar loop).
+  static constexpr SimdBackend kPreference[] = {
+      SimdBackend::avx512, SimdBackend::avx2, SimdBackend::portable512,
+      SimdBackend::portable256, SimdBackend::u64};
+  const auto widest_supported = [] {
+    for (const SimdBackend b : kPreference) {
+      if (compiled(b) && backend_runnable(b)) return b;
+    }
+    return SimdBackend::u64;
+  };
+  if (const char* env = std::getenv("AAPX_SIMD"); env && *env) {
+    SimdBackend forced;
+    if (!parse_backend(env, forced)) {
+      std::fprintf(stderr,
+                   "aapx: unknown AAPX_SIMD value '%s' "
+                   "(want u64|portable|portable256|portable512|avx2|avx512); "
+                   "using auto dispatch\n",
+                   env);
+    } else if (!compiled(forced)) {
+      std::fprintf(stderr,
+                   "aapx: AAPX_SIMD=%s backend not compiled into this "
+                   "binary; using auto dispatch\n",
+                   env);
+    } else if (!backend_runnable(forced)) {
+      std::fprintf(stderr,
+                   "aapx: AAPX_SIMD=%s backend not supported by this CPU; "
+                   "using auto dispatch\n",
+                   env);
+    } else {
+      return forced;
+    }
+  }
+  return widest_supported();
+}
+
+}  // namespace
+
+SimdBackend simd_dispatch() {
+  static const SimdBackend backend = resolve_dispatch();
+  return backend;
+}
+
+}  // namespace aapx::simd

@@ -1,0 +1,253 @@
+// SIMD lane words for the packed functional simulator.
+//
+// A SimWord is a fixed-width bundle of independent simulation lanes — one
+// bit per lane — with the bitwise operations a gate evaluation needs. The
+// packed simulator is templated over the word type (gatesim/packedsim.hpp),
+// so the lane count is a compile-time property:
+//
+//   SimWord64      64 lanes   plain uint64_t (the PR 2 backend, default alias)
+//   SimWord256P   256 lanes   portable 4 x uint64_t
+//   SimWord512P   512 lanes   portable 8 x uint64_t
+//   SimWordAvx2   256 lanes   __m256i, compiled only under __AVX2__
+//   SimWordAvx512 512 lanes   __m512i, compiled only under __AVX512F__
+//
+// The portable multi-uint64 words guarantee that 256- and 512-lane configs
+// exist on every target; the AVX words live in dedicated translation units
+// compiled with -mavx2 / -mavx512f (see gatesim/CMakeLists.txt) and are
+// selected at runtime only after a cpuid check, so a binary carrying them
+// still runs on older hosts. All backends are bit-exact against the scalar
+// FuncSim — the lane-exactness suite in tests/gatesim pins every compiled
+// backend.
+//
+// Backend choice: simd_dispatch() returns the widest backend that is both
+// compiled in and supported by the running CPU, unless the AAPX_SIMD
+// environment variable forces one of u64 | portable | portable256 |
+// portable512 | avx2 | avx512.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#if defined(__AVX2__) || defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace aapx::simd {
+
+/// Bitwise lane-parallel word: `kLanes` one-bit lanes, addressable as
+/// `kChunks` uint64 chunks for staging and readout (the cold paths). The
+/// hot path — gate evaluation — uses only the bitwise operators.
+template <typename W>
+concept SimWord = requires(W a, W b, std::uint64_t u, int i) {
+  { W::kLanes } -> std::convertible_to<int>;
+  { W::kChunks } -> std::convertible_to<int>;
+  { W::zero() } -> std::same_as<W>;
+  { W::ones() } -> std::same_as<W>;
+  { a & b } -> std::same_as<W>;
+  { a | b } -> std::same_as<W>;
+  { a ^ b } -> std::same_as<W>;
+  { ~a } -> std::same_as<W>;
+  { a.chunk(i) } -> std::same_as<std::uint64_t>;
+  { a.set_chunk(i, u) };
+};
+
+/// 64 lanes in one uint64_t — the classic PackedFuncSim word.
+struct SimWord64 {
+  static constexpr int kLanes = 64;
+  static constexpr int kChunks = 1;
+  std::uint64_t v = 0;
+
+  static constexpr SimWord64 zero() { return {0}; }
+  static constexpr SimWord64 ones() { return {~std::uint64_t{0}}; }
+  constexpr std::uint64_t chunk(int) const { return v; }
+  constexpr void set_chunk(int, std::uint64_t u) { v = u; }
+
+  friend constexpr SimWord64 operator&(SimWord64 a, SimWord64 b) {
+    return {a.v & b.v};
+  }
+  friend constexpr SimWord64 operator|(SimWord64 a, SimWord64 b) {
+    return {a.v | b.v};
+  }
+  friend constexpr SimWord64 operator^(SimWord64 a, SimWord64 b) {
+    return {a.v ^ b.v};
+  }
+  friend constexpr SimWord64 operator~(SimWord64 a) { return {~a.v}; }
+};
+
+/// Portable multi-uint64 word: N x 64 lanes with plain scalar ops. The
+/// compiler unrolls the fixed-size loops; even without vector units this
+/// amortizes the per-gate bookkeeping of the eval loop over more lanes.
+template <int N>
+struct SimWordN {
+  static constexpr int kLanes = 64 * N;
+  static constexpr int kChunks = N;
+  std::array<std::uint64_t, N> v{};
+
+  static SimWordN zero() { return {}; }
+  static SimWordN ones() {
+    SimWordN w;
+    for (auto& c : w.v) c = ~std::uint64_t{0};
+    return w;
+  }
+  std::uint64_t chunk(int i) const { return v[static_cast<std::size_t>(i)]; }
+  void set_chunk(int i, std::uint64_t u) { v[static_cast<std::size_t>(i)] = u; }
+
+  friend SimWordN operator&(SimWordN a, SimWordN b) {
+    SimWordN r;
+    for (int i = 0; i < N; ++i) r.v[i] = a.v[i] & b.v[i];
+    return r;
+  }
+  friend SimWordN operator|(SimWordN a, SimWordN b) {
+    SimWordN r;
+    for (int i = 0; i < N; ++i) r.v[i] = a.v[i] | b.v[i];
+    return r;
+  }
+  friend SimWordN operator^(SimWordN a, SimWordN b) {
+    SimWordN r;
+    for (int i = 0; i < N; ++i) r.v[i] = a.v[i] ^ b.v[i];
+    return r;
+  }
+  friend SimWordN operator~(SimWordN a) {
+    SimWordN r;
+    for (int i = 0; i < N; ++i) r.v[i] = ~a.v[i];
+    return r;
+  }
+};
+
+using SimWord256P = SimWordN<4>;
+using SimWord512P = SimWordN<8>;
+
+#ifdef __AVX2__
+/// 256 lanes in one AVX2 register. Compiled only in the -mavx2 translation
+/// unit; selected at runtime after __builtin_cpu_supports("avx2").
+struct SimWordAvx2 {
+  static constexpr int kLanes = 256;
+  static constexpr int kChunks = 4;
+  __m256i v;
+
+  SimWordAvx2() : v(_mm256_setzero_si256()) {}
+  explicit SimWordAvx2(__m256i x) : v(x) {}
+  static SimWordAvx2 zero() { return SimWordAvx2(_mm256_setzero_si256()); }
+  static SimWordAvx2 ones() {
+    return SimWordAvx2(_mm256_set1_epi64x(-1));
+  }
+  std::uint64_t chunk(int i) const {
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    return tmp[i];
+  }
+  void set_chunk(int i, std::uint64_t u) {
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), v);
+    tmp[i] = u;
+    v = _mm256_load_si256(reinterpret_cast<const __m256i*>(tmp));
+  }
+
+  friend SimWordAvx2 operator&(SimWordAvx2 a, SimWordAvx2 b) {
+    return SimWordAvx2(_mm256_and_si256(a.v, b.v));
+  }
+  friend SimWordAvx2 operator|(SimWordAvx2 a, SimWordAvx2 b) {
+    return SimWordAvx2(_mm256_or_si256(a.v, b.v));
+  }
+  friend SimWordAvx2 operator^(SimWordAvx2 a, SimWordAvx2 b) {
+    return SimWordAvx2(_mm256_xor_si256(a.v, b.v));
+  }
+  friend SimWordAvx2 operator~(SimWordAvx2 a) {
+    return SimWordAvx2(_mm256_xor_si256(a.v, _mm256_set1_epi64x(-1)));
+  }
+};
+#endif  // __AVX2__
+
+#ifdef __AVX512F__
+/// 512 lanes in one AVX-512 register. Any 3-input gate evaluates in a single
+/// vpternlogd whose immediate is the gate's truth table (packedsim.hpp uses
+/// the `kHasTernlog` hook).
+struct SimWordAvx512 {
+  static constexpr int kLanes = 512;
+  static constexpr int kChunks = 8;
+  static constexpr bool kHasTernlog = true;
+  __m512i v;
+
+  SimWordAvx512() : v(_mm512_setzero_si512()) {}
+  explicit SimWordAvx512(__m512i x) : v(x) {}
+  static SimWordAvx512 zero() { return SimWordAvx512(_mm512_setzero_si512()); }
+  static SimWordAvx512 ones() {
+    return SimWordAvx512(_mm512_set1_epi64(-1));
+  }
+  std::uint64_t chunk(int i) const {
+    alignas(64) std::uint64_t tmp[8];
+    _mm512_store_si512(tmp, v);
+    return tmp[i];
+  }
+  void set_chunk(int i, std::uint64_t u) {
+    alignas(64) std::uint64_t tmp[8];
+    _mm512_store_si512(tmp, v);
+    tmp[i] = u;
+    v = _mm512_load_si512(tmp);
+  }
+
+  /// out bit = Imm[(a<<2) | (b<<1) | c] per lane — one instruction per
+  /// 3-input gate. The immediate must be a compile-time constant
+  /// (vpternlog encodes it in the instruction), so callers switch on the
+  /// gate function (detail::eval_ternlog in packedsim.hpp).
+  template <std::uint8_t Imm>
+  static SimWordAvx512 ternlog(SimWordAvx512 a, SimWordAvx512 b,
+                               SimWordAvx512 c) {
+    return SimWordAvx512(_mm512_ternarylogic_epi64(a.v, b.v, c.v, Imm));
+  }
+
+  friend SimWordAvx512 operator&(SimWordAvx512 a, SimWordAvx512 b) {
+    return SimWordAvx512(_mm512_and_si512(a.v, b.v));
+  }
+  friend SimWordAvx512 operator|(SimWordAvx512 a, SimWordAvx512 b) {
+    return SimWordAvx512(_mm512_or_si512(a.v, b.v));
+  }
+  friend SimWordAvx512 operator^(SimWordAvx512 a, SimWordAvx512 b) {
+    return SimWordAvx512(_mm512_xor_si512(a.v, b.v));
+  }
+  friend SimWordAvx512 operator~(SimWordAvx512 a) {
+    return SimWordAvx512(_mm512_xor_si512(a.v, _mm512_set1_epi64(-1)));
+  }
+};
+#endif  // __AVX512F__
+
+/// Detects whether a word type opts into the single-instruction 3-input
+/// truth-table evaluation (AVX-512 vpternlog).
+template <typename W>
+concept HasTernlog = requires { W::kHasTernlog; } && W::kHasTernlog;
+
+/// In-place transpose of a 64x64 bit matrix (m[i] bit j  <->  m[j] bit i).
+/// The staging transpose of set_bus: 64 per-lane bus words become 64
+/// per-bit lane words in ~6*64 word ops instead of 64*64 bit probes.
+void transpose64(std::uint64_t m[64]);
+
+/// Identity of one compiled packed-simulation backend.
+enum class SimdBackend { u64, portable256, portable512, avx2, avx512 };
+
+const char* to_string(SimdBackend backend);
+
+/// Lane count of `backend`'s word type.
+int backend_lanes(SimdBackend backend);
+
+/// Every backend compiled into this binary (u64 and the portable words are
+/// always present; avx2/avx512 appear when their translation units were
+/// built). Order: narrowest first.
+const std::vector<SimdBackend>& compiled_backends();
+
+/// True if the running CPU can execute `backend` (cpuid; portable words are
+/// always runnable).
+bool backend_runnable(SimdBackend backend);
+
+/// The backend the wide simulation path uses: AAPX_SIMD if set (unknown or
+/// un-runnable values fall back with a one-time stderr warning), otherwise
+/// the widest compiled backend the CPU supports. Resolved once per process.
+SimdBackend simd_dispatch();
+
+/// Parses an AAPX_SIMD-style name ("u64", "portable", "portable256",
+/// "portable512", "avx2", "avx512"). Returns false on unknown names.
+bool parse_backend(const std::string& name, SimdBackend& out);
+
+}  // namespace aapx::simd

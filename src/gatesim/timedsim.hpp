@@ -66,6 +66,12 @@ class TimedSim {
   /// stage_bus with the net list already resolved (callers on a hot loop
   /// look the bus up once via Netlist::input_bus instead of per vector).
   void stage_word(const std::vector<NetId>& nets, std::uint64_t value);
+  /// Pre-resolves a bus net list into per-bit PI indices for stage_resolved
+  /// (kInvalidNet for constant or rewritten bits, which never stage).
+  std::vector<NetId> resolve_stage(const std::vector<NetId>& nets) const;
+  /// stage_word with the PI lookups hoisted out of the per-vector loop.
+  void stage_resolved(const std::vector<NetId>& pi_indices,
+                      std::uint64_t value);
   /// Runs step() with the staged vector.
   bool step_staged(double t_clock_ps);
 
@@ -105,18 +111,16 @@ class TimedSim {
   double settle_time(NetId net) const;
 
  private:
-  /// 24 bytes; seq restarts every step (the heap is drained per step, so
-  /// only intra-step ordering matters) which keeps it in 32 bits.
+  /// Queue entry, packed to 16 bytes. No explicit sequence number: the
+  /// calendar queue below keeps equal-time events in insertion order, which
+  /// IS the FIFO tie-break the old binary heap encoded in a per-event seq
+  /// field. gen_val carries the net's generation (NetHot::generation, which
+  /// advances in steps of 2 so bit 0 is free) OR'd with the scheduled value
+  /// in bit 0; stale events are recognized by comparing the masked field.
   struct Event {
     double time;
-    std::uint32_t seq;  // FIFO tie-break for equal times
     NetId net;
-    std::uint32_t generation;  // stale events are skipped (inertial delay)
-    char value;
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+    std::uint32_t gen_val;
   };
 
   /// Per-gate record flattened out of Netlist/CellLibrary at construction:
@@ -132,9 +136,11 @@ class TimedSim {
   };
 
   void push_event(Event ev);
-  Event pop_event();
-  std::uint64_t word(const std::vector<NetId>& nets,
-                     const std::vector<char>& vals) const;
+  void clear_queue();
+  template <DelayModel kModel>
+  bool step_impl(double t_clock_ps);
+  std::uint64_t word_sampled(const std::vector<NetId>& nets) const;
+  std::uint64_t word_settled(const std::vector<NetId>& nets) const;
   /// Folds all outstanding cycles into high_cycles (see high_sync_).
   void sync_high_cycles() const;
 
@@ -146,19 +152,49 @@ class TimedSim {
   /// gates reader_gate_[reader_offset_[net] .. reader_offset_[net+1]).
   std::vector<std::uint32_t> reader_offset_;
   std::vector<GateId> reader_gate_;
-  /// Event-queue backing storage, reused across step() calls (a fresh
-  /// priority_queue per cycle was one malloc/free per simulated vector).
-  std::vector<Event> heap_;
-  std::vector<char> value_;    ///< current waveform value per net
-  std::vector<char> pending_;  ///< projected final value per net
-  /// Incremented whenever a net's scheduled transition is superseded;
-  /// implements inertial-delay pulse cancellation (ModelSim gate semantics).
-  std::vector<std::uint32_t> generation_;
-  /// Newest generation already applied per net; transport mode uses it to
-  /// drop events that arrive out of order (rise/fall delay inversion).
-  std::vector<std::uint32_t> applied_generation_;
-  std::vector<char> sampled_;  ///< snapshot at t_clock
+  /// Monotone calendar queue replacing the old binary heap. Buckets span
+  /// [0, horizon] where the horizon is the topo longest-path delay bound —
+  /// no event in a step can ever land beyond it (times are path-delay sums
+  /// from t = 0), so the clamp into the last bucket only absorbs float
+  /// rounding. Each bucket is kept sorted by time with FIFO order among
+  /// equal times (sorted insertion; appends dominate because pushes arrive
+  /// in pop order plus a positive delay). Draining is strictly monotone:
+  /// while bucket B drains, new events land at sorted positions >=
+  /// drain_pos_ of B or in later buckets, and once B completes nothing can
+  /// ever map below B+1 again. Pop order is therefore exactly the old
+  /// heap's (time, push-seq) order. The occupied_ bitmask makes skipping
+  /// empty buckets O(1) per 64.
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<std::uint64_t> occupied_;
+  double inv_bucket_width_ = 0.0;
+  std::uint32_t n_buckets_ = 1;
+  std::uint32_t cur_bucket_ = 0;
+  std::size_t drain_pos_ = 0;   ///< next index to pop in cur_bucket_
+  std::size_t queue_size_ = 0;  ///< live (unpopped) events across buckets
+  /// Hot per-net simulation state, packed so one cache line serves the
+  /// stale check, the commit and the fanout-pending update of an event.
+  struct NetHot {
+    /// Advanced by 2 whenever the net's scheduled transition is superseded
+    /// (bit 0 is reserved for the value bit inside Event::gen_val);
+    /// implements inertial-delay pulse cancellation (ModelSim semantics).
+    std::uint32_t generation;
+    /// Newest generation already applied; transport mode uses it to drop
+    /// events arriving out of order (rise/fall delay inversion).
+    std::uint32_t applied_generation;
+    char value;    ///< current waveform value
+    char pending;  ///< projected final value
+    char is_output;
+  };
+  std::vector<NetHot> net_;
+  /// Snapshot at t_clock. Only materialized when an event actually crosses
+  /// the clock edge (a timing violation); otherwise sampled == settled and
+  /// sampled_is_settled_ short-circuits the copy and the PO comparison.
+  std::vector<char> sampled_;
+  bool sampled_is_settled_ = true;
   std::vector<char> staged_pi_;
+  /// Scratch: PIs whose value changes this step, in input order. Applied
+  /// inline at the head of step_impl instead of through the event queue.
+  std::vector<NetId> pi_changed_;
   /// Duty accounting is lazy: high_cycles is brought up to date per net on
   /// each committed toggle (and fully on read) instead of sweeping every net
   /// every step. high_sync_[n] = cycle count already folded into
@@ -167,12 +203,15 @@ class TimedSim {
   mutable std::vector<std::uint64_t> high_sync_;
   std::uint64_t events_processed_ = 0;
   std::size_t max_queue_depth_ = 0;  ///< plain member; flushed at destruction
-  std::uint32_t seq_ = 0;
   double last_settle_time_ = 0.0;
   double last_output_settle_time_ = 0.0;
-  std::vector<char> is_output_;
-  std::vector<double> change_time_;        ///< last change time per net
-  std::vector<std::uint64_t> change_step_; ///< step id of that change
+  /// Last change of each net: time and the step it happened in (one array so
+  /// a commit touches a single cache line for both fields).
+  struct Change {
+    double time;
+    std::uint64_t step;
+  };
+  std::vector<Change> change_;
   std::uint64_t step_id_ = 0;
 };
 

@@ -1,0 +1,71 @@
+// Shared implementation template behind the WideSim facade. Included by
+// packedsim.cpp (u64 + portable words) and by the per-ISA translation units
+// packedsim_avx2.cpp / packedsim_avx512.cpp, which instantiate it with the
+// AVX words only their compile flags make available.
+#pragma once
+
+#include <bit>
+
+#include "gatesim/packedsim.hpp"
+
+namespace aapx::detail {
+
+template <simd::SimWord W>
+class WideSimT final : public WideSim {
+ public:
+  WideSimT(const Netlist& nl, simd::SimdBackend backend)
+      : sim_(nl), backend_(backend) {}
+
+  int lanes() const noexcept override { return W::kLanes; }
+  simd::SimdBackend backend() const noexcept override { return backend_; }
+  const Netlist& netlist() const noexcept override { return sim_.netlist(); }
+
+  void set_bus(const std::string& bus,
+               std::span<const std::uint64_t> lane_values) override {
+    sim_.set_bus(bus, lane_values);
+  }
+
+  void eval() override { sim_.eval(); }
+
+  std::uint64_t lanes_chunk(NetId net, int chunk) const override {
+    return sim_.lanes_chunk(net, chunk);
+  }
+
+  std::uint64_t word_value(const std::vector<NetId>& nets,
+                           int lane) const override {
+    return sim_.word_value(nets, lane);
+  }
+
+  void add_high_popcounts(std::span<const NetId> nets, int lane_limit,
+                          std::uint64_t* sums) const override {
+    if (lane_limit < 0 || lane_limit > W::kLanes) {
+      throw std::out_of_range("WideSim::add_high_popcounts: bad lane limit");
+    }
+    const std::vector<W>& values = sim_.values();
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const W& w = values[nets[i]];
+      std::uint64_t high = 0;
+      for (int chunk = 0; chunk * 64 < lane_limit; ++chunk) {
+        const int valid = lane_limit - chunk * 64;
+        const std::uint64_t mask = valid >= 64
+                                       ? ~std::uint64_t{0}
+                                       : (std::uint64_t{1} << valid) - 1;
+        high += static_cast<std::uint64_t>(std::popcount(w.chunk(chunk) & mask));
+      }
+      sums[i] += high;
+    }
+  }
+
+ private:
+  BasicPackedFuncSim<W> sim_;
+  simd::SimdBackend backend_;
+};
+
+// Per-ISA factories. The AVX ones are defined only when their translation
+// units are compiled (gatesim/CMakeLists.txt sets AAPX_SIMD_HAVE_AVX2 /
+// AAPX_SIMD_HAVE_AVX512 to match, so packedsim.cpp never references an
+// undefined symbol).
+std::unique_ptr<WideSim> make_wide_sim_avx2(const Netlist& nl);
+std::unique_ptr<WideSim> make_wide_sim_avx512(const Netlist& nl);
+
+}  // namespace aapx::detail

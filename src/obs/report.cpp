@@ -288,4 +288,21 @@ std::vector<CacheRate> cache_rates_from_metrics(const JsonValue& doc) {
   return rates;
 }
 
+IncrementalStaStats incremental_sta_from_metrics(const JsonValue& doc) {
+  IncrementalStaStats stats;
+  const JsonValue* counters =
+      doc.is_object() ? doc.find("counters") : nullptr;
+  if (counters == nullptr || !counters->is_object()) return stats;
+  const auto read = [&](const char* name, std::uint64_t& out) {
+    const JsonValue* v = counters->find(name);
+    if (v == nullptr || !v->is_number()) return;
+    out = static_cast<std::uint64_t>(v->number);
+    stats.present = true;
+  };
+  read("engine.sta.incremental.hits", stats.hits);
+  read("engine.sta.incremental.dirty_gates", stats.dirty_gates);
+  read("engine.sta.incremental.full_fallbacks", stats.full_fallbacks);
+  return stats;
+}
+
 }  // namespace aapx::obs

@@ -91,4 +91,15 @@ struct CacheRate {
 /// (as MetricsRegistry::to_json emits), sorted by name.
 std::vector<CacheRate> cache_rates_from_metrics(const JsonValue& doc);
 
+/// The incremental-STA engine's counters from a metrics JSON document.
+/// `present` is false when none of the engine.sta.incremental.* counters
+/// appear (the run never constructed an IncrementalSta).
+struct IncrementalStaStats {
+  std::uint64_t hits = 0;            ///< queries served from cached arrivals
+  std::uint64_t dirty_gates = 0;     ///< gates re-propagated across all hits
+  std::uint64_t full_fallbacks = 0;  ///< queries that needed a full pass
+  bool present = false;
+};
+IncrementalStaStats incremental_sta_from_metrics(const JsonValue& doc);
+
 }  // namespace aapx::obs

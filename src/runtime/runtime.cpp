@@ -161,12 +161,14 @@ class RuntimeHooks final : public DegradationController::VerifyHooks {
                                static_cast<std::uint64_t>(precision);
     const StimulusSet stim =
         runtime_.make_stimulus(campaign_.verify_vectors, seed);
-    std::vector<const std::vector<NetId>*> bus_nets;
-    for (const auto& bus : stim.buses) bus_nets.push_back(&nl.input_bus(bus));
+    std::vector<std::vector<NetId>> bus_pis;
+    for (const auto& bus : stim.buses) {
+      bus_pis.push_back(sim.resolve_stage(nl.input_bus(bus)));
+    }
     BurstResult result;
     for (const auto& row : stim.vectors) {
-      for (std::size_t b = 0; b < bus_nets.size(); ++b) {
-        sim.stage_word(*bus_nets[b], row[b]);
+      for (std::size_t b = 0; b < bus_pis.size(); ++b) {
+        sim.stage_resolved(bus_pis[b], row[b]);
       }
       const bool error = sim.step_staged(t_clock);
       const double settle = sim.last_output_settle_time();
@@ -269,16 +271,18 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
     sim.reset();
     const StimulusSet stim =
         make_stimulus(campaign.vectors_per_epoch, campaign.stimulus_seed + e);
-    std::vector<const std::vector<NetId>*> bus_nets;
-    for (const auto& bus : stim.buses) bus_nets.push_back(&nl.input_bus(bus));
+    std::vector<std::vector<NetId>> bus_pis;
+    for (const auto& bus : stim.buses) {
+      bus_pis.push_back(sim.resolve_stage(nl.input_bus(bus)));
+    }
 
     EpochReport report;
     report.epoch = e;
     report.years = years;
     report.precision = precision;
     for (const auto& row : stim.vectors) {
-      for (std::size_t b = 0; b < bus_nets.size(); ++b) {
-        sim.stage_word(*bus_nets[b], row[b]);
+      for (std::size_t b = 0; b < bus_pis.size(); ++b) {
+        sim.stage_resolved(bus_pis[b], row[b]);
       }
       const bool error = sim.step_staged(t_clock);
       const double settle = sim.last_output_settle_time();

@@ -65,7 +65,7 @@ class PersistTest : public ::testing::Test {
                                    0.0, sta_);
     w.aged = store.aged_sta_delay(lib_, adder8(), model_, StressMode::worst,
                                   10.0, sta_);
-    w.surface = store.surface(lib_, model_, adder8(), scenarios_, 4, 1, sta_,
+    w.surface = store.surface(lib_, model_, adder8(), scenarios_, 4, 1, sta_, false,
                               [&] { return sweep_directly(ctx); });
     EXPECT_TRUE(store.save(path_));
     EXPECT_EQ(store.stats().persist_hits, 0u);
@@ -108,7 +108,7 @@ class PersistTest : public ::testing::Test {
                                    0.0, sta_);
     w.aged = store.aged_sta_delay(lib_, adder8(), model_, StressMode::worst,
                                   10.0, sta_);
-    w.surface = store.surface(lib_, model_, adder8(), scenarios_, 4, 1, sta_,
+    w.surface = store.surface(lib_, model_, adder8(), scenarios_, 4, 1, sta_, false,
                               [&] { return sweep_directly(ctx); });
     if (stats != nullptr) *stats = store.stats();
     return w;

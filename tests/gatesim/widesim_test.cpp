@@ -1,0 +1,308 @@
+// Lane-exactness for every compiled wide backend (u64 / portable 256 / 512
+// / AVX2 / AVX-512 where the build and CPU allow) against the scalar
+// FuncSim, on every component generator — the wide-path analogue of
+// packedsim_test.cpp, plus the mixed-width set_bus edge cases.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <vector>
+
+#include "gatesim/funcsim.hpp"
+#include "gatesim/packedsim.hpp"
+#include "synth/components.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+/// Backends this binary can actually instantiate on this CPU.
+std::vector<simd::SimdBackend> usable_backends() {
+  std::vector<simd::SimdBackend> out;
+  for (const simd::SimdBackend b : simd::compiled_backends()) {
+    if (simd::backend_runnable(b)) out.push_back(b);
+  }
+  return out;
+}
+
+class WideSimTest : public ::testing::Test {
+ protected:
+  CellLibrary lib_ = make_nangate45_like();
+};
+
+TEST_F(WideSimTest, PortableBackendsAlwaysCompiled) {
+  const auto& compiled = simd::compiled_backends();
+  for (const simd::SimdBackend b :
+       {simd::SimdBackend::u64, simd::SimdBackend::portable256,
+        simd::SimdBackend::portable512}) {
+    EXPECT_NE(std::find(compiled.begin(), compiled.end(), b), compiled.end())
+        << simd::to_string(b);
+    EXPECT_TRUE(simd::backend_runnable(b)) << simd::to_string(b);
+  }
+}
+
+TEST_F(WideSimTest, DispatchPicksUsableBackend) {
+  const simd::SimdBackend b = simd::simd_dispatch();
+  EXPECT_TRUE(simd::backend_runnable(b)) << simd::to_string(b);
+  Netlist nl(lib_);
+  nl.add_input_bus("a", 4);
+  const auto sim = make_wide_sim(nl);
+  EXPECT_EQ(sim->backend(), b);
+  EXPECT_EQ(sim->lanes(), simd::backend_lanes(b));
+}
+
+// Every input combination of every logic function, in every lane of every
+// backend: lane l drives (a, b, c) = bits of l, so each 64-lane chunk
+// cycles through all 8 combinations — upper chunks and the AVX-512
+// ternlog immediates get the same scrutiny as lane 0.
+TEST_F(WideSimTest, EveryFunctionEveryBackendMatchesFnEval) {
+  constexpr LogicFn kAllFns[] = {
+      LogicFn::kBuf,   LogicFn::kInv,   LogicFn::kAnd2,  LogicFn::kNand2,
+      LogicFn::kOr2,   LogicFn::kNor2,  LogicFn::kXor2,  LogicFn::kXnor2,
+      LogicFn::kAnd3,  LogicFn::kNand3, LogicFn::kOr3,   LogicFn::kNor3,
+      LogicFn::kAoi21, LogicFn::kOai21, LogicFn::kMux2,  LogicFn::kMaj3,
+  };
+  for (const LogicFn fn : kAllFns) {
+    Netlist nl(lib_);
+    const NetId a = nl.add_input_bus("a", 1)[0];
+    const NetId b = nl.add_input_bus("b", 1)[0];
+    const NetId c = nl.add_input_bus("c", 1)[0];
+    const int arity = fn_num_inputs(fn);
+    const NetId y = arity == 1   ? nl.mk(fn, a)
+                    : arity == 2 ? nl.mk(fn, a, b)
+                                 : nl.mk(fn, a, b, c);
+    nl.mark_output(y, "y");
+    const std::vector<NetId> y_nets{y};
+    for (const simd::SimdBackend backend : usable_backends()) {
+      const auto sim = make_wide_sim(nl, backend);
+      const int lanes = sim->lanes();
+      std::vector<std::uint64_t> la(lanes), lb(lanes), lc(lanes);
+      for (int l = 0; l < lanes; ++l) {
+        la[l] = (l >> 0) & 1;
+        lb[l] = (l >> 1) & 1;
+        lc[l] = (l >> 2) & 1;
+      }
+      sim->set_bus("a", la);
+      sim->set_bus("b", lb);
+      sim->set_bus("c", lc);
+      sim->eval();
+      for (int l = 0; l < lanes; ++l) {
+        unsigned m = static_cast<unsigned>(l) & ((1u << arity) - 1);
+        if (arity == 3) {
+          // mk(fn, a, b, c) maps pin order (a, b, c); fn_eval's mask is
+          // bit 0 = first pin.
+          m = static_cast<unsigned>((l & 1) | (((l >> 1) & 1) << 1) |
+                                    (((l >> 2) & 1) << 2));
+        }
+        ASSERT_EQ(sim->word_value(y_nets, l), fn_eval(fn, m) ? 1u : 0u)
+            << to_string(fn) << " backend " << simd::to_string(backend)
+            << " lane " << l;
+      }
+    }
+  }
+}
+
+/// sim->lanes() random vectors through one wide backend vs. per-lane scalar
+/// FuncSim evals, compared on every net (via 64-lane chunks) and every
+/// output bus.
+void expect_wide_lane_exact(const CellLibrary& lib, const ComponentSpec& spec,
+                            simd::SimdBackend backend, std::uint64_t seed) {
+  const Netlist nl = make_component(lib, spec);
+  const auto sim = make_wide_sim(nl, backend);
+  const int lanes = sim->lanes();
+  Rng rng(seed);
+  const std::vector<std::string> buses = nl.input_bus_names();
+  std::vector<std::vector<std::uint64_t>> lane_values(buses.size());
+  for (auto& vals : lane_values) {
+    vals.resize(static_cast<std::size_t>(lanes));
+    for (auto& v : vals) v = rng.next_u64();
+  }
+  for (std::size_t b = 0; b < buses.size(); ++b) {
+    sim->set_bus(buses[b], lane_values[b]);
+  }
+  sim->eval();
+
+  FuncSim scalar(nl);
+  for (int lane = 0; lane < lanes; ++lane) {
+    for (std::size_t b = 0; b < buses.size(); ++b) {
+      scalar.set_bus(buses[b], lane_values[b][static_cast<std::size_t>(lane)]);
+    }
+    scalar.eval();
+    for (std::size_t n = 0; n < nl.num_nets(); ++n) {
+      const unsigned wide_bit = static_cast<unsigned>(
+          (sim->lanes_chunk(static_cast<NetId>(n), lane / 64) >> (lane % 64)) &
+          1u);
+      const unsigned scalar_bit = scalar.values()[n] ? 1u : 0u;
+      ASSERT_EQ(wide_bit, scalar_bit)
+          << spec.name() << " backend " << simd::to_string(backend)
+          << " lane " << lane << " net " << n;
+    }
+    for (const std::string& bus : nl.output_bus_names()) {
+      ASSERT_EQ(sim->bus_value(bus, lane), scalar.bus_value(bus))
+          << spec.name() << " backend " << simd::to_string(backend)
+          << " lane " << lane << " bus " << bus;
+    }
+  }
+}
+
+TEST_F(WideSimTest, AdderArchitecturesLaneExactOnAllBackends) {
+  for (const simd::SimdBackend backend : usable_backends()) {
+    for (const AdderArch arch :
+         {AdderArch::ripple, AdderArch::cla4, AdderArch::kogge_stone}) {
+      ComponentSpec spec{ComponentKind::adder, 16, 0, arch, MultArch::array};
+      expect_wide_lane_exact(lib_, spec, backend, 7);
+      spec.truncated_bits = 5;
+      expect_wide_lane_exact(lib_, spec, backend, 11);
+    }
+  }
+}
+
+TEST_F(WideSimTest, MultiplierMacClampLaneExactOnAllBackends) {
+  for (const simd::SimdBackend backend : usable_backends()) {
+    for (const MultArch arch : {MultArch::array, MultArch::wallace}) {
+      ComponentSpec spec{ComponentKind::multiplier, 8, 0, AdderArch::cla4,
+                         arch};
+      expect_wide_lane_exact(lib_, spec, backend, 13);
+      spec.truncated_bits = 3;
+      expect_wide_lane_exact(lib_, spec, backend, 17);
+    }
+    const ComponentSpec mac{ComponentKind::mac, 8, 0, AdderArch::cla4,
+                            MultArch::array};
+    expect_wide_lane_exact(lib_, mac, backend, 19);
+    const ComponentSpec clamp{ComponentKind::clamp, 12, 0, AdderArch::cla4,
+                              MultArch::array};
+    expect_wide_lane_exact(lib_, clamp, backend, 23);
+  }
+}
+
+TEST_F(WideSimTest, ApproxTechniquesLaneExactOnAllBackends) {
+  for (const simd::SimdBackend backend : usable_backends()) {
+    const ComponentSpec window{ComponentKind::adder, 16, 6, AdderArch::ripple,
+                               MultArch::array, ApproxTechnique::carry_window};
+    expect_wide_lane_exact(lib_, window, backend, 29);
+    const ComponentSpec pp{ComponentKind::multiplier, 8, 3, AdderArch::cla4,
+                           MultArch::array, ApproxTechnique::pp_truncation};
+    expect_wide_lane_exact(lib_, pp, backend, 31);
+  }
+}
+
+// Mixed-width staging edge cases, per backend: fewer lane values than
+// lanes() (the tail must read as all-zero operands).
+TEST_F(WideSimTest, ShortLaneSpanDrivesRemainingLanesZeroOnAllBackends) {
+  const ComponentSpec spec{ComponentKind::adder, 12, 4, AdderArch::ripple,
+                           MultArch::array};
+  const Netlist nl = make_component(lib_, spec);
+  // Spill into the second 64-lane chunk (when present) so the zero-fill of
+  // partially staged chunks is exercised, not just full-chunk zeroing.
+  const std::size_t staged = 70;
+  Rng rng(41);
+  std::vector<std::uint64_t> a(staged), b(staged);
+  for (std::size_t i = 0; i < staged; ++i) {
+    a[i] = rng.next_u64() & 0xFFF;
+    b[i] = rng.next_u64() & 0xFFF;
+  }
+  for (const simd::SimdBackend backend : usable_backends()) {
+    const auto sim = make_wide_sim(nl, backend);
+    const std::size_t lanes = static_cast<std::size_t>(sim->lanes());
+    sim->set_bus("a", std::span<const std::uint64_t>(a).first(
+                          std::min(staged, lanes)));
+    sim->set_bus("b", std::span<const std::uint64_t>(b).first(
+                          std::min(staged, lanes)));
+    sim->eval();
+    FuncSim scalar(nl);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      scalar.set_bus("a", lane < staged ? a[lane] : 0);
+      scalar.set_bus("b", lane < staged ? b[lane] : 0);
+      scalar.eval();
+      ASSERT_EQ(sim->bus_value("y", static_cast<int>(lane)),
+                scalar.bus_value("y"))
+          << simd::to_string(backend) << " lane " << lane;
+    }
+  }
+}
+
+// Constant-tied bus bits (the realized form of truncated LSBs in hand-wired
+// netlists): set_bus must leave const0/const1 nets untouched in every
+// chunk, matching FuncSim::set_bus, while still driving the live bits.
+TEST_F(WideSimTest, ConstantTiedBusBitsStayConstantOnAllBackends) {
+  Netlist nl(lib_);
+  std::vector<NetId> bus = nl.add_input_bus("a", 4);
+  // Re-tie the two LSBs: bit 0 -> const0, bit 1 -> const1.
+  bus[0] = nl.const0();
+  bus[1] = nl.const1();
+  nl.set_input_bus("a", std::vector<NetId>(bus));
+  const NetId y = nl.mk(LogicFn::kOr2, bus[2], bus[3]);
+  nl.mark_output(y, "y");
+  const std::vector<NetId> y_nets{y};
+  for (const simd::SimdBackend backend : usable_backends()) {
+    const auto sim = make_wide_sim(nl, backend);
+    const int lanes = sim->lanes();
+    std::vector<std::uint64_t> vals(static_cast<std::size_t>(lanes));
+    for (int l = 0; l < lanes; ++l) {
+      // Try to overwrite the constants with the opposite value every lane.
+      vals[static_cast<std::size_t>(l)] =
+          0b0001u | (static_cast<std::uint64_t>(l & 3) << 2);
+    }
+    sim->set_bus("a", vals);
+    sim->eval();
+    for (int chunk = 0; chunk * 64 < lanes; ++chunk) {
+      ASSERT_EQ(sim->lanes_chunk(nl.const0(), chunk), 0u)
+          << simd::to_string(backend) << " chunk " << chunk;
+      ASSERT_EQ(sim->lanes_chunk(nl.const1(), chunk), ~std::uint64_t{0})
+          << simd::to_string(backend) << " chunk " << chunk;
+    }
+    for (int l = 0; l < lanes; ++l) {
+      // vals bit 2 = l&1, bit 3 = (l>>1)&1 — the live OR inputs.
+      const bool expect = (l & 1) || ((l >> 1) & 1);
+      ASSERT_EQ(sim->word_value(y_nets, l), expect ? 1u : 0u)
+          << simd::to_string(backend) << " lane " << l;
+    }
+  }
+}
+
+TEST_F(WideSimTest, RejectsMoreLanesThanBackendWord) {
+  Netlist nl(lib_);
+  nl.add_input_bus("a", 4);
+  for (const simd::SimdBackend backend : usable_backends()) {
+    const auto sim = make_wide_sim(nl, backend);
+    const std::vector<std::uint64_t> too_many(
+        static_cast<std::size_t>(sim->lanes()) + 1, 0);
+    EXPECT_THROW(sim->set_bus("a", too_many), std::invalid_argument)
+        << simd::to_string(backend);
+  }
+}
+
+TEST_F(WideSimTest, AddHighPopcountsMatchesPerLaneReadout) {
+  const ComponentSpec spec{ComponentKind::adder, 8, 0, AdderArch::cla4,
+                           MultArch::array};
+  const Netlist nl = make_component(lib_, spec);
+  std::vector<NetId> fanouts(nl.num_gates());
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    fanouts[g] = nl.gate(static_cast<GateId>(g)).fanout;
+  }
+  for (const simd::SimdBackend backend : usable_backends()) {
+    const auto sim = make_wide_sim(nl, backend);
+    const int lanes = sim->lanes();
+    Rng rng(43);
+    std::vector<std::uint64_t> a(static_cast<std::size_t>(lanes)),
+        b(static_cast<std::size_t>(lanes));
+    for (auto& v : a) v = rng.next_u64() & 0xFF;
+    for (auto& v : b) v = rng.next_u64() & 0xFF;
+    sim->set_bus("a", a);
+    sim->set_bus("b", b);
+    sim->eval();
+    const int limit = lanes - (lanes > 64 ? 7 : 3);  // partial last chunk
+    std::vector<std::uint64_t> sums(fanouts.size(), 5);  // accumulates
+    sim->add_high_popcounts(fanouts, limit, sums.data());
+    for (std::size_t g = 0; g < fanouts.size(); ++g) {
+      std::uint64_t expect = 5;
+      for (int lane = 0; lane < limit; ++lane) {
+        expect += (sim->lanes_chunk(fanouts[g], lane / 64) >> (lane % 64)) & 1u;
+      }
+      ASSERT_EQ(sums[g], expect)
+          << simd::to_string(backend) << " gate " << g;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace aapx

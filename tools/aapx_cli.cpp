@@ -639,6 +639,21 @@ int cmd_report(const Args& args) {
                    TextTable::pct(r.rate())});
       }
       t.print(std::cout);
+      const obs::IncrementalStaStats inc =
+          obs::incremental_sta_from_metrics(*doc);
+      if (inc.present) {
+        std::printf("incremental STA:\n");
+        TextTable it({"incremental queries", "full fallbacks", "dirty gates",
+                      "avg dirty gates/query"});
+        const double avg =
+            inc.hits == 0 ? 0.0
+                          : static_cast<double>(inc.dirty_gates) /
+                                static_cast<double>(inc.hits);
+        it.add_row({std::to_string(inc.hits),
+                    std::to_string(inc.full_fallbacks),
+                    std::to_string(inc.dirty_gates), TextTable::num(avg, 1)});
+        it.print(std::cout);
+      }
     }
   }
 

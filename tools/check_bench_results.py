@@ -22,6 +22,11 @@ import os
 import sys
 
 # Fields that depend on the machine or the clock, not on the computation.
+# The serve-bench request totals are here too: the server sheds load under
+# deadline pressure, so how many requests complete (and therefore the error
+# count and the checksum over the surfaces that DID come back) depends on
+# machine speed, not on the computation. They stay in the JSON as
+# informational fields.
 IGNORED_FIELDS = {
     "wall_s",
     "events_per_sec",
@@ -29,15 +34,29 @@ IGNORED_FIELDS = {
     "baseline_wall_s",
     "threads",
     "metrics_registry",
+    "requests_total",
+    "request_errors",
+    "gates_checksum",
 }
 
 # Field-name prefixes with the same timing-dependent character: the serve
-# bench reports queries-per-second as qps_<phase>_<clients>.
+# bench reports queries-per-second as qps_<phase>_<clients>, and the cost
+# breakdown benches report per-phase seconds as *_s.
 IGNORED_PREFIXES = ("qps_",)
 
 
+def is_timing_suffix(key):
+    # Per-phase wall-clock fields (sim_s, sta_s, store_s, ...) are
+    # informational like wall_s itself.
+    return key.endswith("_s")
+
+
 def is_ignored(key):
-    return key in IGNORED_FIELDS or key.startswith(IGNORED_PREFIXES)
+    return (
+        key in IGNORED_FIELDS
+        or key.startswith(IGNORED_PREFIXES)
+        or is_timing_suffix(key)
+    )
 
 # Numeric results are serialized with %.6g; comparing at a slightly looser
 # relative tolerance keeps the check robust to libc printf rounding while
