@@ -20,9 +20,11 @@
 
 #include "common.hpp"
 #include "engine/context.hpp"
+#include "obs/metrics.hpp"
 #include "service/client.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "service/socket.hpp"
 
 using namespace aapx;
 using namespace aapx::bench;
@@ -42,6 +44,26 @@ std::vector<service::CharacterizeRequest> make_workload(bool fast) {
     reqs.push_back(req);
   }
   return reqs;
+}
+
+/// One raw-socket GET against the admin plane (what a Prometheus scraper
+/// costs the server mid-pass); returns true when a 200 with the expected
+/// series came back.
+bool scrape_metrics(const std::string& admin_endpoint) {
+  std::string err;
+  const int fd = service::connect_endpoint(admin_endpoint, &err);
+  if (fd < 0) return false;
+  bool ok = service::send_all(fd, "GET /metrics HTTP/1.0\r\n\r\n", 5000);
+  std::string body;
+  char buf[4096];
+  while (ok && service::wait_readable(fd, 5000) == 1) {
+    const long n = service::recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    body.append(buf, static_cast<std::size_t>(n));
+  }
+  service::close_fd(fd);
+  return ok && body.find("HTTP/1.0 200") != std::string::npos &&
+         body.find("aapx_serve_requests") != std::string::npos;
 }
 
 struct PassResult {
@@ -115,6 +137,10 @@ int run(int argc, char** argv) {
     Context root;
     service::ServerOptions opts;
     opts.listen = "tcp:0";
+    // The admin plane stays on while the pass is timed — the qps numbers
+    // include the cost of being scraped, which is the telemetry overhead
+    // claim this bench now also covers.
+    opts.admin = "tcp:0";
     service::Server server(root, opts);
     std::string err;
     if (!server.start(&err)) {
@@ -122,16 +148,57 @@ int run(int argc, char** argv) {
       return 1;
     }
     const PassResult cold = run_pass(server.endpoint(), reqs, clients, 1);
+    // Scrape concurrently with the warm (timed, contended) pass.
+    std::atomic<bool> warm_done{false};
+    std::atomic<std::uint64_t> scrapes{0};
+    std::atomic<std::uint64_t> scrape_failures{0};
+    std::thread scraper([&] {
+      while (!warm_done.load()) {
+        if (scrape_metrics(server.admin_endpoint())) {
+          scrapes.fetch_add(1);
+        } else {
+          scrape_failures.fetch_add(1);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+    });
     const PassResult warm =
         run_pass(server.endpoint(), reqs, clients, warm_rounds);
+    warm_done.store(true);
+    scraper.join();
+
+    // Per-op latency quantiles from the server's own histograms (the same
+    // interpolation `aapx top` shows), exported as informational metrics.
+    const service::StatsResponse stats = server.stats_response();
     server.stop();
 
     total_completed += cold.completed + warm.completed;
-    total_errors += cold.errors + warm.errors;
+    total_errors += cold.errors + warm.errors + scrape_failures.load();
     gates_checksum += cold.gates + warm.gates;
     const std::string tag = std::to_string(clients);
     bench_json.metric("qps_cold_" + tag, cold.qps);
     bench_json.metric("qps_warm_" + tag, warm.qps);
+    bench_json.metric("scrapes_" + tag, static_cast<double>(scrapes.load()));
+    for (const auto& op : stats.ops) {
+      if (static_cast<service::MsgType>(op.op) !=
+          service::MsgType::characterize) {
+        continue;
+      }
+      obs::HistogramSample sample;
+      sample.count = op.count;
+      sample.sum = op.sum_us;
+      sample.min = op.min_us;
+      sample.max = op.max_us;
+      for (const auto& [index, count] : op.buckets) {
+        sample.buckets.push_back({index, count});
+      }
+      bench_json.metric("latency_c" + tag + "_p50_ms",
+                        obs::histogram_quantile(sample, 0.50) / 1000.0);
+      bench_json.metric("latency_c" + tag + "_p95_ms",
+                        obs::histogram_quantile(sample, 0.95) / 1000.0);
+      bench_json.metric("latency_c" + tag + "_p99_ms",
+                        obs::histogram_quantile(sample, 0.99) / 1000.0);
+    }
     table.add_row({tag, TextTable::num(cold.qps, 1),
                    TextTable::num(warm.qps, 1),
                    TextTable::num(warm.qps / std::max(cold.qps, 1e-12), 2)});

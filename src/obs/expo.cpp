@@ -1,0 +1,97 @@
+#include "obs/expo.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace aapx::obs {
+
+namespace {
+
+bool is_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Prometheus renders numbers with arbitrary precision; json_num's %.10g is
+/// stable, short and more precision than any metric here carries.
+std::string num(double v) { return json_num(v); }
+
+}  // namespace
+
+std::string prometheus_name(std::string_view raw) {
+  std::string out = "aapx_";
+  for (const char c : raw) out += is_name_char(c) ? c : '_';
+  return out;
+}
+
+std::string prometheus_label_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os,
+                      std::string_view info_labels) {
+  if (!info_labels.empty()) {
+    os << "# TYPE aapx_build_info gauge\n";
+    os << "aapx_build_info{" << info_labels << "} 1\n";
+  }
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " counter\n";
+    os << n << " " << value << "\n";
+  }
+  for (const auto& [name, vm] : snap.gauges) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " gauge\n";
+    os << n << " " << num(vm.first) << "\n";
+    os << "# TYPE " << n << "_max gauge\n";
+    os << n << "_max " << num(vm.second) << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = prometheus_name(name);
+    os << "# TYPE " << n << " histogram\n";
+    // Cumulative counts over the log2 bucket upper edges. Only non-empty
+    // buckets get an edge (plus the mandatory +Inf), which keeps the
+    // exposition bounded at 64 lines but usually far fewer.
+    std::uint64_t cum = 0;
+    for (const auto& [index, count] : h.buckets) {
+      cum += count;
+      os << n << "_bucket{le=\"" << num(Histogram::bucket_floor(index + 1))
+         << "\"} " << cum << "\n";
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << n << "_sum " << num(h.sum) << "\n";
+    os << n << "_count " << h.count << "\n";
+    os << "# TYPE " << n << "_min gauge\n";
+    os << n << "_min " << num(h.min) << "\n";
+    os << "# TYPE " << n << "_max gauge\n";
+    os << n << "_max " << num(h.max) << "\n";
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snap,
+                            std::string_view info_labels) {
+  std::ostringstream os;
+  write_prometheus(snap, os, info_labels);
+  return os.str();
+}
+
+}  // namespace aapx::obs

@@ -1,0 +1,42 @@
+// Prometheus text exposition (format 0.0.4) rendered from a
+// MetricsSnapshot. This is what `aapx serve --admin` answers on GET
+// /metrics, and it is deliberately a pure function of the snapshot: same
+// snapshot, same bytes — counters first, then gauges, then histograms, each
+// group in the snapshot's name order — so the output is golden-file
+// testable and scrape diffs are meaningful.
+//
+// Name mapping: every metric is prefixed "aapx_" and characters outside
+// [a-zA-Z0-9_:] become '_' ("engine.store.hits" -> "aapx_engine_store_hits").
+// Gauges export their running maximum as a second "<name>_max" series.
+// Histograms export cumulative "_bucket{le=...}" series over the log2
+// bucket edges plus the exact "_sum"/"_count"/"_min"/"_max".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace aapx::obs {
+
+/// "aapx_" + name with every character outside [a-zA-Z0-9_:] replaced by
+/// '_' (the fixed prefix also keeps a leading digit legal under the
+/// Prometheus grammar).
+std::string prometheus_name(std::string_view raw);
+
+/// Escapes a label value for embedding between double quotes: backslash,
+/// double quote and newline per the exposition spec.
+std::string prometheus_label_escape(std::string_view s);
+
+/// Writes the full exposition for `snap`. `info_labels`, when non-empty,
+/// is emitted verbatim inside an `aapx_build_info{...} 1` series first
+/// (caller composes it from prometheus_label_escape'd pairs).
+void write_prometheus(const MetricsSnapshot& snap, std::ostream& os,
+                      std::string_view info_labels = {});
+
+/// write_prometheus into a string.
+std::string prometheus_text(const MetricsSnapshot& snap,
+                            std::string_view info_labels = {});
+
+}  // namespace aapx::obs

@@ -46,6 +46,24 @@ void Histogram::observe(double v) noexcept {
   double cur = sum_.load(std::memory_order_relaxed);
   while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
   }
+  double lo = min_.load(std::memory_order_relaxed);
+  while (v < lo &&
+         !min_.compare_exchange_weak(lo, v, std::memory_order_relaxed)) {
+  }
+  double hi = max_.load(std::memory_order_relaxed);
+  while (v > hi &&
+         !max_.compare_exchange_weak(hi, v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::min() const noexcept {
+  const double m = min_.load(std::memory_order_relaxed);
+  return std::isinf(m) ? 0.0 : m;
+}
+
+double Histogram::max() const noexcept {
+  const double m = max_.load(std::memory_order_relaxed);
+  return std::isinf(m) ? 0.0 : m;
 }
 
 std::uint64_t Histogram::count() const noexcept {
@@ -61,6 +79,36 @@ double Histogram::bucket_floor(int i) noexcept {
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+double histogram_quantile(const HistogramSample& sample, double q) {
+  if (sample.count == 0) return 0.0;
+  if (q <= 0.0) return sample.min;
+  if (q >= 1.0) return sample.max;
+  // Rank of the target observation (1-based, nearest-rank with interpolation
+  // inside the owning bucket).
+  const double rank = q * static_cast<double>(sample.count);
+  double seen = 0.0;
+  for (const auto& [index, n] : sample.buckets) {
+    const double next = seen + static_cast<double>(n);
+    if (rank <= next) {
+      const double lo = Histogram::bucket_floor(index);
+      const double hi = index + 1 >= Histogram::kBuckets
+                            ? sample.max
+                            : Histogram::bucket_floor(index + 1);
+      const double frac = (rank - seen) / static_cast<double>(n);
+      double est = lo + (hi - lo) * frac;
+      if (est < sample.min) est = sample.min;
+      if (est > sample.max) est = sample.max;
+      return est;
+    }
+    seen = next;
+  }
+  return sample.max;
 }
 
 MetricsRegistry& MetricsRegistry::instance() {
@@ -113,6 +161,8 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     HistogramSample sample;
     sample.count = h->count();
     sample.sum = h->sum();
+    sample.min = h->min();
+    sample.max = h->max();
     for (int i = 0; i < Histogram::kBuckets; ++i) {
       const std::uint64_t n = h->bucket(i);
       if (n > 0) sample.buckets.emplace_back(i, n);
@@ -146,7 +196,8 @@ std::string MetricsRegistry::to_json() const {
     first = false;
     out += '"' + json_escape(name) +
            "\":{\"count\":" + std::to_string(h.count) +
-           ",\"sum\":" + json_num(h.sum) + ",\"buckets\":[";
+           ",\"sum\":" + json_num(h.sum) + ",\"min\":" + json_num(h.min) +
+           ",\"max\":" + json_num(h.max) + ",\"buckets\":[";
     bool bfirst = true;
     for (const auto& [index, n] : h.buckets) {
       if (!bfirst) out += ',';

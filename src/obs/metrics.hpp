@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -62,7 +63,10 @@ class Gauge {
 };
 
 /// Histogram over non-negative measures with power-of-two buckets: bucket 0
-/// counts v < 1, bucket i (i >= 1) counts v in [2^(i-1), 2^i).
+/// counts v < 1, bucket i (i >= 1) counts v in [2^(i-1), 2^i). Alongside the
+/// buckets it tracks the exact sum, minimum and maximum (relaxed atomics /
+/// contention-free CAS, same overhead discipline as the buckets), so the
+/// exact mean is always derivable and the extremes are not quantized.
 class Histogram {
  public:
   static constexpr int kBuckets = 64;
@@ -70,6 +74,9 @@ class Histogram {
   void observe(double v) noexcept;
   std::uint64_t count() const noexcept;
   double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest value observed; 0 when the histogram is empty.
+  double min() const noexcept;
+  double max() const noexcept;
   std::uint64_t bucket(int i) const noexcept {
     return buckets_[static_cast<std::size_t>(i)].load(
         std::memory_order_relaxed);
@@ -81,14 +88,26 @@ class Histogram {
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<double> sum_{0.0};
+  /// min_/max_ start at +/-inf so the first observe() always wins the CAS
+  /// race — the accessors translate the untouched sentinels back to 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
 struct HistogramSample {
   std::uint64_t count = 0;
   double sum = 0.0;
+  double min = 0.0;  ///< exact smallest observation (0 when empty)
+  double max = 0.0;  ///< exact largest observation (0 when empty)
   /// (bucket index, count) for non-empty buckets only.
   std::vector<std::pair<int, std::uint64_t>> buckets;
 };
+
+/// Quantile estimate (q in [0, 1]) from the log2 buckets: the bucket holding
+/// the q-th observation is found exactly, the position inside it is linearly
+/// interpolated, and the result is clamped to the exact [min, max] — so p0
+/// and p100 are exact and every estimate is off by at most one bucket width.
+double histogram_quantile(const HistogramSample& sample, double q);
 
 /// Point-in-time copy of every registered metric, in name order.
 struct MetricsSnapshot {

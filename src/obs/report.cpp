@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.hpp"
+
 namespace aapx::obs {
 namespace {
 
@@ -303,6 +305,123 @@ IncrementalStaStats incremental_sta_from_metrics(const JsonValue& doc) {
   read("engine.sta.incremental.dirty_gates", stats.dirty_gates);
   read("engine.sta.incremental.full_fallbacks", stats.full_fallbacks);
   return stats;
+}
+
+std::vector<HistogramRow> histograms_from_metrics(const JsonValue& doc) {
+  std::vector<HistogramRow> rows;
+  const JsonValue* hists =
+      doc.is_object() ? doc.find("histograms") : nullptr;
+  if (hists == nullptr || !hists->is_object()) return rows;
+  for (const auto& [name, h] : hists->object) {
+    if (!h.is_object()) continue;
+    HistogramSample sample;
+    sample.count = static_cast<std::uint64_t>(h.num_or("count", 0.0));
+    if (sample.count == 0) continue;
+    sample.sum = h.num_or("sum", 0.0);
+    sample.min = h.num_or("min", 0.0);
+    sample.max = h.num_or("max", 0.0);
+    if (const JsonValue* buckets = h.find("buckets");
+        buckets != nullptr && buckets->is_array()) {
+      for (const JsonValue& b : buckets->array) {
+        if (!b.is_array() || b.array.size() != 2 || !b.array[0].is_number() ||
+            !b.array[1].is_number()) {
+          continue;
+        }
+        sample.buckets.emplace_back(
+            static_cast<int>(b.array[0].number),
+            static_cast<std::uint64_t>(b.array[1].number));
+      }
+    }
+    HistogramRow row;
+    row.name = name;
+    row.count = sample.count;
+    row.sum = sample.sum;
+    row.min = sample.min;
+    row.max = sample.max;
+    row.p50 = histogram_quantile(sample, 0.50);
+    row.p95 = histogram_quantile(sample, 0.95);
+    row.p99 = histogram_quantile(sample, 0.99);
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+ServiceLogSummary summarize_service_log(const std::vector<JsonValue>& records) {
+  ServiceLogSummary summary;
+  const auto bump = [](std::vector<std::pair<std::string, std::uint64_t>>& v,
+                       const std::string& key) {
+    const auto it = std::find_if(
+        v.begin(), v.end(), [&](const auto& e) { return e.first == key; });
+    if (it == v.end()) {
+      v.emplace_back(key, 1);
+    } else {
+      ++it->second;
+    }
+  };
+  for (const JsonValue& record : records) {
+    if (!record.is_object()) continue;
+    const std::string type = record.str_or("type", "");
+    if (type == "request") {
+      ++summary.requests;
+      bump(summary.ops, record.str_or("msg", "<unknown>"));
+    } else if (type == "response") {
+      bump(summary.outcomes, record.str_or("msg", "<unknown>"));
+    } else if (type == "cancelled") {
+      ++summary.cancelled;
+      bump(summary.outcomes, "cancelled");
+    }
+  }
+  return summary;
+}
+
+namespace {
+
+void flatten_into(const JsonValue& v, const std::string& prefix,
+                  std::vector<std::pair<std::string, double>>& out) {
+  if (v.is_number()) {
+    out.emplace_back(prefix, v.number);
+  } else if (v.is_object()) {
+    for (const auto& [key, child] : v.object) {
+      flatten_into(child, prefix.empty() ? key : prefix + "." + key, out);
+    }
+  }
+  // Arrays (histogram bucket lists) are positional, not metrics: skipped.
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> flatten_numeric(
+    const JsonValue& doc) {
+  std::vector<std::pair<std::string, double>> out;
+  flatten_into(doc, "", out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<MetricDelta> diff_numeric(const JsonValue& a, const JsonValue& b) {
+  const auto fa = flatten_numeric(a);
+  const auto fb = flatten_numeric(b);
+  std::vector<MetricDelta> out;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < fa.size() || j < fb.size()) {
+    MetricDelta d;
+    const bool take_a =
+        j >= fb.size() || (i < fa.size() && fa[i].first <= fb[j].first);
+    const bool take_b =
+        i >= fa.size() || (j < fb.size() && fb[j].first <= fa[i].first);
+    d.name = take_a ? fa[i].first : fb[j].first;
+    if (take_a) {
+      d.in_a = true;
+      d.a = fa[i++].second;
+    }
+    if (take_b) {
+      d.in_b = true;
+      d.b = fb[j++].second;
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 }  // namespace aapx::obs

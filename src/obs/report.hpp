@@ -102,4 +102,72 @@ struct IncrementalStaStats {
 };
 IncrementalStaStats incremental_sta_from_metrics(const JsonValue& doc);
 
+/// One histogram from a metrics JSON document, with the exact aggregates
+/// (count/sum/min/max travel losslessly through the snapshot) and the
+/// bucket-interpolated quantiles.
+struct HistogramRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+};
+
+/// Extracts every histogram from a metrics JSON document (as
+/// MetricsRegistry::to_json emits), name-ordered. Histograms with a zero
+/// count are skipped.
+std::vector<HistogramRow> histograms_from_metrics(const JsonValue& doc);
+
+// --- service run-log directories -------------------------------------------
+
+/// Aggregate view over `aapx serve --log-dir` per-request run logs
+/// (req_<seq>.jsonl files, concatenated into one record stream).
+struct ServiceLogSummary {
+  std::uint64_t requests = 0;   ///< "request" records seen
+  std::uint64_t cancelled = 0;  ///< "cancelled" records seen
+  /// Request counts by op ("characterize", ...), first-appearance order.
+  std::vector<std::pair<std::string, std::uint64_t>> ops;
+  /// Response counts by response msg ("ok_surface", "error", ...), plus one
+  /// "cancelled" entry when any request was cancelled.
+  std::vector<std::pair<std::string, std::uint64_t>> outcomes;
+};
+ServiceLogSummary summarize_service_log(const std::vector<JsonValue>& records);
+
+// --- snapshot diffing -------------------------------------------------------
+
+/// One metric's value in two artifacts being diffed. `in_a`/`in_b` mark
+/// presence: a metric present on only one side diffs as appeared/vanished
+/// rather than as a delta from zero.
+struct MetricDelta {
+  std::string name;
+  double a = 0.0;
+  double b = 0.0;
+  bool in_a = false;
+  bool in_b = false;
+
+  double delta() const { return b - a; }
+  /// Relative change in percent; 0 when the base is 0 or a side is missing.
+  double pct() const {
+    return (!in_a || !in_b || a == 0.0) ? 0.0 : (b - a) / a * 100.0;
+  }
+};
+
+/// Flattens every numeric leaf of a JSON document into ("dotted.path",
+/// value) pairs, name-ordered. Arrays are skipped (histogram bucket lists
+/// are positional, not metrics). Works on metrics snapshots and
+/// BENCH_*.json files alike.
+std::vector<std::pair<std::string, double>> flatten_numeric(
+    const JsonValue& doc);
+
+/// Name-joined diff of two flattened documents; metrics present on either
+/// side appear exactly once, name-ordered.
+std::vector<MetricDelta> diff_numeric(const JsonValue& a, const JsonValue& b);
+
 }  // namespace aapx::obs

@@ -35,6 +35,9 @@ constexpr std::size_t kMaxEventsPerThread = std::size_t{1} << 22;
 
 thread_local ThreadBuf* t_buf = nullptr;
 
+/// Innermost SpanCapture sink installed on this thread (nullptr = none).
+thread_local SpanCapture* t_capture = nullptr;
+
 }  // namespace
 
 struct Tracer::Impl {
@@ -169,6 +172,13 @@ void set_thread_name(const std::string& name) {
 }
 
 Span::Span(const char* name) noexcept : name_(nullptr) {
+  if (t_capture != nullptr) {
+    const std::size_t slot = t_capture->begin(name);
+    if (slot != static_cast<std::size_t>(-1)) {
+      capture_ = t_capture;
+      slot_ = static_cast<std::uint32_t>(slot);
+    }
+  }
   Tracer& tracer = Tracer::instance();
   if (!tracer.enabled()) return;
   name_ = name;
@@ -176,6 +186,13 @@ Span::Span(const char* name) noexcept : name_(nullptr) {
 }
 
 Span::Span(const char* name, std::uint64_t arg) noexcept : name_(nullptr) {
+  if (t_capture != nullptr) {
+    const std::size_t slot = t_capture->begin(name);
+    if (slot != static_cast<std::size_t>(-1)) {
+      capture_ = t_capture;
+      slot_ = static_cast<std::uint32_t>(slot);
+    }
+  }
   Tracer& tracer = Tracer::instance();
   if (!tracer.enabled()) return;
   name_ = name;
@@ -183,12 +200,50 @@ Span::Span(const char* name, std::uint64_t arg) noexcept : name_(nullptr) {
 }
 
 Span::~Span() {
+  if (capture_ != nullptr) capture_->end(slot_);
   if (name_ == nullptr) return;
   Tracer& tracer = Tracer::instance();
   // If tracing stopped mid-span the B was already flushed or cleared; an E
   // recorded now would be unbalanced, so drop it.
   if (!tracer.enabled()) return;
   tracer.impl().record(name_, 'E', 0, false);
+}
+
+SpanCapture::SpanCapture(std::size_t max_spans) noexcept
+    : max_spans_(max_spans),
+      prev_(t_capture),
+      epoch_(std::chrono::steady_clock::now()) {
+  spans_.reserve(max_spans < 64 ? max_spans : std::size_t{64});
+  t_capture = this;
+}
+
+SpanCapture::~SpanCapture() { t_capture = prev_; }
+
+std::size_t SpanCapture::begin(const char* name) noexcept {
+  // When full, the span is dropped and depth_ is left alone — the matching
+  // end() never runs for dropped spans, so bumping it here would leak depth.
+  if (spans_.size() >= max_spans_) {
+    ++dropped_;
+    return static_cast<std::size_t>(-1);
+  }
+  CapturedSpan span;
+  span.name = name;
+  span.start_us = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+  span.dur_us = -1.0;
+  span.depth = depth_++;
+  spans_.push_back(span);
+  return spans_.size() - 1;
+}
+
+void SpanCapture::end(std::size_t slot) noexcept {
+  --depth_;
+  CapturedSpan& span = spans_[slot];
+  span.dur_us = std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - epoch_)
+                    .count() -
+                span.start_us;
 }
 
 }  // namespace aapx::obs

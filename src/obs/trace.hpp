@@ -17,11 +17,15 @@
 // while enabled; stop merges them under the registry lock.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 namespace aapx::obs {
+
+class SpanCapture;
 
 class Tracer {
  public:
@@ -65,6 +69,59 @@ class Span {
 
  private:
   const char* name_;  ///< nullptr when tracing was disabled at construction
+  SpanCapture* capture_ = nullptr;  ///< non-null while a sink owns slot_
+  std::uint32_t slot_ = 0;
+};
+
+/// One completed span collected by a SpanCapture sink. Times are
+/// steady-clock microseconds relative to the sink's construction.
+struct CapturedSpan {
+  const char* name = nullptr;  ///< string literal owned by the call site
+  double start_us = 0.0;
+  double dur_us = 0.0;  ///< -1 while still open (sink destroyed mid-span)
+  int depth = 0;        ///< nesting depth at begin, outermost = 0
+};
+
+/// Thread-local span sink: while one is alive on a thread, every Span
+/// opened on that thread is ALSO recorded here — independently of (and in
+/// addition to) the global Tracer, which may be off. This is how the
+/// server captures a per-request span tree without turning process-wide
+/// tracing on for every tenant: the request worker installs a SpanCapture,
+/// runs the request, and streams the captured tree to the request-trace
+/// file under the request's trace id.
+///
+/// Scope contract: the sink only sees spans on its own thread (spans opened
+/// inside parallel_for grains on pool threads are not captured), and it
+/// must outlive every span opened while it is installed. Sinks nest: a new
+/// sink shadows the previous one until destroyed.
+///
+/// Cost when no sink is installed: one additional thread-local load on the
+/// Span fast path, nothing else.
+class SpanCapture {
+ public:
+  explicit SpanCapture(std::size_t max_spans = 256) noexcept;
+  ~SpanCapture();
+  SpanCapture(const SpanCapture&) = delete;
+  SpanCapture& operator=(const SpanCapture&) = delete;
+
+  /// Completed (and still-open) spans in begin order.
+  const std::vector<CapturedSpan>& spans() const noexcept { return spans_; }
+  /// Spans not recorded because max_spans was reached.
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  friend class Span;
+
+  /// Returns the slot index, or SIZE_MAX when full.
+  std::size_t begin(const char* name) noexcept;
+  void end(std::size_t slot) noexcept;
+
+  std::vector<CapturedSpan> spans_;
+  std::size_t max_spans_;
+  std::uint64_t dropped_ = 0;
+  int depth_ = 0;
+  SpanCapture* prev_ = nullptr;
+  std::chrono::steady_clock::time_point epoch_;
 };
 
 }  // namespace aapx::obs

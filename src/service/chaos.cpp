@@ -118,7 +118,7 @@ int scenario_drop(const ChaosOptions& opts) {
     const int fd = connect_endpoint(ts.server.endpoint(), &err);
     require(fd >= 0, "connect: " + err);
     const std::string bytes =
-        encode_frame({MsgType::characterize, 7, encode_request(req)});
+        encode_frame({MsgType::characterize, 7, 0, encode_request(req)});
     send_all(fd, std::string_view(bytes).substr(0, bytes.size() / 2));
     close_fd(fd);
   }
@@ -128,7 +128,7 @@ int scenario_drop(const ChaosOptions& opts) {
     const int fd = connect_endpoint(ts.server.endpoint(), &err);
     require(fd >= 0, "connect: " + err);
     send_all(fd,
-             encode_frame({MsgType::characterize, 8, encode_request(req)}));
+             encode_frame({MsgType::characterize, 8, 0, encode_request(req)}));
     close_fd(fd);
   }
   note(opts, "two connections dropped; querying through a healthy client");
@@ -154,7 +154,7 @@ int scenario_slowloris(const ChaosOptions& opts) {
   std::string err;
   const int slow_fd = connect_endpoint(ts.server.endpoint(), &err);
   require(slow_fd >= 0, "connect: " + err);
-  const std::string slow_bytes = encode_frame({MsgType::ping, 42, {}});
+  const std::string slow_bytes = encode_frame({MsgType::ping, 42, 0, {}});
 
   std::thread trickler([&] {
     for (const char c : slow_bytes) {
@@ -234,11 +234,12 @@ int scenario_malformed(const ChaosOptions& opts) {
 
   {
     // Valid magic and type, absurd payload length: must be rejected from
-    // the 24 header bytes alone, never buffered or allocated.
+    // the 32 header bytes alone, never buffered or allocated.
     engine::BinWriter w;
     w.u32(kFrameMagic);
     w.u32(static_cast<std::uint32_t>(MsgType::characterize));
-    w.u64(1);
+    w.u64(1);        // request_id
+    w.u64(0);        // trace_id
     w.u64(1ull << 60);
     expect_error_then_close(w.take(), "hostile length prefix");
   }
@@ -252,8 +253,8 @@ int scenario_malformed(const ChaosOptions& opts) {
     std::string err;
     const int fd = connect_endpoint(ts.server.endpoint(), &err);
     require(fd >= 0, "connect: " + err);
-    send_all(fd, encode_frame({MsgType::characterize, 5, payload}));
-    send_all(fd, encode_frame({MsgType::ping, 6, {}}));
+    send_all(fd, encode_frame({MsgType::characterize, 5, 0, payload}));
+    send_all(fd, encode_frame({MsgType::ping, 6, 0, {}}));
     FrameReader reader;
     char buf[512];
     bool got_error = false;
@@ -347,8 +348,8 @@ int scenario_storm(const ChaosOptions& opts) {
   std::string berr;
   const int blocker_fd = connect_endpoint(ts.server.endpoint(), &berr);
   require(blocker_fd >= 0, "blocker connect: " + berr);
-  send_all(blocker_fd,
-           encode_frame({MsgType::characterize, 999, encode_request(blocker)}));
+  send_all(blocker_fd, encode_frame({MsgType::characterize, 999, 0,
+                                     encode_request(blocker)}));
   // Brief pause so the worker has picked the blocker up — kept much
   // shorter than the blocker's compute time, so it is still running (and
   // the identical job still queued behind it) when the storm fires.
@@ -476,10 +477,196 @@ int scenario_kill(const ChaosOptions& opts) {
   return 0;
 }
 
+// --- scenario: scrape -------------------------------------------------------
+// Observability under load: a server with the admin plane enabled takes a
+// shedding storm of distinct requests while /metrics, /healthz and the
+// in-band stats op are scraped in a tight loop the whole time. Scrape
+// latency stays bounded, every completed surface is bit-identical to its
+// cold (unscraped, local) reference, the final counters reconcile exactly
+// with the client-side tallies through both scrape planes, and a real
+// `aapx top --once` against the live server exits clean.
+
+/// One blocking HTTP/1.0 GET against the admin endpoint; returns the whole
+/// response (head + body) and the wall time it took.
+std::string http_get(const std::string& endpoint, const std::string& path,
+                     std::int64_t* latency_us) {
+  std::string err;
+  const auto t0 = std::chrono::steady_clock::now();
+  const int fd = connect_endpoint(endpoint, &err);
+  require(fd >= 0, "admin connect: " + err);
+  require(send_all(fd, "GET " + path + " HTTP/1.0\r\n\r\n", 5000),
+          "admin send failed");
+  std::string response;
+  char buf[4096];
+  while (true) {
+    const int ready = wait_readable(fd, 5000);
+    require(ready == 1, "admin scrape hung on " + path);
+    const long n = recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  close_fd(fd);
+  if (latency_us != nullptr) {
+    *latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  }
+  return response;
+}
+
+int scenario_scrape(const ChaosOptions& opts) {
+  require(!opts.self_exe.empty(),
+          "scrape scenario needs --self-exe (path to the aapx binary)");
+  ServerOptions sopts = base_options();
+  sopts.workers = 1;
+  sopts.queue_capacity = 2;  // small queue: the storm sheds while scraped
+  sopts.retry_hint_ms = 20;
+  sopts.admin = "tcp:0";
+  TestServer ts(sopts);
+  require(!ts.server.admin_endpoint().empty(), "admin endpoint not bound");
+
+  // Scraper: hammer all three scrape planes until the storm is done. The
+  // stats op is answered inline on the reader thread and the admin plane
+  // never touches the worker queue, so none of this may block — each
+  // round's latency must stay far below the storm's compute time.
+  std::atomic<bool> done{false};
+  std::string scrape_error;
+  std::uint64_t scrapes = 0;
+  std::int64_t worst_us = 0;
+  std::thread scraper([&] {
+    try {
+      ServiceClient stats_client(ts.server.endpoint());
+      while (!done.load(std::memory_order_relaxed)) {
+        std::int64_t us = 0;
+        const std::string metrics =
+            http_get(ts.server.admin_endpoint(), "/metrics", &us);
+        require(metrics.find("HTTP/1.0 200") != std::string::npos,
+                "/metrics not 200");
+        require(metrics.find("aapx_serve_requests") != std::string::npos,
+                "/metrics missing serve counters");
+        worst_us = std::max(worst_us, us);
+        const std::string health =
+            http_get(ts.server.admin_endpoint(), "/healthz", &us);
+        require(health.find("HTTP/1.0 200") != std::string::npos,
+                "/healthz not 200");
+        worst_us = std::max(worst_us, us);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::string err;
+        const auto s = stats_client.stats(&err);
+        require(s.has_value(), "stats op failed mid-storm: " + err);
+        worst_us = std::max(
+            worst_us, std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        ++scrapes;
+      }
+    } catch (const std::exception& e) {
+      scrape_error = e.what();
+    }
+  });
+
+  constexpr int kClients = 6;
+  std::vector<std::thread> threads;
+  std::vector<std::string> errors(kClients);
+  std::vector<ComponentCharacterization> results(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      const CharacterizeRequest req = small_request(4 + i);
+      ClientOptions copt;
+      copt.max_attempts = 64;
+      copt.jitter_seed = static_cast<std::uint64_t>(i + 1);
+      ServiceClient client(ts.server.endpoint(), copt);
+      std::string err;
+      const auto surface = client.characterize(req, &err);
+      if (!surface.has_value()) {
+        errors[i] = err;
+        return;
+      }
+      results[i] = surface->surface;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  done.store(true);
+  scraper.join();
+  require(scrape_error.empty(), "scraper: " + scrape_error);
+  require(scrapes > 0, "scraper never completed a round");
+  // "Bounded" concretely: every round finished inside the socket waits'
+  // 5 s budget; anything near it means a scrape plane queued behind work.
+  require(worst_us < 5'000'000, "scrape latency unbounded: " +
+                                    std::to_string(worst_us) + " us");
+  note(opts, "scraped " + std::to_string(scrapes) + " rounds, worst " +
+                 std::to_string(worst_us) + " us");
+
+  // Scraping never perturbed the results: bit-identical to cold.
+  for (int i = 0; i < kClients; ++i) {
+    require(errors[i].empty(),
+            "scrape-storm client " + std::to_string(i) + ": " + errors[i]);
+    require_same_surface(results[i], cold_surface(small_request(4 + i)),
+                         "scrape-storm client " + std::to_string(i));
+  }
+
+  // Exact reconciliation against the client-side tally. completed ticks on
+  // the worker just after the response bytes go out, so give the last
+  // increment a bounded moment to land before requiring exactness.
+  StatsResponse fin;
+  for (int spin = 0; spin < 200; ++spin) {
+    fin = ts.server.stats_response();
+    if (fin.completed >= kClients) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  require(fin.completed == kClients,
+          "completed=" + std::to_string(fin.completed) + ", want " +
+              std::to_string(kClients));
+  require(fin.requests == kClients,
+          "admitted=" + std::to_string(fin.requests) +
+              " != client-side tally (shed re-sends must not re-count)");
+  bool found_hist = false;
+  for (const auto& op : fin.ops) {
+    if (op.op == static_cast<std::uint32_t>(MsgType::characterize)) {
+      found_hist = true;
+      require(op.count == kClients,
+              "latency histogram count " + std::to_string(op.count) +
+                  " != completed " + std::to_string(kClients));
+    }
+  }
+  require(found_hist, "no characterize latency histogram in stats");
+  // The same exact count must show through the Prometheus plane.
+  const std::string metrics =
+      http_get(ts.server.admin_endpoint(), "/metrics", nullptr);
+  require(metrics.find("aapx_serve_completed " + std::to_string(kClients)) !=
+              std::string::npos,
+          "/metrics aapx_serve_completed != client-side tally");
+  require(
+      metrics.find("aapx_service_latency_us_characterize_count " +
+                   std::to_string(kClients)) != std::string::npos,
+      "/metrics characterize histogram count != client-side tally");
+
+  // A real `aapx top --once` against the live server renders and exits 0.
+  const pid_t pid = ::fork();
+  require(pid >= 0, "fork failed");
+  if (pid == 0) {
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    if (devnull >= 0) {
+      ::dup2(devnull, 1);
+      ::dup2(devnull, 2);
+    }
+    ::execl(opts.self_exe.c_str(), opts.self_exe.c_str(), "top", "--connect",
+            ts.server.endpoint().c_str(), "--once",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  require(WIFEXITED(status) && WEXITSTATUS(status) == 0,
+          "`aapx top --once` did not exit clean");
+  ts.server.stop();
+  return 0;
+}
+
 }  // namespace
 
 std::vector<std::string> chaos_scenarios() {
-  return {"drop", "slowloris", "malformed", "storm", "kill"};
+  return {"drop", "slowloris", "malformed", "storm", "kill", "scrape"};
 }
 
 int run_chaos_scenario(const std::string& name, const ChaosOptions& options) {
@@ -495,6 +682,8 @@ int run_chaos_scenario(const std::string& name, const ChaosOptions& options) {
       rc = scenario_storm(options);
     } else if (name == "kill") {
       rc = scenario_kill(options);
+    } else if (name == "scrape") {
+      rc = scenario_scrape(options);
     } else {
       throw std::runtime_error("unknown chaos scenario '" + name + "'");
     }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "service/socket.hpp"
 #include "util/hash.hpp"
 
@@ -104,13 +105,25 @@ CallResult ServiceClient::call(MsgType type, const std::string& payload,
   const std::uint32_t timeout_ms =
       deadline_ms > 0 ? deadline_ms + options_.deadline_margin_ms
                       : options_.response_timeout_ms;
+  // One trace id per logical call, shared by every retry attempt: the
+  // server tags each attempt's span tree with it, so a Chrome trace shows
+  // the retries of this call as one correlated family. Deterministic
+  // (seed + call counter) so test schedules reproduce.
+  std::uint64_t trace_id = forced_trace_id_ != 0
+                               ? forced_trace_id_
+                               : mix_seed(options_.jitter_seed ^
+                                              0x74726163655f6964ULL,
+                                          ++trace_counter_);
+  if (trace_id == 0) trace_id = 1;  // 0 means "untraced" on the wire
+  last_trace_id_ = trace_id;
   CallResult result;
   std::string last_error = "no attempts made";
   for (int attempt = 0; attempt < options_.max_attempts; ++attempt) {
     if (attempt > 0) ++retries_;
     std::uint32_t hint_ms = 0;
     if (ensure_connected(&last_error)) {
-      Frame request{type, next_request_id_++, payload};
+      const obs::Span span("client.attempt", trace_id);
+      Frame request{type, next_request_id_++, trace_id, payload};
       Frame response;
       if (!roundtrip(request, &response, timeout_ms, &last_error)) {
         // Transport failure — the server may be mid-restart (the chaos
@@ -195,6 +208,20 @@ std::optional<std::vector<engine::SurfacePayload>> ServiceClient::library_query(
   }
   try {
     return decode_surfaces_response(r.frame.payload);
+  } catch (const ProtocolError& e) {
+    if (err != nullptr) *err = e.what();
+    return std::nullopt;
+  }
+}
+
+std::optional<StatsResponse> ServiceClient::stats(std::string* err) {
+  const CallResult r = call(MsgType::stats, {});
+  if (!r.ok) {
+    if (err != nullptr) *err = r.error;
+    return std::nullopt;
+  }
+  try {
+    return decode_stats_response(r.frame.payload);
   } catch (const ProtocolError& e) {
     if (err != nullptr) *err = e.what();
     return std::nullopt;

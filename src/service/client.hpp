@@ -80,8 +80,19 @@ class ServiceClient {
   std::optional<std::vector<engine::SurfacePayload>> library_query(
       const LibraryQueryRequest& req, std::string* err = nullptr);
 
+  /// The server's operational stats snapshot (the in-band scrape).
+  std::optional<StatsResponse> stats(std::string* err = nullptr);
+
   /// Attempts beyond the first across all calls (retry observability).
   std::uint64_t retries() const noexcept { return retries_; }
+
+  /// Forces the trace id stamped on subsequent calls (0 = back to the
+  /// default: one deterministic id per logical call, shared by all of the
+  /// call's retry attempts, so server-side spans of every attempt join
+  /// under one id).
+  void set_trace_id(std::uint64_t id) noexcept { forced_trace_id_ = id; }
+  /// The trace id the most recent call() stamped (0 = none yet).
+  std::uint64_t last_trace_id() const noexcept { return last_trace_id_; }
 
   void disconnect();
 
@@ -100,6 +111,9 @@ class ServiceClient {
   std::uint64_t next_request_id_ = 1;
   std::uint64_t jitter_state_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t forced_trace_id_ = 0;
+  std::uint64_t last_trace_id_ = 0;
+  std::uint64_t trace_counter_ = 0;
 };
 
 }  // namespace aapx::service

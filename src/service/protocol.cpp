@@ -122,10 +122,12 @@ const char* to_string(MsgType type) {
     case MsgType::characterize: return "characterize";
     case MsgType::aged_delay: return "aged_delay";
     case MsgType::library_query: return "library_query";
+    case MsgType::stats: return "stats";
     case MsgType::pong: return "pong";
     case MsgType::ok_surface: return "ok_surface";
     case MsgType::ok_delay: return "ok_delay";
     case MsgType::ok_surfaces: return "ok_surfaces";
+    case MsgType::ok_stats: return "ok_stats";
     case MsgType::error: return "error";
     case MsgType::retry_later: return "retry_later";
     case MsgType::cancelled: return "cancelled";
@@ -139,6 +141,7 @@ bool is_request(MsgType type) {
     case MsgType::characterize:
     case MsgType::aged_delay:
     case MsgType::library_query:
+    case MsgType::stats:
       return true;
     default:
       return false;
@@ -150,6 +153,7 @@ std::string encode_frame(const Frame& frame) {
   w.u32(kFrameMagic);
   w.u32(static_cast<std::uint32_t>(frame.type));
   w.u64(frame.request_id);
+  w.u64(frame.trace_id);
   w.u64(frame.payload.size());
   std::string out = w.take();
   out += frame.payload;
@@ -176,8 +180,9 @@ std::optional<Frame> FrameReader::next() {
   if (magic != kFrameMagic) malformed("bad frame magic");
   const std::uint32_t raw_type = r.u32();
   const std::uint64_t request_id = r.u64();
+  const std::uint64_t trace_id = r.u64();
   const std::uint64_t payload_size = r.u64();
-  // The ceiling check happens here, while only the 24 header bytes are
+  // The ceiling check happens here, while only the 32 header bytes are
   // buffered — a hostile 2^60 length prefix is rejected before it can
   // drive any allocation or make us wait for bytes that never come.
   if (payload_size > max_payload_) {
@@ -195,6 +200,7 @@ std::optional<Frame> FrameReader::next() {
   Frame frame;
   frame.type = static_cast<MsgType>(raw_type);
   frame.request_id = request_id;
+  frame.trace_id = trace_id;
   frame.payload = buf_.substr(pos_ + kFrameHeaderSize,
                               static_cast<std::size_t>(payload_size));
   pos_ += kFrameHeaderSize + static_cast<std::size_t>(payload_size);
@@ -425,6 +431,116 @@ CancelledResponse decode_cancelled_response(const std::string& payload) {
     BinReader r(payload);
     CancelledResponse resp;
     resp.reason = r.str();
+    r.expect_end();
+    return resp;
+  });
+}
+
+// --- stats ------------------------------------------------------------------
+
+std::string encode_stats_response(const StatsResponse& resp) {
+  BinWriter w;
+  w.u64(resp.connections);
+  w.u64(resp.live_connections);
+  w.u64(resp.requests);
+  w.u64(resp.completed);
+  w.u64(resp.shed);
+  w.u64(resp.deduped);
+  w.u64(resp.cancelled);
+  w.u64(resp.protocol_errors);
+  w.u64(resp.snapshots);
+  w.u64(resp.queue_depth);
+  w.u64(resp.inflight);
+  w.f64(resp.uptime_s);
+  w.f64(resp.snapshot_age_s);
+  w.u64(resp.ops.size());
+  for (const StatsResponse::OpLatency& op : resp.ops) {
+    w.u32(op.op);
+    w.u64(op.count);
+    w.f64(op.sum_us);
+    w.f64(op.min_us);
+    w.f64(op.max_us);
+    w.u64(op.buckets.size());
+    for (const auto& [index, n] : op.buckets) {
+      w.i32(index);
+      w.u64(n);
+    }
+  }
+  w.u64(resp.slow.size());
+  for (const StatsResponse::SlowRequest& s : resp.slow) {
+    w.u64(s.seq);
+    w.u32(s.op);
+    w.u64(s.trace_id);
+    w.f64(s.latency_us);
+  }
+  w.u64(resp.counters.size());
+  for (const auto& [name, value] : resp.counters) {
+    w.str(name);
+    w.u64(value);
+  }
+  return w.take();
+}
+
+StatsResponse decode_stats_response(const std::string& payload) {
+  return decode_guard("stats response", [&] {
+    BinReader r(payload);
+    StatsResponse resp;
+    resp.connections = r.u64();
+    resp.live_connections = r.u64();
+    resp.requests = r.u64();
+    resp.completed = r.u64();
+    resp.shed = r.u64();
+    resp.deduped = r.u64();
+    resp.cancelled = r.u64();
+    resp.protocol_errors = r.u64();
+    resp.snapshots = r.u64();
+    resp.queue_depth = r.u64();
+    resp.inflight = r.u64();
+    resp.uptime_s = r.f64();
+    resp.snapshot_age_s = r.f64();
+    const std::uint64_t n_ops = r.count(r.u64(), 40);
+    if (n_ops > 32) malformed("too many op histograms");
+    resp.ops.reserve(n_ops);
+    for (std::uint64_t i = 0; i < n_ops; ++i) {
+      StatsResponse::OpLatency op;
+      op.op = r.u32();
+      op.count = r.u64();
+      op.sum_us = r.f64();
+      op.min_us = r.f64();
+      op.max_us = r.f64();
+      const std::uint64_t n_buckets = r.count(r.u64(), 12);
+      if (n_buckets > 64) malformed("too many histogram buckets");
+      op.buckets.reserve(n_buckets);
+      std::int32_t prev = -1;
+      for (std::uint64_t b = 0; b < n_buckets; ++b) {
+        const std::int32_t index = r.i32();
+        if (index <= prev || index >= 64) {
+          malformed("histogram bucket indices must be ascending in [0, 64)");
+        }
+        prev = index;
+        op.buckets.emplace_back(index, r.u64());
+      }
+      resp.ops.push_back(std::move(op));
+    }
+    const std::uint64_t n_slow = r.count(r.u64(), 28);
+    if (n_slow > 256) malformed("too many slow-request entries");
+    resp.slow.reserve(n_slow);
+    for (std::uint64_t i = 0; i < n_slow; ++i) {
+      StatsResponse::SlowRequest s;
+      s.seq = r.u64();
+      s.op = r.u32();
+      s.trace_id = r.u64();
+      s.latency_us = r.f64();
+      resp.slow.push_back(s);
+    }
+    const std::uint64_t n_counters = r.count(r.u64(), 12);
+    if (n_counters > 4096) malformed("too many registry counters");
+    resp.counters.reserve(n_counters);
+    for (std::uint64_t i = 0; i < n_counters; ++i) {
+      std::string name = r.str();
+      const std::uint64_t value = r.u64();
+      resp.counters.emplace_back(std::move(name), value);
+    }
     r.expect_end();
     return resp;
   });

@@ -5,12 +5,17 @@
 //
 // Frame layout (all integers little-endian):
 //
-//   magic u32 "APXF" | type u32 | request_id u64 | payload_size u64
-//   | payload bytes
+//   magic u32 "APXF" | type u32 | request_id u64 | trace_id u64
+//   | payload_size u64 | payload bytes
 //
 // request_id is chosen by the client and echoed verbatim on the response, so
-// one connection can pipeline requests. The payload is a per-type record
-// encoded below.
+// one connection can pipeline requests. trace_id is an opaque correlation
+// id, also client-chosen and echoed: a client stamps the same trace_id on
+// every retry attempt of one logical call, the server tags its per-request
+// span tree and slow-request ring with it, and the streamed request-trace
+// file carries it on every span — so one Chrome trace joins client attempts
+// to the server-side work they caused. 0 means "untraced" and is always
+// legal. The payload is a per-type record encoded below.
 //
 // Robustness contract (frames arrive from untrusted sockets):
 //   * FrameReader validates the magic and rejects payload_size above the
@@ -39,7 +44,7 @@
 namespace aapx::service {
 
 inline constexpr std::uint32_t kFrameMagic = 0x46585041;  // "APXF" on the wire
-inline constexpr std::size_t kFrameHeaderSize = 24;
+inline constexpr std::size_t kFrameHeaderSize = 32;
 /// Default payload ceiling. Surfaces are a few KiB; 16 MiB leaves room for
 /// big library-query responses while bounding a hostile prefix's damage.
 inline constexpr std::uint64_t kDefaultMaxPayload = 16ull << 20;
@@ -50,11 +55,13 @@ enum class MsgType : std::uint32_t {
   characterize = 2,
   aged_delay = 3,
   library_query = 4,
+  stats = 5,
   // responses
   pong = 16,
   ok_surface = 17,
   ok_delay = 18,
   ok_surfaces = 19,
+  ok_stats = 20,
   error = 30,
   retry_later = 31,
   cancelled = 32,
@@ -74,6 +81,7 @@ class ProtocolError : public std::runtime_error {
 struct Frame {
   MsgType type = MsgType::ping;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< correlation id, echoed on responses
   std::string payload;
 };
 
@@ -183,5 +191,59 @@ struct CancelledResponse {
 };
 std::string encode_cancelled_response(const CancelledResponse& resp);
 CancelledResponse decode_cancelled_response(const std::string& payload);
+
+// --- stats ------------------------------------------------------------------
+// The `stats` request carries an empty payload. The response is a
+// point-in-time snapshot of the server's operational state: lifetime
+// counters, per-op latency histograms (exact count/sum/min/max plus the
+// non-empty log2 buckets — enough to recompute p50/p95/p99 client-side with
+// obs::histogram_quantile), the slow-request ring, and the name-ordered
+// counters of the server's metrics registry (store hit rates etc.).
+// The server answers it on the reader thread without touching any request
+// counter or the worker queue, so scraping never perturbs serving.
+
+struct StatsResponse {
+  // Lifetime counters (mirrors Server::Stats).
+  std::uint64_t connections = 0;
+  std::uint64_t live_connections = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t cancelled = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t snapshots = 0;
+  // Instantaneous state.
+  std::uint64_t queue_depth = 0;
+  std::uint64_t inflight = 0;
+  double uptime_s = 0.0;
+  double snapshot_age_s = -1.0;  ///< seconds since last snapshot; < 0 = never
+
+  /// Admission-to-response latency histogram for one request op.
+  struct OpLatency {
+    std::uint32_t op = 0;  ///< MsgType of the request, as u32
+    std::uint64_t count = 0;
+    double sum_us = 0.0;
+    double min_us = 0.0;
+    double max_us = 0.0;
+    /// (log2 bucket index, count), non-empty buckets only, index-ordered.
+    std::vector<std::pair<std::int32_t, std::uint64_t>> buckets;
+  };
+  std::vector<OpLatency> ops;
+
+  /// One entry of the bounded slowest-requests ring (top-K by latency).
+  struct SlowRequest {
+    std::uint64_t seq = 0;       ///< server-side admission sequence number
+    std::uint32_t op = 0;        ///< MsgType of the request, as u32
+    std::uint64_t trace_id = 0;  ///< client's correlation id (0 = untraced)
+    double latency_us = 0.0;
+  };
+  std::vector<SlowRequest> slow;
+
+  /// Registry counters of the server's root context, name-ordered.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+};
+std::string encode_stats_response(const StatsResponse& resp);
+StatsResponse decode_stats_response(const std::string& payload);
 
 }  // namespace aapx::service

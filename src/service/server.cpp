@@ -6,16 +6,22 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <mutex>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <vector>
 
 #include "core/characterizer.hpp"
 #include "engine/design_store.hpp"
 #include "engine/persist.hpp"
+#include "obs/expo.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "service/bounded_queue.hpp"
 #include "service/protocol.hpp"
 #include "service/socket.hpp"
@@ -60,6 +66,83 @@ struct Connection {
 
 using ConnPtr = std::shared_ptr<Connection>;
 
+/// Streams completed request span trees to a Chrome trace file in the JSON
+/// *array* format — `[\n{event},\n{event},...` — which Perfetto and
+/// chrome://tracing accept without a closing bracket, so the file is valid
+/// at every instant and rotation is a plain rename. Each span becomes one
+/// 'X' (complete) event on tid = request sequence, carrying the client's
+/// trace id in args — load the client-side trace next to this file and the
+/// shared ids join retry attempts to the server work they caused.
+class RequestTraceWriter {
+ public:
+  bool open(const std::string& path, std::size_t rotate_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path_ = path;
+    rotate_bytes_ = std::max<std::size_t>(rotate_bytes, 4096);
+    return open_locked();
+  }
+
+  bool active() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return os_.has_value();
+  }
+
+  void append(std::uint64_t seq, std::uint64_t trace_id, const char* op,
+              double start_us, double latency_us,
+              const std::vector<obs::CapturedSpan>& spans) {
+    std::ostringstream line;
+    const std::string args = ",\"args\":{\"trace\":" + std::to_string(trace_id) +
+                             ",\"seq\":" + std::to_string(seq) + "}";
+    const std::string tid = std::to_string(seq);
+    line << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+         << ",\"ts\":" << obs::json_num(start_us)
+         << ",\"dur\":" << obs::json_num(latency_us) << ",\"name\":\""
+         << op << "\"" << args << "},\n";
+    for (const obs::CapturedSpan& s : spans) {
+      if (s.dur_us < 0.0) continue;  // sink died mid-span; cannot happen here
+      line << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << tid
+           << ",\"ts\":" << obs::json_num(start_us + s.start_us)
+           << ",\"dur\":" << obs::json_num(s.dur_us) << ",\"name\":\""
+           << obs::json_escape(s.name) << "\"" << args << "},\n";
+    }
+    const std::string text = line.str();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!os_.has_value()) return;
+    *os_ << text;
+    bytes_ += text.size();
+    if (bytes_ >= rotate_bytes_) {
+      os_->flush();
+      os_.reset();
+      std::rename(path_.c_str(), (path_ + ".1").c_str());
+      open_locked();
+    }
+  }
+
+  void close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (os_.has_value()) os_->flush();
+    os_.reset();
+  }
+
+ private:
+  bool open_locked() {
+    os_.emplace(path_, std::ios::trunc);
+    if (!*os_) {
+      os_.reset();
+      return false;
+    }
+    *os_ << "[\n";
+    bytes_ = 2;
+    return true;
+  }
+
+  mutable std::mutex mutex_;
+  std::optional<std::ofstream> os_;
+  std::string path_;
+  std::size_t rotate_bytes_ = 0;
+  std::size_t bytes_ = 0;
+};
+
 /// A live connection plus its reader thread, owned by Impl::conns until the
 /// reader exits and the acceptor reaps the entry. Workers holding the
 /// ConnPtr through a Waiter keep the fd open past reaping, so a drained
@@ -72,6 +155,7 @@ struct ConnEntry {
 struct Waiter {
   ConnPtr conn;
   std::uint64_t request_id = 0;
+  std::uint64_t trace_id = 0;  ///< echoed on this waiter's response frame
 };
 
 /// One admitted unit of work. Deduped requests attach as extra waiters; the
@@ -83,6 +167,8 @@ struct Job {
   AgedDelayRequest aged_delay;
   std::uint64_t dedup = 0;
   std::uint64_t seq = 0;  ///< server-wide sequence, names the request log
+  std::uint64_t trace_id = 0;  ///< first waiter's correlation id
+  std::chrono::steady_clock::time_point received_at{};
   CancelToken token;
   // Waiters and deadline bookkeeping are guarded by the server's inflight
   // mutex (never touched by the executing worker until it takes the job
@@ -102,7 +188,17 @@ struct Server::Impl {
         root(&root),
         lib(make_nangate45_like()),
         model(BtiModel{}),
-        queue(std::max<std::size_t>(1, options.queue_capacity)) {
+        queue(std::max<std::size_t>(1, options.queue_capacity)),
+        lat_characterize(
+            root.metrics().histogram("service.latency_us.characterize")),
+        lat_aged_delay(
+            root.metrics().histogram("service.latency_us.aged_delay")),
+        lat_library_query(
+            root.metrics().histogram("service.latency_us.library_query")),
+        queue_wait(root.metrics().histogram("service.queue_wait_us")),
+        queue_depth_gauge(root.metrics().gauge("service.queue.depth")),
+        deadline_slack_gauge(
+            root.metrics().gauge("service.deadline.slack_ms")) {
     options.workers = std::max(1, options.workers);
     lib_fp = root.store().fingerprint(lib);
   }
@@ -114,6 +210,7 @@ struct Server::Impl {
   std::uint64_t lib_fp = 0;
 
   int listen_fd = -1;
+  int admin_fd = -1;
   std::atomic<bool> stopping{false};
   std::atomic<bool> started{false};
 
@@ -123,6 +220,7 @@ struct Server::Impl {
   std::atomic<std::uint64_t> next_seq{0};
 
   std::thread acceptor;
+  std::thread admin;
   std::vector<std::thread> workers;
   std::thread snapshotter;
   std::mutex snapshot_mutex;  // wait_for + final save
@@ -135,11 +233,80 @@ struct Server::Impl {
       n_shed{0}, n_deduped{0}, n_cancelled{0}, n_protocol_errors{0},
       n_snapshots{0};
 
+  // --- telemetry state -------------------------------------------------------
+  // Latency histograms and gauges live in the root Context's registry so
+  // the admin /metrics exposition picks them up for free; references are
+  // resolved once here (registry lookups are name-keyed and mutexed).
+  obs::Histogram& lat_characterize;
+  obs::Histogram& lat_aged_delay;
+  obs::Histogram& lat_library_query;
+  obs::Histogram& queue_wait;
+  obs::Gauge& queue_depth_gauge;
+  obs::Gauge& deadline_slack_gauge;
+
+  const std::chrono::steady_clock::time_point start_time =
+      std::chrono::steady_clock::now();
+  /// Microseconds from start_time to the last successful snapshot; -1 =
+  /// none yet.
+  std::atomic<std::int64_t> last_snapshot_us{-1};
+
+  /// Slowest requests, latency-descending, bounded at options.slow_ring.
+  std::mutex slow_mutex;
+  std::vector<StatsResponse::SlowRequest> slow;
+
+  RequestTraceWriter trace_writer;
+
+  double us_since_start(std::chrono::steady_clock::time_point tp) const {
+    return std::chrono::duration<double, std::micro>(tp - start_time).count();
+  }
+
+  obs::Histogram& latency_histogram(MsgType type) {
+    switch (type) {
+      case MsgType::aged_delay: return lat_aged_delay;
+      case MsgType::library_query: return lat_library_query;
+      default: return lat_characterize;
+    }
+  }
+
+  /// Admission-to-response accounting shared by worker jobs and the inline
+  /// library_query path: per-op histogram, slow-request ring.
+  void record_latency(MsgType type, std::uint64_t seq, std::uint64_t trace_id,
+                      double latency_us) {
+    latency_histogram(type).observe(latency_us);
+    if (options.slow_ring == 0) return;
+    std::lock_guard<std::mutex> lock(slow_mutex);
+    if (slow.size() >= options.slow_ring &&
+        latency_us <= slow.back().latency_us) {
+      return;
+    }
+    StatsResponse::SlowRequest entry;
+    entry.seq = seq;
+    entry.op = static_cast<std::uint32_t>(type);
+    entry.trace_id = trace_id;
+    entry.latency_us = latency_us;
+    const auto it = std::upper_bound(
+        slow.begin(), slow.end(), entry,
+        [](const StatsResponse::SlowRequest& a,
+           const StatsResponse::SlowRequest& b) {
+          return a.latency_us > b.latency_us;
+        });
+    slow.insert(it, entry);
+    if (slow.size() > options.slow_ring) slow.pop_back();
+  }
+
   // --- admission (reader threads) -------------------------------------------
 
   void handle_request(const ConnPtr& conn, const Frame& frame) {
     if (frame.type == MsgType::ping) {
-      conn->send_frame({MsgType::pong, frame.request_id, {}});
+      conn->send_frame({MsgType::pong, frame.request_id, frame.trace_id, {}});
+      return;
+    }
+    if (frame.type == MsgType::stats) {
+      // Answered inline from atomics and registry snapshots, counted
+      // nowhere: scraping must reconcile exactly against request tallies
+      // and must never contend with the worker queue.
+      conn->send_frame({MsgType::ok_stats, frame.request_id, frame.trace_id,
+                        encode_stats_response(build_stats())});
       return;
     }
     if (!is_request(frame.type)) {
@@ -158,12 +325,13 @@ struct Server::Impl {
       // impossible.
       n_protocol_errors.fetch_add(1);
       conn->send_frame(
-          {MsgType::error, frame.request_id,
+          {MsgType::error, frame.request_id, frame.trace_id,
            encode_error_response({e.what()})});
     }
   }
 
   void serve_library_query(const ConnPtr& conn, const Frame& frame) {
+    const auto received_at = std::chrono::steady_clock::now();
     const LibraryQueryRequest req =
         decode_library_query_request(frame.payload);
     std::vector<engine::SurfacePayload> all = root->store().surface_snapshot();
@@ -176,15 +344,22 @@ struct Server::Impl {
       if (req.width != 0 && p.surface.base.width != req.width) continue;
       out.push_back(std::move(p));
     }
-    conn->send_frame({MsgType::ok_surfaces, frame.request_id,
+    conn->send_frame({MsgType::ok_surfaces, frame.request_id, frame.trace_id,
                       encode_surfaces_response(out)});
     n_requests.fetch_add(1);
     n_completed.fetch_add(1);
+    record_latency(MsgType::library_query, next_seq.fetch_add(1),
+                   frame.trace_id,
+                   std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - received_at)
+                       .count());
   }
 
   void admit(const ConnPtr& conn, const Frame& frame) {
     JobPtr job = std::make_shared<Job>();
     job->type = frame.type;
+    job->trace_id = frame.trace_id;
+    job->received_at = std::chrono::steady_clock::now();
     std::uint32_t deadline_ms = 0;
     if (frame.type == MsgType::characterize) {
       job->characterize = decode_characterize_request(frame.payload);
@@ -199,10 +374,11 @@ struct Server::Impl {
       // Draining: shed instead of queueing, so the backlog only shrinks.
       n_shed.fetch_add(1);
       conn->send_frame({MsgType::retry_later, frame.request_id,
+                        frame.trace_id,
                         encode_retry_later_response({options.retry_hint_ms})});
       return;
     }
-    const Waiter waiter{conn, frame.request_id};
+    const Waiter waiter{conn, frame.request_id, frame.trace_id};
     bool shed = false;
     {
       std::lock_guard<std::mutex> lock(inflight_mutex);
@@ -241,10 +417,12 @@ struct Server::Impl {
       // stopped draining its socket can never stall admission or workers.
       n_shed.fetch_add(1);
       conn->send_frame({MsgType::retry_later, frame.request_id,
+                        frame.trace_id,
                         encode_retry_later_response({options.retry_hint_ms})});
       return;
     }
     n_requests.fetch_add(1);
+    queue_depth_gauge.update_max(static_cast<double>(queue.size()));
   }
 
   /// Caller holds inflight_mutex.
@@ -270,13 +448,26 @@ struct Server::Impl {
   }
 
   void execute(Job& job) {
+    const auto picked_up = std::chrono::steady_clock::now();
+    queue_wait.observe(std::chrono::duration<double, std::micro>(
+                           picked_up - job.received_at)
+                           .count());
+    queue_depth_gauge.set(static_cast<double>(queue.size()));
     obs::RunLog log;
     std::uint64_t first_id = 0;
     {
-      // job.waiters is guarded by inflight_mutex until the job leaves the
-      // inflight map below (dedup joins may still be appending).
+      // job.waiters and the deadline fields are guarded by inflight_mutex
+      // until the job leaves the inflight map below (dedup joins may still
+      // be appending / loosening).
       std::lock_guard<std::mutex> lock(inflight_mutex);
       if (!job.waiters.empty()) first_id = job.waiters.front().request_id;
+      if (!job.no_deadline) {
+        // Slack the moment work starts: negative means the deadline
+        // already passed while queued (the sweep cancels at first check).
+        deadline_slack_gauge.set(std::chrono::duration<double, std::milli>(
+                                     job.laxest_deadline - picked_up)
+                                     .count());
+      }
     }
     if (!options.log_dir.empty()) {
       char name[32];
@@ -293,10 +484,15 @@ struct Server::Impl {
     }
 
     Frame response;
+    // The capture sink records this worker thread's span tree for the
+    // request-trace stream; it is installed only when request tracing is
+    // on, so the steady-state cost stays one thread-local load per Span.
+    std::optional<obs::SpanCapture> capture;
+    if (trace_writer.active()) capture.emplace(256);
     try {
       response = compute(job, log);
     } catch (const CancelledError& e) {
-      response = {MsgType::cancelled, 0,
+      response = {MsgType::cancelled, 0, 0,
                   encode_cancelled_response(
                       {stopping.load() ? "shutdown" : "deadline"})};
       if (log.enabled()) {
@@ -306,7 +502,7 @@ struct Server::Impl {
         log.emit("cancelled", w);
       }
     } catch (const std::exception& e) {
-      response = {MsgType::error, 0, encode_error_response({e.what()})};
+      response = {MsgType::error, 0, 0, encode_error_response({e.what()})};
     }
     if (log.enabled() && response.type != MsgType::cancelled) {
       obs::JsonWriter w;
@@ -325,16 +521,29 @@ struct Server::Impl {
       job.waiters.clear();
       inflight.erase(job.dedup);
     }
+    // Latency stops here (send time to N waiters excluded) and is recorded
+    // before any response leaves: a client that has the response in hand
+    // must already see the whole request — counters AND histograms —
+    // reflected in the server's stats, so scrape reconciliation is exact.
+    const auto done = std::chrono::steady_clock::now();
+    const double latency_us =
+        std::chrono::duration<double, std::micro>(done - job.received_at)
+            .count();
+    record_latency(job.type, job.seq, job.trace_id, latency_us);
     for (const Waiter& w : waiters) {
-      // Count before sending: a client that has the response in hand must
-      // already see it reflected in the server's stats.
       if (response.type == MsgType::cancelled) {
         n_cancelled.fetch_add(1);
       } else if (response.type != MsgType::error) {
         n_completed.fetch_add(1);
       }
       response.request_id = w.request_id;
+      response.trace_id = w.trace_id;
       w.conn->send_frame(response);
+    }
+    if (capture.has_value()) {
+      trace_writer.append(job.seq, job.trace_id, to_string(job.type),
+                          us_since_start(job.received_at), latency_us,
+                          capture->spans());
     }
   }
 
@@ -350,6 +559,7 @@ struct Server::Impl {
     const Context ctx(copt);
 
     if (job.type == MsgType::characterize) {
+      const obs::Span span("serve.characterize");
       const CharacterizeRequest& req = job.characterize;
       CharacterizerOptions copts;
       copts.min_precision = req.min_precision;
@@ -364,14 +574,15 @@ struct Server::Impl {
       p.precision_step = req.precision_step;
       p.scenarios = req.scenarios;
       p.surface = ch.characterize(req.spec, req.scenarios);
-      return {MsgType::ok_surface, 0, encode_surface_response(p)};
+      return {MsgType::ok_surface, 0, 0, encode_surface_response(p)};
     }
+    const obs::Span span("serve.aged_delay");
     const AgedDelayRequest& req = job.aged_delay;
     ctx.check_cancelled("serve.aged_delay");
     const double delay = ctx.store().aged_sta_delay(lib, req.spec, model,
                                                     req.mode, req.years,
                                                     req.sta);
-    return {MsgType::ok_delay, 0, encode_delay_response({delay})};
+    return {MsgType::ok_delay, 0, 0, encode_delay_response({delay})};
   }
 
   // --- connection plumbing --------------------------------------------------
@@ -407,7 +618,7 @@ struct Server::Impl {
         // server stop, leaving the client staring at a dead socket).
         n_protocol_errors.fetch_add(1);
         conn->send_frame(
-            {MsgType::error, 0, encode_error_response({e.what()})});
+            {MsgType::error, 0, 0, encode_error_response({e.what()})});
         conn->alive.store(false, std::memory_order_relaxed);
         ::shutdown(conn->fd, SHUT_RDWR);
         break;
@@ -465,8 +676,152 @@ struct Server::Impl {
 
   void save_snapshot() {
     if (options.store_path.empty()) return;
-    if (root->store().save(options.store_path)) n_snapshots.fetch_add(1);
+    if (root->store().save(options.store_path)) {
+      n_snapshots.fetch_add(1);
+      last_snapshot_us.store(
+          static_cast<std::int64_t>(
+              us_since_start(std::chrono::steady_clock::now())),
+          std::memory_order_relaxed);
+    }
   }
+
+  // --- telemetry (stats op + admin plane) -----------------------------------
+
+  StatsResponse build_stats() {
+    StatsResponse r;
+    r.connections = n_connections.load();
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex);
+      r.live_connections = conns.size();
+    }
+    r.requests = n_requests.load();
+    r.completed = n_completed.load();
+    r.shed = n_shed.load();
+    r.deduped = n_deduped.load();
+    r.cancelled = n_cancelled.load();
+    r.protocol_errors = n_protocol_errors.load();
+    r.snapshots = n_snapshots.load();
+    r.queue_depth = queue.size();
+    {
+      std::lock_guard<std::mutex> lock(inflight_mutex);
+      r.inflight = inflight.size();
+    }
+    const auto now = std::chrono::steady_clock::now();
+    r.uptime_s = us_since_start(now) / 1e6;
+    const std::int64_t snap_us =
+        last_snapshot_us.load(std::memory_order_relaxed);
+    r.snapshot_age_s = snap_us < 0
+                           ? -1.0
+                           : (us_since_start(now) -
+                              static_cast<double>(snap_us)) /
+                                 1e6;
+    const std::pair<MsgType, obs::Histogram&> hists[] = {
+        {MsgType::characterize, lat_characterize},
+        {MsgType::aged_delay, lat_aged_delay},
+        {MsgType::library_query, lat_library_query},
+    };
+    for (const auto& [type, hist] : hists) {
+      StatsResponse::OpLatency op;
+      op.op = static_cast<std::uint32_t>(type);
+      op.count = hist.count();
+      if (op.count == 0) continue;
+      op.sum_us = hist.sum();
+      op.min_us = hist.min();
+      op.max_us = hist.max();
+      for (int i = 0; i < obs::Histogram::kBuckets; ++i) {
+        const std::uint64_t n = hist.bucket(i);
+        if (n > 0) op.buckets.emplace_back(i, n);
+      }
+      r.ops.push_back(std::move(op));
+    }
+    {
+      std::lock_guard<std::mutex> lock(slow_mutex);
+      r.slow = slow;
+    }
+    r.counters = root->metrics().snapshot().counters;
+    return r;
+  }
+
+  /// The /metrics snapshot: the root registry plus the server's lifetime
+  /// counters and instantaneous gauges as synthetic serve.* series, sorted
+  /// back into name order so the exposition stays deterministic.
+  obs::MetricsSnapshot admin_snapshot() {
+    obs::MetricsSnapshot snap = root->metrics().snapshot();
+    const StatsResponse s = build_stats();
+    snap.counters.emplace_back("serve.connections", s.connections);
+    snap.counters.emplace_back("serve.requests", s.requests);
+    snap.counters.emplace_back("serve.completed", s.completed);
+    snap.counters.emplace_back("serve.shed", s.shed);
+    snap.counters.emplace_back("serve.deduped", s.deduped);
+    snap.counters.emplace_back("serve.cancelled", s.cancelled);
+    snap.counters.emplace_back("serve.protocol_errors", s.protocol_errors);
+    snap.counters.emplace_back("serve.snapshots", s.snapshots);
+    auto gauge = [&snap](const char* name, double v) {
+      snap.gauges.emplace_back(name, std::make_pair(v, v));
+    };
+    gauge("serve.live_connections", static_cast<double>(s.live_connections));
+    gauge("serve.queue_depth", static_cast<double>(s.queue_depth));
+    gauge("serve.inflight", static_cast<double>(s.inflight));
+    gauge("serve.uptime_s", s.uptime_s);
+    gauge("serve.snapshot_age_s", s.snapshot_age_s);
+    std::sort(snap.counters.begin(), snap.counters.end());
+    std::sort(snap.gauges.begin(), snap.gauges.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    return snap;
+  }
+
+  void admin_loop() {
+    while (!stopping.load()) {
+      const int ready = wait_readable(admin_fd, 200);
+      if (ready <= 0) continue;
+      const int fd = ::accept(admin_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      serve_admin(fd);
+      close_fd(fd);
+    }
+  }
+
+  /// One HTTP/1.0 exchange, served serially on the admin thread: read the
+  /// request head (bounded bytes, bounded time), answer, close. Scrapers
+  /// are trusted operators on a loopback/unix socket — a slow one delays
+  /// the next scrape, never request traffic.
+  void serve_admin(int fd) {
+    std::string head;
+    char buf[1024];
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(1000);
+    while (head.find("\r\n") == std::string::npos &&
+           head.size() < sizeof(buf)) {
+      if (std::chrono::steady_clock::now() >= give_up) return;
+      if (wait_readable(fd, 100) <= 0) continue;
+      const long n = recv_some(fd, buf, sizeof(buf));
+      if (n <= 0) break;
+      head.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t eol = head.find("\r\n");
+    if (eol == std::string::npos) return;
+    const std::string request_line = head.substr(0, eol);
+    std::string body, status = "200 OK", content_type = "text/plain";
+    if (request_line.rfind("GET /metrics", 0) == 0) {
+      const std::string info =
+          "endpoint=\"" + obs::prometheus_label_escape(endpoint_for_info) +
+          "\"";
+      body = obs::prometheus_text(admin_snapshot(), info);
+      content_type = "text/plain; version=0.0.4";
+    } else if (request_line.rfind("GET /healthz", 0) == 0) {
+      body = "ok\n";
+    } else {
+      status = "404 Not Found";
+      body = "not found\n";
+    }
+    std::string resp = "HTTP/1.0 " + status +
+                       "\r\nContent-Type: " + content_type +
+                       "\r\nContent-Length: " + std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n" + body;
+    send_all(fd, resp, options.write_timeout_ms);
+  }
+
+  std::string endpoint_for_info;  ///< resolved serve endpoint, for /metrics
 };
 
 Server::Server(const Context& root, ServerOptions options)
@@ -477,8 +832,26 @@ Server::~Server() { stop(); }
 bool Server::start(std::string* err) {
   impl_->listen_fd = listen_endpoint(impl_->options.listen, &endpoint_, err);
   if (impl_->listen_fd < 0) return false;
+  impl_->endpoint_for_info = endpoint_;
+  if (!impl_->options.admin.empty()) {
+    impl_->admin_fd =
+        listen_endpoint(impl_->options.admin, &admin_endpoint_, err);
+    if (impl_->admin_fd < 0) {
+      close_fd(impl_->listen_fd);
+      impl_->listen_fd = -1;
+      unlink_endpoint(impl_->options.listen);
+      return false;
+    }
+  }
+  if (!impl_->options.request_trace_path.empty()) {
+    impl_->trace_writer.open(impl_->options.request_trace_path,
+                             impl_->options.request_trace_rotate_bytes);
+  }
   impl_->started.store(true);
   impl_->acceptor = std::thread([this] { impl_->acceptor_loop(); });
+  if (impl_->admin_fd >= 0) {
+    impl_->admin = std::thread([this] { impl_->admin_loop(); });
+  }
   for (int i = 0; i < impl_->options.workers; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
   }
@@ -495,6 +868,7 @@ void Server::stop() {
   impl_->stopping.store(true);
   impl_->snapshot_cv.notify_all();
   if (impl_->acceptor.joinable()) impl_->acceptor.join();
+  if (impl_->admin.joinable()) impl_->admin.join();
   // 2. Drain: close() lets workers finish every queued job, then exit.
   impl_->queue.close();
   for (std::thread& w : impl_->workers) {
@@ -520,6 +894,12 @@ void Server::stop() {
   close_fd(impl_->listen_fd);
   impl_->listen_fd = -1;
   unlink_endpoint(impl_->options.listen);
+  if (impl_->admin_fd >= 0) {
+    close_fd(impl_->admin_fd);
+    impl_->admin_fd = -1;
+    unlink_endpoint(impl_->options.admin);
+  }
+  impl_->trace_writer.close();
   // 4. Final snapshot: the drained store's warmth survives the restart.
   impl_->save_snapshot();
 }
@@ -547,5 +927,7 @@ Server::Stats Server::stats() const {
   s.snapshots = impl_->n_snapshots.load();
   return s;
 }
+
+StatsResponse Server::stats_response() const { return impl_->build_stats(); }
 
 }  // namespace aapx::service

@@ -31,6 +31,16 @@
 //               retry_later), finishes the queued backlog, snapshots, then
 //               joins every thread.
 //
+// Telemetry plane (ISSUE 8): a running server is observable without being
+// perturbable. The in-band `stats` op and the optional `--admin` HTTP/1.0
+// listener (GET /metrics Prometheus text, GET /healthz) are both answered
+// from atomics and registry snapshots on threads that never touch the
+// worker queue or any request counter — scraping mid-campaign leaves run
+// logs byte-identical. Per-request admission-to-response latency lands in
+// per-op log2 histograms, the slowest requests in a bounded top-K ring, and
+// (when request tracing is on) each request's span tree streams to a
+// rotating Chrome-trace file keyed by the client's trace id.
+//
 // See docs/ARCHITECTURE.md "Service layer" for the full failure matrix.
 #pragma once
 
@@ -42,6 +52,7 @@
 #include "aging/bti_model.hpp"
 #include "cell/library.hpp"
 #include "engine/context.hpp"
+#include "service/protocol.hpp"
 
 namespace aapx::service {
 
@@ -69,6 +80,18 @@ struct ServerOptions {
   double snapshot_interval_s = 0.0;
   /// Per-request run-log directory (req_<seq>.jsonl); empty = no logs.
   std::string log_dir;
+  /// Admin HTTP/1.0 endpoint (unix:<path> or tcp:<port>) answering GET
+  /// /metrics (Prometheus text exposition of the root registry plus the
+  /// server's own serve.* series) and GET /healthz. Empty = no admin plane.
+  std::string admin;
+  /// Streams completed request span trees (Chrome trace, JSON array
+  /// format) to this path, rotating to <path>.1 at the size cap below.
+  /// Empty = request tracing off.
+  std::string request_trace_path;
+  /// Size cap that triggers request-trace rotation.
+  std::size_t request_trace_rotate_bytes = 8ull << 20;
+  /// Capacity of the slowest-requests ring reported by the stats op.
+  std::size_t slow_ring = 16;
 };
 
 class Server {
@@ -88,6 +111,11 @@ class Server {
 
   /// The concrete endpoint after bind — for tcp:0, the resolved port.
   const std::string& endpoint() const noexcept { return endpoint_; }
+
+  /// The concrete admin endpoint after bind; empty when no admin plane.
+  const std::string& admin_endpoint() const noexcept {
+    return admin_endpoint_;
+  }
 
   /// Graceful drain: shed new work, finish the backlog, snapshot the
   /// store, join every thread. Idempotent; also runs from ~Server.
@@ -113,10 +141,17 @@ class Server {
   };
   Stats stats() const;
 
+  /// The full operational snapshot the in-band stats op serves — lifetime
+  /// counters, per-op latency histograms, the slow-request ring, registry
+  /// counters. Built from atomics and snapshots only; callable any time
+  /// between start() and stop() without perturbing request traffic.
+  StatsResponse stats_response() const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
   std::string endpoint_;
+  std::string admin_endpoint_;
   std::atomic<bool> stop_requested_{false};
 };
 

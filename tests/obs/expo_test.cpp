@@ -1,0 +1,105 @@
+#include "obs/expo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace aapx::obs {
+namespace {
+
+TEST(Expo, PrometheusNameSanitizesAndPrefixes) {
+  EXPECT_EQ(prometheus_name("engine.store.hits"), "aapx_engine_store_hits");
+  EXPECT_EQ(prometheus_name("serve-queue depth"), "aapx_serve_queue_depth");
+  // Colons and underscores are legal and pass through; the fixed prefix
+  // keeps a leading digit legal too.
+  EXPECT_EQ(prometheus_name("a:b_c"), "aapx_a:b_c");
+  EXPECT_EQ(prometheus_name("7zip"), "aapx_7zip");
+}
+
+TEST(Expo, LabelEscapeCoversSpecials) {
+  EXPECT_EQ(prometheus_label_escape("plain"), "plain");
+  EXPECT_EQ(prometheus_label_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(prometheus_label_escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(prometheus_label_escape("line\nbreak"), "line\\nbreak");
+}
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"serve.requests", 42});
+  snap.gauges.push_back({"serve.queue_depth", {3.0, 7.0}});
+  HistogramSample h;
+  h.count = 4;
+  h.sum = 10.5;
+  h.min = 0.5;
+  h.max = 3.9;
+  h.buckets = {{0, 1}, {1, 1}, {2, 2}};
+  snap.histograms.push_back({"latency.us", h});
+  return snap;
+}
+
+// The exposition is a pure function of the snapshot, so the full text is
+// golden-testable: every series, the cumulative bucket edges, the exact
+// sum/count/min/max, in this exact order and byte form.
+TEST(Expo, GoldenExposition) {
+  const std::string got =
+      prometheus_text(sample_snapshot(), "endpoint=\"tcp:0\"");
+  const std::string want =
+      "# TYPE aapx_build_info gauge\n"
+      "aapx_build_info{endpoint=\"tcp:0\"} 1\n"
+      "# TYPE aapx_serve_requests counter\n"
+      "aapx_serve_requests 42\n"
+      "# TYPE aapx_serve_queue_depth gauge\n"
+      "aapx_serve_queue_depth 3\n"
+      "# TYPE aapx_serve_queue_depth_max gauge\n"
+      "aapx_serve_queue_depth_max 7\n"
+      "# TYPE aapx_latency_us histogram\n"
+      "aapx_latency_us_bucket{le=\"1\"} 1\n"
+      "aapx_latency_us_bucket{le=\"2\"} 2\n"
+      "aapx_latency_us_bucket{le=\"4\"} 4\n"
+      "aapx_latency_us_bucket{le=\"+Inf\"} 4\n"
+      "aapx_latency_us_sum 10.5\n"
+      "aapx_latency_us_count 4\n"
+      "# TYPE aapx_latency_us_min gauge\n"
+      "aapx_latency_us_min 0.5\n"
+      "# TYPE aapx_latency_us_max gauge\n"
+      "aapx_latency_us_max 3.9\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(Expo, SameSnapshotSameBytes) {
+  const MetricsSnapshot snap = sample_snapshot();
+  EXPECT_EQ(prometheus_text(snap, "endpoint=\"tcp:1\""),
+            prometheus_text(snap, "endpoint=\"tcp:1\""));
+}
+
+TEST(Expo, EmptyInfoLabelsOmitBuildInfo) {
+  MetricsSnapshot snap;
+  snap.counters.push_back({"x", 1});
+  const std::string got = prometheus_text(snap);
+  EXPECT_EQ(got.find("aapx_build_info"), std::string::npos);
+  EXPECT_EQ(got, "# TYPE aapx_x counter\naapx_x 1\n");
+}
+
+TEST(Expo, BucketEdgesAreCumulativeAndSkipEmpties) {
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.count = 5;
+  h.sum = 1000.0;
+  h.min = 3.0;
+  h.max = 700.0;
+  // Buckets 2 ([2,4)) and 10 ([512,1024)); everything between is empty
+  // and must not appear as a le edge.
+  h.buckets = {{2, 4}, {10, 1}};
+  snap.histograms.push_back({"gap", h});
+  const std::string got = prometheus_text(snap);
+  EXPECT_NE(got.find("aapx_gap_bucket{le=\"4\"} 4\n"), std::string::npos);
+  EXPECT_NE(got.find("aapx_gap_bucket{le=\"1024\"} 5\n"), std::string::npos);
+  EXPECT_NE(got.find("aapx_gap_bucket{le=\"+Inf\"} 5\n"), std::string::npos);
+  EXPECT_EQ(got.find("le=\"8\""), std::string::npos);
+  EXPECT_EQ(got.find("le=\"512\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aapx::obs

@@ -118,6 +118,73 @@ TEST_F(MetricsTest, CountersAreExactUnderParallelWorkers) {
   EXPECT_EQ(sizes.count(), n);
 }
 
+TEST_F(MetricsTest, HistogramTracksExactMinAndMax) {
+  Histogram& h = metrics().histogram("test.minmax");
+  // Untouched: accessors report 0, not the infinity sentinels.
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(7.25);
+  EXPECT_DOUBLE_EQ(h.min(), 7.25);
+  EXPECT_DOUBLE_EQ(h.max(), 7.25);
+  h.observe(3.5);
+  h.observe(900.0);
+  EXPECT_DOUBLE_EQ(h.min(), 3.5);
+  EXPECT_DOUBLE_EQ(h.max(), 900.0);
+  const MetricsSnapshot snap = metrics().snapshot();
+  bool seen = false;
+  for (const auto& [name, sample] : snap.histograms) {
+    if (name != "test.minmax") continue;
+    seen = true;
+    EXPECT_DOUBLE_EQ(sample.min, 3.5);
+    EXPECT_DOUBLE_EQ(sample.max, 900.0);
+    EXPECT_DOUBLE_EQ(sample.sum, 910.75);
+  }
+  EXPECT_TRUE(seen);
+  metrics().reset();
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.observe(2.0);  // post-reset the sentinels must rearm
+  EXPECT_DOUBLE_EQ(h.min(), 2.0);
+  EXPECT_DOUBLE_EQ(h.max(), 2.0);
+}
+
+TEST_F(MetricsTest, MinMaxAreExactUnderParallelWorkers) {
+  Histogram& h = metrics().histogram("test.minmax_par");
+  constexpr std::size_t n = 20'000;
+  parallel_for(n, [&](std::size_t i) {
+    h.observe(static_cast<double>(i) + 1.0);
+  }, 4);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), static_cast<double>(n));
+  EXPECT_EQ(h.count(), n);
+}
+
+TEST_F(MetricsTest, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram& h = metrics().histogram("test.quant");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  const MetricsSnapshot snap = metrics().snapshot();
+  const HistogramSample* sample = nullptr;
+  for (const auto& [name, s] : snap.histograms) {
+    if (name == "test.quant") sample = &s;
+  }
+  ASSERT_NE(sample, nullptr);
+  // Exact at the edges, clamped to the true extremes.
+  EXPECT_DOUBLE_EQ(histogram_quantile(*sample, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(histogram_quantile(*sample, 1.0), 100.0);
+  // Interior quantiles are bucket-interpolated: right bucket, right order,
+  // and within the log2 bucket's bounds of the true value.
+  const double p50 = histogram_quantile(*sample, 0.50);
+  const double p95 = histogram_quantile(*sample, 0.95);
+  EXPECT_GE(p50, 32.0);   // true p50 = 50, bucket [32, 64)
+  EXPECT_LT(p50, 64.0);
+  EXPECT_GE(p95, 64.0);   // true p95 = 95, bucket [64, 100]
+  EXPECT_LE(p95, 100.0);
+  EXPECT_LT(p50, p95);
+  // Empty histogram: all quantiles are 0.
+  const HistogramSample empty;
+  EXPECT_DOUBLE_EQ(histogram_quantile(empty, 0.5), 0.0);
+}
+
 TEST_F(MetricsTest, HandleRegistrationIsSafeFromWorkers) {
   // First-use registration takes the registry lock; hammer it from a pool.
   parallel_for(256, [&](std::size_t i) {

@@ -156,5 +156,92 @@ TEST(CacheRatesTest, EmptyOnNonMetricsDocuments) {
   EXPECT_TRUE(cache_rates_from_metrics(parse("{}")).empty());
 }
 
+TEST(HistogramsFromMetricsTest, ReconstructsExactAggregatesAndQuantiles) {
+  const JsonValue doc = parse(R"({"histograms":{
+    "service.latency_us.characterize":
+      {"count":4,"sum":108.5,"min":0.5,"max":100,
+       "buckets":[[0,1],[1,1],[7,2]]},
+    "untouched":{"count":0,"sum":0,"min":0,"max":0,"buckets":[]}}})");
+  const auto rows = histograms_from_metrics(doc);
+  ASSERT_EQ(rows.size(), 1u);  // zero-count histograms are skipped
+  const HistogramRow& r = rows[0];
+  EXPECT_EQ(r.name, "service.latency_us.characterize");
+  EXPECT_EQ(r.count, 4u);
+  EXPECT_DOUBLE_EQ(r.sum, 108.5);
+  EXPECT_DOUBLE_EQ(r.mean(), 108.5 / 4.0);
+  EXPECT_DOUBLE_EQ(r.min, 0.5);
+  EXPECT_DOUBLE_EQ(r.max, 100.0);
+  // Quantiles travel through the same interpolation as the live registry:
+  // monotone, clamped to the exact extremes.
+  EXPECT_GE(r.p50, r.min);
+  EXPECT_LE(r.p50, r.p95);
+  EXPECT_LE(r.p95, r.p99);
+  EXPECT_LE(r.p99, r.max);
+  EXPECT_TRUE(histograms_from_metrics(parse("{}")).empty());
+  EXPECT_TRUE(histograms_from_metrics(parse("[1]")).empty());
+}
+
+TEST(SummarizeServiceLogTest, CountsOpsAndOutcomes) {
+  const std::vector<JsonValue> records = {
+      parse(R"({"type":"manifest","schema":"aapx-servelog-v1"})"),
+      parse(R"({"type":"request","msg":"characterize","request_id":1})"),
+      parse(R"({"type":"response","msg":"ok_surface","request_id":1})"),
+      parse(R"({"type":"manifest","schema":"aapx-servelog-v1"})"),
+      parse(R"({"type":"request","msg":"aged_delay","request_id":2})"),
+      parse(R"({"type":"response","msg":"ok_delay","request_id":2})"),
+      parse(R"({"type":"manifest","schema":"aapx-servelog-v1"})"),
+      parse(R"({"type":"request","msg":"characterize","request_id":3})"),
+      parse(R"({"type":"cancelled","where":"queue","reason":"deadline"})"),
+  };
+  const ServiceLogSummary sum = summarize_service_log(records);
+  EXPECT_EQ(sum.requests, 3u);
+  EXPECT_EQ(sum.cancelled, 1u);
+  ASSERT_EQ(sum.ops.size(), 2u);  // first-appearance order
+  EXPECT_EQ(sum.ops[0].first, "characterize");
+  EXPECT_EQ(sum.ops[0].second, 2u);
+  EXPECT_EQ(sum.ops[1].first, "aged_delay");
+  EXPECT_EQ(sum.ops[1].second, 1u);
+  ASSERT_EQ(sum.outcomes.size(), 3u);
+  EXPECT_EQ(sum.outcomes[0].first, "ok_surface");
+  EXPECT_EQ(sum.outcomes[1].first, "ok_delay");
+  EXPECT_EQ(sum.outcomes[2].first, "cancelled");
+  EXPECT_EQ(sum.outcomes[2].second, 1u);
+}
+
+TEST(DiffNumericTest, FlattensLeavesAndSkipsArrays) {
+  const JsonValue doc = parse(R"({"counters":{"b":2,"a":1},
+    "gauges":{"g":{"value":3.5,"max":9}},
+    "histograms":{"h":{"count":1,"buckets":[[3,1]]}},
+    "label":"not-a-number"})");
+  const auto flat = flatten_numeric(doc);
+  ASSERT_EQ(flat.size(), 5u);  // name-ordered; arrays and strings skipped
+  EXPECT_EQ(flat[0].first, "counters.a");
+  EXPECT_DOUBLE_EQ(flat[0].second, 1.0);
+  EXPECT_EQ(flat[1].first, "counters.b");
+  EXPECT_EQ(flat[2].first, "gauges.g.max");
+  EXPECT_EQ(flat[3].first, "gauges.g.value");
+  EXPECT_DOUBLE_EQ(flat[3].second, 3.5);
+  EXPECT_EQ(flat[4].first, "histograms.h.count");
+}
+
+TEST(DiffNumericTest, JoinsByNameAndMarksPresence) {
+  const JsonValue a = parse(R"({"shared":10,"gone":5,"zero":0})");
+  const JsonValue b = parse(R"({"shared":15,"fresh":7,"zero":0})");
+  const auto deltas = diff_numeric(a, b);
+  ASSERT_EQ(deltas.size(), 4u);  // name-ordered union
+  EXPECT_EQ(deltas[0].name, "fresh");
+  EXPECT_FALSE(deltas[0].in_a);
+  EXPECT_TRUE(deltas[0].in_b);
+  EXPECT_DOUBLE_EQ(deltas[0].pct(), 0.0);  // one-sided: no relative change
+  EXPECT_EQ(deltas[1].name, "gone");
+  EXPECT_TRUE(deltas[1].in_a);
+  EXPECT_FALSE(deltas[1].in_b);
+  EXPECT_EQ(deltas[2].name, "shared");
+  EXPECT_DOUBLE_EQ(deltas[2].delta(), 5.0);
+  EXPECT_DOUBLE_EQ(deltas[2].pct(), 50.0);
+  EXPECT_EQ(deltas[3].name, "zero");
+  EXPECT_DOUBLE_EQ(deltas[3].pct(), 0.0);  // zero base has no percent
+}
+
 }  // namespace
 }  // namespace aapx::obs

@@ -130,6 +130,72 @@ TEST_F(TraceTest, DiscardDropsEverything) {
   EXPECT_EQ(Tracer::instance().event_count(), 0u);
 }
 
+TEST_F(TraceTest, SpanCaptureRecordsSpansWithGlobalTracerOff) {
+  ASSERT_FALSE(Tracer::instance().enabled());
+  SpanCapture capture;
+  {
+    Span outer("outer");
+    { Span inner("inner"); }
+  }
+  ASSERT_EQ(capture.spans().size(), 2u);
+  EXPECT_EQ(capture.dropped(), 0u);
+  // Begin order, with nesting depth; both closed before we looked.
+  EXPECT_STREQ(capture.spans()[0].name, "outer");
+  EXPECT_EQ(capture.spans()[0].depth, 0);
+  EXPECT_STREQ(capture.spans()[1].name, "inner");
+  EXPECT_EQ(capture.spans()[1].depth, 1);
+  EXPECT_GE(capture.spans()[0].dur_us, capture.spans()[1].dur_us);
+  EXPECT_GE(capture.spans()[1].dur_us, 0.0);
+  EXPECT_GE(capture.spans()[1].start_us, capture.spans()[0].start_us);
+  // The sink never fed the global tracer.
+  EXPECT_EQ(Tracer::instance().event_count(), 0u);
+}
+
+TEST_F(TraceTest, SpanCaptureDropsBeyondMaxSpansWithoutLeakingDepth) {
+  SpanCapture capture(2);
+  { Span a("kept-1"); }
+  {
+    Span b("kept-2");
+    { Span c("dropped-child"); }  // over capacity: counted, not stored
+  }
+  { Span d("dropped-sibling"); }
+  ASSERT_EQ(capture.spans().size(), 2u);
+  EXPECT_EQ(capture.dropped(), 2u);
+  EXPECT_STREQ(capture.spans()[0].name, "kept-1");
+  EXPECT_STREQ(capture.spans()[1].name, "kept-2");
+  // The dropped child must not have left the depth counter raised.
+  EXPECT_EQ(capture.spans()[1].depth, 0);
+}
+
+TEST_F(TraceTest, SpanCaptureSinksNestAndRestore) {
+  SpanCapture outer_sink;
+  { Span a("to-outer"); }
+  {
+    SpanCapture inner_sink;
+    { Span b("to-inner"); }
+    ASSERT_EQ(inner_sink.spans().size(), 1u);
+    EXPECT_STREQ(inner_sink.spans()[0].name, "to-inner");
+  }
+  { Span c("to-outer-again"); }
+  // The inner sink shadowed the outer one only while alive.
+  ASSERT_EQ(outer_sink.spans().size(), 2u);
+  EXPECT_STREQ(outer_sink.spans()[0].name, "to-outer");
+  EXPECT_STREQ(outer_sink.spans()[1].name, "to-outer-again");
+}
+
+TEST_F(TraceTest, SpanCaptureAlsoFeedsTheGlobalTracer) {
+  Tracer::instance().start();
+  {
+    SpanCapture capture;
+    { Span s("both"); }
+    ASSERT_EQ(capture.spans().size(), 1u);
+  }
+  // "ALSO recorded here": the global tracer got its B/E pair too.
+  EXPECT_EQ(Tracer::instance().event_count(), 2u);
+  const JsonValue doc = collect();
+  EXPECT_TRUE(validate_trace(doc).empty());
+}
+
 TEST_F(TraceTest, RestartClearsPreviousEvents) {
   Tracer::instance().start();
   { Span s("first"); }

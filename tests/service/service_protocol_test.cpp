@@ -163,6 +163,72 @@ TEST(ServiceProtocol, FuzzResponsePayloads) {
       "cancelled");
 }
 
+StatsResponse sample_stats() {
+  StatsResponse s;
+  s.connections = 12;
+  s.live_connections = 3;
+  s.requests = 40;
+  s.completed = 37;
+  s.shed = 5;
+  s.deduped = 2;
+  s.cancelled = 1;
+  s.protocol_errors = 4;
+  s.snapshots = 6;
+  s.queue_depth = 2;
+  s.inflight = 1;
+  s.uptime_s = 12.5;
+  s.snapshot_age_s = 0.25;
+  StatsResponse::OpLatency lat;
+  lat.op = static_cast<std::uint32_t>(MsgType::characterize);
+  lat.count = 37;
+  lat.sum_us = 123456.0;
+  lat.min_us = 800.0;
+  lat.max_us = 90000.0;
+  lat.buckets = {{10, 3}, {11, 30}, {17, 4}};
+  s.ops.push_back(lat);
+  s.slow = {{41, static_cast<std::uint32_t>(MsgType::characterize),
+             0xabcdef01ull, 90000.0},
+            {7, static_cast<std::uint32_t>(MsgType::aged_delay), 0, 42000.0}};
+  s.counters = {{"store.surface.hit", 31}, {"store.surface.miss", 6}};
+  return s;
+}
+
+TEST(ServiceProtocol, StatsCodecRoundTrips) {
+  const StatsResponse want = sample_stats();
+  const StatsResponse got = decode_stats_response(encode_stats_response(want));
+  EXPECT_EQ(got.connections, want.connections);
+  EXPECT_EQ(got.live_connections, want.live_connections);
+  EXPECT_EQ(got.requests, want.requests);
+  EXPECT_EQ(got.completed, want.completed);
+  EXPECT_EQ(got.shed, want.shed);
+  EXPECT_EQ(got.deduped, want.deduped);
+  EXPECT_EQ(got.cancelled, want.cancelled);
+  EXPECT_EQ(got.protocol_errors, want.protocol_errors);
+  EXPECT_EQ(got.snapshots, want.snapshots);
+  EXPECT_EQ(got.queue_depth, want.queue_depth);
+  EXPECT_EQ(got.inflight, want.inflight);
+  EXPECT_EQ(got.uptime_s, want.uptime_s);
+  EXPECT_EQ(got.snapshot_age_s, want.snapshot_age_s);
+  ASSERT_EQ(got.ops.size(), 1u);
+  EXPECT_EQ(got.ops[0].op, want.ops[0].op);
+  EXPECT_EQ(got.ops[0].count, want.ops[0].count);
+  EXPECT_EQ(got.ops[0].sum_us, want.ops[0].sum_us);
+  EXPECT_EQ(got.ops[0].min_us, want.ops[0].min_us);
+  EXPECT_EQ(got.ops[0].max_us, want.ops[0].max_us);
+  EXPECT_EQ(got.ops[0].buckets, want.ops[0].buckets);
+  ASSERT_EQ(got.slow.size(), 2u);
+  EXPECT_EQ(got.slow[0].seq, want.slow[0].seq);
+  EXPECT_EQ(got.slow[0].trace_id, want.slow[0].trace_id);
+  EXPECT_EQ(got.slow[1].latency_us, want.slow[1].latency_us);
+  EXPECT_EQ(got.counters, want.counters);
+}
+
+TEST(ServiceProtocol, FuzzStatsPayload) {
+  fuzz_codec<ProtocolError>(
+      encode_stats_response(sample_stats()),
+      [](const std::string& b) { return decode_stats_response(b); }, "stats");
+}
+
 TEST(ServiceProtocol, RejectsInvalidEnumAndRangeValues) {
   CharacterizeRequest req = sample_characterize();
   req.spec.width = 99;  // above the 64-bit datapath ceiling
@@ -186,8 +252,8 @@ TEST(ServiceProtocol, RejectsInvalidEnumAndRangeValues) {
 // --- FrameReader ------------------------------------------------------------
 
 TEST(FrameReader, ReassemblesByteByByte) {
-  const Frame a{MsgType::ping, 7, {}};
-  const Frame b{MsgType::characterize, 8,
+  const Frame a{MsgType::ping, 7, 0, {}};
+  const Frame b{MsgType::characterize, 8, 0xfeedfacecafef00dull,
                 encode_request(sample_characterize())};
   const std::string stream = encode_frame(a) + encode_frame(b);
   FrameReader reader;
@@ -199,7 +265,10 @@ TEST(FrameReader, ReassemblesByteByByte) {
   ASSERT_EQ(got.size(), 2u);
   EXPECT_EQ(got[0].type, MsgType::ping);
   EXPECT_EQ(got[0].request_id, 7u);
+  EXPECT_EQ(got[0].trace_id, 0u);
   EXPECT_EQ(got[1].type, MsgType::characterize);
+  EXPECT_EQ(got[1].trace_id, 0xfeedfacecafef00dull)
+      << "trace id not carried through the frame header";
   EXPECT_EQ(got[1].payload, b.payload);
   EXPECT_EQ(reader.buffered(), 0u);
 }
@@ -218,7 +287,7 @@ TEST(FrameReader, CompactsConsumedPrefixOnLongLivedStreams) {
     // paths (short header, short payload) run alongside mid-buffer pops.
     std::string burst;
     for (std::uint64_t j = 0; j < 4; ++j) {
-      burst += encode_frame({MsgType::ping, i * 4 + j, payload});
+      burst += encode_frame({MsgType::ping, i * 4 + j, 0, payload});
     }
     frame_size = burst.size() / 4;
     const std::size_t cut = burst.size() / 2 + 7;
@@ -246,12 +315,13 @@ TEST(FrameReader, RejectsHostileLengthPrefixFromHeaderAlone) {
   engine::BinWriter w;
   w.u32(kFrameMagic);
   w.u32(static_cast<std::uint32_t>(MsgType::characterize));
-  w.u64(1);
+  w.u64(1);           // request_id
+  w.u64(0);           // trace_id
   w.u64(1ull << 60);  // absurd payload length
   const std::string header = w.take();
   FrameReader reader;
   reader.feed(header.data(), header.size());
-  // Must throw with only the 24 header bytes buffered — i.e. without
+  // Must throw with only the 32 header bytes buffered — i.e. without
   // waiting for (or allocating room for) a payload that never comes.
   EXPECT_THROW(reader.next(), ProtocolError);
 }
@@ -260,8 +330,9 @@ TEST(FrameReader, RejectsUnknownMessageType) {
   engine::BinWriter w;
   w.u32(kFrameMagic);
   w.u32(999);
-  w.u64(1);
-  w.u64(0);
+  w.u64(1);  // request_id
+  w.u64(0);  // trace_id
+  w.u64(0);  // payload length
   const std::string header = w.take();
   FrameReader reader;
   reader.feed(header.data(), header.size());
@@ -278,7 +349,7 @@ TEST(FrameReader, FuzzRandomStreams) {
     // Occasionally splice a valid header in front so the payload path is
     // exercised too, not just the magic check.
     if (round % 4 == 0) {
-      stream = encode_frame({MsgType::ping, rng.next(), {}}) + stream;
+      stream = encode_frame({MsgType::ping, rng.next(), 0, {}}) + stream;
     }
     try {
       reader.feed(stream.data(), stream.size());

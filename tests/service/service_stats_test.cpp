@@ -1,0 +1,305 @@
+// Coverage of the telemetry plane: the in-band `stats` op (exact counts,
+// per-op latency histograms, the bounded slow-request ring), the `--admin`
+// HTTP endpoints, trace-id stamping, and the determinism contract that
+// scraping a running server never perturbs its run-log bytes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/context.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/socket.hpp"
+
+namespace aapx::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+CharacterizeRequest small_request(int width = 6) {
+  CharacterizeRequest req;
+  req.spec.kind = ComponentKind::adder;
+  req.spec.width = width;
+  req.spec.adder_arch = AdderArch::ripple;
+  req.scenarios = {{StressMode::worst, 10.0}};
+  req.min_precision = width - 2;
+  return req;
+}
+
+/// Blocking HTTP/1.0 GET over the socket primitives (curl-free, like the
+/// CI smoke); returns the whole response (status line + headers + body).
+std::string http_get(const std::string& endpoint, const std::string& path) {
+  std::string err;
+  const int fd = connect_endpoint(endpoint, &err);
+  EXPECT_GE(fd, 0) << err;
+  if (fd < 0) return {};
+  EXPECT_TRUE(send_all(fd, "GET " + path + " HTTP/1.0\r\n\r\n", 5000));
+  std::string out;
+  char buf[4096];
+  while (wait_readable(fd, 5000) == 1) {
+    const long n = recv_some(fd, buf, sizeof(buf));
+    if (n <= 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  close_fd(fd);
+  return out;
+}
+
+TEST(ServeStats, InBandStatsOpIsExactAndCountsNeitherPingNorItself) {
+  Context root;
+  Server server(root, ServerOptions{});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ServiceClient client(server.endpoint());
+  ASSERT_TRUE(client.ping(&err)) << err;
+
+  const auto before = client.stats(&err);
+  ASSERT_TRUE(before.has_value()) << err;
+  // ping and stats are control traffic, not requests.
+  EXPECT_EQ(before->requests, 0u);
+  EXPECT_EQ(before->completed, 0u);
+  EXPECT_EQ(before->connections, 1u);
+  EXPECT_EQ(before->queue_depth, 0u);
+  EXPECT_EQ(before->inflight, 0u);
+  EXPECT_GE(before->uptime_s, 0.0);
+  EXPECT_DOUBLE_EQ(before->snapshot_age_s, -1.0);  // store never snapshotted
+  EXPECT_TRUE(before->ops.empty());
+
+  ASSERT_TRUE(client.characterize(small_request(), &err).has_value()) << err;
+  const auto after = client.stats(&err);
+  ASSERT_TRUE(after.has_value()) << err;
+  // The client holds the response, so the server's counters must already
+  // reflect it (completed is counted before the send) — no settling wait.
+  EXPECT_EQ(after->requests, 1u);
+  EXPECT_EQ(after->completed, 1u);
+  ASSERT_EQ(after->ops.size(), 1u);
+  const StatsResponse::OpLatency& lat = after->ops[0];
+  EXPECT_EQ(static_cast<MsgType>(lat.op), MsgType::characterize);
+  EXPECT_EQ(lat.count, 1u);
+  EXPECT_GT(lat.sum_us, 0.0);
+  EXPECT_EQ(lat.min_us, lat.max_us);  // one observation
+  std::uint64_t bucketed = 0;
+  for (const auto& [index, count] : lat.buckets) bucketed += count;
+  EXPECT_EQ(bucketed, lat.count) << "histogram buckets must reconcile";
+  server.stop();
+}
+
+// TSan target: concurrent request traffic, an in-band scraper and direct
+// stats_response() calls racing — counts must still be exact.
+TEST(ServeStats, CountsStayExactUnderConcurrentClientsAndScrapes) {
+  constexpr int kClients = 4;
+  Context root;
+  Server server(root, ServerOptions{});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+
+  std::atomic<bool> done{false};
+  std::thread scraper([&] {
+    ServiceClient probe(server.endpoint());
+    while (!done.load()) {
+      std::string serr;
+      const auto snap = probe.stats(&serr);
+      EXPECT_TRUE(snap.has_value()) << serr;
+      (void)server.stats_response();
+    }
+  });
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      ServiceClient client(server.endpoint());
+      std::string cerr;
+      EXPECT_TRUE(client.characterize(small_request(4 + i), &cerr).has_value())
+          << cerr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  done.store(true);
+  scraper.join();
+
+  const StatsResponse fin = server.stats_response();
+  EXPECT_EQ(fin.requests, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(fin.completed, static_cast<std::uint64_t>(kClients));
+  ASSERT_EQ(fin.ops.size(), 1u);
+  EXPECT_EQ(fin.ops[0].count, static_cast<std::uint64_t>(kClients));
+  server.stop();
+}
+
+TEST(ServeStats, AdminServesMetricsAndHealthz) {
+  Context root;
+  ServerOptions opts;
+  opts.admin = "tcp:0";
+  Server server(root, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ASSERT_FALSE(server.admin_endpoint().empty());
+
+  const std::string health = http_get(server.admin_endpoint(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos) << health;
+  EXPECT_NE(health.find("\r\n\r\nok\n"), std::string::npos) << health;
+
+  ServiceClient client(server.endpoint());
+  ASSERT_TRUE(client.characterize(small_request(), &err).has_value()) << err;
+
+  const std::string metrics = http_get(server.admin_endpoint(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.0 200"), std::string::npos);
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos);
+  // The identifying series, the lifetime counters, and the per-op latency
+  // histogram the request just fed.
+  EXPECT_NE(metrics.find("aapx_build_info{endpoint=\""), std::string::npos);
+  EXPECT_NE(metrics.find("aapx_serve_requests 1\n"), std::string::npos);
+  EXPECT_NE(metrics.find("aapx_serve_completed 1\n"), std::string::npos);
+  EXPECT_NE(
+      metrics.find("aapx_service_latency_us_characterize_count 1\n"),
+      std::string::npos)
+      << metrics;
+
+  const std::string missing = http_get(server.admin_endpoint(), "/nope");
+  EXPECT_NE(missing.find("HTTP/1.0 404"), std::string::npos) << missing;
+  server.stop();
+}
+
+TEST(ServeStats, ClientStampsTraceIdsAndServerEchoesThem) {
+  Context root;
+  Server server(root, ServerOptions{});
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ServiceClient client(server.endpoint());
+
+  // Default: every logical call gets its own deterministic non-zero id.
+  ASSERT_TRUE(client.ping(&err)) << err;
+  const std::uint64_t first = client.last_trace_id();
+  EXPECT_NE(first, 0u);
+  ASSERT_TRUE(client.ping(&err)) << err;
+  EXPECT_NE(client.last_trace_id(), 0u);
+  EXPECT_NE(client.last_trace_id(), first);
+
+  // Forced: the caller's id is stamped and comes back on the response.
+  client.set_trace_id(0xabcdef0123456789ull);
+  const CallResult result = client.call(MsgType::ping, {});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.frame.trace_id, 0xabcdef0123456789ull);
+  EXPECT_EQ(client.last_trace_id(), 0xabcdef0123456789ull);
+  server.stop();
+}
+
+TEST(ServeStats, SlowRequestRingIsBoundedAndCarriesTraceIds) {
+  Context root;
+  ServerOptions opts;
+  opts.slow_ring = 2;
+  Server server(root, opts);
+  std::string err;
+  ASSERT_TRUE(server.start(&err)) << err;
+  ServiceClient client(server.endpoint());
+  for (int width = 4; width < 8; ++width) {
+    ASSERT_TRUE(client.characterize(small_request(width), &err).has_value())
+        << err;
+  }
+  const StatsResponse snap = server.stats_response();
+  EXPECT_EQ(snap.completed, 4u);
+  ASSERT_LE(snap.slow.size(), 2u) << "ring must stay bounded";
+  ASSERT_FALSE(snap.slow.empty());
+  for (const auto& s : snap.slow) {
+    EXPECT_EQ(static_cast<MsgType>(s.op), MsgType::characterize);
+    EXPECT_GT(s.latency_us, 0.0);
+    EXPECT_NE(s.trace_id, 0u) << "client stamps ids by default";
+  }
+  server.stop();
+}
+
+std::map<std::string, std::string> slurp_dir(const fs::path& dir) {
+  std::map<std::string, std::string> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream is(entry.path(), std::ios::binary);
+    std::ostringstream os;
+    os << is.rdbuf();
+    files[entry.path().filename().string()] = os.str();
+  }
+  return files;
+}
+
+/// One deterministic request sequence from a fresh client (fixed request
+/// ids, fixed default trace-id stream, fixed job sequence numbers).
+void drive_requests(const std::string& endpoint) {
+  ServiceClient client(endpoint);
+  std::string err;
+  ASSERT_TRUE(client.characterize(small_request(4), &err).has_value()) << err;
+  ASSERT_TRUE(client.characterize(small_request(5), &err).has_value()) << err;
+  AgedDelayRequest areq;
+  areq.spec = small_request(4).spec;
+  areq.mode = StressMode::worst;
+  areq.years = 10.0;
+  ASSERT_TRUE(client.aged_delay(areq, &err).has_value()) << err;
+}
+
+// The observability acceptance contract: run the same request sequence with
+// and without a scraper hammering every telemetry plane; the per-request
+// run logs must be byte-identical. Scraping is read-only.
+TEST(ServeStats, ScrapingDoesNotPerturbRunLogBytes) {
+  const fs::path base = fs::temp_directory_path() / "aapx_stats_logs";
+  const fs::path quiet_dir = base / "quiet";
+  const fs::path scraped_dir = base / "scraped";
+  fs::remove_all(base);
+  fs::create_directories(quiet_dir);
+  fs::create_directories(scraped_dir);
+
+  {
+    Context root;
+    ServerOptions opts;
+    opts.log_dir = quiet_dir.string();
+    Server server(root, opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    drive_requests(server.endpoint());
+    server.stop();
+  }
+  {
+    Context root;
+    ServerOptions opts;
+    opts.log_dir = scraped_dir.string();
+    opts.admin = "tcp:0";
+    Server server(root, opts);
+    std::string err;
+    ASSERT_TRUE(server.start(&err)) << err;
+    std::atomic<bool> done{false};
+    std::thread scraper([&] {
+      ServiceClient probe(server.endpoint());
+      while (!done.load()) {
+        std::string serr;
+        EXPECT_TRUE(probe.stats(&serr).has_value()) << serr;
+        EXPECT_NE(http_get(server.admin_endpoint(), "/metrics")
+                      .find("HTTP/1.0 200"),
+                  std::string::npos);
+        EXPECT_NE(
+            http_get(server.admin_endpoint(), "/healthz").find("ok\n"),
+            std::string::npos);
+      }
+    });
+    drive_requests(server.endpoint());
+    done.store(true);
+    scraper.join();
+    server.stop();
+  }
+
+  const auto quiet = slurp_dir(quiet_dir);
+  const auto scraped = slurp_dir(scraped_dir);
+  ASSERT_EQ(quiet.size(), 3u);  // one log per admitted request
+  ASSERT_EQ(scraped.size(), quiet.size());
+  for (const auto& [name, bytes] : quiet) {
+    const auto it = scraped.find(name);
+    ASSERT_NE(it, scraped.end()) << name;
+    EXPECT_EQ(it->second, bytes) << name << " perturbed by scraping";
+  }
+  fs::remove_all(base);
+}
+
+}  // namespace
+}  // namespace aapx::service

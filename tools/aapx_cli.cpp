@@ -29,16 +29,20 @@
 //   --log <file>      structured JSONL run log (manifest + flow records)
 #include <signal.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cell/liberty.hpp"
@@ -176,6 +180,17 @@ Args parse_args(int argc, char** argv) {
     }
     key = key.substr(2);
     args.arg_index[key] = i;
+    if (key == "diff" && args.command == "report") {
+      // `report --diff A B` (or `--diff A,B`) compares two artifacts, so
+      // this one option consumes up to two values, joined comma-style.
+      std::string joined;
+      while (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        if (!joined.empty()) joined += ',';
+        joined += argv[++i];
+      }
+      args.options[key] = joined;
+      continue;
+    }
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.options[key] = argv[++i];
     } else {
@@ -183,6 +198,20 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+std::uint64_t to_u64_strict(const std::string& text, const std::string& what) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (used == 0 || used != text.size()) {
+    throw std::runtime_error("bad " + what + " value '" + text + "'");
+  }
+  return value;
 }
 
 /// Rejects options the selected command does not understand — silently
@@ -212,13 +241,17 @@ void reject_unknown_options(const Args& args) {
         "sensor-gain", "sensor-offset", "sensor-noise", "seed", "years",
         "epochs", "vectors", "verify-vectors", "open-loop", "canary-margin",
         "canary-trip"}},
-      {"report", {"trace", "log", "metrics", "check", "top"}},
+      {"report",
+       {"trace", "log", "metrics", "check", "top", "diff", "log-dir"}},
       {"serve",
        {"listen", "workers", "sweep-threads", "queue", "retry-hint-ms",
-        "snapshot-interval", "log-dir"}},
+        "snapshot-interval", "log-dir", "admin", "request-trace",
+        "request-trace-rotate-kb", "slow-ring"}},
       {"client",
        {"connect", "op", "kind", "width", "trunc", "arch", "mult-arch",
-        "min-precision", "step", "mode", "years", "deadline-ms", "attempts"}},
+        "min-precision", "step", "mode", "years", "deadline-ms", "attempts",
+        "trace-id"}},
+      {"top", {"connect", "interval", "once", "attempts"}},
       {"servesim", {"scenario", "work-dir", "self-exe", "verbose"}},
       {"help", {}},
   };
@@ -543,13 +576,119 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
+std::vector<std::string> split_csv(const std::string& csv);
+
+/// `aapx report --diff A B`: per-metric comparison of two JSON artifacts
+/// (metrics snapshots or BENCH_*.json files) — absolute and relative deltas,
+/// with metrics present on only one side called out.
+int cmd_report_diff(const std::string& spec) {
+  const std::vector<std::string> paths = split_csv(spec);
+  if (paths.size() != 2) {
+    throw std::runtime_error("report: --diff needs exactly two files, got " +
+                             std::to_string(paths.size()));
+  }
+  std::vector<obs::JsonValue> docs;
+  for (const std::string& path : paths) {
+    std::string err;
+    auto doc = obs::json_parse(read_file(path), &err);
+    if (!doc) {
+      throw std::runtime_error("report: " + path + ": " + err);
+    }
+    docs.push_back(std::move(*doc));
+  }
+  const std::vector<obs::MetricDelta> deltas =
+      obs::diff_numeric(docs[0], docs[1]);
+  std::printf("diff: A = %s, B = %s\n", paths[0].c_str(), paths[1].c_str());
+  TextTable table({"metric", "A", "B", "delta", "%"});
+  std::size_t changed = 0;
+  for (const obs::MetricDelta& d : deltas) {
+    if (!d.in_a) {
+      table.add_row({d.name, "-", TextTable::num(d.b, 6), "(new in B)", "-"});
+      ++changed;
+    } else if (!d.in_b) {
+      table.add_row({d.name, TextTable::num(d.a, 6), "-", "(gone in B)", "-"});
+      ++changed;
+    } else {
+      if (d.delta() != 0.0) ++changed;
+      table.add_row({d.name, TextTable::num(d.a, 6), TextTable::num(d.b, 6),
+                     TextTable::num(d.delta(), 6),
+                     d.a != 0.0 ? TextTable::num(d.pct(), 2)
+                                : std::string("-")});
+    }
+  }
+  table.print(std::cout);
+  std::printf("%zu of %zu metric(s) differ\n", changed, deltas.size());
+  return 0;
+}
+
+/// `aapx report --log-dir DIR`: aggregate the per-request run logs a server
+/// wrote (`aapx serve --log-dir`) into op/outcome tallies, validating every
+/// record on the way. Returns the validation-failure count.
+std::size_t report_log_dir(const std::string& dir) {
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("req_", 0) == 0 &&
+        name.size() > 6 && name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  std::size_t failures = 0;
+  std::vector<obs::JsonValue> records;
+  for (const std::string& file : files) {
+    std::ifstream is(file);
+    if (!is) {
+      std::printf("log-dir %s: cannot open\n", file.c_str());
+      ++failures;
+      continue;
+    }
+    std::vector<std::string> errors;
+    std::vector<obs::JsonValue> recs = obs::parse_jsonl(is, &errors);
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+      for (const std::string& e : obs::validate_log_record(recs[i])) {
+        errors.push_back("record " + std::to_string(i + 1) + ": " + e);
+      }
+    }
+    for (const std::string& e : errors) {
+      std::printf("log-dir %s: %s\n", file.c_str(), e.c_str());
+    }
+    failures += errors.size();
+    for (obs::JsonValue& r : recs) records.push_back(std::move(r));
+  }
+  const obs::ServiceLogSummary s = obs::summarize_service_log(records);
+  std::printf("service logs: %zu file(s), %llu request(s), %llu cancelled\n",
+              files.size(), static_cast<unsigned long long>(s.requests),
+              static_cast<unsigned long long>(s.cancelled));
+  if (!s.ops.empty()) {
+    TextTable ops({"op", "requests"});
+    for (const auto& [op, count] : s.ops) {
+      ops.add_row({op, std::to_string(count)});
+    }
+    ops.print(std::cout);
+  }
+  if (!s.outcomes.empty()) {
+    TextTable outcomes({"outcome", "count"});
+    for (const auto& [outcome, count] : s.outcomes) {
+      outcomes.add_row({outcome, std::to_string(count)});
+    }
+    outcomes.print(std::cout);
+  }
+  return failures;
+}
+
 int cmd_report(const Args& args) {
+  if (args.has("diff")) return cmd_report_diff(args.get("diff", ""));
   const std::string trace_path = args.get("trace", "");
   const std::string log_path = args.get("log", "");
   const std::string metrics_path = args.get("metrics", "");
-  if (trace_path.empty() && log_path.empty() && metrics_path.empty()) {
+  const std::string log_dir = args.get("log-dir", "");
+  if (trace_path.empty() && log_path.empty() && metrics_path.empty() &&
+      log_dir.empty()) {
     throw std::runtime_error(
-        "report: pass at least one of --trace, --log, --metrics");
+        "report: pass at least one of --trace, --log, --metrics, --log-dir, "
+        "--diff");
   }
   const bool check = args.has("check");
   const int top = args.get_int("top", 15);
@@ -654,8 +793,25 @@ int cmd_report(const Args& args) {
                     std::to_string(inc.dirty_gates), TextTable::num(avg, 1)});
         it.print(std::cout);
       }
+      const std::vector<obs::HistogramRow> hists =
+          obs::histograms_from_metrics(*doc);
+      if (!hists.empty()) {
+        std::printf("histograms (exact count/sum/min/max, "
+                    "bucket-interpolated quantiles):\n");
+        TextTable ht({"histogram", "count", "mean", "min", "max", "p50",
+                      "p95", "p99"});
+        for (const obs::HistogramRow& h : hists) {
+          ht.add_row({h.name, std::to_string(h.count),
+                      TextTable::num(h.mean(), 1), TextTable::num(h.min, 1),
+                      TextTable::num(h.max, 1), TextTable::num(h.p50, 1),
+                      TextTable::num(h.p95, 1), TextTable::num(h.p99, 1)});
+        }
+        ht.print(std::cout);
+      }
     }
   }
+
+  if (!log_dir.empty()) failures += report_log_dir(log_dir);
 
   if (check) {
     if (failures == 0) {
@@ -914,6 +1070,18 @@ int cmd_serve(const Context& ctx, const Args& args,
   sopts.snapshot_interval_s = args.get_double("snapshot-interval", 0.0);
   sopts.store_path = store_path;
   sopts.log_dir = args.get("log-dir", "");
+  sopts.admin = args.get("admin", "");
+  sopts.request_trace_path = args.get("request-trace", "");
+  if (args.has("request-trace-rotate-kb")) {
+    const int kb = args.get_int("request-trace-rotate-kb", 0);
+    if (kb < 1) {
+      throw std::runtime_error("--request-trace-rotate-kb must be >= 1");
+    }
+    sopts.request_trace_rotate_bytes = static_cast<std::size_t>(kb) * 1024;
+  }
+  const int slow_ring = args.get_int("slow-ring", 16);
+  if (slow_ring < 0) throw std::runtime_error("--slow-ring must be >= 0");
+  sopts.slow_ring = static_cast<std::size_t>(slow_ring);
 
   service::Server server(ctx, sopts);
   std::string err;
@@ -922,6 +1090,14 @@ int cmd_serve(const Context& ctx, const Args& args,
   std::printf("aapx serve: listening on %s (%d workers, queue %d%s)\n",
               server.endpoint().c_str(), sopts.workers, queue,
               store_path.empty() ? "" : (", store " + store_path).c_str());
+  if (!server.admin_endpoint().empty()) {
+    std::printf("aapx serve: admin on %s (GET /metrics, GET /healthz)\n",
+                server.admin_endpoint().c_str());
+  }
+  if (!sopts.request_trace_path.empty()) {
+    std::printf("aapx serve: request traces -> %s\n",
+                sopts.request_trace_path.c_str());
+  }
   std::fflush(stdout);
   server.serve_forever();
   g_server.store(nullptr);
@@ -943,6 +1119,75 @@ int cmd_serve(const Context& ctx, const Args& args,
   return signum > 0 ? 128 + signum : 0;
 }
 
+/// Renders one StatsResponse as the operator-facing dashboard `aapx top`
+/// refreshes and `aapx client --op stats` prints once. `qps` < 0 = unknown
+/// (first poll has no delta to rate from).
+void print_stats(const service::StatsResponse& s, const std::string& endpoint,
+                 double qps) {
+  std::printf("aapx serve @ %s — up %.1f s", endpoint.c_str(), s.uptime_s);
+  if (qps >= 0.0) std::printf(" — %.1f done/s", qps);
+  std::printf("\n");
+  const std::string snap_note =
+      s.snapshot_age_s >= 0.0
+          ? "   snapshot " + TextTable::num(s.snapshot_age_s, 1) + " s ago"
+          : std::string();
+  std::printf(
+      "connections %llu (%llu live)   queue %llu   inflight %llu%s\n",
+      static_cast<unsigned long long>(s.connections),
+      static_cast<unsigned long long>(s.live_connections),
+      static_cast<unsigned long long>(s.queue_depth),
+      static_cast<unsigned long long>(s.inflight), snap_note.c_str());
+  std::printf(
+      "requests %llu   completed %llu   shed %llu   deduped %llu   "
+      "cancelled %llu   protocol errors %llu   snapshots %llu\n",
+      static_cast<unsigned long long>(s.requests),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.shed),
+      static_cast<unsigned long long>(s.deduped),
+      static_cast<unsigned long long>(s.cancelled),
+      static_cast<unsigned long long>(s.protocol_errors),
+      static_cast<unsigned long long>(s.snapshots));
+  if (!s.ops.empty()) {
+    TextTable lat({"op", "count", "mean [ms]", "p50 [ms]", "p95 [ms]",
+                   "p99 [ms]", "min [ms]", "max [ms]"});
+    for (const service::StatsResponse::OpLatency& op : s.ops) {
+      obs::HistogramSample sample;
+      sample.count = op.count;
+      sample.sum = op.sum_us;
+      sample.min = op.min_us;
+      sample.max = op.max_us;
+      for (const auto& [index, n] : op.buckets) {
+        sample.buckets.emplace_back(index, n);
+      }
+      const double mean =
+          op.count == 0 ? 0.0 : op.sum_us / static_cast<double>(op.count);
+      lat.add_row(
+          {to_string(static_cast<service::MsgType>(op.op)),
+           std::to_string(op.count), TextTable::num(mean / 1000.0, 2),
+           TextTable::num(obs::histogram_quantile(sample, 0.50) / 1000.0, 2),
+           TextTable::num(obs::histogram_quantile(sample, 0.95) / 1000.0, 2),
+           TextTable::num(obs::histogram_quantile(sample, 0.99) / 1000.0, 2),
+           TextTable::num(op.min_us / 1000.0, 2),
+           TextTable::num(op.max_us / 1000.0, 2)});
+    }
+    lat.print(std::cout);
+  }
+  if (!s.slow.empty()) {
+    std::printf("slowest requests:\n");
+    TextTable slow({"seq", "op", "trace", "latency [ms]"});
+    for (const service::StatsResponse::SlowRequest& r : s.slow) {
+      char trace[24];
+      std::snprintf(trace, sizeof(trace), "%016llx",
+                    static_cast<unsigned long long>(r.trace_id));
+      slow.add_row({std::to_string(r.seq),
+                    to_string(static_cast<service::MsgType>(r.op)),
+                    r.trace_id == 0 ? "-" : trace,
+                    TextTable::num(r.latency_us / 1000.0, 2)});
+    }
+    slow.print(std::cout);
+  }
+}
+
 /// `aapx client`: one request against a running `aapx serve`, with the
 /// ServiceClient's full retry/backoff behavior.
 int cmd_client(const Args& args) {
@@ -953,9 +1198,18 @@ int cmd_client(const Args& args) {
   service::ClientOptions copt;
   copt.max_attempts = args.get_int("attempts", 8);
   service::ServiceClient client(endpoint, copt);
+  if (args.has("trace-id")) {
+    client.set_trace_id(to_u64_strict(args.get("trace-id", ""), "--trace-id"));
+  }
   const std::string op = args.get("op", "ping");
   std::string err;
 
+  if (op == "stats") {
+    const auto stats = client.stats(&err);
+    if (!stats.has_value()) throw std::runtime_error("stats: " + err);
+    print_stats(*stats, endpoint, -1.0);
+    return 0;
+  }
   if (op == "ping") {
     if (!client.ping(&err)) throw std::runtime_error("ping: " + err);
     std::printf("pong from %s\n", endpoint.c_str());
@@ -1011,7 +1265,57 @@ int cmd_client(const Args& args) {
     return 0;
   }
   throw std::runtime_error("unknown --op " + op +
-                           " (ping|characterize|aged-delay|query)");
+                           " (ping|characterize|aged-delay|query|stats)");
+}
+
+/// `aapx top`: a refreshing operational dashboard over the in-band stats
+/// op — poll, render, sleep, repeat until SIGINT/SIGTERM (or once with
+/// --once). Rates are completed-count deltas between polls.
+int cmd_top(const Args& args) {
+  const std::string endpoint = args.get("connect", "");
+  if (endpoint.empty()) {
+    throw std::runtime_error("--connect unix:<path>|tcp:<port> is required");
+  }
+  const double interval_s = args.get_double("interval", 2.0);
+  if (interval_s <= 0.0) throw std::runtime_error("--interval must be > 0");
+  const bool once = args.has("once");
+  service::ClientOptions copt;
+  copt.max_attempts = args.get_int("attempts", 8);
+  service::ServiceClient client(endpoint, copt);
+
+  std::uint64_t prev_completed = 0;
+  auto prev_time = std::chrono::steady_clock::now();
+  bool have_prev = false;
+  while (true) {
+    std::string err;
+    const auto stats = client.stats(&err);
+    if (!stats.has_value()) throw std::runtime_error("top: " + err);
+    const auto now = std::chrono::steady_clock::now();
+    double qps = -1.0;
+    if (have_prev) {
+      const double dt = std::chrono::duration<double>(now - prev_time).count();
+      qps = dt > 0.0 ? static_cast<double>(stats->completed - prev_completed) /
+                           dt
+                     : 0.0;
+    }
+    if (!once) std::printf("\033[H\033[2J");  // home + clear, like top(1)
+    print_stats(*stats, endpoint, qps);
+    std::fflush(stdout);
+    if (once) return 0;
+    prev_completed = stats->completed;
+    prev_time = now;
+    have_prev = true;
+    // Sleep in short slices so a shutdown signal ends the loop promptly.
+    const auto wake = now + std::chrono::duration<double>(interval_s);
+    while (std::chrono::steady_clock::now() < wake) {
+      if (g_signal.load() != 0) {
+        std::printf("\n");
+        return 0;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (g_signal.load() != 0) return 0;
+  }
 }
 
 /// `aapx servesim`: the chaos harness (src/service/chaos.hpp).
@@ -1063,7 +1367,11 @@ commands:
   report          summarize instrumentation artifacts from a previous run
       --trace f.trace     top spans by inclusive time, thread/wall stats
       --log f.jsonl       record-type counts + controller decision timeline
-      --metrics f.json    cache hit rates from the metrics snapshot
+      --metrics f.json    cache hit rates, histogram quantiles (exact
+                          count/sum/min/max) from the metrics snapshot
+      --log-dir DIR       aggregate a server's per-request run logs
+      --diff A B          per-metric delta/percent between two artifacts
+                          (metrics snapshots or BENCH_*.json files)
       [--top N]           span rows to print (default 15)
       [--check]           exit nonzero if any artifact fails validation
   serve           characterization-as-a-service daemon (SIGTERM = drain)
@@ -1071,13 +1379,24 @@ commands:
       --workers N  --sweep-threads N  --queue N  --retry-hint-ms MS
       --snapshot-interval SECONDS      periodic atomic --store snapshots
       --log-dir DIR                    per-request JSONL run logs
+      --admin unix:<path>|tcp:<port>   HTTP plane: GET /metrics (Prometheus
+                                       text), GET /healthz
+      --request-trace FILE             stream per-request span trees (Chrome
+                                       trace) with rotation
+      --request-trace-rotate-kb KB     rotation threshold (default 8192)
+      --slow-ring N                    slowest-requests ring size (default 16)
   client          one request against a running server (retry + backoff)
       --connect unix:<path>|tcp:<port>
-      --op ping|characterize|aged-delay|query
+      --op ping|characterize|aged-delay|query|stats
       --kind ... --width N --arch ...  --years 1,10  --mode worst|balanced
       --min-precision K --step S  --deadline-ms MS  --attempts N
+      --trace-id ID       stamp a fixed trace id for request correlation
+  top             live dashboard over a running server's stats op
+      --connect unix:<path>|tcp:<port>
+      --interval SECONDS  poll/refresh period (default 2)
+      --once              print one snapshot and exit
   servesim        chaos harness for the service layer
-      --scenario all|drop|slowloris|malformed|storm|kill
+      --scenario all|drop|slowloris|malformed|storm|kill|scrape
       --work-dir DIR  --self-exe PATH  --verbose
   help            this text
 
@@ -1113,6 +1432,7 @@ int dispatch(const Context& ctx, const Args& args,
   if (args.command == "report") return cmd_report(args);
   if (args.command == "serve") return cmd_serve(ctx, args, store_path);
   if (args.command == "client") return cmd_client(args);
+  if (args.command == "top") return cmd_top(args);
   if (args.command == "servesim") return cmd_servesim(args);
   if (args.command.empty() || args.command == "help" ||
       args.command == "--help") {

@@ -40,15 +40,17 @@ IGNORED_FIELDS = {
 }
 
 # Field-name prefixes with the same timing-dependent character: the serve
-# bench reports queries-per-second as qps_<phase>_<clients>, and the cost
+# bench reports queries-per-second as qps_<phase>_<clients> and its
+# mid-pass admin-scrape count as scrapes_<clients>, and the cost
 # breakdown benches report per-phase seconds as *_s.
-IGNORED_PREFIXES = ("qps_",)
+IGNORED_PREFIXES = ("qps_", "scrapes_")
 
 
 def is_timing_suffix(key):
     # Per-phase wall-clock fields (sim_s, sta_s, store_s, ...) are
-    # informational like wall_s itself.
-    return key.endswith("_s")
+    # informational like wall_s itself, and so are the service latency
+    # quantiles (*_p50_ms/_p95_ms/_p99_ms) derived from them.
+    return key.endswith(("_s", "_p50_ms", "_p95_ms", "_p99_ms"))
 
 
 def is_ignored(key):
