@@ -14,7 +14,7 @@
 #include <utility>
 #include <vector>
 
-#include "aging/bti_model.hpp"
+#include "aging/aging_model.hpp"
 #include "aging/stress.hpp"
 #include "cell/library.hpp"
 #include "core/stimulus.hpp"
@@ -34,7 +34,7 @@ namespace aapx::bench {
 /// DESIGN.md Sec. 5 and EXPERIMENTS.md).
 struct Config {
   CellLibrary lib = make_nangate45_like();
-  BtiModel model{};
+  AgingModel model{};
 
   /// The paper's four aging corners (Fig. 1) in print order.
   std::vector<AgingScenario> corners() const {

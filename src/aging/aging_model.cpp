@@ -1,0 +1,113 @@
+#include "aging/aging_model.hpp"
+
+#include <stdexcept>
+
+namespace aapx {
+
+AgingModel::AgingModel(const BtiModel& bti) : params_(), bti_(bti) {
+  params_.bti = bti.params();
+  rebuild();
+}
+
+AgingModel::AgingModel(const BtiParams& bti) : params_(), bti_(bti) {
+  params_.bti = bti;
+  rebuild();
+}
+
+AgingModel::AgingModel(AgingParams params)
+    : params_(std::move(params)), bti_(params_.bti) {
+  rebuild();
+}
+
+AgingModel::AgingModel(const AgingModel& other)
+    : params_(other.params_), bti_(other.bti_) {
+  rebuild();
+}
+
+AgingModel& AgingModel::operator=(const AgingModel& other) {
+  if (this != &other) {
+    params_ = other.params_;
+    bti_ = other.bti_;
+    rebuild();
+  }
+  return *this;
+}
+
+void AgingModel::rebuild() {
+  if (params_.mechanisms.empty()) {
+    throw std::invalid_argument("AgingModel: mechanism set must be non-empty");
+  }
+  mechanisms_.clear();
+  hci_ = nullptr;
+  has_bti_ = false;
+  has_hard_failure_ = false;
+  for (std::size_t i = 0; i < params_.mechanisms.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (params_.mechanisms[j] == params_.mechanisms[i]) {
+        throw std::invalid_argument("AgingModel: duplicate mechanism '" +
+                                    to_string(params_.mechanisms[i]) + "'");
+      }
+    }
+    switch (params_.mechanisms[i]) {
+      case MechanismKind::bti:
+        mechanisms_.push_back(std::make_unique<BtiMechanism>(params_.bti));
+        has_bti_ = true;
+        break;
+      case MechanismKind::hci:
+        mechanisms_.push_back(std::make_unique<HciMechanism>(params_.hci));
+        hci_ = static_cast<const HciMechanism*>(mechanisms_.back().get());
+        break;
+      case MechanismKind::em:
+        mechanisms_.push_back(std::make_unique<EmMechanism>(params_.em));
+        has_hard_failure_ = true;
+        break;
+      case MechanismKind::tddb:
+        mechanisms_.push_back(
+            std::make_unique<TddbMechanism>(params_.tddb, params_.bti.vdd));
+        has_hard_failure_ = true;
+        break;
+    }
+  }
+}
+
+double AgingModel::delta_vth(TransistorType type, double stress,
+                             double years) const {
+  // With BTI enabled this *is* the historic code path (bit-identity with
+  // BtiModel); without it the duty-based grids degenerate to identity.
+  return has_bti_ ? bti_.delta_vth(type, stress, years) : 0.0;
+}
+
+double AgingModel::delay_factor(TransistorType type, double stress,
+                                double years) const {
+  return delay_factor_from_dvth(delta_vth(type, stress, years));
+}
+
+double AgingModel::delay_factor_from_dvth(double dvth) const {
+  return bti_.delay_factor_from_dvth(dvth);
+}
+
+double AgingModel::hci_delta_vth(double activity, double years) const {
+  if (hci_ == nullptr) return 0.0;
+  GateEnv env;
+  env.activity = activity;
+  env.temp_kelvin = params_.bti.temp_kelvin;
+  return hci_->delta_vth(TransistorType::nMos, env, years);
+}
+
+double AgingModel::hazard_rate(const GateEnv& env, double years) const {
+  double h = 0.0;
+  for (const auto& m : mechanisms_) {
+    if (m->hard_failure()) h += m->hazard_rate(env, years);
+  }
+  return h;
+}
+
+double AgingModel::cumulative_hazard(const GateEnv& env, double years) const {
+  double h = 0.0;
+  for (const auto& m : mechanisms_) {
+    if (m->hard_failure()) h += m->cumulative_hazard(env, years);
+  }
+  return h;
+}
+
+}  // namespace aapx

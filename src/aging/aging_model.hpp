@@ -1,0 +1,118 @@
+// Composite aging model: an ordered set of AgingMechanism instances plus the
+// superset parameter record, presenting the numeric surface the engine has
+// always consumed from BtiModel.
+//
+// Back-compat contract (engine/key.hpp and persist.cpp depend on it):
+//
+//   * The default AgingParams enables exactly {bti} with default BtiParams.
+//     In that configuration every public method delegates to the *same*
+//     BtiModel code path the pre-mechanism engine ran, so results — and the
+//     DesignStore key digests derived from them — are bit-identical to the
+//     historic BTI-only engine. Existing warm stores stay warm.
+//   * Any non-default mechanism set keys under a new digest family
+//     (key.cpp), so extended models can never alias a BTI-only store entry.
+//
+// AgingModel is implicitly constructible from BtiModel / BtiParams so the
+// twenty-odd historic call sites that pass a BtiModel keep compiling (and
+// keep meaning exactly what they meant).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "aging/mechanism.hpp"
+
+namespace aapx {
+
+/// Superset parameter record: one block per mechanism plus the ordered set
+/// of enabled mechanisms. The electrical operating point (vdd, vth0) lives
+/// in the BTI block and is shared by every mechanism that needs it.
+struct AgingParams {
+  BtiParams bti;
+  HciParams hci;
+  EmParams em;
+  TddbParams tddb;
+  /// Enabled mechanisms, in evaluation order. Must be non-empty and free of
+  /// duplicates (AgingModel validates).
+  std::vector<MechanismKind> mechanisms = {MechanismKind::bti};
+
+  /// True for the historic default — exactly one mechanism, BTI. This is the
+  /// predicate key.cpp and persist.cpp use to stay on the legacy digest and
+  /// byte layouts.
+  bool bti_only() const noexcept {
+    return mechanisms.size() == 1 && mechanisms.front() == MechanismKind::bti;
+  }
+  bool has(MechanismKind kind) const noexcept {
+    for (const MechanismKind m : mechanisms) {
+      if (m == kind) return true;
+    }
+    return false;
+  }
+};
+
+class AgingModel {
+ public:
+  /// Implicit on purpose: every historic `f(ctx, lib, BtiModel{}, ...)` call
+  /// site converts to the BTI-only composite with identical numerics.
+  AgingModel(const BtiModel& bti);    // NOLINT(google-explicit-constructor)
+  AgingModel(const BtiParams& bti);   // NOLINT(google-explicit-constructor)
+  explicit AgingModel(AgingParams params = {});
+
+  /// Copyable: mechanisms are rebuilt from the params (cheap, validation
+  /// already passed once).
+  AgingModel(const AgingModel& other);
+  AgingModel& operator=(const AgingModel& other);
+  AgingModel(AgingModel&&) noexcept = default;
+  AgingModel& operator=(AgingModel&&) noexcept = default;
+
+  const AgingParams& params() const noexcept { return params_; }
+  /// The BTI-block model (always constructed — it carries the electrical
+  /// operating point even when BTI drift itself is disabled).
+  const BtiModel& bti() const noexcept { return bti_; }
+
+  bool has(MechanismKind kind) const noexcept { return params_.has(kind); }
+  bool has_hci() const noexcept { return hci_ != nullptr; }
+  /// True when any enabled mechanism is a hard-failure mechanism (EM/TDDB).
+  bool has_hard_failure() const noexcept { return has_hard_failure_; }
+  const std::vector<std::unique_ptr<AgingMechanism>>& mechanisms()
+      const noexcept {
+    return mechanisms_;
+  }
+
+  // --- BtiModel-compatible drift surface ------------------------------------
+  // These are the calls the degradation grids, sensor and fault injector
+  // always made. With BTI enabled they are the BtiModel code path verbatim;
+  // with BTI disabled delta_vth is identically zero (identity grids).
+
+  double delta_vth(TransistorType type, double stress, double years) const;
+  double delay_factor(TransistorType type, double stress, double years) const;
+  double delay_factor_from_dvth(double dvth) const;
+
+  // --- HCI drift ------------------------------------------------------------
+
+  /// nMOS threshold drift from toggle activity (zero when HCI is disabled).
+  /// The STA layer applies this to falling-transition delays on top of the
+  /// duty-based BTI grids.
+  double hci_delta_vth(double activity, double years) const;
+
+  // --- hard failure ---------------------------------------------------------
+
+  /// Summed instantaneous hazard rate [1/years] over the enabled
+  /// hard-failure mechanisms (competing risks; zero when none are enabled).
+  double hazard_rate(const GateEnv& env, double years) const;
+  /// Summed cumulative hazard; device survival is exp(-H).
+  double cumulative_hazard(const GateEnv& env, double years) const;
+
+ private:
+  void rebuild();
+
+  AgingParams params_;
+  BtiModel bti_;
+  std::vector<std::unique_ptr<AgingMechanism>> mechanisms_;
+  // Borrowed views into mechanisms_, refreshed by rebuild().
+  const HciMechanism* hci_ = nullptr;
+  bool has_bti_ = false;
+  bool has_hard_failure_ = false;
+};
+
+}  // namespace aapx

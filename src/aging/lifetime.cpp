@@ -1,0 +1,305 @@
+#include "aging/lifetime.hpp"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+
+namespace aapx {
+namespace {
+
+constexpr double kBoltzmannEv = 8.617333262e-5;  // eV / K
+
+double arrhenius(double activation_ev, double t_ref_kelvin,
+                 double temp_kelvin) {
+  return std::exp(activation_ev / kBoltzmannEv *
+                  (1.0 / t_ref_kelvin - 1.0 / temp_kelvin));
+}
+
+/// One drift power law V(t) = a_eff * (t / t_ref)^n with the environment and
+/// per-die scatter folded into a_eff. Drift accumulated in earlier phases is
+/// carried across a phase boundary by equivalent age: the time at which this
+/// phase's law would have produced the inherited V.
+struct DriftLaw {
+  double a_eff = 0.0;
+  double n = 1.0;
+  double t_ref = 1.0;
+
+  double value(double t) const {
+    if (a_eff <= 0.0 || t <= 0.0) return 0.0;
+    return a_eff * std::pow(t / t_ref, n);
+  }
+  double equivalent_age(double v) const {
+    if (v <= 0.0 || a_eff <= 0.0) return 0.0;
+    return t_ref * std::pow(v / a_eff, 1.0 / n);
+  }
+};
+
+/// Hard-failure mechanism state: Weibull with a phase-dependent scale. The
+/// cumulative hazard inherited from earlier phases is carried by the same
+/// equivalent-age trick (H is continuous across the boundary).
+struct HazardState {
+  double beta = 1.0;
+  double accumulated = 0.0;  ///< H at the current phase boundary
+  double threshold = 0.0;    ///< fail when H reaches this (-ln u)
+
+  /// Advances through one phase of length `d` under scale `eta`. Returns the
+  /// failure time *within* the phase, or a negative value if the mechanism
+  /// survives it.
+  double advance(double eta, double d) {
+    if (!std::isfinite(eta) || eta <= 0.0) return -1.0;
+    const double t0 = eta * std::pow(accumulated, 1.0 / beta);
+    const double end = std::pow((t0 + d) / eta, beta);
+    if (end >= threshold) {
+      const double cross = eta * std::pow(threshold, 1.0 / beta) - t0;
+      return cross < 0.0 ? 0.0 : cross;
+    }
+    accumulated = end;
+    return -1.0;
+  }
+};
+
+enum class Cause : std::uint8_t { censored = 0, drift = 1, hard = 2 };
+
+struct DieFate {
+  double years = 0.0;
+  Cause cause = Cause::censored;
+};
+
+std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v, int bytes = 8) {
+  for (int i = 0; i < bytes; ++i) {
+    h ^= (v >> (8 * i)) & 0xffu;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+LifetimeResult simulate_lifetime(const AgingModel& model,
+                                 const std::vector<WorkloadPhase>& phases,
+                                 const LifetimeOptions& options) {
+  if (phases.empty()) {
+    throw std::invalid_argument("simulate_lifetime: empty phase trace");
+  }
+  for (const WorkloadPhase& p : phases) {
+    if (!(p.duration_years > 0.0)) {
+      throw std::invalid_argument(
+          "simulate_lifetime: phase duration must be positive");
+    }
+    if (p.duty < 0.0 || p.duty > 1.0) {
+      throw std::invalid_argument(
+          "simulate_lifetime: phase duty must be in [0, 1]");
+    }
+    if (p.activity < 0.0) {
+      throw std::invalid_argument(
+          "simulate_lifetime: phase activity must be non-negative");
+    }
+    if (!(p.temp_kelvin > 0.0)) {
+      throw std::invalid_argument(
+          "simulate_lifetime: phase temperature must be positive");
+    }
+  }
+  if (options.dies <= 0) {
+    throw std::invalid_argument("simulate_lifetime: dies must be positive");
+  }
+  if (!(options.tolerable_delay_factor >= 1.0)) {
+    throw std::invalid_argument(
+        "simulate_lifetime: tolerable_delay_factor must be >= 1");
+  }
+  if (options.param_sigma < 0.0) {
+    throw std::invalid_argument(
+        "simulate_lifetime: param_sigma must be non-negative");
+  }
+
+  const AgingParams& params = model.params();
+  const BtiParams& bp = params.bti;
+  const bool has_bti = model.has(MechanismKind::bti);
+  const bool has_hci = model.has(MechanismKind::hci);
+  const bool has_em = model.has(MechanismKind::em);
+  const bool has_tddb = model.has(MechanismKind::tddb);
+
+  // Invert the alpha-power delay law once: the drift budget in volts that
+  // the tolerable delay factor corresponds to.
+  const double overdrive0 = bp.vdd - bp.vth0;
+  const double dvth_target =
+      overdrive0 *
+      (1.0 - std::pow(options.tolerable_delay_factor, -1.0 / bp.alpha));
+
+  double horizon = 0.0;
+  for (const WorkloadPhase& p : phases) horizon += p.duration_years;
+
+  std::vector<DieFate> fates(static_cast<std::size_t>(options.dies));
+
+  // Shared read-only mechanism instances (validated once, used by all dies).
+  std::optional<EmMechanism> em_mech;
+  std::optional<TddbMechanism> tddb_mech;
+  if (has_em) em_mech.emplace(params.em);
+  if (has_tddb) tddb_mech.emplace(params.tddb, bp.vdd);
+
+  const auto run_die = [&](std::size_t die) {
+    // Per-die stream: a function of (seed, die index) only, so slot `die`
+    // is identical at any thread count. Draws happen in a fixed order
+    // regardless of the enabled mechanism set.
+    Rng rng(options.seed + 0x9e3779b97f4a7c15ull * (die + 1));
+    const double s_bti = std::exp(options.param_sigma * rng.next_normal());
+    const double s_hci = std::exp(options.param_sigma * rng.next_normal());
+    const double s_em = std::exp(options.param_sigma * rng.next_normal());
+    const double s_tddb = std::exp(options.param_sigma * rng.next_normal());
+    const double u_em = rng.next_double();
+    const double u_tddb = rng.next_double();
+
+    HazardState em_state{params.em.beta, 0.0, -std::log1p(-u_em)};
+    HazardState tddb_state{params.tddb.beta, 0.0, -std::log1p(-u_tddb)};
+
+    // Accumulated drift per (path, mechanism): pull-up path sees pMOS BTI;
+    // pull-down path sees nMOS BTI plus HCI. Either path crossing the
+    // budget is a drift failure.
+    double v_bti_p = 0.0;
+    double v_bti_n = 0.0;
+    double v_hci = 0.0;
+
+    DieFate fate{horizon, Cause::censored};
+    double elapsed = 0.0;
+    for (const WorkloadPhase& phase : phases) {
+      const double d = phase.duration_years;
+      GateEnv env;
+      env.stress_pmos = phase.duty;
+      env.stress_nmos = 1.0 - phase.duty;
+      env.activity = phase.activity;
+      env.load = options.load;
+      env.temp_kelvin = phase.temp_kelvin;
+
+      // --- hard failures (competing risks, independent samples) ---
+      double hard_at = -1.0;
+      if (has_em) {
+        const double cross =
+            em_state.advance(em_mech->eta_years(env) * s_em, d);
+        if (cross >= 0.0 && (hard_at < 0.0 || cross < hard_at)) {
+          hard_at = cross;
+        }
+      }
+      if (has_tddb) {
+        const double cross =
+            tddb_state.advance(tddb_mech->eta_years(env) * s_tddb, d);
+        if (cross >= 0.0 && (hard_at < 0.0 || cross < hard_at)) {
+          hard_at = cross;
+        }
+      }
+
+      // --- drift (phase-local laws, inherited drift via equivalent age) ---
+      const double thermal_bti =
+          arrhenius(bp.activation_ev, bp.t_ref_kelvin, env.temp_kelvin);
+      DriftLaw bti_p, bti_n, hci;
+      if (has_bti) {
+        bti_p = {s_bti * bp.a_pmos * thermal_bti *
+                     (env.stress_pmos > 0.0
+                          ? std::pow(env.stress_pmos, bp.stress_exponent)
+                          : 0.0),
+                 bp.time_exponent, bp.t_ref_years};
+        bti_n = {s_bti * bp.a_nmos * thermal_bti *
+                     (env.stress_nmos > 0.0
+                          ? std::pow(env.stress_nmos, bp.stress_exponent)
+                          : 0.0),
+                 bp.time_exponent, bp.t_ref_years};
+      }
+      if (has_hci) {
+        const HciParams& hp = params.hci;
+        hci = {s_hci * hp.a_hci *
+                   arrhenius(hp.activation_ev, hp.t_ref_kelvin,
+                             env.temp_kelvin) *
+                   (env.activity > 0.0
+                        ? std::pow(env.activity, hp.activity_exponent)
+                        : 0.0),
+               hp.time_exponent, hp.t_ref_years};
+      }
+      const double age_p = bti_p.equivalent_age(v_bti_p);
+      const double age_n = bti_n.equivalent_age(v_bti_n);
+      const double age_h = hci.equivalent_age(v_hci);
+      const auto worst_path = [&](double t) {
+        const double up = bti_p.value(age_p + t);
+        const double down = bti_n.value(age_n + t) + hci.value(age_h + t);
+        return up > down ? up : down;
+      };
+
+      double drift_at = -1.0;
+      if (dvth_target <= 0.0 && worst_path(d) > 0.0) {
+        drift_at = 0.0;
+      } else if (worst_path(d) >= dvth_target && dvth_target > 0.0) {
+        // Monotone in t: bisect for the earliest crossing. A fixed
+        // iteration count keeps the result a pure function of the inputs.
+        double lo = 0.0;
+        double hi = d;
+        for (int i = 0; i < 64; ++i) {
+          const double mid = 0.5 * (lo + hi);
+          (worst_path(mid) >= dvth_target ? hi : lo) = mid;
+        }
+        drift_at = hi;
+      }
+
+      if (hard_at >= 0.0 || drift_at >= 0.0) {
+        if (drift_at >= 0.0 && (hard_at < 0.0 || drift_at <= hard_at)) {
+          fate = {elapsed + drift_at, Cause::drift};
+        } else {
+          fate = {elapsed + hard_at, Cause::hard};
+        }
+        break;
+      }
+
+      v_bti_p = bti_p.value(age_p + d);
+      v_bti_n = bti_n.value(age_n + d);
+      v_hci = hci.value(age_h + d);
+      elapsed += d;
+    }
+    fates[die] = fate;
+  };
+
+  parallel_for(fates.size(), run_die, options.threads);
+
+  LifetimeResult result;
+  result.dies = options.dies;
+  result.phases = static_cast<int>(phases.size());
+  result.horizon_years = horizon;
+  double sum = 0.0;
+  std::uint64_t checksum = 14695981039346656037ull;
+  for (const DieFate& fate : fates) {
+    sum += fate.years;
+    switch (fate.cause) {
+      case Cause::drift:
+        ++result.drift_failures;
+        break;
+      case Cause::hard:
+        ++result.hard_failures;
+        break;
+      case Cause::censored:
+        ++result.censored;
+        break;
+    }
+    checksum = fnv1a(checksum, std::bit_cast<std::uint64_t>(fate.years));
+    checksum = fnv1a(checksum, static_cast<std::uint64_t>(fate.cause), 1);
+  }
+  result.mttf_years = sum / static_cast<double>(options.dies);
+  result.checksum = checksum;
+
+  obs::metrics()
+      .counter("aging.lifetime.dies")
+      .add(static_cast<std::uint64_t>(options.dies));
+  if (has_em) {
+    obs::metrics()
+        .counter("aging.mechanism.em.hazard_evals")
+        .add(static_cast<std::uint64_t>(options.dies) * phases.size());
+  }
+  if (has_tddb) {
+    obs::metrics()
+        .counter("aging.mechanism.tddb.hazard_evals")
+        .add(static_cast<std::uint64_t>(options.dies) * phases.size());
+  }
+  return result;
+}
+
+}  // namespace aapx

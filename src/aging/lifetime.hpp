@@ -1,0 +1,70 @@
+// Lifetime Monte-Carlo over workload phase traces.
+//
+// Samples per-die mechanism-parameter scatter (lognormal on the drift
+// prefactors and Weibull scales) and evaluates, per die, the earliest of
+//
+//   * drift failure — the combined BTI+HCI delay-degradation factor crossing
+//     the caller's tolerable factor (what the speed margin, or the extra
+//     margin bought by aging-induced approximation, can absorb), and
+//   * hard failure — EM/TDDB wear-out, sampled from each mechanism's
+//     cumulative hazard over the phase trace (competing risks),
+//
+// censored at the end of the trace. The mean over dies is the reported MTTF.
+// Phases carry their own duty / toggle activity / temperature, so the trace
+// expresses workload-dependent aging (idle vs burst vs thermal-soak phases).
+//
+// Determinism contract: every die's random stream is seeded from (seed, die
+// index) only and dies are written into preallocated slots, so the result —
+// including the FNV checksum over the per-die failure-time bit patterns —
+// is byte-identical at any parallel_for thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+
+namespace aapx {
+
+/// One phase of the workload trace.
+struct WorkloadPhase {
+  double duration_years = 1.0;
+  double duty = 0.5;         ///< output duty cycle (BTI stress via 1-duty/duty)
+  double activity = 0.5;     ///< output toggles per cycle (HCI, EM)
+  double temp_kelvin = 358.15;
+};
+
+struct LifetimeOptions {
+  int dies = 256;
+  std::uint64_t seed = 1;
+  /// Drift-failure criterion: the die fails when the worst-path delay factor
+  /// reaches this value. A larger factor models the extra timing slack that
+  /// aging-induced approximation (precision fallback) buys. Must be >= 1.
+  double tolerable_delay_factor = 1.10;
+  /// Lognormal sigma of the per-die parameter scatter (drift prefactors and
+  /// Weibull scales). 0 collapses the MC to a corner analysis.
+  double param_sigma = 0.15;
+  double load = 1.0;  ///< normalized driver load (EM current density)
+  int threads = 0;    ///< parallel_for width; never affects the result
+};
+
+struct LifetimeResult {
+  int dies = 0;
+  int phases = 0;
+  double horizon_years = 0.0;  ///< total trace duration (censoring point)
+  double mttf_years = 0.0;     ///< mean failure time over dies (censored)
+  std::uint64_t drift_failures = 0;
+  std::uint64_t hard_failures = 0;
+  std::uint64_t censored = 0;
+  /// FNV-1a over per-die (failure-time bit pattern, cause) in die order.
+  std::uint64_t checksum = 0;
+};
+
+/// Runs the Monte-Carlo. Throws std::invalid_argument on an empty trace,
+/// non-positive durations, duty outside [0, 1], negative activity or a
+/// tolerable factor below 1.
+LifetimeResult simulate_lifetime(const AgingModel& model,
+                                 const std::vector<WorkloadPhase>& phases,
+                                 const LifetimeOptions& options);
+
+}  // namespace aapx

@@ -48,6 +48,39 @@ const StressPair& StressProfile::gate(std::size_t index) const {
   return per_gate_[index];
 }
 
+StressProfile StressProfile::with_activity(std::vector<double> activity) const {
+  if (activity.size() != per_gate_.size()) {
+    throw std::invalid_argument(
+        "StressProfile::with_activity: one activity per gate required");
+  }
+  for (const double a : activity) {
+    if (a < 0.0) {
+      throw std::invalid_argument(
+          "StressProfile::with_activity: negative activity");
+    }
+  }
+  StressProfile annotated(mode_, per_gate_);
+  annotated.activity_ = std::move(activity);
+  return annotated;
+}
+
+double StressProfile::gate_activity(std::size_t index) const {
+  if (index >= per_gate_.size()) {
+    throw std::out_of_range("StressProfile::gate_activity");
+  }
+  if (!activity_.empty()) return activity_[index];
+  switch (mode_) {
+    case StressMode::worst:
+      return 1.0;
+    case StressMode::balanced:
+      return 0.5;
+    case StressMode::measured:
+      // Toggle estimate for independently sampled cycles at duty p.
+      return 2.0 * per_gate_[index].pmos * per_gate_[index].nmos;
+  }
+  return 0.0;
+}
+
 std::string AgingScenario::label() const {
   if (is_fresh()) return "noAging";
   std::ostringstream os;

@@ -13,7 +13,7 @@ constexpr double kDrivingWeight = 0.92;
 }  // namespace
 
 DegradationAwareLibrary::DegradationAwareLibrary(const CellLibrary& lib,
-                                                 const BtiModel& model,
+                                                 const AgingModel& model,
                                                  double years)
     : lib_(&lib), model_(model), years_(years) {
   if (years < 0.0) {
@@ -53,7 +53,7 @@ DegradationAwareLibrary::DegradationAwareLibrary(const CellLibrary& lib,
 }
 
 DegradationAwareLibrary::DegradationAwareLibrary(const CellLibrary& lib,
-                                                 const BtiModel& model,
+                                                 const AgingModel& model,
                                                  double years,
                                                  std::vector<Table2D> rise_grid,
                                                  std::vector<Table2D> fall_grid)

@@ -15,7 +15,7 @@
 
 #include <vector>
 
-#include "aging/bti_model.hpp"
+#include "aging/aging_model.hpp"
 #include "aging/stress.hpp"
 #include "cell/library.hpp"
 #include "util/interp.hpp"
@@ -25,14 +25,17 @@ namespace aapx {
 class DegradationAwareLibrary {
  public:
   /// Precomputes 11x11 factor grids for every cell at the given lifetime.
-  /// years == 0 produces the identity library (all factors 1).
-  DegradationAwareLibrary(const CellLibrary& lib, const BtiModel& model,
+  /// years == 0 produces the identity library (all factors 1). The grids
+  /// hold the model's duty-driven (BTI) drift; activity-driven HCI drift is
+  /// applied per gate by the STA on top (it needs the gate's activity, which
+  /// is not a grid axis). Historic BtiModel call sites convert implicitly.
+  DegradationAwareLibrary(const CellLibrary& lib, const AgingModel& model,
                           double years);
 
   /// Adopts precomputed factor grids instead of rebuilding them — the
   /// deserialization path of the persistent DesignStore (engine/persist).
   /// Both grid vectors must hold one table per cell of `lib`.
-  DegradationAwareLibrary(const CellLibrary& lib, const BtiModel& model,
+  DegradationAwareLibrary(const CellLibrary& lib, const AgingModel& model,
                           double years, std::vector<Table2D> rise_grid,
                           std::vector<Table2D> fall_grid);
 
@@ -44,7 +47,7 @@ class DegradationAwareLibrary {
 
   double years() const noexcept { return years_; }
   const CellLibrary& base() const noexcept { return *lib_; }
-  const BtiModel& model() const noexcept { return model_; }
+  const AgingModel& model() const noexcept { return model_; }
 
   /// Number of grid points per stress axis (the "11" in 11x11).
   static constexpr int kGridPoints = 11;
@@ -59,7 +62,7 @@ class DegradationAwareLibrary {
 
  private:
   const CellLibrary* lib_;
-  BtiModel model_;
+  AgingModel model_;
   double years_;
   std::vector<Table2D> rise_grid_;  ///< per cell; axis1 = S_p, axis2 = S_n
   std::vector<Table2D> fall_grid_;

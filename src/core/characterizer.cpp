@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "engine/design_store.hpp"
 #include "netlist/stats.hpp"
@@ -15,19 +16,19 @@ namespace aapx {
 
 ComponentCharacterizer::ComponentCharacterizer(const Context& ctx,
                                                const CellLibrary& lib,
-                                               BtiModel model,
+                                               AgingModel model,
                                                CharacterizerOptions options)
-    : ctx_(&ctx), lib_(&lib), model_(model), options_(options) {
+    : ctx_(&ctx), lib_(&lib), model_(std::move(model)), options_(options) {
   if (options_.precision_step <= 0) {
     throw std::invalid_argument("ComponentCharacterizer: bad precision_step");
   }
 }
 
 ComponentCharacterizer::ComponentCharacterizer(const CellLibrary& lib,
-                                               BtiModel model,
+                                               AgingModel model,
                                                CharacterizerOptions options)
-    : ComponentCharacterizer(Context::process_default(), lib, model,
-                             options) {}
+    : ComponentCharacterizer(Context::process_default(), lib,
+                             std::move(model), options) {}
 
 const DegradationAwareLibrary& ComponentCharacterizer::degradation_for(
     double years) const {

@@ -14,7 +14,7 @@
 
 #include <vector>
 
-#include "aging/bti_model.hpp"
+#include "aging/aging_model.hpp"
 #include "approx/library.hpp"
 #include "core/stimulus.hpp"
 #include "engine/context.hpp"
@@ -47,10 +47,10 @@ class ComponentCharacterizer {
   /// characterizer warms is reusable by every other consumer of the same
   /// Context (runtime, fault injector, another characterizer).
   ComponentCharacterizer(const Context& ctx, const CellLibrary& lib,
-                         BtiModel model, CharacterizerOptions options = {});
+                         AgingModel model, CharacterizerOptions options = {});
 
   /// Process-default-Context shim: behaves exactly like the pre-Context API.
-  ComponentCharacterizer(const CellLibrary& lib, BtiModel model,
+  ComponentCharacterizer(const CellLibrary& lib, AgingModel model,
                          CharacterizerOptions options = {});
 
   /// Characterizes `base` (which must have truncated_bits == 0) under the
@@ -65,7 +65,7 @@ class ComponentCharacterizer {
 
   const Context& context() const noexcept { return *ctx_; }
   const CellLibrary& lib() const noexcept { return *lib_; }
-  const BtiModel& model() const noexcept { return model_; }
+  const AgingModel& model() const noexcept { return model_; }
   const CharacterizerOptions& options() const noexcept { return options_; }
 
  private:
@@ -94,7 +94,7 @@ class ComponentCharacterizer {
 
   const Context* ctx_;
   const CellLibrary* lib_;
-  BtiModel model_;
+  AgingModel model_;
   CharacterizerOptions options_;
 };
 

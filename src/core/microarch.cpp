@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "engine/design_store.hpp"
 #include "synth/components.hpp"
@@ -21,14 +22,15 @@ const StimulusSet* stimulus_for(const FlowOptions& options,
 
 MicroarchApproximator::MicroarchApproximator(const Context& ctx,
                                              const CellLibrary& lib,
-                                             BtiModel model,
+                                             AgingModel model,
                                              CharacterizerOptions options)
-    : lib_(&lib), characterizer_(ctx, lib, model, options) {}
+    : lib_(&lib), characterizer_(ctx, lib, std::move(model), options) {}
 
 MicroarchApproximator::MicroarchApproximator(const CellLibrary& lib,
-                                             BtiModel model,
+                                             AgingModel model,
                                              CharacterizerOptions options)
-    : MicroarchApproximator(Context::process_default(), lib, model, options) {}
+    : MicroarchApproximator(Context::process_default(), lib, std::move(model),
+                            options) {}
 
 const ComponentCharacterization& MicroarchApproximator::characterization_for(
     const ComponentSpec& base, const AgingScenario& scenario,

@@ -67,10 +67,10 @@ class MicroarchApproximator {
   /// flow re-uses netlists/libraries warmed by any prior work on the same
   /// Context.
   MicroarchApproximator(const Context& ctx, const CellLibrary& lib,
-                        BtiModel model, CharacterizerOptions options = {});
+                        AgingModel model, CharacterizerOptions options = {});
 
   /// Process-default-Context shim (pre-Context API).
-  MicroarchApproximator(const CellLibrary& lib, BtiModel model,
+  MicroarchApproximator(const CellLibrary& lib, AgingModel model,
                         CharacterizerOptions options = {});
 
   FlowResult run(const MicroarchSpec& design, const FlowOptions& options);

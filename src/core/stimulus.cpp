@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "gatesim/funcsim.hpp"
 #include "gatesim/packedsim.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
@@ -236,6 +237,41 @@ std::vector<double> measure_gate_duty(const Netlist& nl,
     duty[g] = static_cast<double>(high) / static_cast<double>(n_vectors);
   }
   return duty;
+}
+
+std::vector<double> measure_gate_activity(const Netlist& nl,
+                                          const StimulusSet& stimulus) {
+  if (stimulus.vectors.size() < 2) {
+    throw std::invalid_argument(
+        "measure_gate_activity: need at least two vectors");
+  }
+  for (const auto& row : stimulus.vectors) {
+    if (row.size() != stimulus.buses.size()) {
+      throw std::invalid_argument("measure_gate_activity: ragged stimulus");
+    }
+  }
+  // Toggles are a property of the vector *sequence*, so this replay is a
+  // plain serial loop — vector order is the signal, not a parallel grain.
+  FuncSim sim(nl);
+  std::vector<char> prev(nl.num_gates(), 0);
+  std::vector<std::uint64_t> toggles(nl.num_gates(), 0);
+  for (std::size_t i = 0; i < stimulus.vectors.size(); ++i) {
+    for (std::size_t b = 0; b < stimulus.buses.size(); ++b) {
+      sim.set_bus(stimulus.buses[b], stimulus.vectors[i][b]);
+    }
+    sim.eval();
+    for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+      const char v = sim.value(nl.gate(static_cast<GateId>(g)).fanout) ? 1 : 0;
+      if (i > 0 && v != prev[g]) ++toggles[g];
+      prev[g] = v;
+    }
+  }
+  const double steps = static_cast<double>(stimulus.vectors.size() - 1);
+  std::vector<double> activity(nl.num_gates(), 0.0);
+  for (std::size_t g = 0; g < nl.num_gates(); ++g) {
+    activity[g] = static_cast<double>(toggles[g]) / steps;
+  }
+  return activity;
 }
 
 }  // namespace aapx

@@ -83,4 +83,13 @@ StimulusSet stimulus_from_operand_pairs(
 std::vector<double> measure_gate_duty(const Netlist& nl,
                                       const StimulusSet& stimulus);
 
+/// Replays the stimulus *in order* through a zero-delay simulation and
+/// returns per-gate toggle activities: settled output transitions between
+/// consecutive vectors, divided by the number of vector steps. This is the
+/// measured input of the activity-driven aging mechanisms (HCI drift, EM
+/// current density) — see StressProfile::with_activity. Needs at least two
+/// vectors; glitch toggles are not counted (settled values only).
+std::vector<double> measure_gate_activity(const Netlist& nl,
+                                          const StimulusSet& stimulus);
+
 }  // namespace aapx

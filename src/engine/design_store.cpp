@@ -43,7 +43,7 @@ bool scenarios_equal(const std::vector<AgingScenario>& a,
   return true;
 }
 
-std::uint64_t surface_key(std::uint64_t lib_fp, const BtiParams& params,
+std::uint64_t surface_key(std::uint64_t lib_fp, const AgingParams& params,
                           const ComponentSpec& base,
                           const std::vector<AgingScenario>& scenarios,
                           int min_precision, int precision_step,
@@ -169,7 +169,7 @@ const Netlist& DesignStore::netlist(const CellLibrary& lib,
 }
 
 const DegradationAwareLibrary& DesignStore::aged_library(const CellLibrary& lib,
-                                                         const BtiModel& model,
+                                                         const AgingModel& model,
                                                          double years) {
   const std::uint64_t fp = fingerprint(lib);
   const std::uint64_t key = Hasher{}
@@ -226,7 +226,7 @@ const DegradationAwareLibrary& DesignStore::aged_library(const CellLibrary& lib,
 
 double DesignStore::aged_sta_delay(const CellLibrary& lib,
                                    const ComponentSpec& spec,
-                                   const BtiModel& model, StressMode mode,
+                                   const AgingModel& model, StressMode mode,
                                    double years, const StaOptions& sta) {
   if (mode == StressMode::measured) {
     throw std::invalid_argument(
@@ -336,7 +336,7 @@ double DesignStore::aged_sta_delay(const CellLibrary& lib,
 
 double DesignStore::truncated_sta_delay(
     const CellLibrary& lib, const ComponentSpec& base, int truncated_bits,
-    const BtiModel& model, StressMode mode, double years,
+    const AgingModel& model, StressMode mode, double years,
     const StaOptions& sta, std::uint64_t gates,
     const std::function<double()>& compute) {
   if (mode == StressMode::measured) {
@@ -430,7 +430,8 @@ double DesignStore::truncated_sta_delay(
 }
 
 const ComponentCharacterization& DesignStore::surface(
-    const CellLibrary& lib, const BtiModel& model, const ComponentSpec& base,
+    const CellLibrary& lib, const AgingModel& model,
+    const ComponentSpec& base,
     const std::vector<AgingScenario>& scenarios, int min_precision,
     int precision_step, const StaOptions& sta, bool incremental_sta,
     const std::function<ComponentCharacterization()>& build) {

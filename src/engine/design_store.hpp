@@ -54,7 +54,7 @@
 #include <string>
 #include <vector>
 
-#include "aging/bti_model.hpp"
+#include "aging/aging_model.hpp"
 #include "aging/stress.hpp"
 #include "approx/characterization.hpp"
 #include "cell/degradation.hpp"
@@ -84,8 +84,10 @@ class DesignStore {
   const Netlist& netlist(const CellLibrary& lib, const ComponentSpec& spec);
 
   /// The degradation-aware library of `lib` under `model` at `years`.
+  /// Historic BtiModel callers convert implicitly; a BTI-only model keys —
+  /// and therefore hits — exactly like the BtiModel it wraps.
   const DegradationAwareLibrary& aged_library(const CellLibrary& lib,
-                                              const BtiModel& model,
+                                              const AgingModel& model,
                                               double years);
 
   /// Memoized max-delay of `spec` under uniform stress `mode` at `years`
@@ -93,7 +95,7 @@ class DesignStore {
   /// from the key, so fresh delays are shared across models). Measured-mode
   /// queries are stimulus-dependent and must not come through this cache.
   double aged_sta_delay(const CellLibrary& lib, const ComponentSpec& spec,
-                        const BtiModel& model, StressMode mode, double years,
+                        const AgingModel& model, StressMode mode, double years,
                         const StaOptions& sta);
 
   /// Memoized max-delay of the *incremental boundary-condition family*:
@@ -109,7 +111,7 @@ class DesignStore {
   /// run logs are byte-identical at any store warmth — and `compute` is
   /// algorithm-agnostic, so AAPX_STA_FULL=1 changes nothing observable.
   double truncated_sta_delay(const CellLibrary& lib, const ComponentSpec& base,
-                             int truncated_bits, const BtiModel& model,
+                             int truncated_bits, const AgingModel& model,
                              StressMode mode, double years,
                              const StaOptions& sta, std::uint64_t gates,
                              const std::function<double()>& compute);
@@ -123,7 +125,8 @@ class DesignStore {
   /// incremental mode) — keyed apart so they never alias re-synthesized
   /// surfaces of the same component.
   const ComponentCharacterization& surface(
-      const CellLibrary& lib, const BtiModel& model, const ComponentSpec& base,
+      const CellLibrary& lib, const AgingModel& model,
+      const ComponentSpec& base,
       const std::vector<AgingScenario>& scenarios, int min_precision,
       int precision_step, const StaOptions& sta, bool incremental_sta,
       const std::function<ComponentCharacterization()>& build);
@@ -179,7 +182,7 @@ class DesignStore {
   };
   struct LibraryEntry {
     std::uint64_t lib_fp = 0;
-    BtiParams params;
+    AgingParams params;
     double years = 0.0;
     std::unique_ptr<DegradationAwareLibrary> library;
   };
@@ -191,7 +194,7 @@ class DesignStore {
   };
   struct SurfaceEntry {
     std::uint64_t lib_fp = 0;
-    BtiParams params;
+    AgingParams params;
     StaOptions sta;
     int min_precision = 0;
     int precision_step = 0;

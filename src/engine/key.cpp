@@ -13,6 +13,7 @@ constexpr std::uint64_t kTagBti = 0x4254493131ULL;       // "BTI11"
 constexpr std::uint64_t kTagSta = 0x5354413131ULL;       // "STA11"
 constexpr std::uint64_t kTagScenario = 0x5343454e31ULL;  // "SCEN1"
 constexpr std::uint64_t kTagLibrary = 0x4c49423131ULL;   // "LIB11"
+constexpr std::uint64_t kTagAgingModel = 0x41474d3131ULL;  // "AGM11"
 
 void feed(Hasher& h, const Table2D& t) {
   h.u64(t.axis1().size()).u64(t.axis2().size());
@@ -54,6 +55,50 @@ std::uint64_t key_of(const BtiParams& p) {
       .f64(p.t_ref_kelvin)
       .f64(p.activation_ev)
       .digest();
+}
+
+std::uint64_t key_of(const AgingParams& params) {
+  // The historic digest for the historic configuration: a BTI-only set keys
+  // exactly like the BtiParams it wraps, so every pre-mechanism store entry
+  // stays addressable. Extended sets move to their own key family.
+  if (params.bti_only()) return key_of(params.bti);
+  Hasher h;
+  h.u64(kTagAgingModel);
+  h.u64(params.mechanisms.size());
+  for (const MechanismKind kind : params.mechanisms) {
+    h.i32(static_cast<int>(kind));
+  }
+  // The BTI block always participates (it carries the shared electrical
+  // operating point); the other blocks only when their mechanism is on.
+  h.u64(key_of(params.bti));
+  if (params.has(MechanismKind::hci)) {
+    const HciParams& p = params.hci;
+    h.f64(p.a_hci)
+        .f64(p.activity_exponent)
+        .f64(p.time_exponent)
+        .f64(p.t_ref_years)
+        .f64(p.activation_ev)
+        .f64(p.t_ref_kelvin);
+  }
+  if (params.has(MechanismKind::em)) {
+    const EmParams& p = params.em;
+    h.f64(p.beta)
+        .f64(p.eta_ref_years)
+        .f64(p.j_ref)
+        .f64(p.current_exponent)
+        .f64(p.activation_ev)
+        .f64(p.t_ref_kelvin);
+  }
+  if (params.has(MechanismKind::tddb)) {
+    const TddbParams& p = params.tddb;
+    h.f64(p.beta)
+        .f64(p.eta_ref_years)
+        .f64(p.vdd_ref)
+        .f64(p.voltage_exponent)
+        .f64(p.activation_ev)
+        .f64(p.t_ref_kelvin);
+  }
+  return h.digest();
 }
 
 std::uint64_t key_of(const StaOptions& options) {

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 
+#include "aging/aging_model.hpp"
 #include "aging/bti_model.hpp"
 #include "aging/stress.hpp"
 #include "sta/sta.hpp"
@@ -34,6 +35,17 @@ std::uint64_t key_of(const ComponentSpec& spec);
 /// temperatures). Models with equal parameters key identically.
 std::uint64_t key_of(const BtiParams& params);
 inline std::uint64_t key_of(const BtiModel& model) {
+  return key_of(model.params());
+}
+
+/// Digest of the composite aging-parameter record. Back-compat rule: a
+/// BTI-only set digests exactly as key_of(BtiParams) — the historic key —
+/// so existing stores stay warm; any other mechanism set digests under a
+/// separate tag that additionally hashes the mechanism list and every
+/// enabled mechanism's parameter block, so extended models can never alias
+/// a BTI-only entry.
+std::uint64_t key_of(const AgingParams& params);
+inline std::uint64_t key_of(const AgingModel& model) {
   return key_of(model.params());
 }
 

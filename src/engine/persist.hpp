@@ -30,13 +30,23 @@
 // for that re-verification; decode helpers below are the single source of
 // truth for their layout. Payload layout changes require bumping
 // kStoreFormatVersion.
+//
+// Mechanism-set extension (no version bump): records built from a BTI-only
+// AgingParams encode the historic 11-double BtiParams block and nothing
+// else, byte-identical to pre-mechanism files — old files decode unchanged
+// and new default files warm-start old binaries' stores. A record built
+// from an *extended* mechanism set appends a tagged extension block at the
+// very end of the payload (see encode_aging_ext in persist.cpp); decoders
+// sniff for it after the legacy fields. An old binary reading an extended
+// record fails its expect_end and drops the record — a cold miss, exactly
+// the degradation the corruption policy promises.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
-#include "aging/bti_model.hpp"
+#include "aging/aging_model.hpp"
 #include "aging/stress.hpp"
 #include "approx/characterization.hpp"
 #include "cell/degradation.hpp"
@@ -115,12 +125,13 @@ NetlistPayload decode_netlist_payload(const std::string& payload,
 
 struct AgedLibraryPayload {
   std::uint64_t lib_fp = 0;
-  BtiParams params;
+  AgingParams params;
   double years = 0.0;
   DegradationAwareLibrary library;
 };
 std::string encode_aged_library_payload(std::uint64_t lib_fp,
-                                        const BtiParams& params, double years,
+                                        const AgingParams& params,
+                                        double years,
                                         const DegradationAwareLibrary& aged);
 AgedLibraryPayload decode_aged_library_payload(const std::string& payload,
                                                const CellLibrary& lib);
@@ -136,7 +147,7 @@ StaDelayPayload decode_sta_delay_payload(const std::string& payload);
 
 struct SurfacePayload {
   std::uint64_t lib_fp = 0;
-  BtiParams params;
+  AgingParams params;
   StaOptions sta;
   int min_precision = 0;
   int precision_step = 0;

@@ -307,6 +307,22 @@ IncrementalStaStats incremental_sta_from_metrics(const JsonValue& doc) {
   return stats;
 }
 
+std::vector<AgingCounterRow> aging_counters_from_metrics(
+    const JsonValue& doc) {
+  std::vector<AgingCounterRow> rows;
+  const JsonValue* counters =
+      doc.is_object() ? doc.find("counters") : nullptr;
+  if (counters == nullptr || !counters->is_object()) return rows;
+  std::map<std::string, std::uint64_t> by_name;
+  for (const auto& [name, value] : counters->object) {
+    if (!value.is_number()) continue;
+    if (name.rfind("aging.", 0) != 0) continue;
+    by_name[name] = static_cast<std::uint64_t>(value.number);
+  }
+  for (const auto& [name, count] : by_name) rows.push_back({name, count});
+  return rows;
+}
+
 std::vector<HistogramRow> histograms_from_metrics(const JsonValue& doc) {
   std::vector<HistogramRow> rows;
   const JsonValue* hists =

@@ -102,6 +102,20 @@ struct IncrementalStaStats {
 };
 IncrementalStaStats incremental_sta_from_metrics(const JsonValue& doc);
 
+/// One aging-engine counter (the aging.* namespace: per-mechanism
+/// drift/hazard evaluation counts, lifetime Monte-Carlo dies, controller
+/// failover decisions).
+struct AgingCounterRow {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Extracts every aging.* counter from a metrics JSON document,
+/// name-ordered. Empty for runs under the default BTI-only model — those
+/// register no aging.* counters, which is what keeps their snapshots
+/// byte-identical to the pre-mechanism engine.
+std::vector<AgingCounterRow> aging_counters_from_metrics(const JsonValue& doc);
+
 /// One histogram from a metrics JSON document, with the exact aggregates
 /// (count/sum/min/max travel losslessly through the snapshot) and the
 /// bucket-interpolated quantiles.

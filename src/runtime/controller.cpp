@@ -11,6 +11,7 @@ std::string to_string(ControlTrigger trigger) {
     case ControlTrigger::functional_errors: return "functional-errors";
     case ControlTrigger::canary_warning: return "canary-warning";
     case ControlTrigger::step_up_probe: return "step-up-probe";
+    case ControlTrigger::hazard_crossing: return "hazard-crossing";
   }
   return "?";
 }
@@ -21,6 +22,7 @@ std::string to_string(ControlOutcome outcome) {
     case ControlOutcome::rejected_sta: return "rejected-sta";
     case ControlOutcome::rejected_burst: return "rejected-burst";
     case ControlOutcome::at_floor: return "at-floor";
+    case ControlOutcome::failover: return "failover";
   }
   return "?";
 }
@@ -135,10 +137,26 @@ bool DegradationController::step_up(int epoch, double years,
   return true;
 }
 
+bool DegradationController::notify_hazard(int epoch, double years,
+                                          double sensor_years,
+                                          double cumulative_hazard,
+                                          const TimingErrorMonitor& monitor) {
+  if (config_.hazard_failover_threshold <= 0.0 || failed_over_) return false;
+  if (cumulative_hazard < config_.hazard_failover_threshold) return false;
+  // Terminal: drift outcomes (precision fallback) arbitrate against wearout
+  // outcomes here, and wearout wins — record the decision at the current
+  // precision (nothing to trade) and go inert.
+  log(epoch, years, sensor_years, ControlTrigger::hazard_crossing,
+      ControlOutcome::failover, precision_, monitor, 0.0);
+  failed_over_ = true;
+  return true;
+}
+
 bool DegradationController::evaluate(int epoch, double years,
                                      double sensor_years,
                                      const TimingErrorMonitor& monitor,
                                      VerifyHooks& hooks) {
+  if (failed_over_) return false;
   // 1. Proactive: the sensor-indexed schedule demands a lower precision.
   const int scheduled = schedule_.precision_at(sensor_years);
   if (scheduled < precision_) {

@@ -33,6 +33,7 @@ enum class ControlTrigger {
   functional_errors,  ///< monitor saw sampled timing errors
   canary_warning,     ///< canary/replica path early warning
   step_up_probe,      ///< sustained clean window; trying to regain quality
+  hazard_crossing,    ///< hard-failure cumulative hazard crossed the budget
 };
 
 enum class ControlOutcome {
@@ -40,6 +41,7 @@ enum class ControlOutcome {
   rejected_sta,    ///< aged STA at sensor age violates the constraint
   rejected_burst,  ///< in-situ verification burst still saw errors
   at_floor,        ///< no clean precision left; pinned at the floor
+  failover,        ///< hard-failure risk: hand off to the spare, terminal
 };
 
 std::string to_string(ControlTrigger trigger);
@@ -69,6 +71,12 @@ struct ControllerConfig {
   /// required before a step up is probed.
   std::size_t clean_epochs_to_step_up = 3;
   bool allow_step_up = true;
+  /// Cumulative hard-failure hazard H(t) at which the controller stops
+  /// trading precision and fails over to a spare instead: drift mechanisms
+  /// (BTI/HCI) are survivable by dropping precision, but EM/TDDB wearout is
+  /// not — no approximation buys back an open via or a broken oxide. 0
+  /// disables the check (the default: drift-only models never fail over).
+  double hazard_failover_threshold = 0.0;
 };
 
 /// In-situ verification result of one candidate precision.
@@ -99,12 +107,24 @@ class DegradationController {
   const std::vector<ControlEvent>& events() const noexcept { return events_; }
   /// Committed precision changes so far (adaptation cycles).
   std::size_t reconfigurations() const noexcept { return reconfigurations_; }
+  /// True once a hazard crossing has been declared; the controller is then
+  /// inert (failover is terminal — the spare owns the datapath).
+  bool failed_over() const noexcept { return failed_over_; }
 
   /// One control evaluation at the end of an epoch. Returns true if the
   /// precision changed — the caller must then switch the datapath and reset
   /// the monitor window.
   bool evaluate(int epoch, double years, double sensor_years,
                 const TimingErrorMonitor& monitor, VerifyHooks& hooks);
+
+  /// Hard-failure arbitration, called by the runtime each epoch with the
+  /// model's cumulative hazard at the current age. Returns true exactly once
+  /// — when the hazard first crosses the configured budget — after which the
+  /// controller refuses further precision trades. Disabled (always false)
+  /// when the threshold is 0.
+  bool notify_hazard(int epoch, double years, double sensor_years,
+                     double cumulative_hazard,
+                     const TimingErrorMonitor& monitor);
 
  private:
   bool step_down(int epoch, double years, double sensor_years, int target,
@@ -123,6 +143,7 @@ class DegradationController {
   std::vector<ControlEvent> events_;
   std::size_t clean_epochs_ = 0;
   std::size_t reconfigurations_ = 0;
+  bool failed_over_ = false;
 };
 
 }  // namespace aapx

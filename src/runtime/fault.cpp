@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "cell/degradation.hpp"
 #include "engine/design_store.hpp"
@@ -11,8 +12,11 @@
 namespace aapx {
 
 FaultInjector::FaultInjector(const Context& ctx, const CellLibrary& lib,
-                             BtiModel nominal, FaultScenario scenario)
-    : ctx_(&ctx), lib_(&lib), nominal_(nominal), scenario_(scenario) {
+                             AgingModel nominal, FaultScenario scenario)
+    : ctx_(&ctx),
+      lib_(&lib),
+      nominal_(std::move(nominal)),
+      scenario_(scenario) {
   if (scenario_.aging_acceleration <= 0.0) {
     throw std::invalid_argument("FaultInjector: aging_acceleration must be > 0");
   }
@@ -31,19 +35,20 @@ FaultInjector::FaultInjector(const Context& ctx, const CellLibrary& lib,
   }
 }
 
-FaultInjector::FaultInjector(const CellLibrary& lib, BtiModel nominal,
+FaultInjector::FaultInjector(const CellLibrary& lib, AgingModel nominal,
                              FaultScenario scenario)
-    : FaultInjector(Context::process_default(), lib, nominal, scenario) {}
+    : FaultInjector(Context::process_default(), lib, std::move(nominal),
+                    scenario) {}
 
-BtiModel FaultInjector::faulted_model(double years) const {
-  BtiParams params = nominal_.params();
-  params.a_pmos *= scenario_.aging_acceleration;
-  params.a_nmos *= scenario_.aging_acceleration;
+AgingModel FaultInjector::faulted_model(double years) const {
+  AgingParams params = nominal_.params();
+  params.bti.a_pmos *= scenario_.aging_acceleration;
+  params.bti.a_nmos *= scenario_.aging_acceleration;
   if (scenario_.temp_step_kelvin != 0.0 &&
       years >= scenario_.temp_step_from_years) {
-    params.temp_kelvin += scenario_.temp_step_kelvin;
+    params.bti.temp_kelvin += scenario_.temp_step_kelvin;
   }
-  return BtiModel(params);
+  return AgingModel(params);
 }
 
 double FaultInjector::equivalent_nominal_years(double years) const {
@@ -61,7 +66,7 @@ double FaultInjector::equivalent_nominal_years(double years) const {
   const double dvth_nom =
       nominal_.delta_vth(TransistorType::pMos, 1.0, years);
   if (dvth_nom <= 0.0) return years;
-  const double n = nominal_.params().time_exponent;
+  const double n = nominal_.params().bti.time_exponent;
   return years * std::pow(dvth_true / dvth_nom, 1.0 / n);
 }
 

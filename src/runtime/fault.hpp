@@ -24,7 +24,7 @@
 
 #include <cstdint>
 
-#include "aging/bti_model.hpp"
+#include "aging/aging_model.hpp"
 #include "aging/stress.hpp"
 #include "cell/library.hpp"
 #include "engine/context.hpp"
@@ -70,11 +70,11 @@ class FaultInjector {
   /// Faulted degradation libraries come from `ctx`'s DesignStore: keyed by
   /// model *content*, so a nominal scenario shares the very same entries the
   /// runtime and characterizer use.
-  FaultInjector(const Context& ctx, const CellLibrary& lib, BtiModel nominal,
-                FaultScenario scenario);
+  FaultInjector(const Context& ctx, const CellLibrary& lib,
+                AgingModel nominal, FaultScenario scenario);
 
   /// Process-default-Context shim (pre-Context API).
-  FaultInjector(const CellLibrary& lib, BtiModel nominal,
+  FaultInjector(const CellLibrary& lib, AgingModel nominal,
                 FaultScenario scenario);
 
   /// The age a nominal-model ΔVth observer would infer at wall-clock
@@ -85,9 +85,10 @@ class FaultInjector {
   /// schedules are fragile.
   double equivalent_nominal_years(double years) const;
 
-  /// Nominal BTI model with the scenario's ΔVth acceleration and (if active
-  /// at wall-clock `years`) temperature excursion applied.
-  BtiModel faulted_model(double years) const;
+  /// Nominal aging model with the scenario's ΔVth acceleration and (if
+  /// active at wall-clock `years`) temperature excursion applied to its BTI
+  /// operating point; any extra mechanisms carry over unchanged.
+  AgingModel faulted_model(double years) const;
 
   /// Ground-truth per-gate delays of `nl` at wall-clock `years`: aged by the
   /// faulted model under uniform stress of `mode`, with per-gate outlier
@@ -99,7 +100,7 @@ class FaultInjector {
   AgingSensor make_sensor() const;
 
   const FaultScenario& scenario() const noexcept { return scenario_; }
-  const BtiModel& nominal_model() const noexcept { return nominal_; }
+  const AgingModel& nominal_model() const noexcept { return nominal_; }
 
  private:
   /// Faulted degradation library at one wall-clock age, served by the
@@ -110,7 +111,7 @@ class FaultInjector {
 
   const Context* ctx_;
   const CellLibrary* lib_;
-  BtiModel nominal_;
+  AgingModel nominal_;
   FaultScenario scenario_;
 };
 

@@ -27,8 +27,11 @@ std::uint64_t CampaignResult::errors_in_last(std::size_t n) const {
 }
 
 ClosedLoopRuntime::ClosedLoopRuntime(const Context& ctx, const CellLibrary& lib,
-                                     BtiModel nominal, RuntimeOptions options)
-    : ctx_(&ctx), lib_(&lib), nominal_(nominal), options_(std::move(options)) {
+                                     AgingModel nominal, RuntimeOptions options)
+    : ctx_(&ctx),
+      lib_(&lib),
+      nominal_(std::move(nominal)),
+      options_(std::move(options)) {
   const ComponentSpec& c = options_.component;
   if (c.truncated_bits != 0) {
     throw std::invalid_argument(
@@ -55,9 +58,9 @@ ClosedLoopRuntime::ClosedLoopRuntime(const Context& ctx, const CellLibrary& lib,
   schedule_ = scheduler.plan(c, options_.stress, options_.schedule_grid);
 }
 
-ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
+ClosedLoopRuntime::ClosedLoopRuntime(const CellLibrary& lib, AgingModel nominal,
                                      RuntimeOptions options)
-    : ClosedLoopRuntime(Context::process_default(), lib, nominal,
+    : ClosedLoopRuntime(Context::process_default(), lib, std::move(nominal),
                         std::move(options)) {}
 
 ComponentSpec ClosedLoopRuntime::spec_for(int precision) const {
@@ -295,11 +298,29 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
       if (campaign.closed_loop) monitor.record(error, settle, t_clock);
     }
 
+    bool failover_now = false;
     if (campaign.closed_loop) {
       const double sensor_years =
           sensor.read(faults.equivalent_nominal_years(years));
       report.sensor_years = sensor_years;
-      if (controller.evaluate(e, years, sensor_years, monitor, hooks)) {
+      // Hard-failure arbitration outranks every precision trade: when the
+      // model carries a wearout mechanism (EM/TDDB) and a hazard budget is
+      // configured, a crossing turns the epoch into a failover instead of a
+      // fallback. Both gates are off by default, so drift-only campaigns
+      // never touch this path (or its counter).
+      if (nominal_.has_hard_failure() &&
+          ccfg.hazard_failover_threshold > 0.0) {
+        GateEnv env;
+        env.activity = options_.stress == StressMode::worst ? 1.0 : 0.5;
+        const double hazard = nominal_.cumulative_hazard(env, years);
+        failover_now =
+            controller.notify_hazard(e, years, sensor_years, hazard, monitor);
+        if (failover_now) {
+          obs::metrics().counter("aging.controller.failover_decisions").add();
+        }
+      }
+      if (!failover_now &&
+          controller.evaluate(e, years, sensor_years, monitor, hooks)) {
         monitor.reset_window();
       }
     } else {
@@ -328,6 +349,15 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
         log_control_event(log, events[logged_events]);
       }
     }
+
+    if (failover_now) {
+      // Terminal: the spare owns the datapath from here, so the campaign
+      // stops after recording the crossing epoch (its report and the
+      // failover control_event are already emitted above).
+      result.failed_over = true;
+      result.failover_epoch = e;
+      break;
+    }
   }
 
   if (campaign.closed_loop) {
@@ -346,6 +376,11 @@ CampaignResult ClosedLoopRuntime::run(const FaultInjector& faults,
         .field("reconfigurations",
                static_cast<std::uint64_t>(result.reconfigurations))
         .field("converged_clean", result.converged_clean());
+    // Only non-default campaigns (hazard budget configured AND crossed) gain
+    // this field, so default run-log bytes are unchanged.
+    if (result.failed_over) {
+      w.field("failed_over", true).field("failover_epoch", result.failover_epoch);
+    }
     log.emit("campaign_end", w);
   }
   return result;

@@ -76,6 +76,12 @@ struct CampaignResult {
   std::uint64_t total_vectors = 0;
   int final_precision = 0;
   std::size_t reconfigurations = 0;  ///< committed precision changes
+  /// Hard-failure arbitration: true when the controller declared a hazard
+  /// crossing and handed the datapath to a spare. Only reachable with a
+  /// hard-failure mechanism (EM/TDDB) in the model AND a non-zero
+  /// hazard_failover_threshold — never in default drift-only campaigns.
+  bool failed_over = false;
+  int failover_epoch = 0;  ///< epoch of the crossing; 0 if none
 
   /// True if the final epoch sampled zero timing errors.
   bool converged_clean() const;
@@ -90,10 +96,10 @@ class ClosedLoopRuntime {
   /// warms them while planning the schedule) and with any other runtime or
   /// fault injector on the same Context.
   ClosedLoopRuntime(const Context& ctx, const CellLibrary& lib,
-                    BtiModel nominal, RuntimeOptions options);
+                    AgingModel nominal, RuntimeOptions options);
 
   /// Process-default-Context shim (pre-Context API).
-  ClosedLoopRuntime(const CellLibrary& lib, BtiModel nominal,
+  ClosedLoopRuntime(const CellLibrary& lib, AgingModel nominal,
                     RuntimeOptions options);
 
   const AdaptiveSchedule& schedule() const noexcept { return schedule_; }
@@ -124,7 +130,7 @@ class ClosedLoopRuntime {
 
   const Context* ctx_;
   const CellLibrary* lib_;
-  BtiModel nominal_;
+  AgingModel nominal_;
   RuntimeOptions options_;
   AdaptiveSchedule schedule_;
 };

@@ -187,7 +187,7 @@ struct Server::Impl {
       : options(std::move(opts)),
         root(&root),
         lib(make_nangate45_like()),
-        model(BtiModel{}),
+        model(AgingModel{}),
         queue(std::max<std::size_t>(1, options.queue_capacity)),
         lat_characterize(
             root.metrics().histogram("service.latency_us.characterize")),
@@ -206,7 +206,7 @@ struct Server::Impl {
   ServerOptions options;
   const Context* root;
   const CellLibrary lib;
-  const BtiModel model;
+  const AgingModel model;
   std::uint64_t lib_fp = 0;
 
   int listen_fd = -1;

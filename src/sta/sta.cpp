@@ -42,6 +42,7 @@ Sta::Sta(const Netlist& nl, StaOptions options, const Context* ctx)
   fresh_runs_ = &registry.counter("sta.fresh_runs");
   aged_runs_ = &registry.counter("sta.aged_runs");
   runlog_ = ctx != nullptr ? &ctx->runlog() : &obs::RunLog::instance();
+  metrics_ = &registry;
 }
 
 StaResult Sta::run_fresh() const { return run(nullptr, nullptr); }
@@ -63,6 +64,14 @@ Sta::GateDelays Sta::gate_delays(const DegradationAwareLibrary* aged,
   const double slew = options_.primary_input_slew;
   std::vector<char> is_po(nl.num_nets(), 0);
   for (const NetId po : nl.outputs()) is_po[po] = 1;
+  // HCI drift is activity-driven, not duty-driven, so it cannot live in the
+  // 11x11 stress-factor grids; it multiplies the fall factor per gate here.
+  // The counter is resolved only for HCI-enabled models so that BTI-only
+  // runs register no new metrics keys.
+  const bool hci =
+      aged != nullptr && stress != nullptr && aged->model().has_hci();
+  obs::Counter* hci_evals =
+      hci ? &metrics_->counter("aging.mechanism.hci.drift_evals") : nullptr;
   for (std::size_t g = 0; g < nl.num_gates(); ++g) {
     const auto gid = static_cast<GateId>(g);
     const Gate& gate = nl.gate(gid);
@@ -77,6 +86,15 @@ Sta::GateDelays Sta::gate_delays(const DegradationAwareLibrary* aged,
       const StressPair sp = stress->gate(gid);
       rise_factor = aged->rise_factor(gate.cell, sp);
       fall_factor = aged->fall_factor(gate.cell, sp);
+      if (hci) {
+        // HCI wears the nMOS pull-down network, so only output falls slow
+        // down; the factor composes multiplicatively with the BTI grid's.
+        const double dvth =
+            aged->model().hci_delta_vth(stress->gate_activity(g),
+                                        aged->years()) *
+            cell.aging_sensitivity;
+        fall_factor *= aged->model().delay_factor_from_dvth(dvth);
+      }
     }
     double rise = 0.0;
     double fall = 0.0;
@@ -87,6 +105,7 @@ Sta::GateDelays Sta::gate_delays(const DegradationAwareLibrary* aged,
     gd.rise.push_back(rise * rise_factor);
     gd.fall.push_back(fall * fall_factor);
   }
+  if (hci_evals != nullptr) hci_evals->add(nl.num_gates());
   return gd;
 }
 

@@ -18,6 +18,7 @@
 
 namespace aapx::obs {
 class Counter;
+class MetricsRegistry;
 class RunLog;
 }  // namespace aapx::obs
 
@@ -108,6 +109,9 @@ class Sta {
   obs::Counter* fresh_runs_;
   obs::Counter* aged_runs_;
   obs::RunLog* runlog_;
+  /// Kept for mechanism counters that must be registered lazily: BTI-only
+  /// runs never look them up, so their metrics snapshots carry no new keys.
+  obs::MetricsRegistry* metrics_;
 };
 
 /// Incremental cone-limited aged STA over ONE netlist (paper-flow use: the

@@ -1,0 +1,167 @@
+#include "aging/lifetime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace aapx {
+namespace {
+
+AgingModel full_model() {
+  AgingParams params;
+  params.mechanisms = {MechanismKind::bti, MechanismKind::hci,
+                       MechanismKind::em, MechanismKind::tddb};
+  return AgingModel(params);
+}
+
+std::vector<WorkloadPhase> service_trace() {
+  return {
+      {2.0, 0.2, 0.1, 338.15},
+      {8.0, 0.5, 0.5, 358.15},
+      {5.0, 0.7, 0.9, 370.15},
+      {5.0, 0.5, 0.3, 388.15},
+  };
+}
+
+TEST(LifetimeTest, ValidatesInputs) {
+  const AgingModel model;
+  LifetimeOptions opt;
+  EXPECT_THROW(simulate_lifetime(model, {}, opt), std::invalid_argument);
+  EXPECT_THROW(simulate_lifetime(model, {{0.0, 0.5, 0.5, 358.15}}, opt),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_lifetime(model, {{1.0, 1.5, 0.5, 358.15}}, opt),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_lifetime(model, {{1.0, 0.5, -0.1, 358.15}}, opt),
+               std::invalid_argument);
+  EXPECT_THROW(simulate_lifetime(model, {{1.0, 0.5, 0.5, 0.0}}, opt),
+               std::invalid_argument);
+  LifetimeOptions bad = opt;
+  bad.dies = 0;
+  EXPECT_THROW(simulate_lifetime(model, service_trace(), bad),
+               std::invalid_argument);
+  bad = opt;
+  bad.tolerable_delay_factor = 0.99;
+  EXPECT_THROW(simulate_lifetime(model, service_trace(), bad),
+               std::invalid_argument);
+  bad = opt;
+  bad.param_sigma = -0.1;
+  EXPECT_THROW(simulate_lifetime(model, service_trace(), bad),
+               std::invalid_argument);
+}
+
+TEST(LifetimeTest, ByteIdenticalAtAnyThreadCount) {
+  // The MC determinism contract (lifetime.hpp): per-die streams are seeded
+  // from (seed, die) only and dies land in preallocated slots, so every
+  // result field — including the checksum over per-die failure-time bit
+  // patterns — is byte-identical at 1 and N threads. This is the test TSan
+  // runs against the parallel reduction.
+  const AgingModel model = full_model();
+  const std::vector<WorkloadPhase> trace = service_trace();
+  LifetimeOptions opt;
+  opt.dies = 96;
+  opt.seed = 7;
+  opt.tolerable_delay_factor = 1.08;
+  opt.threads = 1;
+  const LifetimeResult serial = simulate_lifetime(model, trace, opt);
+  for (const int threads : {2, 4, 8}) {
+    opt.threads = threads;
+    const LifetimeResult parallel = simulate_lifetime(model, trace, opt);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(parallel.mttf_years),
+              std::bit_cast<std::uint64_t>(serial.mttf_years));
+    EXPECT_EQ(parallel.checksum, serial.checksum);
+    EXPECT_EQ(parallel.drift_failures, serial.drift_failures);
+    EXPECT_EQ(parallel.hard_failures, serial.hard_failures);
+    EXPECT_EQ(parallel.censored, serial.censored);
+  }
+}
+
+TEST(LifetimeTest, SeedChangesChecksum) {
+  LifetimeOptions opt;
+  opt.dies = 32;
+  const LifetimeResult a =
+      simulate_lifetime(full_model(), service_trace(), opt);
+  opt.seed = 2;
+  const LifetimeResult b =
+      simulate_lifetime(full_model(), service_trace(), opt);
+  EXPECT_NE(a.checksum, b.checksum);
+}
+
+TEST(LifetimeTest, WiderGuardbandNeverShortensLife) {
+  // A larger tolerable delay factor (the slack aging-induced approximation
+  // buys) can only postpone drift failures; hard wear-out is unaffected.
+  const AgingModel model = full_model();
+  const std::vector<WorkloadPhase> trace = service_trace();
+  LifetimeOptions narrow;
+  narrow.dies = 64;
+  narrow.tolerable_delay_factor = 1.02;
+  LifetimeOptions wide = narrow;
+  wide.tolerable_delay_factor = 1.30;
+  const LifetimeResult a = simulate_lifetime(model, trace, narrow);
+  const LifetimeResult b = simulate_lifetime(model, trace, wide);
+  EXPECT_GE(b.mttf_years, a.mttf_years);
+  EXPECT_LE(b.drift_failures, a.drift_failures);
+}
+
+TEST(LifetimeTest, DriftOnlyModelNeverFailsHard) {
+  AgingParams params;
+  params.mechanisms = {MechanismKind::bti, MechanismKind::hci};
+  LifetimeOptions opt;
+  opt.dies = 48;
+  opt.tolerable_delay_factor = 1.01;  // tight budget: drift failures happen
+  const LifetimeResult r =
+      simulate_lifetime(AgingModel(params), service_trace(), opt);
+  EXPECT_EQ(r.hard_failures, 0u);
+  EXPECT_GT(r.drift_failures, 0u);
+}
+
+TEST(LifetimeTest, HardFailureOnlyModelNeverDrifts) {
+  AgingParams params;
+  params.mechanisms = {MechanismKind::em, MechanismKind::tddb};
+  // Stress the wear-out scales so failures land inside the horizon.
+  params.em.eta_ref_years = 6.0;
+  params.tddb.eta_ref_years = 10.0;
+  LifetimeOptions opt;
+  opt.dies = 48;
+  opt.tolerable_delay_factor = 1.001;
+  const LifetimeResult r =
+      simulate_lifetime(AgingModel(params), service_trace(), opt);
+  EXPECT_EQ(r.drift_failures, 0u);
+  EXPECT_GT(r.hard_failures, 0u);
+}
+
+TEST(LifetimeTest, ZeroSigmaCollapsesToCornerAnalysis) {
+  // With no per-die scatter every die shares one drift trajectory, so all
+  // drift failures happen at the same instant.
+  AgingParams params;
+  params.mechanisms = {MechanismKind::bti};
+  LifetimeOptions opt;
+  opt.dies = 16;
+  opt.param_sigma = 0.0;
+  opt.tolerable_delay_factor = 1.01;
+  const LifetimeResult r =
+      simulate_lifetime(AgingModel(params), service_trace(), opt);
+  EXPECT_EQ(r.drift_failures, static_cast<std::uint64_t>(r.dies));
+  // The corner is seed-independent: no scatter, no randomness left.
+  opt.seed = 99;
+  const LifetimeResult r2 =
+      simulate_lifetime(AgingModel(params), service_trace(), opt);
+  EXPECT_EQ(r2.checksum, r.checksum);
+}
+
+TEST(LifetimeTest, HorizonAndPhaseBookkeeping) {
+  const LifetimeResult r =
+      simulate_lifetime(full_model(), service_trace(), {});
+  EXPECT_EQ(r.dies, 256);
+  EXPECT_EQ(r.phases, 4);
+  EXPECT_DOUBLE_EQ(r.horizon_years, 20.0);
+  EXPECT_EQ(r.drift_failures + r.hard_failures + r.censored,
+            static_cast<std::uint64_t>(r.dies));
+  EXPECT_LE(r.mttf_years, r.horizon_years);
+  EXPECT_GT(r.mttf_years, 0.0);
+}
+
+}  // namespace
+}  // namespace aapx

@@ -43,7 +43,11 @@ void write_bytes(const std::string& path, const std::string& bytes) {
 class PersistTest : public ::testing::Test {
  protected:
   PersistTest() : lib_(make_nangate45_like()) {
-    path_ = ::testing::TempDir() + "persist_test_store.aapx";
+    // Per-test file: ctest runs each case as its own process, possibly in
+    // parallel, so a shared name would let two cases clobber one store.
+    path_ = ::testing::TempDir() + "persist_test_store_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".aapx";
     std::remove(path_.c_str());
   }
 

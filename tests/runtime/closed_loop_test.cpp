@@ -147,6 +147,40 @@ TEST_F(ClosedLoopCampaignTest, SensorScheduleAloneHandlesPureAcceleration) {
   EXPECT_EQ(closed.errors_in_last(closed.epochs.size() - 1), 0u);
 }
 
+TEST_F(ClosedLoopCampaignTest, HazardCrossingFailsOverToTheSpare) {
+  // Wear-out (EM/TDDB) is the consequence class precision fallback cannot
+  // absorb: with an aggressive electromigration scale the cumulative hazard
+  // crosses the configured threshold mid-campaign and the loop hands the
+  // datapath to the spare instead of hunting for a lower precision.
+  AgingParams params;
+  params.mechanisms = {MechanismKind::bti, MechanismKind::em,
+                       MechanismKind::tddb};
+  params.em.eta_ref_years = 3.0;
+  const AgingModel model(params);
+  ClosedLoopRuntime runtime(lib_, model, options_);
+  CampaignOptions campaign = campaign_;
+  campaign.controller.hazard_failover_threshold = 0.5;
+  const FaultInjector nominal(lib_, model, FaultScenario::nominal());
+  const CampaignResult r = runtime.run(nominal, campaign);
+
+  EXPECT_TRUE(r.failed_over);
+  EXPECT_GT(r.failover_epoch, 0);
+  // The campaign stops at the crossing — no epochs run on a dead part.
+  EXPECT_EQ(r.epochs.size(), static_cast<std::size_t>(r.failover_epoch));
+  ASSERT_FALSE(r.events.empty());
+  EXPECT_EQ(r.events.back().trigger, ControlTrigger::hazard_crossing);
+  EXPECT_EQ(r.events.back().outcome, ControlOutcome::failover);
+
+  // The same threshold under the default drift-only model never fails over:
+  // BTI/HCI drift stays on the precision-fallback path.
+  CampaignOptions armed = campaign_;
+  armed.controller.hazard_failover_threshold = 0.5;
+  const FaultInjector drift_only(lib_, BtiModel{}, FaultScenario::nominal());
+  const CampaignResult r2 = runtime_->run(drift_only, armed);
+  EXPECT_FALSE(r2.failed_over);
+  EXPECT_EQ(r2.epochs.size(), static_cast<std::size_t>(campaign_.epochs));
+}
+
 TEST_F(ClosedLoopCampaignTest, ValidatesCampaignOptions) {
   const FaultInjector nominal(lib_, BtiModel{}, FaultScenario::nominal());
   CampaignOptions bad = campaign_;

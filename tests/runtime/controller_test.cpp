@@ -219,6 +219,74 @@ TEST(DegradationController, StepUpCanBeDisabled) {
   EXPECT_EQ(ctl.precision(), 7);
 }
 
+// --- hard-failure arbitration -----------------------------------------------
+// Drift (BTI/HCI) is survivable by stepping precision down; EM/TDDB wear-out
+// is not. The controller keeps the two consequence classes apart: hazard
+// crossings fail over (terminally), drift keeps riding the precision plan.
+
+TEST(DegradationController, HazardBelowThresholdIsIgnored) {
+  ControllerConfig cfg;
+  cfg.hazard_failover_threshold = 0.5;
+  DegradationController ctl(two_step_schedule(), cfg);
+  EXPECT_FALSE(ctl.notify_hazard(1, 1.0, 1.0, 0.49, clean_monitor()));
+  EXPECT_FALSE(ctl.failed_over());
+  EXPECT_TRUE(ctl.events().empty());
+}
+
+TEST(DegradationController, HazardCrossingFailsOverTerminally) {
+  ControllerConfig cfg;
+  cfg.hazard_failover_threshold = 0.5;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  EXPECT_TRUE(ctl.notify_hazard(3, 4.0, 4.0, 0.6, clean_monitor()));
+  EXPECT_TRUE(ctl.failed_over());
+  ASSERT_EQ(ctl.events().size(), 1u);
+  EXPECT_EQ(ctl.events()[0].trigger, ControlTrigger::hazard_crossing);
+  EXPECT_EQ(ctl.events()[0].outcome, ControlOutcome::failover);
+  EXPECT_EQ(ctl.events()[0].from_precision, ctl.events()[0].to_precision);
+  // Terminal: no repeat logging, and the precision loop goes inert — a
+  // failed-over part is on the spare, not on a reduced-precision plan.
+  EXPECT_FALSE(ctl.notify_hazard(4, 5.0, 5.0, 0.9, clean_monitor()));
+  EXPECT_FALSE(ctl.evaluate(4, 5.0, 7.0, erroring_monitor(), hooks));
+  EXPECT_EQ(ctl.events().size(), 1u);
+  EXPECT_EQ(ctl.precision(), 8);
+  EXPECT_TRUE(hooks.burst_calls.empty());
+}
+
+TEST(DegradationController, DriftStillStepsPrecisionWhileHazardIsQuiet) {
+  // The arbitration matrix: a drift trip (functional errors, the BTI/HCI
+  // consequence) steps precision down exactly as ever, even with the hazard
+  // machinery armed — failover is reserved for the wear-out mechanisms.
+  ControllerConfig cfg;
+  cfg.hazard_failover_threshold = 0.5;
+  DegradationController ctl(two_step_schedule(), cfg);
+  FakeHooks hooks;
+  EXPECT_FALSE(ctl.notify_hazard(1, 1.0, 1.0, 0.01, clean_monitor()));
+  EXPECT_TRUE(ctl.evaluate(1, 1.0, 1.0, erroring_monitor(), hooks));
+  EXPECT_EQ(ctl.precision(), 7);
+  EXPECT_FALSE(ctl.failed_over());
+  EXPECT_EQ(ctl.events().back().outcome, ControlOutcome::committed);
+}
+
+TEST(DegradationController, HazardFailoverDisabledByDefault) {
+  DegradationController ctl(two_step_schedule(), {});
+  // Even a certain-death hazard is ignored when the threshold is 0 (the
+  // default config must behave exactly like the pre-mechanism controller).
+  EXPECT_FALSE(ctl.notify_hazard(1, 1.0, 1.0, 100.0, clean_monitor()));
+  EXPECT_FALSE(ctl.failed_over());
+  EXPECT_TRUE(ctl.events().empty());
+}
+
+TEST(DegradationController, FailoverEventToStringIsReadable) {
+  ControllerConfig cfg;
+  cfg.hazard_failover_threshold = 0.25;
+  DegradationController ctl(two_step_schedule(), cfg);
+  ASSERT_TRUE(ctl.notify_hazard(2, 3.0, 3.0, 0.3, clean_monitor()));
+  const std::string text = to_string(ctl.events().front());
+  EXPECT_NE(text.find("hazard-crossing"), std::string::npos);
+  EXPECT_NE(text.find("failover"), std::string::npos);
+}
+
 TEST(DegradationController, EventToStringIsReadable) {
   DegradationController ctl(two_step_schedule(), {});
   FakeHooks hooks;

@@ -86,9 +86,9 @@ TEST_F(FaultInjectorTest, TemperatureStepActivatesAtItsOnset) {
   // Before the excursion the die is nominal; after it ages harder.
   EXPECT_NEAR(inj.equivalent_nominal_years(4.0), 4.0, 1e-9);
   EXPECT_GT(inj.equivalent_nominal_years(6.0), 6.0);
-  EXPECT_EQ(inj.faulted_model(4.0).params().temp_kelvin,
+  EXPECT_EQ(inj.faulted_model(4.0).params().bti.temp_kelvin,
             nominal_.params().temp_kelvin);
-  EXPECT_EQ(inj.faulted_model(6.0).params().temp_kelvin,
+  EXPECT_EQ(inj.faulted_model(6.0).params().bti.temp_kelvin,
             nominal_.params().temp_kelvin + 20.0);
 }
 

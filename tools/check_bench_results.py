@@ -54,6 +54,12 @@ def is_timing_suffix(key):
 
 
 def is_ignored(key):
+    # MTTF means from the lifetime Monte-Carlo are informational: the MC is
+    # deterministic (its checksum/dies/phases fields ARE compared), but the
+    # means are %.6g-serialized derived statistics that would only duplicate
+    # what the checksum already pins down bit-exactly.
+    if key.startswith("mttf_") and key.endswith("_years"):
+        return True
     return (
         key in IGNORED_FIELDS
         or key.startswith(IGNORED_PREFIXES)
