@@ -1,0 +1,245 @@
+// Ablation (ISSUE 10) — learned aging surrogate vs exact characterization.
+//
+// The surrogate layer (src/surrogate) turns the characterization surfaces a
+// DesignStore accumulates into a bounded-error ridge regressor; this bench
+// measures both halves of that bargain on one machine:
+//
+//   * accuracy: train on a family of exactly-characterized adder surfaces,
+//     then query interior specs/lifetimes the solver never saw and compare
+//     every surrogate answer against the exact aged-STA ground truth. The
+//     error quantiles, the armed bound and the bound-violation count are
+//     deterministic (training is closed-form, delays are bit-reproducible
+//     per build) and gate the CI surrogate-accuracy leg.
+//   * speed: the same queries timed through the armed fast path vs the cold
+//     exact path (synthesis + aged STA). The medians and the speedup are
+//     machine-dependent and informational, like wall_s itself.
+//
+// Every prediction error is also observed into the metrics registry as the
+// bench.surrogate.error_ps histogram, so the BENCH json's registry snapshot
+// carries the full error distribution, not just the printed quantiles.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/characterizer.hpp"
+#include "engine/context.hpp"
+#include "engine/design_store.hpp"
+#include "obs/metrics.hpp"
+#include "surrogate/surrogate.hpp"
+
+using namespace aapx;
+using namespace aapx::bench;
+
+namespace {
+
+/// Integer-ceil percentile of an ascending vector (the same convention the
+/// surrogate's held-out validation uses).
+double quantile(const std::vector<double>& sorted, int pct) {
+  if (sorted.empty()) return 0.0;
+  std::size_t idx = (sorted.size() * static_cast<std::size_t>(pct) + 99) / 100;
+  if (idx > 0) --idx;
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Query {
+  ComponentSpec spec;
+  StressMode mode;
+  double years;
+};
+
+int run(int argc, char** argv) {
+  print_banner("Ablation — learned aging surrogate vs exact aged STA",
+               "Ridge model trained on exact characterization surfaces; "
+               "interior queries answered within a validated error bound, "
+               "timed against the exact synthesis+STA path.");
+  BenchJson bench_json("abl_surrogate", argc, argv);
+  const bool fast = fast_mode(argc, argv);
+  Config cfg;
+  Context& ctx = Context::process_default();  // bench_context(), mutably
+  engine::DesignStore& store = ctx.store();
+  const StaOptions sta;  // the characterizer's default STA configuration
+
+  // --- training set: exact surfaces over an adder family --------------------
+  // Widths bracket the query range; one ripple surface widens the
+  // architecture one-hot hull so arch is a learned feature, not a constant.
+  const std::vector<int> train_widths =
+      fast ? std::vector<int>{8, 10, 12} : std::vector<int>{8, 10, 12, 16};
+  std::vector<AgingScenario> scenarios = cfg.corners();
+  if (!fast) scenarios.push_back({StressMode::worst, 5.0});
+
+  CharacterizerOptions copt;
+  const ComponentCharacterizer characterizer(ctx, cfg.lib, cfg.model, copt);
+  std::vector<surrogate::TrainingSample> samples;
+  const auto harvest = [&](const ComponentSpec& base) {
+    CharacterizerOptions o;
+    o.min_precision = std::max(1, base.width - 6);
+    const ComponentCharacterizer ch(ctx, cfg.lib, cfg.model, o);
+    const ComponentCharacterization surf = ch.characterize(base, scenarios);
+    for (const PrecisionPoint& pt : surf.points) {
+      ComponentSpec spec = base;
+      spec.truncated_bits = base.width - pt.precision;
+      samples.push_back({spec, StressMode::worst, 0.0, pt.fresh_delay});
+      for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        samples.push_back({spec, scenarios[si].mode, scenarios[si].years,
+                           pt.aged_delay[si]});
+      }
+    }
+  };
+  const auto t_train_start = std::chrono::steady_clock::now();
+  for (const int w : train_widths) {
+    ComponentSpec base = cfg.adder32();
+    base.width = w;
+    harvest(base);
+    if (w == train_widths[train_widths.size() / 2]) {
+      base.adder_arch = AdderArch::ripple;
+      harvest(base);
+    }
+  }
+
+  surrogate::SurrogateModel model =
+      surrogate::SurrogateModel::train(samples, cfg.model);
+  const double train_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    t_train_start)
+          .count();
+  store.put_surrogate(cfg.lib, cfg.model, sta, model);
+
+  // The armed bound: comfortably above the validated p99 so interior
+  // queries (a different population than the held-out split) stay inside
+  // it. Deterministic — derived from the deterministic training.
+  const double bound_ps = 4.0 * model.err_p99_ps();
+
+  // --- query set: interior specs and lifetimes the solver never saw ---------
+  std::vector<Query> queries;
+  for (const int w : fast ? std::vector<int>{9, 11}
+                          : std::vector<int>{9, 11, 13, 15}) {
+    for (const int trunc : fast ? std::vector<int>{0, 2}
+                                : std::vector<int>{0, 2, 4}) {
+      for (const double years : fast ? std::vector<double>{2.0}
+                                     : std::vector<double>{2.0, 8.0}) {
+        for (const StressMode mode : fast
+                 ? std::vector<StressMode>{StressMode::worst}
+                 : std::vector<StressMode>{StressMode::worst,
+                                           StressMode::balanced}) {
+          ComponentSpec spec = cfg.adder32();
+          spec.width = w;
+          spec.truncated_bits = trunc;
+          queries.push_back({spec, mode, years});
+        }
+      }
+    }
+  }
+
+  // --- surrogate phase (armed, timed) ---------------------------------------
+  // Every query misses the exact delay cache (the training sweeps only
+  // inserted the training specs), so the armed store answers from the model.
+  // The fast path is microseconds, so each query is timed over repetitions.
+  const int reps = fast ? 50 : 200;
+  const engine::DesignStore::Stats before = store.stats();
+  ctx.set_surrogate_bound(bound_ps);
+  std::vector<double> predicted(queries.size(), 0.0);
+  std::vector<double> surrogate_times_s;
+  surrogate_times_s.reserve(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    double pred = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      pred = store.aged_sta_delay(cfg.lib, q.spec, cfg.model, q.mode, q.years,
+                                  sta);
+    }
+    surrogate_times_s.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count() /
+        reps);
+    predicted[i] = pred;
+  }
+  ctx.set_surrogate_bound(0.0);
+  const engine::DesignStore::Stats after = store.stats();
+  const std::uint64_t hits = after.surrogate_hits - before.surrogate_hits;
+  const std::uint64_t fallbacks =
+      after.surrogate_fallbacks - before.surrogate_fallbacks;
+
+  // --- exact phase (cold, timed) --------------------------------------------
+  obs::Histogram& err_hist =
+      ctx.metrics().histogram("bench.surrogate.error_ps");
+  std::vector<double> errors;
+  errors.reserve(queries.size());
+  std::vector<double> exact_times_s;
+  exact_times_s.reserve(queries.size());
+  std::uint64_t violations = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const Query& q = queries[i];
+    const auto t0 = std::chrono::steady_clock::now();
+    const double exact = store.aged_sta_delay(cfg.lib, q.spec, cfg.model,
+                                              q.mode, q.years, sta);
+    exact_times_s.push_back(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    const double err = std::abs(predicted[i] - exact);
+    err_hist.observe(err);
+    errors.push_back(err);
+    if (err > bound_ps) ++violations;
+  }
+  std::sort(errors.begin(), errors.end());
+
+  const double med_surrogate_s = median(surrogate_times_s);
+  const double med_exact_s = median(exact_times_s);
+  const double speedup =
+      med_surrogate_s > 0.0 ? med_exact_s / med_surrogate_s : 0.0;
+
+  TextTable t({"metric", "value"});
+  t.add_row({"training samples", std::to_string(model.train_samples())});
+  t.add_row({"held-out samples", std::to_string(model.holdout_samples())});
+  t.add_row({"validated p99 [ps]", TextTable::num(model.err_p99_ps(), 4)});
+  t.add_row({"armed bound [ps]", TextTable::num(bound_ps, 4)});
+  t.add_row({"queries", std::to_string(queries.size())});
+  t.add_row({"surrogate hits", std::to_string(hits)});
+  t.add_row({"exact fallbacks", std::to_string(fallbacks)});
+  t.add_row({"query err p50 [ps]", TextTable::num(quantile(errors, 50), 4)});
+  t.add_row({"query err p95 [ps]", TextTable::num(quantile(errors, 95), 4)});
+  t.add_row({"query err p99 [ps]", TextTable::num(quantile(errors, 99), 4)});
+  t.add_row({"query err max [ps]", TextTable::num(quantile(errors, 100), 4)});
+  t.add_row({"bound violations", std::to_string(violations)});
+  t.add_row({"median exact [ms]", TextTable::num(med_exact_s * 1e3, 3)});
+  t.add_row(
+      {"median surrogate [us]", TextTable::num(med_surrogate_s * 1e6, 3)});
+  t.add_row({"speedup (median)", TextTable::num(speedup, 1) + "x"});
+  t.print(std::cout);
+
+  // Deterministic result fields (CI-compared) + informational timing.
+  bench_json.metric("train_samples",
+                    static_cast<double>(model.train_samples()));
+  bench_json.metric("holdout_samples",
+                    static_cast<double>(model.holdout_samples()));
+  bench_json.metric("validated_p99_ps", model.err_p99_ps());
+  bench_json.metric("bound_ps", bound_ps);
+  bench_json.metric("queries", static_cast<double>(queries.size()));
+  bench_json.metric("surrogate_hits", static_cast<double>(hits));
+  bench_json.metric("exact_fallbacks", static_cast<double>(fallbacks));
+  bench_json.metric("error_p50_ps", quantile(errors, 50));
+  bench_json.metric("error_p95_ps", quantile(errors, 95));
+  bench_json.metric("error_p99_ps", quantile(errors, 99));
+  bench_json.metric("error_max_ps", quantile(errors, 100));
+  bench_json.metric("bound_violations", static_cast<double>(violations));
+  bench_json.metric("train_surfaces_s", train_s);
+  bench_json.metric("median_exact_s", med_exact_s);
+  bench_json.metric("median_surrogate_s", med_surrogate_s);
+  bench_json.metric("speedup_median", speedup);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return aapx::bench::guarded_main(argc, argv, [&] { return run(argc, argv); });
+}

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
 #include <thread>
@@ -670,22 +671,36 @@ std::vector<std::string> chaos_scenarios() {
 }
 
 int run_chaos_scenario(const std::string& name, const ChaosOptions& options) {
+  // AAPX_CHAOS_ITERS repeats every scenario (the CI extended-fuzz job sets
+  // it to 20): each repetition re-creates its server/store from scratch, so
+  // the loop shakes out timing-dependent orderings a single pass can miss.
+  long iters = 1;
+  if (const char* env = std::getenv("AAPX_CHAOS_ITERS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 1) iters = parsed;
+  }
   try {
     int rc = 0;
-    if (name == "drop") {
-      rc = scenario_drop(options);
-    } else if (name == "slowloris") {
-      rc = scenario_slowloris(options);
-    } else if (name == "malformed") {
-      rc = scenario_malformed(options);
-    } else if (name == "storm") {
-      rc = scenario_storm(options);
-    } else if (name == "kill") {
-      rc = scenario_kill(options);
-    } else if (name == "scrape") {
-      rc = scenario_scrape(options);
-    } else {
-      throw std::runtime_error("unknown chaos scenario '" + name + "'");
+    for (long iter = 0; iter < iters && rc == 0; ++iter) {
+      if (name == "drop") {
+        rc = scenario_drop(options);
+      } else if (name == "slowloris") {
+        rc = scenario_slowloris(options);
+      } else if (name == "malformed") {
+        rc = scenario_malformed(options);
+      } else if (name == "storm") {
+        rc = scenario_storm(options);
+      } else if (name == "kill") {
+        rc = scenario_kill(options);
+      } else if (name == "scrape") {
+        rc = scenario_scrape(options);
+      } else {
+        throw std::runtime_error("unknown chaos scenario '" + name + "'");
+      }
+      if (rc == 0 && iters > 1) {
+        std::fprintf(stderr, "chaos %s: iteration %ld/%ld ok\n", name.c_str(),
+                     iter + 1, iters);
+      }
     }
     if (rc == 0) std::fprintf(stderr, "chaos %s: PASS\n", name.c_str());
     return rc;

@@ -1,0 +1,391 @@
+#include "surrogate/surrogate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "engine/binio.hpp"
+#include "util/hash.hpp"
+
+namespace aapx::surrogate {
+namespace {
+
+constexpr char kModelMagic[8] = {'A', 'A', 'P', 'X', 'S', 'R', 'G', '1'};
+// Domain-separation tag for the held-out split hash (engine/key.cpp style).
+constexpr std::uint64_t kTagHoldout = 0x5352474831ULL;  // "SRGH1"
+// Queries exactly on a hull face (a training width re-queried) must pass.
+constexpr double kHullTolerance = 1e-9;
+
+double log2_safe(double v) { return std::log2(std::max(1.0, v)); }
+
+/// Analytic logic-depth estimate in gate levels. These are *features*, not
+/// truth — the ridge fit learns their coefficients against exact STA — so
+/// only the shape (linear vs logarithmic in K, per architecture) matters.
+double adder_depth(double k, AdderArch arch) {
+  switch (arch) {
+    case AdderArch::ripple:
+      return 2.0 * k;
+    case AdderArch::cla4:
+      return 0.5 * k + 6.0;
+    case AdderArch::kogge_stone:
+      return 2.0 * log2_safe(k) + 4.0;
+  }
+  return 2.0 * k;
+}
+
+double depth_estimate(const ComponentSpec& spec) {
+  const double k = spec.precision();
+  switch (spec.kind) {
+    case ComponentKind::adder:
+      return adder_depth(k, spec.adder_arch);
+    case ComponentKind::multiplier:
+      return spec.mult_arch == MultArch::wallace
+                 ? 3.0 * log2_safe(k) + adder_depth(2.0 * k, spec.adder_arch)
+                 : 4.0 * k;
+    case ComponentKind::mac:
+      return (spec.mult_arch == MultArch::wallace ? 3.0 * log2_safe(k)
+                                                  : 4.0 * k) +
+             adder_depth(2.0 * k, spec.adder_arch);
+    case ComponentKind::clamp:
+      return log2_safe(k) + 2.0;
+  }
+  return k;
+}
+
+double gates_estimate(const ComponentSpec& spec) {
+  const double k = spec.precision();
+  switch (spec.kind) {
+    case ComponentKind::adder:
+      return 6.0 * k;
+    case ComponentKind::multiplier:
+      return 6.0 * k * k;
+    case ComponentKind::mac:
+      return 6.0 * k * k + 12.0 * k;
+    case ComponentKind::clamp:
+      return 3.0 * k;
+  }
+  return 6.0 * k;
+}
+
+/// Quantile of a sorted ascending error vector: the smallest element with at
+/// least `pct` percent of the mass at or below it (integer arithmetic, so
+/// the committed bench baselines cannot drift with libm rounding).
+double quantile(const std::vector<double>& sorted, std::uint64_t pct) {
+  if (sorted.empty()) return 0.0;
+  const std::uint64_t n = sorted.size();
+  std::uint64_t idx = (n * pct + 99) / 100;  // ceil(n * pct / 100)
+  if (idx > 0) --idx;
+  return sorted[std::min<std::uint64_t>(idx, n - 1)];
+}
+
+/// In-place Cholesky solve of (A)x = b for a symmetric positive-definite A
+/// (the ridge normal matrix). Dimension is kNumFeatures — trivially small.
+std::vector<double> cholesky_solve(std::vector<double> a,
+                                   std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) d -= a[j * n + k] * a[j * n + k];
+    if (d <= 0.0) {
+      throw std::invalid_argument(
+          "surrogate train: normal matrix not positive definite");
+    }
+    a[j * n + j] = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) s -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = s / a[j * n + j];
+    }
+  }
+  // Forward then backward substitution (L L^T x = b).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a[i * n + k] * b[k];
+    b[i] = s / a[i * n + i];
+  }
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a[k * n + ii] * b[k];
+    b[ii] = s / a[ii * n + ii];
+  }
+  return b;
+}
+
+}  // namespace
+
+std::vector<double> features_of(const ComponentSpec& spec, StressMode mode,
+                                double years, const AgingModel& model) {
+  // Uniform-profile duty: worst-case stress pins every transistor at 100%,
+  // balanced at 50% (aging/stress.hpp). Measured-mode queries are
+  // stimulus-dependent and never reach the surrogate (the store rejects
+  // them before any cache, exact or learned).
+  const double duty = mode == StressMode::balanced ? 0.5 : 1.0;
+  const double k = spec.precision();
+  const double depth = depth_estimate(spec);
+  // The analytic drift surface is the physics the regressor leans on: both
+  // ΔVth terms cost microseconds, no synthesis, no STA.
+  const double dvth_p = model.delta_vth(TransistorType::pMos, duty, years);
+  const double dvth_n = model.delta_vth(TransistorType::nMos, duty, years);
+
+  std::vector<double> f;
+  f.reserve(kNumFeatures);
+  f.push_back(1.0);  // intercept
+  f.push_back(k);
+  f.push_back(static_cast<double>(spec.width));
+  f.push_back(static_cast<double>(spec.truncated_bits));
+  f.push_back(depth);
+  f.push_back(log2_safe(k));
+  f.push_back(gates_estimate(spec));
+  f.push_back(spec.kind == ComponentKind::adder ? 1.0 : 0.0);
+  f.push_back(spec.kind == ComponentKind::multiplier ? 1.0 : 0.0);
+  f.push_back(spec.kind == ComponentKind::mac ? 1.0 : 0.0);
+  f.push_back(spec.kind == ComponentKind::clamp ? 1.0 : 0.0);
+  f.push_back(spec.adder_arch == AdderArch::ripple ? 1.0 : 0.0);
+  f.push_back(spec.adder_arch == AdderArch::cla4 ? 1.0 : 0.0);
+  f.push_back(spec.adder_arch == AdderArch::kogge_stone ? 1.0 : 0.0);
+  f.push_back(spec.mult_arch == MultArch::wallace ? 1.0 : 0.0);
+  f.push_back(spec.technique == ApproxTechnique::lsb_truncation ? 1.0 : 0.0);
+  f.push_back(spec.technique == ApproxTechnique::carry_window ? 1.0 : 0.0);
+  f.push_back(spec.technique == ApproxTechnique::pp_truncation ? 1.0 : 0.0);
+  f.push_back(years);
+  f.push_back(duty);
+  f.push_back(dvth_p);
+  f.push_back(dvth_n);
+  f.push_back(depth * dvth_p);
+  f.push_back(k * dvth_p);
+  if (f.size() != kNumFeatures) {
+    throw std::logic_error("surrogate: feature count drifted from layout");
+  }
+  return f;
+}
+
+bool is_holdout(const ComponentSpec& spec, StressMode mode, double years) {
+  const std::uint64_t h = Hasher{}
+                              .u64(kTagHoldout)
+                              .i32(static_cast<int>(spec.kind))
+                              .i32(spec.width)
+                              .i32(spec.truncated_bits)
+                              .i32(static_cast<int>(spec.adder_arch))
+                              .i32(static_cast<int>(spec.mult_arch))
+                              .i32(static_cast<int>(spec.technique))
+                              .i32(static_cast<int>(mode))
+                              .f64(years)
+                              .digest();
+  return h % 8 == 0;
+}
+
+SurrogateModel SurrogateModel::train(const std::vector<TrainingSample>& samples,
+                                     const AgingModel& model,
+                                     const TrainOptions& options) {
+  const std::size_t d = kNumFeatures;
+  std::vector<std::vector<double>> train_x;
+  std::vector<double> train_y;
+  std::vector<std::vector<double>> hold_x;
+  std::vector<double> hold_y;
+
+  SurrogateModel m;
+  m.hull_min_.assign(d, 0.0);
+  m.hull_max_.assign(d, 0.0);
+  bool first = true;
+  for (const TrainingSample& s : samples) {
+    if (s.mode == StressMode::measured) {
+      throw std::invalid_argument(
+          "surrogate train: measured-mode samples are stimulus-dependent "
+          "and not learnable by spec");
+    }
+    std::vector<double> f = features_of(s.spec, s.mode, s.years, model);
+    // The hull spans *every* exact sample, held-out ones included — they
+    // are all ground truth the model may interpolate between.
+    for (std::size_t i = 0; i < d; ++i) {
+      if (first) {
+        m.hull_min_[i] = m.hull_max_[i] = f[i];
+      } else {
+        m.hull_min_[i] = std::min(m.hull_min_[i], f[i]);
+        m.hull_max_[i] = std::max(m.hull_max_[i], f[i]);
+      }
+    }
+    first = false;
+    if (is_holdout(s.spec, s.mode, s.years)) {
+      hold_x.push_back(std::move(f));
+      hold_y.push_back(s.delay_ps);
+    } else {
+      train_x.push_back(std::move(f));
+      train_y.push_back(s.delay_ps);
+    }
+  }
+  if (train_x.empty()) {
+    throw std::invalid_argument("surrogate train: no training samples");
+  }
+  if (hold_y.size() < options.min_holdout) {
+    throw std::invalid_argument(
+        "surrogate train: " + std::to_string(hold_y.size()) +
+        " held-out samples, need " + std::to_string(options.min_holdout) +
+        " to validate an error bound");
+  }
+
+  // Standardize in sample order (serial, deterministic). The intercept
+  // keeps (mean 0, scale 1) so it survives standardization; any other
+  // constant column collapses to zero and the intercept absorbs it.
+  m.feat_mean_.assign(d, 0.0);
+  m.feat_scale_.assign(d, 1.0);
+  const double n = static_cast<double>(train_x.size());
+  for (std::size_t i = 1; i < d; ++i) {
+    double sum = 0.0;
+    for (const std::vector<double>& f : train_x) sum += f[i];
+    m.feat_mean_[i] = sum / n;
+    double var = 0.0;
+    for (const std::vector<double>& f : train_x) {
+      const double c = f[i] - m.feat_mean_[i];
+      var += c * c;
+    }
+    const double sd = std::sqrt(var / n);
+    m.feat_scale_[i] = sd > 1e-12 ? sd : 1.0;
+  }
+
+  // Ridge normal equations in standardized space: (Z^T Z + n λ I) w = Z^T y.
+  std::vector<double> a(d * d, 0.0);
+  std::vector<double> b(d, 0.0);
+  std::vector<double> z(d);
+  for (std::size_t s = 0; s < train_x.size(); ++s) {
+    for (std::size_t i = 0; i < d; ++i) {
+      z[i] = (train_x[s][i] - m.feat_mean_[i]) / m.feat_scale_[i];
+    }
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = 0; j <= i; ++j) a[i * d + j] += z[i] * z[j];
+      b[i] += z[i] * train_y[s];
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) {
+    for (std::size_t j = i + 1; j < d; ++j) a[i * d + j] = a[j * d + i];
+    a[i * d + i] += n * options.ridge_lambda;
+  }
+  m.weights_ = cholesky_solve(std::move(a), std::move(b));
+  m.lambda_ = options.ridge_lambda;
+  m.train_samples_ = train_x.size();
+  m.holdout_samples_ = hold_y.size();
+
+  // Validated accuracy: absolute error over the held-out split only — the
+  // samples the solver never saw are what license the serve-time bound.
+  std::vector<double> errs;
+  errs.reserve(hold_y.size());
+  for (std::size_t s = 0; s < hold_x.size(); ++s) {
+    errs.push_back(std::abs(m.predict(hold_x[s]) - hold_y[s]));
+  }
+  std::sort(errs.begin(), errs.end());
+  m.err_p50_ = quantile(errs, 50);
+  m.err_p95_ = quantile(errs, 95);
+  m.err_p99_ = quantile(errs, 99);
+  m.err_max_ = errs.back();
+  return m;
+}
+
+double SurrogateModel::predict(const std::vector<double>& features) const {
+  double y = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    y += weights_[i] * (features[i] - feat_mean_[i]) / feat_scale_[i];
+  }
+  return y;
+}
+
+bool SurrogateModel::in_hull(const std::vector<double>& features) const {
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    if (features[i] < hull_min_[i] - kHullTolerance ||
+        features[i] > hull_max_[i] + kHullTolerance) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<double> SurrogateModel::try_predict(const ComponentSpec& spec,
+                                                  StressMode mode, double years,
+                                                  const AgingModel& model,
+                                                  double bound_ps) const {
+  if (mode == StressMode::measured) return std::nullopt;
+  if (holdout_samples_ == 0 || err_p99_ > bound_ps) return std::nullopt;
+  const std::vector<double> f = features_of(spec, mode, years, model);
+  if (!in_hull(f)) return std::nullopt;
+  const double y = predict(f);
+  if (!(y > 0.0) || !std::isfinite(y)) return std::nullopt;
+  return y;
+}
+
+std::string SurrogateModel::encode() const {
+  engine::BinWriter w;
+  for (const char c : kModelMagic) w.u8(static_cast<std::uint8_t>(c));
+  w.u32(kFeatureVersion);
+  w.u64(kNumFeatures);
+  w.f64_vec(weights_);
+  w.f64_vec(feat_mean_);
+  w.f64_vec(feat_scale_);
+  w.f64_vec(hull_min_);
+  w.f64_vec(hull_max_);
+  w.f64(lambda_);
+  w.u64(train_samples_);
+  w.u64(holdout_samples_);
+  w.f64(err_p50_);
+  w.f64(err_p95_);
+  w.f64(err_p99_);
+  w.f64(err_max_);
+  // Inner content checksum over every byte ahead of it: a flipped weight in
+  // an otherwise well-framed store record (whose outer record checksum an
+  // attacker or a disk error could have fixed up consistently) still fails
+  // here, so corruption degrades to exact fallback, never a wrong answer.
+  const std::uint64_t checksum = fnv1a(w.data());
+  w.u64(checksum);
+  return w.take();
+}
+
+SurrogateModel SurrogateModel::decode(const std::string& bytes) {
+  if (bytes.size() < 8 + sizeof(std::uint64_t)) {
+    throw std::runtime_error("surrogate model: truncated");
+  }
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+  engine::BinReader tail(
+      std::string_view(bytes).substr(bytes.size() - 8));
+  if (tail.u64() != fnv1a(body)) {
+    throw std::runtime_error("surrogate model: content checksum mismatch");
+  }
+  engine::BinReader r(body);
+  char magic[8];
+  for (char& c : magic) c = static_cast<char>(r.u8());
+  if (std::memcmp(magic, kModelMagic, 8) != 0) {
+    throw std::runtime_error("surrogate model: bad magic");
+  }
+  if (r.u32() != kFeatureVersion) {
+    throw std::runtime_error("surrogate model: feature version mismatch");
+  }
+  if (r.u64() != kNumFeatures) {
+    throw std::runtime_error("surrogate model: feature count mismatch");
+  }
+  SurrogateModel m;
+  m.weights_ = r.f64_vec();
+  m.feat_mean_ = r.f64_vec();
+  m.feat_scale_ = r.f64_vec();
+  m.hull_min_ = r.f64_vec();
+  m.hull_max_ = r.f64_vec();
+  for (const std::vector<double>* v :
+       {&m.weights_, &m.feat_mean_, &m.feat_scale_, &m.hull_min_,
+        &m.hull_max_}) {
+    if (v->size() != kNumFeatures) {
+      throw std::runtime_error("surrogate model: vector length mismatch");
+    }
+  }
+  for (const double s : m.feat_scale_) {
+    if (!(s > 0.0) || !std::isfinite(s)) {
+      throw std::runtime_error("surrogate model: bad feature scale");
+    }
+  }
+  m.lambda_ = r.f64();
+  m.train_samples_ = r.u64();
+  m.holdout_samples_ = r.u64();
+  m.err_p50_ = r.f64();
+  m.err_p95_ = r.f64();
+  m.err_p99_ = r.f64();
+  m.err_max_ = r.f64();
+  r.expect_end();
+  return m;
+}
+
+}  // namespace aapx::surrogate

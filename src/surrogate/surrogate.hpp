@@ -1,0 +1,138 @@
+// Learned aging surrogate: a bounded-error fast path for characterization.
+//
+// The paper's characterization surfaces are exact but expensive — every
+// precision point re-synthesizes the component and runs aged STA. Genssler
+// et al. (arXiv 2207.04134) show workload-dependent aging is learnable by
+// small models, and the surfaces a DesignStore accumulates over a service's
+// lifetime are exactly a labeled training set: (spec, stress mode, years)
+// -> aged delay. This layer turns them into a closed-form ridge regressor
+// over engineered features that answers in microseconds.
+//
+// Contract (the pieces the engine fast path relies on):
+//
+//   * Training is deterministic and serial: the same sample multiset in the
+//     same order produces bit-identical model bytes at any thread count
+//     (normal equations + Cholesky, no RNG — the held-out split is a stable
+//     content hash of each sample's key material).
+//   * Validation is a held-out split computed at train time: err_p50/p95/
+//     p99/max over samples the solver never saw. A model whose validated
+//     p99 exceeds the caller's requested bound never answers.
+//   * The model only ever interpolates: per-feature hull [min, max] over the
+//     training inputs, and any query outside the hull (new component kind,
+//     wider operand, longer lifetime...) is declined — the caller falls back
+//     to the exact path. Declining is always correct; answering wrongly
+//     never is.
+//   * The encoded form carries an *inner* content checksum over every byte
+//     ahead of it, so a bit-flipped weight inside an otherwise well-framed
+//     store record still fails decode and degrades to a cold miss (the PR 5
+//     corruption policy), never a silently wrong in-bound answer.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "aging/stress.hpp"
+#include "synth/components.hpp"
+
+namespace aapx::surrogate {
+
+/// Number of engineered features (bias included). Bumping the layout bumps
+/// kFeatureVersion so stale persisted models decline to decode.
+inline constexpr std::size_t kNumFeatures = 24;
+inline constexpr std::uint32_t kFeatureVersion = 1;
+
+/// One labeled observation: a (spec, scenario) query with its exact answer.
+/// `spec` carries the truncation (precision = width - truncated_bits);
+/// fresh samples (years == 0) are legitimate and train the fresh column.
+struct TrainingSample {
+  ComponentSpec spec;
+  StressMode mode = StressMode::worst;
+  double years = 0.0;
+  double delay_ps = 0.0;
+};
+
+/// The feature map, shared verbatim by training and prediction. Pure
+/// arithmetic on the query plus the aging model's analytic drift surface
+/// (microseconds, no synthesis, no STA).
+std::vector<double> features_of(const ComponentSpec& spec, StressMode mode,
+                                double years, const AgingModel& model);
+
+/// True when the stable content hash of (spec, mode, years) lands this
+/// sample in the held-out validation split (~1 in 8).
+bool is_holdout(const ComponentSpec& spec, StressMode mode, double years);
+
+struct TrainOptions {
+  double ridge_lambda = 1e-3;  ///< standardized-space regularizer
+  /// Training refuses to produce a model from fewer held-out samples than
+  /// this: an unvalidated error bound is not a bound.
+  std::size_t min_holdout = 4;
+};
+
+class SurrogateModel {
+ public:
+  /// Deterministic closed-form fit. One surrogate serves one store key
+  /// family — the caller passes the AgingModel the samples were computed
+  /// under (the drift features are re-derived from it, identically at train
+  /// and predict time). Throws std::invalid_argument when the sample set is
+  /// too small to validate (fewer than min_holdout held-out samples, or no
+  /// training samples at all) or contains measured-mode scenarios.
+  static SurrogateModel train(const std::vector<TrainingSample>& samples,
+                              const AgingModel& model,
+                              const TrainOptions& options = {});
+
+  /// Raw prediction (no gating) for an in-hull feature vector.
+  double predict(const std::vector<double>& features) const;
+
+  /// The gated fast path: answers iff the validated held-out p99 error is
+  /// within `bound_ps` AND the query is inside the training hull AND the
+  /// prediction is physically sane (positive). std::nullopt = caller must
+  /// take the exact path.
+  std::optional<double> try_predict(const ComponentSpec& spec, StressMode mode,
+                                    double years, const AgingModel& model,
+                                    double bound_ps) const;
+
+  /// Serialized form ("AAPXSRG1" + versioned payload + inner fnv1a). The
+  /// inverse throws std::runtime_error on any framing, version or checksum
+  /// inconsistency — the store load path maps that to a cold miss.
+  std::string encode() const;
+  static SurrogateModel decode(const std::string& bytes);
+
+  // --- validated accuracy (held-out split) ----------------------------------
+  double err_p50_ps() const noexcept { return err_p50_; }
+  double err_p95_ps() const noexcept { return err_p95_; }
+  double err_p99_ps() const noexcept { return err_p99_; }
+  double err_max_ps() const noexcept { return err_max_; }
+  std::uint64_t train_samples() const noexcept { return train_samples_; }
+  std::uint64_t holdout_samples() const noexcept { return holdout_samples_; }
+  double ridge_lambda() const noexcept { return lambda_; }
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  const std::vector<double>& hull_min() const noexcept { return hull_min_; }
+  const std::vector<double>& hull_max() const noexcept { return hull_max_; }
+
+  friend bool operator==(const SurrogateModel&,
+                         const SurrogateModel&) = default;
+
+ private:
+  SurrogateModel() = default;
+
+  bool in_hull(const std::vector<double>& features) const;
+
+  std::vector<double> weights_;    ///< standardized-space, [kNumFeatures]
+  std::vector<double> feat_mean_;  ///< standardization offsets
+  std::vector<double> feat_scale_;
+  std::vector<double> hull_min_;
+  std::vector<double> hull_max_;
+  double lambda_ = 0.0;
+  std::uint64_t train_samples_ = 0;
+  std::uint64_t holdout_samples_ = 0;
+  double err_p50_ = 0.0;
+  double err_p95_ = 0.0;
+  double err_p99_ = 0.0;
+  double err_max_ = 0.0;
+};
+
+}  // namespace aapx::surrogate

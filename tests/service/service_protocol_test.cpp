@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,9 +22,19 @@
 #include "engine/key.hpp"
 #include "engine/persist.hpp"
 #include "service/protocol.hpp"
+#include "surrogate/surrogate.hpp"
 
 namespace aapx::service {
 namespace {
+
+/// Mutation-round budget: `base` scaled by the AAPX_FUZZ_ITERS environment
+/// knob (the CI extended-fuzz job sets it to 20; unset/invalid means 1).
+int fuzz_rounds(int base) {
+  const char* env = std::getenv("AAPX_FUZZ_ITERS");
+  if (env == nullptr) return base;
+  const long mult = std::strtol(env, nullptr, 10);
+  return mult > 1 ? base * static_cast<int>(mult) : base;
+}
 
 // Deterministic xorshift64 stream so every CI run fuzzes the same inputs.
 struct Xorshift {
@@ -62,7 +73,7 @@ AgedDelayRequest sample_aged_delay() {
 /// byte mutations. The decoder must either succeed or throw ErrorT.
 template <typename ErrorT, typename Decode>
 void fuzz_codec(const std::string& valid, const Decode& decode,
-                const char* who, int rounds = 300) {
+                const char* who, int rounds = fuzz_rounds(300)) {
   // Truncation at every prefix: a short payload must never decode.
   for (std::size_t len = 0; len < valid.size(); ++len) {
     EXPECT_THROW(decode(valid.substr(0, len)), ErrorT)
@@ -108,7 +119,7 @@ void fuzz_codec(const std::string& valid, const Decode& decode,
 template <typename ErrorT, typename Decode, typename ParamsOf>
 void fuzz_codec_ext(const std::string& valid, const Decode& decode,
                     const ParamsOf& params_of, std::uint64_t original_key,
-                    const char* who, int rounds = 300) {
+                    const char* who, int rounds = fuzz_rounds(300)) {
   for (std::size_t len = 0; len < valid.size(); ++len) {
     try {
       const auto payload = decode(valid.substr(0, len));
@@ -422,19 +433,19 @@ TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
       [&](const std::string& b) {
         return engine::decode_netlist_payload(b, lib);
       },
-      "netlist record", 150);
+      "netlist record", fuzz_rounds(150));
   fuzz_codec<std::runtime_error>(
       engine::encode_aged_library_payload(lib_fp, model.params(), 10.0, aged),
       [&](const std::string& b) {
         return engine::decode_aged_library_payload(b, lib);
       },
-      "aged_library record", 150);
+      "aged_library record", fuzz_rounds(150));
   fuzz_codec<std::runtime_error>(
       engine::encode_sta_delay_payload({1, 2, 3.5, 40}),
       [](const std::string& b) {
         return engine::decode_sta_delay_payload(b);
       },
-      "sta_delay record", 150);
+      "sta_delay record", fuzz_rounds(150));
 
   engine::SurfacePayload sp;
   sp.lib_fp = lib_fp;
@@ -449,7 +460,7 @@ TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
   fuzz_codec<std::runtime_error>(
       engine::encode_surface_payload(sp),
       [](const std::string& b) { return engine::decode_surface_payload(b); },
-      "surface record", 150);
+      "surface record", fuzz_rounds(150));
 
   // Extended mechanism-set records carry the AGMX trailer; a truncated or
   // byte-flipped trailer must decode to an error (a cold miss once the
@@ -470,7 +481,7 @@ TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
       [](const engine::AgedLibraryPayload& p) -> const AgingParams& {
         return p.params;
       },
-      multi_key, "aged_library record (mechanism ext)", 150);
+      multi_key, "aged_library record (mechanism ext)", fuzz_rounds(150));
   engine::SurfacePayload msp = sp;
   msp.params = multi_model.params();
   fuzz_codec_ext<std::runtime_error>(
@@ -479,7 +490,7 @@ TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
       [](const engine::SurfacePayload& p) -> const AgingParams& {
         return p.params;
       },
-      multi_key, "surface record (mechanism ext)", 150);
+      multi_key, "surface record (mechanism ext)", fuzz_rounds(150));
 
   // Round-trip sanity on the extended codec: the mechanism set and every
   // per-mechanism block survive encode/decode exactly.
@@ -489,6 +500,46 @@ TEST(StoreCodecFuzz, AllRecordCodecsRejectMalformedBytes) {
   EXPECT_EQ(rt.params.hci.a_hci, multi.hci.a_hci);
   EXPECT_EQ(rt.params.em.eta_ref_years, multi.em.eta_ref_years);
   EXPECT_EQ(rt.params.tddb.voltage_exponent, multi.tddb.voltage_exponent);
+
+  // Surrogate records (ISSUE 10): both the model blob itself (every byte
+  // under its trailing content checksum) and the store-record framing
+  // around it must reject malformed bytes — a damaged persisted model is a
+  // cold miss, never a silently-wrong predictor.
+  std::vector<surrogate::TrainingSample> samples;
+  for (const int width : {4, 6, 8}) {
+    CharacterizerOptions sopt;
+    sopt.min_precision = width - 2;
+    const ComponentCharacterizer sch(ctx, lib, model, sopt);
+    const ComponentSpec base{ComponentKind::adder, width, 0, AdderArch::ripple,
+                             MultArch::array};
+    const ComponentCharacterization surf =
+        sch.characterize(base, sp.scenarios);
+    for (const PrecisionPoint& pt : surf.points) {
+      ComponentSpec s = base;
+      s.truncated_bits = width - pt.precision;
+      samples.push_back({s, StressMode::worst, 0.0, pt.fresh_delay});
+      samples.push_back(
+          {s, sp.scenarios[0].mode, sp.scenarios[0].years, pt.aged_delay[0]});
+    }
+  }
+  surrogate::TrainOptions topt;
+  topt.min_holdout = 1;
+  const surrogate::SurrogateModel surrogate_model =
+      surrogate::SurrogateModel::train(samples, model, topt);
+  const std::string model_blob = surrogate_model.encode();
+  fuzz_codec<std::runtime_error>(
+      model_blob,
+      [](const std::string& b) { return surrogate::SurrogateModel::decode(b); },
+      "surrogate model blob", fuzz_rounds(150));
+  const engine::SurrogatePayload srp{lib_fp, engine::key_of(model.params()),
+                                     engine::key_of(StaOptions{}), model_blob};
+  fuzz_codec<std::runtime_error>(
+      engine::encode_surrogate_payload(srp),
+      [](const std::string& b) {
+        const engine::SurrogatePayload p = engine::decode_surrogate_payload(b);
+        return surrogate::SurrogateModel::decode(p.model_blob);
+      },
+      "surrogate record", fuzz_rounds(150));
 }
 
 }  // namespace

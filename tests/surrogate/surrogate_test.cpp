@@ -1,0 +1,388 @@
+// The surrogate layer's contract tests: deterministic training, codec
+// integrity (any flipped byte fails decode), the try_predict gates, and the
+// engine-level guarantees the fast path promises — an armed run whose every
+// query falls back is byte-identical (run log and store file) to an unarmed
+// run, and a poisoned persisted model only ever degrades to exact fallback,
+// never a wrong in-bound answer.
+#include "surrogate/surrogate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "aging/aging_model.hpp"
+#include "cell/library.hpp"
+#include "core/characterizer.hpp"
+#include "engine/context.hpp"
+#include "engine/design_store.hpp"
+#include "engine/persist.hpp"
+#include "obs/metrics.hpp"
+#include "obs/runlog.hpp"
+#include "sta/sta.hpp"
+#include "synth/components.hpp"
+
+namespace aapx {
+namespace {
+
+ComponentSpec adder(int width, int trunc = 0,
+                    AdderArch arch = AdderArch::ripple) {
+  return {ComponentKind::adder, width, trunc, arch, MultArch::array};
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "surrogate_test_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+/// Characterizes a small adder family on `ctx` and returns the labeled
+/// samples in deterministic (surface, point, scenario) order.
+std::vector<surrogate::TrainingSample> harvest_samples(
+    const Context& ctx, const CellLibrary& lib, const AgingModel& model) {
+  const std::vector<AgingScenario> scenarios = {{StressMode::worst, 2.0},
+                                                {StressMode::worst, 10.0},
+                                                {StressMode::balanced, 10.0}};
+  std::vector<surrogate::TrainingSample> samples;
+  for (const int width : {6, 8, 10}) {
+    CharacterizerOptions opt;
+    opt.min_precision = width - 4;
+    const ComponentCharacterizer ch(ctx, lib, model, opt);
+    const ComponentCharacterization surf =
+        ch.characterize(adder(width), scenarios);
+    for (const PrecisionPoint& pt : surf.points) {
+      ComponentSpec spec = adder(width, width - pt.precision);
+      samples.push_back({spec, StressMode::worst, 0.0, pt.fresh_delay});
+      for (std::size_t si = 0; si < scenarios.size(); ++si) {
+        samples.push_back({spec, scenarios[si].mode, scenarios[si].years,
+                           pt.aged_delay[si]});
+      }
+    }
+  }
+  return samples;
+}
+
+class SurrogateTest : public ::testing::Test {
+ protected:
+  SurrogateTest() : lib_(make_nangate45_like()) {}
+
+  surrogate::SurrogateModel train_on(const Context& ctx) {
+    return surrogate::SurrogateModel::train(
+        harvest_samples(ctx, lib_, model_), model_);
+  }
+
+  CellLibrary lib_;
+  AgingModel model_;
+  StaOptions sta_;
+};
+
+// --- training ---------------------------------------------------------------
+
+TEST_F(SurrogateTest, TrainingIsBitIdenticalAtAnyThreadCount) {
+  Context::Options one;
+  one.threads = 1;
+  Context::Options four;
+  four.threads = 4;
+  const Context ctx1(one);
+  const Context ctx4(four);
+  const std::string bytes1 = train_on(ctx1).encode();
+  const std::string bytes4 = train_on(ctx4).encode();
+  EXPECT_EQ(bytes1, bytes4);
+
+  // And a second fit of the same context is bit-identical too.
+  EXPECT_EQ(bytes1, train_on(ctx1).encode());
+}
+
+TEST_F(SurrogateTest, TrainingRefusesUnvalidatableSampleSets) {
+  const Context ctx;
+  std::vector<surrogate::TrainingSample> samples =
+      harvest_samples(ctx, lib_, model_);
+  // Keep only non-holdout samples: nothing left to validate on.
+  std::vector<surrogate::TrainingSample> no_holdout;
+  for (const surrogate::TrainingSample& s : samples) {
+    if (!surrogate::is_holdout(s.spec, s.mode, s.years)) {
+      no_holdout.push_back(s);
+    }
+  }
+  EXPECT_THROW(surrogate::SurrogateModel::train(no_holdout, model_),
+               std::invalid_argument);
+  EXPECT_THROW(surrogate::SurrogateModel::train({}, model_),
+               std::invalid_argument);
+
+  samples[0].mode = StressMode::measured;
+  EXPECT_THROW(surrogate::SurrogateModel::train(samples, model_),
+               std::invalid_argument);
+}
+
+TEST_F(SurrogateTest, ValidatedErrorsAreOrderedQuantiles) {
+  const Context ctx;
+  const surrogate::SurrogateModel m = train_on(ctx);
+  EXPECT_GT(m.holdout_samples(), 0u);
+  EXPECT_LE(m.err_p50_ps(), m.err_p95_ps());
+  EXPECT_LE(m.err_p95_ps(), m.err_p99_ps());
+  EXPECT_LE(m.err_p99_ps(), m.err_max_ps());
+}
+
+// --- codec ------------------------------------------------------------------
+
+TEST_F(SurrogateTest, EncodeDecodeRoundTrips) {
+  const Context ctx;
+  const surrogate::SurrogateModel m = train_on(ctx);
+  const surrogate::SurrogateModel back =
+      surrogate::SurrogateModel::decode(m.encode());
+  EXPECT_EQ(m, back);
+  EXPECT_EQ(m.encode(), back.encode());
+}
+
+TEST_F(SurrogateTest, AnyFlippedByteFailsDecode) {
+  const Context ctx;
+  const std::string bytes = train_on(ctx).encode();
+  // Every byte is under the trailing content checksum — walk the blob with
+  // a stride plus the first/last bytes (magic and checksum themselves).
+  std::vector<std::size_t> positions = {0, bytes.size() - 1};
+  for (std::size_t p = 1; p + 1 < bytes.size(); p += 7) positions.push_back(p);
+  for (const std::size_t p : positions) {
+    std::string corrupt = bytes;
+    corrupt[p] = static_cast<char>(corrupt[p] ^ 0x40);
+    EXPECT_THROW(surrogate::SurrogateModel::decode(corrupt),
+                 std::runtime_error)
+        << "flip at byte " << p << " decoded successfully";
+  }
+  EXPECT_THROW(surrogate::SurrogateModel::decode(
+                   bytes.substr(0, bytes.size() / 2)),
+               std::runtime_error);
+  EXPECT_THROW(surrogate::SurrogateModel::decode(""), std::runtime_error);
+}
+
+// --- try_predict gates ------------------------------------------------------
+
+TEST_F(SurrogateTest, PredictsInHullWithinBoundOnly) {
+  const Context ctx;
+  const surrogate::SurrogateModel m = train_on(ctx);
+  const ComponentSpec interior = adder(7, 1);  // widths 6..10 trained
+  const double bound = m.err_p99_ps() + 1.0;
+
+  EXPECT_TRUE(m.try_predict(interior, StressMode::worst, 5.0, model_, bound)
+                  .has_value());
+  // A bound tighter than the validated p99 must decline.
+  EXPECT_FALSE(m.try_predict(interior, StressMode::worst, 5.0, model_,
+                             m.err_p99_ps() / 2.0)
+                   .has_value());
+  // Out of hull: wider than anything trained, and lifetimes beyond it.
+  EXPECT_FALSE(m.try_predict(adder(32), StressMode::worst, 5.0, model_, bound)
+                   .has_value());
+  EXPECT_FALSE(m.try_predict(interior, StressMode::worst, 30.0, model_, bound)
+                   .has_value());
+  // A kind never trained is out of hull through its one-hot.
+  const ComponentSpec mult{ComponentKind::multiplier, 8, 0, AdderArch::ripple,
+                           MultArch::array};
+  EXPECT_FALSE(
+      m.try_predict(mult, StressMode::worst, 5.0, model_, bound).has_value());
+  // Measured-mode queries are never served.
+  EXPECT_FALSE(m.try_predict(interior, StressMode::measured, 5.0, model_,
+                             bound)
+                   .has_value());
+}
+
+// --- store integration ------------------------------------------------------
+
+TEST_F(SurrogateTest, ModelPersistsThroughTheStore) {
+  const std::string path = temp_path("persist");
+  std::remove(path.c_str());
+  std::string bytes;
+  {
+    const Context ctx;
+    surrogate::SurrogateModel m = train_on(ctx);
+    bytes = m.encode();
+    ctx.store().put_surrogate(lib_, model_, sta_, std::move(m));
+    ASSERT_TRUE(ctx.store().save(path));
+  }
+  {
+    const Context ctx;
+    ASSERT_TRUE(ctx.store().open(path));
+    const surrogate::SurrogateModel* m =
+        ctx.store().surrogate_model(lib_, model_, sta_);
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->encode(), bytes);
+    // Materialized once, then served from memory.
+    EXPECT_EQ(m, ctx.store().surrogate_model(lib_, model_, sta_));
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(SurrogateTest, ArmedStoreAnswersWithoutInsertingDelayRecords) {
+  Context ctx;
+  engine::DesignStore& store = ctx.store();
+  store.put_surrogate(lib_, model_, sta_, train_on(ctx));
+  ctx.set_surrogate_bound(1e9);  // accept any validated model
+  const std::size_t entries_before = store.entries();
+
+  const double pred = store.aged_sta_delay(lib_, adder(7, 1), model_,
+                                           StressMode::worst, 5.0, sta_);
+  EXPECT_GT(pred, 0.0);
+  EXPECT_EQ(store.stats().surrogate_hits, 1u);
+  EXPECT_EQ(store.stats().surrogate_fallbacks, 0u);
+  // A surrogate answer never enters the exact delay family (or any other).
+  EXPECT_EQ(store.entries(), entries_before);
+
+  // The exact paths stay authoritative: disarming recomputes exactly, and
+  // once the exact record exists it wins the lookup over the surrogate.
+  ctx.set_surrogate_bound(0.0);
+  const double exact = store.aged_sta_delay(lib_, adder(7, 1), model_,
+                                            StressMode::worst, 5.0, sta_);
+  ctx.set_surrogate_bound(1e9);
+  const double again = store.aged_sta_delay(lib_, adder(7, 1), model_,
+                                            StressMode::worst, 5.0, sta_);
+  EXPECT_EQ(again, exact);  // exact cache hit precedes the surrogate
+  EXPECT_EQ(store.stats().surrogate_hits, 1u);
+}
+
+// --- the all-fallback byte-identity contract --------------------------------
+
+// Runs `characterize` of a spec that is NOT in the warm store, with the
+// given surrogate bound (0 = unarmed), logging to a run log, then saves the
+// store. Returns (run-log bytes, store-file bytes).
+std::pair<std::string, std::string> run_characterize(
+    const std::string& warm_store, double bound) {
+  // Fixed paths (runs are sequential) so the store_save/log records are
+  // byte-comparable across runs.
+  const std::string log_path = temp_path("log_run");
+  const std::string store_path = temp_path("store_run");
+  std::remove(store_path.c_str());
+  {
+    obs::RunLog log;
+    EXPECT_TRUE(log.open(log_path));
+    obs::MetricsRegistry metrics;
+    Context::Options opts;
+    opts.threads = 1;
+    opts.runlog = &log;
+    opts.metrics = &metrics;
+    opts.surrogate_bound = bound;
+    const Context ctx(opts);
+    EXPECT_TRUE(ctx.store().open(warm_store));
+    CharacterizerOptions copt;
+    copt.min_precision = 8;
+    const CellLibrary lib = make_nangate45_like();
+    const AgingModel model;
+    const ComponentCharacterizer ch(ctx, lib, model, copt);
+    ch.characterize(adder(12), {{StressMode::worst, 10.0}});
+    EXPECT_TRUE(ctx.store().save(store_path));
+    log.close();
+  }
+  std::pair<std::string, std::string> out = {read_file(log_path),
+                                             read_file(store_path)};
+  std::remove(log_path.c_str());
+  std::remove(store_path.c_str());
+  return out;
+}
+
+TEST_F(SurrogateTest, AllFallbackRunIsByteIdenticalToUnarmedRun) {
+  // Warm store with a trained model whose validated p99 is far above the
+  // armed bound below: every armed query declines and falls back to exact.
+  const std::string warm = temp_path("warm");
+  std::remove(warm.c_str());
+  {
+    const Context ctx;
+    ctx.store().put_surrogate(lib_, model_, sta_, train_on(ctx));
+    ASSERT_TRUE(ctx.store().save(warm));
+  }
+
+  const auto unarmed = run_characterize(warm, 0.0);
+  const auto armed = run_characterize(warm, 1e-12);
+  EXPECT_EQ(unarmed.first, armed.first) << "run logs differ";
+  EXPECT_EQ(unarmed.second, armed.second) << "store files differ";
+  EXPECT_FALSE(unarmed.second.empty());
+  std::remove(warm.c_str());
+}
+
+// --- poisoned persisted model -----------------------------------------------
+
+TEST_F(SurrogateTest, PoisonedModelOnlyEverFallsBackToExact) {
+  // Exact ground truth from an untouched context.
+  const ComponentSpec query = adder(7, 1);
+  double exact = 0.0;
+  {
+    const Context ctx;
+    exact = ctx.store().aged_sta_delay(lib_, query, model_, StressMode::worst,
+                                       5.0, sta_);
+  }
+
+  // A store file holding the trained model.
+  const std::string clean = temp_path("clean");
+  std::remove(clean.c_str());
+  {
+    const Context ctx;
+    ctx.store().put_surrogate(lib_, model_, sta_, train_on(ctx));
+    ASSERT_TRUE(ctx.store().save(clean));
+  }
+  engine::StoreFileData data = engine::load_store_file(clean);
+  ASSERT_TRUE(data.header_ok);
+  // The file also holds the training sweeps' records; find the one model.
+  const engine::RawRecord* surrogate_rec = nullptr;
+  for (const engine::RawRecord& rec : data.records) {
+    if (rec.kind == engine::RecordKind::surrogate) {
+      ASSERT_EQ(surrogate_rec, nullptr);
+      surrogate_rec = &rec;
+    }
+  }
+  ASSERT_NE(surrogate_rec, nullptr);
+  const engine::SurrogatePayload payload =
+      engine::decode_surrogate_payload(surrogate_rec->payload);
+
+  // Sanity: the clean file serves the surrogate.
+  {
+    Context::Options opts;
+    opts.surrogate_bound = 1e9;
+    const Context ctx(opts);
+    ASSERT_TRUE(ctx.store().open(clean));
+    const double pred = ctx.store().aged_sta_delay(
+        lib_, query, model_, StressMode::worst, 5.0, sta_);
+    EXPECT_EQ(ctx.store().stats().surrogate_hits, 1u);
+    EXPECT_NEAR(pred, exact, 1e9);
+  }
+
+  // Flip single bytes across the model blob (weights, hull, quantiles...),
+  // re-frame the record with a CONSISTENT outer checksum, and verify the
+  // armed store never serves the damaged model — every query is an exact
+  // fallback matching the untouched ground truth bit-for-bit.
+  for (std::size_t p = 16; p + 9 < payload.model_blob.size(); p += 61) {
+    engine::SurrogatePayload poisoned = payload;
+    poisoned.model_blob[p] =
+        static_cast<char>(poisoned.model_blob[p] ^ 0x01);
+    const std::string path = temp_path("poisoned");
+    ASSERT_GT(engine::write_store_file(
+                  path, {{engine::RecordKind::surrogate, surrogate_rec->key,
+                          engine::encode_surrogate_payload(poisoned)}}),
+              0u);
+    Context::Options opts;
+    opts.surrogate_bound = 1e9;
+    const Context ctx(opts);
+    ASSERT_TRUE(ctx.store().open(path));
+    ::testing::internal::CaptureStderr();  // the record-dropped warning
+    const double got = ctx.store().aged_sta_delay(
+        lib_, query, model_, StressMode::worst, 5.0, sta_);
+    const std::string warning = ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(got, exact) << "flip at blob byte " << p;
+    EXPECT_EQ(ctx.store().stats().surrogate_hits, 0u)
+        << "poisoned model answered at blob byte " << p;
+    EXPECT_GE(ctx.store().stats().surrogate_fallbacks, 1u);
+    EXPECT_NE(warning.find("surrogate"), std::string::npos);
+    std::remove(path.c_str());
+  }
+  std::remove(clean.c_str());
+}
+
+}  // namespace
+}  // namespace aapx
